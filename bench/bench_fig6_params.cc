@@ -1,0 +1,102 @@
+// Figure 6: parameter sensitivity.
+//  (a) CoDive window w — average U and A over B ∈ {2,3,5} for Soccer,
+//      Hospital and Synth-10k (paper: w = 3 best, Soccer insensitive).
+//  (b) Dive restart depth d on Synth-1k at B = 5 (paper: d = 3 best).
+// Plus an ablation the paper motivates in prose: log-scale vs. median
+// binary-jump target.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/session.h"
+
+using namespace falcon;
+using bench::Workload;
+
+int main(int argc, char** argv) {
+  double scale = bench::ParseScale(argc, argv);
+  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  bench::PrintBanner("bench_fig6_params — CoDive window w and Dive depth d",
+                     "Figure 6 (a), (b)");
+
+  // ---- (a) window w -------------------------------------------------------
+  std::printf("\n--- Fig 6(a): CoDive, avg over B in {2,3,5} ---\n");
+  std::printf("%-9s", "dataset");
+  for (size_t w : {0u, 1u, 3u, 5u, 7u}) std::printf("   w=%zu U/A   ", w);
+  std::printf("\n");
+  for (const std::string& name : {std::string("Soccer"),
+                                  std::string("Hospital"),
+                                  std::string("Synth10k")}) {
+    Workload wl = bench::MakeWorkload(name, scale);
+    std::printf("%-9s", name.c_str());
+    for (size_t w : {0u, 1u, 3u, 5u, 7u}) {
+      double avg_u = 0;
+      double avg_a = 0;
+      int runs = 0;
+      for (size_t budget : {2u, 3u, 5u}) {
+        SessionOptions options;
+        options.budget = budget;
+        options.tuning.codive_window = w;
+        auto m = RunCleaning(wl.clean, wl.dirty, SearchKind::kCoDive,
+                             options);
+        if (!m.ok() || !m->converged) continue;
+        avg_u += static_cast<double>(m->user_updates);
+        avg_a += static_cast<double>(m->user_answers);
+        ++runs;
+      }
+      if (runs == 0) {
+        std::printf("   %-11s", "-");
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f/%.0f", avg_u / runs,
+                      avg_a / runs);
+        std::printf("   %-11s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // ---- (b) depth d --------------------------------------------------------
+  std::printf("\n--- Fig 6(b): Dive on Synth-1k, B=5 ---\n");
+  std::printf("%4s %8s %8s %8s\n", "d", "U", "A", "T_C");
+  auto synth1k = MakeSynth(1000, /*seed=*/31);
+  if (synth1k.ok()) {
+    auto dirty = InjectErrors(synth1k->clean, synth1k->error_spec);
+    if (dirty.ok()) {
+      for (size_t d : {1u, 2u, 3u, 4u, 6u}) {
+        SessionOptions options;
+        options.budget = 5;
+        options.tuning.dive_depth = d;
+        auto m = RunCleaning(synth1k->clean, dirty->dirty, SearchKind::kDive,
+                             options);
+        if (!m.ok() || !m->converged) continue;
+        std::printf("%4zu %8zu %8zu %8zu\n", d, m->user_updates,
+                    m->user_answers, m->TotalCost());
+      }
+    }
+  }
+
+  // ---- Ablation: binary-jump target -------------------------------------
+  std::printf("\n--- Ablation: binary-jump target (Section 4.2.1) ---\n");
+  std::printf("%-9s %12s %12s %12s\n", "dataset", "log T_C", "median T_C",
+              "geom T_C");
+  for (const std::string& name : {std::string("Soccer"),
+                                  std::string("Synth10k")}) {
+    Workload wl = bench::MakeWorkload(name, scale);
+    size_t costs[3] = {0, 0, 0};
+    const SearchTuning::JumpTarget targets[3] = {
+        SearchTuning::JumpTarget::kLogScale,
+        SearchTuning::JumpTarget::kMedian,
+        SearchTuning::JumpTarget::kGeometric};
+    for (int i = 0; i < 3; ++i) {
+      SessionOptions options;
+      options.budget = 3;
+      options.tuning.jump_target = targets[i];
+      auto m = RunCleaning(wl.clean, wl.dirty, SearchKind::kDive, options);
+      if (m.ok()) costs[i] = m->TotalCost();
+    }
+    std::printf("%-9s %12zu %12zu %12zu\n", name.c_str(), costs[0],
+                costs[1], costs[2]);
+  }
+  return 0;
+}

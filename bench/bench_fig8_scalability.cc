@@ -1,0 +1,136 @@
+// Figure 8: lattice construction and maintenance efficiency (Dive,
+// effectively unbounded B).
+//  (a) total per-update time, incremental maintenance vs. rebuilding the
+//      lattice after every validated rule (paper: incremental 3–5× faster);
+//  (b, c) average creation/maintenance time as #tuples grows;
+//  (d) average times as the number of lattice attributes grows
+//      (Hospital-style schema), plus the bottom-up view-rewriting vs.
+//      naive per-node initialization ablation (Section 5.1.2).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/session.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+using namespace falcon;
+
+namespace {
+
+struct TimingRun {
+  double build_ms = 0;
+  double maintain_ms = 0;
+  size_t lattices = 0;
+  double total_ms = 0;
+};
+
+TimingRun RunDive(const Table& clean, const Table& dirty, bool naive_maint,
+                  size_t max_updates) {
+  SessionOptions options;
+  options.budget = 1000;  // Effectively unbounded (Fig. 8 setting).
+  options.naive_maintenance = naive_maint;
+  options.max_updates = max_updates;
+  auto t0 = std::chrono::steady_clock::now();
+  auto m = RunCleaning(clean, dirty, SearchKind::kDive, options);
+  auto t1 = std::chrono::steady_clock::now();
+  TimingRun r;
+  if (m.ok()) {
+    r.build_ms = m->lattice_build_ms;
+    r.maintain_ms = m->lattice_maintain_ms;
+    r.lattices = m->lattices_built;
+    r.total_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = bench::ParseScale(argc, argv);
+  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  bench::PrintBanner(
+      "bench_fig8_scalability — lattice creation/maintenance times",
+      "Figure 8 (a)-(d)");
+
+  // ---- (a) incremental vs. naive maintenance ------------------------------
+  std::printf("\n--- Fig 8(a): per-update time, first 5 updates ---\n");
+  std::printf("%-9s %16s %16s %9s\n", "dataset", "incremental(ms)",
+              "rebuild(ms)", "speedup");
+  for (const std::string& name : {std::string("Hospital"),
+                                  std::string("Synth10k")}) {
+    bench::Workload w = bench::MakeWorkload(name, scale);
+    TimingRun inc = RunDive(w.clean, w.dirty, false, 5);
+    TimingRun naive = RunDive(w.clean, w.dirty, true, 5);
+    double inc_per = (inc.build_ms + inc.maintain_ms) /
+                     std::max<size_t>(inc.lattices, 1);
+    double naive_per = (naive.build_ms + naive.maintain_ms) /
+                       std::max<size_t>(naive.lattices, 1);
+    std::printf("%-9s %16.3f %16.3f %8.1fx\n", name.c_str(), inc_per,
+                naive_per, naive_per / std::max(inc_per, 1e-9));
+  }
+
+  // ---- (b, c) time vs #tuples ---------------------------------------------
+  std::printf("\n--- Fig 8(b,c): avg creation/maintenance vs #tuples "
+              "(Synth, first 10 updates) ---\n");
+  std::printf("%10s %14s %16s\n", "#tuples", "create(ms)", "maintain(ms)");
+  for (size_t rows : {1000u, 10000u, 50000u, 100000u}) {
+    size_t n = static_cast<size_t>(static_cast<double>(rows) * scale);
+    if (n < 500) n = 500;
+    auto ds = MakeSynth(n, 37);
+    if (!ds.ok()) continue;
+    auto dirty = InjectErrors(ds->clean, ds->error_spec);
+    if (!dirty.ok()) continue;
+    TimingRun r = RunDive(ds->clean, dirty->dirty, false, 10);
+    size_t lattices = std::max<size_t>(r.lattices, 1);
+    std::printf("%10zu %14.3f %16.4f\n", n, r.build_ms / lattices,
+                r.maintain_ms / lattices);
+  }
+
+  // ---- (d) time vs #attributes --------------------------------------------
+  std::printf("\n--- Fig 8(d): avg times vs #lattice attributes "
+              "(Hospital, first 5 updates) ---\n");
+  std::printf("%8s %14s %16s\n", "#attrs", "create(ms)", "maintain(ms)");
+  {
+    bench::Workload w = bench::MakeWorkload("Hospital", scale);
+    for (size_t k : {4u, 6u, 8u, 10u, 12u}) {
+      SessionOptions options;
+      options.budget = 1000;
+      options.lattice_attrs = k;
+      options.max_updates = 5;
+      auto m = RunCleaning(w.clean, w.dirty, SearchKind::kDive, options);
+      if (!m.ok()) continue;
+      size_t lattices = std::max<size_t>(m->lattices_built, 1u);
+      std::printf("%8zu %14.3f %16.4f\n", k, m->lattice_build_ms / lattices,
+                  m->lattice_maintain_ms / lattices);
+    }
+  }
+
+  // ---- Ablation: view-rewriting vs naive per-node initialization ----------
+  std::printf("\n--- Ablation (Sec 5.1.2): bottom-up views vs per-node "
+              "scans, lattice creation ---\n");
+  std::printf("%10s %12s %12s %9s\n", "#tuples", "views(ms)", "naive(ms)",
+              "speedup");
+  for (size_t rows : {5000u, 20000u}) {
+    size_t n = static_cast<size_t>(static_cast<double>(rows) * scale);
+    if (n < 500) n = 500;
+    auto ds = MakeSynth(n, 39);
+    if (!ds.ok()) continue;
+    auto dirty = InjectErrors(ds->clean, ds->error_spec);
+    if (!dirty.ok()) continue;
+
+    SessionOptions fast;
+    fast.budget = 1000;
+    fast.max_updates = 5;
+    SessionOptions slow = fast;
+    slow.lattice.naive_init = true;
+    auto mf = RunCleaning(ds->clean, dirty->dirty, SearchKind::kDive, fast);
+    auto ms = RunCleaning(ds->clean, dirty->dirty, SearchKind::kDive, slow);
+    if (!mf.ok() || !ms.ok()) continue;
+    double f = mf->lattice_build_ms / std::max<size_t>(mf->lattices_built, 1);
+    double s = ms->lattice_build_ms / std::max<size_t>(ms->lattices_built, 1);
+    std::printf("%10zu %12.3f %12.3f %8.1fx\n", n, f, s,
+                s / std::max(f, 1e-9));
+  }
+  return 0;
+}

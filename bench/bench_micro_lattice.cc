@@ -1,0 +1,110 @@
+// Google-benchmark micro benchmarks for the lattice hot paths: bottom-up
+// construction (view rewriting vs. naive per-node scans), incremental
+// maintenance after an applied rule, closed-rule-set computation, and the
+// validity inference sweeps.
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "core/lattice.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+namespace falcon {
+namespace {
+
+struct Fixture {
+  Table clean;
+  Table dirty;
+  Repair repair;
+  std::vector<size_t> cols;
+};
+
+Fixture MakeFixture(size_t rows, size_t attrs) {
+  auto ds = MakeSynth(rows, 41);
+  FALCON_CHECK(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  FALCON_CHECK(dirty.ok());
+  const ErrorCell& e = dirty->errors.front();
+  Fixture f;
+  f.clean = ds->clean.Clone();
+  f.dirty = dirty->dirty.Clone();
+  f.repair = Repair{e.row, e.col,
+                    std::string(ds->clean.pool()->Get(e.clean_value))};
+  for (size_t c = 0; c < f.dirty.num_cols() && f.cols.size() + 1 < attrs;
+       ++c) {
+    if (c != e.col) f.cols.push_back(c);
+  }
+  return f;
+}
+
+void BM_LatticeBuildViews(benchmark::State& state) {
+  Fixture f = MakeFixture(static_cast<size_t>(state.range(0)),
+                          static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto lat = Lattice::Build(f.dirty, f.repair, f.cols);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (int64_t{1} << state.range(1)));
+}
+BENCHMARK(BM_LatticeBuildViews)
+    ->Args({10000, 6})
+    ->Args({10000, 8})
+    ->Args({10000, 10})
+    ->Args({50000, 8});
+
+void BM_LatticeBuildNaive(benchmark::State& state) {
+  Fixture f = MakeFixture(static_cast<size_t>(state.range(0)),
+                          static_cast<size_t>(state.range(1)));
+  LatticeOptions options;
+  options.naive_init = true;
+  for (auto _ : state) {
+    auto lat = Lattice::Build(f.dirty, f.repair, f.cols, options);
+    benchmark::DoNotOptimize(lat);
+  }
+}
+BENCHMARK(BM_LatticeBuildNaive)->Args({10000, 6})->Args({10000, 8});
+
+void BM_LatticeMaintenance(benchmark::State& state) {
+  Fixture f = MakeFixture(static_cast<size_t>(state.range(0)), 8);
+  auto lat = Lattice::Build(f.dirty, f.repair, f.cols);
+  FALCON_CHECK(lat.ok());
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table scratch = f.dirty.Clone();
+    Lattice copy = *lat;
+    state.ResumeTiming();
+    copy.ApplyNode(copy.top() >> 1, scratch);
+  }
+}
+BENCHMARK(BM_LatticeMaintenance)->Arg(10000)->Arg(50000);
+
+void BM_ClosedSets(benchmark::State& state) {
+  Fixture f = MakeFixture(10000, static_cast<size_t>(state.range(0)));
+  auto lat = Lattice::Build(f.dirty, f.repair, f.cols);
+  FALCON_CHECK(lat.ok());
+  for (auto _ : state) {
+    Lattice copy = *lat;
+    benchmark::DoNotOptimize(copy.NumClosedSets());
+  }
+}
+BENCHMARK(BM_ClosedSets)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ValidityInference(benchmark::State& state) {
+  Fixture f = MakeFixture(5000, 10);
+  auto lat = Lattice::Build(f.dirty, f.repair, f.cols);
+  FALCON_CHECK(lat.ok());
+  NodeId mid = lat->top() >> (lat->num_attrs() / 2);
+  for (auto _ : state) {
+    Lattice copy = *lat;
+    copy.MarkValid(mid);
+    copy.MarkInvalid(mid >> 1);
+    benchmark::DoNotOptimize(copy.validity(0));
+  }
+}
+BENCHMARK(BM_ValidityInference);
+
+}  // namespace
+}  // namespace falcon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.h"
+
+namespace falcon {
+namespace bench {
+
+double ParseScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      double s = std::atof(argv[i] + 8);
+      if (s > 0) return s;
+    }
+  }
+  return 1.0;
+}
+
+bool ParseQuick(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+Workload MakeWorkload(const std::string& name, double scale) {
+  auto rows = [scale](size_t base) {
+    size_t n = static_cast<size_t>(static_cast<double>(base) * scale);
+    return n < 500 ? 500 : n;
+  };
+
+  StatusOr<Dataset> ds = Status::InvalidArgument("unknown dataset " + name);
+  if (name == "Soccer") {
+    ds = MakeSoccer();
+  } else if (name == "Hospital") {
+    ds = MakeHospital(rows(10000));
+  } else if (name == "Synth10k") {
+    ds = MakeSynth(rows(10000));
+  } else if (name == "Synth1M") {
+    // Paper: 1M tuples. Default harness scale runs 50k; --scale grows it.
+    ds = MakeSynth(rows(50000), /*seed=*/29);
+  } else if (name == "DBLP") {
+    ds = MakeDblp(rows(20000));
+  } else if (name == "BUS") {
+    ds = MakeBus(rows(12000));
+  }
+  FALCON_CHECK(ds.ok());
+
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  FALCON_CHECK(dirty.ok());
+
+  Workload w;
+  w.name = name;
+  w.clean = std::move(ds->clean);
+  w.dirty = std::move(dirty->dirty);
+  w.errors = dirty->errors.size();
+  w.patterns = dirty->injected_patterns.size();
+  return w;
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"Soccer", "Hospital", "Synth10k", "Synth1M", "DBLP", "BUS"};
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s (FALCON, SIGMOD 2016)\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace falcon

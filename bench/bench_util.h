@@ -1,0 +1,50 @@
+// Shared harness plumbing for the paper-reproduction benchmarks: workload
+// construction (dataset + injected errors), scale handling, and table
+// printing helpers. Every bench binary runs with no arguments at a
+// CI-sized default scale; pass --scale=<f> to grow or shrink all datasets
+// (--scale=2 ≈ the paper's sizes for Hospital; DBLP/Synth-1M stay scaled
+// down unless you pass more).
+#ifndef FALCON_BENCH_BENCH_UTIL_H_
+#define FALCON_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+#include "relational/table.h"
+
+namespace falcon {
+namespace bench {
+
+/// One dataset instance ready for cleaning runs.
+struct Workload {
+  std::string name;
+  Table clean;
+  Table dirty;
+  size_t errors = 0;
+  size_t patterns = 0;
+};
+
+/// Parses --scale=<f> (default 1.0) from argv.
+double ParseScale(int argc, char** argv);
+
+/// Parses --quick (shrinks everything further for smoke runs).
+bool ParseQuick(int argc, char** argv);
+
+/// Builds one workload by dataset name: Soccer, Hospital, Synth10k,
+/// Synth1M, DBLP, BUS. Sizes at scale 1 are CI-sized stand-ins for the
+/// paper's instances (documented in EXPERIMENTS.md).
+Workload MakeWorkload(const std::string& name, double scale);
+
+/// The paper's six evaluation datasets in its order.
+std::vector<std::string> AllDatasetNames();
+
+/// Prints a banner with the binary's purpose and the paper artifact it
+/// reproduces.
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace bench
+}  // namespace falcon
+
+#endif  // FALCON_BENCH_BENCH_UTIL_H_

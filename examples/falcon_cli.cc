@@ -1,0 +1,238 @@
+// falcon_cli: end-to-end command-line driver for the library.
+//
+//   falcon_cli generate --dataset=soccer [--rows=N] [--seed=S]
+//              --out-clean=clean.csv --out-dirty=dirty.csv
+//       Materializes a dataset and its injected-error twin as CSV.
+//
+//   falcon_cli clean --clean=clean.csv --dirty=dirty.csv
+//              [--algo=codive] [--budget=3] [--mistakes=0.0]
+//              [--closed-sets=true] [--rule-history=false] [--out=fixed.csv]
+//       Runs a full simulated cleaning session and prints U/A/T_C/benefit.
+//
+//   falcon_cli profile --table=t.csv --target=Attr [--k=6]
+//       Prints the CORDS correlation ranking for one attribute.
+//
+//   falcon_cli fds --table=t.csv [--max-lhs=2] [--min-confidence=0.98]
+//       Prints discovered (approximate) functional dependencies.
+//
+//   falcon_cli detect --table=dirty.csv [--limit=20]
+//       Mines approximate FDs and flags suspicious cells with suggested
+//       repairs — no ground truth needed.
+//
+//   falcon_cli query --table=t.csv --sql="SELECT ... FROM T ..."
+//       Runs a SELECT (projection/WHERE/GROUP BY/ORDER BY/LIMIT) and
+//       prints the result.
+#include <cstdio>
+#include <iostream>
+
+#include "common/flags.h"
+#include "core/session.h"
+#include "core/violation_detector.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+#include "profiling/correlation.h"
+#include "profiling/fd_discovery.h"
+#include "relational/csv.h"
+#include "relational/select.h"
+
+using namespace falcon;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: falcon_cli <generate|clean|profile|fds|detect> "
+               "[--flags]\n(see the header of examples/falcon_cli.cc)\n");
+  return 2;
+}
+
+StatusOr<Dataset> MakeByName(const std::string& name, size_t rows,
+                             uint64_t seed) {
+  if (name == "soccer") return MakeSoccer(seed);
+  if (name == "hospital") return MakeHospital(rows ? rows : 10000, seed);
+  if (name == "bus") return MakeBus(rows ? rows : 25000, seed);
+  if (name == "dblp") return MakeDblp(rows ? rows : 50000, seed);
+  if (name == "synth") return MakeSynth(rows ? rows : 10000, seed);
+  return Status::InvalidArgument("unknown dataset " + name);
+}
+
+int CmdGenerate(const Flags& flags) {
+  auto ds = MakeByName(flags.GetString("dataset", "synth"),
+                       static_cast<size_t>(flags.GetInt("rows", 0)),
+                       static_cast<uint64_t>(flags.GetInt("seed", 23)));
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  if (!dirty.ok()) {
+    std::cerr << dirty.status() << "\n";
+    return 1;
+  }
+  std::string out_clean = flags.GetString("out-clean", "clean.csv");
+  std::string out_dirty = flags.GetString("out-dirty", "dirty.csv");
+  Status s = WriteCsv(ds->clean, out_clean);
+  if (s.ok()) s = WriteCsv(dirty->dirty, out_dirty);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::printf("wrote %s and %s (%zu rows, %zu injected errors, %zu rule "
+              "patterns)\n",
+              out_clean.c_str(), out_dirty.c_str(), ds->clean.num_rows(),
+              dirty->errors.size(), dirty->injected_patterns.size());
+  return 0;
+}
+
+int CmdClean(const Flags& flags) {
+  auto pool = std::make_shared<ValuePool>();
+  auto clean = ReadCsv(flags.GetString("clean"), "T", pool);
+  auto dirty = ReadCsv(flags.GetString("dirty"), "T", pool);
+  if (!clean.ok() || !dirty.ok()) {
+    std::cerr << "load failed: "
+              << (clean.ok() ? dirty.status() : clean.status()) << "\n";
+    return 1;
+  }
+
+  std::string algo = flags.GetString("algo", "codive");
+  SearchKind kind = SearchKind::kCoDive;
+  if (algo == "bfs") kind = SearchKind::kBfs;
+  else if (algo == "dfs") kind = SearchKind::kDfs;
+  else if (algo == "ducc") kind = SearchKind::kDucc;
+  else if (algo == "dive") kind = SearchKind::kDive;
+  else if (algo == "codive") kind = SearchKind::kCoDive;
+  else if (algo == "offline") kind = SearchKind::kOffline;
+  else {
+    std::cerr << "unknown --algo " << algo << "\n";
+    return 1;
+  }
+
+  SessionOptions options;
+  options.budget = static_cast<size_t>(flags.GetInt("budget", 3));
+  options.use_closed_sets = flags.GetBool("closed-sets", true);
+  options.use_rule_history = flags.GetBool("rule-history", false);
+  options.question_mistake_prob = flags.GetDouble("mistakes", 0.0);
+  options.lattice_attrs =
+      static_cast<size_t>(flags.GetInt("lattice-attrs", 7));
+  // --detector: the user only repairs cells the FD-violation detector
+  // flags (no omniscient error list; residual errors stay).
+  options.detector_driven = flags.GetBool("detector", false);
+
+  Table working = dirty->Clone();
+  std::unique_ptr<SearchAlgorithm> algorithm = MakeSearchAlgorithm(kind);
+  CleaningSession session(&*clean, &working, algorithm.get(), options);
+  auto m = session.Run();
+  if (!m.ok()) {
+    std::cerr << m.status() << "\n";
+    return 1;
+  }
+  std::printf("algo=%s errors=%zu U=%zu A=%zu T_C=%zu benefit=%.3f "
+              "queries=%zu converged=%s\n",
+              SearchKindName(kind), m->initial_errors, m->user_updates,
+              m->user_answers, m->TotalCost(), m->Benefit(),
+              m->queries_applied, m->converged ? "yes" : "no");
+  if (flags.Has("out")) {
+    Status s = WriteCsv(working, flags.GetString("out"));
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+  }
+  if (flags.GetBool("show-log", false)) {
+    std::printf("%s", session.log().ToSqlScript().c_str());
+  }
+  return 0;
+}
+
+int CmdProfile(const Flags& flags) {
+  auto table = ReadCsv(flags.GetString("table"), "T");
+  if (!table.ok()) {
+    std::cerr << table.status() << "\n";
+    return 1;
+  }
+  int target = table->schema().AttrIndex(flags.GetString("target"));
+  if (target < 0) {
+    std::cerr << "unknown --target attribute\n";
+    return 1;
+  }
+  CordsProfiler profiler(&*table);
+  size_t k = static_cast<size_t>(flags.GetInt("k", 6));
+  std::printf("correlation with %s:\n",
+              flags.GetString("target").c_str());
+  for (size_t c : profiler.TopKAttributes(static_cast<size_t>(target), k)) {
+    std::printf("  %-24s %.4f\n", table->schema().attribute(c).c_str(),
+                profiler.PairCorrelation(c, static_cast<size_t>(target)));
+  }
+  return 0;
+}
+
+int CmdFds(const Flags& flags) {
+  auto table = ReadCsv(flags.GetString("table"), "T");
+  if (!table.ok()) {
+    std::cerr << table.status() << "\n";
+    return 1;
+  }
+  FdDiscoveryOptions options;
+  options.max_lhs = static_cast<size_t>(flags.GetInt("max-lhs", 2));
+  options.min_confidence = flags.GetDouble("min-confidence", 0.98);
+  auto fds = DiscoverFds(*table, options);
+  std::printf("%zu dependencies:\n", fds.size());
+  for (const DiscoveredFd& fd : fds) {
+    std::printf("  %s\n", fd.ToString(table->schema()).c_str());
+  }
+  return 0;
+}
+
+int CmdDetect(const Flags& flags) {
+  auto table = ReadCsv(flags.GetString("table"), "T");
+  if (!table.ok()) {
+    std::cerr << table.status() << "\n";
+    return 1;
+  }
+  ViolationDetectorOptions options;
+  auto report = DetectViolations(*table, options);
+  size_t limit = static_cast<size_t>(flags.GetInt("limit", 20));
+  std::printf("%zu approximate FDs, %zu suspect cells\n",
+              report.fds.size(), report.suspects.size());
+  for (size_t i = 0; i < report.suspects.size() && i < limit; ++i) {
+    const Suspect& s = report.suspects[i];
+    std::printf("  row %u  %-16s '%s' -> '%s'  (consensus %.2f, %s)\n",
+                s.row, table->schema().attribute(s.col).c_str(),
+                std::string(table->pool()->Get(s.current)).c_str(),
+                std::string(table->pool()->Get(s.suggested)).c_str(),
+                s.consensus,
+                report.fds[s.fd_index].ToString(table->schema()).c_str());
+  }
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  auto table = ReadCsv(flags.GetString("table"), "T");
+  if (!table.ok()) {
+    std::cerr << table.status() << "\n";
+    return 1;
+  }
+  auto result = RunSelect(*table, flags.GetString("sql"));
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::printf("%s(%zu rows)\n", result->ToString(100).c_str(),
+              result->num_rows());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Flags flags(argc - 1, argv + 1);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "clean") return CmdClean(flags);
+  if (cmd == "profile") return CmdProfile(flags);
+  if (cmd == "fds") return CmdFds(flags);
+  if (cmd == "detect") return CmdDetect(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  return Usage();
+}

@@ -1,0 +1,138 @@
+// Interactive REPL: you play the user from the paper's Fig. 1 workflow.
+// Load a CSV (or the built-in T_drug example), repair a cell, and FALCON
+// proposes SQLU generalizations for you to validate with y/n.
+//
+// Run:  ./interactive_repl [table.csv]
+// Commands:
+//   show                     print the table
+//   set <row> <attr> <val>   repair a cell and start an episode
+//   sql <SQLU statement>     apply a raw SQLU statement
+//   quit
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/lattice.h"
+#include "core/search_algorithms.h"
+#include "datagen/datasets.h"
+#include "profiling/correlation.h"
+#include "relational/csv.h"
+#include "relational/sqlu_parser.h"
+
+using namespace falcon;
+
+namespace {
+
+// An episode driven by stdin answers instead of a simulated oracle.
+void RunEpisode(Table& table, const Repair& repair, std::istream& in,
+                std::ostream& out) {
+  CordsProfiler profiler(&table);
+  std::vector<size_t> candidates = profiler.TopKAttributes(repair.col, 6);
+  auto lattice = Lattice::Build(table, repair, candidates);
+  if (!lattice.ok()) {
+    out << "error: " << lattice.status() << "\n";
+    return;
+  }
+  lattice->MarkValid(lattice->top());
+
+  // Walk nodes in descending affected count, skipping resolved ones, and
+  // let the human validate up to 5 rules.
+  size_t asked = 0;
+  while (asked < 5) {
+    NodeId best = 0;
+    size_t best_count = 0;
+    for (NodeId m = 0; m < lattice->num_nodes(); ++m) {
+      if (lattice->validity(m) != Validity::kUnknown) continue;
+      size_t c = lattice->affected_count(m);
+      if (c > best_count) {
+        best = m;
+        best_count = c;
+      }
+    }
+    if (best_count == 0) break;
+    NodeId rep = lattice->Representative(best);
+    if (lattice->validity(rep) != Validity::kUnknown) rep = best;
+    out << "apply? " << lattice->NodeQuery(rep).ToSql() << "  ["
+        << lattice->affected_count(rep) << " tuples]  (y/n) " << std::flush;
+    std::string answer;
+    if (!std::getline(in, answer)) return;
+    ++asked;
+    if (!answer.empty() && (answer[0] == 'y' || answer[0] == 'Y')) {
+      lattice->MarkValid(rep);
+      RowSet changed = lattice->ApplyNode(rep, table);
+      out << "  -> updated " << changed.Count() << " tuple(s)\n";
+    } else {
+      lattice->MarkInvalid(rep);
+    }
+  }
+  // Make sure the user's own repair took effect.
+  if (table.cell(repair.row, repair.col) != lattice->target_value()) {
+    lattice->ApplyNode(lattice->top(), table);
+    out << "  -> applied your single-cell fix\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Table table;
+  if (argc > 1) {
+    auto loaded = ReadCsv(argv[1], "T");
+    if (!loaded.ok()) {
+      std::cerr << loaded.status() << "\n";
+      return 1;
+    }
+    table = std::move(loaded).value();
+  } else {
+    table = MakeDrugExample().dirty;
+    std::cout << "(no CSV given; using the paper's T_drug example)\n";
+  }
+
+  std::cout << table.ToString() << "\ncommands: show | set <row> <attr> "
+            << "<value> | sql <stmt> | quit\n";
+  std::string line;
+  while (std::cout << "falcon> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "show") {
+      std::cout << table.ToString(50);
+    } else if (cmd == "set") {
+      size_t row;
+      std::string attr;
+      if (!(ss >> row >> attr)) {
+        std::cout << "usage: set <row> <attr> <value>\n";
+        continue;
+      }
+      std::string value;
+      std::getline(ss, value);
+      while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      int col = table.schema().AttrIndex(attr);
+      if (col < 0 || row >= table.num_rows() || value.empty()) {
+        std::cout << "bad cell reference\n";
+        continue;
+      }
+      Repair repair{static_cast<uint32_t>(row), static_cast<size_t>(col),
+                    value};
+      RunEpisode(table, repair, std::cin, std::cout);
+    } else if (cmd == "sql") {
+      std::string stmt;
+      std::getline(ss, stmt);
+      auto q = ParseSqlu(stmt);
+      if (!q.ok()) {
+        std::cout << q.status() << "\n";
+        continue;
+      }
+      auto changed = ApplyQuery(table, *q);
+      if (!changed.ok()) {
+        std::cout << changed.status() << "\n";
+        continue;
+      }
+      std::cout << "updated " << *changed << " tuple(s)\n";
+    } else if (!cmd.empty()) {
+      std::cout << "unknown command: " << cmd << "\n";
+    }
+  }
+  return 0;
+}

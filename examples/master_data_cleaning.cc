@@ -1,0 +1,78 @@
+// Appendix B walkthrough: cleaning with a master relation. A master table
+// covering part of the domain answers rule-validity questions for free;
+// the user is only consulted for patterns outside the master's coverage.
+// Sweeps the coverage fraction to show user-interaction cost shrinking as
+// coverage grows.
+//
+// Run:  ./master_data_cleaning [rows]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+using namespace falcon;
+
+namespace {
+
+// A master relation: a random sample of clean rows (sharing the pool).
+Table SampleMaster(const Table& clean, double coverage, uint64_t seed) {
+  Table master("master", clean.schema(), clean.pool());
+  Rng rng(seed);
+  std::vector<ValueId> ids(clean.num_cols());
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    if (!rng.NextBool(coverage)) continue;
+    for (size_t c = 0; c < clean.num_cols(); ++c) ids[c] = clean.cell(r, c);
+    master.AppendRowIds(ids);
+  }
+  return master;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t rows = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 5000;
+  auto ds = MakeSynth(rows);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  if (!dirty.ok()) {
+    std::cerr << dirty.status() << "\n";
+    return 1;
+  }
+  std::printf("Synth-%zu with %zu errors; CoDive B=3, master coverage "
+              "sweep:\n\n",
+              rows, dirty->errors.size());
+  std::printf("%9s %6s %6s %6s %9s %14s\n", "coverage", "U", "A", "T_C",
+              "benefit", "master answers");
+
+  for (double coverage : {0.0, 0.25, 0.5, 0.9}) {
+    Table master = SampleMaster(ds->clean, coverage, 77);
+    SessionOptions options;
+    options.budget = 3;
+    if (coverage > 0.0) options.master = &master;
+
+    Table working = dirty->dirty.Clone();
+    std::unique_ptr<SearchAlgorithm> algo =
+        MakeSearchAlgorithm(SearchKind::kCoDive);
+    CleaningSession session(&ds->clean, &working, algo.get(), options);
+    auto m = session.Run();
+    if (!m.ok()) {
+      std::cerr << m.status() << "\n";
+      continue;
+    }
+    std::printf("%8.0f%% %6zu %6zu %6zu %9.2f %14zu   %s\n", coverage * 100,
+                m->user_updates, m->user_answers, m->TotalCost(),
+                m->Benefit(), m->master_answers,
+                m->converged ? "" : "(no convergence)");
+  }
+  std::printf(
+      "\nWith rising coverage, validity questions shift from the user to "
+      "the master data (Appendix B).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// ActiveLearning baseline (Exp-3 ④, Appendix C): a lattice search variant
+// that replaces the binary-jump heuristic with a learned model. Nodes are
+// featurized as in the paper's Table 4 (attribute indicators — 2 for the
+// updated attribute, 1 in-node, 0 otherwise — plus attribute values and the
+// original/updated values); a linear SVM predicts validity. The first 20
+// user updates are explored with Ducc to bootstrap the training set; after
+// that, each question goes to the unknown node with the highest predicted
+// probability of being valid, and the model is retrained on the labels
+// implied by the user's answers and lattice inference.
+#ifndef FALCON_BASELINES_ACTIVE_LEARNING_H_
+#define FALCON_BASELINES_ACTIVE_LEARNING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/search_algorithms.h"
+#include "ml/linear_svm.h"
+
+namespace falcon {
+
+class ActiveLearningSearch : public SearchAlgorithm {
+ public:
+  explicit ActiveLearningSearch(size_t bootstrap_sessions = 20,
+                                uint32_t feature_dim = 4096,
+                                uint64_t seed = 41);
+
+  std::string name() const override { return "ActiveLearning"; }
+  void OnSessionStart(size_t session_index) override {
+    session_index_ = session_index;
+  }
+  void Run(LatticeSearchContext& ctx) override;
+
+  size_t training_examples() const { return train_x_.size(); }
+
+ private:
+  SparseVector Featurize(const Lattice& lattice, NodeId n) const;
+  void CollectLabels(Lattice& lattice);
+
+  DuccSearch ducc_;
+  LinearSvm svm_;
+  std::vector<SparseVector> train_x_;
+  std::vector<int> train_y_;
+  size_t bootstrap_sessions_;
+  size_t session_index_ = 0;
+  uint32_t feature_dim_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_BASELINES_ACTIVE_LEARNING_H_

@@ -1,0 +1,38 @@
+#include "baselines/baseline_util.h"
+
+namespace falcon {
+
+StatusOr<bool> QueryValidAgainstClean(const Table& clean, const Table& dirty,
+                                      const SqluQuery& query) {
+  FALCON_ASSIGN_OR_RETURN(RowSet rows, AffectedRows(dirty, query));
+  int col = dirty.schema().AttrIndex(query.set_attr);
+  if (col < 0) return Status::InvalidArgument("unknown attribute");
+  ValueId want = clean.pool()->Intern(query.set_value);
+  bool valid = rows.AllOf([&](size_t r) {
+    return clean.cell(r, static_cast<size_t>(col)) == want;
+  });
+  return valid;
+}
+
+StatusOr<size_t> ApplyAndCountRepairs(const Table& clean, Table& dirty,
+                                      const SqluQuery& query,
+                                      size_t* total_changed) {
+  FALCON_ASSIGN_OR_RETURN(RowSet rows, AffectedRows(dirty, query));
+  int col_i = dirty.schema().AttrIndex(query.set_attr);
+  if (col_i < 0) return Status::InvalidArgument("unknown attribute");
+  size_t col = static_cast<size_t>(col_i);
+  ValueId value = dirty.Intern(query.set_value);
+  size_t repairs = 0;
+  size_t changed = 0;
+  rows.ForEach([&](size_t r) {
+    bool was_clean = dirty.cell(r, col) == clean.cell(r, col);
+    dirty.set_cell(r, col, value);
+    ++changed;
+    bool is_clean = dirty.cell(r, col) == clean.cell(r, col);
+    if (!was_clean && is_clean) ++repairs;
+  });
+  if (total_changed != nullptr) *total_changed = changed;
+  return repairs;
+}
+
+}  // namespace falcon

@@ -1,0 +1,45 @@
+// Shared plumbing for the non-lattice baselines of Section 6 (Exp-3).
+#ifndef FALCON_BASELINES_BASELINE_UTIL_H_
+#define FALCON_BASELINES_BASELINE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/sqlu.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// Outcome of one baseline cleaning run, comparable to SessionMetrics.
+struct BaselineResult {
+  std::string name;
+  size_t user_updates = 0;   ///< Cells the user fixed by hand (U).
+  size_t user_answers = 0;   ///< Questions/confirmations answered (A).
+  size_t cells_repaired = 0; ///< Cells moved to their clean value.
+  size_t initial_errors = 0;
+  bool completed = true;     ///< False when the tool gave up (timeout proxy).
+
+  size_t TotalCost() const { return user_updates + user_answers; }
+  double Benefit() const {
+    return initial_errors == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(TotalCost()) /
+                           static_cast<double>(initial_errors);
+  }
+};
+
+/// Ground-truth semantic validity of a query: executing it on `dirty` must
+/// only write clean values (the same predicate the simulated user answers).
+StatusOr<bool> QueryValidAgainstClean(const Table& clean, const Table& dirty,
+                                      const SqluQuery& query);
+
+/// Applies `query` to `dirty` and returns how many affected cells now match
+/// `clean` (repairs) — callers also need the total change count, returned
+/// via `total_changed` when non-null.
+StatusOr<size_t> ApplyAndCountRepairs(const Table& clean, Table& dirty,
+                                      const SqluQuery& query,
+                                      size_t* total_changed = nullptr);
+
+}  // namespace falcon
+
+#endif  // FALCON_BASELINES_BASELINE_UTIL_H_

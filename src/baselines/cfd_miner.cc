@@ -1,0 +1,141 @@
+#include "baselines/cfd_miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace falcon {
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Canonical key of a pattern for subset suppression.
+std::string PatternKey(const std::vector<size_t>& lhs_cols,
+                       const std::vector<ValueId>& lhs_vals, size_t rhs_col,
+                       ValueId rhs_val) {
+  std::string key;
+  for (size_t i = 0; i < lhs_cols.size(); ++i) {
+    key += std::to_string(lhs_cols[i]) + "=" +
+           std::to_string(lhs_vals[i]) + "|";
+  }
+  key += ">" + std::to_string(rhs_col) + "=" + std::to_string(rhs_val);
+  return key;
+}
+
+struct MinedRule {
+  ConstantCfd cfd;
+  size_t support;
+};
+
+}  // namespace
+
+std::vector<ConstantCfd> MineConstantCfds(const Table& sample,
+                                          const CfdMinerOptions& options) {
+  const size_t n_cols = sample.num_cols();
+  std::vector<MinedRule> mined;
+  std::unordered_set<std::string> emitted;
+
+  // Enumerate LHS column sets level-wise (size 1, then 2, ...), so subset
+  // patterns are emitted before their specializations.
+  std::vector<std::vector<size_t>> combos;
+  for (size_t a = 0; a < n_cols; ++a) combos.push_back({a});
+  if (options.max_lhs >= 2) {
+    for (size_t a = 0; a < n_cols; ++a) {
+      for (size_t b = a + 1; b < n_cols; ++b) combos.push_back({a, b});
+    }
+  }
+  if (options.max_lhs >= 3) {
+    for (size_t a = 0; a < n_cols; ++a) {
+      for (size_t b = a + 1; b < n_cols; ++b) {
+        for (size_t c = b + 1; c < n_cols; ++c) combos.push_back({a, b, c});
+      }
+    }
+  }
+
+  for (const std::vector<size_t>& lhs : combos) {
+    std::unordered_map<std::vector<ValueId>, std::vector<uint32_t>, VecHash>
+        groups;
+    std::vector<ValueId> key;
+    for (size_t r = 0; r < sample.num_rows(); ++r) {
+      key.clear();
+      bool has_null = false;
+      for (size_t c : lhs) {
+        ValueId v = sample.cell(r, c);
+        if (v == kNullValueId) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (!has_null) groups[key].push_back(static_cast<uint32_t>(r));
+    }
+
+    for (const auto& [lhs_vals, rows] : groups) {
+      if (rows.size() < options.min_support) continue;
+      for (size_t rhs = 0; rhs < n_cols; ++rhs) {
+        if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
+        ValueId consensus = sample.cell(rows[0], rhs);
+        if (consensus == kNullValueId) continue;
+        bool uniform = true;
+        for (uint32_t r : rows) {
+          if (sample.cell(r, rhs) != consensus) {
+            uniform = false;
+            break;
+          }
+        }
+        if (!uniform) continue;
+
+        // Suppress if any strictly more general emitted pattern implies it.
+        bool dominated = false;
+        if (lhs.size() >= 2) {
+          for (size_t skip = 0; skip < lhs.size() && !dominated; ++skip) {
+            std::vector<size_t> sub_cols;
+            std::vector<ValueId> sub_vals;
+            for (size_t i = 0; i < lhs.size(); ++i) {
+              if (i == skip) continue;
+              sub_cols.push_back(lhs[i]);
+              sub_vals.push_back(lhs_vals[i]);
+            }
+            if (emitted.count(PatternKey(sub_cols, sub_vals, rhs, consensus))) {
+              dominated = true;
+            }
+          }
+        }
+        if (dominated) continue;
+
+        emitted.insert(PatternKey(lhs, lhs_vals, rhs, consensus));
+        MinedRule rule;
+        for (size_t i = 0; i < lhs.size(); ++i) {
+          rule.cfd.lhs_attrs.push_back(sample.schema().attribute(lhs[i]));
+          rule.cfd.lhs_values.emplace_back(sample.pool()->Get(lhs_vals[i]));
+        }
+        rule.cfd.rhs_attr = sample.schema().attribute(rhs);
+        rule.cfd.rhs_value = std::string(sample.pool()->Get(consensus));
+        rule.support = rows.size();
+        mined.push_back(std::move(rule));
+      }
+    }
+  }
+
+  std::stable_sort(mined.begin(), mined.end(),
+                   [](const MinedRule& a, const MinedRule& b) {
+                     return a.support > b.support;
+                   });
+  if (mined.size() > options.max_rules) mined.resize(options.max_rules);
+
+  std::vector<ConstantCfd> out;
+  out.reserve(mined.size());
+  for (MinedRule& r : mined) out.push_back(std::move(r.cfd));
+  return out;
+}
+
+}  // namespace falcon

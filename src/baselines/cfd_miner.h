@@ -1,0 +1,33 @@
+// Level-wise constant-CFD miner over a (cleaned) sample — the discovery
+// half of the RuleLearning and GDR baselines. Emits patterns
+// (X = x̄ → A = a) whose support in the sample meets a threshold and whose
+// confidence is 1 (single consensus RHS value). Minimality: a pattern is
+// suppressed when a strictly more general emitted pattern (subset LHS,
+// same RHS) covers the same sample rows.
+#ifndef FALCON_BASELINES_CFD_MINER_H_
+#define FALCON_BASELINES_CFD_MINER_H_
+
+#include <vector>
+
+#include "errorgen/cfd.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+struct CfdMinerOptions {
+  /// Minimum sample rows matching the LHS pattern.
+  size_t min_support = 5;
+  /// Maximum LHS attributes.
+  size_t max_lhs = 2;
+  /// Cap on emitted rules (highest support first). Models the paper's
+  /// observation that mining floods the user with candidates.
+  size_t max_rules = 2000;
+};
+
+/// Mines constant CFDs from `sample`, ordered by support descending.
+std::vector<ConstantCfd> MineConstantCfds(const Table& sample,
+                                          const CfdMinerOptions& options = {});
+
+}  // namespace falcon
+
+#endif  // FALCON_BASELINES_CFD_MINER_H_

@@ -1,0 +1,107 @@
+#include "baselines/refine.h"
+
+#include "transform/transformations.h"
+
+namespace falcon {
+
+StatusOr<BaselineResult> RunRefine(const Table& clean, const Table& dirty) {
+  BaselineResult result;
+  result.name = "Refine";
+  Table working = dirty.Clone();
+  result.initial_errors = working.CountDiffCells(clean);
+
+  for (size_t r = 0; r < working.num_rows(); ++r) {
+    for (size_t c = 0; c < working.num_cols(); ++c) {
+      if (working.cell(r, c) == clean.cell(r, c)) continue;
+
+      // The user fixes this cell by example...
+      ++result.user_updates;
+      std::string target(clean.pool()->Get(clean.cell(r, c)));
+      std::string wrong(working.pool()->Get(working.cell(r, c)));
+
+      // ...and the tool proposes the standardization rule, which the user
+      // verifies (one answer).
+      SqluQuery standardize;
+      standardize.table = working.name();
+      standardize.set_attr = working.schema().attribute(c);
+      standardize.set_value = target;
+      standardize.where = {{standardize.set_attr, wrong}};
+      ++result.user_answers;
+      FALCON_ASSIGN_OR_RETURN(bool valid,
+                              QueryValidAgainstClean(clean, working,
+                                                     standardize));
+      if (valid) {
+        FALCON_ASSIGN_OR_RETURN(
+            size_t repairs, ApplyAndCountRepairs(clean, working, standardize));
+        result.cells_repaired += repairs;
+      } else {
+        working.set_cell(r, c, clean.cell(r, c));
+        ++result.cells_repaired;
+      }
+    }
+  }
+  result.completed = working.CountDiffCells(clean) == 0;
+  return result;
+}
+
+namespace {
+
+/// True iff applying `t` column-wide only writes clean values: wherever it
+/// would change a cell, the result must equal the clean value (cells it
+/// leaves alone are its business — other updates will handle them).
+bool TransformationIsSafe(const Table& clean, const Table& working,
+                          size_t col, const Transformation& t) {
+  bool changes_something = false;
+  for (size_t r = 0; r < working.num_rows(); ++r) {
+    std::optional<std::string> rewritten = t.Apply(working.CellText(r, col));
+    if (!rewritten.has_value() || *rewritten == working.CellText(r, col)) {
+      continue;
+    }
+    changes_something = true;
+    if (*rewritten != clean.CellText(r, col)) return false;
+  }
+  return changes_something;
+}
+
+}  // namespace
+
+StatusOr<BaselineResult> RunRefineWithTransforms(const Table& clean,
+                                                 const Table& dirty) {
+  BaselineResult result;
+  result.name = "Refine+T";
+  Table working = dirty.Clone();
+  result.initial_errors = working.CountDiffCells(clean);
+
+  for (size_t r = 0; r < working.num_rows(); ++r) {
+    for (size_t c = 0; c < working.num_cols(); ++c) {
+      if (working.cell(r, c) == clean.cell(r, c)) continue;
+
+      ++result.user_updates;
+      std::string before(working.CellText(r, c));
+      std::string after(clean.CellText(r, c));
+
+      // The tool proposes the most specific inferred transformation for
+      // column-wide application; the user verifies it (one answer).
+      auto candidates = InferTransformations(before, after);
+      bool fixed_by_rule = false;
+      if (!candidates.empty()) {
+        const Transformation& t = *candidates.front();
+        ++result.user_answers;
+        if (TransformationIsSafe(clean, working, c, t)) {
+          size_t before_diff = working.CountDiffCells(clean);
+          ApplyToColumn(working, c, t);
+          result.cells_repaired += before_diff - working.CountDiffCells(clean);
+          fixed_by_rule = working.cell(r, c) == clean.cell(r, c);
+        }
+      }
+      if (!fixed_by_rule) {
+        working.set_cell(r, c, clean.cell(r, c));
+        ++result.cells_repaired;
+      }
+    }
+  }
+  result.completed = working.CountDiffCells(clean) == 0;
+  return result;
+}
+
+}  // namespace falcon

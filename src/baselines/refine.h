@@ -1,0 +1,29 @@
+// Refine baseline (Exp-3 ①): models OpenRefine / Trifacta Wrangler. For
+// every user update the tool can offer exactly two generalizations — the
+// single-cell fix, or the whole-attribute standardization rule
+// `UPDATE T SET A = v WHERE A = e`. The user checks the standardization
+// rule once per update and falls back to the cell fix when it is invalid.
+#ifndef FALCON_BASELINES_REFINE_H_
+#define FALCON_BASELINES_REFINE_H_
+
+#include "baselines/baseline_util.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// Runs the Refine model over a clone of `dirty` until clean.
+StatusOr<BaselineResult> RunRefine(const Table& clean, const Table& dirty);
+
+/// Transformation-aware variant: besides the standardization rule, the
+/// tool infers a string transformation from the user's (before → after)
+/// example (src/transform) and offers the best column-wide rewrite for
+/// validation — closer to what OpenRefine/Wrangler actually do for
+/// syntactic errors, yet still blind to FALCON's multi-attribute rules.
+/// Each update costs one extra answer when a transformation is proposed.
+StatusOr<BaselineResult> RunRefineWithTransforms(const Table& clean,
+                                                 const Table& dirty);
+
+}  // namespace falcon
+
+#endif  // FALCON_BASELINES_REFINE_H_

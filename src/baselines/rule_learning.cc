@@ -1,0 +1,122 @@
+#include "baselines/rule_learning.h"
+
+#include "common/rng.h"
+
+namespace falcon {
+namespace {
+
+/// Picks a deterministic random sample of rows and returns the sample as a
+/// standalone table (sharing the pool). The user hand-cleans it: every
+/// dirty cell in the sample is set to its clean value, and those manual
+/// fixes are charged to `result` (both in the sample and in the working
+/// instance — the user is fixing real data).
+Table CleanSample(const Table& clean, Table& working, size_t sample_rows,
+                  uint64_t seed, BaselineResult* result) {
+  Rng rng(seed);
+  std::vector<uint32_t> rows(working.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
+  rng.Shuffle(rows);
+  if (rows.size() > sample_rows) rows.resize(sample_rows);
+
+  Table sample("sample", working.schema(), working.pool());
+  std::vector<ValueId> ids(working.num_cols());
+  for (uint32_t r : rows) {
+    for (size_t c = 0; c < working.num_cols(); ++c) {
+      if (working.cell(r, c) != clean.cell(r, c)) {
+        working.set_cell(r, c, clean.cell(r, c));
+        ++result->user_updates;
+        ++result->cells_repaired;
+      }
+      ids[c] = working.cell(r, c);
+    }
+    sample.AppendRowIds(ids);
+  }
+  return sample;
+}
+
+}  // namespace
+
+StatusOr<BaselineResult> RunRuleLearning(const Table& clean,
+                                         const Table& dirty,
+                                         const RuleLearningOptions& options) {
+  BaselineResult result;
+  result.name = "RuleLearning";
+  Table working = dirty.Clone();
+  result.initial_errors = working.CountDiffCells(clean);
+
+  // (i) Hand-clean a sample.
+  Table sample = CleanSample(clean, working, options.sample_rows,
+                             options.seed, &result);
+
+  // (ii) Mine constant CFDs and have the user validate each.
+  std::vector<ConstantCfd> rules = MineConstantCfds(sample, options.miner);
+  for (const ConstantCfd& cfd : rules) {
+    if (options.max_interactions != 0 &&
+        result.TotalCost() >= options.max_interactions) {
+      result.completed = false;
+      return result;
+    }
+    SqluQuery q = cfd.ToQuery(working.name());
+    // Skip rules that would not touch the instance — validating them costs
+    // nothing because the tool never surfaces no-op rules.
+    FALCON_ASSIGN_OR_RETURN(RowSet affected, AffectedRows(working, q));
+    if (affected.Empty()) continue;
+    ++result.user_answers;
+    FALCON_ASSIGN_OR_RETURN(bool valid,
+                            QueryValidAgainstClean(clean, working, q));
+    if (valid) {
+      // (iii) Apply the validated rule.
+      FALCON_ASSIGN_OR_RETURN(size_t repairs,
+                              ApplyAndCountRepairs(clean, working, q));
+      result.cells_repaired += repairs;
+    }
+  }
+  result.completed = true;
+  return result;
+}
+
+StatusOr<BaselineResult> RunGdr(const Table& clean, const Table& dirty,
+                                const RuleLearningOptions& options) {
+  BaselineResult result;
+  result.name = "GDR";
+  Table working = dirty.Clone();
+  result.initial_errors = working.CountDiffCells(clean);
+
+  Table sample = CleanSample(clean, working, options.sample_rows,
+                             options.seed, &result);
+  std::vector<ConstantCfd> rules = MineConstantCfds(sample, options.miner);
+
+  // Guided repair: surface each rule-suggested cell update for the user to
+  // confirm; apply the confirmed ones.
+  for (const ConstantCfd& cfd : rules) {
+    SqluQuery q = cfd.ToQuery(working.name());
+    FALCON_ASSIGN_OR_RETURN(RowSet affected, AffectedRows(working, q));
+    int col_i = working.schema().AttrIndex(q.set_attr);
+    if (col_i < 0) continue;
+    size_t col = static_cast<size_t>(col_i);
+    ValueId suggestion = working.Intern(q.set_value);
+    bool hit_cap = false;
+    affected.ForEach([&](size_t r) {
+      if (hit_cap) return;
+      if (options.max_interactions != 0 &&
+          result.TotalCost() >= options.max_interactions) {
+        hit_cap = true;
+        return;
+      }
+      ++result.user_answers;
+      if (clean.cell(r, col) == suggestion) {
+        bool was_clean = working.cell(r, col) == clean.cell(r, col);
+        working.set_cell(r, col, suggestion);
+        if (!was_clean) ++result.cells_repaired;
+      }
+    });
+    if (hit_cap) {
+      result.completed = false;
+      return result;
+    }
+  }
+  result.completed = true;
+  return result;
+}
+
+}  // namespace falcon

@@ -1,0 +1,43 @@
+// RuleLearning baseline (Exp-3 ②): (i) the user hand-cleans a sample of
+// tuples (part of the interaction budget), (ii) a constant-CFD miner learns
+// repair rules from the sample and the user validates each mined rule,
+// (iii) the validated rules repair the dirty instance. Recall is limited by
+// the sample, so errors typically remain (the paper's Table 7).
+//
+// GDR baseline (Exp-3 ③): same mining phase, but instead of validating
+// rules wholesale, the tool suggests rule-derived *cell* repairs one by one
+// and the user confirms or rejects each (Yakout et al.'s guided repair cost
+// model as the paper applies it).
+#ifndef FALCON_BASELINES_RULE_LEARNING_H_
+#define FALCON_BASELINES_RULE_LEARNING_H_
+
+#include "baselines/baseline_util.h"
+#include "baselines/cfd_miner.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+struct RuleLearningOptions {
+  /// Sample rows the user cleans before mining.
+  size_t sample_rows = 500;
+  CfdMinerOptions miner;
+  /// Hard cap on interactions (timeout proxy); 0 = unlimited. A run that
+  /// hits the cap reports completed=false, matching the paper's missing
+  /// bars.
+  size_t max_interactions = 0;
+  uint64_t seed = 5;
+};
+
+/// Runs the RuleLearning pipeline over a clone of `dirty`.
+StatusOr<BaselineResult> RunRuleLearning(const Table& clean,
+                                         const Table& dirty,
+                                         const RuleLearningOptions& options);
+
+/// Runs the GDR-style guided-repair pipeline over a clone of `dirty`.
+StatusOr<BaselineResult> RunGdr(const Table& clean, const Table& dirty,
+                                const RuleLearningOptions& options);
+
+}  // namespace falcon
+
+#endif  // FALCON_BASELINES_RULE_LEARNING_H_

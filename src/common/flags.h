@@ -1,0 +1,75 @@
+// Minimal command-line flag parsing for the tools and benchmark binaries:
+// --name=value and --name (boolean) forms, with positional arguments kept
+// in order. No registration — callers query by name with defaults.
+#ifndef FALCON_COMMON_FLAGS_H_
+#define FALCON_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace falcon {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          values_[arg.substr(2)] = "true";
+        } else {
+          values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? default_value : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t default_value = 0) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    try {
+      return std::stoll(it->second);
+    } catch (...) {
+      return default_value;
+    }
+  }
+
+  double GetDouble(const std::string& name, double default_value = 0) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    try {
+      return std::stod(it->second);
+    } catch (...) {
+      return default_value;
+    }
+  }
+
+  bool GetBool(const std::string& name, bool default_value = false) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_FLAGS_H_

@@ -1,0 +1,83 @@
+// ValuePool: append-only string interner shared by the clean and dirty
+// instances of a dataset so that equal strings have equal ids across tables.
+#ifndef FALCON_COMMON_INTERNER_H_
+#define FALCON_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace falcon {
+
+/// Identifier of an interned value. `kNullValueId` represents SQL NULL.
+using ValueId = uint32_t;
+
+inline constexpr ValueId kNullValueId = 0;
+
+/// Append-only dictionary mapping strings to dense ids. Id 0 is reserved for
+/// NULL; the empty string is a regular (non-null) value.
+///
+/// The pool is deliberately not thread-safe: FALCON sessions are
+/// single-threaded interactive loops, and benchmarks shard by pool.
+class ValuePool {
+ public:
+  ValuePool() {
+    // Slot 0: NULL. The empty string maps to NULL — CSV blanks and SQL
+    // NULLs are treated uniformly.
+    strings_.emplace_back("");
+    ids_.emplace(strings_.back(), kNullValueId);
+  }
+
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  /// Interns `s` and returns its id; returns the existing id if present.
+  ValueId Intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    ValueId id = static_cast<ValueId>(strings_.size());
+    strings_.emplace_back(s);
+    // string_view key points into strings_, whose elements are stable
+    // (std::string contents never move once emplaced; the vector may
+    // reallocate its pointer array but the heap buffers survive except for
+    // SSO strings). Use the stored string as the key source.
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s`, or kNullValueId if it was never interned.
+  ValueId Lookup(std::string_view s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? kNullValueId : it->second;
+  }
+
+  /// Returns the string for `id`. NULL renders as the empty string.
+  std::string_view Get(ValueId id) const { return strings_[id]; }
+
+  /// Number of interned values including the NULL slot.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  // Heterogeneous string_view lookup into a string-keyed map.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>()(sv);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, ValueId, StringHash, StringEq> ids_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_INTERNER_H_

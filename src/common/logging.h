@@ -1,0 +1,61 @@
+// Minimal leveled logging for the library and harnesses. Defaults to WARNING
+// so benchmark output stays clean; examples raise it to INFO.
+#ifndef FALCON_COMMON_LOGGING_H_
+#define FALCON_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace falcon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink for disabled log statements; swallows the stream.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace falcon
+
+// Usage: FALCON_LOG(Info) << "x=" << x;  Filtering happens at flush time in
+// the LogMessage destructor, so disabled levels cost only formatting.
+#define FALCON_LOG(level)                                             \
+  ::falcon::internal_logging::LogMessage(                             \
+      ::falcon::LogLevel::k##level, __FILE__, __LINE__)               \
+      .stream()
+
+/// Fatal invariant check, active in all build types.
+#define FALCON_CHECK(cond)                                             \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::cerr << "FALCON_CHECK failed at " << __FILE__ << ":"        \
+                << __LINE__ << ": " #cond << std::endl;                \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+#endif  // FALCON_COMMON_LOGGING_H_

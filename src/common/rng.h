@@ -1,0 +1,83 @@
+// Deterministic, seedable random number generation. All stochastic behaviour
+// in FALCON (data generation, error injection, simulated user mistakes, Ducc
+// walks) flows through Rng so experiments are reproducible bit-for-bit.
+#ifndef FALCON_COMMON_RNG_H_
+#define FALCON_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace falcon {
+
+/// Thin deterministic wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed index in [0, n): smaller indexes are more likely.
+  /// Used by data generators to produce realistic value-frequency skew.
+  uint64_t NextSkewed(uint64_t n, double skew = 1.0) {
+    if (n <= 1) return 0;
+    // Inverse-CDF approximation of a Zipf distribution.
+    double u = NextDouble();
+    double x = (skew == 1.0)
+                   ? std::pow(static_cast<double>(n), u)
+                   : std::pow((std::pow(static_cast<double>(n), 1.0 - skew) -
+                               1.0) * u + 1.0,
+                              1.0 / (1.0 - skew));
+    uint64_t idx = static_cast<uint64_t>(x) - (x >= 1.0 ? 1 : 0);
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void Shuffle(Container& c) {
+    for (size_t i = c.size(); i > 1; --i) {
+      size_t j = NextUint(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index weighted by `weights`.
+  template <typename Weights>
+  size_t NextWeighted(const Weights& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double u = NextDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_RNG_H_

@@ -1,0 +1,177 @@
+// RowSet: a fixed-universe dynamic bitmap over table row ids. This is the
+// workhorse representation for query affected-sets in the lattice: node sets
+// are built by ANDing per-predicate posting bitmaps, and incremental lattice
+// maintenance is a single AND-NOT per node.
+#ifndef FALCON_COMMON_ROW_SET_H_
+#define FALCON_COMMON_ROW_SET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace falcon {
+
+/// Dense bitmap over rows [0, universe_size).
+class RowSet {
+ public:
+  RowSet() = default;
+
+  /// Creates an empty set over `universe_size` rows.
+  explicit RowSet(size_t universe_size)
+      : universe_size_(universe_size),
+        words_((universe_size + 63) / 64, 0) {}
+
+  /// Creates a set over `universe_size` rows with every bit set to `fill`.
+  RowSet(size_t universe_size, bool fill) : RowSet(universe_size) {
+    if (fill) SetAll();
+  }
+
+  size_t universe_size() const { return universe_size_; }
+
+  void Set(size_t row) { words_[row >> 6] |= (uint64_t{1} << (row & 63)); }
+  void Clear(size_t row) { words_[row >> 6] &= ~(uint64_t{1} << (row & 63)); }
+  bool Test(size_t row) const {
+    return (words_[row >> 6] >> (row & 63)) & 1;
+  }
+
+  /// Sets every bit in the universe.
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    TrimTail();
+  }
+
+  /// Clears every bit.
+  void ClearAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// this &= other.
+  void And(const RowSet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this &= ~other.
+  void AndNot(const RowSet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// this |= other.
+  void Or(const RowSet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// Returns |this ∩ other| without materializing the intersection.
+  size_t IntersectCount(const RowSet& other) const {
+    size_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    }
+    return n;
+  }
+
+  /// True iff this ⊆ other.
+  bool IsSubsetOf(const RowSet& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff this ∩ other = ∅.
+  bool DisjointWith(const RowSet& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const RowSet& other) const {
+    return universe_size_ == other.universe_size_ && words_ == other.words_;
+  }
+
+  /// FNV-1a style hash of the bitmap contents (used for closed-set grouping).
+  uint64_t Hash() const {
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t w : words_) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  /// Calls `fn(row)` for every set row in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      while (w) {
+        int bit = std::countr_zero(w);
+        fn(i * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Returns true iff `fn(row)` holds for every set row; stops at the first
+  /// failure.
+  template <typename Fn>
+  bool AllOf(Fn&& fn) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      while (w) {
+        int bit = std::countr_zero(w);
+        if (!fn(i * 64 + static_cast<size_t>(bit))) return false;
+        w &= w - 1;
+      }
+    }
+    return true;
+  }
+
+  /// Materializes set rows as a vector (test/debug convenience).
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> rows;
+    rows.reserve(Count());
+    ForEach([&](size_t r) { rows.push_back(static_cast<uint32_t>(r)); });
+    return rows;
+  }
+
+  /// Returns the first set row, or universe_size() if empty.
+  size_t First() const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i]) {
+        return i * 64 + static_cast<size_t>(std::countr_zero(words_[i]));
+      }
+    }
+    return universe_size_;
+  }
+
+ private:
+  void TrimTail() {
+    size_t tail = universe_size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t universe_size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_ROW_SET_H_

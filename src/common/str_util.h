@@ -1,0 +1,42 @@
+// Small string helpers shared across modules (CSV, SQLU printing/parsing,
+// dataset generation).
+#ifndef FALCON_COMMON_STR_UTIL_H_
+#define FALCON_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace falcon {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII in place, returning a copy.
+std::string ToUpper(std::string_view s);
+
+/// Lowercases ASCII in place, returning a copy.
+std::string ToLower(std::string_view s);
+
+/// True iff `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Quotes a value for SQL output: wraps in single quotes, doubling any
+/// embedded single quote.
+std::string SqlQuote(std::string_view s);
+
+/// Parses a non-negative integer; returns -1 on malformed input.
+int64_t ParseInt64(std::string_view s);
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_STR_UTIL_H_

@@ -1,0 +1,293 @@
+#include "core/lattice.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "relational/posting_index.h"
+
+namespace falcon {
+
+StatusOr<Lattice> Lattice::Build(const Table& table, const Repair& repair,
+                                 std::vector<size_t> candidate_cols,
+                                 const LatticeOptions& options) {
+  if (repair.row >= table.num_rows() || repair.col >= table.num_cols()) {
+    return Status::InvalidArgument("repair cell out of range");
+  }
+  Lattice lat;
+  lat.repair_ = repair;
+  lat.num_table_rows_ = table.num_rows();
+
+  // Assemble lattice columns: the ranked candidates in order, then the
+  // repaired attribute itself last (unless excluded, Appendix B). Putting
+  // the candidates first means one-hop traversals explore the correlated
+  // attributes in rank order.
+  size_t budget_cols = options.max_attrs;
+  if (!options.exclude_target_attr && budget_cols > 0) --budget_cols;
+  for (size_t c : candidate_cols) {
+    if (c == repair.col) continue;
+    if (c >= table.num_cols()) {
+      return Status::InvalidArgument("candidate column out of range");
+    }
+    if (std::find(lat.cols_.begin(), lat.cols_.end(), c) != lat.cols_.end()) {
+      continue;
+    }
+    if (lat.cols_.size() >= budget_cols) break;
+    lat.cols_.push_back(c);
+  }
+  // Rank decides *which* attributes enter the lattice (partial
+  // materialization); schema position decides their order, as in the
+  // paper's implementation — only CoDive consults correlation scores while
+  // traversing. The repaired attribute goes last.
+  std::sort(lat.cols_.begin(), lat.cols_.end());
+  if (!options.exclude_target_attr) {
+    lat.cols_.push_back(repair.col);
+  }
+  if (lat.cols_.empty()) {
+    return Status::InvalidArgument("lattice needs at least one attribute");
+  }
+  if (lat.cols_.size() > 20) {
+    return Status::InvalidArgument("lattice too large (max 20 attributes)");
+  }
+
+  // Bind predicate constants to the repaired tuple's current values
+  // (closed-world assumption, Section 2.2).
+  lat.table_name_ = table.name();
+  lat.set_attr_name_ = table.schema().attribute(repair.col);
+  for (size_t c : lat.cols_) {
+    ValueId v = table.cell(repair.row, c);
+    lat.bindings_.push_back(v);
+    lat.attr_names_.push_back(table.schema().attribute(c));
+    lat.binding_texts_.emplace_back(table.pool()->Get(v));
+  }
+  // Interning through the shared pool is safe: it is append-only and does
+  // not mutate the table contents.
+  lat.target_value_ = table.pool()->Intern(repair.new_value);
+
+  size_t n_nodes = lat.num_nodes();
+  lat.index_ = options.naive_init ? nullptr : options.index;
+  lat.affected_.resize(n_nodes);
+  lat.counts_.assign(n_nodes, 0);
+  lat.validity_.assign(n_nodes, Validity::kUnknown);
+
+  if (options.naive_init) {
+    lat.InitAffectedNaive(table);
+  } else {
+    lat.InitAffectedViaViews(table);
+  }
+  for (size_t m = 0; m < n_nodes; ++m) {
+    lat.counts_[m] = lat.affected_[m].Count();
+  }
+  return lat;
+}
+
+void Lattice::InitAffectedViaViews(const Table& table) {
+  // Bottom node: rows whose target value differs from a' (rows any
+  // candidate query could change).
+  RowSet base(num_table_rows_);
+  const std::vector<ValueId>& target_column = table.column(repair_.col);
+  for (size_t r = 0; r < num_table_rows_; ++r) {
+    if (target_column[r] != target_value_) base.Set(r);
+  }
+  affected_[0] = std::move(base);
+
+  // Per-attribute posting bitmaps for the bound predicate constants,
+  // served from the posting cache when one was supplied.
+  std::vector<const RowSet*> preds(cols_.size());
+  std::vector<RowSet> scanned;
+  scanned.reserve(cols_.size());
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (index_ != nullptr) {
+      preds[i] = &index_->Postings(cols_[i], bindings_[i]);
+    } else {
+      scanned.push_back(table.ScanEquals(cols_[i], bindings_[i]));
+      preds[i] = &scanned.back();
+    }
+  }
+
+  // View rewriting: each node's set is its (mask without lowest bit)
+  // parent's set restricted by one more predicate — a single AND.
+  for (NodeId m = 1; m < num_nodes(); ++m) {
+    NodeId parent = m & (m - 1);
+    int bit = std::countr_zero(m);
+    affected_[m] = affected_[parent];
+    affected_[m].And(*preds[static_cast<size_t>(bit)]);
+  }
+}
+
+void Lattice::InitAffectedNaive(const Table& table) {
+  // The "execute one SQLU query per node" strawman of Section 5.1.2.
+  for (NodeId m = 0; m < num_nodes(); ++m) {
+    RowSet rows(num_table_rows_);
+    for (size_t r = 0; r < num_table_rows_; ++r) {
+      if (table.cell(r, repair_.col) == target_value_) continue;
+      bool match = true;
+      for (size_t i = 0; i < cols_.size(); ++i) {
+        if ((m >> i) & 1) {
+          if (table.cell(r, cols_[i]) != bindings_[i]) {
+            match = false;
+            break;
+          }
+        }
+      }
+      if (match) rows.Set(r);
+    }
+    affected_[m] = std::move(rows);
+  }
+}
+
+void Lattice::MarkValid(NodeId n) {
+  validity_[n] = Validity::kValid;
+  // Supersets of n are more specific, hence also valid.
+  NodeId full = top();
+  for (NodeId s = n;; s = (s + 1) | n) {
+    if (validity_[s] == Validity::kUnknown) validity_[s] = Validity::kValid;
+    if (s == full) break;
+  }
+}
+
+void Lattice::MarkInvalid(NodeId n) {
+  validity_[n] = Validity::kInvalid;
+  // Subsets of n are more general, hence also invalid.
+  for (NodeId s = n;; s = (s - 1) & n) {
+    if (validity_[s] == Validity::kUnknown) validity_[s] = Validity::kInvalid;
+    if (s == 0) break;
+  }
+}
+
+std::vector<NodeId> Lattice::UnknownNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId m = 0; m < num_nodes(); ++m) {
+    if (validity_[m] == Validity::kUnknown) out.push_back(m);
+  }
+  return out;
+}
+
+RowSet Lattice::ApplyNode(NodeId n, Table& table) {
+  RowSet changed = affected_[n];
+  size_t changed_count = counts_[n];
+  changed.ForEach([&](size_t r) {
+    table.set_cell(r, repair_.col, target_value_);
+  });
+  // Incremental maintenance (Section 5.1.2): repaired rows leave every
+  // node's affected set, but the containment relation to Q gives each node
+  // a cheap path.
+  for (NodeId m = 0; m < num_nodes(); ++m) {
+    if (m == n) {
+      affected_[m].ClearAll();
+      counts_[m] = 0;
+    } else if ((m & n) == n) {
+      // Case 1 — Q' ≤ Q (supersets of n's attributes): every tuple Q'
+      // could affect was just repaired; drop to ∅ without set algebra.
+      affected_[m].ClearAll();
+      counts_[m] = 0;
+      ++maintenance_stats_.case1_contained;
+    } else if ((m & n) == m) {
+      // Case 2 — Q ≤ Q'' (subsets): Q(T) ⊆ Q''(T), so the count drops by
+      // exactly |Q(T)| — no popcount pass needed.
+      affected_[m].AndNot(changed);
+      counts_[m] -= changed_count;
+      ++maintenance_stats_.case2_containing;
+    } else {
+      // Case 3 — incomparable: deduct |Q'''(Q(T))|, i.e. the overlap with
+      // the repaired area only.
+      size_t overlap = affected_[m].IntersectCount(changed);
+      if (overlap != 0) affected_[m].AndNot(changed);
+      counts_[m] -= overlap;
+      ++maintenance_stats_.case3_disjoint;
+    }
+  }
+  closed_sets_fresh_ = false;
+  return changed;
+}
+
+void Lattice::RecomputeAffected(const Table& table) {
+  InitAffectedViaViews(table);
+  for (NodeId m = 0; m < num_nodes(); ++m) {
+    counts_[m] = affected_[m].Count();
+  }
+  closed_sets_fresh_ = false;
+}
+
+SqluQuery Lattice::NodeQuery(NodeId n) const {
+  SqluQuery q;
+  q.table = table_name_;
+  q.set_attr = set_attr_name_;
+  q.set_value = repair_.new_value;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if ((n >> i) & 1) {
+      q.where.push_back({attr_names_[i], binding_texts_[i]});
+    }
+  }
+  q.Canonicalize();
+  return q;
+}
+
+std::string Lattice::NodeLabel(NodeId n) const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if ((n >> i) & 1) {
+      if (!first) out += ", ";
+      out += attr_names_[i];
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void Lattice::EnsureClosedSets() {
+  if (closed_sets_fresh_) return;
+  size_t n_nodes = num_nodes();
+  closed_group_.assign(n_nodes, 0);
+  group_representative_.clear();
+
+  // A closed rule set is an equivalence class of nodes with identical
+  // affected sets (the closed-itemset "same tidset" semantics that the
+  // paper's Example 10 illustrates: {DMQ, DM, DQ} all repair the same
+  // tuples). The class is closed under attribute union, so the member with
+  // the most predicates is the unique representative rule.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  for (NodeId m = 0; m < n_nodes; ++m) {
+    // Hash on (count, bitmap) and resolve collisions by exact comparison
+    // against each group's canonical member.
+    uint64_t h = affected_[m].Hash() * 31 + counts_[m];
+    std::vector<uint32_t>& groups = buckets[h];
+    bool placed = false;
+    for (uint32_t g : groups) {
+      NodeId canon = group_representative_[g];
+      if (affected_[m] == affected_[canon]) {
+        closed_group_[m] = g;
+        // Representative = member with the most predicates.
+        NodeId& rep = group_representative_[g];
+        if (std::popcount(m) > std::popcount(rep) ||
+            (std::popcount(m) == std::popcount(rep) && m > rep)) {
+          rep = m;
+        }
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      uint32_t g = static_cast<uint32_t>(group_representative_.size());
+      group_representative_.push_back(m);
+      groups.push_back(g);
+      closed_group_[m] = g;
+    }
+  }
+  closed_sets_fresh_ = true;
+}
+
+NodeId Lattice::Representative(NodeId n) {
+  EnsureClosedSets();
+  return group_representative_[closed_group_[n]];
+}
+
+size_t Lattice::NumClosedSets() {
+  EnsureClosedSets();
+  return group_representative_.size();
+}
+
+}  // namespace falcon

@@ -1,0 +1,193 @@
+// The FALCON query lattice (paper Section 3): the search space of candidate
+// SQLU generalizations of one user repair Δ: t[A] ← a'.
+//
+// Nodes are attribute subsets X of the (top-k correlated) lattice columns;
+// node X is the query  UPDATE T SET A = a' WHERE ∧_{B∈X} B = t[B].
+// Containment Q ≤ Q' ⇔ attr(Q') ⊆ attr(Q); the bottom node ∅ is the most
+// general query, the top node (all attributes) the most specific.
+//
+// The lattice maintains, per node, the affected row set — rows matching the
+// WHERE clause whose A value differs from a' — initialized bottom-up via
+// view rewriting (Section 5.1.2) and maintained incrementally when a
+// validated query is applied (maintenance Cases 1–3 collapse to one AND-NOT
+// per node in the bitmap representation). It also tracks validity state
+// with the paper's inference rules and computes closed rule sets
+// (Section 5.2) with their representative rules.
+#ifndef FALCON_CORE_LATTICE_H_
+#define FALCON_CORE_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/row_set.h"
+#include "common/status.h"
+#include "relational/sqlu.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// A lattice node: bit i set ⇔ lattice attribute i is in the WHERE clause.
+using NodeId = uint32_t;
+
+/// Validity state of a node's query.
+enum class Validity : uint8_t { kUnknown, kValid, kInvalid };
+
+class PostingIndex;
+
+/// Lattice construction options.
+struct LatticeOptions {
+  /// Hard cap on lattice attributes (2^max_attrs nodes). Partial
+  /// materialization (Section 5.1.1) keeps lattices this small.
+  size_t max_attrs = 12;
+  /// Appendix B (master data) variant: the updated attribute itself may not
+  /// appear in WHERE clauses.
+  bool exclude_target_attr = false;
+  /// Benchmark toggle: initialize each node's affected set by a full
+  /// conjunction scan instead of the bottom-up view rewriting.
+  bool naive_init = false;
+  /// Optional posting cache for predicate bitmaps (non-owning; the caller
+  /// must invalidate updated columns). Ignored by naive_init.
+  PostingIndex* index = nullptr;
+};
+
+/// One user repair: set cell (row, col) to `new_value`.
+struct Repair {
+  uint32_t row = 0;
+  size_t col = 0;
+  std::string new_value;
+};
+
+class Lattice {
+ public:
+  /// Builds the lattice for `repair` over `table`. `candidate_cols` are the
+  /// columns eligible for WHERE predicates, in rank order (partial
+  /// materialization feeds the top-k correlated columns); the repaired
+  /// column is prepended automatically unless options.exclude_target_attr.
+  /// Predicate constants bind to the repaired tuple's *current* values.
+  static StatusOr<Lattice> Build(const Table& table, const Repair& repair,
+                                 std::vector<size_t> candidate_cols,
+                                 const LatticeOptions& options = {});
+
+  // --- Shape ---------------------------------------------------------------
+
+  size_t num_attrs() const { return cols_.size(); }
+  size_t num_nodes() const { return NodeId{1} << cols_.size(); }
+  NodeId bottom() const { return 0; }
+  NodeId top() const { return static_cast<NodeId>(num_nodes() - 1); }
+
+  /// Table columns backing each lattice attribute bit.
+  const std::vector<size_t>& lattice_cols() const { return cols_; }
+
+  /// Name of lattice attribute `i`.
+  const std::string& attr_name(size_t i) const { return attr_names_[i]; }
+
+  /// Decoded predicate constant bound to lattice attribute `i`.
+  const std::string& binding_text(size_t i) const { return binding_texts_[i]; }
+
+  /// Interned predicate constant bound to lattice attribute `i`.
+  ValueId binding(size_t i) const { return bindings_[i]; }
+
+  /// Posting cache supplied at Build time (may be null).
+  PostingIndex* index() const { return index_; }
+
+  /// The repair this lattice generalizes.
+  const Repair& repair() const { return repair_; }
+  size_t target_col() const { return repair_.col; }
+  ValueId target_value() const { return target_value_; }
+
+  // --- Affected sets ---------------------------------------------------------
+
+  const RowSet& affected(NodeId n) const { return affected_[n]; }
+  size_t affected_count(NodeId n) const { return counts_[n]; }
+
+  // --- Validity and inference ------------------------------------------------
+
+  Validity validity(NodeId n) const { return validity_[n]; }
+
+  /// Marks `n` valid and infers validity for every more-specific node
+  /// (supersets of n's attribute set). Inference never overwrites a state
+  /// already known.
+  void MarkValid(NodeId n);
+
+  /// Marks `n` invalid and infers invalidity for every more-general node
+  /// (subsets of n's attribute set).
+  void MarkInvalid(NodeId n);
+
+  /// Nodes whose validity is still unknown.
+  std::vector<NodeId> UnknownNodes() const;
+
+  // --- Application and maintenance -------------------------------------------
+
+  /// Per-case counters for the incremental maintenance of Section 5.1.2.
+  struct MaintenanceStats {
+    size_t case1_contained = 0;  ///< Q' ≤ Q: set drops to ∅ (constant time).
+    size_t case2_containing = 0; ///< Q ≤ Q'': count -= |Q(T)| (one AND-NOT).
+    size_t case3_disjoint = 0;   ///< overlap counted then removed.
+  };
+
+  /// Applies node `n`'s query to `table` (which must be the table the
+  /// lattice was built over): writes the target value into every affected
+  /// row and incrementally updates all affected sets (Cases 1–3 of
+  /// Section 5.1.2, each with its cheap path). Returns the changed rows.
+  RowSet ApplyNode(NodeId n, Table& table);
+
+  /// Cumulative maintenance case counts across ApplyNode calls.
+  const MaintenanceStats& maintenance_stats() const {
+    return maintenance_stats_;
+  }
+
+  /// Benchmark/naive path: recomputes every affected set from the current
+  /// table contents (what a from-scratch rebuild would do).
+  void RecomputeAffected(const Table& table);
+
+  // --- Query materialization ---------------------------------------------------
+
+  /// Renders node `n` as a SQLU statement.
+  SqluQuery NodeQuery(NodeId n) const;
+
+  /// Human-readable attribute-set label, e.g. "{Molecule, Laboratory}".
+  std::string NodeLabel(NodeId n) const;
+
+  // --- Closed rule sets (Section 5.2) -----------------------------------------
+
+  /// Representative rule of n's closed rule set: the set member with the
+  /// most WHERE predicates. Closed sets are recomputed lazily after each
+  /// ApplyNode (affected counts change, so closures change).
+  NodeId Representative(NodeId n);
+
+  /// Number of distinct closed rule sets at the current counts (stats).
+  size_t NumClosedSets();
+
+ private:
+  Lattice() = default;
+
+  void InitAffectedViaViews(const Table& table);
+  void InitAffectedNaive(const Table& table);
+  void EnsureClosedSets();
+
+  std::vector<size_t> cols_;          // Lattice attribute -> table column.
+  std::vector<ValueId> bindings_;     // Predicate constant per attribute.
+  std::string table_name_;
+  std::string set_attr_name_;
+  std::vector<std::string> attr_names_;    // Name per lattice attribute.
+  std::vector<std::string> binding_texts_; // Decoded predicate constants.
+  Repair repair_;
+  ValueId target_value_ = kNullValueId;
+  size_t num_table_rows_ = 0;
+  PostingIndex* index_ = nullptr;
+
+  std::vector<RowSet> affected_;
+  std::vector<size_t> counts_;
+  std::vector<Validity> validity_;
+  MaintenanceStats maintenance_stats_;
+
+  // Closed-set state: group id per node and representative per group.
+  bool closed_sets_fresh_ = false;
+  std::vector<uint32_t> closed_group_;
+  std::vector<NodeId> group_representative_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_LATTICE_H_

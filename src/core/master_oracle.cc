@@ -1,0 +1,60 @@
+#include "core/master_oracle.h"
+
+#include "core/lattice.h"
+
+namespace falcon {
+
+MasterBackedOracle::MasterBackedOracle(const Table* master,
+                                       const Table* dirty,
+                                       const Table* clean,
+                                       double mistake_prob, uint64_t seed)
+    : UserOracle(clean, mistake_prob, seed), master_(master), dirty_(dirty) {
+  aligned_.resize(dirty->num_cols(), -1);
+  for (size_t c = 0; c < dirty->num_cols(); ++c) {
+    aligned_[c] = master->schema().AttrIndex(dirty->schema().attribute(c));
+  }
+}
+
+MasterBackedOracle::Verdict MasterBackedOracle::Check(const Lattice& lattice,
+                                                      NodeId n) const {
+  // Resolve the node's pattern to master columns; a pattern touching any
+  // unaligned attribute cannot be checked.
+  int target_master_col = aligned_[lattice.target_col()];
+  if (target_master_col < 0) return Verdict::kUncovered;
+
+  std::vector<std::pair<size_t, ValueId>> preds;
+  const std::vector<size_t>& cols = lattice.lattice_cols();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (((n >> i) & 1) == 0) continue;
+    int mc = aligned_[cols[i]];
+    if (mc < 0) return Verdict::kUncovered;
+    preds.emplace_back(static_cast<size_t>(mc), lattice.binding(i));
+  }
+  // The empty pattern ("rewrite the whole column") is supported only if
+  // the master's column is constant — check it like any other pattern.
+  RowSet matches = master_->ScanConjunction(preds);
+  if (matches.Empty()) return Verdict::kUncovered;
+
+  ValueId want = lattice.target_value();
+  bool all_agree = matches.AllOf([&](size_t r) {
+    return master_->cell(r, static_cast<size_t>(target_master_col)) == want;
+  });
+  return all_agree ? Verdict::kSupported : Verdict::kRefuted;
+}
+
+UserOracle::Answered MasterBackedOracle::AnswerEx(const Lattice& lattice,
+                                                  NodeId n) {
+  switch (Check(lattice, n)) {
+    case Verdict::kSupported:
+      ++master_answers_;
+      return {true, /*billed=*/false};
+    case Verdict::kRefuted:
+      ++master_answers_;
+      return {false, /*billed=*/false};
+    case Verdict::kUncovered:
+      return {AskHuman(lattice, n), /*billed=*/true};
+  }
+  return {false, true};
+}
+
+}  // namespace falcon

@@ -1,0 +1,54 @@
+// Appendix B: using external sources. When a high-quality master relation
+// is available, many rule-validity questions can be answered without
+// consuming user capacity: a candidate rule (X = x̄ → A = a') is supported
+// by the master data iff master tuples matching x̄ on the aligned X
+// attributes exist and all carry A = a'; it is refuted iff some matching
+// master tuple carries a different A value. Only patterns the master does
+// not cover fall back to the (billed) human.
+//
+// The master may cover just part of the domain (it typically does); the
+// coverage fraction directly controls how many questions stay free.
+#ifndef FALCON_CORE_MASTER_ORACLE_H_
+#define FALCON_CORE_MASTER_ORACLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/oracle.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+class MasterBackedOracle : public UserOracle {
+ public:
+  /// Attributes are aligned by name: a dirty-table column participates iff
+  /// the master has a column of the same name. `master` must share the
+  /// dirty table's ValuePool (its loader should intern into the same pool)
+  /// and both must outlive the oracle.
+  MasterBackedOracle(const Table* master, const Table* dirty,
+                     const Table* clean, double mistake_prob = 0.0,
+                     uint64_t seed = 99);
+
+  /// Free answer when the master decides the pattern; billed human answer
+  /// otherwise.
+  Answered AnswerEx(const Lattice& lattice, NodeId n) override;
+
+  /// How the master would rule on node `n`, independent of the human.
+  enum class Verdict { kSupported, kRefuted, kUncovered };
+  Verdict Check(const Lattice& lattice, NodeId n) const;
+
+  size_t master_answers() const { return master_answers_; }
+
+ private:
+  const Table* master_;
+  const Table* dirty_;
+  /// dirty column -> master column (or -1 when unaligned).
+  std::vector<int> aligned_;
+  size_t master_answers_ = 0;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_MASTER_ORACLE_H_

@@ -1,0 +1,77 @@
+// Simulated user (Section 6): answers validity questions from the
+// ground-truth clean instance. A query is semantically valid iff executing
+// it would introduce no new errors, i.e. every row it affects has the SET
+// value as its clean value. This predicate is monotone under containment,
+// so the lattice inference rules are sound against it.
+//
+// The oracle optionally makes mistakes (Exp-5): each answer flips with a
+// configurable probability.
+#ifndef FALCON_CORE_ORACLE_H_
+#define FALCON_CORE_ORACLE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/lattice.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+class UserOracle {
+ public:
+  /// `clean` must share its ValuePool with the dirty table the lattices are
+  /// built over and must outlive the oracle.
+  explicit UserOracle(const Table* clean, double mistake_prob = 0.0,
+                      uint64_t seed = 99)
+      : clean_(clean), mistake_prob_(mistake_prob), rng_(seed) {}
+
+  virtual ~UserOracle() = default;
+
+  /// Ground-truth validity of node `n` (never wrong; used by inference
+  /// soundness tests and the OffLine algorithm).
+  bool TrueValid(const Lattice& lattice, NodeId n) const {
+    size_t col = lattice.target_col();
+    ValueId want = lattice.target_value();
+    return lattice.affected(n).AllOf(
+        [&](size_t r) { return clean_->cell(r, col) == want; });
+  }
+
+  /// An answer plus whether it consumed user capacity. The base oracle
+  /// always bills; subclasses (e.g. master-data backed, Appendix B) answer
+  /// some questions for free from an external source.
+  struct Answered {
+    bool valid = false;
+    bool billed = true;
+  };
+
+  virtual Answered AnswerEx(const Lattice& lattice, NodeId n) {
+    return {AskHuman(lattice, n), true};
+  }
+
+  /// The user's answer, possibly mistaken (always billed).
+  bool Answer(const Lattice& lattice, NodeId n) {
+    return AnswerEx(lattice, n).valid;
+  }
+
+  size_t questions() const { return questions_; }
+  const Table* clean() const { return clean_; }
+
+ protected:
+  /// Simulates the human: ground truth flipped with the mistake rate.
+  bool AskHuman(const Lattice& lattice, NodeId n) {
+    ++questions_;
+    bool truth = TrueValid(lattice, n);
+    if (mistake_prob_ > 0.0 && rng_.NextBool(mistake_prob_)) return !truth;
+    return truth;
+  }
+
+ private:
+  const Table* clean_;
+  double mistake_prob_;
+  Rng rng_;
+  size_t questions_ = 0;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_ORACLE_H_

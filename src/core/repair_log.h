@@ -1,0 +1,99 @@
+// RepairLog: a cell-level journal of every repair executed during a
+// cleaning run — the validated SQLU rule (or manual fix) together with the
+// overwritten values. It backs two needs from the paper's user-mistake
+// discussion (Exp-5): detecting that a cell is being rewritten again
+// ("the system checks updates and notifies users whenever it is updating a
+// cell that has been repaired in previous iterations"), and undoing a rule
+// that was validated by mistake.
+#ifndef FALCON_CORE_REPAIR_LOG_H_
+#define FALCON_CORE_REPAIR_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/sqlu.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+class RepairLog {
+ public:
+  /// One executed repair: the statement plus the per-cell before-images.
+  struct Entry {
+    SqluQuery query;
+    size_t col = 0;
+    /// (row, value before the repair) pairs, ascending by row.
+    std::vector<std::pair<uint32_t, ValueId>> before;
+    bool manual = false;  ///< True for single-cell user fixes.
+  };
+
+  /// Records a repair that wrote `query.set_value` into `rows` of `col`;
+  /// `before` carries the overwritten values aligned with `rows`.
+  void Record(SqluQuery query, size_t col,
+              std::vector<std::pair<uint32_t, ValueId>> before,
+              bool manual = false) {
+    for (const auto& [row, value] : before) {
+      ++repair_counts_[CellKey(row, col)];
+    }
+    entries_.push_back(Entry{std::move(query), col, std::move(before),
+                             manual});
+  }
+
+  /// Reverts the most recent entry against `table` (which must be the
+  /// table the repairs were applied to). Returns false when empty.
+  bool UndoLast(Table& table) {
+    if (entries_.empty()) return false;
+    const Entry& e = entries_.back();
+    for (const auto& [row, value] : e.before) {
+      table.set_cell(row, e.col, value);
+      auto it = repair_counts_.find(CellKey(row, e.col));
+      if (it != repair_counts_.end() && --it->second == 0) {
+        repair_counts_.erase(it);
+      }
+    }
+    entries_.pop_back();
+    return true;
+  }
+
+  /// How many logged repairs have touched this cell — the paper's cycle
+  /// signal (>1 means the cell is being re-repaired).
+  size_t TimesRepaired(uint32_t row, size_t col) const {
+    auto it = repair_counts_.find(CellKey(row, col));
+    return it == repair_counts_.end() ? 0 : it->second;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total cells written across all logged repairs.
+  size_t cells_written() const {
+    size_t n = 0;
+    for (const Entry& e : entries_) n += e.before.size();
+    return n;
+  }
+
+  /// Renders the journal as replayable SQL, newest last.
+  std::string ToSqlScript() const {
+    std::string out;
+    for (const Entry& e : entries_) {
+      out += e.query.ToSql();
+      out += e.manual ? "  -- manual fix\n" : "\n";
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t CellKey(uint32_t row, size_t col) {
+    return (static_cast<uint64_t>(row) << 16) | static_cast<uint64_t>(col);
+  }
+
+  std::vector<Entry> entries_;
+  std::unordered_map<uint64_t, size_t> repair_counts_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_REPAIR_LOG_H_

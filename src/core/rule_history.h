@@ -1,0 +1,77 @@
+// RuleHistory: cross-update memory of rule outcomes (the paper's Section 8
+// future-work direction: "leverage the information obtained from previous
+// interactions with the user w.r.t. multiple data updates").
+//
+// FALCON sessions repeatedly repair the same attribute; the attribute SETS
+// that formed valid rules before (e.g. {RouteId, Direction} for
+// Destination) tend to form valid rules again for other constants.
+// RuleHistory tracks per-(target attribute, WHERE attribute set) outcome
+// counts and exposes a multiplicative score boost that CoDive folds into
+// its window re-ranking.
+#ifndef FALCON_CORE_RULE_HISTORY_H_
+#define FALCON_CORE_RULE_HISTORY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace falcon {
+
+class RuleHistory {
+ public:
+  /// Records the user's verdict for a rule shaped (where_cols → target).
+  void Record(size_t target_col, std::vector<size_t> where_cols, bool valid) {
+    Key key = MakeKey(target_col, std::move(where_cols));
+    Stats& s = stats_[key];
+    if (valid) {
+      ++s.valid;
+    } else {
+      ++s.invalid;
+    }
+  }
+
+  /// Multiplicative boost in [1/kMaxBoost, kMaxBoost]: shapes with a valid
+  /// track record score above 1, repeatedly invalid shapes below 1, a
+  /// balanced or unseen record exactly 1.
+  double Boost(size_t target_col, std::vector<size_t> where_cols) const {
+    auto it = stats_.find(MakeKey(target_col, std::move(where_cols)));
+    if (it == stats_.end()) return 1.0;
+    const Stats& s = it->second;
+    // Laplace-smoothed valid rate, mapped exponentially so rate 1/2 is
+    // exactly neutral: kMaxBoost^(2·rate − 1).
+    double rate = (static_cast<double>(s.valid) + 1.0) /
+                  (static_cast<double>(s.valid + s.invalid) + 2.0);
+    return std::pow(kMaxBoost, 2.0 * rate - 1.0);
+  }
+
+  size_t distinct_shapes() const { return stats_.size(); }
+
+  size_t valid_observations() const {
+    size_t n = 0;
+    for (const auto& [key, s] : stats_) n += s.valid;
+    return n;
+  }
+
+ private:
+  static constexpr double kMaxBoost = 4.0;
+
+  using Key = std::pair<size_t, std::vector<size_t>>;
+  struct Stats {
+    uint32_t valid = 0;
+    uint32_t invalid = 0;
+  };
+
+  static Key MakeKey(size_t target_col, std::vector<size_t> where_cols) {
+    std::sort(where_cols.begin(), where_cols.end());
+    return {target_col, std::move(where_cols)};
+  }
+
+  std::map<Key, Stats> stats_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_RULE_HISTORY_H_

@@ -1,0 +1,82 @@
+// Concrete lattice search strategies (Section 4).
+//
+// One-hop ("Falcon glide", Section 4.1): BFS, DFS and a Ducc-style
+// valid/invalid zigzag — all locality-bound edge followers.
+//
+// Multi-hop ("Falcon dive", Section 4.2): Dive (binary jump over the nodes
+// sorted by affected count, log-scale midpoint, restart after d wrong
+// jumps) and CoDive (Dive with a ±w correlation-scored window around the
+// jump position).
+//
+// OffLine: the clairvoyant greedy for the offline budget-repair problem —
+// it sees ground-truth validity and picks the valid node with maximum
+// coverage at each step.
+#ifndef FALCON_CORE_SEARCH_ALGORITHMS_H_
+#define FALCON_CORE_SEARCH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/search.h"
+
+namespace falcon {
+
+/// Breadth-first from the most general nodes upward.
+class BfsSearch : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "BFS"; }
+  void Run(LatticeSearchContext& ctx) override;
+};
+
+/// Depth-first: climbs one attribute-adding branch as far as possible
+/// before backtracking, starting from the single-attribute nodes.
+class DfsSearch : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "DFS"; }
+  void Run(LatticeSearchContext& ctx) override;
+};
+
+/// Ducc-style random zigzag (Heise et al., PVLDB 2013): pivot upward from
+/// invalid nodes, downward from valid ones, hole-jump when stuck.
+class DuccSearch : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "Ducc"; }
+  void Run(LatticeSearchContext& ctx) override;
+
+ private:
+  Rng rng_{20130704};
+};
+
+/// Binary jump (Section 4.2.1, steps D1–D6).
+class DiveSearch : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "Dive"; }
+  void Run(LatticeSearchContext& ctx) override;
+
+ protected:
+  /// Hook: choose the node to ask given the sorted candidate pool and the
+  /// binary-jump position. Dive returns pool[pos]; CoDive re-ranks ±w.
+  virtual NodeId Select(LatticeSearchContext& ctx,
+                        const std::vector<NodeId>& pool, size_t pos);
+};
+
+/// Correlation-aware binary jump (Section 4.2.2).
+class CoDiveSearch : public DiveSearch {
+ public:
+  std::string name() const override { return "CoDive"; }
+
+ protected:
+  NodeId Select(LatticeSearchContext& ctx, const std::vector<NodeId>& pool,
+                size_t pos) override;
+};
+
+/// Clairvoyant greedy upper bound.
+class OfflineSearch : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "OffLine"; }
+  void Run(LatticeSearchContext& ctx) override;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_SEARCH_ALGORITHMS_H_

@@ -1,0 +1,226 @@
+#include "core/session.h"
+
+#include <chrono>
+#include <deque>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/master_oracle.h"
+#include "core/oracle.h"
+#include "relational/posting_index.h"
+
+namespace falcon {
+
+CleaningSession::CleaningSession(const Table* clean, Table* dirty,
+                                 SearchAlgorithm* algorithm,
+                                 SessionOptions options)
+    : clean_(clean),
+      dirty_(dirty),
+      algorithm_(algorithm),
+      options_(options) {}
+
+StatusOr<SessionMetrics> CleaningSession::Run() {
+  if (clean_->num_rows() != dirty_->num_rows() ||
+      clean_->num_cols() != dirty_->num_cols()) {
+    return Status::InvalidArgument("clean/dirty shape mismatch");
+  }
+  if (clean_->pool() != dirty_->pool()) {
+    return Status::InvalidArgument(
+        "clean and dirty tables must share a ValuePool");
+  }
+
+  SessionMetrics metrics;
+  metrics.initial_errors = dirty_->CountDiffCells(*clean_);
+  if (metrics.initial_errors == 0) {
+    metrics.converged = true;
+    return metrics;
+  }
+  size_t max_updates = options_.max_updates != 0
+                           ? options_.max_updates
+                           : metrics.initial_errors * 10 + 100;
+
+  // Worklist of candidate dirty cells; entries are validated when popped
+  // (an applied rule may have fixed them meanwhile). Applied rules append
+  // any cells they leave or make dirty.
+  //
+  // In the default mode the simulated user knows every dirty cell (the
+  // paper's setup: "we keep running an algorithm until all the introduced
+  // errors are fixed"). In detector-driven mode the user only sees what
+  // the FD-violation detector flags, re-detecting after each drained
+  // batch.
+  std::deque<std::pair<uint32_t, uint32_t>> worklist;
+  auto refill_from_detector = [&]() {
+    ViolationReport report = DetectViolations(*dirty_, options_.detector);
+    size_t added = 0;
+    for (const Suspect& s : report.suspects) {
+      // The user inspects the flagged cell; false alarms are dismissed.
+      if (dirty_->cell(s.row, s.col) != clean_->cell(s.row, s.col)) {
+        worklist.emplace_back(s.row, static_cast<uint32_t>(s.col));
+        ++added;
+      }
+    }
+    return added;
+  };
+  if (options_.detector_driven) {
+    refill_from_detector();
+  } else {
+    for (size_t r = 0; r < dirty_->num_rows(); ++r) {
+      for (size_t c = 0; c < dirty_->num_cols(); ++c) {
+        if (dirty_->cell(r, c) != clean_->cell(r, c)) {
+          worklist.emplace_back(static_cast<uint32_t>(r),
+                                static_cast<uint32_t>(c));
+        }
+      }
+    }
+  }
+
+  // Profile once over the (initial) dirty instance, as the paper does.
+  CorrelationOptions cords_options;
+  cords_options.max_sample_rows = options_.profile_sample_rows;
+  CordsProfiler profiler(dirty_, cords_options);
+
+  // The oracle: a simulated human, optionally fronted by master data
+  // (Appendix B) that answers covered patterns for free.
+  std::unique_ptr<UserOracle> oracle;
+  MasterBackedOracle* master_oracle = nullptr;
+  if (options_.master != nullptr) {
+    if (options_.master->pool() != dirty_->pool()) {
+      return Status::InvalidArgument(
+          "master relation must share the dirty table's ValuePool");
+    }
+    auto owned = std::make_unique<MasterBackedOracle>(
+        options_.master, dirty_, clean_, options_.question_mistake_prob,
+        options_.seed + 1);
+    master_oracle = owned.get();
+    oracle = std::move(owned);
+  } else {
+    oracle = std::make_unique<UserOracle>(
+        clean_, options_.question_mistake_prob, options_.seed + 1);
+  }
+
+  PostingIndex posting_index(dirty_);
+  LatticeOptions lattice_options = options_.lattice;
+  if (options_.use_posting_index && !lattice_options.naive_init) {
+    lattice_options.index = &posting_index;
+  }
+
+  Rng update_rng(options_.seed + 2);
+  // Cells that already received one wrong user update; the paper's cycle
+  // notification means the user gets it right the second time.
+  std::unordered_set<uint64_t> wrong_updated;
+
+  auto on_apply = [&](const RowSet& changed, size_t col) {
+    posting_index.InvalidateColumn(col);
+    changed.ForEach([&](size_t r) {
+      if (dirty_->cell(r, col) != clean_->cell(r, col)) {
+        worklist.emplace_back(static_cast<uint32_t>(r),
+                              static_cast<uint32_t>(col));
+      } else {
+        ++metrics.cells_repaired;
+      }
+    });
+  };
+
+  while (true) {
+    if (worklist.empty()) {
+      // Detector-driven mode: examine the data again; every popped cell
+      // was repaired, so detection converges (each pass removes dirt).
+      if (!options_.detector_driven || refill_from_detector() == 0) break;
+    }
+    auto [row, col] = worklist.front();
+    worklist.pop_front();
+    if (dirty_->cell(row, col) == clean_->cell(row, col)) continue;
+
+    // ① The user repairs this cell.
+    ++metrics.user_updates;
+    if (metrics.user_updates > max_updates) {
+      metrics.converged = false;
+      if (options_.max_updates == 0) {
+        // The safety valve fired without an explicit cap: something is
+        // wrong (e.g. a mistake storm). An explicit cap is a deliberate
+        // partial run (scalability benchmarks) and stops silently.
+        FALCON_LOG(Warning) << "session aborted after " << max_updates
+                            << " user updates (mistake storm?)";
+      }
+      --metrics.user_updates;
+      return metrics;
+    }
+
+    std::string target(clean_->pool()->Get(clean_->cell(row, col)));
+    uint64_t cell_key = (static_cast<uint64_t>(row) << 16) | col;
+    if (options_.update_mistake_prob > 0.0 &&
+        !wrong_updated.count(cell_key) &&
+        update_rng.NextBool(options_.update_mistake_prob)) {
+      // Exp-5 case (i): a wrong update. Every generalization is invalid,
+      // the cell stays dirty, and the user revisits it later.
+      wrong_updated.insert(cell_key);
+      target += "_oops";
+      worklist.emplace_back(row, col);
+    }
+    Repair repair{row, col, target};
+
+    // ② Build the (partial) lattice and let the algorithm interact.
+    std::vector<size_t> candidates =
+        profiler.TopKAttributes(col, options_.lattice_attrs - 1);
+    auto t0 = std::chrono::steady_clock::now();
+    FALCON_ASSIGN_OR_RETURN(
+        Lattice lattice,
+        Lattice::Build(*dirty_, repair, candidates, lattice_options));
+    auto t1 = std::chrono::steady_clock::now();
+    metrics.lattice_build_ms +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ++metrics.lattices_built;
+
+    // D1: the most specific query (this tuple only) is valid a priori.
+    lattice.MarkValid(lattice.top());
+
+    SearchStats stats;
+    LatticeSearchContext ctx(&lattice, dirty_, oracle.get(), options_.budget,
+                             options_.use_closed_sets,
+                             options_.naive_maintenance, &profiler, &stats,
+                             on_apply);
+    ctx.set_tuning(options_.tuning);
+    ctx.set_repair_log(&log_);
+    if (options_.use_rule_history) ctx.set_rule_history(&history_);
+    algorithm_->OnSessionStart(metrics.user_updates - 1);
+    algorithm_->Run(ctx);
+    metrics.user_answers += ctx.answers_used();
+    metrics.queries_applied += stats.applies;
+
+    // ③ If nothing the user validated covered this cell, the user's manual
+    // fix takes effect as a plain cell write. (Not a query application:
+    // even the most specific query could spill onto a duplicate tuple with
+    // a different clean value — e.g. key-attribute repairs under the
+    // Appendix-B variant.)
+    if (dirty_->cell(row, col) != lattice.target_value()) {
+      log_.Record(lattice.NodeQuery(lattice.top()), col,
+                  {{row, dirty_->cell(row, col)}}, /*manual=*/true);
+      dirty_->set_cell(row, col, lattice.target_value());
+      posting_index.InvalidateColumn(col);
+      if (dirty_->cell(row, col) == clean_->cell(row, col)) {
+        ++metrics.cells_repaired;
+      } else {
+        worklist.emplace_back(row, col);  // Wrong update; revisit.
+      }
+    }
+    metrics.lattice_maintain_ms += stats.maintain_ms;
+  }
+
+  if (master_oracle != nullptr) {
+    metrics.master_answers = master_oracle->master_answers();
+  }
+  metrics.converged = dirty_->CountDiffCells(*clean_) == 0;
+  return metrics;
+}
+
+StatusOr<SessionMetrics> RunCleaning(const Table& clean, const Table& dirty,
+                                     SearchKind kind,
+                                     const SessionOptions& options) {
+  Table working = dirty.Clone();
+  std::unique_ptr<SearchAlgorithm> algorithm = MakeSearchAlgorithm(kind);
+  CleaningSession session(&clean, &working, algorithm.get(), options);
+  return session.Run();
+}
+
+}  // namespace falcon

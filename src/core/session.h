@@ -1,0 +1,135 @@
+// CleaningSession: the full FALCON workflow (Fig. 1) driven by a simulated
+// user until the dirty instance converges to the clean one.
+//
+// Loop: ① the user repairs one dirty cell (a user update, U); ② FALCON
+// builds the query lattice over the top-k correlated attributes and a
+// search algorithm asks up to B validity questions (user answers, A),
+// applying each validated query immediately; ③ if no applied query fixed
+// the user's own cell, the single-cell update (the lattice's top node) is
+// executed. The loop ends when no dirty cells remain.
+//
+// Metrics follow Section 6: T_C = U + A and benefit BNF = 1 − T_C/|errors|.
+#ifndef FALCON_CORE_SESSION_H_
+#define FALCON_CORE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "core/search.h"
+#include "core/violation_detector.h"
+#include "profiling/correlation.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// Configuration of one cleaning run.
+struct SessionOptions {
+  /// B: maximum user answers per update.
+  size_t budget = 3;
+  /// Total lattice attributes (the repaired attribute + top-(k−1)
+  /// correlated attributes; Section 5.1.1 partial materialization).
+  size_t lattice_attrs = 7;
+  /// Closed rule sets optimization (Section 5.2).
+  bool use_closed_sets = true;
+  /// Dive/CoDive tunables (d, w) and Ducc seed.
+  SearchTuning tuning;
+  /// Probability a validity answer is flipped (Exp-5).
+  double question_mistake_prob = 0.0;
+  /// Probability a user update writes a wrong value (Exp-5, case i). Each
+  /// cell suffers at most one wrong update, mirroring the paper's cycle
+  /// notification.
+  double update_mistake_prob = 0.0;
+  /// Lattice construction toggles (naive init, master-data variant).
+  LatticeOptions lattice;
+  /// Rebuild all affected sets after each applied rule instead of the
+  /// incremental maintenance (Fig. 8a strawman).
+  bool naive_maintenance = false;
+  /// Row sample used by the CORDS profiler (0 = full table).
+  size_t profile_sample_rows = 5000;
+  /// Cache predicate posting bitmaps across lattices (invalidated on each
+  /// applied repair's column).
+  bool use_posting_index = true;
+  /// Remember validated/invalidated rule shapes across updates and bias
+  /// CoDive toward historically fruitful attribute sets (the paper's §8
+  /// future-work direction). Off by default to match the paper's setup.
+  bool use_rule_history = false;
+  uint64_t seed = 1234;
+  /// Safety valve: abort after this many user updates (0 = 10·|errors|).
+  size_t max_updates = 0;
+  /// Optional master relation (Appendix B): rule patterns the master
+  /// covers are validated or refuted for free instead of consuming user
+  /// capacity. Must share the dirty table's ValuePool; attributes align by
+  /// name. Non-owning.
+  const Table* master = nullptr;
+  /// Detector-driven mode: instead of an omniscient dirty-cell worklist,
+  /// the user "examines the data" through the FD-violation detector and
+  /// repairs flagged cells; the run ends when detection comes up dry.
+  /// Residual errors the detector cannot see stay unrepaired
+  /// (converged=false reports them honestly).
+  bool detector_driven = false;
+  /// Detector configuration for detector_driven mode.
+  ViolationDetectorOptions detector;
+};
+
+/// Outcome of a cleaning run.
+struct SessionMetrics {
+  size_t user_updates = 0;        ///< U.
+  size_t user_answers = 0;        ///< A (billed to the user).
+  size_t master_answers = 0;      ///< Questions the master data answered.
+  size_t initial_errors = 0;      ///< |Q(T)|: dirty cells at start.
+  size_t cells_repaired = 0;      ///< Cells moved to their clean value.
+  size_t queries_applied = 0;     ///< Validated rules executed.
+  bool converged = false;         ///< Instance equals clean at the end.
+
+  double lattice_build_ms = 0.0;
+  double lattice_maintain_ms = 0.0;
+  size_t lattices_built = 0;
+
+  size_t TotalCost() const { return user_updates + user_answers; }
+  double Benefit() const {
+    return initial_errors == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(TotalCost()) /
+                           static_cast<double>(initial_errors);
+  }
+};
+
+/// Runs one cleaning workflow to convergence.
+class CleaningSession {
+ public:
+  /// `clean` is the ground truth (shared ValuePool with `dirty` required);
+  /// `dirty` is mutated in place. `algorithm` persists across updates.
+  CleaningSession(const Table* clean, Table* dirty,
+                  SearchAlgorithm* algorithm, SessionOptions options);
+
+  /// Executes the workflow; returns metrics (converged=false if the
+  /// safety-valve limit was hit).
+  StatusOr<SessionMetrics> Run();
+
+  /// Journal of every repair Run executed (rules and manual fixes), with
+  /// before-images; supports UndoLast against the dirty table.
+  const RepairLog& log() const { return log_; }
+  RepairLog& mutable_log() { return log_; }
+
+  /// Cross-update rule-shape memory (populated when
+  /// options.use_rule_history is set).
+  const RuleHistory& history() const { return history_; }
+
+ private:
+  const Table* clean_;
+  Table* dirty_;
+  SearchAlgorithm* algorithm_;
+  SessionOptions options_;
+  RepairLog log_;
+  RuleHistory history_;
+};
+
+/// Convenience: run `kind` over a fresh copy of `dirty`.
+StatusOr<SessionMetrics> RunCleaning(const Table& clean, const Table& dirty,
+                                     SearchKind kind,
+                                     const SessionOptions& options = {});
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_SESSION_H_

@@ -1,0 +1,152 @@
+#include "core/violation_detector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace falcon {
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+uint64_t CellKey(uint32_t row, size_t col) {
+  return (static_cast<uint64_t>(row) << 16) | static_cast<uint64_t>(col);
+}
+
+// One raw group violation before blame assignment.
+struct Violation {
+  uint32_t row = 0;
+  size_t fd_index = 0;
+  ValueId suggested = kNullValueId;  // Consensus of the RHS group.
+  double consensus = 0.0;
+};
+
+}  // namespace
+
+ViolationReport DetectViolations(const Table& table,
+                                 const ViolationDetectorOptions& options) {
+  ViolationReport report;
+  report.fds = DiscoverFds(table, options.discovery);
+
+  // Pass 1: collect group-minority violations per dependency. A violating
+  // row is evidence against ALL its cells on that dependency (the error
+  // may sit in the RHS or in an LHS attribute that teleported the row
+  // into the wrong group), so blame every involved cell and resolve per
+  // row afterwards.
+  std::unordered_map<uint64_t, uint32_t> blame;          // cell -> count.
+  std::unordered_map<uint64_t, Violation> rhs_evidence;  // cell -> best.
+  std::vector<uint32_t> violating_rows;
+  std::unordered_map<uint32_t, bool> seen_row;
+
+  for (size_t fi = 0; fi < report.fds.size(); ++fi) {
+    const DiscoveredFd& fd = report.fds[fi];
+    std::unordered_map<std::vector<ValueId>, std::vector<uint32_t>, VecHash>
+        groups;
+    std::vector<ValueId> key;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      key.clear();
+      bool has_null = false;
+      for (size_t c : fd.lhs) {
+        ValueId v = table.cell(r, c);
+        if (v == kNullValueId) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (has_null || table.cell(r, fd.rhs) == kNullValueId) continue;
+      groups[key].push_back(static_cast<uint32_t>(r));
+    }
+
+    for (const auto& [k, rows] : groups) {
+      if (rows.size() < options.min_group_rows) continue;
+      std::unordered_map<ValueId, uint32_t> counts;
+      for (uint32_t r : rows) ++counts[table.cell(r, fd.rhs)];
+      if (counts.size() < 2) continue;
+      ValueId consensus_value = kNullValueId;
+      uint32_t consensus_count = 0;
+      for (const auto& [v, n] : counts) {
+        if (n > consensus_count) {
+          consensus_count = n;
+          consensus_value = v;
+        }
+      }
+      double consensus = static_cast<double>(consensus_count) /
+                         static_cast<double>(rows.size());
+      if (consensus < options.min_consensus) continue;
+
+      for (uint32_t r : rows) {
+        if (table.cell(r, fd.rhs) == consensus_value) continue;
+        // Blame the RHS cell and every LHS cell of the violating row.
+        uint64_t rhs_key = CellKey(r, fd.rhs);
+        ++blame[rhs_key];
+        for (size_t c : fd.lhs) ++blame[CellKey(r, c)];
+        auto [it, inserted] = rhs_evidence.try_emplace(rhs_key);
+        if (inserted || consensus > it->second.consensus) {
+          it->second = Violation{r, fi, consensus_value, consensus};
+        }
+        if (!seen_row.count(r)) {
+          seen_row.emplace(r, true);
+          violating_rows.push_back(r);
+        }
+      }
+    }
+  }
+
+  // Pass 2: per violating row, flag the most-blamed cell (the error site a
+  // human would zero in on). Weakly blamed rows are dropped to keep
+  // precision: a single approximate dependency misfiring is not evidence.
+  for (uint32_t r : violating_rows) {
+    size_t best_col = 0;
+    uint32_t best_blame = 0;
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      auto it = blame.find(CellKey(r, c));
+      if (it == blame.end()) continue;
+      uint32_t b = it->second;
+      // Prefer cells with direct RHS evidence on ties (they carry a
+      // suggested repair).
+      bool better = b > best_blame ||
+                    (b == best_blame && rhs_evidence.count(CellKey(r, c)) &&
+                     !rhs_evidence.count(CellKey(r, best_col)));
+      if (better) {
+        best_blame = b;
+        best_col = c;
+      }
+    }
+    if (best_blame < options.min_blame) continue;
+
+    Suspect s;
+    s.row = r;
+    s.col = best_col;
+    s.current = table.cell(r, best_col);
+    auto ev = rhs_evidence.find(CellKey(r, best_col));
+    if (ev != rhs_evidence.end()) {
+      s.suggested = ev->second.suggested;
+      s.fd_index = ev->second.fd_index;
+      s.consensus = ev->second.consensus;
+    } else {
+      s.suggested = kNullValueId;  // Blamed as an LHS cell only.
+      s.fd_index = 0;
+      s.consensus = 0.0;
+    }
+    s.blame = best_blame;
+    report.suspects.push_back(s);
+  }
+
+  std::stable_sort(report.suspects.begin(), report.suspects.end(),
+                   [](const Suspect& a, const Suspect& b) {
+                     if (a.blame != b.blame) return a.blame > b.blame;
+                     return a.consensus > b.consensus;
+                   });
+  return report;
+}
+
+}  // namespace falcon

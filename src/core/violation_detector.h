@@ -1,0 +1,73 @@
+// ViolationDetector: suggests suspicious cells without ground truth. The
+// paper's workflow step ① ("the user examines the data and provides a
+// repair") presumes the user can find errors; this component automates the
+// examination by mining approximate FDs from the dirty instance and
+// flagging minority cells — rows whose RHS value disagrees with the
+// (dominant) consensus of their LHS group, together with the consensus as
+// a suggested repair.
+//
+// Combined with a CleaningSession this yields a fully
+// ground-truth-free loop: detect → user repairs a flagged cell → FALCON
+// generalizes (see examples/falcon_cli.cc `detect`).
+#ifndef FALCON_CORE_VIOLATION_DETECTOR_H_
+#define FALCON_CORE_VIOLATION_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "profiling/fd_discovery.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// One flagged cell with the evidence behind it.
+struct Suspect {
+  uint32_t row = 0;
+  size_t col = 0;
+  ValueId current = kNullValueId;
+  /// Consensus value of the cell's LHS group (the suggested repair).
+  ValueId suggested = kNullValueId;
+  /// The dependency whose group the cell violates.
+  size_t fd_index = 0;
+  /// Consensus strength: agreeing rows / group size (higher = stronger
+  /// evidence the flagged cell is wrong); 0 when the cell was blamed only
+  /// as an LHS participant (then `suggested` is NULL too).
+  double consensus = 0.0;
+  /// Number of dependency violations implicating this cell.
+  uint32_t blame = 0;
+};
+
+struct ViolationDetectorOptions {
+  FdDiscoveryOptions discovery;
+  /// Minimum fraction of the group agreeing on the consensus value for the
+  /// minority cells to be flagged.
+  double min_consensus = 0.7;
+  /// Minimum group size: tiny groups cannot out-vote their minority.
+  size_t min_group_rows = 3;
+  /// Minimum violations implicating a cell before it is reported.
+  uint32_t min_blame = 2;
+
+  ViolationDetectorOptions() {
+    // Dirty data: FDs hold only approximately, so discovery must tolerate
+    // the violations we are hunting — but staying above ~0.9 keeps
+    // incidental near-dependencies of the clean data from flooding the
+    // report with false positives.
+    discovery.min_confidence = 0.95;
+  }
+};
+
+/// Result of a detection pass.
+struct ViolationReport {
+  std::vector<DiscoveredFd> fds;       ///< Dependencies mined and used.
+  std::vector<Suspect> suspects;       ///< Flagged cells, strongest first.
+};
+
+/// Mines approximate FDs over `table` and flags group-minority cells.
+/// A cell flagged by several dependencies appears once, with its highest
+/// consensus.
+ViolationReport DetectViolations(const Table& table,
+                                 const ViolationDetectorOptions& options = {});
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_VIOLATION_DETECTOR_H_

@@ -1,0 +1,326 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+
+#include "datagen/generator.h"
+
+namespace falcon {
+namespace {
+
+AttrSpec Unique(std::string name, std::string prefix) {
+  AttrSpec a;
+  a.name = std::move(name);
+  a.kind = AttrSpec::Kind::kUnique;
+  a.prefix = std::move(prefix);
+  return a;
+}
+
+AttrSpec Cat(std::string name, std::string prefix, size_t domain,
+             double skew = 0.0) {
+  AttrSpec a;
+  a.name = std::move(name);
+  a.kind = AttrSpec::Kind::kCategorical;
+  a.prefix = std::move(prefix);
+  a.domain = domain;
+  a.skew = skew;
+  return a;
+}
+
+AttrSpec Derived(std::string name, std::string prefix, size_t domain,
+                 std::vector<std::string> parents) {
+  AttrSpec a;
+  a.name = std::move(name);
+  a.kind = AttrSpec::Kind::kDerived;
+  a.prefix = std::move(prefix);
+  a.domain = domain;
+  a.parents = std::move(parents);
+  return a;
+}
+
+RuleErrorSpec Rule(std::vector<std::string> lhs, std::string rhs,
+                   size_t patterns, size_t per_pattern) {
+  RuleErrorSpec r;
+  r.rule.lhs = std::move(lhs);
+  r.rule.rhs = std::move(rhs);
+  r.num_patterns = patterns;
+  r.errors_per_pattern = per_pattern;
+  return r;
+}
+
+}  // namespace
+
+StatusOr<Dataset> MakeSoccer(uint64_t seed) {
+  TableSpec spec;
+  spec.name = "soccer";
+  spec.num_rows = 1625;
+  spec.seed = seed;
+  spec.attrs = {
+      Unique("Player", "Player"),
+      Cat("Position", "Pos", 4),
+      Cat("Club", "Club", 40),
+      // Large derived domains keep Club → Stadium/Manager injective, so
+      // Manager → Stadium also holds (as on the real data).
+      Derived("Stadium", "Stadium", 1000000, {"Club"}),
+      Derived("Manager", "Manager", 1000000, {"Club"}),
+      Derived("ClubCountry", "Country", 10, {"Stadium"}),
+      // Pair-determined attribute: neither Club nor Position alone fixes it.
+      Derived("PlayerCountry", "PCountry", 20, {"Club", "Position"}),
+  };
+  spec.output_order = {"Player", "Club",          "ClubCountry", "Stadium",
+                       "Manager", "PlayerCountry", "Position"};
+  FALCON_ASSIGN_OR_RETURN(Table clean, GenerateTable(spec));
+
+  Dataset ds;
+  ds.name = "Soccer";
+  ds.clean = std::move(clean);
+  ds.error_spec.seed = seed + 1;
+  ds.error_spec.rule_errors = {
+      Rule({"Club"}, "Stadium", 1, 10),
+      Rule({"Club"}, "Manager", 1, 10),
+      Rule({"Stadium"}, "ClubCountry", 1, 10),
+      Rule({"Manager"}, "Stadium", 1, 10),
+      Rule({"Club"}, "ClubCountry", 1, 10),
+      Rule({"Club", "Position"}, "PlayerCountry", 3, 10),
+  };
+  ds.error_spec.num_random_errors = 2;
+  return ds;
+}
+
+StatusOr<Dataset> MakeHospital(size_t rows, uint64_t seed) {
+  // Rows are hospital × measure facts: ~20 measures per provider.
+  size_t providers = std::max<size_t>(rows / 20, 8);
+  TableSpec spec;
+  spec.name = "hospital";
+  spec.num_rows = rows;
+  spec.seed = seed;
+  spec.attrs = {
+      Cat("ProviderNumber", "Prov", providers),
+      Derived("HospitalName", "Hosp", 10000000, {"ProviderNumber"}),
+      Derived("Address", "Addr", 10000000, {"ProviderNumber"}),
+      Derived("ZipCode", "Zip", std::max<size_t>(providers / 2, 4),
+              {"ProviderNumber"}),
+      Derived("City", "City", 200, {"ZipCode"}),
+      Derived("State", "State", 50, {"City"}),
+      Derived("CountyName", "County", 150, {"City"}),
+      Derived("PhoneNumber", "Phone", 10000000, {"ProviderNumber"}),
+      Cat("MeasureCode", "MC", 40),
+      Derived("MeasureName", "Measure", 10000000, {"MeasureCode"}),
+      Derived("Condition", "Cond", 12, {"MeasureCode"}),
+      Cat("Score", "Score", 100),
+  };
+  // Hospital Compare exports lead with the measure block; the provider
+  // block follows. Both blocks are FD-dense (the paper notes the dataset
+  // is a highly denormalized join), which is what makes one-hop search
+  // competitive here.
+  spec.output_order = {"MeasureCode", "MeasureName",  "Condition",
+                       "ProviderNumber", "HospitalName", "Address",
+                       "City",        "State",        "ZipCode",
+                       "CountyName",  "PhoneNumber",  "Score"};
+  FALCON_ASSIGN_OR_RETURN(Table clean, GenerateTable(spec));
+
+  // Per-pattern quota scaled to expected group sizes (paper: 124 rules /
+  // 2000 errors at 100k rows; same density here).
+  size_t zip_group = rows / std::max<size_t>(providers / 2, 4);
+  size_t per = std::min<size_t>(16, std::max<size_t>(zip_group / 2, 2));
+
+  Dataset ds;
+  ds.name = "Hospital";
+  ds.clean = std::move(clean);
+  ds.error_spec.seed = seed + 1;
+  ds.error_spec.rule_errors = {
+      Rule({"ZipCode"}, "City", 20, per),
+      Rule({"ZipCode"}, "State", 20, per),
+      Rule({"City"}, "CountyName", 12, per),
+      Rule({"ProviderNumber"}, "PhoneNumber", 12, per),
+      Rule({"MeasureCode"}, "MeasureName", 20, per),
+      Rule({"MeasureCode"}, "Condition", 20, per),
+      Rule({"City"}, "State", 10, per),
+      Rule({"Address", "City"}, "State", 10, per),
+  };
+  ds.error_spec.num_random_errors = 16;
+  return ds;
+}
+
+StatusOr<Dataset> MakeBus(size_t rows, uint64_t seed) {
+  TableSpec spec;
+  spec.name = "bus";
+  spec.num_rows = rows;
+  spec.seed = seed;
+  // The derived attributes deliberately avoid sharing exact parent sets:
+  // two siblings of the same parents would be interchangeable proxies and
+  // would hand one-hop traversals shortcut paths the real data does not
+  // have (on the real BUS data one-hop search performs near-manually,
+  // Table 6).
+  spec.attrs = {
+      Cat("RouteId", "Route", 50),
+      Cat("Direction", "Dir", 2),
+      Cat("DayType", "Day", 3),
+      Cat("Timeband", "TB", 24),
+      Derived("Operator", "Oper", 15, {"RouteId"}),
+      Derived("Destination", "Dest", 90, {"RouteId", "Direction"}),
+      Derived("ServiceCode", "Svc", 140, {"RouteId", "DayType"}),
+      Derived("VehicleType", "Veh", 40, {"Operator", "DayType"}),
+      Cat("Locality", "Loc", 80),
+      Derived("AdminArea", "Area", 15, {"Locality"}),
+      Derived("NoteCode", "Note", 100, {"Locality", "Direction"}),
+      Cat("StopCode", "Stop", 250),
+      Derived("StopName", "SName", 10000000, {"StopCode"}),
+      Cat("StopLat", "Lat", 5000),
+      Cat("RecordType", "RT", 4),
+  };
+  spec.output_order = {"RecordType", "Timeband",   "StopLat",  "Operator",
+                       "Destination", "ServiceCode", "VehicleType",
+                       "AdminArea",  "NoteCode",   "StopName", "StopCode",
+                       "Locality",   "DayType",    "Direction", "RouteId"};
+  FALCON_ASSIGN_OR_RETURN(Table clean, GenerateTable(spec));
+
+  // Target ~4000 errors over 48 patterns, scaled with table size.
+  size_t pair_group = rows / 100;  // RouteId × Direction combos.
+  size_t per = std::max<size_t>(std::min<size_t>(85, pair_group * 2 / 3), 2);
+
+  Dataset ds;
+  ds.name = "BUS";
+  ds.clean = std::move(clean);
+  ds.error_spec.seed = seed + 1;
+  ds.error_spec.rule_errors = {
+      Rule({"RouteId", "Direction"}, "Destination", 12, per),
+      Rule({"RouteId", "DayType"}, "ServiceCode", 6, per),
+      Rule({"Operator", "DayType"}, "VehicleType", 6, per),
+      Rule({"Locality", "Direction"}, "NoteCode", 6, per),
+      Rule({"Locality"}, "AdminArea", 6, per),
+      Rule({"StopCode"}, "StopName", 6, per),
+      Rule({"RouteId"}, "Operator", 6, per),
+  };
+  ds.error_spec.num_random_errors = 24;
+  return ds;
+}
+
+StatusOr<Dataset> MakeDblp(size_t rows, uint64_t seed) {
+  TableSpec spec;
+  spec.name = "dblp";
+  spec.num_rows = rows;
+  spec.seed = seed;
+  spec.attrs = {
+      Unique("Key", "conf/x"),
+      Derived("Title", "Title", 100000000, {"Key"}),
+      Cat("FirstAuthor", "Author", 5000, 0.7),
+      Cat("Venue", "Venue", 100, 0.7),
+      Derived("VenueFull", "VFull", 10000000, {"Venue"}),
+      Derived("Type", "Type", 4, {"Venue"}),
+      Cat("Year", "Y", 10),
+      Cat("Pages", "Pg", 400),
+      Derived("Publisher", "Pub", 40, {"Venue"}),
+      Derived("PublisherCity", "PCity", 30, {"Publisher"}),
+      Derived("Issn", "ISSN", 10000000, {"Venue"}),
+      Derived("Ee", "http://doi/x", 100000000, {"Key"}),
+      // Conference edition location: determined by venue and year jointly
+      // (the pair-LHS rules that separate multi-hop from one-hop search).
+      Derived("Location", "Loc", 150, {"Venue", "Year"}),
+      Derived("LocCountry", "LC", 4, {"Location"}),
+      Cat("Volume", "Vol", 120),
+  };
+  spec.output_order = {"Key",      "Title",      "FirstAuthor", "Venue",
+                       "VenueFull", "Type",       "Publisher",
+                       "PublisherCity", "Issn",  "Ee",          "Location",
+                       "LocCountry", "Pages",    "Volume",      "Year"};
+  FALCON_ASSIGN_OR_RETURN(Table clean, GenerateTable(spec));
+
+  // 69 patterns (paper: 69 DBLP rules), mixing single-attribute venue
+  // rules with venue×year pair rules.
+  size_t venue_group = rows / 100;
+  size_t per = std::max<size_t>(std::min<size_t>(85, venue_group / 6), 2);
+  size_t pair_group = rows / 1000;
+  size_t per_pair = std::max<size_t>(std::min<size_t>(40, pair_group / 2), 2);
+
+  Dataset ds;
+  ds.name = "DBLP";
+  ds.clean = std::move(clean);
+  ds.error_spec.seed = seed + 1;
+  ds.error_spec.rule_errors = {
+      Rule({"Venue"}, "Publisher", 12, per),
+      Rule({"Venue"}, "VenueFull", 12, per),
+      Rule({"Venue"}, "Type", 6, per),
+      Rule({"Venue"}, "Issn", 12, per),
+      Rule({"Publisher"}, "PublisherCity", 7, per),
+      Rule({"Venue", "Year"}, "Location", 20, per_pair),
+  };
+  ds.error_spec.num_random_errors = 30;
+  return ds;
+}
+
+StatusOr<Dataset> MakeSynth(size_t rows, uint64_t seed) {
+  TableSpec spec;
+  spec.name = "synth";
+  spec.num_rows = rows;
+  spec.seed = seed;
+  // Three pair-determined targets (A5, A6, A7) plus an "echo" attribute
+  // derived from each target. The echoes are strongly associated with
+  // their targets without determining them, so the pairwise-correlation
+  // ranking cannot simply hand a one-hop traversal the right LHS — the
+  // regime where the paper's multi-hop search shines (Fig. 4, Table 6).
+  spec.attrs = {
+      Unique("A0", "K"),
+      Cat("A1", "B", 24),
+      Cat("A2", "C", 12),
+      Cat("A3", "D", 5),
+      Derived("A5", "F", 200, {"A1", "A2"}),
+      Derived("A6", "G", 50, {"A2", "A3"}),
+      Derived("A7", "H", 100, {"A1", "A3"}),
+      Derived("E5", "FE", 12, {"A5"}),
+      Derived("E6", "GE", 10, {"A6"}),
+      Derived("E7", "HE", 10, {"A7"}),
+  };
+  // Schema order lists the derived facts before the base dimensions, as a
+  // denormalized export would; the FD determinants are not the first
+  // columns a traversal encounters.
+  spec.output_order = {"A0", "A5", "A6", "A7", "E5",
+                       "E6", "E7", "A1", "A2", "A3"};
+  FALCON_ASSIGN_OR_RETURN(Table clean, GenerateTable(spec));
+
+  // 12 rule patterns (the paper's 12 Synth rules); per-pattern quotas scale
+  // with the corresponding group sizes so larger instances carry more
+  // errors (paper: 1640 errors at 10k rows, 15000 at 1M).
+  auto group = [&](size_t combos) { return rows / combos; };
+  size_t p2a = std::max<size_t>(std::min<size_t>(group(288) * 2 / 3, 300), 2);
+  size_t p2b = std::max<size_t>(std::min<size_t>(group(60) * 2 / 3, 300), 2);
+  size_t p2c = std::max<size_t>(std::min<size_t>(group(120) * 2 / 3, 300), 2);
+
+  Dataset ds;
+  ds.name = "Synth";
+  ds.clean = std::move(clean);
+  ds.error_spec.seed = seed + 1;
+  ds.error_spec.rule_errors = {
+      Rule({"A1", "A2"}, "A5", 4, p2a),
+      Rule({"A2", "A3"}, "A6", 4, p2b),
+      Rule({"A1", "A3"}, "A7", 4, p2c),
+  };
+  ds.error_spec.num_random_errors = rows / 500;
+  return ds;
+}
+
+DrugExample MakeDrugExample() {
+  Schema schema({"Date", "Molecule", "Laboratory", "Quantity"});
+  auto pool = std::make_shared<ValuePool>();
+  Table clean("T_drug", schema, pool);
+  clean.AppendRow({"11 Nov", "C16H16Cl", "Austin", "200"});
+  clean.AppendRow({"12 Nov", "C22H28F", "Austin", "200"});
+  clean.AppendRow({"12 Nov", "C24H75S6", "New York", "100"});
+  clean.AppendRow({"12 Nov", "statin", "Boston", "200"});
+  clean.AppendRow({"13 Nov", "C22H28F", "Austin", "200"});
+  clean.AppendRow({"15 Nov", "C17H20N", "Dubai", "150"});
+
+  Table dirty = clean.Clone();
+  // The paper's highlighted errors (Table 1): t2 and t5 hold the erroneous
+  // "statin" that query Q3 repairs; t4's "statin" (Boston) is correct.
+  dirty.SetCellText(1, 1, "statin");    // t2[Molecule]
+  dirty.SetCellText(2, 2, "N.Y.");      // t3[Laboratory]
+  dirty.SetCellText(2, 3, "1000");      // t3[Quantity]
+  dirty.SetCellText(4, 1, "statin");    // t5[Molecule]
+
+  DrugExample ex;
+  ex.dirty = std::move(dirty);
+  ex.clean = std::move(clean);
+  return ex;
+}
+
+}  // namespace falcon

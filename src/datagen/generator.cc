@@ -1,0 +1,115 @@
+#include "datagen/generator.h"
+
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace falcon {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string MakeValue(const std::string& prefix, uint64_t index) {
+  return prefix + "_" + std::to_string(index);
+}
+
+}  // namespace
+
+StatusOr<Table> GenerateTable(const TableSpec& spec) {
+  std::vector<std::string> attr_names;
+  attr_names.reserve(spec.attrs.size());
+  for (const AttrSpec& a : spec.attrs) attr_names.push_back(a.name);
+  Table table(spec.name, Schema(attr_names));
+
+  // Resolve parent indexes up front.
+  std::vector<std::vector<size_t>> parent_cols(spec.attrs.size());
+  for (size_t i = 0; i < spec.attrs.size(); ++i) {
+    const AttrSpec& a = spec.attrs[i];
+    if (a.kind != AttrSpec::Kind::kDerived) continue;
+    if (a.parents.empty()) {
+      return Status::InvalidArgument("derived attribute " + a.name +
+                                     " has no parents");
+    }
+    for (const std::string& p : a.parents) {
+      int c = table.schema().AttrIndex(p);
+      if (c < 0 || static_cast<size_t>(c) >= i) {
+        return Status::InvalidArgument(
+            "derived attribute " + a.name + " parent " + p +
+            " must be an earlier attribute");
+      }
+      parent_cols[i].push_back(static_cast<size_t>(c));
+    }
+    if (a.domain == 0) {
+      return Status::InvalidArgument("derived attribute " + a.name +
+                                     " needs a non-zero domain");
+    }
+  }
+
+  Rng rng(spec.seed);
+  std::vector<ValueId> row(spec.attrs.size());
+  // Per-attribute salt so different derived children of the same parents
+  // map independently.
+  std::vector<uint64_t> salt(spec.attrs.size());
+  for (size_t i = 0; i < spec.attrs.size(); ++i) {
+    salt[i] = SplitMix64(spec.seed * 1315423911ull + i * 2654435761ull);
+  }
+
+  for (size_t r = 0; r < spec.num_rows; ++r) {
+    for (size_t i = 0; i < spec.attrs.size(); ++i) {
+      const AttrSpec& a = spec.attrs[i];
+      switch (a.kind) {
+        case AttrSpec::Kind::kUnique: {
+          row[i] = table.Intern(MakeValue(a.prefix, r));
+          break;
+        }
+        case AttrSpec::Kind::kCategorical: {
+          uint64_t idx = (a.skew > 0.0) ? rng.NextSkewed(a.domain, a.skew)
+                                        : rng.NextUint(a.domain);
+          row[i] = table.Intern(MakeValue(a.prefix, idx));
+          break;
+        }
+        case AttrSpec::Kind::kDerived: {
+          uint64_t h = salt[i];
+          for (size_t pc : parent_cols[i]) {
+            h = SplitMix64(h ^ (static_cast<uint64_t>(row[pc]) + 0x517cc1b7ull));
+          }
+          row[i] = table.Intern(MakeValue(a.prefix, h % a.domain));
+          break;
+        }
+      }
+    }
+    table.AppendRowIds(row);
+  }
+
+  if (spec.output_order.empty()) return table;
+
+  // Re-emit columns in the requested schema order.
+  if (spec.output_order.size() != spec.attrs.size()) {
+    return Status::InvalidArgument("output_order must list every attribute");
+  }
+  std::vector<size_t> src_cols;
+  for (const std::string& name : spec.output_order) {
+    int c = table.schema().AttrIndex(name);
+    if (c < 0) {
+      return Status::InvalidArgument("output_order names unknown attribute " +
+                                     name);
+    }
+    src_cols.push_back(static_cast<size_t>(c));
+  }
+  Table out(spec.name, Schema(spec.output_order), table.pool());
+  std::vector<ValueId> ids(src_cols.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < src_cols.size(); ++i) {
+      ids[i] = table.cell(r, src_cols[i]);
+    }
+    out.AppendRowIds(ids);
+  }
+  return out;
+}
+
+}  // namespace falcon

@@ -1,0 +1,59 @@
+// Generic synthetic table generator. Datasets are described as attribute
+// specs: unique keys, skewed categorical draws, and derived attributes that
+// are exact functions of one or more parent attributes (so the FDs the
+// error injector relies on hold by construction).
+#ifndef FALCON_DATAGEN_GENERATOR_H_
+#define FALCON_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// How an attribute's values are produced.
+struct AttrSpec {
+  enum class Kind {
+    kUnique,       ///< Row-unique key like "P000017".
+    kCategorical,  ///< Skewed draw from a fixed domain.
+    kDerived,      ///< Deterministic function of parent attributes.
+  };
+
+  std::string name;
+  Kind kind = Kind::kCategorical;
+  /// Domain size for kCategorical / kDerived (number of distinct values the
+  /// derived mapping can produce).
+  size_t domain = 10;
+  /// Zipf skew for kCategorical (0 = uniform).
+  double skew = 0.0;
+  /// Parent attribute names for kDerived; must precede this attribute.
+  std::vector<std::string> parents;
+  /// Value prefix, e.g. "Club" produces "Club_17".
+  std::string prefix;
+};
+
+/// Whole-dataset recipe.
+struct TableSpec {
+  std::string name;
+  std::vector<AttrSpec> attrs;
+  size_t num_rows = 1000;
+  uint64_t seed = 7;
+  /// Optional schema column order for the emitted table (attribute names).
+  /// `attrs` stays in dependency order (parents before children); real
+  /// schemas rarely list determinants first, and lattice traversal order
+  /// follows the schema. Empty = keep `attrs` order.
+  std::vector<std::string> output_order;
+};
+
+/// Materializes the spec. Derived attributes are hash functions of their
+/// parents' value ids folded into `domain` buckets, so parent-set → child is
+/// an exact FD while no strict subset of the parents determines the child
+/// (with overwhelming probability for non-trivial domains).
+StatusOr<Table> GenerateTable(const TableSpec& spec);
+
+}  // namespace falcon
+
+#endif  // FALCON_DATAGEN_GENERATOR_H_

@@ -1,0 +1,79 @@
+#include "errorgen/cfd.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace falcon {
+
+std::string FdRule::ToString() const {
+  std::string out = "{" + Join(lhs, ", ") + "} -> " + rhs;
+  return out;
+}
+
+SqluQuery ConstantCfd::ToQuery(const std::string& table_name) const {
+  SqluQuery q;
+  q.table = table_name;
+  q.set_attr = rhs_attr;
+  q.set_value = rhs_value;
+  for (size_t i = 0; i < lhs_attrs.size(); ++i) {
+    q.where.push_back({lhs_attrs[i], lhs_values[i]});
+  }
+  q.Canonicalize();
+  return q;
+}
+
+std::string ConstantCfd::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < lhs_attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += lhs_attrs[i] + "=" + lhs_values[i];
+  }
+  out += ") -> " + rhs_attr + "=" + rhs_value;
+  return out;
+}
+
+bool FdHolds(const Table& table, const FdRule& rule) {
+  std::vector<size_t> lhs_cols;
+  for (const std::string& a : rule.lhs) {
+    int c = table.schema().AttrIndex(a);
+    if (c < 0) return false;
+    lhs_cols.push_back(static_cast<size_t>(c));
+  }
+  int rhs_col = table.schema().AttrIndex(rule.rhs);
+  if (rhs_col < 0) return false;
+
+  struct VecHash {
+    size_t operator()(const std::vector<ValueId>& v) const {
+      uint64_t h = 1469598103934665603ull;
+      for (ValueId x : v) {
+        h ^= x;
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<ValueId>, ValueId, VecHash> mapping;
+  std::vector<ValueId> key;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    key.clear();
+    bool has_null = false;
+    for (size_t c : lhs_cols) {
+      ValueId v = table.cell(r, c);
+      if (v == kNullValueId) {
+        has_null = true;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (has_null) continue;
+    ValueId rhs = table.cell(r, static_cast<size_t>(rhs_col));
+    if (rhs == kNullValueId) continue;
+    auto [it, inserted] = mapping.try_emplace(key, rhs);
+    if (!inserted && it->second != rhs) return false;
+  }
+  return true;
+}
+
+}  // namespace falcon

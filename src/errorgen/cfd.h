@@ -1,0 +1,50 @@
+// Rule types shared by the error injector, the dataset generators and the
+// RuleLearning baseline.
+//
+// FdRule is an attribute-level functional dependency X → A that holds on the
+// clean instance; the injector corrupts value groups along such rules so
+// that a single conjunctive SQLU query can repair each group (the paper's
+// BART "rule-based" errors).
+//
+// ConstantCfd is a constant conditional functional dependency
+// (X = x̄ → A = a): the pattern-level object mined by the RuleLearning
+// baseline and the unit the paper counts as one "rule" in its experiments.
+#ifndef FALCON_ERRORGEN_CFD_H_
+#define FALCON_ERRORGEN_CFD_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/sqlu.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// Attribute-level rule X → rhs.
+struct FdRule {
+  std::vector<std::string> lhs;
+  std::string rhs;
+
+  std::string ToString() const;
+};
+
+/// Constant CFD: (lhs_attrs = lhs_values) → rhs_attr = rhs_value.
+struct ConstantCfd {
+  std::vector<std::string> lhs_attrs;
+  std::vector<std::string> lhs_values;
+  std::string rhs_attr;
+  std::string rhs_value;
+
+  /// The SQLU repair query this CFD induces (SET rhs WHERE lhs pattern).
+  SqluQuery ToQuery(const std::string& table_name) const;
+
+  std::string ToString() const;
+};
+
+/// True iff the FD holds exactly on the table (every LHS value combination
+/// maps to a single RHS value). NULL rows are skipped.
+bool FdHolds(const Table& table, const FdRule& rule);
+
+}  // namespace falcon
+
+#endif  // FALCON_ERRORGEN_CFD_H_

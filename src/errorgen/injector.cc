@@ -1,0 +1,306 @@
+#include "errorgen/injector.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace falcon {
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+uint64_t CellKey(uint32_t row, uint32_t col) {
+  return (static_cast<uint64_t>(row) << 16) | col;
+}
+
+/// Produces a typo'd variant of `s`, guaranteed to differ from it.
+std::string Mangle(std::string_view s, Rng& rng) {
+  std::string out(s);
+  if (out.empty()) return "x";
+  switch (rng.NextUint(4)) {
+    case 0: {  // Swap two adjacent characters.
+      if (out.size() >= 2) {
+        size_t i = rng.NextUint(out.size() - 1);
+        std::swap(out[i], out[i + 1]);
+      }
+      break;
+    }
+    case 1: {  // Drop a character.
+      if (out.size() >= 2) out.erase(rng.NextUint(out.size()), 1);
+      break;
+    }
+    case 2: {  // Duplicate a character.
+      size_t i = rng.NextUint(out.size());
+      out.insert(out.begin() + static_cast<ptrdiff_t>(i), out[i]);
+      break;
+    }
+    default: {  // Replace a character.
+      size_t i = rng.NextUint(out.size());
+      out[i] = static_cast<char>('a' + rng.NextUint(26));
+      break;
+    }
+  }
+  if (out == s) out += "_x";
+  return out;
+}
+
+/// Abbreviation-style format corruption ("New York" → "N.Y.").
+/// Alphabetic tokens shrink to their initial; numeric tokens are kept so
+/// distinct clean values stay distinct after mangling ("Zip_12" → "Z.12",
+/// "Zip_13" → "Z.13").
+std::string FormatMangle(std::string_view s) {
+  std::string out;
+  std::string token;
+  auto flush = [&] {
+    if (token.empty()) return;
+    bool alpha = std::isalpha(static_cast<unsigned char>(token[0])) != 0;
+    if (alpha && token.size() > 1) {
+      out += token[0];
+      out += '.';
+    } else {
+      out += token;
+    }
+    token.clear();
+  };
+  for (char c : s) {
+    if (c == ' ' || c == '_' || c == '-') {
+      flush();
+    } else {
+      token += c;
+    }
+  }
+  flush();
+  if (out.empty() || out == s) out = std::string(s) + ".";
+  return out;
+}
+
+}  // namespace
+
+StatusOr<DirtyInstance> InjectErrors(const Table& clean,
+                                     const ErrorSpec& spec) {
+  DirtyInstance out;
+  out.dirty = clean.Clone();
+  Table& dirty = out.dirty;
+  Rng rng(spec.seed);
+  std::unordered_set<uint64_t> corrupted;
+
+  // --- Rule-based errors ------------------------------------------------
+  for (size_t ri = 0; ri < spec.rule_errors.size(); ++ri) {
+    const RuleErrorSpec& rspec = spec.rule_errors[ri];
+    std::vector<size_t> lhs_cols;
+    for (const std::string& a : rspec.rule.lhs) {
+      int c = clean.schema().AttrIndex(a);
+      if (c < 0) {
+        return Status::InvalidArgument("rule references unknown attribute " +
+                                       a);
+      }
+      lhs_cols.push_back(static_cast<size_t>(c));
+    }
+    int rhs_col_i = clean.schema().AttrIndex(rspec.rule.rhs);
+    if (rhs_col_i < 0) {
+      return Status::InvalidArgument("rule references unknown attribute " +
+                                     rspec.rule.rhs);
+    }
+    size_t rhs_col = static_cast<size_t>(rhs_col_i);
+    if (!FdHolds(clean, rspec.rule)) {
+      return Status::FailedPrecondition(
+          "rule " + rspec.rule.ToString() + " does not hold on clean data");
+    }
+
+    // Group rows by LHS value combination.
+    std::unordered_map<std::vector<ValueId>, std::vector<uint32_t>, VecHash>
+        groups;
+    std::vector<ValueId> key;
+    for (size_t r = 0; r < clean.num_rows(); ++r) {
+      key.clear();
+      bool has_null = false;
+      for (size_t c : lhs_cols) {
+        ValueId v = clean.cell(r, c);
+        if (v == kNullValueId) {
+          has_null = true;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (has_null || clean.cell(r, rhs_col) == kNullValueId) continue;
+      groups[key].push_back(static_cast<uint32_t>(r));
+    }
+
+    // Prefer groups big enough for the full per-pattern quota.
+    std::vector<const std::vector<uint32_t>*> candidates;
+    std::vector<std::vector<ValueId>> candidate_keys;
+    for (const auto& [k, rows] : groups) {
+      if (rows.size() >= rspec.errors_per_pattern) {
+        candidates.push_back(&rows);
+        candidate_keys.push_back(k);
+      }
+    }
+    if (candidates.size() < rspec.num_patterns) {
+      for (const auto& [k, rows] : groups) {
+        if (rows.size() < rspec.errors_per_pattern && rows.size() >= 2) {
+          candidates.push_back(&rows);
+          candidate_keys.push_back(k);
+        }
+      }
+    }
+    if (candidates.size() < rspec.num_patterns) {
+      return Status::FailedPrecondition(
+          "rule " + rspec.rule.ToString() + " has only " +
+          std::to_string(candidates.size()) + " eligible groups, need " +
+          std::to_string(rspec.num_patterns));
+    }
+
+    // Deterministic choice of pattern groups.
+    std::vector<size_t> order(candidates.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(order);
+
+    size_t taken = 0;
+    for (size_t oi = 0; oi < order.size() && taken < rspec.num_patterns;
+         ++oi) {
+      const std::vector<uint32_t>& rows = *candidates[order[oi]];
+      const std::vector<ValueId>& lhs_key = candidate_keys[order[oi]];
+      ValueId clean_rhs = clean.cell(rows[0], rhs_col);
+
+      // BART-style rule errors: each corrupted cell gets its own value
+      // drawn from the *active domain* of the RHS attribute (another
+      // group's legitimate value). The wrong values occur legitimately
+      // elsewhere in the column, so the whole-column standardization rule
+      // `WHERE A = wrong` is semantically invalid — only the LHS-pattern
+      // query repairs the group, exactly the paper's "statin" situation.
+      auto pick_donor = [&]() {
+        for (size_t tries = 0; tries < 10; ++tries) {
+          size_t donor = order[rng.NextUint(order.size())];
+          ValueId v = clean.cell((*candidates[donor])[0], rhs_col);
+          if (v != clean_rhs) return v;
+        }
+        return kNullValueId;
+      };
+
+      std::vector<uint32_t> shuffled = rows;
+      rng.Shuffle(shuffled);
+      size_t quota = std::min(rspec.errors_per_pattern, shuffled.size());
+      size_t injected = 0;
+      for (uint32_t r : shuffled) {
+        if (injected >= quota) break;
+        uint64_t ck = CellKey(r, static_cast<uint32_t>(rhs_col));
+        if (corrupted.count(ck)) continue;
+        ValueId dirty_rhs = pick_donor();
+        if (dirty_rhs == kNullValueId) break;  // Degenerate domain.
+        corrupted.insert(ck);
+        dirty.set_cell(r, rhs_col, dirty_rhs);
+        ErrorCell cell;
+        cell.row = r;
+        cell.col = static_cast<uint32_t>(rhs_col);
+        cell.clean_value = clean_rhs;
+        cell.dirty_value = dirty_rhs;
+        cell.source = ErrorSource::kRule;
+        cell.source_index = static_cast<int>(ri);
+        cell.pattern_index = static_cast<int>(taken);
+        out.errors.push_back(cell);
+        ++injected;
+      }
+      if (injected == 0) continue;
+
+      ConstantCfd cfd;
+      cfd.lhs_attrs = rspec.rule.lhs;
+      for (ValueId v : lhs_key) {
+        cfd.lhs_values.emplace_back(clean.pool()->Get(v));
+      }
+      cfd.rhs_attr = rspec.rule.rhs;
+      cfd.rhs_value = std::string(clean.pool()->Get(clean_rhs));
+      out.injected_patterns.push_back(std::move(cfd));
+      ++taken;
+    }
+    if (taken < rspec.num_patterns) {
+      return Status::Internal("could not place all patterns for rule " +
+                              rspec.rule.ToString());
+    }
+  }
+
+  // --- Format (standardization) errors -----------------------------------
+  size_t placed_formats = 0;
+  std::unordered_set<uint64_t> used_format;  // (col, value) pairs consumed.
+  for (size_t attempt = 0;
+       attempt < spec.num_format_patterns * 50 &&
+       placed_formats < spec.num_format_patterns;
+       ++attempt) {
+    size_t col = rng.NextUint(clean.num_cols());
+    // Pick the value of a random row; frequent values are hit more often.
+    uint32_t seed_row = static_cast<uint32_t>(rng.NextUint(clean.num_rows()));
+    ValueId v = dirty.cell(seed_row, col);
+    if (v == kNullValueId) continue;
+    uint64_t fk = (static_cast<uint64_t>(col) << 32) | v;
+    if (used_format.count(fk)) continue;
+
+    // Collect occurrences still clean in this column.
+    std::vector<uint32_t> rows;
+    for (size_t r = 0; r < dirty.num_rows(); ++r) {
+      if (dirty.cell(r, col) == v &&
+          !corrupted.count(CellKey(static_cast<uint32_t>(r),
+                                   static_cast<uint32_t>(col)))) {
+        rows.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    if (rows.size() < 3) continue;  // Not worth a standardization pattern.
+    std::string wrong = FormatMangle(dirty.pool()->Get(v));
+    ValueId wrong_id = dirty.Intern(wrong);
+    if (wrong_id == v) continue;
+    used_format.insert(fk);
+    for (uint32_t r : rows) {
+      corrupted.insert(CellKey(r, static_cast<uint32_t>(col)));
+      dirty.set_cell(r, col, wrong_id);
+      ErrorCell cell;
+      cell.row = r;
+      cell.col = static_cast<uint32_t>(col);
+      cell.clean_value = v;
+      cell.dirty_value = wrong_id;
+      cell.source = ErrorSource::kFormat;
+      cell.source_index = static_cast<int>(placed_formats);
+      cell.pattern_index = 0;
+      out.errors.push_back(cell);
+    }
+    ++placed_formats;
+  }
+
+  // --- Random single-cell errors ------------------------------------------
+  for (size_t i = 0; i < spec.num_random_errors; ++i) {
+    for (size_t attempt = 0; attempt < 1000; ++attempt) {
+      uint32_t r = static_cast<uint32_t>(rng.NextUint(clean.num_rows()));
+      uint32_t c = static_cast<uint32_t>(rng.NextUint(clean.num_cols()));
+      if (corrupted.count(CellKey(r, c))) continue;
+      ValueId v = dirty.cell(r, c);
+      if (v == kNullValueId) continue;
+      std::string wrong = Mangle(dirty.pool()->Get(v), rng);
+      ValueId wrong_id = dirty.Intern(wrong);
+      if (wrong_id == v) continue;
+      corrupted.insert(CellKey(r, c));
+      dirty.set_cell(r, c, wrong_id);
+      ErrorCell cell;
+      cell.row = r;
+      cell.col = c;
+      cell.clean_value = v;
+      cell.dirty_value = wrong_id;
+      cell.source = ErrorSource::kRandom;
+      out.errors.push_back(cell);
+      break;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace falcon

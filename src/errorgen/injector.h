@@ -1,0 +1,82 @@
+// BART-style error injection (Arocena et al., PVLDB 2015), as used by the
+// paper to systematically dirty clean instances while recording ground
+// truth. Three error kinds are supported:
+//
+//  * Rule errors — pick value groups along an FD X → A of the clean data
+//    and overwrite the group's A cells with one shared wrong value. One
+//    group ≡ one constant CFD ≡ one "rule" in the paper's experiment
+//    counts; a single conjunctive SQLU repairs the whole group.
+//  * Format errors — rewrite every occurrence of one clean value of an
+//    attribute into one wrong spelling ("New York" → "N.Y."); repairable by
+//    the standardization query `WHERE A = wrong` (what OpenRefine offers).
+//  * Random errors — independent single-cell typos with no exploitable
+//    pattern; only a cell-specific update fixes them.
+#ifndef FALCON_ERRORGEN_INJECTOR_H_
+#define FALCON_ERRORGEN_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "errorgen/cfd.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// Injection recipe for one FD rule.
+struct RuleErrorSpec {
+  FdRule rule;
+  /// Number of distinct LHS-value groups to corrupt (the paper's per-rule
+  /// constant patterns).
+  size_t num_patterns = 1;
+  /// Cells corrupted within each group (capped at group size).
+  size_t errors_per_pattern = 10;
+};
+
+/// Full injection configuration for a dataset.
+struct ErrorSpec {
+  std::vector<RuleErrorSpec> rule_errors;
+  /// Standardization patterns: (attribute, all-occurrence misspellings).
+  size_t num_format_patterns = 0;
+  /// Independent single-cell typos.
+  size_t num_random_errors = 0;
+  uint64_t seed = 1;
+};
+
+/// Where an injected error came from.
+enum class ErrorSource { kRule, kFormat, kRandom };
+
+/// Ground truth for one injected error cell.
+struct ErrorCell {
+  uint32_t row = 0;
+  uint32_t col = 0;
+  ValueId clean_value = kNullValueId;
+  ValueId dirty_value = kNullValueId;
+  ErrorSource source = ErrorSource::kRandom;
+  /// For kRule: index into ErrorSpec::rule_errors; for kFormat: pattern
+  /// index; -1 for kRandom.
+  int source_index = -1;
+  /// For kRule / kFormat: which pattern group within the source.
+  int pattern_index = -1;
+};
+
+/// A dirtied instance plus its ground truth. `dirty` shares the clean
+/// table's ValuePool, so ids are comparable across the two tables.
+struct DirtyInstance {
+  Table dirty;
+  std::vector<ErrorCell> errors;
+  /// The constant CFDs corresponding to each injected rule pattern (the
+  /// queries an ideal repair process would discover).
+  std::vector<ConstantCfd> injected_patterns;
+};
+
+/// Injects errors per `spec`. Fails if a rule references unknown attributes,
+/// does not hold on the clean table, or has fewer eligible groups than
+/// `num_patterns`.
+StatusOr<DirtyInstance> InjectErrors(const Table& clean,
+                                     const ErrorSpec& spec);
+
+}  // namespace falcon
+
+#endif  // FALCON_ERRORGEN_INJECTOR_H_

@@ -1,0 +1,49 @@
+// Umbrella header: the FALCON public API in one include.
+//
+//   #include "falcon.h"
+//
+//   auto dataset = falcon::MakeSoccer().value();
+//   auto dirty   = falcon::InjectErrors(dataset.clean,
+//                                       dataset.error_spec).value();
+//   auto metrics = falcon::RunCleaning(dataset.clean, dirty.dirty,
+//                                      falcon::SearchKind::kCoDive,
+//                                      {}).value();
+//
+// Individual components can be included directly from their subdirectories
+// (relational/, profiling/, core/, ...) for faster builds.
+#ifndef FALCON_FALCON_H_
+#define FALCON_FALCON_H_
+
+#include "baselines/active_learning.h"
+#include "baselines/cfd_miner.h"
+#include "baselines/refine.h"
+#include "baselines/rule_learning.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/lattice.h"
+#include "core/master_oracle.h"
+#include "core/oracle.h"
+#include "core/repair_log.h"
+#include "core/rule_history.h"
+#include "core/search.h"
+#include "core/search_algorithms.h"
+#include "core/session.h"
+#include "core/violation_detector.h"
+#include "datagen/datasets.h"
+#include "datagen/generator.h"
+#include "errorgen/cfd.h"
+#include "errorgen/injector.h"
+#include "ml/linear_svm.h"
+#include "profiling/correlation.h"
+#include "profiling/fd_discovery.h"
+#include "relational/csv.h"
+#include "relational/posting_index.h"
+#include "relational/schema.h"
+#include "relational/select.h"
+#include "relational/sqlu.h"
+#include "relational/sqlu_parser.h"
+#include "relational/table.h"
+#include "transform/transformations.h"
+
+#endif  // FALCON_FALCON_H_

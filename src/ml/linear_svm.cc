@@ -1,0 +1,72 @@
+#include "ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace falcon {
+
+LinearSvm::LinearSvm(uint32_t dimension, double lambda, uint64_t seed)
+    : weights_(dimension, 0.0), lambda_(lambda), seed_(seed) {}
+
+void LinearSvm::Train(const std::vector<SparseVector>& features,
+                      const std::vector<int>& labels, size_t epochs) {
+  for (double& w : weights_) w = 0.0;
+  bias_ = 0.0;
+  if (features.empty()) {
+    trained_ = false;
+    return;
+  }
+  Rng rng(seed_);
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Pegasos with lazy L2 scaling: the true weight vector is scale * v.
+  std::vector<double>& v = weights_;
+  double scale = 1.0;
+  size_t t = 1;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t i : order) {
+      // Pegasos schedule, capped: the raw 1/(λt) step is enormous for the
+      // first iterations and makes the unregularized bias oscillate.
+      double eta = std::min(1.0, 1.0 / (lambda_ * static_cast<double>(t)));
+      double y = labels[i];
+      double margin = bias_;
+      for (const auto& [idx, val] : features[i].entries) {
+        if (idx < v.size()) margin += scale * v[idx] * val;
+      }
+      double shrink = 1.0 - eta * lambda_;
+      if (shrink < 1e-9) shrink = 1e-9;
+      scale *= shrink;
+      if (y * margin < 1.0) {
+        for (const auto& [idx, val] : features[i].entries) {
+          if (idx < v.size()) v[idx] += eta * y * val / scale;
+        }
+        bias_ += eta * y;
+      }
+      ++t;
+      if (scale < 1e-100) {  // Renormalize to avoid underflow.
+        for (double& w : v) w *= scale;
+        scale = 1.0;
+      }
+    }
+  }
+  for (double& w : v) w *= scale;
+  trained_ = true;
+}
+
+double LinearSvm::Margin(const SparseVector& x) const {
+  double m = bias_;
+  for (const auto& [idx, v] : x.entries) {
+    if (idx < weights_.size()) m += weights_[idx] * v;
+  }
+  return m;
+}
+
+double LinearSvm::Probability(const SparseVector& x) const {
+  return 1.0 / (1.0 + std::exp(-2.0 * Margin(x)));
+}
+
+}  // namespace falcon

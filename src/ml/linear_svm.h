@@ -1,0 +1,51 @@
+// Minimal linear SVM (hinge loss, SGD) with sigmoid probability
+// calibration — the stand-in for LIBSVM used by the ActiveLearning
+// baseline (Appendix C). Features are sparse hashed indicator vectors.
+#ifndef FALCON_ML_LINEAR_SVM_H_
+#define FALCON_ML_LINEAR_SVM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace falcon {
+
+/// Sparse feature vector: (index, value) pairs with indexes < dimension.
+struct SparseVector {
+  std::vector<std::pair<uint32_t, float>> entries;
+
+  void Add(uint32_t index, float value) { entries.emplace_back(index, value); }
+};
+
+/// Linear SVM trained by stochastic subgradient descent on hinge loss with
+/// L2 regularization (Pegasos-style step sizes).
+class LinearSvm {
+ public:
+  explicit LinearSvm(uint32_t dimension, double lambda = 1e-4,
+                     uint64_t seed = 31);
+
+  /// Trains from scratch on the given examples (labels ±1).
+  void Train(const std::vector<SparseVector>& features,
+             const std::vector<int>& labels, size_t epochs = 20);
+
+  /// Raw margin w·x + b.
+  double Margin(const SparseVector& x) const;
+
+  /// Calibrated probability of the +1 class (logistic over the margin).
+  double Probability(const SparseVector& x) const;
+
+  bool trained() const { return trained_; }
+  uint32_t dimension() const { return static_cast<uint32_t>(weights_.size()); }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  double lambda_;
+  uint64_t seed_;
+  bool trained_ = false;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_ML_LINEAR_SVM_H_

@@ -1,0 +1,196 @@
+#include "profiling/correlation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace falcon {
+namespace {
+
+// Hash for a vector<ValueId> key (joint value combination).
+struct VecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Deterministic row sample: evenly strided rows, at most `max` of them.
+std::vector<uint32_t> SampleRows(size_t num_rows, size_t max) {
+  std::vector<uint32_t> rows;
+  if (max == 0 || num_rows <= max) {
+    rows.resize(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) rows[i] = static_cast<uint32_t>(i);
+    return rows;
+  }
+  rows.reserve(max);
+  double stride = static_cast<double>(num_rows) / static_cast<double>(max);
+  for (size_t i = 0; i < max; ++i) {
+    rows.push_back(static_cast<uint32_t>(static_cast<double>(i) * stride));
+  }
+  return rows;
+}
+
+// Returns true and fills `key` iff the row has no NULL among `cols`.
+bool RowKey(const Table& table, uint32_t row, const std::vector<size_t>& cols,
+            std::vector<ValueId>* key) {
+  key->clear();
+  for (size_t c : cols) {
+    ValueId v = table.cell(row, c);
+    if (v == kNullValueId) return false;
+    key->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+double FdSupport(const Table& table, const std::vector<size_t>& x_cols,
+                 size_t b_col, const CorrelationOptions& options) {
+  std::vector<size_t> lhs = x_cols;
+  std::vector<size_t> all = x_cols;
+  all.push_back(b_col);
+  std::unordered_set<std::vector<ValueId>, VecHash> d_lhs, d_all;
+  std::vector<ValueId> key;
+  for (uint32_t row : SampleRows(table.num_rows(), options.max_sample_rows)) {
+    if (!RowKey(table, row, all, &key)) continue;
+    d_all.insert(key);
+    key.pop_back();
+    d_lhs.insert(key);
+  }
+  if (d_all.empty()) return 0.0;
+  return static_cast<double>(d_lhs.size()) / static_cast<double>(d_all.size());
+}
+
+double ChiSquared(const Table& table, const std::vector<size_t>& cols,
+                  const CorrelationOptions& options) {
+  const size_t k = cols.size();
+  FALCON_CHECK(k >= 2);
+
+  // Joint and marginal frequency tables over non-null rows.
+  std::unordered_map<std::vector<ValueId>, double, VecHash> joint;
+  std::vector<std::unordered_map<ValueId, double>> marginals(k);
+  double n = 0;
+  std::vector<ValueId> key;
+  for (uint32_t row : SampleRows(table.num_rows(), options.max_sample_rows)) {
+    if (!RowKey(table, row, cols, &key)) continue;
+    joint[key] += 1.0;
+    for (size_t j = 0; j < k; ++j) marginals[j][key[j]] += 1.0;
+    n += 1.0;
+  }
+  if (n == 0) return 0.0;
+
+  // chi^2 = sum_observed (o - e)^2 / e  +  sum_unobserved e.
+  // The unobserved total equals n - sum_observed e because the expected
+  // counts over the full product space sum to n.
+  double chi2 = 0.0;
+  double observed_expected_sum = 0.0;
+  for (const auto& [combo, obs] : joint) {
+    double e = n;
+    for (size_t j = 0; j < k; ++j) {
+      e *= marginals[j].at(combo[j]) / n;
+    }
+    double d = obs - e;
+    chi2 += d * d / e;
+    observed_expected_sum += e;
+  }
+  chi2 += n - observed_expected_sum;
+  return chi2;
+}
+
+double CorrelationScore(const Table& table, const std::vector<size_t>& x_cols,
+                        size_t b_col, const CorrelationOptions& options) {
+  if (x_cols.empty()) return 0.0;
+  // Soft FD check first (the CORDS fast path).
+  if (FdSupport(table, x_cols, b_col, options) >= options.soft_fd_threshold) {
+    return 1.0;
+  }
+
+  std::vector<size_t> all = x_cols;
+  all.push_back(b_col);
+  const size_t k = all.size();
+
+  // Distinct counts (m_i) over non-null rows, needed for q.
+  std::vector<std::unordered_set<ValueId>> distinct(k);
+  std::vector<ValueId> key;
+  double n = 0;
+  for (uint32_t row : SampleRows(table.num_rows(), options.max_sample_rows)) {
+    if (!RowKey(table, row, all, &key)) continue;
+    for (size_t j = 0; j < k; ++j) distinct[j].insert(key[j]);
+    n += 1.0;
+  }
+  if (n == 0) return 0.0;
+
+  double prod_m = 1.0;
+  double sum_m = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    prod_m *= static_cast<double>(distinct[j].size());
+    sum_m += static_cast<double>(distinct[j].size());
+  }
+  double q = prod_m - sum_m + static_cast<double>(k) - 1.0;
+  if (q <= 0.0) return 0.0;  // Degenerate: some attribute is constant.
+
+  double chi2 = ChiSquared(table, all, options);
+  double score = chi2 / (n * q);
+  return std::clamp(score, 0.0, 1.0);
+}
+
+CordsProfiler::CordsProfiler(const Table* table, CorrelationOptions options)
+    : table_(table), options_(options) {}
+
+double CordsProfiler::PairCorrelation(size_t a_col, size_t b_col) {
+  auto [it, inserted] = pair_cache_.try_emplace({a_col, b_col}, 0.0);
+  if (inserted) {
+    it->second = CorrelationScore(*table_, {a_col}, b_col, options_);
+  }
+  return it->second;
+}
+
+double CordsProfiler::SetCorrelation(const std::vector<size_t>& x_cols,
+                                     size_t b_col) {
+  if (x_cols.empty()) return 0.0;
+  if (x_cols.size() == 1) return PairCorrelation(x_cols[0], b_col);
+  std::vector<size_t> sorted = x_cols;
+  std::sort(sorted.begin(), sorted.end());
+  auto [it, inserted] = set_cache_.try_emplace({sorted, b_col}, 0.0);
+  if (inserted) {
+    it->second = CorrelationScore(*table_, sorted, b_col, options_);
+  }
+  return it->second;
+}
+
+std::vector<size_t> CordsProfiler::TopKAttributes(size_t target, size_t k) {
+  if (distinct_ratio_.empty()) {
+    distinct_ratio_.resize(table_->num_cols());
+    for (size_t c = 0; c < table_->num_cols(); ++c) {
+      distinct_ratio_[c] =
+          table_->num_rows() == 0
+              ? 0.0
+              : static_cast<double>(table_->DistinctCount(c)) /
+                    static_cast<double>(table_->num_rows());
+    }
+  }
+  std::vector<std::pair<double, size_t>> scored;
+  for (size_t c = 0; c < table_->num_cols(); ++c) {
+    if (c == target) continue;
+    if (distinct_ratio_[c] > options_.key_ratio_threshold) continue;
+    scored.emplace_back(PairCorrelation(c, target), c);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<size_t> out;
+  for (size_t i = 0; i < scored.size() && i < k; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace falcon

@@ -1,0 +1,82 @@
+// CORDS-style correlation profiling (Ilyas et al., SIGMOD 2004), modified as
+// in the FALCON paper (Section 4.2.2) to score the correlation between a SET
+// of attributes X and a single attribute B:
+//
+//   cor(X, B) = chi^2 / (n * q)                            (Eq. 1)
+//   chi^2     = sum over joint value combos of X ∪ {B}
+//               of (observed - expected)^2 / expected      (Eq. 2)
+//   expected  = n * prod_j (marginal frequency of v_j / n) (Eq. 3)
+//   q         = prod_i m_i - sum_i m_i + k - 1             (Eq. 4)
+//
+// where k = |X ∪ {B}| and m_i = #distinct values of the i-th attribute.
+// Soft functional dependencies (support above a threshold) score 1.0.
+// Rows with NULL in any involved attribute are ignored.
+#ifndef FALCON_PROFILING_CORRELATION_H_
+#define FALCON_PROFILING_CORRELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace falcon {
+
+/// Tunables for correlation profiling.
+struct CorrelationOptions {
+  /// sup(X, B) at or above this is declared a soft FD (score 1.0).
+  double soft_fd_threshold = 0.8;
+  /// If non-zero and the table is larger, profile a deterministic sample of
+  /// this many rows (CORDS' sampling step).
+  size_t max_sample_rows = 0;
+  /// TopKAttributes skips near-key columns (distinct/rows above this):
+  /// CORDS prunes key columns up front, and a key trivially soft-FDs every
+  /// attribute without ever generalizing a repair.
+  double key_ratio_threshold = 0.9;
+};
+
+/// Soft-FD support of X → B: |distinct(X)| / |distinct(X ∪ {B})| over
+/// non-null rows. Equals 1.0 iff X functionally determines B.
+double FdSupport(const Table& table, const std::vector<size_t>& x_cols,
+                 size_t b_col, const CorrelationOptions& options = {});
+
+/// The paper's cor(X, B) in [0, 1]; 1.0 for soft FDs.
+double CorrelationScore(const Table& table, const std::vector<size_t>& x_cols,
+                        size_t b_col, const CorrelationOptions& options = {});
+
+/// Chi-squared statistic over the joint contingency table of `cols`
+/// (exposed for tests; reproduces the paper's Example 7 value 12.67 on the
+/// drug dataset).
+double ChiSquared(const Table& table, const std::vector<size_t>& cols,
+                  const CorrelationOptions& options = {});
+
+/// Caching profiler used by lattice construction (partial materialization)
+/// and by the CoDive search strategy.
+class CordsProfiler {
+ public:
+  explicit CordsProfiler(const Table* table, CorrelationOptions options = {});
+
+  /// cor({a}, b): pairwise correlation, cached.
+  double PairCorrelation(size_t a_col, size_t b_col);
+
+  /// cor(X, b) for an attribute set, cached.
+  double SetCorrelation(const std::vector<size_t>& x_cols, size_t b_col);
+
+  /// The k attributes most correlated with `target` (by pairwise score,
+  /// descending; `target` itself excluded). Ties break by column order.
+  std::vector<size_t> TopKAttributes(size_t target, size_t k);
+
+  const CorrelationOptions& options() const { return options_; }
+
+ private:
+  const Table* table_;
+  CorrelationOptions options_;
+  std::vector<double> distinct_ratio_;  // Lazily computed key detector.
+  std::map<std::pair<size_t, size_t>, double> pair_cache_;
+  std::map<std::pair<std::vector<size_t>, size_t>, double> set_cache_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_PROFILING_CORRELATION_H_

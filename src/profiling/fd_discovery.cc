@@ -1,0 +1,174 @@
+#include "profiling/fd_discovery.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace falcon {
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Deterministic strided sample, shared with the correlation profiler.
+std::vector<uint32_t> SampleRows(size_t num_rows, size_t max) {
+  std::vector<uint32_t> rows;
+  if (max == 0 || num_rows <= max) {
+    rows.resize(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) rows[i] = static_cast<uint32_t>(i);
+    return rows;
+  }
+  rows.reserve(max);
+  double stride = static_cast<double>(num_rows) / static_cast<double>(max);
+  for (size_t i = 0; i < max; ++i) {
+    rows.push_back(static_cast<uint32_t>(static_cast<double>(i) * stride));
+  }
+  return rows;
+}
+
+/// Confidence of lhs → rhs: Σ_group max value count / Σ_group size.
+struct Evaluation {
+  double confidence = 0.0;
+  size_t groups = 0;
+  double avg_group = 0.0;
+};
+
+Evaluation Evaluate(const Table& table, const std::vector<uint32_t>& rows,
+                    const std::vector<size_t>& lhs, size_t rhs) {
+  std::unordered_map<std::vector<ValueId>,
+                     std::unordered_map<ValueId, uint32_t>, VecHash>
+      groups;
+  std::vector<ValueId> key;
+  size_t counted = 0;
+  for (uint32_t r : rows) {
+    key.clear();
+    bool has_null = false;
+    for (size_t c : lhs) {
+      ValueId v = table.cell(r, c);
+      if (v == kNullValueId) {
+        has_null = true;
+        break;
+      }
+      key.push_back(v);
+    }
+    ValueId rv = table.cell(r, rhs);
+    if (has_null || rv == kNullValueId) continue;
+    ++groups[key][rv];
+    ++counted;
+  }
+  Evaluation eval;
+  if (counted == 0) return eval;
+  size_t agree = 0;
+  for (const auto& [k, value_counts] : groups) {
+    uint32_t best = 0;
+    for (const auto& [v, n] : value_counts) best = std::max(best, n);
+    agree += best;
+  }
+  eval.confidence = static_cast<double>(agree) / static_cast<double>(counted);
+  eval.groups = groups.size();
+  eval.avg_group =
+      static_cast<double>(counted) / static_cast<double>(groups.size());
+  return eval;
+}
+
+}  // namespace
+
+std::string DiscoveredFd::ToString(const Schema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute(lhs[i]);
+  }
+  out += "} -> " + schema.attribute(rhs);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " (conf %.3f)", confidence);
+  return out + buf;
+}
+
+std::vector<DiscoveredFd> DiscoverFds(const Table& table,
+                                      const FdDiscoveryOptions& options) {
+  std::vector<DiscoveredFd> found;
+  const size_t n_cols = table.num_cols();
+  std::vector<uint32_t> rows =
+      SampleRows(table.num_rows(), options.max_sample_rows);
+  if (rows.empty()) return found;
+
+  // Key-like columns are excluded outright.
+  std::vector<bool> keyish(n_cols, false);
+  for (size_t c = 0; c < n_cols; ++c) {
+    keyish[c] = static_cast<double>(table.DistinctCount(c)) >
+                options.key_ratio_threshold *
+                    static_cast<double>(table.num_rows());
+  }
+
+  // Minimality bookkeeping: (sorted lhs, rhs) sets already covered by an
+  // emitted subset dependency.
+  std::set<std::pair<std::vector<size_t>, size_t>> emitted;
+  auto covered_by_subset = [&](const std::vector<size_t>& lhs, size_t rhs) {
+    if (lhs.size() < 2) return false;
+    for (size_t skip = 0; skip < lhs.size(); ++skip) {
+      std::vector<size_t> sub;
+      for (size_t i = 0; i < lhs.size(); ++i) {
+        if (i != skip) sub.push_back(lhs[i]);
+      }
+      if (emitted.count({sub, rhs})) return true;
+    }
+    return false;
+  };
+
+  // Level-wise enumeration of LHS sets.
+  std::vector<std::vector<size_t>> level;
+  for (size_t c = 0; c < n_cols; ++c) {
+    if (!keyish[c]) level.push_back({c});
+  }
+  for (size_t depth = 1; depth <= options.max_lhs; ++depth) {
+    for (const std::vector<size_t>& lhs : level) {
+      for (size_t rhs = 0; rhs < n_cols; ++rhs) {
+        if (keyish[rhs]) continue;
+        if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) continue;
+        if (covered_by_subset(lhs, rhs)) continue;
+        Evaluation eval = Evaluate(table, rows, lhs, rhs);
+        if (eval.confidence < options.min_confidence) continue;
+        if (eval.avg_group < options.min_avg_group) continue;
+        emitted.insert({lhs, rhs});
+        DiscoveredFd fd;
+        fd.lhs = lhs;
+        fd.rhs = rhs;
+        fd.confidence = eval.confidence;
+        fd.groups = eval.groups;
+        found.push_back(std::move(fd));
+      }
+    }
+    if (depth == options.max_lhs) break;
+    // Grow the next level: extend each set with a higher-indexed column.
+    std::vector<std::vector<size_t>> next;
+    for (const std::vector<size_t>& lhs : level) {
+      for (size_t c = lhs.back() + 1; c < n_cols; ++c) {
+        if (keyish[c]) continue;
+        std::vector<size_t> grown = lhs;
+        grown.push_back(c);
+        next.push_back(std::move(grown));
+      }
+    }
+    level = std::move(next);
+  }
+
+  std::stable_sort(found.begin(), found.end(),
+                   [](const DiscoveredFd& a, const DiscoveredFd& b) {
+                     if (a.lhs.size() != b.lhs.size()) {
+                       return a.lhs.size() < b.lhs.size();
+                     }
+                     return a.confidence > b.confidence;
+                   });
+  return found;
+}
+
+}  // namespace falcon

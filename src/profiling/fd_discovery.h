@@ -1,0 +1,57 @@
+// Level-wise discovery of (approximate) functional dependencies, in the
+// spirit of TANE: candidate LHS sets are grown level by level, pruned by
+// minimality, and scored by confidence (the fraction of rows that agree
+// with the majority RHS value of their LHS group).
+//
+// FALCON uses discovered FDs two ways (Appendix D.1): to seed the
+// correlation profile with exact soft-FD facts, and — in this repo's
+// no-ground-truth workflow — to drive the violation detector that suggests
+// suspicious cells to the user.
+#ifndef FALCON_PROFILING_FD_DISCOVERY_H_
+#define FALCON_PROFILING_FD_DISCOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace falcon {
+
+/// One discovered dependency lhs → rhs.
+struct DiscoveredFd {
+  std::vector<size_t> lhs;
+  size_t rhs = 0;
+  /// Fraction of (non-null) rows whose rhs value equals their LHS group's
+  /// majority value: 1.0 = exact FD.
+  double confidence = 1.0;
+  /// Number of distinct LHS groups supporting the dependency.
+  size_t groups = 0;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+struct FdDiscoveryOptions {
+  /// Maximum LHS attributes.
+  size_t max_lhs = 2;
+  /// Report dependencies with at least this confidence (< 1 admits
+  /// approximate FDs over dirty data).
+  double min_confidence = 0.98;
+  /// LHS groups must average at least this many rows (filters key-like
+  /// LHSs whose "dependencies" are vacuous).
+  double min_avg_group = 2.0;
+  /// Skip near-key columns on either side (distinct/rows above this).
+  double key_ratio_threshold = 0.9;
+  /// Optional deterministic row sample (0 = all rows).
+  size_t max_sample_rows = 0;
+};
+
+/// Discovers minimal (approximate) FDs: a dependency is suppressed when a
+/// subset of its LHS already determines the same RHS at the confidence
+/// threshold. Results are ordered by (|lhs|, confidence desc).
+std::vector<DiscoveredFd> DiscoverFds(const Table& table,
+                                      const FdDiscoveryOptions& options = {});
+
+}  // namespace falcon
+
+#endif  // FALCON_PROFILING_FD_DISCOVERY_H_

@@ -1,0 +1,118 @@
+#include "relational/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace falcon {
+namespace {
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// trailing newline. Handles quoted fields with embedded commas/newlines.
+std::vector<std::string> ParseRecord(const std::string& content, size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < content.size(); ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // Swallow; handled by the following '\n' if present.
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+bool NeedsQuoting(std::string_view s) {
+  return s.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void WriteField(std::ostream& os, std::string_view s) {
+  if (!NeedsQuoting(s)) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+StatusOr<Table> ReadCsvString(const std::string& content,
+                              const std::string& table_name,
+                              std::shared_ptr<ValuePool> pool) {
+  size_t pos = 0;
+  if (content.empty()) {
+    return Status::InvalidArgument("empty CSV content");
+  }
+  std::vector<std::string> header = ParseRecord(content, &pos);
+  Table table(table_name, Schema(header), std::move(pool));
+  while (pos < content.size()) {
+    std::vector<std::string> record = ParseRecord(content, &pos);
+    if (record.size() == 1 && record[0].empty()) continue;  // Blank line.
+    if (record.size() != header.size()) {
+      std::ostringstream msg;
+      msg << "row " << table.num_rows() + 1 << " has " << record.size()
+          << " fields, expected " << header.size();
+      return Status::InvalidArgument(msg.str());
+    }
+    table.AppendRow(record);
+  }
+  return table;
+}
+
+StatusOr<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                        std::shared_ptr<ValuePool> pool) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), table_name, std::move(pool));
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    if (c > 0) out << ',';
+    WriteField(out, table.schema().attribute(c));
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      if (c > 0) out << ',';
+      WriteField(out, table.CellText(r, c));
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace falcon

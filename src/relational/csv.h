@@ -1,0 +1,28 @@
+// CSV import/export for Table: RFC-4180-style quoting, first line = header.
+#ifndef FALCON_RELATIONAL_CSV_H_
+#define FALCON_RELATIONAL_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// Reads a CSV file into a table named `table_name`. The first line supplies
+/// attribute names. If `pool` is null a fresh pool is created.
+StatusOr<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                        std::shared_ptr<ValuePool> pool = nullptr);
+
+/// Parses CSV content from a string (used by tests).
+StatusOr<Table> ReadCsvString(const std::string& content,
+                              const std::string& table_name,
+                              std::shared_ptr<ValuePool> pool = nullptr);
+
+/// Writes the table to `path`, quoting fields that need it.
+Status WriteCsv(const Table& table, const std::string& path);
+
+}  // namespace falcon
+
+#endif  // FALCON_RELATIONAL_CSV_H_

@@ -1,0 +1,63 @@
+// PostingIndex: lazily built, cached posting bitmaps for (column = value)
+// predicates. Lattice construction scans each bound predicate once per
+// session; across a cleaning run the same constants recur (group values,
+// frequent categories), so caching them amortizes the scans. Updates to a
+// column invalidate its cached entries.
+#ifndef FALCON_RELATIONAL_POSTING_INDEX_H_
+#define FALCON_RELATIONAL_POSTING_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/row_set.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+class PostingIndex {
+ public:
+  /// `table` must outlive the index.
+  explicit PostingIndex(const Table* table)
+      : table_(table), cache_(table->num_cols()) {}
+
+  PostingIndex(const PostingIndex&) = delete;
+  PostingIndex& operator=(const PostingIndex&) = delete;
+
+  /// Rows where `col` equals `v`. First call scans the column; later calls
+  /// are cache hits until the column is invalidated.
+  const RowSet& Postings(size_t col, ValueId v) {
+    auto [it, inserted] = cache_[col].try_emplace(v);
+    if (inserted) {
+      it->second = table_->ScanEquals(col, v);
+      ++misses_;
+    } else {
+      ++hits_;
+    }
+    return it->second;
+  }
+
+  /// Drops cached postings of `col` (call after updating any cell in it).
+  void InvalidateColumn(size_t col) { cache_[col].clear(); }
+
+  void InvalidateAll() {
+    for (auto& m : cache_) m.clear();
+  }
+
+  size_t cached_entries() const {
+    size_t n = 0;
+    for (const auto& m : cache_) n += m.size();
+    return n;
+  }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  const Table* table_;
+  std::vector<std::unordered_map<ValueId, RowSet>> cache_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_RELATIONAL_POSTING_INDEX_H_

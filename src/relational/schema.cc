@@ -1,0 +1,17 @@
+#include "relational/schema.h"
+
+namespace falcon {
+
+Schema::Schema(std::vector<std::string> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_.emplace(attributes_[i], static_cast<int>(i));
+  }
+}
+
+int Schema::AttrIndex(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace falcon

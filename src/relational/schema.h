@@ -1,0 +1,40 @@
+// Relation schema: an ordered list of named attributes. FALCON's SQLU
+// queries only need attribute identity and ordering, so the schema is
+// type-less: every value is a dictionary-encoded string.
+#ifndef FALCON_RELATIONAL_SCHEMA_H_
+#define FALCON_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace falcon {
+
+/// Ordered attribute list with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attributes);
+
+  /// Number of attributes (the paper's |R|, the relation arity).
+  size_t arity() const { return attributes_.size(); }
+
+  const std::string& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  /// Returns the position of `name`, or -1 if absent.
+  int AttrIndex(std::string_view name) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<std::string> attributes_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_RELATIONAL_SCHEMA_H_

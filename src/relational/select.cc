@@ -1,0 +1,324 @@
+#include "relational/select.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace falcon {
+namespace {
+
+// Token scanner shared in spirit with the SQLU parser but tailored to the
+// SELECT fragment (commas, parentheses, '*').
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  StatusOr<std::string> Next(bool* was_quoted) {
+    *was_quoted = false;
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) return std::string();
+    char c = input_[pos_];
+    if (c == '\'' || c == '"') {
+      *was_quoted = true;
+      return Quoted(c);
+    }
+    if (c == '=' || c == ';' || c == ',' || c == '(' || c == ')' ||
+        c == '*') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size()) {
+      char d = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(d)) || d == '=' ||
+          d == ';' || d == ',' || d == '(' || d == ')' || d == '\'' ||
+          d == '"') {
+        break;
+      }
+      ++pos_;
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::string> Peek(bool* was_quoted) {
+    size_t saved = pos_;
+    auto tok = Next(was_quoted);
+    pos_ = saved;
+    return tok;
+  }
+
+ private:
+  StatusOr<std::string> Quoted(char quote) {
+    ++pos_;
+    std::string out;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_++];
+      if (c == quote) {
+        if (quote == '\'' && pos_ < input_.size() && input_[pos_] == '\'') {
+          out += '\'';
+          ++pos_;
+          continue;
+        }
+        return out;
+      }
+      out += c;
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+Status Malformed(const std::string& detail) {
+  return Status::InvalidArgument("malformed SELECT statement: " + detail);
+}
+
+bool LooksNumeric(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<SelectQuery> ParseSelect(std::string_view sql) {
+  Lexer lex(sql);
+  bool quoted = false;
+  SelectQuery query;
+
+  FALCON_ASSIGN_OR_RETURN(std::string tok, lex.Next(&quoted));
+  if (!EqualsIgnoreCase(tok, "SELECT")) return Malformed("expected SELECT");
+
+  // Projection list.
+  while (true) {
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    if (tok.empty()) return Malformed("unterminated projection list");
+    if (tok == "*") {
+      query.star = true;
+    } else if (EqualsIgnoreCase(tok, "COUNT")) {
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+      if (tok != "(") return Malformed("expected COUNT(*)");
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+      if (tok != "*") return Malformed("expected COUNT(*)");
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+      if (tok != ")") return Malformed("expected COUNT(*)");
+      query.count_star = true;
+    } else {
+      query.columns.push_back(tok);
+    }
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    if (EqualsIgnoreCase(tok, "FROM")) break;
+    if (tok != ",") return Malformed("expected ',' or FROM");
+  }
+
+  FALCON_ASSIGN_OR_RETURN(query.table, lex.Next(&quoted));
+  if (query.table.empty()) return Malformed("expected table name");
+
+  FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+  if (EqualsIgnoreCase(tok, "WHERE")) {
+    while (true) {
+      Predicate pred;
+      FALCON_ASSIGN_OR_RETURN(pred.attr, lex.Next(&quoted));
+      if (pred.attr.empty()) return Malformed("expected WHERE attribute");
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+      if (tok != "=") return Malformed("expected '=' in WHERE");
+      FALCON_ASSIGN_OR_RETURN(pred.value, lex.Next(&quoted));
+      if (pred.value.empty() && !quoted) {
+        return Malformed("expected WHERE value");
+      }
+      query.where.push_back(std::move(pred));
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+      if (!EqualsIgnoreCase(tok, "AND")) break;
+    }
+  }
+
+  if (EqualsIgnoreCase(tok, "GROUP")) {
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    if (!EqualsIgnoreCase(tok, "BY")) return Malformed("expected GROUP BY");
+    FALCON_ASSIGN_OR_RETURN(std::string col, lex.Next(&quoted));
+    if (col.empty()) return Malformed("expected GROUP BY column");
+    query.group_by = col;
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+  }
+
+  if (EqualsIgnoreCase(tok, "ORDER")) {
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    if (!EqualsIgnoreCase(tok, "BY")) return Malformed("expected ORDER BY");
+    FALCON_ASSIGN_OR_RETURN(std::string col, lex.Next(&quoted));
+    if (col.empty()) return Malformed("expected ORDER BY column");
+    query.order_by = col;
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    if (EqualsIgnoreCase(tok, "DESC")) {
+      query.order_desc = true;
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    } else if (EqualsIgnoreCase(tok, "ASC")) {
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    }
+  }
+
+  if (EqualsIgnoreCase(tok, "LIMIT")) {
+    FALCON_ASSIGN_OR_RETURN(std::string n, lex.Next(&quoted));
+    int64_t v = ParseInt64(n);
+    if (v < 0) return Malformed("expected LIMIT count");
+    query.limit = static_cast<size_t>(v);
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+  }
+
+  if (!tok.empty() && tok != ";") return Malformed("unexpected token " + tok);
+  if (!query.star && query.columns.empty() && !query.count_star) {
+    return Malformed("empty projection");
+  }
+  return query;
+}
+
+StatusOr<Table> ExecuteSelect(const Table& table, const SelectQuery& query) {
+  // Resolve the WHERE clause.
+  std::vector<std::pair<size_t, ValueId>> preds;
+  bool impossible = false;
+  for (const Predicate& p : query.where) {
+    int col = table.schema().AttrIndex(p.attr);
+    if (col < 0) {
+      return Status::InvalidArgument("unknown WHERE attribute: " + p.attr);
+    }
+    ValueId v = table.Lookup(p.value);
+    if (v == kNullValueId && !p.value.empty()) impossible = true;
+    preds.emplace_back(static_cast<size_t>(col), v);
+  }
+  RowSet rows = impossible ? RowSet(table.num_rows())
+                           : table.ScanConjunction(preds);
+
+  // Resolve projection columns.
+  std::vector<size_t> proj;
+  if (query.star) {
+    for (size_t c = 0; c < table.num_cols(); ++c) proj.push_back(c);
+  } else {
+    for (const std::string& name : query.columns) {
+      int c = table.schema().AttrIndex(name);
+      if (c < 0) {
+        return Status::InvalidArgument("unknown column: " + name);
+      }
+      proj.push_back(static_cast<size_t>(c));
+    }
+  }
+
+  std::vector<std::string> out_names;
+  Table result;
+
+  if (query.group_by.has_value()) {
+    int gcol_i = table.schema().AttrIndex(*query.group_by);
+    if (gcol_i < 0) {
+      return Status::InvalidArgument("unknown GROUP BY column: " +
+                                     *query.group_by);
+    }
+    size_t gcol = static_cast<size_t>(gcol_i);
+    for (size_t c : proj) {
+      if (c != gcol) {
+        return Status::InvalidArgument(
+            "projection must be the grouped column (plus COUNT(*))");
+      }
+    }
+    // Grouped result: group value [+ count].
+    out_names.push_back(*query.group_by);
+    if (query.count_star) out_names.push_back("count");
+    result = Table("result", Schema(out_names), table.pool());
+
+    std::map<ValueId, size_t> counts;  // Ordered for determinism.
+    rows.ForEach([&](size_t r) { ++counts[table.cell(r, gcol)]; });
+    for (const auto& [v, n] : counts) {
+      std::vector<ValueId> row_ids;
+      row_ids.push_back(v);
+      if (query.count_star) {
+        row_ids.push_back(result.Intern(std::to_string(n)));
+      }
+      result.AppendRowIds(row_ids);
+    }
+  } else {
+    for (size_t c : proj) out_names.push_back(table.schema().attribute(c));
+    if (query.count_star) out_names.push_back("count");
+    if (query.count_star && proj.empty()) {
+      // Plain COUNT(*).
+      result = Table("result", Schema(out_names), table.pool());
+      result.AppendRow({std::to_string(rows.Count())});
+    } else if (query.count_star) {
+      return Status::InvalidArgument(
+          "COUNT(*) with plain columns requires GROUP BY");
+    } else {
+      result = Table("result", Schema(out_names), table.pool());
+      std::vector<ValueId> row_ids(proj.size());
+      rows.ForEach([&](size_t r) {
+        for (size_t i = 0; i < proj.size(); ++i) {
+          row_ids[i] = table.cell(r, proj[i]);
+        }
+        result.AppendRowIds(row_ids);
+      });
+    }
+  }
+
+  // ORDER BY over the materialized result.
+  if (query.order_by.has_value()) {
+    int ocol_i = result.schema().AttrIndex(*query.order_by);
+    if (ocol_i < 0) {
+      return Status::InvalidArgument("unknown ORDER BY column: " +
+                                     *query.order_by);
+    }
+    size_t ocol = static_cast<size_t>(ocol_i);
+    std::vector<uint32_t> order(result.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<uint32_t>(i);
+    }
+    bool numeric = true;
+    for (size_t r = 0; r < result.num_rows() && numeric; ++r) {
+      numeric = LooksNumeric(result.CellText(r, ocol));
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       std::string_view va = result.CellText(a, ocol);
+                       std::string_view vb = result.CellText(b, ocol);
+                       bool less = numeric
+                                       ? ParseInt64(va) < ParseInt64(vb)
+                                       : va < vb;
+                       return query.order_desc
+                                  ? (numeric ? ParseInt64(va) > ParseInt64(vb)
+                                             : va > vb)
+                                  : less;
+                     });
+    Table sorted("result", result.schema(), result.pool());
+    std::vector<ValueId> ids(result.num_cols());
+    for (uint32_t r : order) {
+      for (size_t c = 0; c < result.num_cols(); ++c) {
+        ids[c] = result.cell(r, c);
+      }
+      sorted.AppendRowIds(ids);
+    }
+    result = std::move(sorted);
+  }
+
+  // LIMIT.
+  if (query.limit.has_value() && result.num_rows() > *query.limit) {
+    Table limited("result", result.schema(), result.pool());
+    std::vector<ValueId> ids(result.num_cols());
+    for (size_t r = 0; r < *query.limit; ++r) {
+      for (size_t c = 0; c < result.num_cols(); ++c) {
+        ids[c] = result.cell(r, c);
+      }
+      limited.AppendRowIds(ids);
+    }
+    result = std::move(limited);
+  }
+  return result;
+}
+
+StatusOr<Table> RunSelect(const Table& table, std::string_view sql) {
+  FALCON_ASSIGN_OR_RETURN(SelectQuery query, ParseSelect(sql));
+  return ExecuteSelect(table, query);
+}
+
+}  // namespace falcon

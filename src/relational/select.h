@@ -1,0 +1,55 @@
+// A small SELECT engine over Table — the inspection counterpart to SQLU:
+//
+//   SELECT <cols | *> [, COUNT(*)] FROM T
+//     [WHERE a = 'v' AND b = 'w']
+//     [GROUP BY col]
+//     [ORDER BY col [DESC]]
+//     [LIMIT n];
+//
+// Semantics:
+//  * WHERE is a conjunction of equality predicates (the same fragment SQLU
+//    uses).
+//  * With GROUP BY, the projection may name only the grouped column and
+//    COUNT(*).
+//  * ORDER BY sorts lexicographically (numerically when every key parses
+//    as an integer — covers COUNT(*) ordering).
+//
+// The result is materialized as a new Table sharing the source's pool.
+#ifndef FALCON_RELATIONAL_SELECT_H_
+#define FALCON_RELATIONAL_SELECT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/sqlu.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// Parsed SELECT statement.
+struct SelectQuery {
+  std::vector<std::string> columns;  ///< Empty with star=true means all.
+  bool star = false;
+  bool count_star = false;
+  std::string table;
+  std::vector<Predicate> where;
+  std::optional<std::string> group_by;
+  std::optional<std::string> order_by;
+  bool order_desc = false;
+  std::optional<size_t> limit;
+};
+
+/// Parses the SELECT fragment; InvalidArgument on malformed input.
+StatusOr<SelectQuery> ParseSelect(std::string_view sql);
+
+/// Executes against `table`; the result shares the source ValuePool.
+StatusOr<Table> ExecuteSelect(const Table& table, const SelectQuery& query);
+
+/// Convenience: parse + execute.
+StatusOr<Table> RunSelect(const Table& table, std::string_view sql);
+
+}  // namespace falcon
+
+#endif  // FALCON_RELATIONAL_SELECT_H_

@@ -1,0 +1,113 @@
+#include "relational/sqlu.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace falcon {
+
+void SqluQuery::Canonicalize() {
+  std::sort(where.begin(), where.end(),
+            [](const Predicate& a, const Predicate& b) {
+              return a.attr < b.attr;
+            });
+}
+
+std::string SqluQuery::ToSql() const {
+  std::string sql = "UPDATE " + table + " SET " + set_attr + " = " +
+                    SqlQuote(set_value);
+  if (!where.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += where[i].attr + " = " + SqlQuote(where[i].value);
+    }
+  }
+  sql += ";";
+  return sql;
+}
+
+bool SqluQuery::operator==(const SqluQuery& other) const {
+  SqluQuery a = *this;
+  SqluQuery b = other;
+  a.Canonicalize();
+  b.Canonicalize();
+  return a.table == b.table && a.set_attr == b.set_attr &&
+         a.set_value == b.set_value && a.where == b.where;
+}
+
+bool Contains(const SqluQuery& general, const SqluQuery& specific) {
+  if (general.set_attr != specific.set_attr ||
+      general.set_value != specific.set_value) {
+    return false;
+  }
+  for (const Predicate& p : general.where) {
+    if (std::find(specific.where.begin(), specific.where.end(), p) ==
+        specific.where.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Resolves the query against the table: SET column index, SET value id and
+// (column, value-id) pairs for the WHERE clause. A WHERE constant that was
+// never interned matches no rows; we signal that through `impossible`.
+struct ResolvedQuery {
+  size_t set_col = 0;
+  ValueId set_value = kNullValueId;
+  std::vector<std::pair<size_t, ValueId>> preds;
+  bool impossible = false;
+};
+
+StatusOr<ResolvedQuery> Resolve(const Table& table, const SqluQuery& query) {
+  ResolvedQuery out;
+  int set_col = table.schema().AttrIndex(query.set_attr);
+  if (set_col < 0) {
+    return Status::InvalidArgument("unknown SET attribute: " + query.set_attr);
+  }
+  out.set_col = static_cast<size_t>(set_col);
+  out.set_value = table.Lookup(query.set_value);
+  for (const Predicate& p : query.where) {
+    int col = table.schema().AttrIndex(p.attr);
+    if (col < 0) {
+      return Status::InvalidArgument("unknown WHERE attribute: " + p.attr);
+    }
+    ValueId v = table.Lookup(p.value);
+    if (v == kNullValueId && !p.value.empty()) {
+      out.impossible = true;  // Constant not present anywhere in the pool.
+    }
+    out.preds.emplace_back(static_cast<size_t>(col), v);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<RowSet> AffectedRows(const Table& table, const SqluQuery& query) {
+  FALCON_ASSIGN_OR_RETURN(ResolvedQuery rq, Resolve(table, query));
+  if (rq.impossible) return RowSet(table.num_rows());
+  RowSet rows = table.ScanConjunction(rq.preds);
+  // Exclude rows already holding the SET value: the UPDATE is a no-op there.
+  if (rq.set_value != kNullValueId || query.set_value.empty()) {
+    RowSet already = table.ScanEquals(rq.set_col, rq.set_value);
+    rows.AndNot(already);
+  }
+  return rows;
+}
+
+StatusOr<size_t> ApplyQuery(Table& table, const SqluQuery& query) {
+  FALCON_ASSIGN_OR_RETURN(RowSet rows, AffectedRows(table, query));
+  ValueId new_value = table.Intern(query.set_value);
+  int set_col = table.schema().AttrIndex(query.set_attr);
+  size_t changed = 0;
+  rows.ForEach([&](size_t r) {
+    table.set_cell(r, static_cast<size_t>(set_col), new_value);
+    ++changed;
+  });
+  return changed;
+}
+
+}  // namespace falcon

@@ -1,0 +1,65 @@
+// SQLU: the paper's repair language — single-attribute SQL UPDATE statements
+// with conjunctive equality WHERE clauses:
+//
+//   UPDATE T SET A = a' WHERE B1 = v1 AND ... AND Bm = vm
+//
+// This header defines the query representation, containment reasoning,
+// evaluation (affected rows) and application against a Table, plus SQL
+// printing. Parsing lives in sqlu_parser.h.
+#ifndef FALCON_RELATIONAL_SQLU_H_
+#define FALCON_RELATIONAL_SQLU_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row_set.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// One conjunct `attr = value` of a WHERE clause.
+struct Predicate {
+  std::string attr;
+  std::string value;
+
+  bool operator==(const Predicate& other) const {
+    return attr == other.attr && value == other.value;
+  }
+};
+
+/// A conjunctive single-attribute SQL UPDATE statement.
+struct SqluQuery {
+  std::string table;
+  std::string set_attr;
+  std::string set_value;
+  std::vector<Predicate> where;  ///< Empty = unconditional update.
+
+  /// Sorts WHERE predicates by attribute name (canonical form used by
+  /// equality and containment checks).
+  void Canonicalize();
+
+  /// Renders the statement as SQL text.
+  std::string ToSql() const;
+
+  bool operator==(const SqluQuery& other) const;
+};
+
+/// Returns true iff `specific` ≤ `general` (the paper's Q ≤ Q'): both
+/// queries have the same SET clause and every predicate of `general` appears
+/// in `specific`. For queries generated from one user repair this coincides
+/// with attr(general) ⊆ attr(specific).
+bool Contains(const SqluQuery& general, const SqluQuery& specific);
+
+/// Rows the query would change: rows matching the WHERE clause whose current
+/// SET-attribute value differs from the SET value (updates that would be
+/// no-ops are not "affected" — their repair is empty). Errors if the query
+/// references unknown attributes.
+StatusOr<RowSet> AffectedRows(const Table& table, const SqluQuery& query);
+
+/// Applies the query, returning the number of changed rows.
+StatusOr<size_t> ApplyQuery(Table& table, const SqluQuery& query);
+
+}  // namespace falcon
+
+#endif  // FALCON_RELATIONAL_SQLU_H_

@@ -1,0 +1,123 @@
+#include "relational/sqlu_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/str_util.h"
+
+namespace falcon {
+namespace {
+
+// Minimal tokenizer over the SQLU fragment.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Returns the next token, or empty string at end. Quoted strings are
+  /// returned unquoted with escapes resolved; `was_quoted` reports quoting.
+  StatusOr<std::string> Next(bool* was_quoted) {
+    *was_quoted = false;
+    SkipSpace();
+    if (pos_ >= input_.size()) return std::string();
+    char c = input_[pos_];
+    if (c == '\'' || c == '"') {
+      *was_quoted = true;
+      return Quoted(c);
+    }
+    if (c == '=' || c == ';' || c == ',') {
+      ++pos_;
+      return std::string(1, c);
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size() && !std::isspace(static_cast<unsigned char>(
+                                       input_[pos_])) &&
+           input_[pos_] != '=' && input_[pos_] != ';' && input_[pos_] != ',' &&
+           input_[pos_] != '\'' && input_[pos_] != '"') {
+      ++pos_;
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  StatusOr<std::string> Quoted(char quote) {
+    ++pos_;  // Consume the opening quote.
+    std::string out;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_++];
+      if (c == quote) {
+        if (quote == '\'' && pos_ < input_.size() && input_[pos_] == '\'') {
+          out += '\'';  // '' escape inside single quotes.
+          ++pos_;
+          continue;
+        }
+        return out;
+      }
+      out += c;
+    }
+    return Status::InvalidArgument("unterminated string literal");
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+Status Malformed(const std::string& detail) {
+  return Status::InvalidArgument("malformed SQLU statement: " + detail);
+}
+
+}  // namespace
+
+StatusOr<SqluQuery> ParseSqlu(std::string_view sql) {
+  Lexer lex(sql);
+  bool quoted = false;
+  SqluQuery query;
+
+  FALCON_ASSIGN_OR_RETURN(std::string tok, lex.Next(&quoted));
+  if (!EqualsIgnoreCase(tok, "UPDATE")) return Malformed("expected UPDATE");
+
+  FALCON_ASSIGN_OR_RETURN(query.table, lex.Next(&quoted));
+  if (query.table.empty()) return Malformed("expected table name");
+
+  FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+  if (!EqualsIgnoreCase(tok, "SET")) return Malformed("expected SET");
+
+  FALCON_ASSIGN_OR_RETURN(query.set_attr, lex.Next(&quoted));
+  if (query.set_attr.empty()) return Malformed("expected SET attribute");
+
+  FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+  if (tok != "=") return Malformed("expected '=' after SET attribute");
+
+  FALCON_ASSIGN_OR_RETURN(query.set_value, lex.Next(&quoted));
+  if (query.set_value.empty() && !quoted) return Malformed("expected SET value");
+
+  FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+  if (tok.empty() || tok == ";") return query;
+  if (!EqualsIgnoreCase(tok, "WHERE")) return Malformed("expected WHERE");
+
+  while (true) {
+    Predicate pred;
+    FALCON_ASSIGN_OR_RETURN(pred.attr, lex.Next(&quoted));
+    if (pred.attr.empty()) return Malformed("expected WHERE attribute");
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    if (tok != "=") return Malformed("expected '=' in WHERE predicate");
+    FALCON_ASSIGN_OR_RETURN(pred.value, lex.Next(&quoted));
+    if (pred.value.empty() && !quoted) {
+      return Malformed("expected WHERE value");
+    }
+    query.where.push_back(std::move(pred));
+
+    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+    if (tok.empty() || tok == ";") break;
+    if (!EqualsIgnoreCase(tok, "AND")) return Malformed("expected AND");
+  }
+  return query;
+}
+
+}  // namespace falcon

@@ -1,0 +1,23 @@
+// Recursive-descent parser for the SQLU fragment:
+//
+//   UPDATE <ident> SET <ident> = <literal>
+//     [WHERE <ident> = <literal> [AND <ident> = <literal>]*] [;]
+//
+// Literals are single-quoted strings (with '' escaping), double-quoted
+// strings, bare identifiers, or numbers. Keywords are case-insensitive.
+#ifndef FALCON_RELATIONAL_SQLU_PARSER_H_
+#define FALCON_RELATIONAL_SQLU_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/sqlu.h"
+
+namespace falcon {
+
+/// Parses one SQLU statement; returns InvalidArgument on malformed input.
+StatusOr<SqluQuery> ParseSqlu(std::string_view sql);
+
+}  // namespace falcon
+
+#endif  // FALCON_RELATIONAL_SQLU_PARSER_H_

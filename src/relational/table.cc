@@ -1,0 +1,105 @@
+#include "relational/table.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace falcon {
+
+Table::Table(std::string name, Schema schema, std::shared_ptr<ValuePool> pool)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      pool_(pool ? std::move(pool) : std::make_shared<ValuePool>()),
+      columns_(schema_.arity()) {}
+
+void Table::AppendRow(const std::vector<std::string>& values) {
+  FALCON_CHECK(values.size() == schema_.arity());
+  for (size_t c = 0; c < values.size(); ++c) {
+    columns_[c].push_back(pool_->Intern(values[c]));
+  }
+  ++num_rows_;
+}
+
+void Table::AppendRowIds(const std::vector<ValueId>& ids) {
+  FALCON_CHECK(ids.size() == schema_.arity());
+  for (size_t c = 0; c < ids.size(); ++c) {
+    columns_[c].push_back(ids[c]);
+  }
+  ++num_rows_;
+}
+
+void Table::SetCellText(size_t row, size_t col, std::string_view text) {
+  set_cell(row, col, pool_->Intern(text));
+}
+
+RowSet Table::ScanEquals(size_t col, ValueId v) const {
+  RowSet rows(num_rows_);
+  const std::vector<ValueId>& column = columns_[col];
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (column[r] == v) rows.Set(r);
+  }
+  return rows;
+}
+
+RowSet Table::ScanConjunction(
+    const std::vector<std::pair<size_t, ValueId>>& preds) const {
+  RowSet rows(num_rows_, /*fill=*/true);
+  if (preds.empty()) return rows;
+  for (const auto& [col, v] : preds) {
+    rows.And(ScanEquals(col, v));
+  }
+  return rows;
+}
+
+size_t Table::DistinctCount(size_t col) const {
+  std::unordered_set<ValueId> seen;
+  for (ValueId v : columns_[col]) {
+    if (v != kNullValueId) seen.insert(v);
+  }
+  return seen.size();
+}
+
+Table Table::Clone() const {
+  Table copy(name_, schema_, pool_);
+  copy.columns_ = columns_;
+  copy.num_rows_ = num_rows_;
+  return copy;
+}
+
+size_t Table::CountDiffCells(const Table& other) const {
+  FALCON_CHECK(num_rows_ == other.num_rows_);
+  FALCON_CHECK(num_cols() == other.num_cols());
+  size_t diff = 0;
+  for (size_t c = 0; c < num_cols(); ++c) {
+    const auto& a = columns_[c];
+    const auto& b = other.columns_[c];
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (a[r] != b[r]) ++diff;
+    }
+  }
+  return diff;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < num_cols(); ++c) {
+    if (c > 0) os << " | ";
+    os << schema_.attribute(c);
+  }
+  os << "\n";
+  size_t n = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < num_cols(); ++c) {
+      if (c > 0) os << " | ";
+      os << CellText(r, c);
+    }
+    os << "\n";
+  }
+  if (n < num_rows_) {
+    os << "... (" << (num_rows_ - n) << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace falcon

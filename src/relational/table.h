@@ -1,0 +1,95 @@
+// In-memory relational table with dictionary-encoded columns. This is the
+// storage substrate that stands in for the paper's PostgreSQL instance: it
+// supports exactly the operations FALCON needs — equality scans producing
+// row bitmaps, point cell updates, and whole-table cloning (clean vs. dirty
+// instances share one ValuePool so equal strings compare by id).
+#ifndef FALCON_RELATIONAL_TABLE_H_
+#define FALCON_RELATIONAL_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/row_set.h"
+#include "common/status.h"
+#include "relational/schema.h"
+
+namespace falcon {
+
+/// Column-major table of interned values.
+class Table {
+ public:
+  Table() = default;
+
+  /// Creates an empty table. If `pool` is null a fresh pool is allocated.
+  Table(std::string name, Schema schema,
+        std::shared_ptr<ValuePool> pool = nullptr);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return schema_.arity(); }
+  const std::shared_ptr<ValuePool>& pool() const { return pool_; }
+
+  /// Appends a row of raw strings, interning each value.
+  void AppendRow(const std::vector<std::string>& values);
+
+  /// Appends a row of already-interned ids.
+  void AppendRowIds(const std::vector<ValueId>& ids);
+
+  ValueId cell(size_t row, size_t col) const { return columns_[col][row]; }
+  void set_cell(size_t row, size_t col, ValueId v) { columns_[col][row] = v; }
+
+  /// Interns `text` in this table's pool and stores it at (row, col).
+  void SetCellText(size_t row, size_t col, std::string_view text);
+
+  /// Decodes the value at (row, col).
+  std::string_view CellText(size_t row, size_t col) const {
+    return pool_->Get(cell(row, col));
+  }
+
+  /// Raw column storage (read-only), used by profiling hot loops.
+  const std::vector<ValueId>& column(size_t col) const {
+    return columns_[col];
+  }
+
+  /// Interns a value in this table's pool.
+  ValueId Intern(std::string_view s) { return pool_->Intern(s); }
+
+  /// Returns the id of `s` if interned anywhere in the shared pool, else
+  /// kNullValueId.
+  ValueId Lookup(std::string_view s) const { return pool_->Lookup(s); }
+
+  /// Rows where column `col` equals `v` — a posting bitmap, O(num_rows).
+  RowSet ScanEquals(size_t col, ValueId v) const;
+
+  /// Rows matching a conjunction of (col, value) equality predicates.
+  RowSet ScanConjunction(
+      const std::vector<std::pair<size_t, ValueId>>& preds) const;
+
+  /// Number of distinct non-null values in `col`.
+  size_t DistinctCount(size_t col) const;
+
+  /// Deep copy of contents; the ValuePool is shared (append-only).
+  Table Clone() const;
+
+  /// Number of cells where this table differs from `other` (same shape
+  /// required). Used to measure residual dirtiness against the clean table.
+  size_t CountDiffCells(const Table& other) const;
+
+  /// Pretty-prints up to `max_rows` rows (debug/examples).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::shared_ptr<ValuePool> pool_;
+  std::vector<std::vector<ValueId>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_RELATIONAL_TABLE_H_

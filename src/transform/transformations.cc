@@ -1,0 +1,251 @@
+#include "transform/transformations.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace falcon {
+namespace {
+
+bool IsUpper(std::string_view s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      has_alpha = true;
+      if (std::islower(static_cast<unsigned char>(c))) return false;
+    }
+  }
+  return has_alpha;
+}
+
+bool IsLower(std::string_view s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      has_alpha = true;
+      if (std::isupper(static_cast<unsigned char>(c))) return false;
+    }
+  }
+  return has_alpha;
+}
+
+std::string TitleCase(std::string_view s) {
+  std::string out(s);
+  bool start = true;
+  for (char& c : out) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      c = start ? static_cast<char>(std::toupper(
+                      static_cast<unsigned char>(c)))
+                : static_cast<char>(std::tolower(
+                      static_cast<unsigned char>(c)));
+      start = false;
+    } else {
+      start = true;
+    }
+  }
+  return out;
+}
+
+class UpperTransformation : public Transformation {
+ public:
+  std::string name() const override { return "uppercase"; }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    return ToUpper(input);
+  }
+};
+
+class LowerTransformation : public Transformation {
+ public:
+  std::string name() const override { return "lowercase"; }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    return ToLower(input);
+  }
+};
+
+class TitleTransformation : public Transformation {
+ public:
+  std::string name() const override { return "titlecase"; }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    return TitleCase(input);
+  }
+};
+
+class TrimTransformation : public Transformation {
+ public:
+  std::string name() const override { return "trim"; }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    return std::string(Trim(input));
+  }
+};
+
+class SeparatorTransformation : public Transformation {
+ public:
+  SeparatorTransformation(char from, char to) : from_(from), to_(to) {}
+  std::string name() const override {
+    return std::string("replace '") + from_ + "'->'" + to_ + "'";
+  }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    std::string out(input);
+    for (char& c : out) {
+      if (c == from_) c = to_;
+    }
+    return out;
+  }
+
+ private:
+  char from_;
+  char to_;
+};
+
+class StripPrefixTransformation : public Transformation {
+ public:
+  explicit StripPrefixTransformation(std::string prefix)
+      : prefix_(std::move(prefix)) {}
+  std::string name() const override { return "strip prefix '" + prefix_ + "'"; }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    if (!StartsWith(input, prefix_)) return std::nullopt;
+    return std::string(input.substr(prefix_.size()));
+  }
+
+ private:
+  std::string prefix_;
+};
+
+class StripSuffixTransformation : public Transformation {
+ public:
+  explicit StripSuffixTransformation(std::string suffix)
+      : suffix_(std::move(suffix)) {}
+  std::string name() const override { return "strip suffix '" + suffix_ + "'"; }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    if (input.size() < suffix_.size() ||
+        input.substr(input.size() - suffix_.size()) != suffix_) {
+      return std::nullopt;
+    }
+    return std::string(input.substr(0, input.size() - suffix_.size()));
+  }
+
+ private:
+  std::string suffix_;
+};
+
+class AddSuffixTransformation : public Transformation {
+ public:
+  explicit AddSuffixTransformation(std::string suffix)
+      : suffix_(std::move(suffix)) {}
+  std::string name() const override { return "add suffix '" + suffix_ + "'"; }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    return std::string(input) + suffix_;
+  }
+
+ private:
+  std::string suffix_;
+};
+
+class AddPrefixTransformation : public Transformation {
+ public:
+  explicit AddPrefixTransformation(std::string prefix)
+      : prefix_(std::move(prefix)) {}
+  std::string name() const override { return "add prefix '" + prefix_ + "'"; }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    return prefix_ + std::string(input);
+  }
+
+ private:
+  std::string prefix_;
+};
+
+class ConstantTransformation : public Transformation {
+ public:
+  ConstantTransformation(std::string from, std::string to)
+      : from_(std::move(from)), to_(std::move(to)) {}
+  std::string name() const override {
+    return "constant '" + from_ + "'->'" + to_ + "'";
+  }
+  std::optional<std::string> Apply(std::string_view input) const override {
+    if (input != from_) return std::nullopt;
+    return to_;
+  }
+
+ private:
+  std::string from_;
+  std::string to_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Transformation>> InferTransformations(
+    std::string_view before, std::string_view after) {
+  std::vector<std::unique_ptr<Transformation>> out;
+  auto consider = [&](std::unique_ptr<Transformation> t) {
+    std::optional<std::string> result = t->Apply(before);
+    if (result.has_value() && *result == after) out.push_back(std::move(t));
+  };
+
+  // Case folding.
+  if (!IsUpper(before) && IsUpper(after)) {
+    consider(std::make_unique<UpperTransformation>());
+  }
+  if (!IsLower(before) && IsLower(after)) {
+    consider(std::make_unique<LowerTransformation>());
+  }
+  consider(std::make_unique<TitleTransformation>());
+
+  // Whitespace.
+  consider(std::make_unique<TrimTransformation>());
+
+  // Separator swaps between common delimiter characters.
+  const char separators[] = {'_', '-', ' ', '.', '/'};
+  for (char from : separators) {
+    if (before.find(from) == std::string_view::npos) continue;
+    for (char to : separators) {
+      if (from == to) continue;
+      consider(std::make_unique<SeparatorTransformation>(from, to));
+    }
+  }
+
+  // Prefix / suffix edits.
+  if (after.size() < before.size()) {
+    if (before.substr(before.size() - after.size()) == after) {
+      consider(std::make_unique<StripPrefixTransformation>(
+          std::string(before.substr(0, before.size() - after.size()))));
+    }
+    if (before.substr(0, after.size()) == after) {
+      consider(std::make_unique<StripSuffixTransformation>(
+          std::string(before.substr(after.size()))));
+    }
+  } else if (after.size() > before.size()) {
+    if (after.substr(after.size() - before.size()) == before) {
+      consider(std::make_unique<AddPrefixTransformation>(
+          std::string(after.substr(0, after.size() - before.size()))));
+    }
+    if (after.substr(0, before.size()) == before) {
+      consider(std::make_unique<AddSuffixTransformation>(
+          std::string(after.substr(before.size()))));
+    }
+  }
+
+  // Constant rewrite: always applicable as the last resort.
+  out.push_back(std::make_unique<ConstantTransformation>(
+      std::string(before), std::string(after)));
+  return out;
+}
+
+TransformOutcome ApplyToColumn(Table& table, size_t col,
+                               const Transformation& t) {
+  TransformOutcome outcome;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::string_view current = table.CellText(r, col);
+    std::optional<std::string> rewritten = t.Apply(current);
+    if (!rewritten.has_value()) {
+      ++outcome.cells_inapplicable;
+    } else if (*rewritten == current) {
+      ++outcome.cells_unchanged;
+    } else {
+      table.SetCellText(r, col, *rewritten);
+      ++outcome.cells_changed;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace falcon

@@ -1,0 +1,60 @@
+// String transformations à la OpenRefine / Potter's Wheel: infer a
+// reusable text transformation from a single (before → after) repair
+// example and apply it column-wide. This is the expressiveness the paper
+// ascribes to the data-transformation tools it compares against (Section 7
+// "Data transformation"): syntactic rewrites of one attribute, as opposed
+// to FALCON's semantic multi-attribute SQLU rules.
+//
+// Supported transformation families, tried in order of specificity:
+//   * case folding            "new york" → "NEW YORK" / "New York"
+//   * whitespace trimming     "  Austin " → "Austin"
+//   * separator replacement   "New_York" → "New York"
+//   * abbreviation expansion  learned token map "N.Y." → "New York"
+//   * prefix/suffix edits     "Dr. Smith" → "Smith", "42" → "42 kg"
+//   * constant replacement    exact value rewrite (always applicable)
+#ifndef FALCON_TRANSFORM_TRANSFORMATIONS_H_
+#define FALCON_TRANSFORM_TRANSFORMATIONS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace falcon {
+
+/// A learned, reusable string rewrite.
+class Transformation {
+ public:
+  virtual ~Transformation() = default;
+
+  /// Human-readable description, e.g. "uppercase" or "replace '_'→' '".
+  virtual std::string name() const = 0;
+
+  /// Applies the rewrite; nullopt when it does not apply to `input`
+  /// (e.g. a suffix edit on a string lacking the suffix).
+  virtual std::optional<std::string> Apply(std::string_view input) const = 0;
+};
+
+/// Infers candidate transformations turning `before` into `after`, most
+/// specific first. The list is never empty: the constant replacement
+/// before→after is always a (last-resort) candidate.
+std::vector<std::unique_ptr<Transformation>> InferTransformations(
+    std::string_view before, std::string_view after);
+
+/// Result of applying a transformation column-wide.
+struct TransformOutcome {
+  size_t cells_changed = 0;
+  size_t cells_unchanged = 0;   ///< Apply returned the same string.
+  size_t cells_inapplicable = 0;
+};
+
+/// Applies `t` to every cell of `col`, rewriting in place.
+TransformOutcome ApplyToColumn(Table& table, size_t col,
+                               const Transformation& t);
+
+}  // namespace falcon
+
+#endif  // FALCON_TRANSFORM_TRANSFORMATIONS_H_

@@ -1,0 +1,98 @@
+#include "baselines/cfd_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+Table ZipTable() {
+  Table t("t", Schema({"Zip", "City", "State"}));
+  for (int i = 0; i < 10; ++i) t.AppendRow({"10001", "NYC", "NY"});
+  for (int i = 0; i < 8; ++i) t.AppendRow({"02139", "Cambridge", "MA"});
+  for (int i = 0; i < 3; ++i) t.AppendRow({"94301", "Palo Alto", "CA"});
+  return t;
+}
+
+bool HasRule(const std::vector<ConstantCfd>& rules, const std::string& text) {
+  for (const ConstantCfd& r : rules) {
+    if (r.ToString() == text) return true;
+  }
+  return false;
+}
+
+TEST(CfdMinerTest, MinesSupportedPatterns) {
+  CfdMinerOptions options;
+  options.min_support = 5;
+  std::vector<ConstantCfd> rules = MineConstantCfds(ZipTable(), options);
+  EXPECT_TRUE(HasRule(rules, "(Zip=10001) -> State=NY"));
+  EXPECT_TRUE(HasRule(rules, "(Zip=10001) -> City=NYC"));
+  EXPECT_TRUE(HasRule(rules, "(Zip=02139) -> State=MA"));
+  // Below support: the CA group has only 3 rows.
+  EXPECT_FALSE(HasRule(rules, "(Zip=94301) -> State=CA"));
+}
+
+TEST(CfdMinerTest, SupportThresholdFilters) {
+  CfdMinerOptions options;
+  options.min_support = 3;
+  std::vector<ConstantCfd> rules = MineConstantCfds(ZipTable(), options);
+  EXPECT_TRUE(HasRule(rules, "(Zip=94301) -> State=CA"));
+}
+
+TEST(CfdMinerTest, SuppressesDominatedPairPatterns) {
+  CfdMinerOptions options;
+  options.min_support = 5;
+  options.max_lhs = 2;
+  std::vector<ConstantCfd> rules = MineConstantCfds(ZipTable(), options);
+  // (Zip=10001, City=NYC) -> State=NY is implied by (Zip=10001) -> State=NY.
+  EXPECT_FALSE(HasRule(rules, "(Zip=10001, City=NYC) -> State=NY"));
+}
+
+TEST(CfdMinerTest, OrderedBySupportDescending) {
+  CfdMinerOptions options;
+  options.min_support = 3;
+  std::vector<ConstantCfd> rules = MineConstantCfds(ZipTable(), options);
+  ASSERT_FALSE(rules.empty());
+  // The most supported patterns involve Zip=10001 (10 rows).
+  EXPECT_NE(rules[0].ToString().find("10001"), std::string::npos);
+}
+
+TEST(CfdMinerTest, MaxRulesCaps) {
+  auto ds = MakeSynth(800);
+  ASSERT_TRUE(ds.ok());
+  CfdMinerOptions options;
+  options.min_support = 3;
+  options.max_rules = 25;
+  std::vector<ConstantCfd> rules = MineConstantCfds(ds->clean, options);
+  EXPECT_LE(rules.size(), 25u);
+  EXPECT_GT(rules.size(), 0u);
+}
+
+TEST(CfdMinerTest, NullValuesNeverFormPatterns) {
+  Table t("t", Schema({"A", "B"}));
+  for (int i = 0; i < 10; ++i) t.AppendRow({"", "b"});
+  std::vector<ConstantCfd> rules = MineConstantCfds(t, {});
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(CfdMinerTest, MinedRulesHoldOnTheSample) {
+  auto ds = MakeSynth(600);
+  ASSERT_TRUE(ds.ok());
+  CfdMinerOptions options;
+  options.min_support = 4;
+  options.max_rules = 200;
+  std::vector<ConstantCfd> rules = MineConstantCfds(ds->clean, options);
+  ASSERT_GT(rules.size(), 0u);
+  for (const ConstantCfd& cfd : rules) {
+    // Confidence 1 on the sample: matching rows all carry the RHS value —
+    // so applying the rule to the sample changes nothing.
+    Table copy = ds->clean.Clone();
+    auto changed = ApplyQuery(copy, cfd.ToQuery("t"));
+    ASSERT_TRUE(changed.ok());
+    EXPECT_EQ(*changed, 0u) << cfd.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace falcon

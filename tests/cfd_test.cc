@@ -1,0 +1,68 @@
+#include "errorgen/cfd.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+TEST(FdRuleTest, ToString) {
+  FdRule r{{"Club", "Position"}, "PlayerCountry"};
+  EXPECT_EQ(r.ToString(), "{Club, Position} -> PlayerCountry");
+}
+
+TEST(FdHoldsTest, DetectsHoldingFd) {
+  DrugExample ex = MakeDrugExample();
+  // {Molecule, Laboratory} → Quantity holds on the dirty instance.
+  EXPECT_TRUE(FdHolds(ex.dirty, FdRule{{"Molecule", "Laboratory"},
+                                       "Quantity"}));
+}
+
+TEST(FdHoldsTest, DetectsViolatedFd) {
+  DrugExample ex = MakeDrugExample();
+  // Molecule alone does not determine Laboratory (statin: Austin, Boston).
+  EXPECT_FALSE(FdHolds(ex.dirty, FdRule{{"Molecule"}, "Laboratory"}));
+}
+
+TEST(FdHoldsTest, UnknownAttributesFail) {
+  DrugExample ex = MakeDrugExample();
+  EXPECT_FALSE(FdHolds(ex.dirty, FdRule{{"Nope"}, "Quantity"}));
+  EXPECT_FALSE(FdHolds(ex.dirty, FdRule{{"Molecule"}, "Nope"}));
+}
+
+TEST(FdHoldsTest, NullLhsRowsIgnored) {
+  Table t("t", Schema({"A", "B"}));
+  t.AppendRow({"a", "b1"});
+  t.AppendRow({"a", "b1"});
+  t.AppendRow({"", "b2"});  // NULL LHS would otherwise clash.
+  EXPECT_TRUE(FdHolds(t, FdRule{{"A"}, "B"}));
+}
+
+TEST(ConstantCfdTest, ToQueryBuildsCanonicalSqlu) {
+  ConstantCfd cfd;
+  cfd.lhs_attrs = {"Molecule", "Laboratory"};
+  cfd.lhs_values = {"statin", "Austin"};
+  cfd.rhs_attr = "Molecule";
+  cfd.rhs_value = "C22H28F";
+  SqluQuery q = cfd.ToQuery("T_drug");
+  EXPECT_EQ(q.table, "T_drug");
+  EXPECT_EQ(q.set_attr, "Molecule");
+  EXPECT_EQ(q.set_value, "C22H28F");
+  ASSERT_EQ(q.where.size(), 2u);
+  // Canonical ordering by attribute name.
+  EXPECT_EQ(q.where[0].attr, "Laboratory");
+  EXPECT_EQ(q.where[1].attr, "Molecule");
+}
+
+TEST(ConstantCfdTest, ToStringIsReadable) {
+  ConstantCfd cfd;
+  cfd.lhs_attrs = {"Zip"};
+  cfd.lhs_values = {"10001"};
+  cfd.rhs_attr = "State";
+  cfd.rhs_value = "NY";
+  EXPECT_EQ(cfd.ToString(), "(Zip=10001) -> State=NY");
+}
+
+}  // namespace
+}  // namespace falcon

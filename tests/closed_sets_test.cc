@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/lattice.h"
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+// Same lattice as lattice_test: Δ3 over T_drug, bits 0=Molecule, 1=Date,
+// 2=Laboratory, 3=Quantity.
+StatusOr<Lattice> DrugLattice(const Table& dirty) {
+  return Lattice::Build(dirty, Repair{1, 1, "C22H28F"}, {0, 2, 3});
+}
+
+NodeId MaskOf(const Lattice& lat, std::initializer_list<const char*> attrs) {
+  NodeId m = 0;
+  for (const char* a : attrs) {
+    for (size_t i = 0; i < lat.num_attrs(); ++i) {
+      if (lat.attr_name(i) == a) {
+        m |= NodeId{1} << i;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+TEST(ClosedSetsTest, PaperExample10Groups) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+
+  // {DMQ, DM, DQ} repair the same tuples {t2, t4} — one closed set with
+  // representative DMQ.
+  NodeId dm = MaskOf(*lat, {"Date", "Molecule"});
+  NodeId dq = MaskOf(*lat, {"Date", "Quantity"});
+  NodeId dmq = MaskOf(*lat, {"Date", "Molecule", "Quantity"});
+  EXPECT_EQ(lat->Representative(dm), dmq);
+  EXPECT_EQ(lat->Representative(dq), dmq);
+  EXPECT_EQ(lat->Representative(dmq), dmq);
+
+  // {DL, DML, DLQ, DMLQ} all affect exactly {t2} — representative DMLQ.
+  NodeId dl = MaskOf(*lat, {"Date", "Laboratory"});
+  NodeId dmlq = lat->top();
+  EXPECT_EQ(lat->Representative(dl), dmlq);
+  EXPECT_EQ(lat->Representative(MaskOf(*lat, {"Date", "Molecule",
+                                              "Laboratory"})), dmlq);
+  EXPECT_EQ(lat->Representative(MaskOf(*lat, {"Date", "Laboratory",
+                                              "Quantity"})), dmlq);
+}
+
+TEST(ClosedSetsTest, DistinctSetsStaySeparate) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  NodeId m = MaskOf(*lat, {"Molecule"});
+  NodeId ml = MaskOf(*lat, {"Molecule", "Laboratory"});
+  // M affects {t2,t4,t5}, ML affects {t2,t5}: different closed sets.
+  EXPECT_NE(lat->Representative(m), lat->Representative(ml));
+}
+
+TEST(ClosedSetsTest, RepresentativeHasIdenticalAffectedSet) {
+  auto ds = MakeSynth(1200);
+  ASSERT_TRUE(ds.ok());
+  auto dirty_inst = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty_inst.ok());
+  Table dirty = dirty_inst->dirty.Clone();
+  const ErrorCell& e = dirty_inst->errors.front();
+  std::vector<size_t> cols;
+  for (size_t c = 0; c < dirty.num_cols() && cols.size() < 6; ++c) {
+    if (c != e.col) cols.push_back(c);
+  }
+  auto lat = Lattice::Build(
+      dirty, Repair{e.row, e.col,
+                    std::string(ds->clean.pool()->Get(e.clean_value))},
+      cols);
+  ASSERT_TRUE(lat.ok());
+
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    NodeId rep = lat->Representative(m);
+    // Same affected set, and the representative is the most specific.
+    EXPECT_EQ(lat->affected(m), lat->affected(rep));
+    EXPECT_GE(std::popcount(rep), std::popcount(m));
+    // Representative is a fixed point.
+    EXPECT_EQ(lat->Representative(rep), rep);
+    // The class is closed under union: rep contains m's attributes.
+    EXPECT_EQ(rep & m, m);
+  }
+}
+
+TEST(ClosedSetsTest, GroupsRefreshAfterApply) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  auto lat = DrugLattice(dirty);
+  ASSERT_TRUE(lat.ok());
+  size_t before = lat->NumClosedSets();
+  EXPECT_GT(before, 1u);
+
+  lat->ApplyNode(MaskOf(*lat, {"Molecule", "Laboratory"}), dirty);
+  size_t after = lat->NumClosedSets();
+  // The paper stresses the lattice is dynamic: closures change after each
+  // interaction. After repairing {t2,t5} many nodes collapse to ∅-sets.
+  EXPECT_NE(before, after);
+  // All empty-set nodes share one group whose representative is top.
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    if (lat->affected_count(m) == 0) {
+      EXPECT_EQ(lat->Representative(m), lat->top());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace falcon

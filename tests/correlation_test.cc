@@ -1,0 +1,146 @@
+#include "profiling/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+// Columns of T_drug: 0=Date, 1=Molecule, 2=Laboratory, 3=Quantity.
+
+TEST(CorrelationTest, ChiSquaredReproducesPaperExample7) {
+  DrugExample ex = MakeDrugExample();
+  // The paper computes chi^2 = 12.67 over the Molecule × Laboratory
+  // contingency table of the dirty T_drug (Table 2).
+  double chi2 = ChiSquared(ex.dirty, {1, 2});
+  EXPECT_NEAR(chi2, 12.67, 0.01);
+}
+
+TEST(CorrelationTest, CorrelationScoreReproducesPaperExample7) {
+  DrugExample ex = MakeDrugExample();
+  CorrelationOptions options;
+  options.soft_fd_threshold = 1.01;  // Disable the soft-FD fast path.
+  double cor = CorrelationScore(ex.dirty, {1}, 2, options);
+  EXPECT_NEAR(cor, 0.235, 0.001);
+}
+
+TEST(CorrelationTest, SoftFdScoresOne) {
+  DrugExample ex = MakeDrugExample();
+  // {Molecule, Laboratory} → Quantity holds exactly on the dirty table
+  // (paper Example 7's given soft FD).
+  EXPECT_DOUBLE_EQ(FdSupport(ex.dirty, {1, 2}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(CorrelationScore(ex.dirty, {1, 2}, 3), 1.0);
+}
+
+TEST(CorrelationTest, FdSupportBelowOneForNonFd) {
+  DrugExample ex = MakeDrugExample();
+  // Molecule alone does not determine Laboratory (statin maps to Austin
+  // and Boston).
+  EXPECT_LT(FdSupport(ex.dirty, {1}, 2), 1.0);
+}
+
+TEST(CorrelationTest, NullRowsAreIgnored) {
+  Table t("t", Schema({"A", "B"}));
+  t.AppendRow({"a1", "b1"});
+  t.AppendRow({"a1", "b1"});
+  t.AppendRow({"a2", "b2"});
+  t.AppendRow({"", "b9"});   // NULL A.
+  t.AppendRow({"a9", ""});   // NULL B.
+  EXPECT_DOUBLE_EQ(FdSupport(t, {0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(CorrelationScore(t, {0}, 1), 1.0);
+}
+
+TEST(CorrelationTest, IndependentAttributesScoreLow) {
+  Table t("t", Schema({"A", "B"}));
+  // Perfectly independent 2x2 design, 100 rows each combination.
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({"a0", "b0"});
+    t.AppendRow({"a0", "b1"});
+    t.AppendRow({"a1", "b0"});
+    t.AppendRow({"a1", "b1"});
+  }
+  CorrelationOptions options;
+  options.soft_fd_threshold = 1.01;
+  EXPECT_NEAR(CorrelationScore(t, {0}, 1, options), 0.0, 1e-9);
+}
+
+TEST(CorrelationTest, PerfectDependenceScoresHigh) {
+  Table t("t", Schema({"A", "B"}));
+  for (int i = 0; i < 50; ++i) {
+    t.AppendRow({"a" + std::to_string(i % 4), "b" + std::to_string(i % 4)});
+  }
+  CorrelationOptions options;
+  options.soft_fd_threshold = 1.01;  // Force the chi^2 path.
+  // With the paper's q-normalization, perfect m×m dependence scores
+  // chi^2/(n*q) = n(m-1) / (n(m^2-2m+1)) = 1/(m-1): 1/3 for m = 4 —
+  // well above the 0 an independent pair scores.
+  EXPECT_NEAR(CorrelationScore(t, {0}, 1, options), 1.0 / 3.0, 0.02);
+}
+
+TEST(CordsProfilerTest, TopKRanksDeterminants) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  const Table& t = ds->clean;
+  CordsProfiler profiler(&t);
+  int stadium = t.schema().AttrIndex("Stadium");
+  int club = t.schema().AttrIndex("Club");
+  int position = t.schema().AttrIndex("Position");
+  ASSERT_GE(stadium, 0);
+
+  // Club determines Stadium, so Club must rank far above Position.
+  std::vector<size_t> top =
+      profiler.TopKAttributes(static_cast<size_t>(stadium), 6);
+  auto rank = [&](int col) {
+    for (size_t i = 0; i < top.size(); ++i) {
+      if (top[i] == static_cast<size_t>(col)) return static_cast<int>(i);
+    }
+    return 1000;
+  };
+  EXPECT_LT(rank(club), rank(position));
+  EXPECT_EQ(rank(stadium), 1000);  // Target never appears.
+}
+
+TEST(CordsProfilerTest, PairCorrelationIsCached) {
+  DrugExample ex = MakeDrugExample();
+  CordsProfiler profiler(&ex.dirty);
+  double a = profiler.PairCorrelation(1, 2);
+  double b = profiler.PairCorrelation(1, 2);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CordsProfilerTest, SetCorrelationHandlesSets) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  const Table& t = ds->clean;
+  CordsProfiler profiler(&t);
+  size_t club = static_cast<size_t>(t.schema().AttrIndex("Club"));
+  size_t pos = static_cast<size_t>(t.schema().AttrIndex("Position"));
+  size_t pcountry =
+      static_cast<size_t>(t.schema().AttrIndex("PlayerCountry"));
+  // {Club, Position} → PlayerCountry is an exact FD of the generator.
+  EXPECT_DOUBLE_EQ(profiler.SetCorrelation({club, pos}, pcountry), 1.0);
+  // Position alone is far weaker.
+  EXPECT_LT(profiler.PairCorrelation(pos, pcountry), 0.5);
+}
+
+TEST(CorrelationTest, SamplingStaysClose) {
+  auto ds = MakeSynth(4000);
+  ASSERT_TRUE(ds.ok());
+  const Table& t = ds->clean;
+  int a1 = t.schema().AttrIndex("A1");
+  int a5 = t.schema().AttrIndex("A5");
+  ASSERT_GE(a1, 0);
+  ASSERT_GE(a5, 0);
+  CorrelationOptions full;
+  CorrelationOptions sampled;
+  sampled.max_sample_rows = 1000;
+  double f = CorrelationScore(t, {static_cast<size_t>(a1)},
+                              static_cast<size_t>(a5), full);
+  double s = CorrelationScore(t, {static_cast<size_t>(a1)},
+                              static_cast<size_t>(a5), sampled);
+  EXPECT_NEAR(f, s, 0.15);
+}
+
+}  // namespace
+}  // namespace falcon

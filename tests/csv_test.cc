@@ -1,0 +1,72 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace falcon {
+namespace {
+
+TEST(CsvTest, ParsesSimpleContent) {
+  auto result = ReadCsvString("A,B\n1,2\n3,4\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Table& t = *result;
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().attribute(1), "B");
+  EXPECT_EQ(t.CellText(1, 0), "3");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto result = ReadCsvString(
+      "A,B\n\"hello, world\",\"say \"\"hi\"\"\"\nplain,x\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->CellText(0, 0), "hello, world");
+  EXPECT_EQ(result->CellText(0, 1), "say \"hi\"");
+}
+
+TEST(CsvTest, HandlesCrLfAndBlankLines) {
+  auto result = ReadCsvString("A,B\r\n1,2\r\n\r\n3,4\r\n", "t");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto result = ReadCsvString("A,B\n1,2,3\n", "t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsEmptyContent) {
+  EXPECT_FALSE(ReadCsvString("", "t").ok());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto result = ReadCsv("/nonexistent/file.csv", "t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, RoundTripsThroughDisk) {
+  Table t("t", Schema({"Name", "Note"}));
+  t.AppendRow({"alice", "likes, commas"});
+  t.AppendRow({"bob", "quotes \" inside"});
+  t.AppendRow({"carol", ""});
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "falcon_csv_test.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path, "t");
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(back->CellText(r, c), t.CellText(r, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace falcon

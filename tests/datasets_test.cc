@@ -1,0 +1,112 @@
+#include "datagen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "errorgen/injector.h"
+
+namespace falcon {
+namespace {
+
+// Every dataset's declared injection rules must hold on its clean instance
+// and the injector must succeed — otherwise the whole evaluation pipeline
+// is vacuous. Parameterized over the dataset factories.
+
+struct DatasetCase {
+  const char* name;
+  StatusOr<Dataset> (*make)();
+  size_t expected_rows;
+  size_t expected_cols;
+};
+
+StatusOr<Dataset> Soccer() { return MakeSoccer(); }
+StatusOr<Dataset> Hospital() { return MakeHospital(4000); }
+StatusOr<Dataset> Bus() { return MakeBus(8000); }
+StatusOr<Dataset> Dblp() { return MakeDblp(8000); }
+StatusOr<Dataset> Synth() { return MakeSynth(4000); }
+
+class DatasetsTest : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(DatasetsTest, ShapeMatches) {
+  auto ds = GetParam().make();
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->clean.num_rows(), GetParam().expected_rows);
+  EXPECT_EQ(ds->clean.num_cols(), GetParam().expected_cols);
+}
+
+TEST_P(DatasetsTest, InjectionRulesHoldOnCleanData) {
+  auto ds = GetParam().make();
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  for (const RuleErrorSpec& spec : ds->error_spec.rule_errors) {
+    EXPECT_TRUE(FdHolds(ds->clean, spec.rule))
+        << GetParam().name << ": " << spec.rule.ToString();
+  }
+}
+
+TEST_P(DatasetsTest, InjectionSucceedsAndRecordsGroundTruth) {
+  auto ds = GetParam().make();
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok()) << GetParam().name << ": " << dirty.status();
+  EXPECT_GT(dirty->errors.size(), 0u);
+  EXPECT_EQ(dirty->dirty.CountDiffCells(ds->clean), dirty->errors.size());
+  // Every ground-truth entry matches the actual tables.
+  for (const ErrorCell& e : dirty->errors) {
+    EXPECT_EQ(ds->clean.cell(e.row, e.col), e.clean_value);
+    EXPECT_EQ(dirty->dirty.cell(e.row, e.col), e.dirty_value);
+    EXPECT_NE(e.clean_value, e.dirty_value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetsTest,
+    ::testing::Values(DatasetCase{"Soccer", &Soccer, 1625, 7},
+                      DatasetCase{"Hospital", &Hospital, 4000, 12},
+                      DatasetCase{"Bus", &Bus, 8000, 15},
+                      DatasetCase{"Dblp", &Dblp, 8000, 15},
+                      DatasetCase{"Synth", &Synth, 4000, 10}),
+    [](const ::testing::TestParamInfo<DatasetCase>& info) {
+      return info.param.name;
+    });
+
+TEST(DrugExampleTest, MatchesPaperTable1) {
+  DrugExample ex = MakeDrugExample();
+  EXPECT_EQ(ex.dirty.num_rows(), 6u);
+  EXPECT_EQ(ex.dirty.num_cols(), 4u);
+  // The four dirty cells of Table 1.
+  EXPECT_EQ(ex.dirty.CountDiffCells(ex.clean), 4u);
+  EXPECT_EQ(ex.dirty.CellText(1, 1), "statin");
+  EXPECT_EQ(ex.clean.CellText(1, 1), "C22H28F");
+  EXPECT_EQ(ex.dirty.CellText(2, 2), "N.Y.");
+  EXPECT_EQ(ex.clean.CellText(2, 2), "New York");
+  EXPECT_EQ(ex.dirty.CellText(2, 3), "1000");
+  EXPECT_EQ(ex.clean.CellText(2, 3), "100");
+  EXPECT_EQ(ex.dirty.CellText(4, 1), "statin");
+  EXPECT_EQ(ex.clean.CellText(4, 1), "C22H28F");
+  // Shared pool so ids compare across the two tables.
+  EXPECT_EQ(ex.dirty.pool(), ex.clean.pool());
+}
+
+TEST(DatasetsTest2, SoccerErrorVolumeMatchesPaperScale) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok()) << dirty.status();
+  // Paper: 82 errors from 8 rule patterns.
+  EXPECT_NEAR(static_cast<double>(dirty->errors.size()), 82.0, 8.0);
+  EXPECT_EQ(dirty->injected_patterns.size(), 8u);
+}
+
+TEST(DatasetsTest2, SynthErrorVolumeScalesWithRows) {
+  auto small = MakeSynth(2000);
+  auto large = MakeSynth(8000);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  auto ds = InjectErrors(small->clean, small->error_spec);
+  auto dl = InjectErrors(large->clean, large->error_spec);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  ASSERT_TRUE(dl.ok()) << dl.status();
+  EXPECT_GT(dl->errors.size(), ds->errors.size() * 2);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,115 @@
+#include "profiling/fd_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+bool HasFd(const std::vector<DiscoveredFd>& fds, const Schema& schema,
+           std::vector<std::string> lhs, const std::string& rhs) {
+  for (const DiscoveredFd& fd : fds) {
+    if (schema.attribute(fd.rhs) != rhs) continue;
+    if (fd.lhs.size() != lhs.size()) continue;
+    std::vector<std::string> names;
+    for (size_t c : fd.lhs) names.push_back(schema.attribute(c));
+    std::sort(names.begin(), names.end());
+    std::sort(lhs.begin(), lhs.end());
+    if (names == lhs) return true;
+  }
+  return false;
+}
+
+TEST(FdDiscoveryTest, FindsEmbeddedSingleAttributeFds) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto fds = DiscoverFds(ds->clean);
+  const Schema& s = ds->clean.schema();
+  EXPECT_TRUE(HasFd(fds, s, {"Club"}, "Stadium"));
+  EXPECT_TRUE(HasFd(fds, s, {"Club"}, "Manager"));
+  EXPECT_TRUE(HasFd(fds, s, {"Stadium"}, "ClubCountry"));
+}
+
+TEST(FdDiscoveryTest, FindsPairFdsAndMinimality) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto fds = DiscoverFds(ds->clean);
+  const Schema& s = ds->clean.schema();
+  // PlayerCountry needs both Club and Position.
+  EXPECT_TRUE(HasFd(fds, s, {"Club", "Position"}, "PlayerCountry"));
+  EXPECT_FALSE(HasFd(fds, s, {"Club"}, "PlayerCountry"));
+  EXPECT_FALSE(HasFd(fds, s, {"Position"}, "PlayerCountry"));
+  // Non-minimal variants of Club → Stadium are suppressed.
+  EXPECT_FALSE(HasFd(fds, s, {"Club", "Position"}, "Stadium"));
+  EXPECT_FALSE(HasFd(fds, s, {"Club", "ClubCountry"}, "Stadium"));
+}
+
+TEST(FdDiscoveryTest, KeyColumnsAreExcluded) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto fds = DiscoverFds(ds->clean);
+  const Schema& s = ds->clean.schema();
+  for (const DiscoveredFd& fd : fds) {
+    EXPECT_NE(s.attribute(fd.rhs), "Player");
+    for (size_t c : fd.lhs) EXPECT_NE(s.attribute(c), "Player");
+  }
+}
+
+TEST(FdDiscoveryTest, ExactFdsHaveFullConfidence) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto fds = DiscoverFds(ds->clean);
+  const Schema& s = ds->clean.schema();
+  for (const DiscoveredFd& fd : fds) {
+    if (s.attribute(fd.rhs) == "Stadium" && fd.lhs.size() == 1 &&
+        s.attribute(fd.lhs[0]) == "Club") {
+      EXPECT_DOUBLE_EQ(fd.confidence, 1.0);
+      EXPECT_GT(fd.groups, 10u);
+    }
+  }
+}
+
+TEST(FdDiscoveryTest, ApproximateFdsSurviveDirtyData) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+  FdDiscoveryOptions options;
+  options.min_confidence = 0.9;  // 82 errors over 1625 rows ≈ 1–2% noise.
+  auto fds = DiscoverFds(dirty->dirty, options);
+  EXPECT_TRUE(HasFd(fds, ds->clean.schema(), {"Club"}, "Stadium"));
+}
+
+TEST(FdDiscoveryTest, ConfidenceThresholdFilters) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+  FdDiscoveryOptions strict;
+  strict.min_confidence = 1.0;  // Dirty data violates Club → Stadium.
+  auto fds = DiscoverFds(dirty->dirty, strict);
+  EXPECT_FALSE(HasFd(fds, ds->clean.schema(), {"Club"}, "Stadium"));
+}
+
+TEST(FdDiscoveryTest, ToStringIsReadable) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto fds = DiscoverFds(ds->clean);
+  ASSERT_FALSE(fds.empty());
+  std::string text = fds[0].ToString(ds->clean.schema());
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("conf"), std::string::npos);
+}
+
+TEST(FdDiscoveryTest, SamplingKeepsTheBigFds) {
+  auto ds = MakeSynth(6000);
+  ASSERT_TRUE(ds.ok());
+  FdDiscoveryOptions sampled;
+  sampled.max_sample_rows = 1500;
+  auto fds = DiscoverFds(ds->clean, sampled);
+  EXPECT_TRUE(HasFd(fds, ds->clean.schema(), {"A1", "A2"}, "A5"));
+}
+
+}  // namespace
+}  // namespace falcon

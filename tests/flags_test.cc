@@ -1,0 +1,56 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+Flags Make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (std::string& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  Flags f = Make({"--name=soccer", "--rows=123", "--scale=0.5"});
+  EXPECT_EQ(f.GetString("name"), "soccer");
+  EXPECT_EQ(f.GetInt("rows"), 123);
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale"), 0.5);
+}
+
+TEST(FlagsTest, BareFlagsAreTrueBooleans) {
+  Flags f = Make({"--verbose", "--quiet=false", "--zero=0"});
+  EXPECT_TRUE(f.GetBool("verbose"));
+  EXPECT_FALSE(f.GetBool("quiet"));
+  EXPECT_FALSE(f.GetBool("zero"));
+  EXPECT_TRUE(f.Has("verbose"));
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsentOrMalformed) {
+  Flags f = Make({"--rows=abc"});
+  EXPECT_EQ(f.GetInt("rows", 7), 7);
+  EXPECT_EQ(f.GetInt("missing", 9), 9);
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 1.5), 1.5);
+  EXPECT_TRUE(f.GetBool("missing", true));
+}
+
+TEST(FlagsTest, PositionalArgumentsKeepOrder) {
+  Flags f = Make({"first", "--x=1", "second", "third"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(FlagsTest, EmptyValueAndEqualsInValue) {
+  Flags f = Make({"--empty=", "--sql=SELECT a=b"});
+  EXPECT_TRUE(f.Has("empty"));
+  EXPECT_EQ(f.GetString("empty"), "");
+  EXPECT_EQ(f.GetString("sql"), "SELECT a=b");
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,132 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "errorgen/cfd.h"
+
+namespace falcon {
+namespace {
+
+TableSpec SmallSpec() {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 500;
+  spec.seed = 3;
+  AttrSpec key;
+  key.name = "Key";
+  key.kind = AttrSpec::Kind::kUnique;
+  key.prefix = "K";
+  AttrSpec cat;
+  cat.name = "Cat";
+  cat.kind = AttrSpec::Kind::kCategorical;
+  cat.domain = 10;
+  cat.prefix = "C";
+  AttrSpec child;
+  child.name = "Child";
+  child.kind = AttrSpec::Kind::kDerived;
+  child.domain = 100;
+  child.parents = {"Cat"};
+  child.prefix = "D";
+  spec.attrs = {key, cat, child};
+  return spec;
+}
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  auto t = GenerateTable(SmallSpec());
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->num_rows(), 500u);
+  EXPECT_EQ(t->num_cols(), 3u);
+  EXPECT_EQ(t->schema().attribute(0), "Key");
+}
+
+TEST(GeneratorTest, UniqueAttributeIsUnique) {
+  auto t = GenerateTable(SmallSpec());
+  ASSERT_TRUE(t.ok());
+  std::unordered_set<ValueId> seen;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    EXPECT_TRUE(seen.insert(t->cell(r, 0)).second);
+  }
+}
+
+TEST(GeneratorTest, CategoricalStaysInDomain) {
+  auto t = GenerateTable(SmallSpec());
+  ASSERT_TRUE(t.ok());
+  EXPECT_LE(t->DistinctCount(1), 10u);
+  EXPECT_GE(t->DistinctCount(1), 5u);  // 500 draws should hit most values.
+}
+
+TEST(GeneratorTest, DerivedAttributeIsExactFd) {
+  auto t = GenerateTable(SmallSpec());
+  ASSERT_TRUE(t.ok());
+  FdRule rule;
+  rule.lhs = {"Cat"};
+  rule.rhs = "Child";
+  EXPECT_TRUE(FdHolds(*t, rule));
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  auto a = GenerateTable(SmallSpec());
+  auto b = GenerateTable(SmallSpec());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->CountDiffCells(*b), 0u);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  TableSpec spec = SmallSpec();
+  auto a = GenerateTable(spec);
+  spec.seed = 4;
+  auto b = GenerateTable(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->CountDiffCells(*b), 0u);
+}
+
+TEST(GeneratorTest, RejectsDerivedWithoutParents) {
+  TableSpec spec = SmallSpec();
+  spec.attrs[2].parents.clear();
+  EXPECT_FALSE(GenerateTable(spec).ok());
+}
+
+TEST(GeneratorTest, RejectsForwardParentReference) {
+  TableSpec spec = SmallSpec();
+  spec.attrs[2].parents = {"Key"};
+  spec.attrs[1].kind = AttrSpec::Kind::kDerived;
+  spec.attrs[1].parents = {"Child"};  // Refers to a later attribute.
+  EXPECT_FALSE(GenerateTable(spec).ok());
+}
+
+TEST(GeneratorTest, PairDerivedNeedsBothParents) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 2000;
+  spec.seed = 9;
+  AttrSpec a;
+  a.name = "A";
+  a.kind = AttrSpec::Kind::kCategorical;
+  a.domain = 10;
+  a.prefix = "A";
+  AttrSpec b = a;
+  b.name = "B";
+  b.prefix = "B";
+  AttrSpec c;
+  c.name = "C";
+  c.kind = AttrSpec::Kind::kDerived;
+  c.domain = 30;
+  c.parents = {"A", "B"};
+  c.prefix = "C";
+  spec.attrs = {a, b, c};
+  auto t = GenerateTable(spec);
+  ASSERT_TRUE(t.ok());
+  FdRule both{{"A", "B"}, "C"};
+  FdRule only_a{{"A"}, "C"};
+  FdRule only_b{{"B"}, "C"};
+  EXPECT_TRUE(FdHolds(*t, both));
+  EXPECT_FALSE(FdHolds(*t, only_a));
+  EXPECT_FALSE(FdHolds(*t, only_b));
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,146 @@
+#include "errorgen/injector.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_util.h"
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+TEST(InjectorTest, RuleErrorsFormPatternGroups) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok()) << dirty.status();
+
+  // Count errors per (source rule, pattern).
+  std::map<std::pair<int, int>, size_t> groups;
+  for (const ErrorCell& e : dirty->errors) {
+    if (e.source == ErrorSource::kRule) {
+      ++groups[{e.source_index, e.pattern_index}];
+    }
+  }
+  EXPECT_EQ(groups.size(), 8u);  // Soccer: 8 patterns.
+  for (const auto& [key, count] : groups) {
+    EXPECT_GE(count, 2u);
+    EXPECT_LE(count, 10u);
+  }
+}
+
+TEST(InjectorTest, InjectedPatternQueryRepairsItsGroup) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  // Each recorded constant CFD must be semantically valid on the dirty
+  // instance (it is the ground-truth repair for its pattern group).
+  for (const ConstantCfd& cfd : dirty->injected_patterns) {
+    SqluQuery q = cfd.ToQuery(dirty->dirty.name());
+    auto valid = QueryValidAgainstClean(ds->clean, dirty->dirty, q);
+    ASSERT_TRUE(valid.ok());
+    EXPECT_TRUE(*valid) << cfd.ToString();
+  }
+
+  // Applying all pattern queries plus fixing random errors by hand yields
+  // the clean instance.
+  Table working = dirty->dirty.Clone();
+  for (const ConstantCfd& cfd : dirty->injected_patterns) {
+    ASSERT_TRUE(ApplyQuery(working, cfd.ToQuery(working.name())).ok());
+  }
+  for (const ErrorCell& e : dirty->errors) {
+    if (e.source != ErrorSource::kRule) {
+      working.set_cell(e.row, e.col, e.clean_value);
+    }
+  }
+  EXPECT_EQ(working.CountDiffCells(ds->clean), 0u);
+}
+
+TEST(InjectorTest, FormatErrorsRewriteEveryOccurrence) {
+  auto ds = MakeSynth(2000);
+  ASSERT_TRUE(ds.ok());
+  ErrorSpec spec;
+  spec.seed = 5;
+  spec.num_format_patterns = 3;
+  auto dirty = InjectErrors(ds->clean, spec);
+  ASSERT_TRUE(dirty.ok()) << dirty.status();
+
+  std::map<int, std::pair<ValueId, ValueId>> patterns;  // idx -> (clean, dirty).
+  for (const ErrorCell& e : dirty->errors) {
+    ASSERT_EQ(e.source, ErrorSource::kFormat);
+    auto [it, inserted] =
+        patterns.try_emplace(e.source_index, e.clean_value, e.dirty_value);
+    // One consistent rewrite per pattern.
+    EXPECT_EQ(it->second.first, e.clean_value);
+    EXPECT_EQ(it->second.second, e.dirty_value);
+  }
+  EXPECT_EQ(patterns.size(), 3u);
+  // A standardization query per pattern fixes it entirely.
+  for (const ErrorCell& e : dirty->errors) {
+    SqluQuery q;
+    q.table = dirty->dirty.name();
+    q.set_attr = dirty->dirty.schema().attribute(e.col);
+    q.set_value = std::string(ds->clean.pool()->Get(e.clean_value));
+    q.where = {{q.set_attr,
+                std::string(ds->clean.pool()->Get(e.dirty_value))}};
+    auto valid = QueryValidAgainstClean(ds->clean, dirty->dirty, q);
+    ASSERT_TRUE(valid.ok());
+    EXPECT_TRUE(*valid);
+  }
+}
+
+TEST(InjectorTest, RandomErrorsAreIndividual) {
+  auto ds = MakeSynth(2000);
+  ASSERT_TRUE(ds.ok());
+  ErrorSpec spec;
+  spec.seed = 6;
+  spec.num_random_errors = 25;
+  auto dirty = InjectErrors(ds->clean, spec);
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_EQ(dirty->errors.size(), 25u);
+  EXPECT_EQ(dirty->dirty.CountDiffCells(ds->clean), 25u);
+}
+
+TEST(InjectorTest, DeterministicForSeed) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto a = InjectErrors(ds->clean, ds->error_spec);
+  auto b = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->dirty.CountDiffCells(b->dirty), 0u);
+  EXPECT_EQ(a->errors.size(), b->errors.size());
+}
+
+TEST(InjectorTest, FailsOnViolatedRule) {
+  DrugExample ex = MakeDrugExample();
+  ErrorSpec spec;
+  RuleErrorSpec r;
+  r.rule = FdRule{{"Molecule"}, "Laboratory"};  // Violated on T_drug.
+  r.num_patterns = 1;
+  spec.rule_errors = {r};
+  EXPECT_FALSE(InjectErrors(ex.dirty, spec).ok());
+}
+
+TEST(InjectorTest, FailsOnUnknownAttribute) {
+  DrugExample ex = MakeDrugExample();
+  ErrorSpec spec;
+  RuleErrorSpec r;
+  r.rule = FdRule{{"Nope"}, "Laboratory"};
+  spec.rule_errors = {r};
+  EXPECT_FALSE(InjectErrors(ex.clean, spec).ok());
+}
+
+TEST(InjectorTest, FailsWhenNotEnoughGroups) {
+  DrugExample ex = MakeDrugExample();
+  ErrorSpec spec;
+  RuleErrorSpec r;
+  r.rule = FdRule{{"Molecule", "Laboratory"}, "Quantity"};
+  r.num_patterns = 50;  // T_drug has only a handful of groups.
+  spec.rule_errors = {r};
+  EXPECT_FALSE(InjectErrors(ex.clean, spec).ok());
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,139 @@
+// End-to-end tests across the whole stack: generate → inject → profile →
+// clean interactively → verify the repaired instance and the paper's
+// qualitative claims on small workloads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/refine.h"
+#include "core/session.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+#include "relational/csv.h"
+
+namespace falcon {
+namespace {
+
+TEST(IntegrationTest, SoccerFullPipelineConverges) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  SessionOptions options;
+  options.budget = 3;
+  auto m = RunCleaning(ds->clean, dirty->dirty, SearchKind::kCoDive, options);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->converged);
+  EXPECT_EQ(m->initial_errors, dirty->errors.size());
+  // Soccer has 8 rule patterns plus 2 random errors: the user-update floor
+  // is ~8 (a group query may also swallow a random error on the same
+  // column); a working multi-hop search lands well under the error count.
+  EXPECT_GE(m->user_updates, 8u);
+  EXPECT_LT(m->user_updates, dirty->errors.size());
+}
+
+TEST(IntegrationTest, MultiHopBeatsOneHopOnPairRules) {
+  // Synth rules have 2-attribute LHSs; one-hop BFS burns its budget on
+  // level-1 nodes while Dive reaches the right level (the paper's Fig. 4
+  // story).
+  auto ds = MakeSynth(1500);
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  SessionOptions options;
+  options.budget = 2;
+  auto dive = RunCleaning(ds->clean, dirty->dirty, SearchKind::kDive,
+                          options);
+  auto bfs = RunCleaning(ds->clean, dirty->dirty, SearchKind::kBfs, options);
+  ASSERT_TRUE(dive.ok());
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_GT(dive->Benefit(), bfs->Benefit());
+}
+
+TEST(IntegrationTest, FalconBeatsRefineOnRuleErrors) {
+  auto ds = MakeSynth(1500);
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  SessionOptions options;
+  options.budget = 5;
+  auto codive = RunCleaning(ds->clean, dirty->dirty, SearchKind::kCoDive,
+                            options);
+  auto refine = RunRefine(ds->clean, dirty->dirty);
+  ASSERT_TRUE(codive.ok());
+  ASSERT_TRUE(refine.ok());
+  EXPECT_GT(codive->Benefit(), refine->Benefit());
+}
+
+TEST(IntegrationTest, ClosedRuleSetsNeverHurtCost) {
+  auto ds = MakeSynth(1200);
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  for (SearchKind kind : {SearchKind::kDive, SearchKind::kDfs}) {
+    SessionOptions with;
+    with.budget = 2;
+    SessionOptions without = with;
+    without.use_closed_sets = false;
+    auto on = RunCleaning(ds->clean, dirty->dirty, kind, with);
+    auto off = RunCleaning(ds->clean, dirty->dirty, kind, without);
+    ASSERT_TRUE(on.ok());
+    ASSERT_TRUE(off.ok());
+    // Fig. 5: the optimization reduces (or at worst roughly preserves)
+    // total interaction cost.
+    EXPECT_LE(on->TotalCost(), off->TotalCost() + off->TotalCost() / 10 + 5)
+        << SearchKindName(kind);
+  }
+}
+
+TEST(IntegrationTest, CleanedTableRoundTripsThroughCsv) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+  Table working = dirty->dirty.Clone();
+  std::unique_ptr<SearchAlgorithm> algo =
+      MakeSearchAlgorithm(SearchKind::kDive);
+  SessionOptions options;
+  CleaningSession session(&ds->clean, &working, algo.get(), options);
+  auto m = session.Run();
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(m->converged);
+
+  std::string path = testing::TempDir() + "/falcon_integration.csv";
+  ASSERT_TRUE(WriteCsv(working, path).ok());
+  auto back = ReadCsv(path, "soccer");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), ds->clean.num_rows());
+  for (size_t r = 0; r < back->num_rows(); ++r) {
+    for (size_t c = 0; c < back->num_cols(); ++c) {
+      EXPECT_EQ(back->CellText(r, c), ds->clean.CellText(r, c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  // Same seeds → identical metrics, bit for bit.
+  auto run = [] {
+    auto ds = MakeSynth(900);
+    EXPECT_TRUE(ds.ok());
+    auto dirty = InjectErrors(ds->clean, ds->error_spec);
+    EXPECT_TRUE(dirty.ok());
+    SessionOptions options;
+    options.budget = 3;
+    auto m = RunCleaning(ds->clean, dirty->dirty, SearchKind::kCoDive,
+                         options);
+    EXPECT_TRUE(m.ok());
+    return std::make_tuple(m->user_updates, m->user_answers,
+                           m->cells_repaired);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace falcon

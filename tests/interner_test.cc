@@ -1,0 +1,57 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+TEST(ValuePoolTest, NullSlotReserved) {
+  ValuePool pool;
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Get(kNullValueId), "");
+}
+
+TEST(ValuePoolTest, InternIsIdempotent) {
+  ValuePool pool;
+  ValueId a = pool.Intern("Austin");
+  ValueId b = pool.Intern("Austin");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kNullValueId);
+  EXPECT_EQ(pool.Get(a), "Austin");
+}
+
+TEST(ValuePoolTest, DistinctStringsGetDistinctIds) {
+  ValuePool pool;
+  ValueId a = pool.Intern("Austin");
+  ValueId b = pool.Intern("Boston");
+  EXPECT_NE(a, b);
+}
+
+TEST(ValuePoolTest, EmptyStringIsARegularValue) {
+  ValuePool pool;
+  ValueId e = pool.Intern("");
+  // Interning "" returns the NULL slot by construction (slot 0 holds "").
+  EXPECT_EQ(e, kNullValueId);
+}
+
+TEST(ValuePoolTest, LookupMissingReturnsNull) {
+  ValuePool pool;
+  EXPECT_EQ(pool.Lookup("never-seen"), kNullValueId);
+  pool.Intern("seen");
+  EXPECT_NE(pool.Lookup("seen"), kNullValueId);
+}
+
+TEST(ValuePoolTest, ManyValuesSurviveReallocation) {
+  ValuePool pool;
+  std::vector<ValueId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(pool.Intern("value_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(pool.Get(ids[i]), "value_" + std::to_string(i));
+    EXPECT_EQ(pool.Lookup("value_" + std::to_string(i)), ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,143 @@
+// Property tests over many randomly chosen repairs: structural lattice
+// invariants, and cross-module consistency between the lattice's bitmap
+// affected-sets and the SQLU evaluator run on the node's rendered query.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/logging.h"
+#include "core/lattice.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+#include "relational/sqlu.h"
+
+namespace falcon {
+namespace {
+
+struct Instance {
+  Table clean;
+  Table dirty;
+  std::vector<ErrorCell> errors;
+};
+
+const Instance& GetInstance() {
+  static const Instance* inst = [] {
+    auto ds = MakeBus(3000, /*seed=*/61);
+    FALCON_CHECK(ds.ok());
+    auto dirty = InjectErrors(ds->clean, ds->error_spec);
+    FALCON_CHECK(dirty.ok());
+    return new Instance{ds->clean.Clone(), dirty->dirty.Clone(),
+                        dirty->errors};
+  }();
+  return *inst;
+}
+
+class LatticePropertyTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  StatusOr<Lattice> BuildForError(size_t error_index,
+                                  LatticeOptions options = {}) const {
+    const Instance& inst = GetInstance();
+    const ErrorCell& e = inst.errors[error_index % inst.errors.size()];
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < inst.dirty.num_cols() && cols.size() < 6; ++c) {
+      if (c != e.col) cols.push_back(c);
+    }
+    Repair repair{e.row, e.col,
+                  std::string(inst.clean.pool()->Get(e.clean_value))};
+    return Lattice::Build(inst.dirty, repair, cols, options);
+  }
+};
+
+TEST_P(LatticePropertyTest, AffectedSetsAreAntitone) {
+  auto lat = BuildForError(GetParam());
+  ASSERT_TRUE(lat.ok());
+  // Adding a predicate can only shrink the affected set.
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    for (size_t b = 0; b < lat->num_attrs(); ++b) {
+      NodeId child = m | (NodeId{1} << b);
+      if (child == m) continue;
+      EXPECT_TRUE(lat->affected(child).IsSubsetOf(lat->affected(m)))
+          << "node " << m << " bit " << b;
+      EXPECT_LE(lat->affected_count(child), lat->affected_count(m));
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, NodeQueryAgreesWithSqluEvaluator) {
+  auto lat = BuildForError(GetParam());
+  ASSERT_TRUE(lat.ok());
+  const Instance& inst = GetInstance();
+  // The lattice's bitmap sets must match evaluating the rendered SQL
+  // against the same table — two independent code paths.
+  for (NodeId m = 0; m < lat->num_nodes(); m += 3) {  // Sample nodes.
+    SqluQuery q = lat->NodeQuery(m);
+    auto rows = AffectedRows(inst.dirty, q);
+    ASSERT_TRUE(rows.ok()) << q.ToSql();
+    EXPECT_EQ(*rows, lat->affected(m)) << q.ToSql();
+  }
+}
+
+TEST_P(LatticePropertyTest, NaiveInitMatchesViewInit) {
+  auto fast = BuildForError(GetParam());
+  LatticeOptions naive;
+  naive.naive_init = true;
+  auto slow = BuildForError(GetParam(), naive);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  for (NodeId m = 0; m < fast->num_nodes(); ++m) {
+    EXPECT_EQ(fast->affected(m), slow->affected(m)) << "node " << m;
+  }
+}
+
+TEST_P(LatticePropertyTest, TopAffectsTheRepairedTuple) {
+  const Instance& inst = GetInstance();
+  const ErrorCell& e = inst.errors[GetParam() % inst.errors.size()];
+  auto lat = BuildForError(GetParam());
+  ASSERT_TRUE(lat.ok());
+  // The repaired tuple matches every predicate (constants bound to it) and
+  // its value differs from the target, so it sits in every affected set.
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    EXPECT_TRUE(lat->affected(m).Test(e.row)) << "node " << m;
+  }
+}
+
+TEST_P(LatticePropertyTest, ApplyThenRecomputeAgree) {
+  const Instance& inst = GetInstance();
+  Table dirty = inst.dirty.Clone();
+  const ErrorCell& e = inst.errors[GetParam() % inst.errors.size()];
+  std::vector<size_t> cols;
+  for (size_t c = 0; c < dirty.num_cols() && cols.size() < 6; ++c) {
+    if (c != e.col) cols.push_back(c);
+  }
+  Repair repair{e.row, e.col,
+                std::string(inst.clean.pool()->Get(e.clean_value))};
+  auto lat = Lattice::Build(dirty, repair, cols);
+  ASSERT_TRUE(lat.ok());
+
+  Lattice reference = *lat;
+  // Apply a different node per parameter to cover many shapes.
+  NodeId node = static_cast<NodeId>(GetParam() * 2654435761u) %
+                static_cast<NodeId>(lat->num_nodes());
+  lat->ApplyNode(node, dirty);
+  reference.RecomputeAffected(dirty);
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    EXPECT_EQ(lat->affected(m), reference.affected(m)) << "node " << m;
+  }
+}
+
+TEST_P(LatticePropertyTest, ClosedSetRepresentativeInvariants) {
+  auto lat = BuildForError(GetParam());
+  ASSERT_TRUE(lat.ok());
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    NodeId rep = lat->Representative(m);
+    EXPECT_EQ(lat->affected(m), lat->affected(rep));
+    EXPECT_EQ(rep & m, m);  // Representative contains m's predicates.
+    EXPECT_EQ(lat->Representative(rep), rep);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyRepairs, LatticePropertyTest,
+                         ::testing::Range<size_t>(0, 12));
+
+}  // namespace
+}  // namespace falcon

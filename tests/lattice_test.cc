@@ -1,0 +1,271 @@
+#include "core/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+// Lattice for the paper's update Δ3: t2[Molecule] ← "C22H28F" over the
+// dirty T_drug, with all four attributes (Fig. 2). Lattice bit order:
+// 0=Molecule (target), 1=Date, 2=Laboratory, 3=Quantity.
+StatusOr<Lattice> DrugLattice(const Table& dirty,
+                              LatticeOptions options = {}) {
+  Repair repair{/*row=*/1, /*col=*/1, "C22H28F"};
+  return Lattice::Build(dirty, repair, {0, 2, 3}, options);
+}
+
+NodeId MaskOf(const Lattice& lat, std::initializer_list<const char*> attrs) {
+  NodeId m = 0;
+  for (const char* a : attrs) {
+    bool found = false;
+    for (size_t i = 0; i < lat.num_attrs(); ++i) {
+      if (lat.attr_name(i) == a) {
+        m |= NodeId{1} << i;
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no lattice attribute " << a;
+  }
+  return m;
+}
+
+TEST(LatticeTest, BuildShape) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok()) << lat.status();
+  EXPECT_EQ(lat->num_attrs(), 4u);
+  EXPECT_EQ(lat->num_nodes(), 16u);
+  EXPECT_EQ(lat->bottom(), 0u);
+  EXPECT_EQ(lat->top(), 15u);
+  // Ranked candidates first, the repaired attribute last.
+  EXPECT_EQ(lat->attr_name(0), "Date");
+  EXPECT_EQ(lat->attr_name(3), "Molecule");
+  EXPECT_EQ(lat->binding_text(3), "statin");  // Bound to the dirty value.
+}
+
+TEST(LatticeTest, AffectedCountsMatchPaperFigure2) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  // ∅ affects every tuple whose Molecule ≠ C22H28F: all 6.
+  EXPECT_EQ(lat->affected_count(lat->bottom()), 6u);
+  // M (Molecule=statin): t2, t4, t5.
+  EXPECT_EQ(lat->affected_count(MaskOf(*lat, {"Molecule"})), 3u);
+  // ML (the paper's Q3): t2, t5 — affected number 2 in Fig. 2.
+  NodeId ml = MaskOf(*lat, {"Molecule", "Laboratory"});
+  EXPECT_EQ(lat->affected_count(ml), 2u);
+  EXPECT_EQ(lat->affected(ml).ToVector(), (std::vector<uint32_t>{1, 4}));
+  // Q (Quantity=200): t1, t2, t4, t5.
+  EXPECT_EQ(lat->affected_count(MaskOf(*lat, {"Quantity"})), 4u);
+  // LQ (Austin, 200): t1, t2, t5.
+  EXPECT_EQ(lat->affected_count(MaskOf(*lat, {"Laboratory", "Quantity"})),
+            3u);
+  // Top (DMLQ): only t2.
+  EXPECT_EQ(lat->affected_count(lat->top()), 1u);
+}
+
+TEST(LatticeTest, NaiveInitMatchesViewInit) {
+  DrugExample ex = MakeDrugExample();
+  auto fast = DrugLattice(ex.dirty);
+  LatticeOptions naive;
+  naive.naive_init = true;
+  auto slow = DrugLattice(ex.dirty, naive);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  for (NodeId m = 0; m < fast->num_nodes(); ++m) {
+    EXPECT_EQ(fast->affected(m), slow->affected(m)) << "node " << m;
+  }
+}
+
+TEST(LatticeTest, NodeQueryRendersSql) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  SqluQuery q = lat->NodeQuery(MaskOf(*lat, {"Molecule", "Laboratory"}));
+  EXPECT_EQ(q.ToSql(),
+            "UPDATE T_drug SET Molecule = 'C22H28F' WHERE Laboratory = "
+            "'Austin' AND Molecule = 'statin';");
+  EXPECT_EQ(lat->NodeQuery(0).ToSql(),
+            "UPDATE T_drug SET Molecule = 'C22H28F';");
+}
+
+TEST(LatticeTest, NodeLabel) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_EQ(lat->NodeLabel(0), "{}");
+  EXPECT_EQ(lat->NodeLabel(MaskOf(*lat, {"Molecule", "Quantity"})),
+            "{Quantity, Molecule}");
+}
+
+TEST(LatticeTest, ValidInferencePropagatesUpward) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  NodeId ml = MaskOf(*lat, {"Molecule", "Laboratory"});
+  lat->MarkValid(ml);
+  // Everything more specific (supersets) becomes valid.
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    if ((m & ml) == ml) {
+      EXPECT_EQ(lat->validity(m), Validity::kValid) << "node " << m;
+    } else {
+      EXPECT_EQ(lat->validity(m), Validity::kUnknown) << "node " << m;
+    }
+  }
+}
+
+TEST(LatticeTest, InvalidInferencePropagatesDownward) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  NodeId dq = MaskOf(*lat, {"Date", "Quantity"});
+  lat->MarkInvalid(dq);
+  // Paper Example 5: D, Q and ∅ become invalid.
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    if ((m & dq) == m) {
+      EXPECT_EQ(lat->validity(m), Validity::kInvalid) << "node " << m;
+    } else {
+      EXPECT_EQ(lat->validity(m), Validity::kUnknown) << "node " << m;
+    }
+  }
+}
+
+TEST(LatticeTest, InferenceDoesNotOverwriteKnownStates) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  NodeId ml = MaskOf(*lat, {"Molecule", "Laboratory"});
+  lat->MarkValid(ml);
+  lat->MarkInvalid(MaskOf(*lat, {"Molecule"}));
+  // ML stays valid even though it is a superset of the invalidated M.
+  EXPECT_EQ(lat->validity(ml), Validity::kValid);
+}
+
+TEST(LatticeTest, ApplyNodeWritesAndMaintainsCounts) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  auto lat = DrugLattice(dirty);
+  ASSERT_TRUE(lat.ok());
+
+  // Paper Example 9: validating ML repairs {t2, t5}.
+  NodeId ml = MaskOf(*lat, {"Molecule", "Laboratory"});
+  RowSet changed = lat->ApplyNode(ml, dirty);
+  EXPECT_EQ(changed.ToVector(), (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(dirty.CellText(1, 1), "C22H28F");
+  EXPECT_EQ(dirty.CellText(4, 1), "C22H28F");
+
+  // Case 1: contained nodes (supersets of ML) drop to 0.
+  EXPECT_EQ(lat->affected_count(MaskOf(*lat, {"Molecule", "Laboratory",
+                                              "Date"})), 0u);
+  EXPECT_EQ(lat->affected_count(lat->top()), 0u);
+  // Case 2: M drops 3 → 1; ∅ drops 6 → 4.
+  EXPECT_EQ(lat->affected_count(MaskOf(*lat, {"Molecule"})), 1u);
+  EXPECT_EQ(lat->affected_count(lat->bottom()), 4u);
+  // L (Laboratory=Austin): was {t1, t2, t5} = 3, loses t2 and t5 → 1.
+  EXPECT_EQ(lat->affected_count(MaskOf(*lat, {"Laboratory"})), 1u);
+  // Case 3: DL (12 Nov, Austin) affected only t2 → 0 now.
+  EXPECT_EQ(lat->affected_count(MaskOf(*lat, {"Date", "Laboratory"})), 0u);
+}
+
+TEST(LatticeTest, MaintenanceClassifiesCases) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  auto lat = DrugLattice(dirty);
+  ASSERT_TRUE(lat.ok());
+  NodeId ml = MaskOf(*lat, {"Molecule", "Laboratory"});
+  lat->ApplyNode(ml, dirty);
+  // 16-node lattice: ML itself, 3 proper supersets (Case 1), 3 proper
+  // subsets {∅, M, L} (Case 2), and 9 incomparable nodes (Case 3).
+  EXPECT_EQ(lat->maintenance_stats().case1_contained, 3u);
+  EXPECT_EQ(lat->maintenance_stats().case2_containing, 3u);
+  EXPECT_EQ(lat->maintenance_stats().case3_disjoint, 9u);
+}
+
+TEST(LatticeTest, MaintenanceMatchesRecompute) {
+  // Property: after any apply, the incrementally maintained sets equal a
+  // from-scratch recomputation.
+  auto ds = MakeSynth(1500);
+  ASSERT_TRUE(ds.ok());
+  auto dirty_inst = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty_inst.ok());
+  Table dirty = dirty_inst->dirty.Clone();
+
+  const ErrorCell& e = dirty_inst->errors.front();
+  Repair repair{e.row, e.col,
+                std::string(ds->clean.pool()->Get(e.clean_value))};
+  std::vector<size_t> cols;
+  for (size_t c = 0; c < dirty.num_cols() && cols.size() < 5; ++c) {
+    if (c != e.col) cols.push_back(c);
+  }
+  auto lat = Lattice::Build(dirty, repair, cols);
+  ASSERT_TRUE(lat.ok());
+
+  // Apply a mid-lattice node, then compare the incrementally maintained
+  // sets against a from-scratch recomputation over the updated table
+  // (RecomputeAffected keeps the original predicate bindings; a rebuilt
+  // lattice would re-bind to the repaired tuple's new values).
+  Lattice reference = *lat;
+  NodeId node = lat->top() >> 1;  // Some strict subset.
+  lat->ApplyNode(node, dirty);
+  reference.RecomputeAffected(dirty);
+
+  for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+    EXPECT_EQ(lat->affected(m), reference.affected(m)) << "node " << m;
+    EXPECT_EQ(lat->affected_count(m), reference.affected_count(m));
+  }
+}
+
+TEST(LatticeTest, RecomputeAffectedRefreshesFromTable) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  auto lat = DrugLattice(dirty);
+  ASSERT_TRUE(lat.ok());
+  // Mutate the table behind the lattice's back, then recompute.
+  dirty.SetCellText(3, 1, "C22H28F");  // Fix t4 by hand.
+  lat->RecomputeAffected(dirty);
+  EXPECT_EQ(lat->affected_count(MaskOf(*lat, {"Molecule"})), 2u);
+}
+
+TEST(LatticeTest, PartialMaterializationCapsAttrs) {
+  DrugExample ex = MakeDrugExample();
+  LatticeOptions options;
+  options.max_attrs = 2;
+  auto lat = DrugLattice(ex.dirty, options);
+  ASSERT_TRUE(lat.ok());
+  EXPECT_EQ(lat->num_attrs(), 2u);
+  EXPECT_EQ(lat->num_nodes(), 4u);
+  // One slot for the best-ranked candidate, and the target always last.
+  EXPECT_EQ(lat->attr_name(0), "Date");
+  EXPECT_EQ(lat->attr_name(1), "Molecule");
+}
+
+TEST(LatticeTest, ExcludeTargetAttrVariant) {
+  DrugExample ex = MakeDrugExample();
+  LatticeOptions options;
+  options.exclude_target_attr = true;
+  auto lat = DrugLattice(ex.dirty, options);
+  ASSERT_TRUE(lat.ok());
+  // Appendix B: A ∉ X, so only Date, Laboratory, Quantity remain.
+  EXPECT_EQ(lat->num_attrs(), 3u);
+  for (size_t i = 0; i < lat->num_attrs(); ++i) {
+    EXPECT_NE(lat->attr_name(i), "Molecule");
+  }
+}
+
+TEST(LatticeTest, RejectsBadRepairs) {
+  DrugExample ex = MakeDrugExample();
+  EXPECT_FALSE(
+      Lattice::Build(ex.dirty, Repair{99, 1, "x"}, {0}).ok());
+  EXPECT_FALSE(
+      Lattice::Build(ex.dirty, Repair{1, 99, "x"}, {0}).ok());
+  EXPECT_FALSE(
+      Lattice::Build(ex.dirty, Repair{1, 1, "x"}, {77}).ok());
+}
+
+}  // namespace
+}  // namespace falcon

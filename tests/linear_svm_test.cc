@@ -1,0 +1,99 @@
+#include "ml/linear_svm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace falcon {
+namespace {
+
+SparseVector Vec(std::initializer_list<std::pair<uint32_t, float>> entries) {
+  SparseVector v;
+  for (auto [i, x] : entries) v.Add(i, x);
+  return v;
+}
+
+TEST(LinearSvmTest, UntrainedReportsNotTrained) {
+  LinearSvm svm(16);
+  EXPECT_FALSE(svm.trained());
+  svm.Train({}, {});
+  EXPECT_FALSE(svm.trained());
+}
+
+TEST(LinearSvmTest, LearnsLinearlySeparableData) {
+  // +1 iff feature 0 present; -1 iff feature 1 present.
+  std::vector<SparseVector> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(Vec({{0, 1.0f}, {2, 1.0f}}));
+    ys.push_back(+1);
+    xs.push_back(Vec({{1, 1.0f}, {2, 1.0f}}));
+    ys.push_back(-1);
+  }
+  LinearSvm svm(8);
+  svm.Train(xs, ys, 30);
+  EXPECT_TRUE(svm.trained());
+  EXPECT_GT(svm.Margin(Vec({{0, 1.0f}})), 0.0);
+  EXPECT_LT(svm.Margin(Vec({{1, 1.0f}})), 0.0);
+  EXPECT_GT(svm.Probability(Vec({{0, 1.0f}})), 0.7);
+  EXPECT_LT(svm.Probability(Vec({{1, 1.0f}})), 0.3);
+}
+
+TEST(LinearSvmTest, ProbabilityIsMonotoneInMargin) {
+  LinearSvm svm(4);
+  std::vector<SparseVector> xs = {Vec({{0, 1.0f}}), Vec({{1, 1.0f}})};
+  std::vector<int> ys = {+1, -1};
+  svm.Train(xs, ys, 50);
+  double strong = svm.Probability(Vec({{0, 2.0f}}));
+  double weak = svm.Probability(Vec({{0, 0.5f}}));
+  EXPECT_GT(strong, weak);
+}
+
+TEST(LinearSvmTest, HandlesNoisyLabels) {
+  Rng rng(5);
+  std::vector<SparseVector> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < 400; ++i) {
+    bool positive = rng.NextBool(0.5);
+    SparseVector v;
+    v.Add(positive ? 0u : 1u, 1.0f);
+    v.Add(2 + static_cast<uint32_t>(rng.NextUint(10)), 1.0f);  // Noise.
+    xs.push_back(v);
+    // 10% label noise.
+    int label = positive ? +1 : -1;
+    if (rng.NextBool(0.1)) label = -label;
+    ys.push_back(label);
+  }
+  LinearSvm svm(16);
+  svm.Train(xs, ys, 20);
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    bool positive = i % 2 == 0;
+    SparseVector v;
+    v.Add(positive ? 0u : 1u, 1.0f);
+    double p = svm.Probability(v);
+    if ((p > 0.5) == positive) ++correct;
+  }
+  EXPECT_GE(correct, 90);
+}
+
+TEST(LinearSvmTest, OutOfRangeIndexesAreIgnored) {
+  LinearSvm svm(4);
+  std::vector<SparseVector> xs = {Vec({{0, 1.0f}, {1000, 1.0f}})};
+  std::vector<int> ys = {+1};
+  svm.Train(xs, ys, 5);
+  // Must not crash; margin still usable.
+  EXPECT_GT(svm.Margin(Vec({{0, 1.0f}, {999, 3.0f}})), 0.0);
+}
+
+TEST(LinearSvmTest, RetrainResetsState) {
+  LinearSvm svm(4);
+  svm.Train({Vec({{0, 1.0f}})}, {+1}, 20);
+  double before = svm.Margin(Vec({{0, 1.0f}}));
+  EXPECT_GT(before, 0.0);
+  svm.Train({Vec({{0, 1.0f}})}, {-1}, 20);
+  EXPECT_LT(svm.Margin(Vec({{0, 1.0f}})), 0.0);
+}
+
+}  // namespace
+}  // namespace falcon

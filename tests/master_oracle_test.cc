@@ -1,0 +1,142 @@
+#include "core/master_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+namespace falcon {
+namespace {
+
+// Bits of the T_drug lattice below: 0=Date, 1=Laboratory, 2=Quantity,
+// 3=Molecule (target last).
+StatusOr<Lattice> DrugLattice(const Table& dirty) {
+  return Lattice::Build(dirty, Repair{1, 1, "C22H28F"}, {0, 2, 3});
+}
+
+Table SampleMaster(const Table& clean, double coverage, uint64_t seed) {
+  Table master("master", clean.schema(), clean.pool());
+  Rng rng(seed);
+  std::vector<ValueId> ids(clean.num_cols());
+  for (size_t r = 0; r < clean.num_rows(); ++r) {
+    if (!rng.NextBool(coverage)) continue;
+    for (size_t c = 0; c < clean.num_cols(); ++c) ids[c] = clean.cell(r, c);
+    master.AppendRowIds(ids);
+  }
+  return master;
+}
+
+TEST(MasterOracleTest, SupportsAndRefutesFromMaster) {
+  DrugExample ex = MakeDrugExample();
+  // Master = full clean table.
+  Table master = ex.clean.Clone();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  MasterBackedOracle oracle(&master, &ex.dirty, &ex.clean);
+
+  // ML (Molecule=statin, Laboratory=Austin → C22H28F): the master has no
+  // (statin, Austin) tuple — statin only occurs in Boston — so the pattern
+  // is uncovered and falls to the human.
+  NodeId ml = 0b1010;
+  EXPECT_EQ(oracle.Check(*lat, ml), MasterBackedOracle::Verdict::kUncovered);
+
+  // M (Molecule=statin → C22H28F): master's statin tuple (t4, Boston)
+  // disagrees with the SET value — refuted for free.
+  NodeId m = 0b1000;
+  EXPECT_EQ(oracle.Check(*lat, m), MasterBackedOracle::Verdict::kRefuted);
+
+  // L (Laboratory=Austin → C22H28F): master's Austin tuples carry
+  // C16H16Cl and C22H28F — mixed values, refuted.
+  NodeId l = 0b0010;
+  EXPECT_EQ(oracle.Check(*lat, l), MasterBackedOracle::Verdict::kRefuted);
+
+  // DL (Date=12 Nov, Laboratory=Austin): master has exactly t2 with
+  // C22H28F — supported.
+  NodeId dl = 0b0011;
+  EXPECT_EQ(oracle.Check(*lat, dl),
+            MasterBackedOracle::Verdict::kSupported);
+}
+
+TEST(MasterOracleTest, FreeAnswersAreNotBilled) {
+  DrugExample ex = MakeDrugExample();
+  Table master = ex.clean.Clone();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  MasterBackedOracle oracle(&master, &ex.dirty, &ex.clean);
+
+  auto refuted = oracle.AnswerEx(*lat, 0b1000);
+  EXPECT_FALSE(refuted.valid);
+  EXPECT_FALSE(refuted.billed);
+  EXPECT_EQ(oracle.master_answers(), 1u);
+  EXPECT_EQ(oracle.questions(), 0u);  // No human question yet.
+
+  auto uncovered = oracle.AnswerEx(*lat, 0b1010);
+  EXPECT_TRUE(uncovered.valid);  // Human answers truthfully.
+  EXPECT_TRUE(uncovered.billed);
+  EXPECT_EQ(oracle.questions(), 1u);
+}
+
+TEST(MasterOracleTest, UnalignedAttributesFallToHuman) {
+  DrugExample ex = MakeDrugExample();
+  // Master missing the Laboratory column entirely.
+  Table master("master", Schema({"Date", "Molecule", "Quantity"}),
+               ex.clean.pool());
+  for (size_t r = 0; r < ex.clean.num_rows(); ++r) {
+    master.AppendRowIds({ex.clean.cell(r, 0), ex.clean.cell(r, 1),
+                         ex.clean.cell(r, 3)});
+  }
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  MasterBackedOracle oracle(&master, &ex.dirty, &ex.clean);
+  // Any pattern touching Laboratory is uncovered.
+  EXPECT_EQ(oracle.Check(*lat, 0b0010),
+            MasterBackedOracle::Verdict::kUncovered);
+  // Patterns over aligned attributes still resolve.
+  EXPECT_EQ(oracle.Check(*lat, 0b1000),
+            MasterBackedOracle::Verdict::kRefuted);
+}
+
+TEST(MasterOracleTest, SessionWithMasterReducesUserAnswers) {
+  auto ds = MakeSynth(3000);
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  SessionOptions plain;
+  plain.budget = 3;
+  auto without = RunCleaning(ds->clean, dirty->dirty, SearchKind::kCoDive,
+                             plain);
+  ASSERT_TRUE(without.ok());
+
+  Table master = SampleMaster(ds->clean, 0.9, 7);
+  SessionOptions with_master = plain;
+  with_master.master = &master;
+  Table working = dirty->dirty.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kCoDive);
+  CleaningSession session(&ds->clean, &working, algo.get(), with_master);
+  auto with = session.Run();
+  ASSERT_TRUE(with.ok()) << with.status();
+  EXPECT_TRUE(with->converged);
+  EXPECT_GT(with->master_answers, 0u);
+  EXPECT_LT(with->user_answers, without->user_answers);
+}
+
+TEST(MasterOracleTest, RejectsForeignPool) {
+  auto ds = MakeSynth(500);
+  ASSERT_TRUE(ds.ok());
+  auto other = MakeSynth(500);  // Fresh pool.
+  ASSERT_TRUE(other.ok());
+  SessionOptions options;
+  options.master = &other->clean;
+  Table working = ds->clean.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  // Force at least one error so Run reaches the oracle setup.
+  working.SetCellText(0, 1, "wrong");
+  CleaningSession session(&ds->clean, &working, algo.get(), options);
+  EXPECT_FALSE(session.Run().ok());
+}
+
+}  // namespace
+}  // namespace falcon

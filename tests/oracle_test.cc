@@ -1,0 +1,138 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+namespace falcon {
+namespace {
+
+StatusOr<Lattice> DrugLattice(const Table& dirty) {
+  return Lattice::Build(dirty, Repair{1, 1, "C22H28F"}, {0, 2, 3});
+}
+
+NodeId MaskOf(const Lattice& lat, std::initializer_list<const char*> attrs) {
+  NodeId m = 0;
+  for (const char* a : attrs) {
+    for (size_t i = 0; i < lat.num_attrs(); ++i) {
+      if (lat.attr_name(i) == a) m |= NodeId{1} << i;
+    }
+  }
+  return m;
+}
+
+TEST(OracleTest, MatchesPaperExample1Semantics) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  UserOracle oracle(&ex.clean);
+
+  // Q3 (ML) repairs t2 and t5: valid.
+  EXPECT_TRUE(oracle.TrueValid(*lat, MaskOf(*lat, {"Molecule",
+                                                   "Laboratory"})));
+  // Q3' (M) would wrongly rewrite t4's Boston statin: invalid.
+  EXPECT_FALSE(oracle.TrueValid(*lat, MaskOf(*lat, {"Molecule"})));
+  // Q3'' (top) repairs only t2: valid.
+  EXPECT_TRUE(oracle.TrueValid(*lat, lat->top()));
+  // ∅ rewrites the whole column: invalid.
+  EXPECT_FALSE(oracle.TrueValid(*lat, lat->bottom()));
+}
+
+TEST(OracleTest, ValidityIsMonotoneUnderContainment) {
+  // Property (lattice pruning soundness, Section 3): if a node is valid,
+  // every superset node is valid; if invalid, every subset is invalid.
+  auto ds = MakeSynth(1000);
+  ASSERT_TRUE(ds.ok());
+  auto dirty_inst = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty_inst.ok());
+  UserOracle oracle(&ds->clean);
+
+  for (size_t ei = 0; ei < 5; ++ei) {
+    const ErrorCell& e = dirty_inst->errors[ei * 7];
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < dirty_inst->dirty.num_cols() && cols.size() < 5;
+         ++c) {
+      if (c != e.col) cols.push_back(c);
+    }
+    auto lat = Lattice::Build(
+        dirty_inst->dirty,
+        Repair{e.row, e.col,
+               std::string(ds->clean.pool()->Get(e.clean_value))},
+        cols);
+    ASSERT_TRUE(lat.ok());
+    std::vector<bool> truth(lat->num_nodes());
+    for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+      truth[m] = oracle.TrueValid(*lat, m);
+    }
+    for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+      for (size_t b = 0; b < lat->num_attrs(); ++b) {
+        NodeId parent = m & ~(NodeId{1} << b);
+        if (parent == m) continue;
+        // parent is more general: valid(parent) ⇒ valid(m).
+        if (truth[parent]) EXPECT_TRUE(truth[m]);
+      }
+    }
+  }
+}
+
+TEST(OracleTest, TopNodeAlwaysValid) {
+  // The most specific query touches exactly the repaired tuple's pattern;
+  // with the clean value as target it is always valid.
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty_inst = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty_inst.ok());
+  UserOracle oracle(&ds->clean);
+  for (size_t ei = 0; ei < dirty_inst->errors.size(); ei += 9) {
+    const ErrorCell& e = dirty_inst->errors[ei];
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < dirty_inst->dirty.num_cols(); ++c) {
+      if (c != e.col) cols.push_back(c);
+    }
+    auto lat = Lattice::Build(
+        dirty_inst->dirty,
+        Repair{e.row, e.col,
+               std::string(ds->clean.pool()->Get(e.clean_value))},
+        cols);
+    ASSERT_TRUE(lat.ok());
+    EXPECT_TRUE(oracle.TrueValid(*lat, lat->top()));
+  }
+}
+
+TEST(OracleTest, CountsQuestions) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  UserOracle oracle(&ex.clean);
+  EXPECT_EQ(oracle.questions(), 0u);
+  oracle.Answer(*lat, lat->top());
+  oracle.Answer(*lat, lat->bottom());
+  EXPECT_EQ(oracle.questions(), 2u);
+}
+
+TEST(OracleTest, MistakeProbabilityFlipsAnswers) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  UserOracle always_wrong(&ex.clean, /*mistake_prob=*/1.0);
+  // Top is truly valid; a p=1 oracle always lies.
+  EXPECT_FALSE(always_wrong.Answer(*lat, lat->top()));
+  UserOracle never_wrong(&ex.clean, /*mistake_prob=*/0.0);
+  EXPECT_TRUE(never_wrong.Answer(*lat, lat->top()));
+}
+
+TEST(OracleTest, MistakesAreRareAtLowProbability) {
+  DrugExample ex = MakeDrugExample();
+  auto lat = DrugLattice(ex.dirty);
+  ASSERT_TRUE(lat.ok());
+  UserOracle oracle(&ex.clean, /*mistake_prob=*/0.05, /*seed=*/3);
+  int wrong = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!oracle.Answer(*lat, lat->top())) ++wrong;
+  }
+  EXPECT_NEAR(wrong, 50, 30);
+}
+
+}  // namespace
+}  // namespace falcon

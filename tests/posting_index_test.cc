@@ -1,0 +1,77 @@
+#include "relational/posting_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lattice.h"
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+TEST(PostingIndexTest, PostingsMatchScan) {
+  DrugExample ex = MakeDrugExample();
+  PostingIndex index(&ex.dirty);
+  ValueId austin = ex.dirty.Lookup("Austin");
+  EXPECT_EQ(index.Postings(2, austin), ex.dirty.ScanEquals(2, austin));
+  ValueId statin = ex.dirty.Lookup("statin");
+  EXPECT_EQ(index.Postings(1, statin), ex.dirty.ScanEquals(1, statin));
+}
+
+TEST(PostingIndexTest, CachesAcrossCalls) {
+  DrugExample ex = MakeDrugExample();
+  PostingIndex index(&ex.dirty);
+  ValueId austin = ex.dirty.Lookup("Austin");
+  index.Postings(2, austin);
+  EXPECT_EQ(index.misses(), 1u);
+  index.Postings(2, austin);
+  index.Postings(2, austin);
+  EXPECT_EQ(index.hits(), 2u);
+  EXPECT_EQ(index.cached_entries(), 1u);
+}
+
+TEST(PostingIndexTest, InvalidationRefreshesAfterUpdate) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  PostingIndex index(&dirty);
+  ValueId statin = dirty.Lookup("statin");
+  EXPECT_EQ(index.Postings(1, statin).Count(), 3u);
+
+  dirty.SetCellText(1, 1, "C22H28F");  // t2 fixed.
+  // Stale until invalidated.
+  EXPECT_EQ(index.Postings(1, statin).Count(), 3u);
+  index.InvalidateColumn(1);
+  EXPECT_EQ(index.Postings(1, statin).Count(), 2u);
+}
+
+TEST(PostingIndexTest, InvalidateAllClearsEverything) {
+  DrugExample ex = MakeDrugExample();
+  PostingIndex index(&ex.dirty);
+  index.Postings(1, ex.dirty.Lookup("statin"));
+  index.Postings(2, ex.dirty.Lookup("Austin"));
+  EXPECT_EQ(index.cached_entries(), 2u);
+  index.InvalidateAll();
+  EXPECT_EQ(index.cached_entries(), 0u);
+}
+
+TEST(PostingIndexTest, LatticeBuiltThroughIndexMatchesDirect) {
+  DrugExample ex = MakeDrugExample();
+  PostingIndex index(&ex.dirty);
+  Repair repair{1, 1, "C22H28F"};
+  LatticeOptions with_index;
+  with_index.index = &index;
+  auto a = Lattice::Build(ex.dirty, repair, {0, 2, 3}, with_index);
+  auto b = Lattice::Build(ex.dirty, repair, {0, 2, 3});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (NodeId m = 0; m < a->num_nodes(); ++m) {
+    EXPECT_EQ(a->affected(m), b->affected(m)) << "node " << m;
+  }
+  // Second build over the same repair is served from cache.
+  size_t misses_before = index.misses();
+  auto c = Lattice::Build(ex.dirty, repair, {0, 2, 3}, with_index);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(index.misses(), misses_before);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace falcon {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint(1000), b.NextUint(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextUint(1 << 30) != b.NextUint(1 << 30)) ++differences;
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(RngTest, NextUintInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(7);
+  int yes = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++yes;
+  }
+  EXPECT_NEAR(yes, 2500, 250);
+}
+
+TEST(RngTest, SkewedPrefersSmallIndexes) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.NextSkewed(10, 1.0)];
+  }
+  EXPECT_GT(counts[0], counts[9] * 2);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 10000);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, NextWeightedFavorsHeavyWeights) {
+  Rng rng(7);
+  std::vector<double> weights = {1.0, 0.0, 9.0};
+  int heavy = 0;
+  for (int i = 0; i < 5000; ++i) {
+    size_t pick = rng.NextWeighted(weights);
+    EXPECT_NE(pick, 1u);
+    if (pick == 2) ++heavy;
+  }
+  EXPECT_NEAR(heavy, 4500, 300);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,127 @@
+#include "common/row_set.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+TEST(RowSetTest, StartsEmpty) {
+  RowSet s(100);
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.universe_size(), 100u);
+}
+
+TEST(RowSetTest, SetTestClear) {
+  RowSet s(130);
+  s.Set(0);
+  s.Set(63);
+  s.Set(64);
+  s.Set(129);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(129));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 4u);
+  s.Clear(63);
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3u);
+}
+
+TEST(RowSetTest, FillConstructorRespectsUniverseTail) {
+  RowSet s(70, /*fill=*/true);
+  EXPECT_EQ(s.Count(), 70u);
+  s.SetAll();
+  EXPECT_EQ(s.Count(), 70u);
+}
+
+TEST(RowSetTest, AndOrAndNot) {
+  RowSet a(128);
+  RowSet b(128);
+  for (size_t i = 0; i < 128; i += 2) a.Set(i);   // Evens.
+  for (size_t i = 0; i < 128; i += 3) b.Set(i);   // Multiples of 3.
+  RowSet both = a;
+  both.And(b);  // Multiples of 6.
+  EXPECT_EQ(both.Count(), 22u);  // 0,6,...,126.
+  RowSet either = a;
+  either.Or(b);
+  EXPECT_EQ(either.Count(), 64 + 43 - 22);
+  RowSet diff = a;
+  diff.AndNot(b);
+  EXPECT_EQ(diff.Count(), 64u - 22u);
+}
+
+TEST(RowSetTest, IntersectCountMatchesAnd) {
+  RowSet a(200);
+  RowSet b(200);
+  for (size_t i = 0; i < 200; i += 5) a.Set(i);
+  for (size_t i = 0; i < 200; i += 7) b.Set(i);
+  RowSet c = a;
+  c.And(b);
+  EXPECT_EQ(a.IntersectCount(b), c.Count());
+}
+
+TEST(RowSetTest, SubsetAndDisjoint) {
+  RowSet a(64);
+  RowSet b(64);
+  a.Set(3);
+  a.Set(9);
+  b.Set(3);
+  b.Set(9);
+  b.Set(20);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  RowSet c(64);
+  c.Set(40);
+  EXPECT_TRUE(a.DisjointWith(c));
+  EXPECT_FALSE(a.DisjointWith(b));
+}
+
+TEST(RowSetTest, ForEachVisitsAscending) {
+  RowSet s(300);
+  std::vector<size_t> want = {0, 1, 63, 64, 65, 128, 299};
+  for (size_t r : want) s.Set(r);
+  std::vector<size_t> got;
+  s.ForEach([&](size_t r) { got.push_back(r); });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(s.ToVector().size(), want.size());
+}
+
+TEST(RowSetTest, AllOfShortCircuits) {
+  RowSet s(128);
+  s.Set(5);
+  s.Set(80);
+  size_t visited = 0;
+  bool all = s.AllOf([&](size_t r) {
+    ++visited;
+    return r < 50;
+  });
+  EXPECT_FALSE(all);
+  EXPECT_EQ(visited, 2u);
+  EXPECT_TRUE(s.AllOf([](size_t) { return true; }));
+}
+
+TEST(RowSetTest, HashDiffersForDifferentSets) {
+  RowSet a(128);
+  RowSet b(128);
+  a.Set(1);
+  b.Set(2);
+  EXPECT_NE(a.Hash(), b.Hash());
+  RowSet c(128);
+  c.Set(1);
+  EXPECT_EQ(a.Hash(), c.Hash());
+  EXPECT_EQ(a, c);
+}
+
+TEST(RowSetTest, FirstElement) {
+  RowSet s(128);
+  EXPECT_EQ(s.First(), 128u);
+  s.Set(77);
+  EXPECT_EQ(s.First(), 77u);
+  s.Set(12);
+  EXPECT_EQ(s.First(), 12u);
+}
+
+}  // namespace
+}  // namespace falcon

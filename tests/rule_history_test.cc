@@ -1,0 +1,103 @@
+#include "core/rule_history.h"
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+namespace falcon {
+namespace {
+
+TEST(RuleHistoryTest, UnseenShapeIsNeutral) {
+  RuleHistory history;
+  EXPECT_DOUBLE_EQ(history.Boost(3, {1, 2}), 1.0);
+  EXPECT_EQ(history.distinct_shapes(), 0u);
+}
+
+TEST(RuleHistoryTest, ValidObservationsRaiseBoost) {
+  RuleHistory history;
+  history.Record(3, {1, 2}, true);
+  history.Record(3, {1, 2}, true);
+  EXPECT_GT(history.Boost(3, {1, 2}), 1.0);
+  EXPECT_EQ(history.valid_observations(), 2u);
+}
+
+TEST(RuleHistoryTest, InvalidObservationsLowerBoost) {
+  RuleHistory history;
+  history.Record(3, {4}, false);
+  history.Record(3, {4}, false);
+  history.Record(3, {4}, false);
+  EXPECT_LT(history.Boost(3, {4}), 1.0);
+}
+
+TEST(RuleHistoryTest, ShapeIsOrderInsensitive) {
+  RuleHistory history;
+  history.Record(3, {2, 1}, true);
+  EXPECT_EQ(history.Boost(3, {1, 2}), history.Boost(3, {2, 1}));
+  EXPECT_EQ(history.distinct_shapes(), 1u);
+}
+
+TEST(RuleHistoryTest, TargetsAreIndependent) {
+  RuleHistory history;
+  history.Record(3, {1}, true);
+  EXPECT_DOUBLE_EQ(history.Boost(4, {1}), 1.0);
+}
+
+TEST(RuleHistoryTest, BoostIsBounded) {
+  RuleHistory history;
+  for (int i = 0; i < 1000; ++i) history.Record(1, {2}, true);
+  for (int i = 0; i < 1000; ++i) history.Record(1, {3}, false);
+  EXPECT_LE(history.Boost(1, {2}), 4.0);
+  EXPECT_GE(history.Boost(1, {3}), 0.25);
+}
+
+TEST(RuleHistoryTest, SessionAccumulatesHistory) {
+  auto ds = MakeSynth(2000);
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  SessionOptions options;
+  options.budget = 3;
+  options.use_rule_history = true;
+  Table working = dirty->dirty.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kCoDive);
+  CleaningSession session(&ds->clean, &working, algo.get(), options);
+  auto m = session.Run();
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->converged);
+  EXPECT_GT(session.history().distinct_shapes(), 0u);
+  EXPECT_GT(session.history().valid_observations(), 0u);
+}
+
+TEST(RuleHistoryTest, HistoryDoesNotHurtCoDive) {
+  // §8 extension ablation: with rule history on, CoDive's cost on a
+  // rule-heavy workload must not regress materially (it usually improves —
+  // later sessions jump straight to the shapes that worked).
+  auto ds = MakeSynth(4000);
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  SessionOptions base;
+  base.budget = 3;
+  SessionOptions with_history = base;
+  with_history.use_rule_history = true;
+
+  auto plain = RunCleaning(ds->clean, dirty->dirty, SearchKind::kCoDive,
+                           base);
+  ASSERT_TRUE(plain.ok());
+
+  Table working = dirty->dirty.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kCoDive);
+  CleaningSession session(&ds->clean, &working, algo.get(), with_history);
+  auto boosted = session.Run();
+  ASSERT_TRUE(boosted.ok());
+  EXPECT_TRUE(boosted->converged);
+  EXPECT_LE(boosted->TotalCost(),
+            plain->TotalCost() + plain->TotalCost() / 5 + 10);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "relational/schema.h"
+#include "relational/table.h"
+
+namespace falcon {
+namespace {
+
+Schema DrugSchema() {
+  return Schema({"Date", "Molecule", "Laboratory", "Quantity"});
+}
+
+TEST(SchemaTest, ArityAndLookup) {
+  Schema s = DrugSchema();
+  EXPECT_EQ(s.arity(), 4u);
+  EXPECT_EQ(s.attribute(0), "Date");
+  EXPECT_EQ(s.AttrIndex("Laboratory"), 2);
+  EXPECT_EQ(s.AttrIndex("Nope"), -1);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(DrugSchema(), DrugSchema());
+  EXPECT_FALSE(DrugSchema() == Schema({"A"}));
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t("T", DrugSchema());
+  t.AppendRow({"11 Nov", "statin", "Austin", "200"});
+  t.AppendRow({"12 Nov", "statin", "Boston", "200"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 4u);
+  EXPECT_EQ(t.CellText(0, 2), "Austin");
+  EXPECT_EQ(t.CellText(1, 2), "Boston");
+  // Same string interns to same id across rows and columns.
+  EXPECT_EQ(t.cell(0, 1), t.cell(1, 1));
+  EXPECT_EQ(t.cell(0, 3), t.cell(1, 3));
+}
+
+TEST(TableTest, SetCellText) {
+  Table t("T", DrugSchema());
+  t.AppendRow({"11 Nov", "statin", "Austin", "200"});
+  t.SetCellText(0, 1, "C22H28F");
+  EXPECT_EQ(t.CellText(0, 1), "C22H28F");
+}
+
+TEST(TableTest, ScanEquals) {
+  Table t("T", DrugSchema());
+  t.AppendRow({"a", "statin", "Austin", "200"});
+  t.AppendRow({"b", "other", "Austin", "100"});
+  t.AppendRow({"c", "statin", "Boston", "200"});
+  RowSet austin = t.ScanEquals(2, t.Lookup("Austin"));
+  EXPECT_EQ(austin.ToVector(), (std::vector<uint32_t>{0, 1}));
+  RowSet statin = t.ScanEquals(1, t.Lookup("statin"));
+  EXPECT_EQ(statin.ToVector(), (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(TableTest, ScanConjunction) {
+  Table t("T", DrugSchema());
+  t.AppendRow({"a", "statin", "Austin", "200"});
+  t.AppendRow({"b", "other", "Austin", "100"});
+  t.AppendRow({"c", "statin", "Boston", "200"});
+  RowSet rows = t.ScanConjunction(
+      {{1, t.Lookup("statin")}, {2, t.Lookup("Austin")}});
+  EXPECT_EQ(rows.ToVector(), (std::vector<uint32_t>{0}));
+  // Empty conjunction matches everything.
+  EXPECT_EQ(t.ScanConjunction({}).Count(), 3u);
+}
+
+TEST(TableTest, DistinctCountIgnoresNull) {
+  Table t("T", Schema({"A"}));
+  t.AppendRow({"x"});
+  t.AppendRow({"y"});
+  t.AppendRow({"x"});
+  t.AppendRow({""});  // NULL.
+  EXPECT_EQ(t.DistinctCount(0), 2u);
+}
+
+TEST(TableTest, CloneSharesPoolButNotCells) {
+  Table t("T", DrugSchema());
+  t.AppendRow({"a", "statin", "Austin", "200"});
+  Table copy = t.Clone();
+  EXPECT_EQ(copy.pool(), t.pool());
+  copy.SetCellText(0, 2, "Boston");
+  EXPECT_EQ(t.CellText(0, 2), "Austin");
+  EXPECT_EQ(copy.CellText(0, 2), "Boston");
+}
+
+TEST(TableTest, CountDiffCells) {
+  Table t("T", DrugSchema());
+  t.AppendRow({"a", "statin", "Austin", "200"});
+  t.AppendRow({"b", "other", "Boston", "100"});
+  Table copy = t.Clone();
+  EXPECT_EQ(t.CountDiffCells(copy), 0u);
+  copy.SetCellText(0, 1, "x");
+  copy.SetCellText(1, 3, "y");
+  EXPECT_EQ(t.CountDiffCells(copy), 2u);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t("T", Schema({"A"}));
+  for (int i = 0; i < 30; ++i) t.AppendRow({std::to_string(i)});
+  std::string s = t.ToString(5);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace falcon

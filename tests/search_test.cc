@@ -1,0 +1,189 @@
+#include "core/search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/search_algorithms.h"
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+// Harness: one lattice episode over T_drug's Δ3 with a given algorithm and
+// budget; returns (answers used, t5 repaired?).
+struct EpisodeResult {
+  size_t answers = 0;
+  bool group_repaired = false;
+  Table dirty;
+};
+
+EpisodeResult RunEpisode(SearchAlgorithm& algo, size_t budget,
+                         bool closed_sets) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  auto lat = Lattice::Build(dirty, Repair{1, 1, "C22H28F"}, {0, 2, 3});
+  EXPECT_TRUE(lat.ok());
+  lat->MarkValid(lat->top());
+  UserOracle oracle(&ex.clean);
+  SearchStats stats;
+  LatticeSearchContext ctx(&*lat, &dirty, &oracle, budget, closed_sets,
+                           /*naive_maintenance=*/false, nullptr, &stats,
+                           nullptr);
+  algo.OnSessionStart(0);
+  algo.Run(ctx);
+  EpisodeResult r;
+  r.answers = ctx.answers_used();
+  r.group_repaired = dirty.CellText(4, 1) == "C22H28F";
+  r.dirty = std::move(dirty);
+  return r;
+}
+
+TEST(SearchContextTest, BudgetIsEnforced) {
+  BfsSearch bfs;
+  EpisodeResult r = RunEpisode(bfs, 2, /*closed_sets=*/false);
+  EXPECT_LE(r.answers, 2u);
+}
+
+TEST(SearchContextTest, AskAppliesValidQueries) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  auto lat = Lattice::Build(dirty, Repair{1, 1, "C22H28F"}, {0, 2, 3});
+  ASSERT_TRUE(lat.ok());
+  UserOracle oracle(&ex.clean);
+  SearchStats stats;
+  size_t callback_changes = 0;
+  LatticeSearchContext ctx(&*lat, &dirty, &oracle, 5, false, false, nullptr,
+                           &stats, [&](const RowSet& rows, size_t col) {
+                             EXPECT_EQ(col, 1u);
+                             callback_changes += rows.Count();
+                           });
+  // ML node: Molecule=bit0, Laboratory=bit2.
+  // Bits: 0=Date, 1=Laboratory, 2=Quantity, 3=Molecule (target last).
+  NodeId ml = 0b1010;  // {Molecule, Laboratory}
+  auto res = ctx.Ask(ml);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->valid);
+  EXPECT_EQ(dirty.CellText(1, 1), "C22H28F");
+  EXPECT_EQ(dirty.CellText(4, 1), "C22H28F");
+  EXPECT_EQ(callback_changes, 2u);
+  EXPECT_EQ(stats.applies, 1u);
+  EXPECT_EQ(stats.cells_changed, 2u);
+  // Validity recorded plus inference.
+  EXPECT_EQ(lat->validity(ml), Validity::kValid);
+  EXPECT_EQ(lat->validity(0b1110), Validity::kValid);
+}
+
+TEST(SearchContextTest, AskMarksInvalidWithInference) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  auto lat = Lattice::Build(dirty, Repair{1, 1, "C22H28F"}, {0, 2, 3});
+  ASSERT_TRUE(lat.ok());
+  UserOracle oracle(&ex.clean);
+  SearchStats stats;
+  LatticeSearchContext ctx(&*lat, &dirty, &oracle, 5, false, false, nullptr,
+                           &stats, nullptr);
+  NodeId m = 0b1000;  // Molecule=statin alone: invalid (t4 is clean).
+  auto res = ctx.Ask(m);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_FALSE(res->valid);
+  EXPECT_EQ(lat->validity(m), Validity::kInvalid);
+  EXPECT_EQ(lat->validity(lat->bottom()), Validity::kInvalid);
+  EXPECT_EQ(dirty.CellText(1, 1), "statin");  // Nothing applied.
+}
+
+TEST(SearchContextTest, ClosedSetRedirectsToRepresentative) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  auto lat = Lattice::Build(dirty, Repair{1, 1, "C22H28F"}, {0, 2, 3});
+  ASSERT_TRUE(lat.ok());
+  UserOracle oracle(&ex.clean);
+  SearchStats stats;
+  LatticeSearchContext ctx(&*lat, &dirty, &oracle, 5, /*closed_sets=*/true,
+                           false, nullptr, &stats, nullptr);
+  // DL (Date bit0 | Laboratory bit1 = 0b0011) belongs to the closed set
+  // whose representative is the top node.
+  auto res = ctx.Ask(0b0011);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->asked, lat->top());
+  EXPECT_TRUE(res->valid);
+}
+
+TEST(SearchAlgorithmsTest, AllAlgorithmsRespectBudget) {
+  for (SearchKind kind :
+       {SearchKind::kBfs, SearchKind::kDfs, SearchKind::kDucc,
+        SearchKind::kDive, SearchKind::kCoDive, SearchKind::kOffline}) {
+    auto algo = MakeSearchAlgorithm(kind);
+    EpisodeResult r = RunEpisode(*algo, 3, true);
+    EXPECT_LE(r.answers, 3u) << SearchKindName(kind);
+  }
+}
+
+TEST(SearchAlgorithmsTest, DiveFindsTheGroupRepairQuickly) {
+  DiveSearch dive;
+  EpisodeResult r = RunEpisode(dive, 4, /*closed_sets=*/true);
+  // Dive must discover a valid generalization that repairs t5 within a
+  // small budget on this tiny lattice (4 jumps suffice: D → DMQ → LQ →
+  // MLQ, the last of which is valid and repairs the statin group).
+  EXPECT_TRUE(r.group_repaired);
+}
+
+TEST(SearchAlgorithmsTest, OfflineIsClairvoyant) {
+  OfflineSearch offline;
+  EpisodeResult r = RunEpisode(offline, 2, /*closed_sets=*/false);
+  EXPECT_TRUE(r.group_repaired);
+  // Offline never asks about invalid nodes, so every answer applied a rule.
+  EXPECT_GE(r.answers, 1u);
+}
+
+TEST(SearchAlgorithmsTest, NamesAreStable) {
+  EXPECT_EQ(MakeSearchAlgorithm(SearchKind::kBfs)->name(), "BFS");
+  EXPECT_EQ(MakeSearchAlgorithm(SearchKind::kDfs)->name(), "DFS");
+  EXPECT_EQ(MakeSearchAlgorithm(SearchKind::kDucc)->name(), "Ducc");
+  EXPECT_EQ(MakeSearchAlgorithm(SearchKind::kDive)->name(), "Dive");
+  EXPECT_EQ(MakeSearchAlgorithm(SearchKind::kCoDive)->name(), "CoDive");
+  EXPECT_EQ(MakeSearchAlgorithm(SearchKind::kOffline)->name(), "OffLine");
+  EXPECT_STREQ(SearchKindName(SearchKind::kCoDive), "CoDive");
+}
+
+TEST(SearchAlgorithmsTest, InferenceNeverContradictsGroundTruth) {
+  // Property: with a mistake-free oracle, every node the lattice marks
+  // valid must be truly valid, and every node marked invalid truly invalid,
+  // for every algorithm.
+  auto ds = MakeSynth(800);
+  ASSERT_TRUE(ds.ok());
+  auto dirty_inst = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty_inst.ok());
+  UserOracle oracle(&ds->clean);
+
+  for (SearchKind kind :
+       {SearchKind::kBfs, SearchKind::kDfs, SearchKind::kDucc,
+        SearchKind::kDive, SearchKind::kCoDive}) {
+    Table dirty = dirty_inst->dirty.Clone();
+    const ErrorCell& e = dirty_inst->errors[3];
+    std::vector<size_t> cols;
+    for (size_t c = 0; c < dirty.num_cols() && cols.size() < 5; ++c) {
+      if (c != e.col) cols.push_back(c);
+    }
+    auto lat = Lattice::Build(
+        dirty, Repair{e.row, e.col,
+                      std::string(ds->clean.pool()->Get(e.clean_value))},
+        cols);
+    ASSERT_TRUE(lat.ok());
+    lat->MarkValid(lat->top());
+    SearchStats stats;
+    LatticeSearchContext ctx(&*lat, &dirty, &oracle, 6, true, false, nullptr,
+                             &stats, nullptr);
+    auto algo = MakeSearchAlgorithm(kind);
+    algo->Run(ctx);
+    for (NodeId m = 0; m < lat->num_nodes(); ++m) {
+      if (lat->validity(m) == Validity::kValid) {
+        EXPECT_TRUE(oracle.TrueValid(*lat, m))
+            << SearchKindName(kind) << " node " << m;
+      }
+      // Invalid marks cannot be cross-checked after applies (affected sets
+      // shrink), but valid ones must always be safe to execute.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,124 @@
+#include "relational/select.h"
+
+#include <gtest/gtest.h>
+
+#include "common/str_util.h"
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+Table Drug() { return MakeDrugExample().dirty; }
+
+TEST(SelectParseTest, ParsesProjectionAndWhere) {
+  auto q = ParseSelect(
+      "SELECT Molecule, Laboratory FROM T WHERE Quantity = '200';");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->columns, (std::vector<std::string>{"Molecule", "Laboratory"}));
+  EXPECT_FALSE(q->star);
+  ASSERT_EQ(q->where.size(), 1u);
+  EXPECT_EQ(q->where[0].attr, "Quantity");
+}
+
+TEST(SelectParseTest, ParsesStarCountGroupOrderLimit) {
+  auto q = ParseSelect(
+      "select Laboratory, count(*) from T group by Laboratory "
+      "order by count desc limit 3");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->count_star);
+  ASSERT_TRUE(q->group_by.has_value());
+  EXPECT_EQ(*q->group_by, "Laboratory");
+  ASSERT_TRUE(q->order_by.has_value());
+  EXPECT_EQ(*q->order_by, "count");
+  EXPECT_TRUE(q->order_desc);
+  EXPECT_EQ(*q->limit, 3u);
+}
+
+TEST(SelectParseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseSelect("UPDATE T SET A='x'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM T").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM T WHERE b").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(* FROM T").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM T LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM T GROUP Laboratory").ok());
+}
+
+TEST(SelectExecTest, ProjectionAndFilter) {
+  Table t = Drug();
+  auto r = RunSelect(t, "SELECT Molecule FROM T WHERE Laboratory = 'Austin'");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->num_rows(), 3u);
+  EXPECT_EQ(r->CellText(0, 0), "C16H16Cl");
+  EXPECT_EQ(r->CellText(1, 0), "statin");
+  EXPECT_EQ(r->CellText(2, 0), "statin");
+}
+
+TEST(SelectExecTest, StarReturnsAllColumns) {
+  Table t = Drug();
+  auto r = RunSelect(t, "SELECT * FROM T WHERE Quantity = '150'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_cols(), 4u);
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->CellText(0, 2), "Dubai");
+}
+
+TEST(SelectExecTest, PlainCount) {
+  Table t = Drug();
+  auto r = RunSelect(t, "SELECT COUNT(*) FROM T WHERE Molecule = 'statin'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->CellText(0, 0), "3");
+}
+
+TEST(SelectExecTest, GroupByWithCount) {
+  Table t = Drug();
+  auto r = RunSelect(
+      t, "SELECT Laboratory, COUNT(*) FROM T GROUP BY Laboratory "
+         "ORDER BY count DESC");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->num_rows(), 4u);
+  EXPECT_EQ(r->CellText(0, 0), "Austin");
+  EXPECT_EQ(r->CellText(0, 1), "3");
+}
+
+TEST(SelectExecTest, OrderByStringsAndLimit) {
+  Table t = Drug();
+  auto r = RunSelect(t, "SELECT Laboratory FROM T ORDER BY Laboratory LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->CellText(0, 0), "Austin");
+  EXPECT_EQ(r->CellText(1, 0), "Austin");
+}
+
+TEST(SelectExecTest, UnknownColumnsFail) {
+  Table t = Drug();
+  EXPECT_FALSE(RunSelect(t, "SELECT Nope FROM T").ok());
+  EXPECT_FALSE(RunSelect(t, "SELECT * FROM T WHERE Nope = 'x'").ok());
+  EXPECT_FALSE(RunSelect(t, "SELECT * FROM T ORDER BY Nope").ok());
+  EXPECT_FALSE(RunSelect(t, "SELECT Molecule FROM T GROUP BY Laboratory").ok());
+  EXPECT_FALSE(
+      RunSelect(t, "SELECT Molecule, COUNT(*) FROM T").ok());
+}
+
+TEST(SelectExecTest, UnseenConstantYieldsEmpty) {
+  Table t = Drug();
+  auto r = RunSelect(t, "SELECT * FROM T WHERE Laboratory = 'Atlantis'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+TEST(SelectExecTest, WorksOnGeneratedData) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto r = RunSelect(ds->clean,
+                     "SELECT Club, COUNT(*) FROM soccer GROUP BY Club "
+                     "ORDER BY count DESC LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->num_rows(), 5u);
+  // Counts descending.
+  EXPECT_GE(ParseInt64(r->CellText(0, 1)), ParseInt64(r->CellText(4, 1)));
+}
+
+}  // namespace
+}  // namespace falcon

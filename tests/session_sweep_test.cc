@@ -1,0 +1,152 @@
+// Parameterized end-to-end sweep: every (algorithm × budget × closed-sets ×
+// lattice-width) combination must uphold the session invariants on a shared
+// workload — convergence, interaction accounting, determinism, and benefit
+// ordering against the clairvoyant OffLine bound.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/session.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+namespace falcon {
+namespace {
+
+struct SweepParam {
+  SearchKind kind;
+  size_t budget;
+  bool closed_sets;
+  size_t lattice_attrs;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string name = SearchKindName(info.param.kind);
+  name += "_B" + std::to_string(info.param.budget);
+  name += info.param.closed_sets ? "_cs" : "_nocs";
+  name += "_k" + std::to_string(info.param.lattice_attrs);
+  return name;
+}
+
+// One shared workload for the whole sweep (generation dominates runtime).
+struct SharedWorkload {
+  Table clean;
+  Table dirty;
+  size_t errors;
+};
+
+const SharedWorkload& GetWorkload() {
+  static const SharedWorkload* w = [] {
+    auto ds = MakeSynth(2500, /*seed=*/51);
+    FALCON_CHECK(ds.ok());
+    auto dirty = InjectErrors(ds->clean, ds->error_spec);
+    FALCON_CHECK(dirty.ok());
+    auto* out = new SharedWorkload{ds->clean.Clone(), dirty->dirty.Clone(),
+                                   dirty->errors.size()};
+    return out;
+  }();
+  return *w;
+}
+
+class SessionSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+SessionOptions OptionsFor(const SweepParam& p) {
+  SessionOptions options;
+  options.budget = p.budget;
+  options.use_closed_sets = p.closed_sets;
+  options.lattice_attrs = p.lattice_attrs;
+  return options;
+}
+
+TEST_P(SessionSweepTest, ConvergesWithSoundAccounting) {
+  const SharedWorkload& w = GetWorkload();
+  auto m = RunCleaning(w.clean, w.dirty, GetParam().kind,
+                       OptionsFor(GetParam()));
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->converged);
+  EXPECT_EQ(m->initial_errors, w.errors);
+  // The user answers at most B questions per update.
+  EXPECT_LE(m->user_answers, m->user_updates * GetParam().budget);
+  // Every error requires at least the update that bootstraps its session
+  // or a rule application; U can never exceed |errors| with a truthful
+  // oracle (each session fixes at least the bootstrapping cell).
+  EXPECT_LE(m->user_updates, w.errors);
+  EXPECT_GE(m->cells_repaired, w.errors - m->user_updates);
+}
+
+TEST_P(SessionSweepTest, DeterministicAcrossRuns) {
+  const SharedWorkload& w = GetWorkload();
+  auto a = RunCleaning(w.clean, w.dirty, GetParam().kind,
+                       OptionsFor(GetParam()));
+  auto b = RunCleaning(w.clean, w.dirty, GetParam().kind,
+                       OptionsFor(GetParam()));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->user_updates, b->user_updates);
+  EXPECT_EQ(a->user_answers, b->user_answers);
+  EXPECT_EQ(a->cells_repaired, b->cells_repaired);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndBudgets, SessionSweepTest,
+    ::testing::Values(
+        SweepParam{SearchKind::kBfs, 2, true, 7},
+        SweepParam{SearchKind::kBfs, 5, false, 7},
+        SweepParam{SearchKind::kDfs, 2, true, 7},
+        SweepParam{SearchKind::kDfs, 3, false, 7},
+        SweepParam{SearchKind::kDucc, 3, true, 7},
+        SweepParam{SearchKind::kDucc, 5, false, 5},
+        SweepParam{SearchKind::kDive, 2, true, 7},
+        SweepParam{SearchKind::kDive, 3, false, 7},
+        SweepParam{SearchKind::kDive, 5, true, 9},
+        SweepParam{SearchKind::kCoDive, 2, true, 7},
+        SweepParam{SearchKind::kCoDive, 3, true, 5},
+        SweepParam{SearchKind::kCoDive, 5, false, 7},
+        SweepParam{SearchKind::kOffline, 3, true, 7},
+        SweepParam{SearchKind::kOffline, 5, false, 7}),
+    ParamName);
+
+// OffLine is an upper bound: no online algorithm at the same budget may
+// beat it on this workload.
+TEST(SessionSweepBoundsTest, OfflineDominatesEveryOnlineAlgorithm) {
+  const SharedWorkload& w = GetWorkload();
+  SessionOptions options;
+  options.budget = 3;
+  auto offline =
+      RunCleaning(w.clean, w.dirty, SearchKind::kOffline, options);
+  ASSERT_TRUE(offline.ok());
+  for (SearchKind kind : {SearchKind::kBfs, SearchKind::kDfs,
+                          SearchKind::kDucc, SearchKind::kDive,
+                          SearchKind::kCoDive}) {
+    auto m = RunCleaning(w.clean, w.dirty, kind, options);
+    ASSERT_TRUE(m.ok());
+    EXPECT_GE(offline->Benefit() + 1e-9, m->Benefit())
+        << SearchKindName(kind);
+  }
+}
+
+// Mistake-rate sweep (Fig. 9's property): the system self-heals at every
+// tested rate, and cost is weakly increasing in the mistake rate on
+// average.
+class MistakeSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MistakeSweepTest, SelfHealsAndConverges) {
+  const SharedWorkload& w = GetWorkload();
+  SessionOptions options;
+  options.budget = 3;
+  options.question_mistake_prob = GetParam();
+  options.update_mistake_prob = GetParam() / 2;
+  options.seed = 97;
+  auto m = RunCleaning(w.clean, w.dirty, SearchKind::kCoDive, options);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MistakeSweepTest,
+                         ::testing::Values(0.0, 0.01, 0.02, 0.03, 0.05),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "p" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace falcon

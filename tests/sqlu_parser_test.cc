@@ -1,0 +1,83 @@
+#include "relational/sqlu_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+TEST(SqluParserTest, ParsesSimpleUpdate) {
+  auto q = ParseSqlu("UPDATE T SET A = 'x';");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->table, "T");
+  EXPECT_EQ(q->set_attr, "A");
+  EXPECT_EQ(q->set_value, "x");
+  EXPECT_TRUE(q->where.empty());
+}
+
+TEST(SqluParserTest, ParsesConjunctiveWhere) {
+  auto q = ParseSqlu(
+      "UPDATE T_drug SET Molecule = 'C22H28F' "
+      "WHERE Molecule = 'statin' AND Laboratory = 'Austin';");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->where.size(), 2u);
+  EXPECT_EQ(q->where[0].attr, "Molecule");
+  EXPECT_EQ(q->where[0].value, "statin");
+  EXPECT_EQ(q->where[1].attr, "Laboratory");
+  EXPECT_EQ(q->where[1].value, "Austin");
+}
+
+TEST(SqluParserTest, KeywordsAreCaseInsensitive) {
+  auto q = ParseSqlu("update T set A = 'x' where B = 'y'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->where.size(), 1u);
+}
+
+TEST(SqluParserTest, UnquotedAndNumericLiterals) {
+  auto q = ParseSqlu("UPDATE T SET Quantity = 100 WHERE Quantity = 1000");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->set_value, "100");
+  EXPECT_EQ(q->where[0].value, "1000");
+}
+
+TEST(SqluParserTest, DoubleQuotedStrings) {
+  auto q = ParseSqlu("UPDATE T SET L = \"New York\" WHERE L = \"N.Y.\"");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->set_value, "New York");
+  EXPECT_EQ(q->where[0].value, "N.Y.");
+}
+
+TEST(SqluParserTest, EscapedSingleQuote) {
+  auto q = ParseSqlu("UPDATE T SET A = 'O''Brien'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->set_value, "O'Brien");
+}
+
+TEST(SqluParserTest, EmptyQuotedValueAllowed) {
+  auto q = ParseSqlu("UPDATE T SET A = '' WHERE B = 'x'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->set_value, "");
+}
+
+TEST(SqluParserTest, RoundTripsThroughToSql) {
+  std::string sql =
+      "UPDATE T SET A = 'new val' WHERE B = 'b v' AND C = 'c';";
+  auto q = ParseSqlu(sql);
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto q2 = ParseSqlu(q->ToSql());
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_EQ(*q, *q2);
+}
+
+TEST(SqluParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseSqlu("SELECT * FROM T").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T A = 'x'").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A 'x'").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'x' WHERE").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'x' WHERE B = 'y' AND").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'x' WHERE B = 'y' OR C = 'z'").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'unterminated").ok());
+  EXPECT_FALSE(ParseSqlu("").ok());
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,140 @@
+#include "relational/sqlu.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+
+namespace falcon {
+namespace {
+
+// The paper's queries Q3 / Q3' / Q3'' over T_drug (Example 1).
+SqluQuery Q3() {
+  SqluQuery q;
+  q.table = "T_drug";
+  q.set_attr = "Molecule";
+  q.set_value = "C22H28F";
+  q.where = {{"Molecule", "statin"}, {"Laboratory", "Austin"}};
+  return q;
+}
+
+SqluQuery Q3Prime() {
+  SqluQuery q = Q3();
+  q.where = {{"Molecule", "statin"}};
+  return q;
+}
+
+SqluQuery Q3DoublePrime() {
+  SqluQuery q = Q3();
+  q.where = {{"Molecule", "statin"},
+             {"Laboratory", "Austin"},
+             {"Date", "12 Nov"},
+             {"Quantity", "200"}};
+  return q;
+}
+
+TEST(SqluTest, ToSqlRendersConjunction) {
+  EXPECT_EQ(Q3Prime().ToSql(),
+            "UPDATE T_drug SET Molecule = 'C22H28F' WHERE Molecule = "
+            "'statin';");
+  SqluQuery empty_where = Q3();
+  empty_where.where.clear();
+  EXPECT_EQ(empty_where.ToSql(), "UPDATE T_drug SET Molecule = 'C22H28F';");
+}
+
+TEST(SqluTest, EqualityIsOrderInsensitive) {
+  SqluQuery a = Q3();
+  SqluQuery b = Q3();
+  std::swap(b.where[0], b.where[1]);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SqluTest, ContainmentMatchesPaperExample2) {
+  // Q3 ≤ Q3' and Q3'' ≤ Q3' and Q3'' ≤ Q3.
+  EXPECT_TRUE(Contains(Q3Prime(), Q3()));
+  EXPECT_TRUE(Contains(Q3Prime(), Q3DoublePrime()));
+  EXPECT_TRUE(Contains(Q3(), Q3DoublePrime()));
+  EXPECT_FALSE(Contains(Q3(), Q3Prime()));
+  // Different SET clauses are incomparable.
+  SqluQuery other = Q3();
+  other.set_value = "x";
+  EXPECT_FALSE(Contains(other, Q3()));
+}
+
+TEST(SqluTest, AffectedRowsMatchPaperExample) {
+  DrugExample ex = MakeDrugExample();
+  // Q3 affects t2 and t5 (rows 1 and 4).
+  auto rows = AffectedRows(ex.dirty, Q3());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->ToVector(), (std::vector<uint32_t>{1, 4}));
+  // Q3' additionally affects t4 (row 3).
+  auto rows_p = AffectedRows(ex.dirty, Q3Prime());
+  ASSERT_TRUE(rows_p.ok());
+  EXPECT_EQ(rows_p->ToVector(), (std::vector<uint32_t>{1, 3, 4}));
+  // Q3'' affects only t2.
+  auto rows_pp = AffectedRows(ex.dirty, Q3DoublePrime());
+  ASSERT_TRUE(rows_pp.ok());
+  EXPECT_EQ(rows_pp->ToVector(), (std::vector<uint32_t>{1}));
+}
+
+TEST(SqluTest, AffectedRowsExcludesNoOps) {
+  DrugExample ex = MakeDrugExample();
+  // Setting Laboratory to Austin where Quantity=200: rows already Austin
+  // are no-ops.
+  SqluQuery q;
+  q.table = "T_drug";
+  q.set_attr = "Laboratory";
+  q.set_value = "Austin";
+  q.where = {{"Quantity", "200"}};
+  auto rows = AffectedRows(ex.dirty, q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->ToVector(), (std::vector<uint32_t>{3}));  // Boston row.
+}
+
+TEST(SqluTest, UnknownAttributeFails) {
+  DrugExample ex = MakeDrugExample();
+  SqluQuery q = Q3();
+  q.set_attr = "Nope";
+  EXPECT_FALSE(AffectedRows(ex.dirty, q).ok());
+  q = Q3();
+  q.where.push_back({"Nope", "x"});
+  EXPECT_FALSE(AffectedRows(ex.dirty, q).ok());
+}
+
+TEST(SqluTest, UnseenConstantMatchesNothing) {
+  DrugExample ex = MakeDrugExample();
+  SqluQuery q = Q3();
+  q.where = {{"Laboratory", "Atlantis"}};
+  auto rows = AffectedRows(ex.dirty, q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->Empty());
+}
+
+TEST(SqluTest, ApplyQueryWritesAffectedRows) {
+  DrugExample ex = MakeDrugExample();
+  auto changed = ApplyQuery(ex.dirty, Q3());
+  ASSERT_TRUE(changed.ok());
+  EXPECT_EQ(*changed, 2u);
+  EXPECT_EQ(ex.dirty.CellText(1, 1), "C22H28F");
+  EXPECT_EQ(ex.dirty.CellText(4, 1), "C22H28F");
+  // t4 (Boston statin) untouched.
+  EXPECT_EQ(ex.dirty.CellText(3, 1), "statin");
+  // Idempotent: re-applying changes nothing.
+  auto again = ApplyQuery(ex.dirty, Q3());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+TEST(SqluTest, ApplyIsDeterministicAcrossValidQueryOrder) {
+  // Section 2.4: any execution order of valid queries yields the same
+  // repair. Apply Q3 then Q3''; versus Q3'' then Q3.
+  DrugExample a = MakeDrugExample();
+  DrugExample b = MakeDrugExample();
+  ASSERT_TRUE(ApplyQuery(a.dirty, Q3()).ok());
+  ASSERT_TRUE(ApplyQuery(a.dirty, Q3DoublePrime()).ok());
+  ASSERT_TRUE(ApplyQuery(b.dirty, Q3DoublePrime()).ok());
+  ASSERT_TRUE(ApplyQuery(b.dirty, Q3()).ok());
+  EXPECT_EQ(a.dirty.CountDiffCells(b.dirty), 0u);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,60 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("UPDATE", "update"));
+  EXPECT_TRUE(EqualsIgnoreCase("WhErE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCase("SET", "SETS"));
+  EXPECT_FALSE(EqualsIgnoreCase("AND", "OR"));
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToUpper("abc1"), "ABC1");
+  EXPECT_EQ(ToLower("ABC1"), "abc1");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("UPDATE T", "UPDATE"));
+  EXPECT_FALSE(StartsWith("UP", "UPDATE"));
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(StrUtilTest, SqlQuoteEscapesEmbeddedQuotes) {
+  EXPECT_EQ(SqlQuote("Austin"), "'Austin'");
+  EXPECT_EQ(SqlQuote("O'Brien"), "'O''Brien'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(StrUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64(" 7 "), 7);
+  EXPECT_EQ(ParseInt64("abc"), -1);
+  EXPECT_EQ(ParseInt64(""), -1);
+  EXPECT_EQ(ParseInt64("12x"), -1);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,104 @@
+#include "transform/transformations.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+bool CanInfer(std::string_view before, std::string_view after,
+              const std::string& name) {
+  for (const auto& t : InferTransformations(before, after)) {
+    if (t->name() == name) return true;
+  }
+  return false;
+}
+
+// First (most specific) inferred transformation.
+std::unique_ptr<Transformation> Best(std::string_view before,
+                                     std::string_view after) {
+  auto ts = InferTransformations(before, after);
+  return std::move(ts.front());
+}
+
+TEST(TransformationsTest, EveryCandidateReproducesTheExample) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"new york", "NEW YORK"}, {"  Austin ", "Austin"},
+      {"New_York", "New York"}, {"Dr. Smith", "Smith"},
+      {"42", "42 kg"},          {"anything", "else entirely"},
+  };
+  for (const auto& [before, after] : cases) {
+    auto ts = InferTransformations(before, after);
+    ASSERT_FALSE(ts.empty());
+    for (const auto& t : ts) {
+      auto result = t->Apply(before);
+      ASSERT_TRUE(result.has_value()) << t->name();
+      EXPECT_EQ(*result, after) << t->name();
+    }
+  }
+}
+
+TEST(TransformationsTest, InfersCaseFolding) {
+  EXPECT_TRUE(CanInfer("new york", "NEW YORK", "uppercase"));
+  EXPECT_TRUE(CanInfer("NEW YORK", "new york", "lowercase"));
+  EXPECT_TRUE(CanInfer("new york", "New York", "titlecase"));
+}
+
+TEST(TransformationsTest, InfersTrim) {
+  EXPECT_TRUE(CanInfer("  Austin ", "Austin", "trim"));
+}
+
+TEST(TransformationsTest, InfersSeparatorSwap) {
+  EXPECT_TRUE(CanInfer("New_York", "New York", "replace '_'->' '"));
+  EXPECT_TRUE(CanInfer("2016-06-26", "2016/06/26", "replace '-'->'/'"));
+}
+
+TEST(TransformationsTest, InfersAffixEdits) {
+  EXPECT_TRUE(CanInfer("Dr. Smith", "Smith", "strip prefix 'Dr. '"));
+  EXPECT_TRUE(CanInfer("file.csv", "file", "strip suffix '.csv'"));
+  EXPECT_TRUE(CanInfer("42", "42 kg", "add suffix ' kg'"));
+  EXPECT_TRUE(CanInfer("42", "$42", "add prefix '$'"));
+}
+
+TEST(TransformationsTest, ConstantIsAlwaysLastResort) {
+  auto ts = InferTransformations("abc", "xyz");
+  ASSERT_FALSE(ts.empty());
+  EXPECT_EQ(ts.back()->name(), "constant 'abc'->'xyz'");
+  // Constant applies only to the exact source string.
+  EXPECT_FALSE(ts.back()->Apply("abd").has_value());
+}
+
+TEST(TransformationsTest, GeneralizationBeyondTheExample) {
+  // A transformation learned from one pair rewrites other values too.
+  auto upper = Best("new york", "NEW YORK");
+  EXPECT_EQ(*upper->Apply("boston"), "BOSTON");
+  auto sep = Best("New_York", "New York");
+  EXPECT_EQ(*sep->Apply("Los_Angeles"), "Los Angeles");
+}
+
+TEST(TransformationsTest, ApplyToColumnRewritesAllApplicable) {
+  Table t("t", Schema({"City"}));
+  t.AppendRow({"new_york"});
+  t.AppendRow({"los_angeles"});
+  t.AppendRow({"boston"});  // No separator: unchanged.
+  auto sep = Best("new_york", "new york");
+  TransformOutcome outcome = ApplyToColumn(t, 0, *sep);
+  EXPECT_EQ(outcome.cells_changed, 2u);
+  EXPECT_EQ(outcome.cells_unchanged, 1u);
+  EXPECT_EQ(t.CellText(0, 0), "new york");
+  EXPECT_EQ(t.CellText(1, 0), "los angeles");
+  EXPECT_EQ(t.CellText(2, 0), "boston");
+}
+
+TEST(TransformationsTest, ApplyToColumnCountsInapplicable) {
+  Table t("t", Schema({"Name"}));
+  t.AppendRow({"Dr. Who"});
+  t.AppendRow({"Smith"});
+  auto strip = Best("Dr. Who", "Who");
+  TransformOutcome outcome = ApplyToColumn(t, 0, *strip);
+  EXPECT_EQ(outcome.cells_changed, 1u);
+  EXPECT_EQ(outcome.cells_inapplicable, 1u);
+  EXPECT_EQ(t.CellText(1, 0), "Smith");
+}
+
+}  // namespace
+}  // namespace falcon

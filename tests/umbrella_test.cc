@@ -1,0 +1,22 @@
+// Compile-and-run check for the umbrella header: one include must expose
+// the whole public API.
+#include "falcon.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
+  auto dataset = MakeSynth(600);
+  ASSERT_TRUE(dataset.ok());
+  auto dirty = InjectErrors(dataset->clean, dataset->error_spec);
+  ASSERT_TRUE(dirty.ok());
+  auto metrics = RunCleaning(dataset->clean, dirty->dirty,
+                             SearchKind::kCoDive, {});
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_TRUE(metrics->converged);
+}
+
+}  // namespace
+}  // namespace falcon

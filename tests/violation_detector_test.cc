@@ -1,0 +1,112 @@
+#include "core/violation_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+namespace falcon {
+namespace {
+
+TEST(ViolationDetectorTest, CleanDataYieldsNoSuspects) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  ViolationReport report = DetectViolations(ds->clean);
+  EXPECT_TRUE(report.suspects.empty());
+  EXPECT_FALSE(report.fds.empty());
+}
+
+TEST(ViolationDetectorTest, FlagsInjectedErrorsWithGoodPrecision) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  ViolationReport report = DetectViolations(dirty->dirty);
+  ASSERT_FALSE(report.suspects.empty());
+
+  std::unordered_set<uint64_t> truth;
+  for (const ErrorCell& e : dirty->errors) {
+    truth.insert((static_cast<uint64_t>(e.row) << 16) | e.col);
+  }
+  size_t hits = 0;
+  for (const Suspect& s : report.suspects) {
+    uint64_t key = (static_cast<uint64_t>(s.row) << 16) | s.col;
+    if (truth.count(key)) ++hits;
+  }
+  double precision =
+      static_cast<double>(hits) / static_cast<double>(report.suspects.size());
+  double recall =
+      static_cast<double>(hits) / static_cast<double>(truth.size());
+  EXPECT_GT(precision, 0.9);
+  // Rule errors in partially corrupted groups are detectable; fully
+  // corrupted groups (no surviving consensus) and isolated random errors
+  // are not — about half the Soccer errors are reachable by consensus.
+  EXPECT_GT(recall, 0.4);
+}
+
+TEST(ViolationDetectorTest, SuggestionsMatchCleanValues) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+
+  ViolationReport report = DetectViolations(dirty->dirty);
+  size_t correct = 0;
+  size_t with_truth = 0;
+  for (const Suspect& s : report.suspects) {
+    if (s.suggested == kNullValueId) continue;  // LHS-blamed: no repair.
+    if (dirty->dirty.cell(s.row, s.col) == ds->clean.cell(s.row, s.col)) {
+      continue;  // False positive; no truth to compare.
+    }
+    ++with_truth;
+    if (s.suggested == ds->clean.cell(s.row, s.col)) ++correct;
+  }
+  ASSERT_GT(with_truth, 0u);
+  // Consensus repair suggestions are right for the vast majority of
+  // genuinely dirty flagged cells.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(with_truth),
+            0.9);
+}
+
+TEST(ViolationDetectorTest, SuspectsOrderedByBlame) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+  ViolationReport report = DetectViolations(dirty->dirty);
+  for (size_t i = 1; i < report.suspects.size(); ++i) {
+    EXPECT_GE(report.suspects[i - 1].blame, report.suspects[i].blame);
+  }
+}
+
+TEST(ViolationDetectorTest, MinConsensusFilters) {
+  auto ds = MakeSoccer();
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+  ViolationDetectorOptions strict;
+  strict.min_consensus = 0.999;  // Groups with any dissent are skipped...
+  ViolationReport report = DetectViolations(dirty->dirty, strict);
+  // ...so (almost) nothing can be flagged: flagging needs dissent, and
+  // dissent caps consensus below 1.
+  EXPECT_TRUE(report.suspects.empty());
+}
+
+TEST(ViolationDetectorTest, EachCellFlaggedOnce) {
+  auto ds = MakeHospital(3000);
+  ASSERT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  ASSERT_TRUE(dirty.ok());
+  ViolationReport report = DetectViolations(dirty->dirty);
+  std::unordered_set<uint64_t> seen;
+  for (const Suspect& s : report.suspects) {
+    uint64_t key = (static_cast<uint64_t>(s.row) << 16) | s.col;
+    EXPECT_TRUE(seen.insert(key).second) << "cell flagged twice";
+  }
+}
+
+}  // namespace
+}  // namespace falcon
