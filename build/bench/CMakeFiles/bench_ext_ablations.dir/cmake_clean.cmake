@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ablations.dir/bench_ext_ablations.cc.o"
+  "CMakeFiles/bench_ext_ablations.dir/bench_ext_ablations.cc.o.d"
+  "CMakeFiles/bench_ext_ablations.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ext_ablations.dir/bench_util.cc.o.d"
+  "bench_ext_ablations"
+  "bench_ext_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_benefit.dir/bench_fig4_benefit.cc.o"
+  "CMakeFiles/bench_fig4_benefit.dir/bench_fig4_benefit.cc.o.d"
+  "CMakeFiles/bench_fig4_benefit.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig4_benefit.dir/bench_util.cc.o.d"
+  "bench_fig4_benefit"
+  "bench_fig4_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_closed_sets.dir/bench_fig5_closed_sets.cc.o"
+  "CMakeFiles/bench_fig5_closed_sets.dir/bench_fig5_closed_sets.cc.o.d"
+  "CMakeFiles/bench_fig5_closed_sets.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig5_closed_sets.dir/bench_util.cc.o.d"
+  "bench_fig5_closed_sets"
+  "bench_fig5_closed_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_closed_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

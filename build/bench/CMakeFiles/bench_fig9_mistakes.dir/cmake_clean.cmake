@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mistakes.dir/bench_fig9_mistakes.cc.o"
+  "CMakeFiles/bench_fig9_mistakes.dir/bench_fig9_mistakes.cc.o.d"
+  "CMakeFiles/bench_fig9_mistakes.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig9_mistakes.dir/bench_util.cc.o.d"
+  "bench_fig9_mistakes"
+  "bench_fig9_mistakes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mistakes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

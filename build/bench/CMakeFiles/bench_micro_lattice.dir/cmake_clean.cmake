@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_lattice.dir/bench_micro_lattice.cc.o"
+  "CMakeFiles/bench_micro_lattice.dir/bench_micro_lattice.cc.o.d"
+  "bench_micro_lattice"
+  "bench_micro_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

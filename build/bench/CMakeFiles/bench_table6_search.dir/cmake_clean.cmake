@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_search.dir/bench_table6_search.cc.o"
+  "CMakeFiles/bench_table6_search.dir/bench_table6_search.cc.o.d"
+  "CMakeFiles/bench_table6_search.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table6_search.dir/bench_util.cc.o.d"
+  "bench_table6_search"
+  "bench_table6_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

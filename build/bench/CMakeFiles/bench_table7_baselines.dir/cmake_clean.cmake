@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_baselines.dir/bench_table7_baselines.cc.o"
+  "CMakeFiles/bench_table7_baselines.dir/bench_table7_baselines.cc.o.d"
+  "CMakeFiles/bench_table7_baselines.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table7_baselines.dir/bench_util.cc.o.d"
+  "bench_table7_baselines"
+  "bench_table7_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_generation.dir/error_generation.cc.o"
+  "CMakeFiles/error_generation.dir/error_generation.cc.o.d"
+  "error_generation"
+  "error_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_cli.dir/falcon_cli.cc.o"
+  "CMakeFiles/falcon_cli.dir/falcon_cli.cc.o.d"
+  "falcon_cli"
+  "falcon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_session.dir/hospital_session.cc.o"
+  "CMakeFiles/hospital_session.dir/hospital_session.cc.o.d"
+  "hospital_session"
+  "hospital_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_data_cleaning.dir/master_data_cleaning.cc.o"
+  "CMakeFiles/master_data_cleaning.dir/master_data_cleaning.cc.o.d"
+  "master_data_cleaning"
+  "master_data_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_data_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

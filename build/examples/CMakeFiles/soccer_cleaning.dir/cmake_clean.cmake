@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soccer_cleaning.dir/soccer_cleaning.cc.o"
+  "CMakeFiles/soccer_cleaning.dir/soccer_cleaning.cc.o.d"
+  "soccer_cleaning"
+  "soccer_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soccer_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_baselines.dir/active_learning.cc.o"
+  "CMakeFiles/falcon_baselines.dir/active_learning.cc.o.d"
+  "CMakeFiles/falcon_baselines.dir/baseline_util.cc.o"
+  "CMakeFiles/falcon_baselines.dir/baseline_util.cc.o.d"
+  "CMakeFiles/falcon_baselines.dir/cfd_miner.cc.o"
+  "CMakeFiles/falcon_baselines.dir/cfd_miner.cc.o.d"
+  "CMakeFiles/falcon_baselines.dir/refine.cc.o"
+  "CMakeFiles/falcon_baselines.dir/refine.cc.o.d"
+  "CMakeFiles/falcon_baselines.dir/rule_learning.cc.o"
+  "CMakeFiles/falcon_baselines.dir/rule_learning.cc.o.d"
+  "libfalcon_baselines.a"
+  "libfalcon_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

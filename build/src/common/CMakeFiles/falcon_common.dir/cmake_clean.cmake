@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_common.dir/logging.cc.o"
+  "CMakeFiles/falcon_common.dir/logging.cc.o.d"
+  "CMakeFiles/falcon_common.dir/status.cc.o"
+  "CMakeFiles/falcon_common.dir/status.cc.o.d"
+  "CMakeFiles/falcon_common.dir/str_util.cc.o"
+  "CMakeFiles/falcon_common.dir/str_util.cc.o.d"
+  "libfalcon_common.a"
+  "libfalcon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

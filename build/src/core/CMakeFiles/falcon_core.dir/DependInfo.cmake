@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/lattice.cc" "src/core/CMakeFiles/falcon_core.dir/lattice.cc.o" "gcc" "src/core/CMakeFiles/falcon_core.dir/lattice.cc.o.d"
+  "/root/repo/src/core/master_oracle.cc" "src/core/CMakeFiles/falcon_core.dir/master_oracle.cc.o" "gcc" "src/core/CMakeFiles/falcon_core.dir/master_oracle.cc.o.d"
+  "/root/repo/src/core/search.cc" "src/core/CMakeFiles/falcon_core.dir/search.cc.o" "gcc" "src/core/CMakeFiles/falcon_core.dir/search.cc.o.d"
+  "/root/repo/src/core/search_algorithms.cc" "src/core/CMakeFiles/falcon_core.dir/search_algorithms.cc.o" "gcc" "src/core/CMakeFiles/falcon_core.dir/search_algorithms.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/falcon_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/falcon_core.dir/session.cc.o.d"
+  "/root/repo/src/core/violation_detector.cc" "src/core/CMakeFiles/falcon_core.dir/violation_detector.cc.o" "gcc" "src/core/CMakeFiles/falcon_core.dir/violation_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/falcon_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/falcon_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/falcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_core.dir/lattice.cc.o"
+  "CMakeFiles/falcon_core.dir/lattice.cc.o.d"
+  "CMakeFiles/falcon_core.dir/master_oracle.cc.o"
+  "CMakeFiles/falcon_core.dir/master_oracle.cc.o.d"
+  "CMakeFiles/falcon_core.dir/search.cc.o"
+  "CMakeFiles/falcon_core.dir/search.cc.o.d"
+  "CMakeFiles/falcon_core.dir/search_algorithms.cc.o"
+  "CMakeFiles/falcon_core.dir/search_algorithms.cc.o.d"
+  "CMakeFiles/falcon_core.dir/session.cc.o"
+  "CMakeFiles/falcon_core.dir/session.cc.o.d"
+  "CMakeFiles/falcon_core.dir/violation_detector.cc.o"
+  "CMakeFiles/falcon_core.dir/violation_detector.cc.o.d"
+  "libfalcon_core.a"
+  "libfalcon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_datagen.dir/datasets.cc.o"
+  "CMakeFiles/falcon_datagen.dir/datasets.cc.o.d"
+  "CMakeFiles/falcon_datagen.dir/generator.cc.o"
+  "CMakeFiles/falcon_datagen.dir/generator.cc.o.d"
+  "libfalcon_datagen.a"
+  "libfalcon_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

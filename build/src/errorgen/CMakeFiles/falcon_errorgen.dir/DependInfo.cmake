@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/errorgen/cfd.cc" "src/errorgen/CMakeFiles/falcon_errorgen.dir/cfd.cc.o" "gcc" "src/errorgen/CMakeFiles/falcon_errorgen.dir/cfd.cc.o.d"
+  "/root/repo/src/errorgen/injector.cc" "src/errorgen/CMakeFiles/falcon_errorgen.dir/injector.cc.o" "gcc" "src/errorgen/CMakeFiles/falcon_errorgen.dir/injector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/falcon_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/falcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

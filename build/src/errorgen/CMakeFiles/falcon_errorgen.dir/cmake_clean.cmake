@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_errorgen.dir/cfd.cc.o"
+  "CMakeFiles/falcon_errorgen.dir/cfd.cc.o.d"
+  "CMakeFiles/falcon_errorgen.dir/injector.cc.o"
+  "CMakeFiles/falcon_errorgen.dir/injector.cc.o.d"
+  "libfalcon_errorgen.a"
+  "libfalcon_errorgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_errorgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_ml.dir/linear_svm.cc.o"
+  "CMakeFiles/falcon_ml.dir/linear_svm.cc.o.d"
+  "libfalcon_ml.a"
+  "libfalcon_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

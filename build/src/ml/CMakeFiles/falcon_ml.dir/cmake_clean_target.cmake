@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfalcon_ml.a"
+)

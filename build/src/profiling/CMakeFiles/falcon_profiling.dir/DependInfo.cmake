@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/correlation.cc" "src/profiling/CMakeFiles/falcon_profiling.dir/correlation.cc.o" "gcc" "src/profiling/CMakeFiles/falcon_profiling.dir/correlation.cc.o.d"
+  "/root/repo/src/profiling/fd_discovery.cc" "src/profiling/CMakeFiles/falcon_profiling.dir/fd_discovery.cc.o" "gcc" "src/profiling/CMakeFiles/falcon_profiling.dir/fd_discovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/falcon_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/falcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

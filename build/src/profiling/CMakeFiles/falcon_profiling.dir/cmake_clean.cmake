@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_profiling.dir/correlation.cc.o"
+  "CMakeFiles/falcon_profiling.dir/correlation.cc.o.d"
+  "CMakeFiles/falcon_profiling.dir/fd_discovery.cc.o"
+  "CMakeFiles/falcon_profiling.dir/fd_discovery.cc.o.d"
+  "libfalcon_profiling.a"
+  "libfalcon_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

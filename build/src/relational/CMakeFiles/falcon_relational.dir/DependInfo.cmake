@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/falcon_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/falcon_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/falcon_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/falcon_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/select.cc" "src/relational/CMakeFiles/falcon_relational.dir/select.cc.o" "gcc" "src/relational/CMakeFiles/falcon_relational.dir/select.cc.o.d"
+  "/root/repo/src/relational/sqlu.cc" "src/relational/CMakeFiles/falcon_relational.dir/sqlu.cc.o" "gcc" "src/relational/CMakeFiles/falcon_relational.dir/sqlu.cc.o.d"
+  "/root/repo/src/relational/sqlu_parser.cc" "src/relational/CMakeFiles/falcon_relational.dir/sqlu_parser.cc.o" "gcc" "src/relational/CMakeFiles/falcon_relational.dir/sqlu_parser.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/falcon_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/falcon_relational.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/falcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_relational.dir/csv.cc.o"
+  "CMakeFiles/falcon_relational.dir/csv.cc.o.d"
+  "CMakeFiles/falcon_relational.dir/schema.cc.o"
+  "CMakeFiles/falcon_relational.dir/schema.cc.o.d"
+  "CMakeFiles/falcon_relational.dir/select.cc.o"
+  "CMakeFiles/falcon_relational.dir/select.cc.o.d"
+  "CMakeFiles/falcon_relational.dir/sqlu.cc.o"
+  "CMakeFiles/falcon_relational.dir/sqlu.cc.o.d"
+  "CMakeFiles/falcon_relational.dir/sqlu_parser.cc.o"
+  "CMakeFiles/falcon_relational.dir/sqlu_parser.cc.o.d"
+  "CMakeFiles/falcon_relational.dir/table.cc.o"
+  "CMakeFiles/falcon_relational.dir/table.cc.o.d"
+  "libfalcon_relational.a"
+  "libfalcon_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/falcon_transform.dir/transformations.cc.o"
+  "CMakeFiles/falcon_transform.dir/transformations.cc.o.d"
+  "libfalcon_transform.a"
+  "libfalcon_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/falcon_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

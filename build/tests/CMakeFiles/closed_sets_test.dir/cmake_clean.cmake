@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_sets_test.dir/closed_sets_test.cc.o"
+  "CMakeFiles/closed_sets_test.dir/closed_sets_test.cc.o.d"
+  "closed_sets_test"
+  "closed_sets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_discovery_test.dir/fd_discovery_test.cc.o"
+  "CMakeFiles/fd_discovery_test.dir/fd_discovery_test.cc.o.d"
+  "fd_discovery_test"
+  "fd_discovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_property_test.dir/lattice_property_test.cc.o"
+  "CMakeFiles/lattice_property_test.dir/lattice_property_test.cc.o.d"
+  "lattice_property_test"
+  "lattice_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

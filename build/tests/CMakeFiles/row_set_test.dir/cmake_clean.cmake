@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_set_test.dir/row_set_test.cc.o"
+  "CMakeFiles/row_set_test.dir/row_set_test.cc.o.d"
+  "row_set_test"
+  "row_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

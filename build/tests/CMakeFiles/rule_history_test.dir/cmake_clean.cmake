@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_history_test.dir/rule_history_test.cc.o"
+  "CMakeFiles/rule_history_test.dir/rule_history_test.cc.o.d"
+  "rule_history_test"
+  "rule_history_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/schema_table_test.cc" "tests/CMakeFiles/schema_table_test.dir/schema_table_test.cc.o" "gcc" "tests/CMakeFiles/schema_table_test.dir/schema_table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/falcon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/falcon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/falcon_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/errorgen/CMakeFiles/falcon_errorgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/falcon_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/falcon_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/falcon_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/falcon_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/falcon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_sweep_test.dir/session_sweep_test.cc.o"
+  "CMakeFiles/session_sweep_test.dir/session_sweep_test.cc.o.d"
+  "session_sweep_test"
+  "session_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlu_parser_test.dir/sqlu_parser_test.cc.o"
+  "CMakeFiles/sqlu_parser_test.dir/sqlu_parser_test.cc.o.d"
+  "sqlu_parser_test"
+  "sqlu_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlu_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlu_test.dir/sqlu_test.cc.o"
+  "CMakeFiles/sqlu_test.dir/sqlu_test.cc.o.d"
+  "sqlu_test"
+  "sqlu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

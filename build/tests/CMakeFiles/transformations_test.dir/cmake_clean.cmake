@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformations_test.dir/transformations_test.cc.o"
+  "CMakeFiles/transformations_test.dir/transformations_test.cc.o.d"
+  "transformations_test"
+  "transformations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_detector_test.dir/violation_detector_test.cc.o"
+  "CMakeFiles/violation_detector_test.dir/violation_detector_test.cc.o.d"
+  "violation_detector_test"
+  "violation_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
