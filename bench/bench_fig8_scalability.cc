@@ -23,6 +23,7 @@ struct TimingRun {
   double maintain_ms = 0;
   size_t lattices = 0;
   double total_ms = 0;
+  SessionMetrics metrics;
 };
 
 TimingRun RunDive(const Table& clean, const Table& dirty, bool naive_maint,
@@ -40,6 +41,7 @@ TimingRun RunDive(const Table& clean, const Table& dirty, bool naive_maint,
     r.maintain_ms = m->lattice_maintain_ms;
     r.lattices = m->lattices_built;
     r.total_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.metrics = *m;
   }
   return r;
 }
@@ -68,6 +70,12 @@ int main(int argc, char** argv) {
                        std::max<size_t>(naive.lattices, 1);
     std::printf("%-9s %16.3f %16.3f %8.1fx\n", name.c_str(), inc_per,
                 naive_per, naive_per / std::max(inc_per, 1e-9));
+    const SessionMetrics& pm = inc.metrics;
+    std::printf("          postings: hits=%zu misses=%zu delta_rows=%zu "
+                "evictions=%zu scan=%.3fms delta=%.3fms\n",
+                pm.posting_hits, pm.posting_misses, pm.posting_delta_rows,
+                pm.posting_evictions, pm.posting_scan_ms,
+                pm.posting_delta_ms);
   }
 
   // ---- (b, c) time vs #tuples ---------------------------------------------

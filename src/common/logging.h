@@ -58,4 +58,14 @@ class NullStream {
     }                                                                  \
   } while (false)
 
+/// Debug-build-only invariant check; compiles to nothing under NDEBUG so it
+/// can guard hot loops (e.g. bitmap universe-size agreement).
+#ifdef NDEBUG
+#define FALCON_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define FALCON_DCHECK(cond) FALCON_CHECK(cond)
+#endif
+
 #endif  // FALCON_COMMON_LOGGING_H_

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace falcon {
 
 /// Dense bitmap over rows [0, universe_size).
@@ -28,6 +30,12 @@ class RowSet {
   }
 
   size_t universe_size() const { return universe_size_; }
+
+  /// Word-level access for blocked kernels (parallel scans shard by word so
+  /// writers touch disjoint ranges). Word i covers rows [64i, 64i+64).
+  size_t num_words() const { return words_.size(); }
+  uint64_t word(size_t i) const { return words_[i]; }
+  void SetWord(size_t i, uint64_t w) { words_[i] = w; }
 
   void Set(size_t row) { words_[row >> 6] |= (uint64_t{1} << (row & 63)); }
   void Clear(size_t row) { words_[row >> 6] &= ~(uint64_t{1} << (row & 63)); }
@@ -62,21 +70,33 @@ class RowSet {
 
   /// this &= other.
   void And(const RowSet& other) {
+    FALCON_DCHECK(universe_size_ == other.universe_size_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
   }
 
   /// this &= ~other.
   void AndNot(const RowSet& other) {
+    FALCON_DCHECK(universe_size_ == other.universe_size_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   }
 
   /// this |= other.
   void Or(const RowSet& other) {
+    FALCON_DCHECK(universe_size_ == other.universe_size_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// Complement within the universe: rows NOT in this set.
+  RowSet Complement() const {
+    RowSet out(universe_size_);
+    for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+    out.TrimTail();
+    return out;
   }
 
   /// Returns |this ∩ other| without materializing the intersection.
   size_t IntersectCount(const RowSet& other) const {
+    FALCON_DCHECK(universe_size_ == other.universe_size_);
     size_t n = 0;
     for (size_t i = 0; i < words_.size(); ++i) {
       n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
@@ -86,6 +106,7 @@ class RowSet {
 
   /// True iff this ⊆ other.
   bool IsSubsetOf(const RowSet& other) const {
+    FALCON_DCHECK(universe_size_ == other.universe_size_);
     for (size_t i = 0; i < words_.size(); ++i) {
       if (words_[i] & ~other.words_[i]) return false;
     }
@@ -94,6 +115,7 @@ class RowSet {
 
   /// True iff this ∩ other = ∅.
   bool DisjointWith(const RowSet& other) const {
+    FALCON_DCHECK(universe_size_ == other.universe_size_);
     for (size_t i = 0; i < words_.size(); ++i) {
       if (words_[i] & other.words_[i]) return false;
     }

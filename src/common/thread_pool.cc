@@ -1,0 +1,78 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace falcon {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t min_grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t shards = workers_.size() + 1;  // Caller participates too.
+  if (shards <= 1 || n < min_grain) {
+    fn(0, n);
+    return;
+  }
+  shards = std::min(shards, (n + min_grain - 1) / min_grain);
+  size_t chunk = (n + shards - 1) / shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t s = 1; s < shards; ++s) {
+      queue_.push_back({&fn, s * chunk, std::min(n, (s + 1) * chunk)});
+    }
+    pending_ += shards - 1;
+  }
+  work_cv_.notify_all();
+  fn(0, std::min(n, chunk));  // Shard 0 runs on the calling thread.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    size_t threads = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("FALCON_THREADS")) {
+      long v = std::atol(env);
+      if (v >= 1) threads = static_cast<size_t>(v);
+    }
+    // The pool holds threads *beyond* the caller; size 1 → inline.
+    return new ThreadPool(threads > 0 ? threads - 1 : 0);
+  }();
+  return *pool;
+}
+
+}  // namespace falcon

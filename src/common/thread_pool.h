@@ -1,0 +1,64 @@
+// ThreadPool: a small work-sharding pool for the data-parallel kernels
+// (posting scans, diff counting, correlation sampling). Work is split into
+// contiguous shards handed to persistent workers; ParallelFor blocks until
+// every shard finished, so callers never observe partial results.
+//
+// Determinism: every kernel built on ParallelFor writes disjoint output
+// ranges (bitmap words, per-shard accumulators merged in shard order), so
+// results are bit-identical to the serial loop regardless of thread count.
+#ifndef FALCON_COMMON_THREAD_POOL_H_
+#define FALCON_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace falcon {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means run everything inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Splits [0, n) into at most num_threads()+1 contiguous shards and calls
+  /// `fn(begin, end)` for each, blocking until all shards complete. Runs
+  /// inline when the pool is empty or `n < min_grain` (parallelism has a
+  /// fixed cost; tiny inputs are faster serial). `fn` must be safe to call
+  /// concurrently on disjoint ranges.
+  void ParallelFor(size_t n, size_t min_grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Process-wide pool sized from FALCON_THREADS (defaults to the hardware
+  /// concurrency; 1 disables threading).
+  static ThreadPool& Global();
+
+ private:
+  struct Task {
+    const std::function<void(size_t, size_t)>* fn;
+    size_t begin;
+    size_t end;
+  };
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<Task> queue_;
+  size_t pending_ = 0;  // Tasks queued or executing for the current batch.
+  bool stop_ = false;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_THREAD_POOL_H_

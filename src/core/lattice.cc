@@ -67,6 +67,7 @@ StatusOr<Lattice> Lattice::Build(const Table& table, const Repair& repair,
 
   size_t n_nodes = lat.num_nodes();
   lat.index_ = options.naive_init ? nullptr : options.index;
+  lat.maintain_index_ = options.maintain_index;
   lat.affected_.resize(n_nodes);
   lat.counts_.assign(n_nodes, 0);
   lat.validity_.assign(n_nodes, Validity::kUnknown);
@@ -84,13 +85,13 @@ StatusOr<Lattice> Lattice::Build(const Table& table, const Repair& repair,
 
 void Lattice::InitAffectedViaViews(const Table& table) {
   // Bottom node: rows whose target value differs from a' (rows any
-  // candidate query could change).
-  RowSet base(num_table_rows_);
-  const std::vector<ValueId>& target_column = table.column(repair_.col);
-  for (size_t r = 0; r < num_table_rows_; ++r) {
-    if (target_column[r] != target_value_) base.Set(r);
+  // candidate query could change) — the complement of the target value's
+  // posting bitmap, so a cached posting makes this scan-free.
+  if (index_ != nullptr) {
+    affected_[0] = index_->Postings(repair_.col, target_value_).Complement();
+  } else {
+    affected_[0] = table.ScanEquals(repair_.col, target_value_).Complement();
   }
-  affected_[0] = std::move(base);
 
   // Per-attribute posting bitmaps for the bound predicate constants,
   // served from the posting cache when one was supplied.
@@ -167,6 +168,14 @@ std::vector<NodeId> Lattice::UnknownNodes() const {
 RowSet Lattice::ApplyNode(NodeId n, Table& table) {
   RowSet changed = affected_[n];
   size_t changed_count = counts_[n];
+  // Delta-maintain the posting cache while the old values are still in the
+  // table: each written row leaves its old value's bitmap and joins the
+  // target value's. The cache then survives the write with no rescans.
+  if (index_ != nullptr && maintain_index_ && index_->delta_maintenance()) {
+    index_->ApplyDelta(
+        repair_.col, changed,
+        [&](size_t r) { return table.cell(r, repair_.col); }, target_value_);
+  }
   changed.ForEach([&](size_t r) {
     table.set_cell(r, repair_.col, target_value_);
   });

@@ -46,9 +46,15 @@ struct LatticeOptions {
   /// Benchmark toggle: initialize each node's affected set by a full
   /// conjunction scan instead of the bottom-up view rewriting.
   bool naive_init = false;
-  /// Optional posting cache for predicate bitmaps (non-owning; the caller
-  /// must invalidate updated columns). Ignored by naive_init.
+  /// Optional posting cache for predicate bitmaps (non-owning). Ignored by
+  /// naive_init. When the index runs in delta-maintenance mode, ApplyNode
+  /// patches its bitmaps in place (see maintain_index); otherwise the
+  /// caller must invalidate updated columns.
   PostingIndex* index = nullptr;
+  /// Keep the posting index exact across ApplyNode by reporting each
+  /// query's writes as deltas (only meaningful when the index is in
+  /// delta-maintenance mode). Off reverts to caller-side invalidation.
+  bool maintain_index = true;
 };
 
 /// One user repair: set cell (row, col) to `new_value`.
@@ -176,6 +182,7 @@ class Lattice {
   ValueId target_value_ = kNullValueId;
   size_t num_table_rows_ = 0;
   PostingIndex* index_ = nullptr;
+  bool maintain_index_ = true;
 
   std::vector<RowSet> affected_;
   std::vector<size_t> counts_;

@@ -36,9 +36,11 @@ RowSet LatticeSearchContext::ApplyValid(NodeId n) {
   RowSet changed = lattice_->ApplyNode(n, *dirty_);
   if (naive_maintenance_) {
     // Fig. 8(a)'s strawman: throw the incremental result away and rebuild
-    // every affected set from the table (whose target column just
-    // changed, so cached postings for it are stale).
-    if (lattice_->index() != nullptr) {
+    // every affected set from the table. In delta mode ApplyNode already
+    // patched the cached postings; otherwise the target column's entries
+    // are stale and must be dropped before the rescan.
+    if (lattice_->index() != nullptr &&
+        !lattice_->index()->delta_maintenance()) {
       lattice_->index()->InvalidateColumn(lattice_->target_col());
     }
     lattice_->RecomputeAffected(*dirty_);

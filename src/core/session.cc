@@ -99,11 +99,23 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
         clean_, options_.question_mistake_prob, options_.seed + 1);
   }
 
-  PostingIndex posting_index(dirty_);
+  PostingIndexOptions posting_options;
+  posting_options.delta_maintenance = options_.posting_delta;
+  posting_options.byte_budget = options_.posting_budget_bytes;
+  PostingIndex posting_index(dirty_, posting_options);
   LatticeOptions lattice_options = options_.lattice;
   if (options_.use_posting_index && !lattice_options.naive_init) {
     lattice_options.index = &posting_index;
   }
+  auto export_posting_stats = [&]() {
+    const PostingIndexStats& s = posting_index.stats();
+    metrics.posting_hits = s.hits;
+    metrics.posting_misses = s.misses;
+    metrics.posting_delta_rows = s.delta_rows;
+    metrics.posting_evictions = s.evictions;
+    metrics.posting_scan_ms = s.scan_ms;
+    metrics.posting_delta_ms = s.delta_ms;
+  };
 
   Rng update_rng(options_.seed + 2);
   // Cells that already received one wrong user update; the paper's cycle
@@ -111,7 +123,11 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
   std::unordered_set<uint64_t> wrong_updated;
 
   auto on_apply = [&](const RowSet& changed, size_t col) {
-    posting_index.InvalidateColumn(col);
+    // In delta mode the lattice already patched the cached postings while
+    // it held the before-images; only the legacy mode must rescan.
+    if (!posting_index.delta_maintenance()) {
+      posting_index.InvalidateColumn(col);
+    }
     changed.ForEach([&](size_t r) {
       if (dirty_->cell(r, col) != clean_->cell(r, col)) {
         worklist.emplace_back(static_cast<uint32_t>(r),
@@ -144,6 +160,7 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
                             << " user updates (mistake storm?)";
       }
       --metrics.user_updates;
+      export_posting_stats();
       return metrics;
     }
 
@@ -194,10 +211,16 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
     // a different clean value — e.g. key-attribute repairs under the
     // Appendix-B variant.)
     if (dirty_->cell(row, col) != lattice.target_value()) {
-      log_.Record(lattice.NodeQuery(lattice.top()), col,
-                  {{row, dirty_->cell(row, col)}}, /*manual=*/true);
+      ValueId old_value = dirty_->cell(row, col);
+      log_.Record(lattice.NodeQuery(lattice.top()), col, {{row, old_value}},
+                  /*manual=*/true);
       dirty_->set_cell(row, col, lattice.target_value());
-      posting_index.InvalidateColumn(col);
+      if (posting_index.delta_maintenance()) {
+        posting_index.ApplyCellDelta(col, row, old_value,
+                                     lattice.target_value());
+      } else {
+        posting_index.InvalidateColumn(col);
+      }
       if (dirty_->cell(row, col) == clean_->cell(row, col)) {
         ++metrics.cells_repaired;
       } else {
@@ -205,11 +228,15 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
       }
     }
     metrics.lattice_maintain_ms += stats.maintain_ms;
+    // The lattice (and its borrowed posting references) is gone at the end
+    // of the episode; now is the safe point to enforce the byte budget.
+    posting_index.Trim();
   }
 
   if (master_oracle != nullptr) {
     metrics.master_answers = master_oracle->master_answers();
   }
+  export_posting_stats();
   metrics.converged = dirty_->CountDiffCells(*clean_) == 0;
   return metrics;
 }

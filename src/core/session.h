@@ -47,9 +47,17 @@ struct SessionOptions {
   bool naive_maintenance = false;
   /// Row sample used by the CORDS profiler (0 = full table).
   size_t profile_sample_rows = 5000;
-  /// Cache predicate posting bitmaps across lattices (invalidated on each
-  /// applied repair's column).
+  /// Cache predicate posting bitmaps across lattices.
   bool use_posting_index = true;
+  /// Delta-maintain the cached postings across applied repairs (each write
+  /// patches the old/new value's bitmaps in place), so the cache survives
+  /// the whole session. Off reverts to invalidate-and-rescan of the
+  /// repaired column after every applied rule.
+  bool posting_delta = true;
+  /// Posting-cache byte cap (0 = unbounded). Least-recently-used bitmaps
+  /// are evicted between lattice episodes so million-row tables don't
+  /// hoard memory.
+  size_t posting_budget_bytes = 0;
   /// Remember validated/invalidated rule shapes across updates and bias
   /// CoDive toward historically fruitful attribute sets (the paper's §8
   /// future-work direction). Off by default to match the paper's setup.
@@ -85,6 +93,14 @@ struct SessionMetrics {
   double lattice_build_ms = 0.0;
   double lattice_maintain_ms = 0.0;
   size_t lattices_built = 0;
+
+  // Posting-index behaviour over the run (see PostingIndexStats).
+  size_t posting_hits = 0;
+  size_t posting_misses = 0;
+  size_t posting_delta_rows = 0;
+  size_t posting_evictions = 0;
+  double posting_scan_ms = 0.0;   ///< Table-scan time filling the cache.
+  double posting_delta_ms = 0.0;  ///< Time patching bitmaps in place.
 
   size_t TotalCost() const { return user_updates + user_answers; }
   double Benefit() const {

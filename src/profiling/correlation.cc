@@ -1,13 +1,20 @@
 #include "profiling/correlation.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace falcon {
 namespace {
+
+// Sample loops below this size run inline (the default 5k-row sample always
+// does); only full-table profiling of large instances shards.
+constexpr size_t kParallelSampleGrain = size_t{1} << 15;
 
 // Hash for a vector<ValueId> key (joint value combination).
 struct VecHash {
@@ -53,17 +60,30 @@ bool RowKey(const Table& table, uint32_t row, const std::vector<size_t>& cols,
 
 double FdSupport(const Table& table, const std::vector<size_t>& x_cols,
                  size_t b_col, const CorrelationOptions& options) {
-  std::vector<size_t> lhs = x_cols;
   std::vector<size_t> all = x_cols;
   all.push_back(b_col);
+  std::vector<uint32_t> sample =
+      SampleRows(table.num_rows(), options.max_sample_rows);
+  // Distinct-key counting shards cleanly: per-shard sets union into the
+  // final ones, and only the union sizes matter, so the result is exact
+  // regardless of thread count.
   std::unordered_set<std::vector<ValueId>, VecHash> d_lhs, d_all;
-  std::vector<ValueId> key;
-  for (uint32_t row : SampleRows(table.num_rows(), options.max_sample_rows)) {
-    if (!RowKey(table, row, all, &key)) continue;
-    d_all.insert(key);
-    key.pop_back();
-    d_lhs.insert(key);
-  }
+  std::mutex mu;
+  ThreadPool::Global().ParallelFor(
+      sample.size(), kParallelSampleGrain, [&](size_t begin, size_t end) {
+        std::unordered_set<std::vector<ValueId>, VecHash> local_lhs,
+            local_all;
+        std::vector<ValueId> key;
+        for (size_t i = begin; i < end; ++i) {
+          if (!RowKey(table, sample[i], all, &key)) continue;
+          local_all.insert(key);
+          key.pop_back();
+          local_lhs.insert(key);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        d_all.insert(local_all.begin(), local_all.end());
+        d_lhs.insert(local_lhs.begin(), local_lhs.end());
+      });
   if (d_all.empty()) return 0.0;
   return static_cast<double>(d_lhs.size()) / static_cast<double>(d_all.size());
 }
@@ -73,7 +93,10 @@ double ChiSquared(const Table& table, const std::vector<size_t>& cols,
   const size_t k = cols.size();
   FALCON_CHECK(k >= 2);
 
-  // Joint and marginal frequency tables over non-null rows.
+  // Joint and marginal frequency tables over non-null rows. This stays
+  // serial on purpose: the chi² accumulation below iterates the joint map,
+  // and float summation order must not depend on thread count if profiles
+  // (and hence CoDive rankings) are to be reproducible across machines.
   std::unordered_map<std::vector<ValueId>, double, VecHash> joint;
   std::vector<std::unordered_map<ValueId, double>> marginals(k);
   double n = 0;
@@ -116,15 +139,30 @@ double CorrelationScore(const Table& table, const std::vector<size_t>& x_cols,
   all.push_back(b_col);
   const size_t k = all.size();
 
-  // Distinct counts (m_i) over non-null rows, needed for q.
+  // Distinct counts (m_i) over non-null rows, needed for q. Sharded like
+  // FdSupport: set unions and an integer row count are order-independent.
   std::vector<std::unordered_set<ValueId>> distinct(k);
-  std::vector<ValueId> key;
-  double n = 0;
-  for (uint32_t row : SampleRows(table.num_rows(), options.max_sample_rows)) {
-    if (!RowKey(table, row, all, &key)) continue;
-    for (size_t j = 0; j < k; ++j) distinct[j].insert(key[j]);
-    n += 1.0;
-  }
+  std::vector<uint32_t> sample =
+      SampleRows(table.num_rows(), options.max_sample_rows);
+  std::mutex mu;
+  std::atomic<size_t> rows_used{0};
+  ThreadPool::Global().ParallelFor(
+      sample.size(), kParallelSampleGrain, [&](size_t begin, size_t end) {
+        std::vector<std::unordered_set<ValueId>> local(k);
+        std::vector<ValueId> key;
+        size_t used = 0;
+        for (size_t i = begin; i < end; ++i) {
+          if (!RowKey(table, sample[i], all, &key)) continue;
+          for (size_t j = 0; j < k; ++j) local[j].insert(key[j]);
+          ++used;
+        }
+        rows_used.fetch_add(used, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        for (size_t j = 0; j < k; ++j) {
+          distinct[j].insert(local[j].begin(), local[j].end());
+        }
+      });
+  double n = static_cast<double>(rows_used.load());
   if (n == 0) return 0.0;
 
   double prod_m = 1.0;

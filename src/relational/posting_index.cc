@@ -1,0 +1,103 @@
+#include "relational/posting_index.h"
+
+#include <chrono>
+
+namespace falcon {
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+PostingIndex::Timer::Timer(double* sink) : sink_(sink), start_ms_(NowMs()) {}
+
+PostingIndex::Timer::~Timer() { *sink_ += NowMs() - start_ms_; }
+
+size_t PostingIndex::EntryBytes() const {
+  // Bitmap words dominate; the map/list bookkeeping is charged as a flat
+  // overhead so tiny tables still converge under a budget.
+  return ((table_->num_rows() + 63) / 64) * sizeof(uint64_t) + 64;
+}
+
+PostingIndex::Entry& PostingIndex::Insert(size_t col, ValueId v, RowSet rows) {
+  lru_.push_front(Key{col, v});
+  Entry& e = cache_[col][v];
+  e.rows = std::move(rows);
+  e.lru_it = lru_.begin();
+  bytes_ += EntryBytes();
+  return e;
+}
+
+void PostingIndex::EraseEntry(size_t col, ColumnCache::iterator it) {
+  lru_.erase(it->second.lru_it);
+  cache_[col].erase(it);
+  bytes_ -= EntryBytes();
+}
+
+const RowSet& PostingIndex::Postings(size_t col, ValueId v) {
+  ColumnCache& cache = cache_[col];
+  auto it = cache.find(v);
+  if (it != cache.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // Touch.
+    return it->second.rows;
+  }
+  ++stats_.misses;
+  Timer timer(&stats_.scan_ms);
+  return Insert(col, v, table_->ScanEquals(col, v)).rows;
+}
+
+void PostingIndex::Warm(size_t col, const std::vector<ValueId>& values) {
+  std::vector<ValueId> needed;
+  for (ValueId v : values) {
+    if (cache_[col].find(v) == cache_[col].end()) needed.push_back(v);
+  }
+  if (needed.empty()) return;
+  stats_.misses += needed.size();
+  Timer timer(&stats_.scan_ms);
+  std::vector<RowSet> bitmaps = table_->ScanEqualsMulti(col, needed);
+  for (size_t i = 0; i < needed.size(); ++i) {
+    Insert(col, needed[i], std::move(bitmaps[i]));
+  }
+}
+
+void PostingIndex::ApplyCellDelta(size_t col, size_t row, ValueId old_value,
+                                  ValueId new_value) {
+  if (old_value == new_value) return;
+  Timer timer(&stats_.delta_ms);
+  ColumnCache& cache = cache_[col];
+  if (cache.empty()) return;
+  if (RowSet* bits = FindBitmap(cache, old_value)) bits->Clear(row);
+  if (RowSet* bits = FindBitmap(cache, new_value)) bits->Set(row);
+  ++stats_.delta_rows;
+}
+
+void PostingIndex::InvalidateColumn(size_t col) {
+  ColumnCache& cache = cache_[col];
+  for (auto it = cache.begin(); it != cache.end(); ++it) {
+    lru_.erase(it->second.lru_it);
+    bytes_ -= EntryBytes();
+  }
+  cache.clear();
+}
+
+void PostingIndex::InvalidateAll() {
+  for (auto& m : cache_) m.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+void PostingIndex::Trim() {
+  if (options_.byte_budget == 0) return;
+  while (bytes_ > options_.byte_budget && !lru_.empty()) {
+    auto [col, v] = lru_.back();
+    EraseEntry(col, cache_[col].find(v));
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace falcon

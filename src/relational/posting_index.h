@@ -1,12 +1,26 @@
 // PostingIndex: lazily built, cached posting bitmaps for (column = value)
 // predicates. Lattice construction scans each bound predicate once per
 // session; across a cleaning run the same constants recur (group values,
-// frequent categories), so caching them amortizes the scans. Updates to a
-// column invalidate its cached entries.
+// frequent categories), so caching them amortizes the scans.
+//
+// Two maintenance modes:
+//  - delta (default): callers that know exactly which rows changed and the
+//    old/new value report them via ApplyDelta/ApplyCellDelta; the cache
+//    stays exact across an entire cleaning session — the bitmaps are
+//    updated in place instead of being rebuilt by full-table rescans.
+//  - invalidate (legacy): InvalidateColumn drops a column's entries after
+//    any write to it; the next Postings call rescans.
+//
+// Memory is bounded by an optional byte budget with LRU eviction. Eviction
+// is deferred to explicit Trim() calls so that references returned by
+// Postings stay valid while a lattice build holds them; the session driver
+// trims between lattice episodes.
 #ifndef FALCON_RELATIONAL_POSTING_INDEX_H_
 #define FALCON_RELATIONAL_POSTING_INDEX_H_
 
+#include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/row_set.h"
@@ -14,48 +28,127 @@
 
 namespace falcon {
 
+struct PostingIndexOptions {
+  /// Maintain cached bitmaps in place on cell updates (ApplyDelta) instead
+  /// of requiring column invalidation.
+  bool delta_maintenance = true;
+  /// Cache size cap in bytes (0 = unbounded). Enforced by Trim(), which
+  /// evicts least-recently-used entries.
+  size_t byte_budget = 0;
+};
+
+/// Counters surfaced through SessionMetrics and the benches.
+struct PostingIndexStats {
+  size_t hits = 0;        ///< Postings served from cache.
+  size_t misses = 0;      ///< Postings that scanned the table.
+  size_t delta_rows = 0;  ///< Row-bit updates applied by delta maintenance.
+  size_t evictions = 0;   ///< Entries dropped by Trim().
+  double scan_ms = 0.0;   ///< Time spent in table scans (fills).
+  double delta_ms = 0.0;  ///< Time spent applying deltas.
+};
+
 class PostingIndex {
  public:
   /// `table` must outlive the index.
-  explicit PostingIndex(const Table* table)
-      : table_(table), cache_(table->num_cols()) {}
+  explicit PostingIndex(const Table* table, PostingIndexOptions options = {})
+      : table_(table), options_(options), cache_(table->num_cols()) {}
 
   PostingIndex(const PostingIndex&) = delete;
   PostingIndex& operator=(const PostingIndex&) = delete;
 
+  bool delta_maintenance() const { return options_.delta_maintenance; }
+
   /// Rows where `col` equals `v`. First call scans the column; later calls
-  /// are cache hits until the column is invalidated.
-  const RowSet& Postings(size_t col, ValueId v) {
-    auto [it, inserted] = cache_[col].try_emplace(v);
-    if (inserted) {
-      it->second = table_->ScanEquals(col, v);
-      ++misses_;
-    } else {
-      ++hits_;
-    }
-    return it->second;
+  /// are cache hits until the entry is invalidated or evicted. The returned
+  /// reference stays valid until InvalidateColumn/InvalidateAll/Trim.
+  const RowSet& Postings(size_t col, ValueId v);
+
+  /// Batch fill: caches postings for every value of `col` not yet cached in
+  /// a single pass over the column (Table::ScanEqualsMulti).
+  void Warm(size_t col, const std::vector<ValueId>& values);
+
+  /// Delta maintenance: the caller wrote `new_value` into every row of
+  /// `rows` in `col`; `old_value(row)` must return the value each row held
+  /// *before* the write (so call this before, or with captured
+  /// before-images after, the actual writes). Cached bitmaps are patched in
+  /// place: the old value's bitmap loses the row, the new value's gains it.
+  /// Uncached values stay uncached.
+  template <typename Fn>
+  void ApplyDelta(size_t col, const RowSet& rows, Fn&& old_value,
+                  ValueId new_value) {
+    Timer timer(&stats_.delta_ms);
+    ColumnCache& cache = cache_[col];
+    if (cache.empty()) return;
+    RowSet* new_bits = FindBitmap(cache, new_value);
+    // Runs of rows frequently share the old value; memoize the last lookup.
+    ValueId memo_value = new_value;
+    RowSet* memo_bits = nullptr;
+    rows.ForEach([&](size_t r) {
+      ValueId old = old_value(r);
+      if (old == new_value) return;
+      if (old != memo_value) {
+        memo_value = old;
+        memo_bits = FindBitmap(cache, old);
+      }
+      if (memo_bits != nullptr) memo_bits->Clear(r);
+      if (new_bits != nullptr) new_bits->Set(r);
+      ++stats_.delta_rows;
+    });
   }
 
-  /// Drops cached postings of `col` (call after updating any cell in it).
-  void InvalidateColumn(size_t col) { cache_[col].clear(); }
+  /// Single-cell delta (the session's manual-fix path).
+  void ApplyCellDelta(size_t col, size_t row, ValueId old_value,
+                      ValueId new_value);
 
-  void InvalidateAll() {
-    for (auto& m : cache_) m.clear();
-  }
+  /// Drops cached postings of `col` (legacy invalidate-and-rescan mode).
+  void InvalidateColumn(size_t col);
 
-  size_t cached_entries() const {
-    size_t n = 0;
-    for (const auto& m : cache_) n += m.size();
-    return n;
-  }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  void InvalidateAll();
+
+  /// Enforces the byte budget by evicting LRU entries. Invalidates
+  /// references previously returned by Postings; call between episodes.
+  void Trim();
+
+  size_t cached_entries() const { return lru_.size(); }
+  size_t cached_bytes() const { return bytes_; }
+  const PostingIndexStats& stats() const { return stats_; }
+  size_t hits() const { return stats_.hits; }
+  size_t misses() const { return stats_.misses; }
 
  private:
+  using Key = std::pair<size_t, ValueId>;  // (column, value).
+  struct Entry {
+    RowSet rows;
+    std::list<Key>::iterator lru_it;
+  };
+  using ColumnCache = std::unordered_map<ValueId, Entry>;
+
+  // Adds elapsed wall time to *sink on destruction.
+  class Timer {
+   public:
+    explicit Timer(double* sink);
+    ~Timer();
+
+   private:
+    double* sink_;
+    double start_ms_;
+  };
+
+  RowSet* FindBitmap(ColumnCache& cache, ValueId v) {
+    auto it = cache.find(v);
+    return it == cache.end() ? nullptr : &it->second.rows;
+  }
+
+  size_t EntryBytes() const;
+  Entry& Insert(size_t col, ValueId v, RowSet rows);
+  void EraseEntry(size_t col, ColumnCache::iterator it);
+
   const Table* table_;
-  std::vector<std::unordered_map<ValueId, RowSet>> cache_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  PostingIndexOptions options_;
+  std::vector<ColumnCache> cache_;
+  std::list<Key> lru_;  // Front = most recently used.
+  size_t bytes_ = 0;
+  PostingIndexStats stats_;
 };
 
 }  // namespace falcon

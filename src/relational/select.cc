@@ -278,18 +278,26 @@ StatusOr<Table> ExecuteSelect(const Table& table, const SelectQuery& query) {
     for (size_t r = 0; r < result.num_rows() && numeric; ++r) {
       numeric = LooksNumeric(result.CellText(r, ocol));
     }
-    std::stable_sort(order.begin(), order.end(),
-                     [&](uint32_t a, uint32_t b) {
-                       std::string_view va = result.CellText(a, ocol);
-                       std::string_view vb = result.CellText(b, ocol);
-                       bool less = numeric
-                                       ? ParseInt64(va) < ParseInt64(vb)
-                                       : va < vb;
-                       return query.order_desc
-                                  ? (numeric ? ParseInt64(va) > ParseInt64(vb)
-                                             : va > vb)
-                                  : less;
-                     });
+    // Precompute sort keys once (the comparator used to re-parse integers
+    // on every comparison). DESC swaps the operands, which preserves
+    // stability exactly like the former `>` comparator.
+    std::vector<int64_t> num_keys;
+    std::vector<std::string_view> text_keys;
+    if (numeric) {
+      num_keys.resize(result.num_rows());
+      for (size_t r = 0; r < result.num_rows(); ++r) {
+        num_keys[r] = ParseInt64(result.CellText(r, ocol));
+      }
+    } else {
+      text_keys.resize(result.num_rows());
+      for (size_t r = 0; r < result.num_rows(); ++r) {
+        text_keys[r] = result.CellText(r, ocol);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (query.order_desc) std::swap(a, b);
+      return numeric ? num_keys[a] < num_keys[b] : text_keys[a] < text_keys[b];
+    });
     Table sorted("result", result.schema(), result.pool());
     std::vector<ValueId> ids(result.num_cols());
     for (uint32_t r : order) {

@@ -1,11 +1,23 @@
 #include "relational/table.h"
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace falcon {
+namespace {
+
+// Below this many rows the parallel kernels run inline: a 64k-row scan is
+// ~256KB of reads, cheaper than waking the pool.
+constexpr size_t kParallelRowGrain = size_t{1} << 16;
+constexpr size_t kParallelWordGrain = kParallelRowGrain / 64;
+
+}  // namespace
 
 Table::Table(std::string name, Schema schema, std::shared_ptr<ValuePool> pool)
     : name_(std::move(name)),
@@ -35,11 +47,51 @@ void Table::SetCellText(size_t row, size_t col, std::string_view text) {
 
 RowSet Table::ScanEquals(size_t col, ValueId v) const {
   RowSet rows(num_rows_);
-  const std::vector<ValueId>& column = columns_[col];
-  for (size_t r = 0; r < num_rows_; ++r) {
-    if (column[r] == v) rows.Set(r);
-  }
+  const ValueId* column = columns_[col].data();
+  const size_t num_rows = num_rows_;
+  // Word-blocked, branch-free: each shard owns a disjoint word range, so the
+  // parallel result is bit-identical to the serial one.
+  ThreadPool::Global().ParallelFor(
+      rows.num_words(), kParallelWordGrain, [&](size_t wb, size_t we) {
+        for (size_t w = wb; w < we; ++w) {
+          size_t r0 = w * 64;
+          size_t r1 = std::min(r0 + 64, num_rows);
+          uint64_t word = 0;
+          for (size_t r = r0; r < r1; ++r) {
+            word |= uint64_t{column[r] == v} << (r - r0);
+          }
+          rows.SetWord(w, word);
+        }
+      });
   return rows;
+}
+
+std::vector<RowSet> Table::ScanEqualsMulti(
+    size_t col, const std::vector<ValueId>& values) const {
+  std::vector<RowSet> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) out.emplace_back(num_rows_);
+  if (values.empty()) return out;
+  const ValueId* column = columns_[col].data();
+  const size_t num_rows = num_rows_;
+  const size_t k = values.size();
+  ThreadPool::Global().ParallelFor(
+      out[0].num_words(), kParallelWordGrain, [&](size_t wb, size_t we) {
+        std::vector<uint64_t> words(k);
+        for (size_t w = wb; w < we; ++w) {
+          size_t r0 = w * 64;
+          size_t r1 = std::min(r0 + 64, num_rows);
+          std::fill(words.begin(), words.end(), 0);
+          for (size_t r = r0; r < r1; ++r) {
+            ValueId x = column[r];
+            for (size_t i = 0; i < k; ++i) {
+              words[i] |= uint64_t{x == values[i]} << (r - r0);
+            }
+          }
+          for (size_t i = 0; i < k; ++i) out[i].SetWord(w, words[i]);
+        }
+      });
+  return out;
 }
 
 RowSet Table::ScanConjunction(
@@ -53,11 +105,28 @@ RowSet Table::ScanConjunction(
 }
 
 size_t Table::DistinctCount(size_t col) const {
-  std::unordered_set<ValueId> seen;
-  for (ValueId v : columns_[col]) {
-    if (v != kNullValueId) seen.insert(v);
+  const std::vector<ValueId>& column = columns_[col];
+  ThreadPool& pool = ThreadPool::Global();
+  if (pool.num_threads() == 0 || num_rows_ < kParallelRowGrain) {
+    std::unordered_set<ValueId> seen;
+    for (ValueId v : column) {
+      if (v != kNullValueId) seen.insert(v);
+    }
+    return seen.size();
   }
-  return seen.size();
+  // Per-shard sets unioned under a lock; the union's size is independent of
+  // shard boundaries, so the result matches the serial loop exactly.
+  std::mutex mu;
+  std::unordered_set<ValueId> merged;
+  pool.ParallelFor(num_rows_, kParallelRowGrain, [&](size_t begin, size_t end) {
+    std::unordered_set<ValueId> seen;
+    for (size_t r = begin; r < end; ++r) {
+      if (column[r] != kNullValueId) seen.insert(column[r]);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    merged.insert(seen.begin(), seen.end());
+  });
+  return merged.size();
 }
 
 Table Table::Clone() const {
@@ -72,11 +141,18 @@ size_t Table::CountDiffCells(const Table& other) const {
   FALCON_CHECK(num_cols() == other.num_cols());
   size_t diff = 0;
   for (size_t c = 0; c < num_cols(); ++c) {
-    const auto& a = columns_[c];
-    const auto& b = other.columns_[c];
-    for (size_t r = 0; r < num_rows_; ++r) {
-      if (a[r] != b[r]) ++diff;
-    }
+    const ValueId* a = columns_[c].data();
+    const ValueId* b = other.columns_[c].data();
+    // Integer partial sums combine associatively, so row-sharding the count
+    // is exact. The atomic serializes only once per shard.
+    std::atomic<size_t> col_diff{0};
+    ThreadPool::Global().ParallelFor(
+        num_rows_, kParallelRowGrain, [&](size_t begin, size_t end) {
+          size_t local = 0;
+          for (size_t r = begin; r < end; ++r) local += a[r] != b[r];
+          col_diff.fetch_add(local, std::memory_order_relaxed);
+        });
+    diff += col_diff.load();
   }
   return diff;
 }

@@ -63,7 +63,16 @@ class Table {
   ValueId Lookup(std::string_view s) const { return pool_->Lookup(s); }
 
   /// Rows where column `col` equals `v` — a posting bitmap, O(num_rows).
+  /// Builds whole 64-bit words branch-free and shards across the global
+  /// thread pool on large tables.
   RowSet ScanEquals(size_t col, ValueId v) const;
+
+  /// Posting bitmaps for several values of one column in a single pass over
+  /// the column (result[i] = ScanEquals(col, values[i])). One memory
+  /// traversal amortizes across all requested values, which is what batched
+  /// posting-index fills want.
+  std::vector<RowSet> ScanEqualsMulti(size_t col,
+                                      const std::vector<ValueId>& values) const;
 
   /// Rows matching a conjunction of (col, value) equality predicates.
   RowSet ScanConjunction(

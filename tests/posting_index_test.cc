@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 #include "core/lattice.h"
 #include "datagen/datasets.h"
 
@@ -71,6 +75,133 @@ TEST(PostingIndexTest, LatticeBuiltThroughIndexMatchesDirect) {
   auto c = Lattice::Build(ex.dirty, repair, {0, 2, 3}, with_index);
   ASSERT_TRUE(c.ok());
   EXPECT_EQ(index.misses(), misses_before);
+}
+
+// Builds a rows×cols table over a small alphabet so values recur heavily.
+Table MakeRandomTable(size_t rows, size_t cols, size_t alphabet, Rng* rng) {
+  std::vector<std::string> names;
+  for (size_t c = 0; c < cols; ++c) names.push_back("A" + std::to_string(c));
+  Table t("rand", Schema(names));
+  std::vector<std::string> row(cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = "v" + std::to_string(rng->NextUint(alphabet));
+    }
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+// Property: after a randomized sequence of cell writes reported via
+// ApplyCellDelta, every cached bitmap equals a fresh ScanEquals, and the
+// delta-maintained index agrees with the legacy invalidate-and-rescan one.
+TEST(PostingIndexTest, DeltaMaintenanceMatchesFreshScansUnderRandomWrites) {
+  Rng rng(4242);
+  Table table = MakeRandomTable(257, 4, 6, &rng);
+  std::vector<ValueId> alphabet;
+  for (size_t a = 0; a < 6; ++a) {
+    alphabet.push_back(table.Intern("v" + std::to_string(a)));
+  }
+
+  PostingIndexOptions delta_opts;
+  delta_opts.delta_maintenance = true;
+  PostingIndex delta(&table, delta_opts);
+  PostingIndexOptions legacy_opts;
+  legacy_opts.delta_maintenance = false;
+  PostingIndex legacy(&table, legacy_opts);
+
+  // Warm a subset of entries so deltas hit both cached and uncached values.
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    for (size_t a = 0; a < 3; ++a) delta.Postings(c, alphabet[a]);
+  }
+
+  for (int step = 0; step < 500; ++step) {
+    size_t row = rng.NextUint(table.num_rows());
+    size_t col = rng.NextUint(table.num_cols());
+    ValueId old_value = table.cell(row, col);
+    ValueId new_value = alphabet[rng.NextUint(alphabet.size())];
+    delta.ApplyCellDelta(col, row, old_value, new_value);
+    table.set_cell(row, col, new_value);
+    legacy.InvalidateColumn(col);
+
+    if (step % 25 == 0) {
+      size_t c = rng.NextUint(table.num_cols());
+      ValueId v = alphabet[rng.NextUint(alphabet.size())];
+      EXPECT_EQ(delta.Postings(c, v), table.ScanEquals(c, v))
+          << "step " << step;
+      EXPECT_EQ(legacy.Postings(c, v), table.ScanEquals(c, v))
+          << "step " << step;
+    }
+  }
+  // Final sweep: every (col, value) bitmap must match a fresh scan.
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    for (ValueId v : alphabet) {
+      EXPECT_EQ(delta.Postings(c, v), table.ScanEquals(c, v));
+    }
+  }
+  EXPECT_GT(delta.stats().delta_rows, 0u);
+}
+
+// Property: batch ApplyDelta (the lattice ApplyNode shape — many rows of one
+// column rewritten to a single value) keeps cached bitmaps exact.
+TEST(PostingIndexTest, BatchApplyDeltaMatchesFreshScans) {
+  Rng rng(77);
+  Table table = MakeRandomTable(300, 3, 5, &rng);
+  std::vector<ValueId> alphabet;
+  for (size_t a = 0; a < 5; ++a) {
+    alphabet.push_back(table.Intern("v" + std::to_string(a)));
+  }
+  PostingIndex index(&table);
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    for (ValueId v : alphabet) index.Postings(c, v);
+  }
+
+  for (int step = 0; step < 40; ++step) {
+    // A rule: rows where col_a = u get col_b rewritten to w.
+    size_t col_a = rng.NextUint(table.num_cols());
+    size_t col_b = rng.NextUint(table.num_cols());
+    ValueId u = alphabet[rng.NextUint(alphabet.size())];
+    ValueId w = alphabet[rng.NextUint(alphabet.size())];
+    RowSet rows = table.ScanEquals(col_a, u);
+    index.ApplyDelta(col_b, rows,
+                     [&](size_t r) { return table.cell(r, col_b); }, w);
+    rows.ForEach([&](size_t r) { table.set_cell(r, col_b, w); });
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      for (ValueId v : alphabet) {
+        ASSERT_EQ(index.Postings(c, v), table.ScanEquals(c, v))
+            << "step " << step << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(PostingIndexTest, ByteBudgetEvictsLruEntries) {
+  DrugExample ex = MakeDrugExample();
+  size_t entry_bytes = ((ex.dirty.num_rows() + 63) / 64) * 8 + 64;
+  PostingIndexOptions options;
+  options.byte_budget = entry_bytes * 2;  // Room for two entries.
+  PostingIndex index(&ex.dirty, options);
+
+  ValueId statin = ex.dirty.Lookup("statin");
+  ValueId austin = ex.dirty.Lookup("Austin");
+  ValueId q200 = ex.dirty.Lookup("200");
+  index.Postings(1, statin);
+  index.Postings(2, austin);
+  index.Postings(3, q200);  // Three entries, over budget.
+  EXPECT_EQ(index.cached_entries(), 3u);
+  index.Trim();
+  EXPECT_EQ(index.cached_entries(), 2u);
+  EXPECT_EQ(index.stats().evictions, 1u);
+  // The LRU victim was the statin entry; re-requesting it is a miss while
+  // the survivors still hit.
+  size_t misses_before = index.misses();
+  index.Postings(2, austin);
+  index.Postings(3, q200);
+  EXPECT_EQ(index.misses(), misses_before);
+  index.Postings(1, statin);
+  EXPECT_EQ(index.misses(), misses_before + 1);
+  // Evicted-and-refilled bitmaps are still exact.
+  EXPECT_EQ(index.Postings(1, statin), ex.dirty.ScanEquals(1, statin));
 }
 
 }  // namespace

@@ -123,5 +123,44 @@ TEST(RowSetTest, FirstElement) {
   EXPECT_EQ(s.First(), 12u);
 }
 
+TEST(RowSetTest, ComplementRespectsUniverseTail) {
+  RowSet s(70);
+  s.Set(0);
+  s.Set(69);
+  RowSet c = s.Complement();
+  EXPECT_EQ(c.Count(), 68u);
+  EXPECT_FALSE(c.Test(0));
+  EXPECT_FALSE(c.Test(69));
+  EXPECT_TRUE(c.Test(1));
+  EXPECT_TRUE(c.Test(68));
+  // Double complement restores the original.
+  EXPECT_EQ(c.Complement(), s);
+}
+
+TEST(RowSetTest, WordAccessorsRoundTrip) {
+  RowSet s(130);
+  EXPECT_EQ(s.num_words(), 3u);
+  s.SetWord(1, uint64_t{1} << 5);  // Row 69.
+  EXPECT_TRUE(s.Test(69));
+  EXPECT_EQ(s.word(1), uint64_t{1} << 5);
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+#ifndef NDEBUG
+// The binary ops FALCON_DCHECK matching universe sizes in debug builds:
+// silently indexing the other set's words is how subtle out-of-bounds reads
+// were born.
+TEST(RowSetDeathTest, MismatchedUniverseAborts) {
+  RowSet a(10);
+  RowSet b(128);
+  EXPECT_DEATH(a.And(b), "universe_size_");
+  EXPECT_DEATH(a.Or(b), "universe_size_");
+  EXPECT_DEATH(a.AndNot(b), "universe_size_");
+  EXPECT_DEATH(a.IntersectCount(b), "universe_size_");
+  EXPECT_DEATH(a.IsSubsetOf(b), "universe_size_");
+  EXPECT_DEATH(a.DisjointWith(b), "universe_size_");
+}
+#endif
+
 }  // namespace
 }  // namespace falcon

@@ -54,6 +54,34 @@ TEST(TableTest, ScanEquals) {
   EXPECT_EQ(statin.ToVector(), (std::vector<uint32_t>{0, 2}));
 }
 
+TEST(TableTest, ScanEqualsMultiMatchesSingleScans) {
+  Table t("T", DrugSchema());
+  t.AppendRow({"a", "statin", "Austin", "200"});
+  t.AppendRow({"b", "other", "Austin", "100"});
+  t.AppendRow({"c", "statin", "Boston", "200"});
+  std::vector<ValueId> values = {t.Lookup("Austin"), t.Lookup("Boston"),
+                                 t.Lookup("nowhere")};
+  std::vector<RowSet> multi = t.ScanEqualsMulti(2, values);
+  ASSERT_EQ(multi.size(), 3u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(multi[i], t.ScanEquals(2, values[i])) << "value " << i;
+  }
+  EXPECT_TRUE(t.ScanEqualsMulti(2, {}).empty());
+}
+
+TEST(TableTest, ScanEqualsCrossesWordBoundaries) {
+  // >64 rows so the word-blocked kernel handles full and partial words.
+  Table t("T", Schema({"A"}));
+  for (size_t r = 0; r < 150; ++r) {
+    t.AppendRow({r % 3 == 0 ? "hit" : "miss"});
+  }
+  RowSet rows = t.ScanEquals(0, t.Lookup("hit"));
+  EXPECT_EQ(rows.Count(), 50u);
+  for (size_t r = 0; r < 150; ++r) {
+    EXPECT_EQ(rows.Test(r), r % 3 == 0) << "row " << r;
+  }
+}
+
 TEST(TableTest, ScanConjunction) {
   Table t("T", DrugSchema());
   t.AppendRow({"a", "statin", "Austin", "200"});

@@ -108,6 +108,40 @@ TEST(SelectExecTest, UnseenConstantYieldsEmpty) {
   EXPECT_EQ(r->num_rows(), 0u);
 }
 
+TEST(SelectExecTest, OrderByMixedNumericFallsBackToLexicographic) {
+  // One non-numeric value in the column must demote the whole sort to
+  // lexicographic ordering ("9" > "10" as strings), ascending and
+  // descending alike — a regression guard for the precomputed-key sort.
+  Table t("mix", Schema({"Id", "Val"}));
+  t.AppendRow({"a", "9"});
+  t.AppendRow({"b", "10"});
+  t.AppendRow({"c", "x2"});
+  t.AppendRow({"d", "100"});
+
+  auto asc = RunSelect(t, "SELECT Val FROM mix ORDER BY Val");
+  ASSERT_TRUE(asc.ok()) << asc.status();
+  EXPECT_EQ(asc->CellText(0, 0), "10");
+  EXPECT_EQ(asc->CellText(1, 0), "100");
+  EXPECT_EQ(asc->CellText(2, 0), "9");
+  EXPECT_EQ(asc->CellText(3, 0), "x2");
+
+  auto desc = RunSelect(t, "SELECT Val FROM mix ORDER BY Val DESC");
+  ASSERT_TRUE(desc.ok()) << desc.status();
+  EXPECT_EQ(desc->CellText(0, 0), "x2");
+  EXPECT_EQ(desc->CellText(3, 0), "10");
+
+  // Purely numeric columns still sort numerically (9 < 10 < 100).
+  Table n("num", Schema({"Val"}));
+  n.AppendRow({"100"});
+  n.AppendRow({"9"});
+  n.AppendRow({"10"});
+  auto num = RunSelect(n, "SELECT Val FROM num ORDER BY Val");
+  ASSERT_TRUE(num.ok()) << num.status();
+  EXPECT_EQ(num->CellText(0, 0), "9");
+  EXPECT_EQ(num->CellText(1, 0), "10");
+  EXPECT_EQ(num->CellText(2, 0), "100");
+}
+
 TEST(SelectExecTest, WorksOnGeneratedData) {
   auto ds = MakeSoccer();
   ASSERT_TRUE(ds.ok());

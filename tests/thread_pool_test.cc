@@ -1,0 +1,75 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace falcon {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolRunsEverythingOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.ParallelFor(hits.size(), 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MinGrainKeepsSmallInputsInline) {
+  ThreadPool pool(4);
+  // A range below min_grain must execute as one shard (single callback).
+  std::atomic<int> calls{0};
+  pool.ParallelFor(100, 1000, [&](size_t b, size_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, RepeatedBatchesReuseWorkers) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(1000, 10, [&](size_t b, size_t e) {
+      size_t local = 0;
+      for (size_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<size_t> count{0};
+  ThreadPool::Global().ParallelFor(1'000, 1, [&](size_t b, size_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 1'000u);
+}
+
+}  // namespace
+}  // namespace falcon
