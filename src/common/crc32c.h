@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every session-journal record. Software slice-by-one
+// table implementation — journal records are small, so the table lookup is
+// not a bottleneck; the polynomial matches what storage systems (RocksDB,
+// LevelDB, ext4) use so torn-record detection behaves identically.
+#ifndef FALCON_COMMON_CRC32C_H_
+#define FALCON_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace falcon {
+
+/// Extends `crc` (a previous Crc32c result, or 0 for a fresh stream) with
+/// `data`. The running state is kept pre/post-inverted internally, so
+/// chained calls equal one call over the concatenation.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of one buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32cExtend(0, s.data(), s.size());
+}
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_CRC32C_H_

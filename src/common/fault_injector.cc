@@ -1,0 +1,148 @@
+#include "common/fault_injector.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace falcon {
+namespace {
+
+Status ParseOneSpec(std::string_view text, FaultSpec* out) {
+  std::vector<std::string> parts = Split(Trim(text), ':');
+  if (parts.empty() || Trim(parts[0]).empty()) {
+    return Status::InvalidArgument("fault spec missing site name: '" +
+                                   std::string(text) + "'");
+  }
+  FaultSpec spec;
+  spec.site = std::string(Trim(parts[0]));
+  if (parts.size() >= 2) {
+    int64_t nth = ParseInt64(Trim(parts[1]));
+    if (nth < 1) {
+      return Status::InvalidArgument("fault spec needs nth >= 1: '" +
+                                     std::string(text) + "'");
+    }
+    spec.nth = static_cast<size_t>(nth);
+  }
+  if (parts.size() >= 3) {
+    int64_t count = ParseInt64(Trim(parts[2]));
+    if (count < 1) {
+      return Status::InvalidArgument("fault spec needs count >= 1: '" +
+                                     std::string(text) + "'");
+    }
+    spec.count = static_cast<size_t>(count);
+  }
+  if (parts.size() >= 4) {
+    std::string kind = ToLower(Trim(parts[3]));
+    if (kind == "crash" || kind == "io") {
+      spec.code = StatusCode::kIoError;
+    } else if (kind == "transient" || kind == "unavailable") {
+      spec.code = StatusCode::kUnavailable;
+    } else {
+      return Status::InvalidArgument("unknown fault kind '" + kind +
+                                     "' (want crash|transient)");
+    }
+  }
+  if (parts.size() >= 5) {
+    return Status::InvalidArgument("trailing fields in fault spec: '" +
+                                   std::string(text) + "'");
+  }
+  *out = std::move(spec);
+  return Status::Ok();
+}
+
+}  // namespace
+
+void FaultInjector::Arm(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arm_rngs_.emplace_back(spec.seed);
+  arms_.push_back(std::move(spec));
+  UpdateActive();
+}
+
+Status FaultInjector::ArmFromFlag(std::string_view flag) {
+  std::vector<FaultSpec> specs;
+  for (const std::string& piece : Split(flag, ',')) {
+    if (Trim(piece).empty()) continue;
+    FaultSpec spec;
+    FALCON_RETURN_IF_ERROR(ParseOneSpec(piece, &spec));
+    specs.push_back(std::move(spec));
+  }
+  for (FaultSpec& spec : specs) Arm(std::move(spec));
+  return Status::Ok();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  arms_.clear();
+  arm_rngs_.clear();
+  counts_.clear();
+  UpdateActive();
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.clear();
+}
+
+void FaultInjector::set_recording(bool recording) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recording_ = recording;
+  UpdateActive();
+}
+
+Status FaultInjector::Hit(std::string_view site) {
+  if (!active()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t hit = ++counts_[std::string(site)];
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    const FaultSpec& arm = arms_[i];
+    if (arm.site != site) continue;
+    bool fire;
+    if (arm.probability > 0.0) {
+      fire = arm_rngs_[i].NextBool(arm.probability);
+    } else {
+      fire = hit >= arm.nth && hit < arm.nth + arm.count;
+    }
+    if (fire) {
+      return Status(arm.code, "injected fault at " + arm.site + " hit " +
+                                  std::to_string(hit));
+    }
+  }
+  return Status::Ok();
+}
+
+size_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, size_t>> FaultInjector::Counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, size_t>> out(counts_.begin(),
+                                                  counts_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FaultInjector::UpdateActive() {
+  active_.store(recording_ || !arms_.empty(), std::memory_order_relaxed);
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("FALCON_FAULTS")) {
+      Status st = inj->ArmFromFlag(env);
+      if (!st.ok()) {
+        FALCON_LOG(Warning) << "ignoring FALCON_FAULTS: " << st.ToString();
+      }
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+}  // namespace falcon

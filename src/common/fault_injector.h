@@ -1,0 +1,115 @@
+// FaultInjector: deterministic fault injection for the crash-safety
+// harness. Code paths that can fail in production (journal writes, oracle
+// calls, mid-apply table writes) call Hit("site.name") at each injectable
+// point; the injector counts hits per site and, when armed, fails a chosen
+// window of hits with a chosen StatusCode. Because hits are counted (not
+// sampled) the same arming always fails the same operation, which is what
+// the fault-sweep driver needs to enumerate and replay every crash point.
+//
+// A seeded probabilistic mode (FaultSpec::probability) exists for soak-style
+// runs; it draws from its own Rng so a given seed fails the same hits on
+// every run.
+//
+// Arming sources:
+//  - programmatic: FaultInjector::Global().Arm({...}) (tests, sweep driver);
+//  - the FALCON_FAULTS environment flag, parsed once at first Global() use:
+//      FALCON_FAULTS="site:nth[:count[:kind]][,more...]"
+//    where `kind` is `crash` (kIoError, default) or `transient`
+//    (kUnavailable — retried with backoff by the session's oracle path).
+//
+// Sites currently instrumented (see DESIGN.md "Fault tolerance & recovery"):
+//   journal.append   fail before a record write (clean journal tail)
+//   journal.torn     write a partial record, then fail (torn tail)
+//   journal.sync     fail the checkpoint flush/fsync
+//   oracle.answer    fail an oracle call (transient faults are retried)
+//   apply.rule       fail before a validated rule starts executing
+//   apply.write      fail before the N-th row write of rule execution
+//   manual.write     fail before a manual single-cell fix writes
+//   session.update   fail at the top of a user-update iteration
+//
+// Thread-safety: Hit() takes a mutex only when the injector is active
+// (armed or recording); the common disarmed case is a single relaxed load.
+#ifndef FALCON_COMMON_FAULT_INJECTOR_H_
+#define FALCON_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace falcon {
+
+/// One armed fault: hits `nth`..`nth+count-1` of `site` fail with `code`;
+/// or, when `probability` > 0, each hit fails with that probability drawn
+/// from a generator seeded with `seed`.
+struct FaultSpec {
+  std::string site;
+  size_t nth = 1;    ///< 1-based hit index at which failures start.
+  size_t count = 1;  ///< Number of consecutive failing hits.
+  StatusCode code = StatusCode::kIoError;
+  double probability = 0.0;  ///< 0 = deterministic nth-hit mode.
+  uint64_t seed = 1;         ///< Seed for the probabilistic mode.
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms one fault. Multiple arms (even on one site) may coexist.
+  void Arm(FaultSpec spec);
+
+  /// Parses and arms a FALCON_FAULTS-syntax string. Returns
+  /// InvalidArgument (arming nothing) on malformed input.
+  Status ArmFromFlag(std::string_view flag);
+
+  /// Disarms everything and zeroes all hit counters.
+  void Reset();
+
+  /// Zeroes hit counters, keeping arms (rarely wanted; sweeps use Reset).
+  void ResetCounters();
+
+  /// Count hits per site even with nothing armed — the sweep's discovery
+  /// pass runs once with recording on to learn how many injectable points
+  /// a workload passes through.
+  void set_recording(bool recording);
+
+  /// Registers one pass through injectable point `site`. Returns a non-OK
+  /// Status when an armed fault covers this hit, else OK.
+  Status Hit(std::string_view site);
+
+  /// Hits recorded for `site` since the last Reset.
+  size_t HitCount(const std::string& site) const;
+
+  /// All (site, hit count) pairs, sorted by site name for determinism.
+  std::vector<std::pair<std::string, size_t>> Counts() const;
+
+  /// True when any arm or recording is in effect (Hit() is a single atomic
+  /// load otherwise).
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Process-wide instance; arms from the FALCON_FAULTS environment
+  /// variable (malformed specs log a warning and are ignored).
+  static FaultInjector& Global();
+
+ private:
+  void UpdateActive();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> active_{false};
+  bool recording_ = false;
+  std::vector<FaultSpec> arms_;
+  std::vector<Rng> arm_rngs_;  // Parallel to arms_ (probabilistic mode).
+  std::unordered_map<std::string, size_t> counts_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_FAULT_INJECTOR_H_

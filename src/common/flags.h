@@ -1,6 +1,11 @@
 // Minimal command-line flag parsing for the tools and benchmark binaries:
 // --name=value and --name (boolean) forms, with positional arguments kept
 // in order. No registration — callers query by name with defaults.
+//
+// Numeric getters parse strictly: "8abc" or "1 2" never silently truncate
+// to a number. The default-returning getters log a warning and fall back on
+// malformed values; the *Strict variants surface a Status for callers that
+// must fail fast (e.g. service entry points).
 #ifndef FALCON_COMMON_FLAGS_H_
 #define FALCON_COMMON_FLAGS_H_
 
@@ -8,6 +13,10 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/str_util.h"
 
 namespace falcon {
 
@@ -40,21 +49,54 @@ class Flags {
   int64_t GetInt(const std::string& name, int64_t default_value = 0) const {
     auto it = values_.find(name);
     if (it == values_.end()) return default_value;
-    try {
-      return std::stoll(it->second);
-    } catch (...) {
+    int64_t v = 0;
+    if (!ParseInt64Strict(it->second, &v)) {
+      FALCON_LOG(Warning) << "flag --" << name << "=" << it->second
+                          << " is not an integer; using default "
+                          << default_value;
       return default_value;
     }
+    return v;
+  }
+
+  /// Like GetInt, but malformed input is an InvalidArgument error instead
+  /// of a silently applied default. Absent flags still yield the default.
+  StatusOr<int64_t> GetIntStrict(const std::string& name,
+                                 int64_t default_value = 0) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    int64_t v = 0;
+    if (!ParseInt64Strict(it->second, &v)) {
+      return Status::InvalidArgument("flag --" + name + "=" + it->second +
+                                     " is not an integer");
+    }
+    return v;
   }
 
   double GetDouble(const std::string& name, double default_value = 0) const {
     auto it = values_.find(name);
     if (it == values_.end()) return default_value;
-    try {
-      return std::stod(it->second);
-    } catch (...) {
+    double v = 0;
+    if (!ParseDoubleStrict(it->second, &v)) {
+      FALCON_LOG(Warning) << "flag --" << name << "=" << it->second
+                          << " is not a number; using default "
+                          << default_value;
       return default_value;
     }
+    return v;
+  }
+
+  /// Strict counterpart of GetDouble (see GetIntStrict).
+  StatusOr<double> GetDoubleStrict(const std::string& name,
+                                   double default_value = 0) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    double v = 0;
+    if (!ParseDoubleStrict(it->second, &v)) {
+      return Status::InvalidArgument("flag --" + name + "=" + it->second +
+                                     " is not a number");
+    }
+    return v;
   }
 
   bool GetBool(const std::string& name, bool default_value = false) const {

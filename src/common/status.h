@@ -23,6 +23,9 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnimplemented,
+  /// A transient failure (e.g. an injected oracle outage) that is expected
+  /// to succeed if retried; the session retries these with backoff.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -63,9 +66,14 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  /// True for failures worth retrying (currently kUnavailable).
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
   const std::string& message() const { return message_; }
 
   /// Formats as "OK" or "<CODE>: <message>".

@@ -1,6 +1,8 @@
 #include "common/str_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 
 namespace falcon {
 
@@ -84,6 +86,42 @@ int64_t ParseInt64(std::string_view s) {
     v = v * 10 + (c - '0');
   }
   return v;
+}
+
+bool ParseInt64Strict(std::string_view s, int64_t* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  bool negative = false;
+  if (s[0] == '+' || s[0] == '-') {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+    if (s.empty()) return false;
+  }
+  uint64_t magnitude = 0;
+  const uint64_t limit =
+      negative ? uint64_t{1} << 63 : (uint64_t{1} << 63) - 1;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (magnitude > (limit - digit) / 10) return false;  // Overflow.
+    magnitude = magnitude * 10 + digit;
+  }
+  *out = negative ? -static_cast<int64_t>(magnitude - 1) - 1
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
+
+bool ParseDoubleStrict(std::string_view s, double* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  // strtod needs NUL termination; the flag values being parsed are short.
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace falcon

@@ -37,6 +37,15 @@ std::string SqlQuote(std::string_view s);
 /// Parses a non-negative integer; returns -1 on malformed input.
 int64_t ParseInt64(std::string_view s);
 
+/// Strict signed integer parse: optional +/- sign then digits, with
+/// surrounding whitespace tolerated. Returns false (leaving *out untouched)
+/// on empty input, stray characters, or overflow — unlike std::stoll, which
+/// silently accepts "8abc" as 8.
+bool ParseInt64Strict(std::string_view s, int64_t* out);
+
+/// Strict double parse: the whole (trimmed) input must be consumed.
+bool ParseDoubleStrict(std::string_view s, double* out);
+
 }  // namespace falcon
 
 #endif  // FALCON_COMMON_STR_UTIL_H_

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "common/str_util.h"
 
 namespace falcon {
 
@@ -62,12 +66,36 @@ void ThreadPool::ParallelFor(size_t n, size_t min_grain,
   done_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
+StatusOr<size_t> ParseThreadCount(std::string_view value) {
+  int64_t v = 0;
+  if (!ParseInt64Strict(value, &v)) {
+    return Status::InvalidArgument("thread count '" + std::string(value) +
+                                   "' is not an integer");
+  }
+  if (v < 1) {
+    return Status::InvalidArgument("thread count must be >= 1, got '" +
+                                   std::string(value) + "'");
+  }
+  if (v > 4096) {
+    return Status::InvalidArgument("thread count '" + std::string(value) +
+                                   "' exceeds the 4096 sanity cap");
+  }
+  return static_cast<size_t>(v);
+}
+
 ThreadPool& ThreadPool::Global() {
   static ThreadPool* pool = [] {
     size_t threads = std::thread::hardware_concurrency();
     if (const char* env = std::getenv("FALCON_THREADS")) {
-      long v = std::atol(env);
-      if (v >= 1) threads = static_cast<size_t>(v);
+      StatusOr<size_t> parsed = ParseThreadCount(env);
+      if (parsed.ok()) {
+        threads = *parsed;
+      } else {
+        FALCON_LOG(Warning) << "ignoring FALCON_THREADS: "
+                            << parsed.status().ToString()
+                            << "; using hardware concurrency (" << threads
+                            << ")";
+      }
     }
     // The pool holds threads *beyond* the caller; size 1 → inline.
     return new ThreadPool(threads > 0 ? threads - 1 : 0);

@@ -13,8 +13,11 @@
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace falcon {
 
@@ -38,7 +41,8 @@ class ThreadPool {
                    const std::function<void(size_t, size_t)>& fn);
 
   /// Process-wide pool sized from FALCON_THREADS (defaults to the hardware
-  /// concurrency; 1 disables threading).
+  /// concurrency; 1 disables threading). Garbage FALCON_THREADS values log
+  /// a warning and fall back to the default instead of degrading silently.
   static ThreadPool& Global();
 
  private:
@@ -58,6 +62,12 @@ class ThreadPool {
   size_t pending_ = 0;  // Tasks queued or executing for the current batch.
   bool stop_ = false;
 };
+
+/// Validates a FALCON_THREADS value: a strictly positive integer with
+/// optional surrounding whitespace, capped at 4096 (a fat-node sanity
+/// bound). Anything else — non-numeric, untrimmed garbage like "8x", zero,
+/// negative — is InvalidArgument with a diagnostic naming the input.
+StatusOr<size_t> ParseThreadCount(std::string_view value);
 
 }  // namespace falcon
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "relational/posting_index.h"
 
@@ -165,7 +166,7 @@ std::vector<NodeId> Lattice::UnknownNodes() const {
   return out;
 }
 
-RowSet Lattice::ApplyNode(NodeId n, Table& table) {
+RowSet Lattice::ApplyNode(NodeId n, Table& table, Status* fault) {
   RowSet changed = affected_[n];
   size_t changed_count = counts_[n];
   // Delta-maintain the posting cache while the old values are still in the
@@ -176,9 +177,26 @@ RowSet Lattice::ApplyNode(NodeId n, Table& table) {
         repair_.col, changed,
         [&](size_t r) { return table.cell(r, repair_.col); }, target_value_);
   }
-  changed.ForEach([&](size_t r) {
-    table.set_cell(r, repair_.col, target_value_);
-  });
+  if (fault != nullptr && FaultInjector::Global().active()) {
+    bool stopped = false;
+    changed.ForEach([&](size_t r) {
+      if (stopped) return;
+      Status st = FaultInjector::Global().Hit("apply.write");
+      if (!st.ok()) {
+        *fault = std::move(st);
+        stopped = true;
+        return;
+      }
+      table.set_cell(r, repair_.col, target_value_);
+    });
+    // Torn apply: leave the affected sets untouched — the session aborts
+    // and recovery rolls the table back from journal before-images.
+    if (stopped) return changed;
+  } else {
+    changed.ForEach([&](size_t r) {
+      table.set_cell(r, repair_.col, target_value_);
+    });
+  }
   // Incremental maintenance (Section 5.1.2): repaired rows leave every
   // node's affected set, but the containment relation to Q gives each node
   // a cheap path.

@@ -136,7 +136,14 @@ class Lattice {
   /// lattice was built over): writes the target value into every affected
   /// row and incrementally updates all affected sets (Cases 1–3 of
   /// Section 5.1.2, each with its cheap path). Returns the changed rows.
-  RowSet ApplyNode(NodeId n, Table& table);
+  ///
+  /// When `fault` is non-null the per-row writes check the `apply.write`
+  /// fault-injection site: on an injected fault the apply stops mid-write
+  /// (a torn apply), `*fault` carries the error, and lattice maintenance is
+  /// skipped — the session's journal before-images make the partial write
+  /// recoverable. Callers that pass nullptr (tests, benches, the REPL) pay
+  /// nothing and never fault.
+  RowSet ApplyNode(NodeId n, Table& table, Status* fault = nullptr);
 
   /// Cumulative maintenance case counts across ApplyNode calls.
   const MaintenanceStats& maintenance_stats() const {

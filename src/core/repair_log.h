@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+#include "relational/posting_index.h"
 #include "relational/sqlu.h"
 #include "relational/table.h"
 
@@ -55,6 +57,74 @@ class RepairLog {
     }
     entries_.pop_back();
     return true;
+  }
+
+  /// Reverts entry `i` (a mistakenly-validated rule) against `table`,
+  /// restoring its before-images and erasing the entry. Refuses with
+  /// FailedPrecondition when any *later* entry overlaps entry i's cells:
+  /// undoing out of order would resurrect a value the later repair already
+  /// replaced, so overlapping entries must be retracted newest-first.
+  /// When `posting` is non-null the reversal is fed through the index —
+  /// per-cell deltas in delta-maintenance mode, column invalidation
+  /// otherwise — so cached bitmaps stay consistent with the table.
+  Status Undo(size_t i, Table& table, PostingIndex* posting = nullptr) {
+    FALCON_RETURN_IF_ERROR(CanUndo(i));
+    const Entry& e = entries_[i];
+    for (const auto& [row, value] : e.before) {
+      ValueId current = table.cell(row, e.col);
+      if (posting != nullptr && current != value) {
+        if (posting->delta_maintenance()) {
+          posting->ApplyCellDelta(e.col, row, current, value);
+        } else {
+          posting->InvalidateColumn(e.col);
+        }
+      }
+      table.set_cell(row, e.col, value);
+      auto it = repair_counts_.find(CellKey(row, e.col));
+      if (it != repair_counts_.end() && --it->second == 0) {
+        repair_counts_.erase(it);
+      }
+    }
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+    return Status::Ok();
+  }
+
+  /// The check half of Undo, side-effect free: bounds + overlap refusal.
+  /// The session journals a retraction only after this passes (write-ahead
+  /// without the risk of journaling a refused retraction).
+  Status CanUndo(size_t i) const {
+    if (i >= entries_.size()) {
+      return Status::InvalidArgument("repair log has no entry " +
+                                     std::to_string(i));
+    }
+    const Entry& e = entries_[i];
+    for (size_t j = i + 1; j < entries_.size(); ++j) {
+      if (entries_[j].col != e.col) continue;
+      // Both before-lists are ascending by row: merge-scan for overlap.
+      const auto& a = e.before;
+      const auto& b = entries_[j].before;
+      size_t x = 0, y = 0;
+      while (x < a.size() && y < b.size()) {
+        if (a[x].first < b[y].first) {
+          ++x;
+        } else if (a[x].first > b[y].first) {
+          ++y;
+        } else {
+          return Status::FailedPrecondition(
+              "cannot undo repair " + std::to_string(i) + ": repair " +
+              std::to_string(j) + " later rewrote cell (row " +
+              std::to_string(a[x].first) + ", col " + std::to_string(e.col) +
+              "); retract overlapping repairs newest-first");
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Drops everything (a session restart or recovery rebuilds the log).
+  void Clear() {
+    entries_.clear();
+    repair_counts_.clear();
   }
 
   /// How many logged repairs have touched this cell — the paper's cycle

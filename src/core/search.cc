@@ -1,11 +1,33 @@
 #include "core/search.h"
 
 #include <chrono>
+#include <thread>
 
+#include "common/fault_injector.h"
 #include "core/search_algorithms.h"
 #include "relational/posting_index.h"
 
 namespace falcon {
+namespace {
+
+// Bounded retry for transient (kUnavailable) oracle faults: the user/master
+// endpoint being briefly unreachable should not kill the session. Non-
+// transient faults and exhaustion propagate to the context's sticky status.
+constexpr int kMaxOracleAttempts = 4;
+constexpr int kOracleBackoffBaseUs = 50;
+
+Status HitOracleSiteWithRetry() {
+  Status fault = Status::Ok();
+  for (int attempt = 0; attempt < kMaxOracleAttempts; ++attempt) {
+    fault = FaultInjector::Global().Hit("oracle.answer");
+    if (fault.ok() || !fault.IsTransient()) break;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(kOracleBackoffBaseUs << attempt));
+  }
+  return fault;
+}
+
+}  // namespace
 
 LatticeSearchContext::LatticeSearchContext(
     Lattice* lattice, Table* dirty, UserOracle* oracle, size_t budget,
@@ -22,18 +44,48 @@ LatticeSearchContext::LatticeSearchContext(
       on_apply_(std::move(on_apply)) {}
 
 RowSet LatticeSearchContext::ApplyValid(NodeId n) {
+  if (!status_.ok()) return RowSet(dirty_->num_rows());
+  Status fault = FaultInjector::Global().Hit("apply.rule");
+  if (!fault.ok()) {
+    status_ = std::move(fault);
+    return RowSet(dirty_->num_rows());
+  }
   auto t0 = std::chrono::steady_clock::now();
+  size_t col = lattice_->target_col();
+  // Write-ahead: the durable journal record (with text before-images) must
+  // land before any table byte changes, so a crash mid-apply rolls back.
+  if (journal_hook_) {
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::kApply;
+    rec.node = static_cast<uint32_t>(n);
+    rec.col = static_cast<uint32_t>(col);
+    rec.manual = n == lattice_->top();
+    rec.value = std::string(dirty_->pool()->Get(lattice_->target_value()));
+    lattice_->affected(n).ForEach([&](size_t r) {
+      rec.before.emplace_back(
+          static_cast<uint32_t>(r),
+          std::string(dirty_->pool()->Get(dirty_->cell(r, col))));
+    });
+    Status st = journal_hook_(&rec);
+    if (!st.ok()) {
+      status_ = std::move(st);
+      return RowSet(dirty_->num_rows());
+    }
+  }
   // Journal the before-images while they are still in the table.
   if (log_ != nullptr) {
     std::vector<std::pair<uint32_t, ValueId>> before;
-    size_t col = lattice_->target_col();
     lattice_->affected(n).ForEach([&](size_t r) {
       before.emplace_back(static_cast<uint32_t>(r), dirty_->cell(r, col));
     });
     log_->Record(lattice_->NodeQuery(n), col, std::move(before),
                  /*manual=*/n == lattice_->top());
   }
-  RowSet changed = lattice_->ApplyNode(n, *dirty_);
+  RowSet changed = lattice_->ApplyNode(n, *dirty_, &fault);
+  if (!fault.ok()) {
+    status_ = std::move(fault);
+    return changed;
+  }
   if (naive_maintenance_) {
     // Fig. 8(a)'s strawman: throw the incremental result away and rebuild
     // every affected set from the table. In delta mode ApplyNode already
@@ -73,7 +125,30 @@ std::optional<LatticeSearchContext::AskResult> LatticeSearchContext::Ask(
     return AskResult{q, lattice_->validity(q) == Validity::kValid};
   }
 
+  // Fault site sits *before* AnswerEx so failed attempts don't advance the
+  // oracle's RNG stream (replay determinism depends on aligned draws).
+  Status fault = HitOracleSiteWithRetry();
+  if (!fault.ok()) {
+    status_ = std::move(fault);
+    return std::nullopt;
+  }
   UserOracle::Answered answer = oracle_->AnswerEx(*lattice_, q);
+  if (journal_hook_) {
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::kAnswer;
+    rec.node = static_cast<uint32_t>(q);
+    rec.valid = answer.valid;
+    rec.billed = answer.billed;
+    Status st = journal_hook_(&rec);
+    if (!st.ok()) {
+      status_ = std::move(st);
+      return std::nullopt;
+    }
+    // Replay rewrites the record to the journaled verdict; take it as
+    // authoritative so recovery reproduces the original run bit-for-bit.
+    answer.valid = rec.valid;
+    answer.billed = rec.billed;
+  }
   if (answer.billed) ++answers_used_;
   verified_.push_back(q);
   if (history_ != nullptr) {

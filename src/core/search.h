@@ -17,6 +17,7 @@
 #include "core/oracle.h"
 #include "core/repair_log.h"
 #include "core/rule_history.h"
+#include "core/session_journal.h"
 #include "profiling/correlation.h"
 #include "relational/table.h"
 
@@ -64,9 +65,18 @@ class LatticeSearchContext {
   const SearchTuning& tuning() const { return tuning_; }
   void set_tuning(const SearchTuning& t) { tuning_ = t; }
 
-  bool BudgetLeft() const { return answers_used_ < budget_; }
+  /// False once the budget is spent — or once an error (injected fault,
+  /// journal I/O failure, oracle outage) latched into status(). Algorithms
+  /// loop on BudgetLeft()/Ask-nullopt, so a sticky error quenches every
+  /// strategy without per-algorithm error handling.
+  bool BudgetLeft() const { return status_.ok() && answers_used_ < budget_; }
   size_t answers_used() const { return answers_used_; }
   size_t budget() const { return budget_; }
+
+  /// First error the episode hit (Ok while healthy). Checked by the session
+  /// driver after the algorithm returns; sticky — once set, BudgetLeft is
+  /// false and Ask/ApplyValid are no-ops.
+  const Status& status() const { return status_; }
 
   /// Result of one user question.
   struct AskResult {
@@ -99,6 +109,14 @@ class LatticeSearchContext {
   void set_rule_history(RuleHistory* history) { history_ = history; }
   void set_repair_log(RepairLog* log) { log_ = log; }
 
+  /// Write-ahead journal hook. Called with each kAnswer/kApply record
+  /// *before* its effect is taken; the hook either appends it (live) or
+  /// matches it against the journal cursor and rewrites it to the
+  /// journaled, authoritative version (replay). A failed hook latches into
+  /// status() and stops the episode.
+  using JournalHook = std::function<Status(JournalRecord*)>;
+  void set_journal_hook(JournalHook hook) { journal_hook_ = std::move(hook); }
+
  private:
   std::vector<size_t> NodeCols(NodeId n) const;
 
@@ -114,6 +132,8 @@ class LatticeSearchContext {
   SearchTuning tuning_;
   RuleHistory* history_ = nullptr;
   RepairLog* log_ = nullptr;
+  JournalHook journal_hook_;
+  Status status_ = Status::Ok();
   size_t answers_used_ = 0;
   std::vector<NodeId> verified_;
 };

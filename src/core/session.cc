@@ -1,14 +1,12 @@
 #include "core/session.h"
 
 #include <chrono>
-#include <deque>
-#include <unordered_set>
+#include <vector>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
-#include "common/rng.h"
 #include "core/master_oracle.h"
 #include "core/oracle.h"
-#include "relational/posting_index.h"
 
 namespace falcon {
 
@@ -20,7 +18,30 @@ CleaningSession::CleaningSession(const Table* clean, Table* dirty,
       algorithm_(algorithm),
       options_(options) {}
 
-StatusOr<SessionMetrics> CleaningSession::Run() {
+size_t CleaningSession::RefillFromDetector() {
+  ViolationReport report = DetectViolations(*dirty_, options_.detector);
+  size_t added = 0;
+  for (const Suspect& s : report.suspects) {
+    // The user inspects the flagged cell; false alarms are dismissed.
+    if (dirty_->cell(s.row, s.col) != clean_->cell(s.row, s.col)) {
+      worklist_.emplace_back(s.row, static_cast<uint32_t>(s.col));
+      ++added;
+    }
+  }
+  return added;
+}
+
+void CleaningSession::ExportPostingStats() {
+  const PostingIndexStats& s = posting_index_->stats();
+  metrics_.posting_hits = s.hits;
+  metrics_.posting_misses = s.misses;
+  metrics_.posting_delta_rows = s.delta_rows;
+  metrics_.posting_evictions = s.evictions;
+  metrics_.posting_scan_ms = s.scan_ms;
+  metrics_.posting_delta_ms = s.delta_ms;
+}
+
+Status CleaningSession::Start(bool fresh) {
   if (clean_->num_rows() != dirty_->num_rows() ||
       clean_->num_cols() != dirty_->num_cols()) {
     return Status::InvalidArgument("clean/dirty shape mismatch");
@@ -30,15 +51,14 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
         "clean and dirty tables must share a ValuePool");
   }
 
-  SessionMetrics metrics;
-  metrics.initial_errors = dirty_->CountDiffCells(*clean_);
-  if (metrics.initial_errors == 0) {
-    metrics.converged = true;
-    return metrics;
-  }
-  size_t max_updates = options_.max_updates != 0
-                           ? options_.max_updates
-                           : metrics.initial_errors * 10 + 100;
+  metrics_ = SessionMetrics{};
+  log_.Clear();
+  worklist_.clear();
+  wrong_updated_.clear();
+  metrics_.initial_errors = dirty_->CountDiffCells(*clean_);
+  max_updates_ = options_.max_updates != 0
+                     ? options_.max_updates
+                     : metrics_.initial_errors * 10 + 100;
 
   // Worklist of candidate dirty cells; entries are validated when popped
   // (an applied rule may have fixed them meanwhile). Applied rules append
@@ -49,41 +69,28 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
   // errors are fixed"). In detector-driven mode the user only sees what
   // the FD-violation detector flags, re-detecting after each drained
   // batch.
-  std::deque<std::pair<uint32_t, uint32_t>> worklist;
-  auto refill_from_detector = [&]() {
-    ViolationReport report = DetectViolations(*dirty_, options_.detector);
-    size_t added = 0;
-    for (const Suspect& s : report.suspects) {
-      // The user inspects the flagged cell; false alarms are dismissed.
-      if (dirty_->cell(s.row, s.col) != clean_->cell(s.row, s.col)) {
-        worklist.emplace_back(s.row, static_cast<uint32_t>(s.col));
-        ++added;
-      }
-    }
-    return added;
-  };
   if (options_.detector_driven) {
-    refill_from_detector();
+    RefillFromDetector();
   } else {
     for (size_t r = 0; r < dirty_->num_rows(); ++r) {
       for (size_t c = 0; c < dirty_->num_cols(); ++c) {
         if (dirty_->cell(r, c) != clean_->cell(r, c)) {
-          worklist.emplace_back(static_cast<uint32_t>(r),
-                                static_cast<uint32_t>(c));
+          worklist_.emplace_back(static_cast<uint32_t>(r),
+                                 static_cast<uint32_t>(c));
         }
       }
     }
   }
 
   // Profile once over the (initial) dirty instance, as the paper does.
+  // Recovery rolls the table back before calling Start, so replayed runs
+  // profile the same instance the crashed run did.
   CorrelationOptions cords_options;
   cords_options.max_sample_rows = options_.profile_sample_rows;
-  CordsProfiler profiler(dirty_, cords_options);
+  profiler_ = std::make_unique<CordsProfiler>(dirty_, cords_options);
 
   // The oracle: a simulated human, optionally fronted by master data
   // (Appendix B) that answers covered patterns for free.
-  std::unique_ptr<UserOracle> oracle;
-  MasterBackedOracle* master_oracle = nullptr;
   if (options_.master != nullptr) {
     if (options_.master->pool() != dirty_->pool()) {
       return Status::InvalidArgument(
@@ -92,118 +99,333 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
     auto owned = std::make_unique<MasterBackedOracle>(
         options_.master, dirty_, clean_, options_.question_mistake_prob,
         options_.seed + 1);
-    master_oracle = owned.get();
-    oracle = std::move(owned);
+    master_oracle_ = owned.get();
+    oracle_ = std::move(owned);
   } else {
-    oracle = std::make_unique<UserOracle>(
+    master_oracle_ = nullptr;
+    oracle_ = std::make_unique<UserOracle>(
         clean_, options_.question_mistake_prob, options_.seed + 1);
   }
 
   PostingIndexOptions posting_options;
   posting_options.delta_maintenance = options_.posting_delta;
   posting_options.byte_budget = options_.posting_budget_bytes;
-  PostingIndex posting_index(dirty_, posting_options);
-  LatticeOptions lattice_options = options_.lattice;
-  if (options_.use_posting_index && !lattice_options.naive_init) {
-    lattice_options.index = &posting_index;
+  posting_index_ = std::make_unique<PostingIndex>(dirty_, posting_options);
+  lattice_options_ = options_.lattice;
+  if (options_.use_posting_index && !lattice_options_.naive_init) {
+    lattice_options_.index = posting_index_.get();
   }
-  auto export_posting_stats = [&]() {
-    const PostingIndexStats& s = posting_index.stats();
-    metrics.posting_hits = s.hits;
-    metrics.posting_misses = s.misses;
-    metrics.posting_delta_rows = s.delta_rows;
-    metrics.posting_evictions = s.evictions;
-    metrics.posting_scan_ms = s.scan_ms;
-    metrics.posting_delta_ms = s.delta_ms;
-  };
 
-  Rng update_rng(options_.seed + 2);
-  // Cells that already received one wrong user update; the paper's cycle
-  // notification means the user gets it right the second time.
-  std::unordered_set<uint64_t> wrong_updated;
+  update_rng_ = Rng(options_.seed + 2);
 
-  auto on_apply = [&](const RowSet& changed, size_t col) {
+  if (fresh) {
+    replay_.clear();
+    replay_pos_ = 0;
+    journal_.reset();
+    if (!options_.journal_path.empty()) {
+      FALCON_ASSIGN_OR_RETURN(
+          SessionJournal journal,
+          SessionJournal::Open(options_.journal_path, /*truncate=*/true));
+      journal_ = std::make_unique<SessionJournal>(std::move(journal));
+      JournalRecord start;
+      start.kind = JournalRecord::Kind::kStart;
+      start.seed = options_.seed;
+      start.num_rows = dirty_->num_rows();
+      start.num_cols = dirty_->num_cols();
+      start.table_crc = TableContentsCrc(*dirty_);
+      // The header must be durable before any interaction happens, or a
+      // crash would leave a journal that cannot anchor recovery.
+      FALCON_RETURN_IF_ERROR(journal_->Checkpoint(start));
+    }
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+Status CleaningSession::Emit(JournalRecord* r) {
+  if (Replaying()) {
+    const JournalRecord& want = replay_[replay_pos_];
+    if (want.kind != r->kind) {
+      return Status::Internal(
+          "recovery diverged from journal at record " +
+          std::to_string(replay_pos_) + ": replay produced kind " +
+          std::to_string(static_cast<int>(r->kind)) + ", journal holds " +
+          std::to_string(static_cast<int>(want.kind)));
+    }
+    if (r->kind == JournalRecord::Kind::kCheckpoint &&
+        (want.user_updates != r->user_updates ||
+         want.user_answers != r->user_answers ||
+         want.cells_repaired != r->cells_repaired ||
+         want.queries_applied != r->queries_applied ||
+         want.table_crc != r->table_crc)) {
+      return Status::Internal(
+          "recovery diverged from journal at checkpoint (record " +
+          std::to_string(replay_pos_) +
+          "): counters or table CRC do not match");
+    }
+    // The journaled record is authoritative: the caller adopts its fields
+    // (oracle verdicts, update targets) so the replayed run reproduces the
+    // crashed one bit-for-bit.
+    *r = want;
+    ++replay_pos_;
+    return Status::Ok();
+  }
+  if (journal_ == nullptr) return Status::Ok();
+  // The replayed prefix is already on disk (recovery truncated the torn
+  // tail and reopened in append mode), so live records land right after it.
+  if (r->kind == JournalRecord::Kind::kCheckpoint) {
+    return journal_->Checkpoint(*r);
+  }
+  return journal_->Append(*r);
+}
+
+StatusOr<SessionMetrics> CleaningSession::Run() {
+  FALCON_RETURN_IF_ERROR(Start(/*fresh=*/true));
+  if (metrics_.initial_errors == 0) {
+    metrics_.converged = true;
+    return metrics_;
+  }
+  return MainLoop();
+}
+
+StatusOr<SessionMetrics> CleaningSession::Recover() {
+  if (options_.journal_path.empty()) {
+    return Status::InvalidArgument(
+        "Recover() requires options.journal_path");
+  }
+  auto contents_or = SessionJournal::Read(options_.journal_path);
+  if (!contents_or.ok()) {
+    // No journal on disk: nothing happened before the crash; plain run.
+    if (contents_or.status().code() == StatusCode::kNotFound) return Run();
+    return contents_or.status();
+  }
+  JournalContents contents = std::move(contents_or).value();
+  if (contents.records.empty() ||
+      contents.records[0].kind != JournalRecord::Kind::kStart) {
+    // The header never became durable — the crash predates any
+    // interaction, so the table is untouched and a fresh run is correct.
+    return Run();
+  }
+  const JournalRecord& start = contents.records[0];
+  if (start.seed != options_.seed ||
+      start.num_rows != dirty_->num_rows() ||
+      start.num_cols != dirty_->num_cols()) {
+    return Status::FailedPrecondition(
+        "journal at " + options_.journal_path +
+        " belongs to a different session (seed or table shape mismatch)");
+  }
+  if (contents.torn) {
+    FALCON_RETURN_IF_ERROR(SessionJournal::TruncateTo(options_.journal_path,
+                                                      contents.valid_bytes));
+  }
+
+  // Roll the crashed table back to the session's initial instance:
+  // restore before-images newest-first. Write-ahead ordering makes this
+  // sound — a record whose table writes never (or only partially) executed
+  // undoes as a no-op, since unwritten cells still hold their
+  // before-images. kRetract records carry the pre-undo values, so the same
+  // reverse walk covers them.
+  for (size_t i = contents.records.size(); i-- > 1;) {
+    const JournalRecord& r = contents.records[i];
+    if (r.kind != JournalRecord::Kind::kApply &&
+        r.kind != JournalRecord::Kind::kRetract) {
+      continue;
+    }
+    if (r.col >= dirty_->num_cols()) {
+      return Status::Internal("journal before-image column out of range");
+    }
+    for (auto it = r.before.rbegin(); it != r.before.rend(); ++it) {
+      if (it->first >= dirty_->num_rows()) {
+        return Status::Internal("journal before-image row out of range");
+      }
+      dirty_->set_cell(it->first, r.col, dirty_->pool()->Intern(it->second));
+    }
+  }
+  if (TableContentsCrc(*dirty_) != start.table_crc) {
+    return Status::Internal(
+        "rolled-back table does not match the journal's initial CRC; "
+        "the table was modified outside the journaled session");
+  }
+
+  FALCON_ASSIGN_OR_RETURN(
+      SessionJournal journal,
+      SessionJournal::Open(options_.journal_path, /*truncate=*/false));
+  journal_ = std::make_unique<SessionJournal>(std::move(journal));
+  replay_ = std::move(contents.records);
+  replay_pos_ = 1;  // Past the kStart header.
+  FALCON_RETURN_IF_ERROR(Start(/*fresh=*/false));
+  if (metrics_.initial_errors == 0) {
+    metrics_.converged = true;
+    return metrics_;
+  }
+  return MainLoop();
+}
+
+StatusOr<SessionMetrics> CleaningSession::Continue() {
+  if (!started_) {
+    return Status::FailedPrecondition("call Run() or Recover() first");
+  }
+  return MainLoop();
+}
+
+Status CleaningSession::RetractRule(size_t i) {
+  if (!started_) {
+    return Status::FailedPrecondition("call Run() or Recover() first");
+  }
+  // Check before journaling: a refused retraction must leave no trace in
+  // the journal (and no table change), or replay would diverge.
+  FALCON_RETURN_IF_ERROR(log_.CanUndo(i));
+  const RepairLog::Entry& e = log_.entries()[i];
+  const size_t col = e.col;
+
+  JournalRecord rec;
+  rec.kind = JournalRecord::Kind::kRetract;
+  rec.entry = i;
+  rec.col = static_cast<uint32_t>(col);
+  // Pre-undo cell values: recovery's reverse rollback restores these to
+  // undo the retraction the same way it undoes an applied rule.
+  std::vector<std::pair<uint32_t, bool>> was_clean;
+  was_clean.reserve(e.before.size());
+  for (const auto& [row, value] : e.before) {
+    rec.before.emplace_back(
+        row, std::string(dirty_->pool()->Get(dirty_->cell(row, col))));
+    was_clean.emplace_back(row,
+                           dirty_->cell(row, col) == clean_->cell(row, col));
+  }
+  FALCON_RETURN_IF_ERROR(Emit(&rec));
+
+  FALCON_RETURN_IF_ERROR(log_.Undo(i, *dirty_, posting_index_.get()));
+
+  // Re-pose every re-dirtied cell and keep cells_repaired truthful: a
+  // retraction can un-repair cells (the rule was right after all) or
+  // repair them (the rule had clobbered clean values).
+  for (const auto& [row, clean_before] : was_clean) {
+    bool clean_after = dirty_->cell(row, col) == clean_->cell(row, col);
+    if (clean_before && !clean_after && metrics_.cells_repaired > 0) {
+      --metrics_.cells_repaired;
+    } else if (!clean_before && clean_after) {
+      ++metrics_.cells_repaired;
+    }
+    if (!clean_after) worklist_.emplace_back(row, static_cast<uint32_t>(col));
+  }
+  return Status::Ok();
+}
+
+StatusOr<SessionMetrics> CleaningSession::MainLoop() {
+  auto on_apply = [this](const RowSet& changed, size_t col) {
     // In delta mode the lattice already patched the cached postings while
     // it held the before-images; only the legacy mode must rescan.
-    if (!posting_index.delta_maintenance()) {
-      posting_index.InvalidateColumn(col);
+    if (!posting_index_->delta_maintenance()) {
+      posting_index_->InvalidateColumn(col);
     }
     changed.ForEach([&](size_t r) {
       if (dirty_->cell(r, col) != clean_->cell(r, col)) {
-        worklist.emplace_back(static_cast<uint32_t>(r),
-                              static_cast<uint32_t>(col));
+        worklist_.emplace_back(static_cast<uint32_t>(r),
+                               static_cast<uint32_t>(col));
       } else {
-        ++metrics.cells_repaired;
+        ++metrics_.cells_repaired;
       }
     });
   };
 
   while (true) {
-    if (worklist.empty()) {
+    if (Replaying() &&
+        replay_[replay_pos_].kind == JournalRecord::Kind::kRetract) {
+      // The crashed session retracted a rule here; re-execute it so the
+      // repair log and worklist line up with the records that follow.
+      FALCON_RETURN_IF_ERROR(
+          RetractRule(static_cast<size_t>(replay_[replay_pos_].entry)));
+      continue;
+    }
+    if (worklist_.empty()) {
       // Detector-driven mode: examine the data again; every popped cell
       // was repaired, so detection converges (each pass removes dirt).
-      if (!options_.detector_driven || refill_from_detector() == 0) break;
+      if (!options_.detector_driven || RefillFromDetector() == 0) break;
     }
-    auto [row, col] = worklist.front();
-    worklist.pop_front();
+    auto [row, col] = worklist_.front();
+    worklist_.pop_front();
     if (dirty_->cell(row, col) == clean_->cell(row, col)) continue;
 
+    // Fault site: a crash between user-update episodes.
+    FALCON_RETURN_IF_ERROR(FaultInjector::Global().Hit("session.update"));
+
     // ① The user repairs this cell.
-    ++metrics.user_updates;
-    if (metrics.user_updates > max_updates) {
-      metrics.converged = false;
+    ++metrics_.user_updates;
+    if (metrics_.user_updates > max_updates_) {
+      metrics_.converged = false;
       if (options_.max_updates == 0) {
         // The safety valve fired without an explicit cap: something is
         // wrong (e.g. a mistake storm). An explicit cap is a deliberate
         // partial run (scalability benchmarks) and stops silently.
-        FALCON_LOG(Warning) << "session aborted after " << max_updates
+        FALCON_LOG(Warning) << "session aborted after " << max_updates_
                             << " user updates (mistake storm?)";
       }
-      --metrics.user_updates;
-      export_posting_stats();
-      return metrics;
+      --metrics_.user_updates;
+      ExportPostingStats();
+      return metrics_;
     }
 
     std::string target(clean_->pool()->Get(clean_->cell(row, col)));
     uint64_t cell_key = (static_cast<uint64_t>(row) << 16) | col;
+    bool wrong = false;
     if (options_.update_mistake_prob > 0.0 &&
-        !wrong_updated.count(cell_key) &&
-        update_rng.NextBool(options_.update_mistake_prob)) {
+        !wrong_updated_.count(cell_key) &&
+        update_rng_.NextBool(options_.update_mistake_prob)) {
       // Exp-5 case (i): a wrong update. Every generalization is invalid,
-      // the cell stays dirty, and the user revisits it later.
-      wrong_updated.insert(cell_key);
-      target += "_oops";
-      worklist.emplace_back(row, col);
+      // the cell stays dirty, and the user revisits it later. The RNG draw
+      // happens in replay too (stream alignment); the journaled record
+      // then overrides the outcome.
+      wrong = true;
+    }
+    JournalRecord update_rec;
+    update_rec.kind = JournalRecord::Kind::kUserUpdate;
+    update_rec.row = row;
+    update_rec.col = col;
+    update_rec.value = wrong ? target + "_oops" : target;
+    update_rec.wrong = wrong;
+    FALCON_RETURN_IF_ERROR(Emit(&update_rec));
+    target = update_rec.value;
+    if (update_rec.wrong) {
+      wrong_updated_.insert(cell_key);
+      worklist_.emplace_back(row, col);
     }
     Repair repair{row, col, target};
 
     // ② Build the (partial) lattice and let the algorithm interact.
     std::vector<size_t> candidates =
-        profiler.TopKAttributes(col, options_.lattice_attrs - 1);
+        profiler_->TopKAttributes(col, options_.lattice_attrs - 1);
     auto t0 = std::chrono::steady_clock::now();
     FALCON_ASSIGN_OR_RETURN(
         Lattice lattice,
-        Lattice::Build(*dirty_, repair, candidates, lattice_options));
+        Lattice::Build(*dirty_, repair, candidates, lattice_options_));
     auto t1 = std::chrono::steady_clock::now();
-    metrics.lattice_build_ms +=
+    metrics_.lattice_build_ms +=
         std::chrono::duration<double, std::milli>(t1 - t0).count();
-    ++metrics.lattices_built;
+    ++metrics_.lattices_built;
 
     // D1: the most specific query (this tuple only) is valid a priori.
     lattice.MarkValid(lattice.top());
 
     SearchStats stats;
-    LatticeSearchContext ctx(&lattice, dirty_, oracle.get(), options_.budget,
-                             options_.use_closed_sets,
-                             options_.naive_maintenance, &profiler, &stats,
-                             on_apply);
+    LatticeSearchContext ctx(&lattice, dirty_, oracle_.get(),
+                             options_.budget, options_.use_closed_sets,
+                             options_.naive_maintenance, profiler_.get(),
+                             &stats, on_apply);
     ctx.set_tuning(options_.tuning);
     ctx.set_repair_log(&log_);
     if (options_.use_rule_history) ctx.set_rule_history(&history_);
-    algorithm_->OnSessionStart(metrics.user_updates - 1);
+    if (journal_ != nullptr || Replaying()) {
+      ctx.set_journal_hook([this](JournalRecord* r) { return Emit(r); });
+    }
+    algorithm_->OnSessionStart(metrics_.user_updates - 1);
     algorithm_->Run(ctx);
-    metrics.user_answers += ctx.answers_used();
-    metrics.queries_applied += stats.applies;
+    metrics_.user_answers += ctx.answers_used();
+    metrics_.queries_applied += stats.applies;
+    metrics_.lattice_maintain_ms += stats.maintain_ms;
+    // An injected fault, journal I/O failure, or oracle outage latched
+    // into the context quenches the episode; surface it instead of
+    // continuing on inconsistent state.
+    FALCON_RETURN_IF_ERROR(ctx.status());
 
     // ③ If nothing the user validated covered this cell, the user's manual
     // fix takes effect as a plain cell write. (Not a query application:
@@ -212,33 +434,60 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
     // Appendix-B variant.)
     if (dirty_->cell(row, col) != lattice.target_value()) {
       ValueId old_value = dirty_->cell(row, col);
+      if (journal_ != nullptr || Replaying()) {
+        // Write-ahead: the manual fix's record (with its before-image)
+        // lands before the cell write.
+        JournalRecord rec;
+        rec.kind = JournalRecord::Kind::kApply;
+        rec.row = row;
+        rec.col = col;
+        rec.node = static_cast<uint32_t>(lattice.top());
+        rec.manual = true;
+        rec.value = target;
+        rec.before.emplace_back(
+            row, std::string(dirty_->pool()->Get(old_value)));
+        FALCON_RETURN_IF_ERROR(Emit(&rec));
+      }
+      FALCON_RETURN_IF_ERROR(FaultInjector::Global().Hit("manual.write"));
       log_.Record(lattice.NodeQuery(lattice.top()), col, {{row, old_value}},
                   /*manual=*/true);
       dirty_->set_cell(row, col, lattice.target_value());
-      if (posting_index.delta_maintenance()) {
-        posting_index.ApplyCellDelta(col, row, old_value,
-                                     lattice.target_value());
+      if (posting_index_->delta_maintenance()) {
+        posting_index_->ApplyCellDelta(col, row, old_value,
+                                       lattice.target_value());
       } else {
-        posting_index.InvalidateColumn(col);
+        posting_index_->InvalidateColumn(col);
       }
       if (dirty_->cell(row, col) == clean_->cell(row, col)) {
-        ++metrics.cells_repaired;
+        ++metrics_.cells_repaired;
       } else {
-        worklist.emplace_back(row, col);  // Wrong update; revisit.
+        worklist_.emplace_back(row, col);  // Wrong update; revisit.
       }
     }
-    metrics.lattice_maintain_ms += stats.maintain_ms;
+
+    // Episode checkpoint: counters + full-table CRC, fsynced. During
+    // replay this is the divergence detector instead.
+    if (journal_ != nullptr || Replaying()) {
+      JournalRecord cp;
+      cp.kind = JournalRecord::Kind::kCheckpoint;
+      cp.user_updates = metrics_.user_updates;
+      cp.user_answers = metrics_.user_answers;
+      cp.cells_repaired = metrics_.cells_repaired;
+      cp.queries_applied = metrics_.queries_applied;
+      cp.table_crc = TableContentsCrc(*dirty_);
+      FALCON_RETURN_IF_ERROR(Emit(&cp));
+    }
     // The lattice (and its borrowed posting references) is gone at the end
     // of the episode; now is the safe point to enforce the byte budget.
-    posting_index.Trim();
+    posting_index_->Trim();
   }
 
-  if (master_oracle != nullptr) {
-    metrics.master_answers = master_oracle->master_answers();
+  if (master_oracle_ != nullptr) {
+    metrics_.master_answers = master_oracle_->master_answers();
   }
-  export_posting_stats();
-  metrics.converged = dirty_->CountDiffCells(*clean_) == 0;
-  return metrics;
+  ExportPostingStats();
+  metrics_.converged = dirty_->CountDiffCells(*clean_) == 0;
+  return metrics_;
 }
 
 StatusOr<SessionMetrics> RunCleaning(const Table& clean, const Table& dirty,

@@ -13,12 +13,20 @@
 #define FALCON_CORE_SESSION_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/search.h"
+#include "core/session_journal.h"
 #include "core/violation_detector.h"
 #include "profiling/correlation.h"
+#include "relational/posting_index.h"
 #include "relational/table.h"
 
 namespace falcon {
@@ -78,6 +86,11 @@ struct SessionOptions {
   bool detector_driven = false;
   /// Detector configuration for detector_driven mode.
   ViolationDetectorOptions detector;
+  /// Crash-safety write-ahead journal (empty = off). Run() starts a fresh
+  /// journal here; Recover() replays an existing one after a crash. Every
+  /// oracle answer, user update, applied repair (with before-images), and
+  /// retraction is appended before its table writes take effect.
+  std::string journal_path;
 };
 
 /// Outcome of a cleaning run.
@@ -120,8 +133,31 @@ class CleaningSession {
                   SearchAlgorithm* algorithm, SessionOptions options);
 
   /// Executes the workflow; returns metrics (converged=false if the
-  /// safety-valve limit was hit).
+  /// safety-valve limit was hit). With options.journal_path set, starts a
+  /// fresh write-ahead journal; an injected or real fault surfaces as an
+  /// error Status, after which Recover() on a new session (same
+  /// clean/dirty/options) resumes.
   StatusOr<SessionMetrics> Run();
+
+  /// Crash recovery: reads the journal at options.journal_path (tolerating
+  /// a torn tail), rolls the dirty table back to the session's initial
+  /// state via before-images, then re-runs the workflow consuming the
+  /// journaled interactions as authoritative — reproducing the original
+  /// run bit-for-bit up to the crash point and continuing live past it.
+  /// With no journal on disk this is a plain Run().
+  StatusOr<SessionMetrics> Recover();
+
+  /// Retracts a mistakenly-validated rule: undoes repair-log entry `i`
+  /// (before-images back into the table, posting bitmaps reversed), and
+  /// re-poses the affected cells on the worklist. Refuses with
+  /// FailedPrecondition when a later repair overlaps entry i's cells
+  /// (retract newest-first). Call after Run/Recover returned; follow with
+  /// Continue() to re-clean the re-dirtied region.
+  Status RetractRule(size_t i);
+
+  /// Resumes the main loop after RetractRule (or a partial run): drains
+  /// the worklist and returns the updated cumulative metrics.
+  StatusOr<SessionMetrics> Continue();
 
   /// Journal of every repair Run executed (rules and manual fixes), with
   /// before-images; supports UndoLast against the dirty table.
@@ -133,12 +169,50 @@ class CleaningSession {
   const RuleHistory& history() const { return history_; }
 
  private:
+  /// Builds all run state over the *current* dirty table (which recovery
+  /// has already rolled back to the initial instance): worklist, profiler,
+  /// oracle, posting index, RNGs. `fresh` truncates/starts the journal;
+  /// recovery instead opens it for append after the replayed prefix.
+  Status Start(bool fresh);
+
+  /// The interactive loop (workflow steps ①–③ per user update), shared by
+  /// Run/Recover/Continue. During recovery it consumes replayed records —
+  /// including kRetract records re-executed between passes.
+  StatusOr<SessionMetrics> MainLoop();
+
+  /// Journal-or-replay gate (see LatticeSearchContext::JournalHook): live
+  /// appends `*r`; replay verifies it against the cursor and rewrites it to
+  /// the journaled version.
+  Status Emit(JournalRecord* r);
+  bool Replaying() const { return replay_pos_ < replay_.size(); }
+
+  size_t RefillFromDetector();
+  void ExportPostingStats();
+
   const Table* clean_;
   Table* dirty_;
   SearchAlgorithm* algorithm_;
   SessionOptions options_;
   RepairLog log_;
   RuleHistory history_;
+
+  // Run state (valid between Start and the end of the session).
+  bool started_ = false;
+  SessionMetrics metrics_;
+  size_t max_updates_ = 0;
+  std::deque<std::pair<uint32_t, uint32_t>> worklist_;
+  std::unique_ptr<UserOracle> oracle_;
+  class MasterBackedOracle* master_oracle_ = nullptr;
+  std::unique_ptr<CordsProfiler> profiler_;
+  std::unique_ptr<PostingIndex> posting_index_;
+  LatticeOptions lattice_options_;
+  Rng update_rng_{0};
+  std::unordered_set<uint64_t> wrong_updated_;
+
+  // Crash-safety state.
+  std::unique_ptr<SessionJournal> journal_;
+  std::vector<JournalRecord> replay_;  ///< Records being replayed.
+  size_t replay_pos_ = 0;
 };
 
 /// Convenience: run `kind` over a fresh copy of `dirty`.

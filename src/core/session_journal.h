@@ -1,0 +1,154 @@
+// SessionJournal: the crash-safety write-ahead log of a cleaning session.
+//
+// Every interaction and repair a session performs is appended as a
+// length-prefixed, CRC32C-checksummed binary record *before* its table
+// writes take effect (write-ahead ordering). Values are journaled as text,
+// never as ValueIds — the interning pool does not survive a process, the
+// journal must.
+//
+// Recovery contract (see DESIGN.md "Fault tolerance & recovery"):
+//  - Read() never fails on a torn or truncated journal: it returns every
+//    whole, checksummed record up to the first damaged byte and reports the
+//    damaged tail, which the resuming session truncates away.
+//  - Applied-repair records carry full before-images, so a crashed table
+//    can be rolled back to the session's initial state; the session then
+//    re-runs deterministically, consuming journaled oracle answers and user
+//    updates instead of re-posing them (deterministic replay). Write-ahead
+//    ordering makes the rollback sound: a record with unexecuted writes
+//    undoes as a no-op (each cell still holds its before-image).
+//  - Checkpoint records (flushed + fsynced) carry the session counters and
+//    a CRC of the full table contents; recovery verifies the replayed state
+//    against the last checkpoint it passes.
+#ifndef FALCON_CORE_SESSION_JOURNAL_H_
+#define FALCON_CORE_SESSION_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+/// One journal record. A single tagged struct (rather than a class
+/// hierarchy) keeps serialization and replay dispatch in one place; unused
+/// fields of other kinds stay default-initialized.
+struct JournalRecord {
+  enum class Kind : uint8_t {
+    kStart = 1,       ///< Session header: seed, table shape, initial CRC.
+    kUserUpdate = 2,  ///< The user repaired cell (row, col) toward `value`.
+    kAnswer = 3,      ///< Oracle verdict on lattice node `node`.
+    kApply = 4,       ///< Executed repair (rule or manual) + before-images.
+    kCheckpoint = 5,  ///< Durability point: counters + table CRC.
+    kRetract = 6,     ///< Validated rule `entry` was retracted (undone).
+  };
+
+  Kind kind = Kind::kStart;
+
+  // kStart.
+  uint64_t seed = 0;
+  uint64_t num_rows = 0;
+  uint64_t num_cols = 0;
+  uint32_t table_crc = 0;  ///< Also set on kCheckpoint.
+
+  // kUserUpdate / kApply / kRetract share the cell addressing fields.
+  uint32_t row = 0;
+  uint32_t col = 0;
+  std::string value;  ///< Update target / applied SET value.
+  bool wrong = false; ///< kUserUpdate: this was a simulated wrong update.
+
+  // kAnswer.
+  uint32_t node = 0;
+  bool valid = false;
+  bool billed = false;
+
+  // kApply.
+  bool manual = false;
+  /// (row, value before the write) pairs, ascending by row.
+  std::vector<std::pair<uint32_t, std::string>> before;
+
+  // kCheckpoint counters.
+  uint64_t user_updates = 0;
+  uint64_t user_answers = 0;
+  uint64_t cells_repaired = 0;
+  uint64_t queries_applied = 0;
+
+  // kRetract.
+  uint64_t entry = 0;
+
+  bool operator==(const JournalRecord& other) const;
+};
+
+/// Result of a tolerant journal read.
+struct JournalContents {
+  std::vector<JournalRecord> records;
+  /// Byte length of the valid prefix (whole, checksummed records). A
+  /// resuming session truncates the file to this length before appending.
+  size_t valid_bytes = 0;
+  /// True when trailing bytes past valid_bytes were damaged (torn write,
+  /// flipped bits, truncation mid-record) and discarded.
+  bool torn = false;
+};
+
+/// Append-side handle. Move-only; closes the file on destruction.
+class SessionJournal {
+ public:
+  /// Opens `path` for appending. `truncate` starts a fresh journal;
+  /// otherwise appends after the existing contents (the caller is expected
+  /// to have truncated damage away first — see TruncateTo).
+  static StatusOr<SessionJournal> Open(const std::string& path,
+                                       bool truncate);
+
+  SessionJournal(SessionJournal&& other) noexcept;
+  SessionJournal& operator=(SessionJournal&& other) noexcept;
+  SessionJournal(const SessionJournal&) = delete;
+  SessionJournal& operator=(const SessionJournal&) = delete;
+  ~SessionJournal();
+
+  /// Serializes and appends one record. Injectable faults: `journal.append`
+  /// fails before any byte is written; `journal.torn` writes a partial
+  /// record (framing + truncated payload) and then fails, leaving exactly
+  /// the torn tail that Read() must tolerate.
+  Status Append(const JournalRecord& record);
+
+  /// Appends `record` (normally a kCheckpoint) and makes everything up to
+  /// it durable: fflush + fsync. Injectable fault: `journal.sync`.
+  Status Checkpoint(const JournalRecord& record);
+
+  /// Flushes buffered appends to the OS and disk.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+  /// Tolerant reader (see JournalContents). NotFound when no file exists.
+  static StatusOr<JournalContents> Read(const std::string& path);
+
+  /// Truncates `path` to `size` bytes (drops a damaged tail before resume).
+  static Status TruncateTo(const std::string& path, size_t size);
+
+ private:
+  SessionJournal(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Serializes one record to its payload bytes (without framing). Exposed
+/// for tests that build journals byte-by-byte.
+std::string EncodeJournalRecord(const JournalRecord& record);
+
+/// Parses one payload produced by EncodeJournalRecord.
+StatusOr<JournalRecord> DecodeJournalRecord(std::string_view payload);
+
+/// CRC32C over the full table contents (cell text, length-delimited, in
+/// row-major order) — the consistency fingerprint carried by kStart and
+/// kCheckpoint records.
+uint32_t TableContentsCrc(const Table& table);
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_SESSION_JOURNAL_H_

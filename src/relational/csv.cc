@@ -6,10 +6,23 @@
 namespace falcon {
 namespace {
 
-// Parses one CSV record starting at `pos`; advances `pos` past the record's
-// trailing newline. Handles quoted fields with embedded commas/newlines.
-std::vector<std::string> ParseRecord(const std::string& content, size_t* pos) {
+// One physical CSV record plus everything needed to diagnose it.
+struct RawRecord {
   std::vector<std::string> fields;
+  bool unterminated_quote = false;
+  size_t quote_col = 0;  // 1-based field index where the open quote started.
+  size_t overlong_col = 0;  // 1-based field index of the first overlong field.
+  size_t start_line = 0;    // 1-based physical line where the record starts.
+};
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// trailing newline and `line` past any newlines consumed (including ones
+// embedded in quoted fields). Handles quoted fields with embedded
+// commas/newlines.
+RawRecord ParseRecord(const std::string& content, size_t* pos, size_t* line,
+                      size_t max_field_bytes) {
+  RawRecord rec;
+  rec.start_line = *line;
   std::string field;
   bool in_quotes = false;
   size_t i = *pos;
@@ -24,14 +37,17 @@ std::vector<std::string> ParseRecord(const std::string& content, size_t* pos) {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++*line;
         field += c;
       }
     } else if (c == '"') {
       in_quotes = true;
+      rec.quote_col = rec.fields.size() + 1;
     } else if (c == ',') {
-      fields.push_back(std::move(field));
+      rec.fields.push_back(std::move(field));
       field.clear();
     } else if (c == '\n') {
+      ++*line;
       ++i;
       break;
     } else if (c == '\r') {
@@ -39,10 +55,32 @@ std::vector<std::string> ParseRecord(const std::string& content, size_t* pos) {
     } else {
       field += c;
     }
+    if (rec.overlong_col == 0 && field.size() > max_field_bytes) {
+      rec.overlong_col = rec.fields.size() + 1;
+    }
   }
-  fields.push_back(std::move(field));
+  rec.unterminated_quote = in_quotes;
+  rec.fields.push_back(std::move(field));
   *pos = i;
-  return fields;
+  return rec;
+}
+
+// Returns an empty string for a good record, else the diagnostic. `row` is
+// the 1-based data-row number (the header is not counted).
+std::string Diagnose(const RawRecord& rec, size_t row, size_t expected_fields,
+                     size_t max_field_bytes) {
+  std::ostringstream msg;
+  if (rec.unterminated_quote) {
+    msg << "unterminated quoted field at row " << row << " (line "
+        << rec.start_line << "), column " << rec.quote_col;
+  } else if (rec.overlong_col != 0) {
+    msg << "field longer than " << max_field_bytes << " bytes at row " << row
+        << " (line " << rec.start_line << "), column " << rec.overlong_col;
+  } else if (rec.fields.size() != expected_fields) {
+    msg << "row " << row << " (line " << rec.start_line << ") has "
+        << rec.fields.size() << " fields, expected " << expected_fields;
+  }
+  return msg.str();
 }
 
 bool NeedsQuoting(std::string_view s) {
@@ -66,34 +104,68 @@ void WriteField(std::ostream& os, std::string_view s) {
 
 StatusOr<Table> ReadCsvString(const std::string& content,
                               const std::string& table_name,
+                              const CsvReadOptions& options,
+                              CsvReadReport* report,
                               std::shared_ptr<ValuePool> pool) {
-  size_t pos = 0;
   if (content.empty()) {
     return Status::InvalidArgument("empty CSV content");
   }
-  std::vector<std::string> header = ParseRecord(content, &pos);
-  Table table(table_name, Schema(header), std::move(pool));
-  while (pos < content.size()) {
-    std::vector<std::string> record = ParseRecord(content, &pos);
-    if (record.size() == 1 && record[0].empty()) continue;  // Blank line.
-    if (record.size() != header.size()) {
-      std::ostringstream msg;
-      msg << "row " << table.num_rows() + 1 << " has " << record.size()
-          << " fields, expected " << header.size();
-      return Status::InvalidArgument(msg.str());
-    }
-    table.AppendRow(record);
+  size_t pos = 0;
+  size_t line = 1;
+  RawRecord header =
+      ParseRecord(content, &pos, &line, options.max_field_bytes);
+  std::string header_error =
+      Diagnose(header, 0, header.fields.size(), options.max_field_bytes);
+  if (!header_error.empty()) {
+    return Status::InvalidArgument("bad CSV header: " + header_error);
   }
+  Table table(table_name, Schema(header.fields), std::move(pool));
+  size_t row = 0;
+  while (pos < content.size()) {
+    RawRecord rec = ParseRecord(content, &pos, &line, options.max_field_bytes);
+    if (rec.fields.size() == 1 && rec.fields[0].empty() &&
+        !rec.unterminated_quote) {
+      continue;  // Blank line.
+    }
+    ++row;
+    std::string error =
+        Diagnose(rec, row, header.fields.size(), options.max_field_bytes);
+    if (!error.empty()) {
+      if (!options.skip_bad_rows) return Status::InvalidArgument(error);
+      if (report) {
+        ++report->rows_skipped;
+        if (report->first_error.empty()) report->first_error = error;
+      }
+      continue;
+    }
+    table.AppendRow(rec.fields);
+  }
+  if (report) report->rows_read = table.num_rows();
   return table;
 }
 
+StatusOr<Table> ReadCsvString(const std::string& content,
+                              const std::string& table_name,
+                              std::shared_ptr<ValuePool> pool) {
+  return ReadCsvString(content, table_name, CsvReadOptions{},
+                       /*report=*/nullptr, std::move(pool));
+}
+
 StatusOr<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                        const CsvReadOptions& options, CsvReadReport* report,
                         std::shared_ptr<ValuePool> pool) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return ReadCsvString(buf.str(), table_name, std::move(pool));
+  return ReadCsvString(buf.str(), table_name, options, report,
+                       std::move(pool));
+}
+
+StatusOr<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                        std::shared_ptr<ValuePool> pool) {
+  return ReadCsv(path, table_name, CsvReadOptions{}, /*report=*/nullptr,
+                 std::move(pool));
 }
 
 Status WriteCsv(const Table& table, const std::string& path) {

@@ -2,6 +2,7 @@
 #ifndef FALCON_RELATIONAL_CSV_H_
 #define FALCON_RELATIONAL_CSV_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -10,14 +11,41 @@
 
 namespace falcon {
 
+/// Controls how malformed rows are handled while reading.
+struct CsvReadOptions {
+  /// false (default): the first bad row fails the whole read with an
+  /// InvalidArgument naming the row, line, and column. true: bad rows are
+  /// skipped and counted in the CsvReadReport.
+  bool skip_bad_rows = false;
+  /// Guard against runaway fields (usually a quoting bug in the producer):
+  /// any field longer than this makes the row malformed.
+  size_t max_field_bytes = 1 << 20;
+};
+
+/// Filled in (when non-null) by the readers below.
+struct CsvReadReport {
+  size_t rows_read = 0;     ///< Data rows appended to the table.
+  size_t rows_skipped = 0;  ///< Malformed rows dropped (skip_bad_rows only).
+  std::string first_error;  ///< Diagnostic for the first malformed row.
+};
+
 /// Reads a CSV file into a table named `table_name`. The first line supplies
 /// attribute names. If `pool` is null a fresh pool is created.
 StatusOr<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                        std::shared_ptr<ValuePool> pool = nullptr);
+StatusOr<Table> ReadCsv(const std::string& path, const std::string& table_name,
+                        const CsvReadOptions& options,
+                        CsvReadReport* report = nullptr,
                         std::shared_ptr<ValuePool> pool = nullptr);
 
 /// Parses CSV content from a string (used by tests).
 StatusOr<Table> ReadCsvString(const std::string& content,
                               const std::string& table_name,
+                              std::shared_ptr<ValuePool> pool = nullptr);
+StatusOr<Table> ReadCsvString(const std::string& content,
+                              const std::string& table_name,
+                              const CsvReadOptions& options,
+                              CsvReadReport* report = nullptr,
                               std::shared_ptr<ValuePool> pool = nullptr);
 
 /// Writes the table to `path`, quoting fields that need it.

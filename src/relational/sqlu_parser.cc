@@ -18,6 +18,7 @@ class Lexer {
   StatusOr<std::string> Next(bool* was_quoted) {
     *was_quoted = false;
     SkipSpace();
+    token_pos_ = pos_;
     if (pos_ >= input_.size()) return std::string();
     char c = input_[pos_];
     if (c == '\'' || c == '"') {
@@ -37,6 +38,9 @@ class Lexer {
     }
     return std::string(input_.substr(start, pos_ - start));
   }
+
+  /// Byte offset of the start of the most recently returned token.
+  size_t token_pos() const { return token_pos_; }
 
  private:
   void SkipSpace() {
@@ -61,15 +65,29 @@ class Lexer {
       }
       out += c;
     }
-    return Status::InvalidArgument("unterminated string literal");
+    return Status::InvalidArgument(
+        "unterminated string literal starting at offset " +
+        std::to_string(token_pos_));
   }
 
   std::string_view input_;
   size_t pos_ = 0;
+  size_t token_pos_ = 0;
 };
 
-Status Malformed(const std::string& detail) {
-  return Status::InvalidArgument("malformed SQLU statement: " + detail);
+// Separator characters are tokens in their own right; a bare one can never
+// stand in for an identifier or a literal (`SET A = =` is malformed, not an
+// assignment of the value "=").
+bool IsSeparatorToken(const std::string& tok) {
+  return tok == "=" || tok == ";" || tok == ",";
+}
+
+Status MalformedAt(const Lexer& lex, const std::string& detail,
+                   const std::string& got) {
+  std::string msg = "malformed SQLU statement: " + detail + " at offset " +
+                    std::to_string(lex.token_pos());
+  if (!got.empty()) msg += ", got '" + got + "'";
+  return Status::InvalidArgument(std::move(msg));
 }
 
 }  // namespace
@@ -80,42 +98,76 @@ StatusOr<SqluQuery> ParseSqlu(std::string_view sql) {
   SqluQuery query;
 
   FALCON_ASSIGN_OR_RETURN(std::string tok, lex.Next(&quoted));
-  if (!EqualsIgnoreCase(tok, "UPDATE")) return Malformed("expected UPDATE");
+  if (!EqualsIgnoreCase(tok, "UPDATE")) {
+    return MalformedAt(lex, "expected UPDATE", tok);
+  }
 
   FALCON_ASSIGN_OR_RETURN(query.table, lex.Next(&quoted));
-  if (query.table.empty()) return Malformed("expected table name");
+  if (query.table.empty() || (!quoted && IsSeparatorToken(query.table))) {
+    return MalformedAt(lex, "expected table name", query.table);
+  }
 
   FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
-  if (!EqualsIgnoreCase(tok, "SET")) return Malformed("expected SET");
+  if (!EqualsIgnoreCase(tok, "SET")) return MalformedAt(lex, "expected SET", tok);
 
   FALCON_ASSIGN_OR_RETURN(query.set_attr, lex.Next(&quoted));
-  if (query.set_attr.empty()) return Malformed("expected SET attribute");
+  if (query.set_attr.empty() ||
+      (!quoted && IsSeparatorToken(query.set_attr))) {
+    return MalformedAt(lex, "expected SET attribute", query.set_attr);
+  }
 
   FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
-  if (tok != "=") return Malformed("expected '=' after SET attribute");
+  if (quoted || tok != "=") {
+    return MalformedAt(lex, "expected '=' after SET attribute", tok);
+  }
 
   FALCON_ASSIGN_OR_RETURN(query.set_value, lex.Next(&quoted));
-  if (query.set_value.empty() && !quoted) return Malformed("expected SET value");
+  if (!quoted &&
+      (query.set_value.empty() || IsSeparatorToken(query.set_value))) {
+    return MalformedAt(lex, "expected SET value", query.set_value);
+  }
 
+  bool saw_semicolon = false;
   FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
-  if (tok.empty() || tok == ";") return query;
-  if (!EqualsIgnoreCase(tok, "WHERE")) return Malformed("expected WHERE");
-
-  while (true) {
-    Predicate pred;
-    FALCON_ASSIGN_OR_RETURN(pred.attr, lex.Next(&quoted));
-    if (pred.attr.empty()) return Malformed("expected WHERE attribute");
-    FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
-    if (tok != "=") return Malformed("expected '=' in WHERE predicate");
-    FALCON_ASSIGN_OR_RETURN(pred.value, lex.Next(&quoted));
-    if (pred.value.empty() && !quoted) {
-      return Malformed("expected WHERE value");
+  if (!quoted && tok == ";") {
+    saw_semicolon = true;
+  } else if (!tok.empty() || quoted) {
+    if (!EqualsIgnoreCase(tok, "WHERE")) {
+      return MalformedAt(lex, "expected WHERE", tok);
     }
-    query.where.push_back(std::move(pred));
+    while (true) {
+      Predicate pred;
+      FALCON_ASSIGN_OR_RETURN(pred.attr, lex.Next(&quoted));
+      if (pred.attr.empty() || (!quoted && IsSeparatorToken(pred.attr))) {
+        return MalformedAt(lex, "expected WHERE attribute", pred.attr);
+      }
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+      if (quoted || tok != "=") {
+        return MalformedAt(lex, "expected '=' in WHERE predicate", tok);
+      }
+      FALCON_ASSIGN_OR_RETURN(pred.value, lex.Next(&quoted));
+      if (!quoted && (pred.value.empty() || IsSeparatorToken(pred.value))) {
+        return MalformedAt(lex, "expected WHERE value", pred.value);
+      }
+      query.where.push_back(std::move(pred));
 
+      FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
+      if (!quoted && tok == ";") {
+        saw_semicolon = true;
+        break;
+      }
+      if (tok.empty() && !quoted) break;
+      if (quoted || !EqualsIgnoreCase(tok, "AND")) {
+        return MalformedAt(lex, "expected AND", tok);
+      }
+    }
+  }
+
+  if (saw_semicolon) {
     FALCON_ASSIGN_OR_RETURN(tok, lex.Next(&quoted));
-    if (tok.empty() || tok == ";") break;
-    if (!EqualsIgnoreCase(tok, "AND")) return Malformed("expected AND");
+    if (!tok.empty() || quoted) {
+      return MalformedAt(lex, "unexpected trailing input after ';'", tok);
+    }
   }
   return query;
 }

@@ -1,0 +1,46 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace falcon {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / standard CRC32C check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  // 32 0xFF bytes.
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t partial = Crc32c(data.substr(0, split));
+    uint32_t chained =
+        Crc32cExtend(partial, data.data() + split, data.size() - split);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "journal record payload";
+  uint32_t clean = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(corrupt), clean);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace falcon

@@ -37,6 +37,70 @@ TEST(CsvTest, RejectsRaggedRows) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(CsvTest, RaggedRowErrorNamesRowAndLine) {
+  auto result = ReadCsvString("A,B\n1,2\n3,4,5\n", "t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("row 2 (line 3)"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("3 fields, expected 2"),
+            std::string::npos);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuoteWithPosition) {
+  auto result = ReadCsvString("A,B\n1,\"oops\n", "t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("unterminated quoted field"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("row 1 (line 2), column 2"),
+            std::string::npos)
+      << result.status().message();
+
+  auto header = ReadCsvString("\"A,B\n", "t");
+  ASSERT_FALSE(header.ok());
+  EXPECT_NE(header.status().message().find("bad CSV header"),
+            std::string::npos)
+      << header.status().message();
+}
+
+TEST(CsvTest, RejectsOverlongField) {
+  CsvReadOptions opts;
+  opts.max_field_bytes = 8;
+  std::string content = "A,B\nshort,waaaaaaaaaay-too-long\n";
+  auto result = ReadCsvString(content, "t", opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("longer than 8 bytes"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("column 2"), std::string::npos);
+  // The default cap is generous: same content passes untouched.
+  EXPECT_TRUE(ReadCsvString(content, "t").ok());
+}
+
+TEST(CsvTest, SkipBadRowsCountsAndKeepsTheRest) {
+  CsvReadOptions opts;
+  opts.skip_bad_rows = true;
+  CsvReadReport report;
+  auto result = ReadCsvString("A,B\n1,2\n3,4,5\nlonely\n6,7\n", "t", opts,
+                              &report);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->CellText(1, 0), "6");
+  EXPECT_EQ(report.rows_read, 2u);
+  EXPECT_EQ(report.rows_skipped, 2u);
+  EXPECT_NE(report.first_error.find("row 2"), std::string::npos)
+      << report.first_error;
+}
+
+TEST(CsvTest, FailFastIsTheDefault) {
+  CsvReadReport report;
+  auto result =
+      ReadCsvString("A,B\n1,2\n3,4,5\n", "t", CsvReadOptions{}, &report);
+  EXPECT_FALSE(result.ok());
+}
+
 TEST(CsvTest, RejectsEmptyContent) {
   EXPECT_FALSE(ReadCsvString("", "t").ok());
 }

@@ -1,0 +1,106 @@
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+TEST(FaultInjectorTest, DisarmedHitsAreFreeAndUncounted) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.active());
+  EXPECT_TRUE(inj.Hit("some.site").ok());
+  EXPECT_EQ(inj.HitCount("some.site"), 0u);  // Inactive: fast path, no count.
+}
+
+TEST(FaultInjectorTest, RecordingCountsWithoutFailing) {
+  FaultInjector inj;
+  inj.set_recording(true);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(inj.Hit("a").ok());
+  EXPECT_TRUE(inj.Hit("b").ok());
+  EXPECT_EQ(inj.HitCount("a"), 5u);
+  EXPECT_EQ(inj.HitCount("b"), 1u);
+  auto counts = inj.Counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "a");
+  EXPECT_EQ(counts[1].first, "b");
+}
+
+TEST(FaultInjectorTest, FailsExactlyTheArmedWindow) {
+  FaultInjector inj;
+  inj.Arm({.site = "io.write", .nth = 3, .count = 2});
+  EXPECT_TRUE(inj.Hit("io.write").ok());   // 1
+  EXPECT_TRUE(inj.Hit("io.write").ok());   // 2
+  Status third = inj.Hit("io.write");      // 3: fails
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kIoError);
+  EXPECT_FALSE(inj.Hit("io.write").ok());  // 4: fails
+  EXPECT_TRUE(inj.Hit("io.write").ok());   // 5: window passed
+  EXPECT_TRUE(inj.Hit("other.site").ok()); // Other sites unaffected.
+}
+
+TEST(FaultInjectorTest, TransientCodeAndReset) {
+  FaultInjector inj;
+  inj.Arm({.site = "oracle", .nth = 1, .count = 1,
+           .code = StatusCode::kUnavailable});
+  Status st = inj.Hit("oracle");
+  EXPECT_TRUE(st.IsTransient());
+  EXPECT_TRUE(inj.Hit("oracle").ok());  // Retry after the window succeeds.
+  inj.Reset();
+  EXPECT_FALSE(inj.active());
+  EXPECT_EQ(inj.HitCount("oracle"), 0u);
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossRuns) {
+  // The same arming fails the same hit on every run — the property the
+  // sweep driver relies on to reproduce a crash point.
+  for (int run = 0; run < 3; ++run) {
+    FaultInjector inj;
+    inj.Arm({.site = "s", .nth = 4});
+    int failed_at = -1;
+    for (int i = 1; i <= 6; ++i) {
+      if (!inj.Hit("s").ok()) {
+        failed_at = i;
+        break;
+      }
+    }
+    EXPECT_EQ(failed_at, 4);
+  }
+}
+
+TEST(FaultInjectorTest, SeededProbabilisticModeIsReproducible) {
+  auto failing_hits = [](uint64_t seed) {
+    FaultInjector inj;
+    inj.Arm({.site = "p", .probability = 0.3, .seed = seed});
+    std::vector<int> failures;
+    for (int i = 1; i <= 50; ++i) {
+      if (!inj.Hit("p").ok()) failures.push_back(i);
+    }
+    return failures;
+  };
+  EXPECT_EQ(failing_hits(7), failing_hits(7));
+  EXPECT_FALSE(failing_hits(7).empty());
+  EXPECT_NE(failing_hits(7), failing_hits(8));
+}
+
+TEST(FaultInjectorTest, ParsesFlagSyntax) {
+  FaultInjector inj;
+  ASSERT_TRUE(
+      inj.ArmFromFlag("journal.append:2, oracle.answer:1:3:transient").ok());
+  EXPECT_TRUE(inj.Hit("journal.append").ok());
+  EXPECT_FALSE(inj.Hit("journal.append").ok());
+  Status st = inj.Hit("oracle.answer");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultInjectorTest, RejectsMalformedFlags) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.ArmFromFlag("site:abc").ok());
+  EXPECT_FALSE(inj.ArmFromFlag("site:0").ok());
+  EXPECT_FALSE(inj.ArmFromFlag(":3").ok());
+  EXPECT_FALSE(inj.ArmFromFlag("site:1:2:bogus").ok());
+  EXPECT_FALSE(inj.ArmFromFlag("site:1:2:crash:extra").ok());
+  EXPECT_FALSE(inj.active());  // Nothing was armed by the failed parses.
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,458 @@
+// The crash-safety acceptance harness: enumerate every injectable fault
+// point a cleaning run passes through, crash the session at each one,
+// recover from the journal, and require the recovered run to be
+// bit-identical to the uninterrupted baseline — same table contents (CRC
+// over all cell text) and same interaction counters (user_updates,
+// user_answers, cells_repaired, queries_applied) — in both posting-index
+// maintenance modes. Plus the session-level rule-retraction properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "core/session.h"
+#include "core/session_journal.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
+
+namespace falcon {
+namespace {
+
+struct Workload {
+  Table clean;
+  Table dirty;
+  size_t errors;
+};
+
+Workload MakeWorkload(size_t rows) {
+  auto ds = MakeSynth(rows);
+  EXPECT_TRUE(ds.ok());
+  auto dirty = InjectErrors(ds->clean, ds->error_spec);
+  EXPECT_TRUE(dirty.ok()) << dirty.status();
+  return {ds->clean.Clone(), dirty->dirty.Clone(), dirty->errors.size()};
+}
+
+SessionOptions SweepOptions(bool posting_delta, const std::string& journal) {
+  SessionOptions opt;
+  opt.budget = 3;
+  opt.posting_delta = posting_delta;
+  // Mistakes exercise the replay-override paths: journaled wrong updates
+  // and flipped oracle verdicts must reproduce even though recovery's RNGs
+  // are re-seeded and replayed from the start.
+  opt.update_mistake_prob = 0.2;
+  opt.question_mistake_prob = 0.05;
+  opt.journal_path = journal;
+  return opt;
+}
+
+struct Baseline {
+  SessionMetrics metrics;
+  uint32_t table_crc = 0;
+  std::vector<std::pair<std::string, size_t>> hits;
+};
+
+// The discovery pass: run uninterrupted with hit recording on, capturing
+// the reference outcome and how many times each fault site is passed.
+Baseline RunBaseline(const Workload& w, const SessionOptions& opt) {
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().set_recording(true);
+  Table dirty = w.dirty.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+  auto m = session.Run();
+  EXPECT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->converged);
+  Baseline base{*m, TableContentsCrc(dirty), FaultInjector::Global().Counts()};
+  FaultInjector::Global().set_recording(false);
+  FaultInjector::Global().Reset();
+  return base;
+}
+
+void ExpectMatchesBaseline(const SessionMetrics& m, uint32_t crc,
+                           const Baseline& base) {
+  EXPECT_EQ(m.user_updates, base.metrics.user_updates);
+  EXPECT_EQ(m.user_answers, base.metrics.user_answers);
+  EXPECT_EQ(m.cells_repaired, base.metrics.cells_repaired);
+  EXPECT_EQ(m.queries_applied, base.metrics.queries_applied);
+  EXPECT_EQ(m.converged, base.metrics.converged);
+  EXPECT_EQ(crc, base.table_crc);
+}
+
+// Crashes one run at the nth hit of `site`, then recovers with a brand-new
+// session (fresh algorithm, fresh RNGs — only the journal and the mutated
+// table survive, as they would a real process death).
+void CrashAndRecover(const Workload& w, const SessionOptions& opt,
+                     const Baseline& base, const std::string& site,
+                     size_t nth) {
+  SCOPED_TRACE(site + ":" + std::to_string(nth));
+  FaultInjector::Global().Reset();
+  Table dirty = w.dirty.Clone();
+  {
+    auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+    CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+    FaultInjector::Global().Arm(
+        {site, nth, /*count=*/1, StatusCode::kIoError});
+    auto m = session.Run();
+    FaultInjector::Global().Reset();
+    ASSERT_FALSE(m.ok()) << "fault " << site << ":" << nth
+                         << " never fired; the run completed";
+    // The crashed session is destroyed here, closing its journal handle —
+    // recovery only ever sees what a dead process would leave on disk.
+  }
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+  auto recovered = session.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectMatchesBaseline(*recovered, TableContentsCrc(dirty), base);
+}
+
+void SweepMode(bool posting_delta) {
+  SCOPED_TRACE(posting_delta ? "posting_delta" : "posting_invalidate");
+  Workload w = MakeWorkload(120);
+  ASSERT_GT(w.errors, 0u);
+  std::string journal = testing::TempDir() + "/fault_sweep_" +
+                        (posting_delta ? "delta" : "inval") + ".journal";
+  SessionOptions opt = SweepOptions(posting_delta, journal);
+  Baseline base = RunBaseline(w, opt);
+
+  // Every instrumented site must show up in the discovery pass, or the
+  // sweep would silently stop covering a code path.
+  std::set<std::string> seen;
+  for (const auto& [site, count] : base.hits) seen.insert(site);
+  for (const char* site :
+       {"journal.append", "journal.torn", "journal.sync", "oracle.answer",
+        "apply.rule", "apply.write", "manual.write", "session.update"}) {
+    EXPECT_TRUE(seen.count(site)) << "site never hit: " << site;
+  }
+
+  for (const auto& [site, count] : base.hits) {
+    // First, last, and an even sample in between: every site's boundary
+    // hits plus enough interior points to catch ordinal-dependent bugs.
+    std::set<size_t> picks = {1, count};
+    size_t stride = std::max<size_t>(1, count / 5);
+    for (size_t nth = 1; nth <= count; nth += stride) picks.insert(nth);
+    for (size_t nth : picks) CrashAndRecover(w, opt, base, site, nth);
+  }
+}
+
+TEST(FaultSweepTest, EveryCrashPointRecoversBitIdenticalDeltaMode) {
+  SweepMode(/*posting_delta=*/true);
+}
+
+TEST(FaultSweepTest, EveryCrashPointRecoversBitIdenticalInvalidateMode) {
+  SweepMode(/*posting_delta=*/false);
+}
+
+TEST(FaultSweepTest, JournalingIsBehaviorNeutral) {
+  // Turning the journal on must not change a single interaction: the
+  // write-ahead records observe the run, never steer it.
+  Workload w = MakeWorkload(200);
+  std::string journal = testing::TempDir() + "/neutral.journal";
+  SessionOptions with = SweepOptions(true, journal);
+  SessionOptions without = with;
+  without.journal_path.clear();
+  auto mj = RunCleaning(w.clean, w.dirty, SearchKind::kDive, with);
+  auto mp = RunCleaning(w.clean, w.dirty, SearchKind::kDive, without);
+  ASSERT_TRUE(mj.ok()) << mj.status();
+  ASSERT_TRUE(mp.ok()) << mp.status();
+  EXPECT_EQ(mj->user_updates, mp->user_updates);
+  EXPECT_EQ(mj->user_answers, mp->user_answers);
+  EXPECT_EQ(mj->cells_repaired, mp->cells_repaired);
+  EXPECT_EQ(mj->queries_applied, mp->queries_applied);
+  EXPECT_TRUE(mj->converged);
+}
+
+TEST(FaultSweepTest, RecoverReplaysACompletedRunToTheSameOutcome) {
+  // Full replay with zero live continuation: recover over a journal whose
+  // session ran to convergence. The rollback must unwind the whole run and
+  // the replay must land on exactly the same counters and table.
+  Workload w = MakeWorkload(150);
+  std::string journal = testing::TempDir() + "/completed.journal";
+  SessionOptions opt = SweepOptions(true, journal);
+  Baseline base = RunBaseline(w, opt);
+
+  Table dirty = w.dirty.Clone();
+  {
+    auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+    CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+    auto m = session.Run();
+    ASSERT_TRUE(m.ok()) << m.status();
+  }
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+  auto recovered = session.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectMatchesBaseline(*recovered, TableContentsCrc(dirty), base);
+}
+
+TEST(FaultSweepTest, RecoverWithoutAJournalIsAPlainRun) {
+  Workload w = MakeWorkload(150);
+  std::string journal = testing::TempDir() + "/never_written.journal";
+  std::remove(journal.c_str());
+  SessionOptions opt = SweepOptions(true, journal);
+  Table dirty = w.dirty.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+  auto m = session.Recover();
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->converged);
+}
+
+TEST(FaultSweepTest, RecoverRejectsAForeignJournal) {
+  // A journal whose kStart doesn't match this session's seed or table
+  // shape must be refused, not replayed into the wrong table.
+  Workload w = MakeWorkload(150);
+  std::string journal = testing::TempDir() + "/foreign.journal";
+  SessionOptions opt = SweepOptions(true, journal);
+  RunBaseline(w, opt);  // Leaves a completed journal for seed 1234.
+
+  SessionOptions other = opt;
+  other.seed = 4321;
+  Table dirty = w.dirty.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), other);
+  auto m = session.Recover();
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FaultSweepTest, TransientOracleOutagesAreRetriedNotFatal) {
+  // kUnavailable faults under the retry bound are absorbed by backoff: the
+  // run completes with baseline-identical interaction counters.
+  Workload w = MakeWorkload(120);
+  std::string journal = testing::TempDir() + "/transient.journal";
+  SessionOptions opt = SweepOptions(true, journal);
+  Baseline base = RunBaseline(w, opt);
+
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().Arm(
+      {"oracle.answer", /*nth=*/2, /*count=*/2, StatusCode::kUnavailable});
+  Table dirty = w.dirty.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+  auto m = session.Run();
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(m.ok()) << m.status();
+  ExpectMatchesBaseline(*m, TableContentsCrc(dirty), base);
+}
+
+TEST(FaultSweepTest, ExhaustedOracleRetriesSurfaceTheOutage) {
+  // More consecutive transient failures than the retry bound: the episode
+  // must abort with kUnavailable (and stay recoverable), never loop.
+  Workload w = MakeWorkload(120);
+  std::string journal = testing::TempDir() + "/outage.journal";
+  SessionOptions opt = SweepOptions(true, journal);
+  Baseline base = RunBaseline(w, opt);
+
+  FaultInjector::Global().Reset();
+  Table dirty = w.dirty.Clone();
+  {
+    auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+    CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+    FaultInjector::Global().Arm(
+        {"oracle.answer", /*nth=*/3, /*count=*/16, StatusCode::kUnavailable});
+    auto m = session.Run();
+    FaultInjector::Global().Reset();
+    ASSERT_FALSE(m.ok());
+    EXPECT_EQ(m.status().code(), StatusCode::kUnavailable);
+  }
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+  auto recovered = session.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectMatchesBaseline(*recovered, TableContentsCrc(dirty), base);
+}
+
+// ---------------------------------------------------------------------------
+// Session-level rule retraction.
+
+TEST(RetractionTest, RetractRestoresExactlyTheRulesCells) {
+  for (bool delta : {true, false}) {
+    SCOPED_TRACE(delta ? "delta" : "invalidate");
+    Workload w = MakeWorkload(150);
+    std::string journal = testing::TempDir() + "/retract_cells.journal";
+    SessionOptions opt = SweepOptions(delta, journal);
+    Table dirty = w.dirty.Clone();
+    auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+    CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+    auto m = session.Run();
+    ASSERT_TRUE(m.ok()) << m.status();
+    ASSERT_FALSE(session.log().empty());
+
+    // The newest entry is always undoable; snapshot it and the table.
+    size_t i = session.log().size() - 1;
+    RepairLog::Entry entry = session.log().entries()[i];
+    std::vector<std::vector<std::string>> snapshot(dirty.num_rows());
+    for (size_t r = 0; r < dirty.num_rows(); ++r) {
+      for (size_t c = 0; c < dirty.num_cols(); ++c) {
+        snapshot[r].emplace_back(dirty.CellText(r, c));
+      }
+    }
+
+    ASSERT_TRUE(session.RetractRule(i).ok());
+
+    // Retracted cells hold their before-images; every other cell is
+    // untouched.
+    std::set<uint32_t> retracted_rows;
+    for (const auto& [row, value] : entry.before) {
+      retracted_rows.insert(row);
+      EXPECT_EQ(dirty.CellText(row, entry.col),
+                dirty.pool()->Get(value));
+    }
+    for (size_t r = 0; r < dirty.num_rows(); ++r) {
+      for (size_t c = 0; c < dirty.num_cols(); ++c) {
+        if (c == entry.col && retracted_rows.count(static_cast<uint32_t>(r))) {
+          continue;
+        }
+        EXPECT_EQ(dirty.CellText(r, c), snapshot[r][c]);
+      }
+    }
+    // The entry is gone from the log.
+    EXPECT_EQ(session.log().size(), i);
+  }
+}
+
+TEST(RetractionTest, RetractThenContinueReconverges) {
+  for (bool delta : {true, false}) {
+    SCOPED_TRACE(delta ? "delta" : "invalidate");
+    Workload w = MakeWorkload(150);
+    std::string journal = testing::TempDir() + "/retract_continue.journal";
+    SessionOptions opt = SweepOptions(delta, journal);
+    Table dirty = w.dirty.Clone();
+    auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+    CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+    auto m = session.Run();
+    ASSERT_TRUE(m.ok()) << m.status();
+    ASSERT_TRUE(m->converged);
+    ASSERT_FALSE(session.log().empty());
+
+    // Find a non-manual (multi-cell rule) entry to retract if one exists,
+    // else fall back to the newest entry.
+    size_t target = session.log().size() - 1;
+    for (size_t i = session.log().size(); i-- > 0;) {
+      if (!session.log().entries()[i].manual &&
+          session.log().CanUndo(i).ok()) {
+        target = i;
+        break;
+      }
+    }
+    ASSERT_TRUE(session.RetractRule(target).ok());
+    auto resumed = session.Continue();
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    EXPECT_TRUE(resumed->converged);
+    EXPECT_EQ(dirty.CountDiffCells(w.clean), 0u);
+    // The re-cleaning costs real interactions, never negative ones.
+    EXPECT_GE(resumed->user_updates, m->user_updates);
+    EXPECT_GE(resumed->user_answers, m->user_answers);
+  }
+}
+
+TEST(RetractionTest, OverlappingRetractionIsRefusedAndLeavesNoTrace) {
+  // With wrong updates enabled some cell is repaired twice, giving two
+  // overlapping log entries; retracting the older one must be refused and
+  // leave table, log, and journal byte-identical.
+  Workload w = MakeWorkload(200);
+  std::string journal = testing::TempDir() + "/retract_refused.journal";
+  SessionOptions opt = SweepOptions(true, journal);
+  opt.update_mistake_prob = 0.4;
+  Table dirty = w.dirty.Clone();
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), opt);
+  auto m = session.Run();
+  ASSERT_TRUE(m.ok()) << m.status();
+
+  bool found = false;
+  for (size_t i = 0; i < session.log().size(); ++i) {
+    if (session.log().CanUndo(i).ok()) continue;
+    found = true;
+    uint32_t crc_before = TableContentsCrc(dirty);
+    size_t log_before = session.log().size();
+    auto journal_before = SessionJournal::Read(journal);
+    ASSERT_TRUE(journal_before.ok());
+
+    Status st = session.RetractRule(i);
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(st.message().find("newest-first"), std::string::npos);
+
+    EXPECT_EQ(TableContentsCrc(dirty), crc_before);
+    EXPECT_EQ(session.log().size(), log_before);
+    auto journal_after = SessionJournal::Read(journal);
+    ASSERT_TRUE(journal_after.ok());
+    EXPECT_EQ(journal_after->records.size(),
+              journal_before->records.size());
+    break;
+  }
+  ASSERT_TRUE(found) << "workload produced no overlapping repairs; "
+                        "raise update_mistake_prob";
+}
+
+TEST(RetractionTest, CrashAfterRetractionReplaysTheRetraction) {
+  // Reference: run → retract newest rule → continue to reconvergence.
+  // Crash run: same, but die at the first episode after the retraction;
+  // recovery must re-execute the journaled kRetract and land on the
+  // reference outcome exactly.
+  Workload w = MakeWorkload(150);
+  SessionOptions ref_opt =
+      SweepOptions(true, testing::TempDir() + "/retract_ref.journal");
+
+  auto pick_target = [](const CleaningSession& s) {
+    size_t target = s.log().size() - 1;
+    for (size_t i = s.log().size(); i-- > 0;) {
+      if (!s.log().entries()[i].manual && s.log().CanUndo(i).ok()) {
+        return i;
+      }
+    }
+    return target;
+  };
+
+  SessionMetrics ref_metrics;
+  uint32_t ref_crc = 0;
+  {
+    Table dirty = w.dirty.Clone();
+    auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+    CleaningSession session(&w.clean, &dirty, algo.get(), ref_opt);
+    auto m = session.Run();
+    ASSERT_TRUE(m.ok()) << m.status();
+    ASSERT_FALSE(session.log().empty());
+    ASSERT_TRUE(session.RetractRule(pick_target(session)).ok());
+    auto resumed = session.Continue();
+    ASSERT_TRUE(resumed.ok()) << resumed.status();
+    ref_metrics = *resumed;
+    ref_crc = TableContentsCrc(dirty);
+  }
+
+  SessionOptions crash_opt =
+      SweepOptions(true, testing::TempDir() + "/retract_crash.journal");
+  Table dirty = w.dirty.Clone();
+  {
+    auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+    CleaningSession session(&w.clean, &dirty, algo.get(), crash_opt);
+    auto m = session.Run();
+    ASSERT_TRUE(m.ok()) << m.status();
+    ASSERT_TRUE(session.RetractRule(pick_target(session)).ok());
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().Arm(
+        {"session.update", /*nth=*/1, /*count=*/1, StatusCode::kIoError});
+    auto resumed = session.Continue();
+    FaultInjector::Global().Reset();
+    ASSERT_FALSE(resumed.ok());
+  }
+  auto algo = MakeSearchAlgorithm(SearchKind::kDive);
+  CleaningSession session(&w.clean, &dirty, algo.get(), crash_opt);
+  auto recovered = session.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->user_updates, ref_metrics.user_updates);
+  EXPECT_EQ(recovered->user_answers, ref_metrics.user_answers);
+  EXPECT_EQ(recovered->cells_repaired, ref_metrics.cells_repaired);
+  EXPECT_EQ(recovered->queries_applied, ref_metrics.queries_applied);
+  EXPECT_TRUE(recovered->converged);
+  EXPECT_EQ(TableContentsCrc(dirty), ref_crc);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -39,6 +39,39 @@ TEST(FlagsTest, DefaultsWhenAbsentOrMalformed) {
   EXPECT_TRUE(f.GetBool("missing", true));
 }
 
+TEST(FlagsTest, NumericGettersRejectPartialParses) {
+  // std::atol-style silent truncation ("8abc" -> 8) must not happen.
+  Flags f = Make({"--rows=8abc", "--scale=0.5x", "--pad= 9", "--big=1e99x"});
+  EXPECT_EQ(f.GetInt("rows", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.5), 1.5);
+  EXPECT_EQ(f.GetInt("pad", 7), 9);  // Surrounding whitespace is fine.
+  EXPECT_DOUBLE_EQ(f.GetDouble("big", 2.0), 2.0);
+}
+
+TEST(FlagsTest, StrictGettersSurfaceErrors) {
+  Flags f = Make({"--rows=8abc", "--scale=nope", "--good=42"});
+  auto rows = f.GetIntStrict("rows", 7);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rows.status().message().find("--rows=8abc"), std::string::npos)
+      << rows.status().message();
+  EXPECT_FALSE(f.GetDoubleStrict("scale").ok());
+
+  auto good = f.GetIntStrict("good");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  // Absent flags are the default, not an error.
+  auto missing = f.GetIntStrict("missing", 11);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(*missing, 11);
+}
+
+TEST(FlagsTest, StrictGettersRejectOverflow) {
+  Flags f = Make({"--rows=99999999999999999999999"});
+  EXPECT_FALSE(f.GetIntStrict("rows").ok());
+  EXPECT_EQ(f.GetInt("rows", 3), 3);
+}
+
 TEST(FlagsTest, PositionalArgumentsKeepOrder) {
   Flags f = Make({"first", "--x=1", "second", "third"});
   EXPECT_EQ(f.positional(),

@@ -58,7 +58,41 @@ TEST(FuzzTest, SqluParserSurvivesTokenSoup) {
       auto again = ParseSqlu(result->ToSql());
       ASSERT_TRUE(again.ok()) << result->ToSql();
       EXPECT_EQ(*again, *result);
+    } else {
+      // Rejections are always InvalidArgument with a diagnostic message.
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_FALSE(result.status().message().empty());
     }
+  }
+}
+
+TEST(FuzzTest, SqluParserPrintParseIsAFixpoint) {
+  // parse(print(parse(x))) == parse(x): one round of printing reaches the
+  // canonical form, and re-printing that form is byte-stable. Statements
+  // are structurally valid but carry hostile literals (quotes, separators,
+  // keywords-as-values, whitespace).
+  Rng rng(1008);
+  auto literal = [&rng] {
+    static const char* kValues[] = {"x",  "O''Brien", "new val", "100",
+                                    "=",  ";",        "WHERE",   "AND",
+                                    " ",  "a,b",      ""};
+    return std::string("'") + kValues[rng.NextUint(std::size(kValues))] + "'";
+  };
+  for (int i = 0; i < 2000; ++i) {
+    std::string sql = "UPDATE T SET A = " + literal();
+    size_t preds = rng.NextUint(3);
+    for (size_t p = 0; p < preds; ++p) {
+      sql += (p == 0 ? " WHERE " : " AND ");
+      sql += "B" + std::to_string(p) + " = " + literal();
+    }
+    if (rng.NextBool(0.5)) sql += ";";
+    auto q = ParseSqlu(sql);
+    ASSERT_TRUE(q.ok()) << sql << " -- " << q.status();
+    std::string printed = q->ToSql();
+    auto q2 = ParseSqlu(printed);
+    ASSERT_TRUE(q2.ok()) << printed;
+    EXPECT_EQ(*q2, *q);
+    EXPECT_EQ(q2->ToSql(), printed);
   }
 }
 

@@ -54,6 +54,100 @@ TEST(RepairLogTest, UndoRestoresBeforeImages) {
   EXPECT_FALSE(log.UndoLast(dirty));  // Nothing left.
 }
 
+TEST(RepairLogTest, UndoOutOfOrderIsRefusedOnOverlap) {
+  // Two rules rewrote the same cell: retracting the older one first would
+  // resurrect a value the newer rule already replaced.
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  RepairLog log;
+
+  ValueId statin = dirty.cell(1, 1);
+  SqluQuery q1 = DummyQuery("C22H28F");
+  log.Record(q1, 1, {{1, statin}, {4, dirty.cell(4, 1)}});
+  dirty.set_cell(1, 1, dirty.Intern("C22H28F"));
+  dirty.set_cell(4, 1, dirty.Intern("C22H28F"));
+
+  SqluQuery q2 = DummyQuery("C9H8O4");
+  log.Record(q2, 1, {{1, dirty.cell(1, 1)}});
+  dirty.set_cell(1, 1, dirty.Intern("C9H8O4"));
+
+  Status st = log.Undo(0, dirty);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("newest-first"), std::string::npos)
+      << st.message();
+  EXPECT_EQ(log.size(), 2u);                    // Nothing was changed.
+  EXPECT_EQ(dirty.CellText(1, 1), "C9H8O4");
+
+  // Newest-first succeeds and restores the original values.
+  ASSERT_TRUE(log.Undo(1, dirty).ok());
+  ASSERT_TRUE(log.Undo(0, dirty).ok());
+  EXPECT_EQ(dirty.CellText(1, 1), "statin");
+  EXPECT_EQ(dirty.CellText(4, 1), "statin");
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.TimesRepaired(1, 1), 0u);
+}
+
+TEST(RepairLogTest, UndoMiddleEntryAllowedWhenDisjoint) {
+  DrugExample ex = MakeDrugExample();
+  Table dirty = ex.dirty.Clone();
+  RepairLog log;
+
+  // Entry 0 touches column 1; entry 1 touches column 2 and a different
+  // row of column 1 — no overlap, so the older entry can go first.
+  log.Record(DummyQuery("C22H28F"), 1, {{1, dirty.cell(1, 1)}});
+  dirty.set_cell(1, 1, dirty.Intern("C22H28F"));
+  log.Record(DummyQuery("x"), 1, {{4, dirty.cell(4, 1)}});
+  dirty.set_cell(4, 1, dirty.Intern("x"));
+
+  ASSERT_TRUE(log.Undo(0, dirty).ok());
+  EXPECT_EQ(dirty.CellText(1, 1), "statin");
+  EXPECT_EQ(dirty.CellText(4, 1), "x");  // Later entry untouched.
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_TRUE(log.Undo(0, dirty).ok());
+  EXPECT_EQ(dirty.CellText(4, 1), "statin");
+
+  EXPECT_EQ(log.Undo(5, dirty).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RepairLogTest, UndoKeepsPostingBitmapsExact) {
+  for (bool delta : {true, false}) {
+    DrugExample ex = MakeDrugExample();
+    Table dirty = ex.dirty.Clone();
+    PostingIndexOptions opts;
+    opts.delta_maintenance = delta;
+    PostingIndex index(&dirty, opts);
+
+    ValueId statin = dirty.Intern("statin");
+    ValueId fixed = dirty.Intern("C22H28F");
+    // Prime the cache so there are bitmaps to maintain.
+    (void)index.Postings(1, statin);
+    (void)index.Postings(1, fixed);
+
+    RepairLog log;
+    log.Record(DummyQuery("C22H28F"), 1,
+               {{1, dirty.cell(1, 1)}, {4, dirty.cell(4, 1)}});
+    if (delta) {
+      index.ApplyCellDelta(1, 1, dirty.cell(1, 1), fixed);
+      index.ApplyCellDelta(1, 4, dirty.cell(4, 1), fixed);
+    } else {
+      index.InvalidateColumn(1);
+    }
+    dirty.set_cell(1, 1, fixed);
+    dirty.set_cell(4, 1, fixed);
+
+    ASSERT_TRUE(log.Undo(0, dirty, &index).ok());
+
+    // The maintained bitmaps must match a fresh scan of the rolled-back
+    // table, in both maintenance modes.
+    PostingIndex fresh(&dirty);
+    EXPECT_EQ(index.Postings(1, statin), fresh.Postings(1, statin))
+        << "delta=" << delta;
+    EXPECT_EQ(index.Postings(1, fixed), fresh.Postings(1, fixed))
+        << "delta=" << delta;
+  }
+}
+
 TEST(RepairLogTest, ToSqlScriptListsEntries) {
   RepairLog log;
   log.Record(DummyQuery("a"), 1, {{0, 1}});

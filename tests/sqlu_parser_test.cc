@@ -79,5 +79,46 @@ TEST(SqluParserTest, RejectsMalformedStatements) {
   EXPECT_FALSE(ParseSqlu("").ok());
 }
 
+TEST(SqluParserTest, RejectsSeparatorTokensAsValues) {
+  // A bare '=' (or ';' / ',') is a separator, never a literal or identifier.
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = =").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = ,").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = ;").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE = SET A = 'x'").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET = = 'x'").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'x' WHERE = = 'y'").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'x' WHERE B = =").ok());
+  // A *quoted* separator character is a perfectly fine literal.
+  auto q = ParseSqlu("UPDATE T SET A = '=' WHERE B = ';'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->set_value, "=");
+  EXPECT_EQ(q->where[0].value, ";");
+}
+
+TEST(SqluParserTest, RejectsTrailingGarbageAfterSemicolon) {
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'x'; DROP TABLE T").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'x' WHERE B = 'y'; extra").ok());
+  EXPECT_FALSE(ParseSqlu("UPDATE T SET A = 'x';;").ok());
+  // Trailing whitespace after ';' stays fine.
+  EXPECT_TRUE(ParseSqlu("UPDATE T SET A = 'x';   \n").ok());
+}
+
+TEST(SqluParserTest, ErrorsCarryByteOffsets) {
+  auto r = ParseSqlu("UPDATE T SET A = 'x' WHERE B = 'y' OR C = 'z'");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // "OR" starts at byte 35; the message names the offset and the token.
+  EXPECT_NE(r.status().message().find("offset 35"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("'OR'"), std::string::npos)
+      << r.status().message();
+
+  auto unterminated = ParseSqlu("UPDATE T SET A = 'oops");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("offset 17"),
+            std::string::npos)
+      << unterminated.status().message();
+}
+
 }  // namespace
 }  // namespace falcon

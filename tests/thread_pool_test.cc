@@ -63,6 +63,29 @@ TEST(ThreadPoolTest, EmptyRangeIsANoop) {
   EXPECT_EQ(calls.load(), 0);
 }
 
+TEST(ThreadPoolTest, ParseThreadCountAcceptsSaneValues) {
+  auto one = ParseThreadCount("1");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 1u);
+  auto eight = ParseThreadCount(" 8 ");
+  ASSERT_TRUE(eight.ok());
+  EXPECT_EQ(*eight, 8u);
+}
+
+TEST(ThreadPoolTest, ParseThreadCountRejectsGarbage) {
+  // The FALCON_THREADS env var is parsed with this: garbage must produce a
+  // diagnostic, not a silently-truncated thread count ("8x" -> 8).
+  for (const char* bad : {"", "abc", "8x", "0", "-2", "1.5", "1e3",
+                          "999999999999999999999", "7 7"}) {
+    auto r = ParseThreadCount(bad);
+    EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_FALSE(r.status().message().empty()) << bad;
+  }
+  // Absurdly large (but parseable) counts are capped out as invalid too.
+  EXPECT_FALSE(ParseThreadCount("100000").ok());
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsUsable) {
   std::atomic<size_t> count{0};
   ThreadPool::Global().ParallelFor(1'000, 1, [&](size_t b, size_t e) {
