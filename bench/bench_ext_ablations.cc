@@ -28,8 +28,10 @@ Table SampleMaster(const Table& clean, double coverage, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (bench::ParseQuick(flags)) scale *= 0.25;
+  if (auto rc = flags.Done("bench_ext_ablations — repo-extension ablations (rule history, detector mode)")) return *rc;
   bench::PrintBanner("bench_ext_ablations — repo extensions",
                      "Appendix B + Section 8 (extensions)");
 

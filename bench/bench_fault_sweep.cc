@@ -96,8 +96,10 @@ bool CrashAndRecover(const bench::Workload& w, const SessionOptions& opt,
 }  // namespace
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  bool quick = bench::ParseQuick(argc, argv);
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  bool quick = bench::ParseQuick(flags);
+  if (auto rc = flags.Done("bench_fault_sweep — crash/recover bit-identity sweep over journal fault sites")) return *rc;
   const char* env_faults = std::getenv("FALCON_FAULTS");
 
   bench::Workload w =
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
   std::string journal = "/tmp/falcon_bench_fault_sweep.journal";
 
   std::printf("{\n  \"bench\": \"fault_sweep\",\n");
+  std::printf("  \"meta\": %s,\n", bench::BenchMeta().Serialize().c_str());
   std::printf("  \"rows\": %zu,\n  \"errors\": %zu,\n", w.clean.num_rows(),
               w.errors);
 

@@ -15,9 +15,11 @@ using namespace falcon;
 using bench::Workload;
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  bool quick = bench::ParseQuick(argc, argv);
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  bool quick = bench::ParseQuick(flags);
   if (quick) scale *= 0.25;
+  if (auto rc = flags.Done("bench_fig4_benefit — benefit vs. algorithm and budget (Fig. 4)")) return *rc;
   bench::PrintBanner("bench_fig4_benefit — benefit vs. algorithm and budget",
                      "Figure 4 (a), (b), (c)");
 

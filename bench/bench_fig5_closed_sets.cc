@@ -15,8 +15,10 @@ using namespace falcon;
 using bench::Workload;
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (bench::ParseQuick(flags)) scale *= 0.25;
+  if (auto rc = flags.Done("bench_fig5_closed_sets — closed rule-set optimization (Fig. 5)")) return *rc;
   bench::PrintBanner(
       "bench_fig5_closed_sets — closed rule sets on/off, B=2", "Figure 5");
 

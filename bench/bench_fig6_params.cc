@@ -9,13 +9,17 @@
 
 #include "bench_util.h"
 #include "core/session.h"
+#include "datagen/datasets.h"
+#include "errorgen/injector.h"
 
 using namespace falcon;
 using bench::Workload;
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (bench::ParseQuick(flags)) scale *= 0.25;
+  if (auto rc = flags.Done("bench_fig6_params — CoDive window w and Dive depth d (Fig. 6)")) return *rc;
   bench::PrintBanner("bench_fig6_params — CoDive window w and Dive depth d",
                      "Figure 6 (a), (b)");
 

@@ -39,8 +39,10 @@ double EffectiveBenefit(size_t total_cost, size_t repaired, size_t errors) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (bench::ParseQuick(flags)) scale *= 0.25;
+  if (auto rc = flags.Done("bench_fig7_baselines — CoDive vs. the four baselines (Fig. 7)")) return *rc;
   bench::PrintBanner("bench_fig7_baselines — CoDive vs. the four baselines",
                      "Figure 7");
 

@@ -49,8 +49,10 @@ TimingRun RunDive(const Table& clean, const Table& dirty, bool naive_maint,
 }  // namespace
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (bench::ParseQuick(flags)) scale *= 0.25;
+  if (auto rc = flags.Done("bench_fig8_scalability — scalability (Fig. 8)")) return *rc;
   bench::PrintBanner(
       "bench_fig8_scalability — lattice creation/maintenance times",
       "Figure 8 (a)-(d)");

@@ -14,8 +14,10 @@ using namespace falcon;
 using bench::Workload;
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (bench::ParseQuick(flags)) scale *= 0.25;
+  if (auto rc = flags.Done("bench_fig9_mistakes — self-healing under user errors (Fig. 9)")) return *rc;
   bench::PrintBanner("bench_fig9_mistakes — self-healing under user errors",
                      "Figure 9");
 

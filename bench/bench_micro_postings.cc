@@ -149,9 +149,11 @@ HotLoopResult RunHotLoop(const Table& dirty,
 }  // namespace
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
   size_t rows = static_cast<size_t>(1000000.0 * scale);
-  if (bench::ParseQuick(argc, argv)) rows = 100000;
+  if (bench::ParseQuick(flags)) rows = 100000;
+  if (auto rc = flags.Done("bench_micro_postings — posting-index delta vs rescan microbench")) return *rc;
   bench::PrintBanner(
       "bench_micro_postings — delta-maintained posting index vs rescan",
       "Section 5.1 hot path at Fig-8 scalability sizes");
@@ -269,6 +271,8 @@ int main(int argc, char** argv) {
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"micro_postings\",\n  \"rows\": %zu,\n",
                  rows);
+    std::fprintf(f, "  \"meta\": %s,\n",
+                 bench::BenchMeta().Serialize().c_str());
     std::fprintf(f,
                  "  \"kernels\": {\"scan_equals_ms\": %.3f, "
                  "\"scan_multi_values\": %zu, \"scan_multi_ms\": %.3f, "

@@ -1,0 +1,349 @@
+// Service load benchmark: M simulated analysts drive concurrent cleaning
+// sessions against one falcon_serverd and every session's outcome is
+// checked bit-identical to a serial in-process run with the same seed.
+//
+// Each analyst: open_session(seed = base + i) → step(episodes=1) until
+// finished → status → close, measuring per-request latency. Reported per
+// M: p50/p95/p99 request latency, requests/s, sessions/s, and the
+// bit-identity verdict (metrics counters + text-based table CRC vs the
+// serial baseline). Writes BENCH_service_load.json (with provenance meta)
+// and exits nonzero on any mismatch — this is the acceptance gate for the
+// service's snapshot isolation.
+//
+// By default the server runs in-process over a Unix socket; --connect=PATH
+// targets an external falcon_serverd instead (the CI smoke job does this).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/session.h"
+#include "core/session_journal.h"
+#include "service/client.h"
+#include "service/server.h"
+
+using namespace falcon;
+
+namespace {
+
+struct SessionOutcome {
+  uint64_t seed = 0;
+  bool ok = false;
+  std::string error;
+  // Counters reported by the service at convergence.
+  int64_t user_updates = 0;
+  int64_t user_answers = 0;
+  int64_t cells_repaired = 0;
+  int64_t queries_applied = 0;
+  bool converged = false;
+  int64_t table_crc = 0;
+  std::vector<double> latencies_us;  ///< One entry per request.
+  size_t steps = 0;
+};
+
+struct Baseline {
+  SessionMetrics metrics;
+  uint32_t table_crc = 0;
+};
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+StatusOr<JsonValue> TimedCall(ServiceClient& client, const JsonValue& req,
+                              std::vector<double>* latencies) {
+  double t0 = NowUs();
+  auto response = client.Call(req);
+  latencies->push_back(NowUs() - t0);
+  return response;
+}
+
+/// One analyst: opens a session, steps it to convergence one episode at a
+/// time (the interactive cadence), closes it.
+SessionOutcome RunAnalyst(const std::string& socket_path,
+                          const std::string& dataset, double scale,
+                          uint64_t seed) {
+  SessionOutcome out;
+  out.seed = seed;
+  auto client = ServiceClient::ConnectToUnix(socket_path);
+  if (!client.ok()) {
+    out.error = client.status().ToString();
+    return out;
+  }
+
+  JsonValue open = JsonValue::Object();
+  open.Set("verb", "open_session");
+  open.Set("dataset", dataset);
+  open.Set("scale", scale);
+  open.Set("seed", static_cast<int64_t>(seed));
+  std::string session;
+  // Admission control can reject under load; honour retry_after_ms.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    auto r = TimedCall(*client, open, &out.latencies_us);
+    if (!r.ok()) {
+      out.error = r.status().ToString();
+      return out;
+    }
+    if (r->GetBool("ok")) {
+      session = r->GetString("session");
+      break;
+    }
+    int64_t backoff = r->GetInt("retry_after_ms", 0);
+    if (r->GetString("code") != "UNAVAILABLE" || backoff <= 0) {
+      out.error = r->Serialize();
+      return out;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+  if (session.empty()) {
+    out.error = "open_session never admitted";
+    return out;
+  }
+
+  JsonValue step = JsonValue::Object();
+  step.Set("verb", "step");
+  step.Set("session", session);
+  step.Set("episodes", 1);
+  bool finished = false;
+  while (!finished) {
+    auto r = TimedCall(*client, step, &out.latencies_us);
+    if (!r.ok() || !r->GetBool("ok")) {
+      out.error = r.ok() ? r->Serialize() : r.status().ToString();
+      return out;
+    }
+    ++out.steps;
+    finished = r->GetBool("finished");
+    if (finished) {
+      const JsonValue* metrics = r->Find("metrics");
+      if (metrics == nullptr) {
+        out.error = "step response missing metrics";
+        return out;
+      }
+      out.user_updates = metrics->GetInt("user_updates");
+      out.user_answers = metrics->GetInt("user_answers");
+      out.cells_repaired = metrics->GetInt("cells_repaired");
+      out.queries_applied = metrics->GetInt("queries_applied");
+      out.converged = metrics->GetBool("converged");
+      out.table_crc = r->GetInt("table_crc");
+    }
+  }
+
+  JsonValue close = JsonValue::Object();
+  close.Set("verb", "close");
+  close.Set("session", session);
+  auto r = TimedCall(*client, close, &out.latencies_us);
+  if (!r.ok() || !r->GetBool("ok")) {
+    out.error = r.ok() ? r->Serialize() : r.status().ToString();
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+/// Serial ground truth for one seed: same workload, same options, plain
+/// RunCleaning in this process.
+Baseline RunSerial(const bench::Workload& w, uint64_t seed) {
+  SessionOptions options;
+  options.seed = seed;
+  Table working = w.dirty.Clone();
+  auto algorithm = MakeSearchAlgorithm(SearchKind::kCoDive);
+  CleaningSession session(&w.clean, &working, algorithm.get(), options);
+  auto metrics = session.Run();
+  FALCON_CHECK(metrics.ok());
+  return Baseline{*metrics, TableContentsCrc(working)};
+}
+
+bool Matches(const SessionOutcome& got, const Baseline& want) {
+  return got.ok &&
+         got.user_updates ==
+             static_cast<int64_t>(want.metrics.user_updates) &&
+         got.user_answers ==
+             static_cast<int64_t>(want.metrics.user_answers) &&
+         got.cells_repaired ==
+             static_cast<int64_t>(want.metrics.cells_repaired) &&
+         got.queries_applied ==
+             static_cast<int64_t>(want.metrics.queries_applied) &&
+         got.converged == want.metrics.converged &&
+         got.table_crc == static_cast<int64_t>(want.table_crc);
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  bool quick = bench::ParseQuick(flags);
+  std::string connect = flags.GetString(
+      "connect", "", "unix socket of an external falcon_serverd "
+                     "(default: in-process server)");
+  std::string dataset =
+      flags.GetString("dataset", "Synth10k", "workload dataset name");
+  int64_t max_sessions_flag =
+      flags.GetInt("sessions", 8, "largest concurrent-analyst count");
+  uint64_t base_seed = static_cast<uint64_t>(
+      flags.GetInt("seed", 4242, "base RNG seed (analyst i uses seed+i)"));
+  if (auto rc = flags.Done(
+          "bench_service_load — M concurrent analysts vs falcon_serverd, "
+          "verified bit-identical to serial runs")) {
+    return *rc;
+  }
+
+  double dataset_scale = scale * (quick ? 0.02 : 0.08);
+  size_t max_sessions = std::max<int64_t>(1, max_sessions_flag);
+  std::vector<size_t> session_counts;
+  for (size_t m = 1; m <= max_sessions; m *= 2) session_counts.push_back(m);
+  if (quick) {
+    session_counts.resize(
+        std::min<size_t>(session_counts.size(), 2));  // {1, 2}
+  }
+
+  bench::PrintBanner(
+      "bench_service_load — concurrent analysts vs the cleaning service",
+      "service-layer scalability on the Section 6 workloads");
+
+  // In-process server unless --connect points at an external one.
+  std::string socket_path = connect;
+  std::unique_ptr<CleaningServer> server;
+  if (socket_path.empty()) {
+    socket_path = "/tmp/falcon_bench_service_" +
+                  std::to_string(static_cast<long>(getpid())) + ".sock";
+    ServerOptions options;
+    options.unix_path = socket_path;
+    options.workers = max_sessions;
+    options.limits.max_sessions = max_sessions;
+    server = std::make_unique<CleaningServer>(options);
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Serial baselines (and the local workload copy they run on).
+  bench::Workload w = bench::MakeWorkload(dataset, dataset_scale);
+  std::printf("dataset=%s rows=%zu errors=%zu analysts up to %zu\n",
+              dataset.c_str(), w.clean.num_rows(), w.errors, max_sessions);
+  size_t distinct_seeds = session_counts.back();
+  std::vector<Baseline> baselines;
+  baselines.reserve(distinct_seeds);
+  for (size_t i = 0; i < distinct_seeds; ++i) {
+    baselines.push_back(RunSerial(w, base_seed + i));
+  }
+
+  bool all_identical = true;
+  double one_session_rate = 0.0;
+  JsonValue rounds = JsonValue::Array();
+  std::printf("\n%-9s %10s %10s %10s %10s %12s %10s\n", "analysts",
+              "p50(us)", "p95(us)", "p99(us)", "reqs/s", "sessions/s",
+              "identical");
+  for (size_t m : session_counts) {
+    std::vector<SessionOutcome> outcomes(m);
+    double t0 = NowUs();
+    {
+      std::vector<std::thread> analysts;
+      analysts.reserve(m);
+      for (size_t i = 0; i < m; ++i) {
+        analysts.emplace_back([&, i] {
+          outcomes[i] = RunAnalyst(socket_path, dataset, dataset_scale,
+                                   base_seed + i);
+        });
+      }
+      for (auto& t : analysts) t.join();
+    }
+    double wall_s = (NowUs() - t0) / 1e6;
+
+    std::vector<double> latencies;
+    size_t requests = 0;
+    bool round_identical = true;
+    for (size_t i = 0; i < m; ++i) {
+      latencies.insert(latencies.end(), outcomes[i].latencies_us.begin(),
+                       outcomes[i].latencies_us.end());
+      requests += outcomes[i].latencies_us.size();
+      bool same = Matches(outcomes[i], baselines[i]);
+      if (!outcomes[i].ok) {
+        std::fprintf(stderr, "analyst %zu failed: %s\n", i,
+                     outcomes[i].error.c_str());
+      } else if (!same) {
+        std::fprintf(
+            stderr,
+            "analyst %zu diverged from serial: got U=%lld A=%lld "
+            "repaired=%lld applied=%lld crc=%lld; want U=%zu A=%zu "
+            "repaired=%zu applied=%zu crc=%u\n",
+            i, static_cast<long long>(outcomes[i].user_updates),
+            static_cast<long long>(outcomes[i].user_answers),
+            static_cast<long long>(outcomes[i].cells_repaired),
+            static_cast<long long>(outcomes[i].queries_applied),
+            static_cast<long long>(outcomes[i].table_crc),
+            baselines[i].metrics.user_updates,
+            baselines[i].metrics.user_answers,
+            baselines[i].metrics.cells_repaired,
+            baselines[i].metrics.queries_applied, baselines[i].table_crc);
+      }
+      round_identical = round_identical && same;
+    }
+    all_identical = all_identical && round_identical;
+    std::sort(latencies.begin(), latencies.end());
+    double p50 = Percentile(latencies, 0.50);
+    double p95 = Percentile(latencies, 0.95);
+    double p99 = Percentile(latencies, 0.99);
+    double reqs_per_s = static_cast<double>(requests) / wall_s;
+    double sessions_per_s = static_cast<double>(m) / wall_s;
+    if (m == 1) one_session_rate = sessions_per_s;
+    std::printf("%-9zu %10.1f %10.1f %10.1f %10.1f %12.3f %10s\n", m, p50,
+                p95, p99, reqs_per_s, sessions_per_s,
+                round_identical ? "yes" : "NO");
+
+    JsonValue round = JsonValue::Object();
+    round.Set("analysts", m);
+    round.Set("wall_s", wall_s);
+    round.Set("requests", requests);
+    round.Set("p50_us", p50);
+    round.Set("p95_us", p95);
+    round.Set("p99_us", p99);
+    round.Set("requests_per_s", reqs_per_s);
+    round.Set("sessions_per_s", sessions_per_s);
+    round.Set("speedup_vs_one_session",
+              one_session_rate > 0 ? sessions_per_s / one_session_rate : 0);
+    round.Set("identical_to_serial", round_identical);
+    rounds.Append(std::move(round));
+  }
+
+  if (server != nullptr) {
+    server->Stop();
+    server->Wait();
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", "service_load");
+  doc.Set("meta", bench::BenchMeta());
+  doc.Set("dataset", dataset);
+  doc.Set("rows", w.clean.num_rows());
+  doc.Set("errors", w.errors);
+  doc.Set("external_server", !connect.empty());
+  doc.Set("rounds", std::move(rounds));
+  doc.Set("all_identical", all_identical);
+  FILE* f = std::fopen("BENCH_service_load.json", "w");
+  if (f != nullptr) {
+    std::string text = doc.Serialize();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_service_load.json\n");
+  }
+  std::printf("all sessions identical to serial: %s\n",
+              all_identical ? "yes" : "NO — ISOLATION BROKEN");
+  return all_identical ? 0 : 1;
+}

@@ -16,7 +16,9 @@
 using namespace falcon;
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (auto rc = flags.Done("bench_table5_correlation — correlated-attribute profiling (Table 5)")) return *rc;
   bench::PrintBanner(
       "bench_table5_correlation — cor(X, Stadium) ranking on Soccer",
       "Table 5 (Appendix D.1)");

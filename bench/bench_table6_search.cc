@@ -14,8 +14,10 @@ using namespace falcon;
 using bench::Workload;
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (bench::ParseQuick(flags)) scale *= 0.25;
+  if (auto rc = flags.Done("bench_table6_search — U and A per algorithm (Table 6)")) return *rc;
   bench::PrintBanner("bench_table6_search — U and A per algorithm, B=3",
                      "Table 6");
 

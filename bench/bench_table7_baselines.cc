@@ -17,8 +17,10 @@ using namespace falcon;
 using bench::Workload;
 
 int main(int argc, char** argv) {
-  double scale = bench::ParseScale(argc, argv);
-  if (bench::ParseQuick(argc, argv)) scale *= 0.25;
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  if (bench::ParseQuick(flags)) scale *= 0.25;
+  if (auto rc = flags.Done("bench_table7_baselines — baseline costs (Table 7)")) return *rc;
   bench::PrintBanner(
       "bench_table7_baselines — T_C and repaired cells vs. baselines",
       "Table 7");

@@ -1,68 +1,54 @@
 #include "bench_util.h"
 
 #include <cstdio>
-#include <cstring>
-#include <iostream>
+#include <ctime>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+
+// Configure-time provenance (set in bench/CMakeLists.txt); "unknown" when
+// built outside the CMake tree.
+#ifndef FALCON_GIT_SHA
+#define FALCON_GIT_SHA "unknown"
+#endif
+#ifndef FALCON_BUILD_TYPE
+#define FALCON_BUILD_TYPE "unknown"
+#endif
 
 namespace falcon {
 namespace bench {
 
-double ParseScale(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-      double s = std::atof(argv[i] + 8);
-      if (s > 0) return s;
-    }
-  }
-  return 1.0;
+double ParseScale(const Flags& flags) {
+  double s = flags.GetDouble("scale", 1.0,
+                             "dataset scale factor (2 = paper sizes)");
+  return s > 0 ? s : 1.0;
 }
 
-bool ParseQuick(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) return true;
-  }
-  return false;
+bool ParseQuick(const Flags& flags) {
+  return flags.GetBool("quick", false, "shrink datasets for smoke runs");
 }
 
 Workload MakeWorkload(const std::string& name, double scale) {
-  auto rows = [scale](size_t base) {
-    size_t n = static_cast<size_t>(static_cast<double>(base) * scale);
-    return n < 500 ? 500 : n;
-  };
-
-  StatusOr<Dataset> ds = Status::InvalidArgument("unknown dataset " + name);
-  if (name == "Soccer") {
-    ds = MakeSoccer();
-  } else if (name == "Hospital") {
-    ds = MakeHospital(rows(10000));
-  } else if (name == "Synth10k") {
-    ds = MakeSynth(rows(10000));
-  } else if (name == "Synth1M") {
-    // Paper: 1M tuples. Default harness scale runs 50k; --scale grows it.
-    ds = MakeSynth(rows(50000), /*seed=*/29);
-  } else if (name == "DBLP") {
-    ds = MakeDblp(rows(20000));
-  } else if (name == "BUS") {
-    ds = MakeBus(rows(12000));
-  }
-  FALCON_CHECK(ds.ok());
-
-  auto dirty = InjectErrors(ds->clean, ds->error_spec);
-  FALCON_CHECK(dirty.ok());
-
-  Workload w;
-  w.name = name;
-  w.clean = std::move(ds->clean);
-  w.dirty = std::move(dirty->dirty);
-  w.errors = dirty->errors.size();
-  w.patterns = dirty->injected_patterns.size();
-  return w;
+  StatusOr<CleaningWorkload> w = MakeCleaningWorkload(name, scale);
+  FALCON_CHECK(w.ok());
+  return std::move(w).value();
 }
 
-std::vector<std::string> AllDatasetNames() {
-  return {"Soccer", "Hospital", "Synth10k", "Synth1M", "DBLP", "BUS"};
+std::vector<std::string> AllDatasetNames() { return AllWorkloadNames(); }
+
+JsonValue BenchMeta() {
+  JsonValue meta = JsonValue::Object();
+  meta.Set("git_sha", FALCON_GIT_SHA);
+  meta.Set("build_type", FALCON_BUILD_TYPE);
+  meta.Set("threads", ThreadPool::Global().num_threads());
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  meta.Set("timestamp", stamp);
+  return meta;
 }
 
 void PrintBanner(const std::string& title, const std::string& paper_ref) {

@@ -1,44 +1,48 @@
 // Shared harness plumbing for the paper-reproduction benchmarks: workload
-// construction (dataset + injected errors), scale handling, and table
-// printing helpers. Every bench binary runs with no arguments at a
-// CI-sized default scale; pass --scale=<f> to grow or shrink all datasets
-// (--scale=2 ≈ the paper's sizes for Hospital; DBLP/Synth-1M stay scaled
-// down unless you pass more).
+// construction (dataset + injected errors), scale handling, provenance
+// metadata for emitted JSON, and table printing helpers. Every bench
+// binary runs with no arguments at a CI-sized default scale; pass
+// --scale=<f> to grow or shrink all datasets (--scale=2 ≈ the paper's
+// sizes for Hospital; DBLP/Synth-1M stay scaled down unless you pass
+// more).
 #ifndef FALCON_BENCH_BENCH_UTIL_H_
 #define FALCON_BENCH_BENCH_UTIL_H_
 
 #include <string>
 #include <vector>
 
-#include "datagen/datasets.h"
-#include "errorgen/injector.h"
+#include "common/flags.h"
+#include "common/json.h"
+#include "datagen/workload.h"
 #include "relational/table.h"
 
 namespace falcon {
 namespace bench {
 
-/// One dataset instance ready for cleaning runs.
-struct Workload {
-  std::string name;
-  Table clean;
-  Table dirty;
-  size_t errors = 0;
-  size_t patterns = 0;
-};
+/// One dataset instance ready for cleaning runs (the canonical library
+/// type — the cleaning service builds the same workloads through it, which
+/// is what makes service-vs-serial bit-identity checks possible).
+using Workload = CleaningWorkload;
 
-/// Parses --scale=<f> (default 1.0) from argv.
-double ParseScale(int argc, char** argv);
+/// Reads --scale=<f> (default 1.0; non-positive values fall back to 1.0).
+double ParseScale(const Flags& flags);
 
-/// Parses --quick (shrinks everything further for smoke runs).
-bool ParseQuick(int argc, char** argv);
+/// Reads --quick (shrinks everything further for smoke runs).
+bool ParseQuick(const Flags& flags);
 
-/// Builds one workload by dataset name: Soccer, Hospital, Synth10k,
-/// Synth1M, DBLP, BUS. Sizes at scale 1 are CI-sized stand-ins for the
-/// paper's instances (documented in EXPERIMENTS.md).
+/// Builds one workload by dataset name (delegates to MakeCleaningWorkload;
+/// dies on unknown names — bench datasets are compiled in).
 Workload MakeWorkload(const std::string& name, double scale);
 
 /// The paper's six evaluation datasets in its order.
 std::vector<std::string> AllDatasetNames();
+
+/// Provenance block for bench JSON output: git SHA and build type baked in
+/// at configure time, the resolved worker-thread count (FALCON_THREADS),
+/// and an ISO-8601 UTC timestamp. Embed as the "meta" member of every
+/// emitted JSON document so artifacts are attributable to a commit and
+/// build.
+JsonValue BenchMeta();
 
 /// Prints a banner with the binary's purpose and the paper artifact it
 /// reproduces.

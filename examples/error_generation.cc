@@ -6,6 +6,7 @@
 // Run:  ./error_generation [out_dir]
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "datagen/datasets.h"
 #include "errorgen/injector.h"
@@ -14,6 +15,11 @@
 using namespace falcon;
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf("%s",
+                "usage: error_generation [out_dir]\nWalks through BART-style error injection on the Synth dataset;\nwith out_dir, also writes synth_clean.csv and synth_dirty.csv.\n");
+    return 0;
+  }
   auto ds = MakeSynth(5000);
   if (!ds.ok()) {
     std::cerr << ds.status() << "\n";

@@ -39,11 +39,74 @@ using namespace falcon;
 
 namespace {
 
+constexpr char kUsage[] =
+    "usage: falcon_cli <generate|clean|profile|fds|detect|query> [--flags]\n"
+    "run `falcon_cli <subcommand> --help` for that subcommand's flags\n"
+    "(see the header of examples/falcon_cli.cc for examples)\n";
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: falcon_cli <generate|clean|profile|fds|detect> "
-               "[--flags]\n(see the header of examples/falcon_cli.cc)\n");
+  std::fprintf(stderr, "%s", kUsage);
   return 2;
+}
+
+/// Registers the chosen subcommand's flags (so --help lists them and
+/// unknown --flags are diagnosed before any file is read) and runs the
+/// Done() check. Returns the exit code to use, or nullopt to proceed.
+std::optional<int> CheckFlags(const std::string& cmd, const Flags& flags) {
+  if (cmd == "generate") {
+    flags.Describe("dataset", "\"synth\"",
+                   "soccer|hospital|bus|dblp|synth");
+    flags.Describe("rows", "0", "row count (0 = dataset default)");
+    flags.Describe("seed", "23", "generation seed");
+    flags.Describe("out-clean", "\"clean.csv\"", "clean CSV output path");
+    flags.Describe("out-dirty", "\"dirty.csv\"", "dirty CSV output path");
+    return flags.Done("falcon_cli generate — materialize a dataset and its "
+                      "injected-error twin as CSV");
+  }
+  if (cmd == "clean") {
+    flags.Describe("clean", "\"\"", "ground-truth CSV (required)");
+    flags.Describe("dirty", "\"\"", "dirty CSV to repair (required)");
+    flags.Describe("algo", "\"codive\"",
+                   "bfs|dfs|ducc|dive|codive|offline");
+    flags.Describe("budget", "3", "validity questions per episode");
+    flags.Describe("closed-sets", "true", "prune lattice via closed sets");
+    flags.Describe("rule-history", "false", "reuse rules across episodes");
+    flags.Describe("mistakes", "0", "P(user answers a question wrong)");
+    flags.Describe("lattice-attrs", "7", "top-k correlated attributes");
+    flags.Describe("detector", "false",
+                   "repair only detector-flagged cells (no ground truth)");
+    flags.Describe("out", "\"\"", "write the repaired table here");
+    flags.Describe("show-log", "false", "print the repair log as SQL");
+    return flags.Done("falcon_cli clean — run a full simulated cleaning "
+                      "session and print U/A/T_C/benefit");
+  }
+  if (cmd == "profile") {
+    flags.Describe("table", "\"\"", "CSV table to profile (required)");
+    flags.Describe("target", "\"\"", "attribute to rank against (required)");
+    flags.Describe("k", "6", "how many attributes to print");
+    return flags.Done("falcon_cli profile — print the CORDS correlation "
+                      "ranking for one attribute");
+  }
+  if (cmd == "fds") {
+    flags.Describe("table", "\"\"", "CSV table to mine (required)");
+    flags.Describe("max-lhs", "2", "max determinant size");
+    flags.Describe("min-confidence", "0.98", "approximate-FD threshold");
+    return flags.Done("falcon_cli fds — print discovered (approximate) "
+                      "functional dependencies");
+  }
+  if (cmd == "detect") {
+    flags.Describe("table", "\"\"", "dirty CSV to scan (required)");
+    flags.Describe("limit", "20", "max suspect cells to print");
+    return flags.Done("falcon_cli detect — flag suspicious cells with "
+                      "suggested repairs, no ground truth needed");
+  }
+  if (cmd == "query") {
+    flags.Describe("table", "\"\"", "CSV table to query (required)");
+    flags.Describe("sql", "\"\"", "SELECT statement (required)");
+    return flags.Done("falcon_cli query — run a SELECT and print the "
+                      "result");
+  }
+  return std::nullopt;
 }
 
 StatusOr<Dataset> MakeByName(const std::string& name, size_t rows,
@@ -227,7 +290,12 @@ int CmdQuery(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help") {
+    std::printf("%s", kUsage);
+    return 0;
+  }
   Flags flags(argc - 1, argv + 1);
+  if (auto rc = CheckFlags(cmd, flags)) return *rc;
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "clean") return CmdClean(flags);
   if (cmd == "profile") return CmdProfile(flags);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/session.h"
 #include "datagen/datasets.h"
@@ -14,6 +15,11 @@
 using namespace falcon;
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf("%s",
+                "usage: hospital_session [rows]\nCleans a generated Hospital instance (default 5000 rows), sweeping\nquestion budget and the closed-rule-set optimization.\n");
+    return 0;
+  }
   size_t rows = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 5000;
 
   auto ds = MakeHospital(rows);

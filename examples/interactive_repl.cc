@@ -75,6 +75,11 @@ void RunEpisode(Table& table, const Repair& repair, std::istream& in,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf("%s",
+                "usage: interactive_repl [table.csv]\nInteractive SQL-U shell over a CSV table (demo table if omitted).\n");
+    return 0;
+  }
   Table table;
   if (argc > 1) {
     auto loaded = ReadCsv(argv[1], "T");

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common/rng.h"
 #include "core/session.h"
@@ -34,6 +35,11 @@ Table SampleMaster(const Table& clean, double coverage, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf("%s",
+                "usage: master_data_cleaning [rows]\nCompares analyst-only cleaning against analyst+master-data answers\non a Synth instance (default 5000 rows).\n");
+    return 0;
+  }
   size_t rows = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 5000;
   auto ds = MakeSynth(rows);
   if (!ds.ok()) {

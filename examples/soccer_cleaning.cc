@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/session.h"
 #include "datagen/datasets.h"
@@ -15,6 +16,11 @@
 using namespace falcon;
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf("%s",
+                "usage: soccer_cleaning [budget]\nRuns the Soccer walkthrough from the paper with the given\nper-episode question budget (default 3).\n");
+    return 0;
+  }
   size_t budget = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 3;
 
   auto ds = MakeSoccer();

@@ -1,6 +1,14 @@
 // Minimal command-line flag parsing for the tools and benchmark binaries:
 // --name=value and --name (boolean) forms, with positional arguments kept
-// in order. No registration — callers query by name with defaults.
+// in order. Getters register the flags they touch (name, default, help
+// text), so after a binary has declared everything it understands a single
+// Done() call renders --help and rejects unknown --flags with a diagnostic
+// instead of silently ignoring a typo.
+//
+// Usage pattern:
+//   Flags flags(argc, argv);
+//   double scale = flags.GetDouble("scale", 1.0, "dataset scale factor");
+//   if (auto rc = flags.Done("bench_foo — what it measures")) return *rc;
 //
 // Numeric getters parse strictly: "8abc" or "1 2" never silently truncate
 // to a number. The default-returning getters log a warning and fall back on
@@ -9,7 +17,10 @@
 #ifndef FALCON_COMMON_FLAGS_H_
 #define FALCON_COMMON_FLAGS_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,12 +52,16 @@ class Flags {
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
 
   std::string GetString(const std::string& name,
-                        const std::string& default_value = "") const {
+                        const std::string& default_value = "",
+                        const std::string& help = "") const {
+    Register(name, "\"" + default_value + "\"", help);
     auto it = values_.find(name);
     return it == values_.end() ? default_value : it->second;
   }
 
-  int64_t GetInt(const std::string& name, int64_t default_value = 0) const {
+  int64_t GetInt(const std::string& name, int64_t default_value = 0,
+                 const std::string& help = "") const {
+    Register(name, std::to_string(default_value), help);
     auto it = values_.find(name);
     if (it == values_.end()) return default_value;
     int64_t v = 0;
@@ -62,7 +77,9 @@ class Flags {
   /// Like GetInt, but malformed input is an InvalidArgument error instead
   /// of a silently applied default. Absent flags still yield the default.
   StatusOr<int64_t> GetIntStrict(const std::string& name,
-                                 int64_t default_value = 0) const {
+                                 int64_t default_value = 0,
+                                 const std::string& help = "") const {
+    Register(name, std::to_string(default_value), help);
     auto it = values_.find(name);
     if (it == values_.end()) return default_value;
     int64_t v = 0;
@@ -73,7 +90,9 @@ class Flags {
     return v;
   }
 
-  double GetDouble(const std::string& name, double default_value = 0) const {
+  double GetDouble(const std::string& name, double default_value = 0,
+                   const std::string& help = "") const {
+    Register(name, FormatDouble(default_value), help);
     auto it = values_.find(name);
     if (it == values_.end()) return default_value;
     double v = 0;
@@ -88,7 +107,9 @@ class Flags {
 
   /// Strict counterpart of GetDouble (see GetIntStrict).
   StatusOr<double> GetDoubleStrict(const std::string& name,
-                                   double default_value = 0) const {
+                                   double default_value = 0,
+                                   const std::string& help = "") const {
+    Register(name, FormatDouble(default_value), help);
     auto it = values_.find(name);
     if (it == values_.end()) return default_value;
     double v = 0;
@@ -99,17 +120,86 @@ class Flags {
     return v;
   }
 
-  bool GetBool(const std::string& name, bool default_value = false) const {
+  bool GetBool(const std::string& name, bool default_value = false,
+               const std::string& help = "") const {
+    Register(name, default_value ? "true" : "false", help);
     auto it = values_.find(name);
     if (it == values_.end()) return default_value;
     return it->second != "false" && it->second != "0";
   }
 
+  /// Documents a flag without reading it — for flags whose getter runs
+  /// conditionally (e.g. per-subcommand options) but that must still show
+  /// in --help and count as known for the unknown-flag check.
+  void Describe(const std::string& name, const std::string& default_repr,
+                const std::string& help = "") const {
+    Register(name, default_repr, help);
+  }
+
+  /// Finishes flag handling once every flag the binary understands has
+  /// been read or Describe()d:
+  ///  - `--help` prints `description` plus the registered flag table to
+  ///    stdout and returns 0;
+  ///  - any --flag the binary never registered prints a diagnostic to
+  ///    stderr (naming the flag, suggesting --help) and returns 2;
+  ///  - otherwise returns nullopt and the caller proceeds.
+  /// Typical use: `if (auto rc = flags.Done("tool — purpose")) return *rc;`
+  std::optional<int> Done(const std::string& description) const {
+    if (Has("help")) {
+      std::printf("%s\n", description.c_str());
+      if (!registered_.empty()) {
+        std::printf("\nFlags:\n");
+        for (const FlagInfo& f : registered_) {
+          std::printf("  --%-24s %s (default: %s)\n", f.name.c_str(),
+                      f.help.empty() ? "" : f.help.c_str(),
+                      f.default_repr.c_str());
+        }
+      }
+      return 0;
+    }
+    std::vector<std::string> unknown_names;
+    for (const auto& [name, value] : values_) {
+      if (registered_index_.count(name) == 0) unknown_names.push_back(name);
+    }
+    std::sort(unknown_names.begin(), unknown_names.end());
+    for (const std::string& name : unknown_names) {
+      std::fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+    }
+    if (!unknown_names.empty()) {
+      std::fprintf(stderr, "run with --help to list supported flags\n");
+      return 2;
+    }
+    return std::nullopt;
+  }
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
+  struct FlagInfo {
+    std::string name;
+    std::string default_repr;
+    std::string help;
+  };
+
+  static std::string FormatDouble(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+  }
+
+  // First registration wins for the default/help shown in --help; repeat
+  // getter calls with other defaults are common (per-subcommand reuse).
+  void Register(const std::string& name, const std::string& default_repr,
+                const std::string& help) const {
+    if (!registered_index_.emplace(name, registered_.size()).second) return;
+    registered_.push_back(FlagInfo{name, default_repr, help});
+  }
+
   std::unordered_map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  // Lazily built by the const getters; mutable keeps their signatures.
+  mutable std::vector<FlagInfo> registered_;
+  mutable std::unordered_map<std::string, size_t> registered_index_;
 };
 
 }  // namespace falcon

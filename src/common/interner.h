@@ -4,10 +4,12 @@
 #define FALCON_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace falcon {
 
@@ -19,8 +21,17 @@ inline constexpr ValueId kNullValueId = 0;
 /// Append-only dictionary mapping strings to dense ids. Id 0 is reserved for
 /// NULL; the empty string is a regular (non-null) value.
 ///
-/// The pool is deliberately not thread-safe: FALCON sessions are
-/// single-threaded interactive loops, and benchmarks shard by pool.
+/// Thread-safety: concurrent cleaning sessions share one pool (their tables
+/// are copy-on-write snapshots of the same base instances), so all methods
+/// are safe to call from many threads. Reads take a shared lock; Intern
+/// upgrades to exclusive only on first sight of a value. Storage is a deque
+/// so element addresses are stable — a string_view from Get() stays valid
+/// for the pool's lifetime even while other threads intern.
+///
+/// Determinism note: the *ids* assigned to values interned concurrently
+/// depend on thread interleaving, but every consumer compares values by
+/// id-equality within one pool (equal strings always share one id) or by
+/// text, so session outcomes are interleaving-independent.
 class ValuePool {
  public:
   ValuePool() {
@@ -35,29 +46,39 @@ class ValuePool {
 
   /// Interns `s` and returns its id; returns the existing id if present.
   ValueId Intern(std::string_view s) {
-    auto it = ids_.find(s);
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = ids_.find(s);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(s);  // Re-check: another thread may have won.
     if (it != ids_.end()) return it->second;
     ValueId id = static_cast<ValueId>(strings_.size());
     strings_.emplace_back(s);
-    // string_view key points into strings_, whose elements are stable
-    // (std::string contents never move once emplaced; the vector may
-    // reallocate its pointer array but the heap buffers survive except for
-    // SSO strings). Use the stored string as the key source.
     ids_.emplace(strings_.back(), id);
     return id;
   }
 
   /// Returns the id for `s`, or kNullValueId if it was never interned.
   ValueId Lookup(std::string_view s) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = ids_.find(s);
     return it == ids_.end() ? kNullValueId : it->second;
   }
 
-  /// Returns the string for `id`. NULL renders as the empty string.
-  std::string_view Get(ValueId id) const { return strings_[id]; }
+  /// Returns the string for `id`. NULL renders as the empty string. The
+  /// view stays valid for the pool's lifetime (deque elements never move).
+  std::string_view Get(ValueId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return strings_[id];
+  }
 
   /// Number of interned values including the NULL slot.
-  size_t size() const { return strings_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return strings_.size();
+  }
 
  private:
   // Heterogeneous string_view lookup into a string-keyed map.
@@ -74,7 +95,8 @@ class ValuePool {
     }
   };
 
-  std::vector<std::string> strings_;
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> strings_;
   std::unordered_map<std::string, ValueId, StringHash, StringEq> ids_;
 };
 

@@ -1,0 +1,192 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace falcon {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FdHolder& FdHolder::operator=(FdHolder&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+void FdHolder::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::~Listener() {
+  if (!unix_path_.empty() && fd_.valid()) {
+    ::unlink(unix_path_.c_str());
+  }
+}
+
+StatusOr<Listener> Listener::ListenUnix(const std::string& path,
+                                        int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  Listener l;
+  l.fd_ = FdHolder(fd);
+  ::unlink(path.c_str());  // Remove a stale socket from a previous run.
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind(" + path + ")");
+  }
+  l.unix_path_ = path;
+  if (::listen(fd, backlog) != 0) return Errno("listen(" + path + ")");
+  return l;
+}
+
+StatusOr<Listener> Listener::ListenTcp(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  Listener l;
+  l.fd_ = FdHolder(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  l.bound_port_ = ntohs(addr.sin_port);
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+  return l;
+}
+
+StatusOr<FdHolder> Listener::Accept() {
+  for (;;) {
+    int fd = ::accept(fd_.fd(), nullptr, nullptr);
+    if (fd >= 0) return FdHolder(fd);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL arrive after Shutdown() — a clean stop, not a failure.
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Cancelled("listener shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+void Listener::Shutdown() {
+  if (fd_.valid()) {
+    ::shutdown(fd_.fd(), SHUT_RDWR);
+  }
+}
+
+StatusOr<FdHolder> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  FdHolder holder(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Errno("connect(" + path + ")");
+  }
+  return holder;
+}
+
+StatusOr<FdHolder> ConnectTcp(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  FdHolder holder(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return holder;
+}
+
+Status LineChannel::ReadLine(std::string* line, bool* eof) {
+  *eof = false;
+  line->clear();
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return Status::Ok();
+    }
+    if (buffer_.size() > max_line_) {
+      return Status::InvalidArgument("line exceeds max length " +
+                                     std::to_string(max_line_));
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (buffer_.empty()) {
+        *eof = true;
+        return Status::Ok();
+      }
+      return Status::Internal("connection closed mid-line");
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status LineChannel::WriteLine(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd_.fd(), framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::Ok();
+}
+
+}  // namespace falcon

@@ -1,0 +1,114 @@
+// Thin POSIX socket helpers for the service layer: listeners over Unix
+// domain or TCP sockets, blocking connect, and a buffered line channel
+// matching the wire protocol's "one JSON value per \n-terminated line"
+// framing. All calls are blocking; concurrency lives in the server's
+// thread structure, not here.
+#ifndef FALCON_COMMON_SOCKET_H_
+#define FALCON_COMMON_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace falcon {
+
+/// Owning wrapper around a file descriptor (closes on destruction).
+class FdHolder {
+ public:
+  FdHolder() = default;
+  explicit FdHolder(int fd) : fd_(fd) {}
+  FdHolder(FdHolder&& other) noexcept : fd_(other.release()) {}
+  FdHolder& operator=(FdHolder&& other) noexcept;
+  FdHolder(const FdHolder&) = delete;
+  FdHolder& operator=(const FdHolder&) = delete;
+  ~FdHolder() { Close(); }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket. Move-only; closes (and for Unix sockets unlinks the
+/// path) on destruction.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+  ~Listener();
+
+  /// Listens on a Unix domain socket at `path` (unlinking any stale file
+  /// first). The socket file is removed again when the Listener dies.
+  static StatusOr<Listener> ListenUnix(const std::string& path,
+                                       int backlog = 64);
+
+  /// Listens on 127.0.0.1:`port` (port 0 picks an ephemeral port; read it
+  /// back with bound_port()).
+  static StatusOr<Listener> ListenTcp(uint16_t port, int backlog = 64);
+
+  /// Blocks for the next connection, retrying on EINTR. Returns a
+  /// connected fd. Fails with kCancelled once the listening fd has been
+  /// shut down (see Shutdown), which is how the acceptor thread exits.
+  StatusOr<FdHolder> Accept();
+
+  /// Unblocks any Accept() in progress and makes future ones fail.
+  void Shutdown();
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.fd(); }
+  uint16_t bound_port() const { return bound_port_; }
+  const std::string& unix_path() const { return unix_path_; }
+
+ private:
+  FdHolder fd_;
+  uint16_t bound_port_ = 0;  ///< TCP only.
+  std::string unix_path_;    ///< Unix only; unlinked on destruction.
+};
+
+/// Connects to a Unix domain socket at `path`.
+StatusOr<FdHolder> ConnectUnix(const std::string& path);
+
+/// Connects to 127.0.0.1:`port`.
+StatusOr<FdHolder> ConnectTcp(uint16_t port);
+
+/// Buffered, line-oriented I/O over a connected socket. Not thread-safe;
+/// the server gives each connection exactly one reader.
+class LineChannel {
+ public:
+  /// Takes ownership of `fd`. `max_line` bounds one request so a hostile
+  /// or broken peer can't balloon memory.
+  explicit LineChannel(FdHolder fd, size_t max_line = size_t{1} << 20)
+      : fd_(std::move(fd)), max_line_(max_line) {}
+
+  /// Reads up to and including the next '\n' (stripped from the result).
+  /// Clean EOF before any bytes of a line → ok with *eof=true. EOF mid-line
+  /// or an oversized line is an error.
+  Status ReadLine(std::string* line, bool* eof);
+
+  /// Writes `line` plus a trailing '\n', looping over partial writes.
+  /// SIGPIPE is suppressed (MSG_NOSIGNAL); a closed peer surfaces as a
+  /// Status instead of killing the process.
+  Status WriteLine(std::string_view line);
+
+  int fd() const { return fd_.fd(); }
+  bool valid() const { return fd_.valid(); }
+
+ private:
+  FdHolder fd_;
+  size_t max_line_;
+  std::string buffer_;  ///< Bytes read but not yet returned.
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_SOCKET_H_

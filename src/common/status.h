@@ -26,6 +26,9 @@ enum class StatusCode {
   /// A transient failure (e.g. an injected oracle outage) that is expected
   /// to succeed if retried; the session retries these with backoff.
   kUnavailable,
+  /// The operation was deliberately stopped (e.g. a listener shut down
+  /// during server drain); not an error worth surfacing to users.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -68,6 +71,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

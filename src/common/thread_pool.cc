@@ -25,21 +25,21 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void ThreadPool::RunTask(const Task& task, std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  (*task.fn)(task.begin, task.end);
+  lock.lock();
+  if (--task.batch->pending == 0) done_cv_.notify_all();
+}
+
 void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = queue_.back();
-      queue_.pop_back();
-    }
-    (*task.fn)(task.begin, task.end);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_all();
-    }
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    Task task = queue_.back();
+    queue_.pop_back();
+    RunTask(task, lock);
   }
 }
 
@@ -53,17 +53,33 @@ void ThreadPool::ParallelFor(size_t n, size_t min_grain,
   }
   shards = std::min(shards, (n + min_grain - 1) / min_grain);
   size_t chunk = (n + shards - 1) / shards;
+  Batch batch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t s = 1; s < shards; ++s) {
-      queue_.push_back({&fn, s * chunk, std::min(n, (s + 1) * chunk)});
+      queue_.push_back({&fn, s * chunk, std::min(n, (s + 1) * chunk), &batch});
     }
-    pending_ += shards - 1;
+    batch.pending = shards - 1;
   }
   work_cv_.notify_all();
+  // A nested caller (this thread is itself a pool worker) may have peers
+  // blocked in done_cv_ waits; wake them so they can steal the new tasks.
+  done_cv_.notify_all();
   fn(0, std::min(n, chunk));  // Shard 0 runs on the calling thread.
+  // Wait for this call's shards, stealing queued work (any batch) while
+  // blocked. Nested and concurrent ParallelFor calls therefore always make
+  // progress even when every pool thread is inside a wait.
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  while (batch.pending > 0) {
+    if (!queue_.empty()) {
+      Task task = queue_.back();
+      queue_.pop_back();
+      RunTask(task, lock);
+      continue;
+    }
+    done_cv_.wait(lock,
+                  [&] { return batch.pending == 0 || !queue_.empty(); });
+  }
 }
 
 StatusOr<size_t> ParseThreadCount(std::string_view value) {

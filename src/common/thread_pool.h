@@ -6,6 +6,12 @@
 // Determinism: every kernel built on ParallelFor writes disjoint output
 // ranges (bitmap words, per-shard accumulators merged in shard order), so
 // results are bit-identical to the serial loop regardless of thread count.
+//
+// Re-entrancy: ParallelFor may be called from inside a ParallelFor shard
+// (a service worker running a parallel scan) and concurrently from many
+// threads. Each call tracks its own batch of shards, and a waiting caller
+// helps drain the shared queue instead of blocking, so nested calls can
+// never deadlock the fixed-size pool and never spawn extra threads.
 #ifndef FALCON_COMMON_THREAD_POOL_H_
 #define FALCON_COMMON_THREAD_POOL_H_
 
@@ -46,20 +52,31 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
+  /// Per-ParallelFor completion state, allocated on the caller's stack.
+  /// `pending` counts that call's shards still queued or executing; the
+  /// caller returns only once it reaches zero, so the Batch outlives every
+  /// worker touching it.
+  struct Batch {
+    size_t pending = 0;
+  };
+
   struct Task {
     const std::function<void(size_t, size_t)>* fn;
     size_t begin;
     size_t end;
+    Batch* batch;
   };
 
   void WorkerLoop();
+  /// Runs one task and retires it against its batch. Returns with mu_ held
+  /// by `lock`.
+  void RunTask(const Task& task, std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::vector<Task> queue_;
-  size_t pending_ = 0;  // Tasks queued or executing for the current batch.
   bool stop_ = false;
 };
 

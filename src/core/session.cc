@@ -55,6 +55,7 @@ Status CleaningSession::Start(bool fresh) {
   log_.Clear();
   worklist_.clear();
   wrong_updated_.clear();
+  finished_ = false;
   metrics_.initial_errors = dirty_->CountDiffCells(*clean_);
   max_updates_ = options_.max_updates != 0
                      ? options_.max_updates
@@ -89,9 +90,13 @@ Status CleaningSession::Start(bool fresh) {
   cords_options.max_sample_rows = options_.profile_sample_rows;
   profiler_ = std::make_unique<CordsProfiler>(dirty_, cords_options);
 
-  // The oracle: a simulated human, optionally fronted by master data
+  // The oracle: an externally-owned one when the caller (service layer)
+  // provides it, else a simulated human, optionally fronted by master data
   // (Appendix B) that answers covered patterns for free.
-  if (options_.master != nullptr) {
+  if (options_.oracle != nullptr) {
+    master_oracle_ = nullptr;
+    oracle_.reset();
+  } else if (options_.master != nullptr) {
     if (options_.master->pool() != dirty_->pool()) {
       return Status::InvalidArgument(
           "master relation must share the dirty table's ValuePool");
@@ -183,9 +188,38 @@ StatusOr<SessionMetrics> CleaningSession::Run() {
   FALCON_RETURN_IF_ERROR(Start(/*fresh=*/true));
   if (metrics_.initial_errors == 0) {
     metrics_.converged = true;
+    finished_ = true;
     return metrics_;
   }
-  return MainLoop();
+  return MainLoop(/*max_episodes=*/0);
+}
+
+StatusOr<SessionMetrics> CleaningSession::RunSteps(size_t max_episodes) {
+  if (!started_) {
+    FALCON_RETURN_IF_ERROR(Start(/*fresh=*/true));
+    if (metrics_.initial_errors == 0 && external_updates_.empty()) {
+      metrics_.converged = true;
+      finished_ = true;
+      return metrics_;
+    }
+  }
+  if (finished_ && worklist_.empty() && external_updates_.empty()) {
+    return metrics_;
+  }
+  return MainLoop(max_episodes);
+}
+
+Status CleaningSession::SubmitUpdate(uint32_t row, uint32_t col,
+                                     std::string value) {
+  if (row >= dirty_->num_rows() || col >= dirty_->num_cols()) {
+    return Status::OutOfRange(
+        "update target (" + std::to_string(row) + ", " + std::to_string(col) +
+        ") outside table of " + std::to_string(dirty_->num_rows()) + "x" +
+        std::to_string(dirty_->num_cols()));
+  }
+  external_updates_.push_back({row, col, std::move(value)});
+  finished_ = false;
+  return Status::Ok();
 }
 
 StatusOr<SessionMetrics> CleaningSession::Recover() {
@@ -256,16 +290,17 @@ StatusOr<SessionMetrics> CleaningSession::Recover() {
   FALCON_RETURN_IF_ERROR(Start(/*fresh=*/false));
   if (metrics_.initial_errors == 0) {
     metrics_.converged = true;
+    finished_ = true;
     return metrics_;
   }
-  return MainLoop();
+  return MainLoop(/*max_episodes=*/0);
 }
 
 StatusOr<SessionMetrics> CleaningSession::Continue() {
   if (!started_) {
     return Status::FailedPrecondition("call Run() or Recover() first");
   }
-  return MainLoop();
+  return MainLoop(/*max_episodes=*/0);
 }
 
 Status CleaningSession::RetractRule(size_t i) {
@@ -308,10 +343,11 @@ Status CleaningSession::RetractRule(size_t i) {
     }
     if (!clean_after) worklist_.emplace_back(row, static_cast<uint32_t>(col));
   }
+  finished_ = false;  // The retraction re-opened the cleaning loop.
   return Status::Ok();
 }
 
-StatusOr<SessionMetrics> CleaningSession::MainLoop() {
+StatusOr<SessionMetrics> CleaningSession::MainLoop(size_t max_episodes) {
   auto on_apply = [this](const RowSet& changed, size_t col) {
     // In delta mode the lattice already patched the cached postings while
     // it held the before-images; only the legacy mode must rescan.
@@ -328,7 +364,14 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop() {
     });
   };
 
+  size_t episodes = 0;
   while (true) {
+    if (max_episodes != 0 && episodes == max_episodes) {
+      // Episode-bounded (service step) exit: the session stays live;
+      // finished_ remains false and the next RunSteps resumes here.
+      ExportPostingStats();
+      return metrics_;
+    }
     if (Replaying() &&
         replay_[replay_pos_].kind == JournalRecord::Kind::kRetract) {
       // The crashed session retracted a rule here; re-execute it so the
@@ -337,14 +380,33 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop() {
           RetractRule(static_cast<size_t>(replay_[replay_pos_].entry)));
       continue;
     }
-    if (worklist_.empty()) {
-      // Detector-driven mode: examine the data again; every popped cell
-      // was repaired, so detection converges (each pass removes dirt).
-      if (!options_.detector_driven || RefillFromDetector() == 0) break;
+    uint32_t row = 0;
+    uint32_t col = 0;
+    bool external = false;
+    std::string external_value;
+    if (!Replaying() && !external_updates_.empty()) {
+      // A client-submitted update takes the next episode. (Replay never
+      // consumes this queue: journaled kUserUpdate records are
+      // authoritative and carry the submitted target below.)
+      ExternalUpdate& e = external_updates_.front();
+      row = e.row;
+      col = e.col;
+      external_value = std::move(e.value);
+      external_updates_.pop_front();
+      external = true;
+    } else {
+      if (worklist_.empty()) {
+        // Detector-driven mode: examine the data again; every popped cell
+        // was repaired, so detection converges (each pass removes dirt).
+        if (!options_.detector_driven || RefillFromDetector() == 0) break;
+      }
+      auto [r, c] = worklist_.front();
+      worklist_.pop_front();
+      row = r;
+      col = c;
+      if (dirty_->cell(row, col) == clean_->cell(row, col)) continue;
     }
-    auto [row, col] = worklist_.front();
-    worklist_.pop_front();
-    if (dirty_->cell(row, col) == clean_->cell(row, col)) continue;
+    ++episodes;
 
     // Fault site: a crash between user-update episodes.
     FALCON_RETURN_IF_ERROR(FaultInjector::Global().Hit("session.update"));
@@ -361,21 +423,27 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop() {
                             << " user updates (mistake storm?)";
       }
       --metrics_.user_updates;
+      finished_ = true;
       ExportPostingStats();
       return metrics_;
     }
 
-    std::string target(clean_->pool()->Get(clean_->cell(row, col)));
-    uint64_t cell_key = (static_cast<uint64_t>(row) << 16) | col;
+    std::string target;
     bool wrong = false;
-    if (options_.update_mistake_prob > 0.0 &&
-        !wrong_updated_.count(cell_key) &&
-        update_rng_.NextBool(options_.update_mistake_prob)) {
-      // Exp-5 case (i): a wrong update. Every generalization is invalid,
-      // the cell stays dirty, and the user revisits it later. The RNG draw
-      // happens in replay too (stream alignment); the journaled record
-      // then overrides the outcome.
-      wrong = true;
+    if (external) {
+      target = std::move(external_value);
+    } else {
+      target = std::string(clean_->pool()->Get(clean_->cell(row, col)));
+      uint64_t cell_key = (static_cast<uint64_t>(row) << 16) | col;
+      if (options_.update_mistake_prob > 0.0 &&
+          !wrong_updated_.count(cell_key) &&
+          update_rng_.NextBool(options_.update_mistake_prob)) {
+        // Exp-5 case (i): a wrong update. Every generalization is invalid,
+        // the cell stays dirty, and the user revisits it later. The RNG
+        // draw happens in replay too (stream alignment); the journaled
+        // record then overrides the outcome.
+        wrong = true;
+      }
     }
     JournalRecord update_rec;
     update_rec.kind = JournalRecord::Kind::kUserUpdate;
@@ -384,9 +452,13 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop() {
     update_rec.value = wrong ? target + "_oops" : target;
     update_rec.wrong = wrong;
     FALCON_RETURN_IF_ERROR(Emit(&update_rec));
+    // The journaled record is authoritative under replay — including the
+    // target cell, which a live run may have taken from the external queue.
+    row = update_rec.row;
+    col = update_rec.col;
     target = update_rec.value;
     if (update_rec.wrong) {
-      wrong_updated_.insert(cell_key);
+      wrong_updated_.insert((static_cast<uint64_t>(row) << 16) | col);
       worklist_.emplace_back(row, col);
     }
     Repair repair{row, col, target};
@@ -407,7 +479,7 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop() {
     lattice.MarkValid(lattice.top());
 
     SearchStats stats;
-    LatticeSearchContext ctx(&lattice, dirty_, oracle_.get(),
+    LatticeSearchContext ctx(&lattice, dirty_, ActiveOracle(),
                              options_.budget, options_.use_closed_sets,
                              options_.naive_maintenance, profiler_.get(),
                              &stats, on_apply);
@@ -485,6 +557,7 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop() {
   if (master_oracle_ != nullptr) {
     metrics_.master_answers = master_oracle_->master_answers();
   }
+  finished_ = true;
   ExportPostingStats();
   metrics_.converged = dirty_->CountDiffCells(*clean_) == 0;
   return metrics_;

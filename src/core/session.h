@@ -91,6 +91,12 @@ struct SessionOptions {
   /// oracle answer, user update, applied repair (with before-images), and
   /// retraction is appended before its table writes take effect.
   std::string journal_path;
+  /// Externally-owned oracle replacing the internally-built simulated user
+  /// (the service layer passes a ScriptedOracle fed by client `answer`
+  /// verdicts). Must outlive the session; `master` is ignored when set.
+  /// Constructed as UserOracle(clean, question_mistake_prob, seed + 1) it
+  /// reproduces the internal oracle bit-for-bit.
+  UserOracle* oracle = nullptr;
 };
 
 /// Outcome of a cleaning run.
@@ -159,6 +165,31 @@ class CleaningSession {
   /// the worklist and returns the updated cumulative metrics.
   StatusOr<SessionMetrics> Continue();
 
+  /// Stepwise (service) execution: starts the session on the first call,
+  /// then runs at most `max_episodes` user-update episodes (0 = run to
+  /// convergence). State persists across calls, so N calls of one episode
+  /// reproduce Run() bit-for-bit; finished() reports completion.
+  StatusOr<SessionMetrics> RunSteps(size_t max_episodes);
+
+  /// Queues an externally-supplied user update (service `update_cell`):
+  /// the next episode repairs (row, col) toward `value` — journaled and
+  /// billed like a simulated update, but never mistake-perturbed — instead
+  /// of popping the internal worklist.
+  Status SubmitUpdate(uint32_t row, uint32_t col, std::string value);
+
+  /// True once the main loop ran to its natural end (converged, detector
+  /// came up dry, or the safety valve fired). Retractions and submitted
+  /// updates re-open a finished session.
+  bool finished() const { return finished_; }
+
+  /// Metrics accumulated so far (valid after any Run*/Continue call).
+  const SessionMetrics& metrics() const { return metrics_; }
+
+  /// Cells queued for repair: internal worklist + submitted updates.
+  size_t pending_cells() const {
+    return worklist_.size() + external_updates_.size();
+  }
+
   /// Journal of every repair Run executed (rules and manual fixes), with
   /// before-images; supports UndoLast against the dirty table.
   const RepairLog& log() const { return log_; }
@@ -176,9 +207,16 @@ class CleaningSession {
   Status Start(bool fresh);
 
   /// The interactive loop (workflow steps ①–③ per user update), shared by
-  /// Run/Recover/Continue. During recovery it consumes replayed records —
-  /// including kRetract records re-executed between passes.
-  StatusOr<SessionMetrics> MainLoop();
+  /// Run/Recover/Continue/RunSteps; `max_episodes` 0 runs to the natural
+  /// end. During recovery it consumes replayed records — including kRetract
+  /// records re-executed between passes.
+  StatusOr<SessionMetrics> MainLoop(size_t max_episodes);
+
+  /// The oracle answering this session's questions: the external override
+  /// when configured, else the internally-built simulated user.
+  UserOracle* ActiveOracle() {
+    return options_.oracle != nullptr ? options_.oracle : oracle_.get();
+  }
 
   /// Journal-or-replay gate (see LatticeSearchContext::JournalHook): live
   /// appends `*r`; replay verifies it against the cursor and rewrites it to
@@ -198,9 +236,16 @@ class CleaningSession {
 
   // Run state (valid between Start and the end of the session).
   bool started_ = false;
+  bool finished_ = false;
   SessionMetrics metrics_;
   size_t max_updates_ = 0;
   std::deque<std::pair<uint32_t, uint32_t>> worklist_;
+  struct ExternalUpdate {
+    uint32_t row;
+    uint32_t col;
+    std::string value;
+  };
+  std::deque<ExternalUpdate> external_updates_;
   std::unique_ptr<UserOracle> oracle_;
   class MasterBackedOracle* master_oracle_ = nullptr;
   std::unique_ptr<CordsProfiler> profiler_;

@@ -22,13 +22,21 @@ constexpr size_t kParallelWordGrain = kParallelRowGrain / 64;
 Table::Table(std::string name, Schema schema, std::shared_ptr<ValuePool> pool)
     : name_(std::move(name)),
       schema_(std::move(schema)),
-      pool_(pool ? std::move(pool) : std::make_shared<ValuePool>()),
-      columns_(schema_.arity()) {}
+      pool_(pool ? std::move(pool) : std::make_shared<ValuePool>()) {
+  columns_.reserve(schema_.arity());
+  for (size_t c = 0; c < schema_.arity(); ++c) {
+    columns_.push_back(std::make_shared<Column>());
+  }
+}
+
+void Table::DetachColumn(size_t col) {
+  columns_[col] = std::make_shared<Column>(*columns_[col]);
+}
 
 void Table::AppendRow(const std::vector<std::string>& values) {
   FALCON_CHECK(values.size() == schema_.arity());
   for (size_t c = 0; c < values.size(); ++c) {
-    columns_[c].push_back(pool_->Intern(values[c]));
+    MutableColumn(c).push_back(pool_->Intern(values[c]));
   }
   ++num_rows_;
 }
@@ -36,7 +44,7 @@ void Table::AppendRow(const std::vector<std::string>& values) {
 void Table::AppendRowIds(const std::vector<ValueId>& ids) {
   FALCON_CHECK(ids.size() == schema_.arity());
   for (size_t c = 0; c < ids.size(); ++c) {
-    columns_[c].push_back(ids[c]);
+    MutableColumn(c).push_back(ids[c]);
   }
   ++num_rows_;
 }
@@ -47,7 +55,7 @@ void Table::SetCellText(size_t row, size_t col, std::string_view text) {
 
 RowSet Table::ScanEquals(size_t col, ValueId v) const {
   RowSet rows(num_rows_);
-  const ValueId* column = columns_[col].data();
+  const ValueId* column = columns_[col]->data();
   const size_t num_rows = num_rows_;
   // Word-blocked, branch-free: each shard owns a disjoint word range, so the
   // parallel result is bit-identical to the serial one.
@@ -72,7 +80,7 @@ std::vector<RowSet> Table::ScanEqualsMulti(
   out.reserve(values.size());
   for (size_t i = 0; i < values.size(); ++i) out.emplace_back(num_rows_);
   if (values.empty()) return out;
-  const ValueId* column = columns_[col].data();
+  const ValueId* column = columns_[col]->data();
   const size_t num_rows = num_rows_;
   const size_t k = values.size();
   ThreadPool::Global().ParallelFor(
@@ -105,7 +113,7 @@ RowSet Table::ScanConjunction(
 }
 
 size_t Table::DistinctCount(size_t col) const {
-  const std::vector<ValueId>& column = columns_[col];
+  const std::vector<ValueId>& column = *columns_[col];
   ThreadPool& pool = ThreadPool::Global();
   if (pool.num_threads() == 0 || num_rows_ < kParallelRowGrain) {
     std::unordered_set<ValueId> seen;
@@ -131,9 +139,15 @@ size_t Table::DistinctCount(size_t col) const {
 
 Table Table::Clone() const {
   Table copy(name_, schema_, pool_);
-  copy.columns_ = columns_;
+  copy.columns_ = columns_;  // Shared until either side writes (COW).
   copy.num_rows_ = num_rows_;
   return copy;
+}
+
+size_t Table::SharedColumnCount() const {
+  size_t shared = 0;
+  for (const auto& col : columns_) shared += col.use_count() > 1;
+  return shared;
 }
 
 size_t Table::CountDiffCells(const Table& other) const {
@@ -141,8 +155,8 @@ size_t Table::CountDiffCells(const Table& other) const {
   FALCON_CHECK(num_cols() == other.num_cols());
   size_t diff = 0;
   for (size_t c = 0; c < num_cols(); ++c) {
-    const ValueId* a = columns_[c].data();
-    const ValueId* b = other.columns_[c].data();
+    const ValueId* a = columns_[c]->data();
+    const ValueId* b = other.columns_[c]->data();
     // Integer partial sums combine associatively, so row-sharding the count
     // is exact. The atomic serializes only once per shard.
     std::atomic<size_t> col_diff{0};

@@ -3,6 +3,14 @@
 // supports exactly the operations FALCON needs — equality scans producing
 // row bitmaps, point cell updates, and whole-table cloning (clean vs. dirty
 // instances share one ValuePool so equal strings compare by id).
+//
+// Columns are copy-on-write: Clone() shares the column storage of the
+// source (O(arity), not O(cells)), and the first write to a shared column
+// detaches a private copy. K concurrent sessions snapshotting one base
+// instance therefore pay only for the columns they actually repair, and a
+// base held as `shared_ptr<const Table>` is never perturbed by its clones.
+// Reads of shared columns from many threads are safe; a Table object
+// itself (its mutating API) must be confined to one thread at a time.
 #ifndef FALCON_RELATIONAL_TABLE_H_
 #define FALCON_RELATIONAL_TABLE_H_
 
@@ -39,8 +47,10 @@ class Table {
   /// Appends a row of already-interned ids.
   void AppendRowIds(const std::vector<ValueId>& ids);
 
-  ValueId cell(size_t row, size_t col) const { return columns_[col][row]; }
-  void set_cell(size_t row, size_t col, ValueId v) { columns_[col][row] = v; }
+  ValueId cell(size_t row, size_t col) const { return (*columns_[col])[row]; }
+  void set_cell(size_t row, size_t col, ValueId v) {
+    MutableColumn(col)[row] = v;
+  }
 
   /// Interns `text` in this table's pool and stores it at (row, col).
   void SetCellText(size_t row, size_t col, std::string_view text);
@@ -52,7 +62,7 @@ class Table {
 
   /// Raw column storage (read-only), used by profiling hot loops.
   const std::vector<ValueId>& column(size_t col) const {
-    return columns_[col];
+    return *columns_[col];
   }
 
   /// Interns a value in this table's pool.
@@ -81,8 +91,13 @@ class Table {
   /// Number of distinct non-null values in `col`.
   size_t DistinctCount(size_t col) const;
 
-  /// Deep copy of contents; the ValuePool is shared (append-only).
+  /// Copy-on-write snapshot: O(arity) — column storage is shared with the
+  /// source until either side writes. The ValuePool is shared (append-only).
   Table Clone() const;
+
+  /// Number of columns whose storage is currently shared with at least one
+  /// other table (snapshot accounting; used by tests and service metrics).
+  size_t SharedColumnCount() const;
 
   /// Number of cells where this table differs from `other` (same shape
   /// required). Used to measure residual dirtiness against the clean table.
@@ -92,10 +107,22 @@ class Table {
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  using Column = std::vector<ValueId>;
+
+  /// Returns writable storage for `col`, detaching a private copy first if
+  /// the column is shared with another snapshot. use_count()==1 proves sole
+  /// ownership: any thread that could still read through another reference
+  /// must itself hold one, which would keep the count above one.
+  Column& MutableColumn(size_t col) {
+    if (columns_[col].use_count() != 1) DetachColumn(col);
+    return *columns_[col];
+  }
+  void DetachColumn(size_t col);
+
   std::string name_;
   Schema schema_;
   std::shared_ptr<ValuePool> pool_;
-  std::vector<std::vector<ValueId>> columns_;
+  std::vector<std::shared_ptr<Column>> columns_;
   size_t num_rows_ = 0;
 };
 

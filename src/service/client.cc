@@ -1,0 +1,37 @@
+#include "service/client.h"
+
+#include <utility>
+
+namespace falcon {
+
+StatusOr<ServiceClient> ServiceClient::ConnectToUnix(
+    const std::string& path) {
+  FALCON_ASSIGN_OR_RETURN(FdHolder fd, ConnectUnix(path));
+  return ServiceClient(std::move(fd));
+}
+
+StatusOr<ServiceClient> ServiceClient::ConnectToTcp(uint16_t port) {
+  FALCON_ASSIGN_OR_RETURN(FdHolder fd, ConnectTcp(port));
+  return ServiceClient(std::move(fd));
+}
+
+StatusOr<JsonValue> ServiceClient::Call(const JsonValue& request) {
+  FALCON_RETURN_IF_ERROR(channel_->WriteLine(request.Serialize()));
+  std::string line;
+  bool eof = false;
+  FALCON_RETURN_IF_ERROR(channel_->ReadLine(&line, &eof));
+  if (eof) return Status::Internal("server closed the connection");
+  return JsonValue::Parse(line);
+}
+
+StatusOr<JsonValue> ServiceClient::CallChecked(const JsonValue& request) {
+  FALCON_ASSIGN_OR_RETURN(JsonValue response, Call(request));
+  if (!response.GetBool("ok")) {
+    return Status::Internal("request failed: " +
+                            response.GetString("code", "?") + ": " +
+                            response.GetString("error"));
+  }
+  return response;
+}
+
+}  // namespace falcon

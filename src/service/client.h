@@ -1,0 +1,41 @@
+// Blocking client for the cleaning service's line-delimited JSON protocol.
+// One connection, strict request/response alternation — exactly what one
+// simulated analyst needs. Not thread-safe; give each analyst thread its
+// own client.
+#ifndef FALCON_SERVICE_CLIENT_H_
+#define FALCON_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "common/socket.h"
+#include "common/status.h"
+
+namespace falcon {
+
+class ServiceClient {
+ public:
+  static StatusOr<ServiceClient> ConnectToUnix(const std::string& path);
+  static StatusOr<ServiceClient> ConnectToTcp(uint16_t port);
+
+  /// Sends one request and blocks for its response line. Transport errors
+  /// (peer gone, malformed response) surface as a Status; protocol-level
+  /// failures come back as `{"ok":false,...}` objects.
+  StatusOr<JsonValue> Call(const JsonValue& request);
+
+  /// Convenience: Call() plus `ok` enforcement — a protocol-level failure
+  /// becomes an error Status carrying the response's code and message.
+  StatusOr<JsonValue> CallChecked(const JsonValue& request);
+
+ private:
+  explicit ServiceClient(FdHolder fd)
+      : channel_(std::make_unique<LineChannel>(std::move(fd))) {}
+
+  std::unique_ptr<LineChannel> channel_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_SERVICE_CLIENT_H_

@@ -1,0 +1,122 @@
+// falcon_serverd: the multi-session cleaning service daemon. Serves the
+// line-delimited JSON protocol (see service/protocol.h) over a Unix or TCP
+// socket until SIGINT/SIGTERM — or a remote `shutdown` request when
+// started with --allow-remote-shutdown (CI teardown).
+//
+// Quickstart:
+//   falcon_serverd --socket=/tmp/falcon.sock &
+//   printf '%s\n' '{"verb":"open_session","dataset":"Synth10k","seed":7}' |
+//     nc -U /tmp/falcon.sock
+// then step with '{"verb":"step","session":"s-1","episodes":0}' and finish
+// with '{"verb":"close","session":"s-1"}'.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/flags.h"
+#include "service/server.h"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; the main thread blocks in
+// read() and runs the (non-async-signal-safe) shutdown afterwards.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  char byte = 1;
+  ssize_t ignored = write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace falcon;
+  Flags flags(argc, argv);
+
+  ServerOptions options;
+  options.unix_path = flags.GetString(
+      "socket", "/tmp/falcon_serverd.sock",
+      "unix socket path (empty with --port for TCP)");
+  options.tcp_port = static_cast<uint16_t>(
+      flags.GetInt("port", 0, "TCP port on 127.0.0.1 (0 = ephemeral)"));
+  options.workers = static_cast<size_t>(
+      flags.GetInt("workers", 4, "worker threads executing requests"));
+  options.queue_limit = static_cast<size_t>(flags.GetInt(
+      "queue_limit", 64, "bounded request queue; beyond it requests are "
+                         "rejected with UNAVAILABLE"));
+  options.retry_after_ms =
+      flags.GetInt("retry_after_ms", 50, "backoff hint on overload");
+  options.allow_remote_shutdown = flags.GetBool(
+      "allow_remote_shutdown", false,
+      "honour the remote `shutdown` verb (CI teardown)");
+  options.sweep_interval_s = flags.GetDouble(
+      "sweep_interval_s", 30.0, "idle-eviction sweep period (0 = off)");
+  options.limits.max_sessions = static_cast<size_t>(
+      flags.GetInt("max_sessions", 8, "concurrent session cap"));
+  options.limits.posting_budget_bytes = static_cast<size_t>(flags.GetInt(
+      "posting_budget_mb", 0, "total posting-cache budget in MiB, sliced "
+                              "across max_sessions (0 = unbounded"
+                              ")")) * (size_t{1} << 20);
+  options.limits.journal_dir = flags.GetString(
+      "journal_dir", "", "per-session write-ahead journals ('' = off)");
+  options.limits.idle_timeout_s = flags.GetDouble(
+      "idle_timeout_s", 600.0, "sessions idle past this are evicted");
+  if (auto rc = flags.Done(
+          "falcon_serverd — concurrent multi-session cleaning service "
+          "(line-delimited JSON over a Unix/TCP socket)")) {
+    return *rc;
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  CleaningServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("falcon_serverd listening on %s (%zu workers, %zu session "
+                "slots)\n",
+                options.unix_path.c_str(), options.workers,
+                options.limits.max_sessions);
+  } else {
+    std::printf("falcon_serverd listening on 127.0.0.1:%u (%zu workers, "
+                "%zu session slots)\n",
+                server.bound_port(), options.workers,
+                options.limits.max_sessions);
+  }
+  std::fflush(stdout);
+
+  // Wait for a signal or a remote shutdown, whichever comes first. The
+  // watcher thread turns a signal into server.Stop(); Wait() returns once
+  // every server thread is joined either way.
+  std::thread signal_watcher([&server] {
+    char byte;
+    while (read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    server.Stop();
+  });
+  server.Wait();
+  // Unblock the watcher if shutdown came from the protocol, not a signal.
+  HandleSignal(0);
+  signal_watcher.join();
+
+  std::printf("falcon_serverd: drained and stopped\n");
+  return 0;
+}

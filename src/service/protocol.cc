@@ -1,0 +1,189 @@
+#include "service/protocol.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace falcon {
+namespace {
+
+JsonValue OkResponse() {
+  JsonValue r = JsonValue::Object();
+  r.Set("ok", true);
+  return r;
+}
+
+StatusOr<std::string> RequiredSession(const JsonValue& request) {
+  std::string id = request.GetString("session");
+  if (id.empty()) {
+    return Status::InvalidArgument("missing required field: session");
+  }
+  return id;
+}
+
+StatusOr<uint32_t> Uint32Field(const JsonValue& request, const char* key) {
+  const JsonValue* v = request.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument(std::string("missing numeric field: ") +
+                                   key);
+  }
+  int64_t raw = v->AsInt();
+  if (raw < 0 || raw > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(std::string("field out of range: ") + key);
+  }
+  return static_cast<uint32_t>(raw);
+}
+
+JsonValue HandleOpen(SessionManager& manager, const JsonValue& request) {
+  SessionManager::OpenParams params;
+  params.dataset = request.GetString("dataset", params.dataset);
+  params.scale = request.GetDouble("scale", params.scale);
+  params.seed = static_cast<uint64_t>(
+      request.GetInt("seed", static_cast<int64_t>(params.seed)));
+  params.budget = static_cast<size_t>(
+      request.GetInt("budget", static_cast<int64_t>(params.budget)));
+  params.question_mistake_prob =
+      request.GetDouble("question_mistake_prob", 0.0);
+  params.update_mistake_prob = request.GetDouble("update_mistake_prob", 0.0);
+  params.algorithm = request.GetString("algorithm", params.algorithm);
+
+  auto id = manager.Open(params);
+  if (!id.ok()) return ErrorResponse(id.status());
+  JsonValue r = OkResponse();
+  r.Set("session", *id);
+  return r;
+}
+
+JsonValue HandleStep(SessionManager& manager, const JsonValue& request) {
+  auto id = RequiredSession(request);
+  if (!id.ok()) return ErrorResponse(id.status());
+  int64_t episodes = request.GetInt("episodes", 1);
+  if (episodes < 0) {
+    return ErrorResponse(Status::InvalidArgument("episodes must be >= 0"));
+  }
+  auto st = manager.Step(*id, static_cast<size_t>(episodes));
+  if (!st.ok()) return ErrorResponse(st.status());
+  JsonValue r = OkResponse();
+  const JsonValue body = StatusBody(*st);
+  for (const auto& [k, v] : body.members()) r.Set(k, v);
+  return r;
+}
+
+JsonValue HandleUpdateCell(SessionManager& manager,
+                           const JsonValue& request) {
+  auto id = RequiredSession(request);
+  if (!id.ok()) return ErrorResponse(id.status());
+  auto row = Uint32Field(request, "row");
+  if (!row.ok()) return ErrorResponse(row.status());
+  auto col = Uint32Field(request, "col");
+  if (!col.ok()) return ErrorResponse(col.status());
+  const JsonValue* value = request.Find("value");
+  if (value == nullptr || !value->is_string()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing string field: value"));
+  }
+  Status st = manager.UpdateCell(*id, *row, *col, value->AsString());
+  if (!st.ok()) return ErrorResponse(st);
+  return OkResponse();
+}
+
+JsonValue HandleAnswer(SessionManager& manager, const JsonValue& request) {
+  auto id = RequiredSession(request);
+  if (!id.ok()) return ErrorResponse(id.status());
+  const JsonValue* valid = request.Find("valid");
+  if (valid == nullptr || !valid->is_bool()) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing boolean field: valid"));
+  }
+  Status st = manager.Answer(*id, valid->AsBool());
+  if (!st.ok()) return ErrorResponse(st);
+  return OkResponse();
+}
+
+JsonValue HandleStatus(SessionManager& manager, const JsonValue& request) {
+  auto id = RequiredSession(request);
+  if (!id.ok()) return ErrorResponse(id.status());
+  auto st = manager.Info(*id);
+  if (!st.ok()) return ErrorResponse(st.status());
+  JsonValue r = OkResponse();
+  const JsonValue body = StatusBody(*st);
+  for (const auto& [k, v] : body.members()) r.Set(k, v);
+  return r;
+}
+
+JsonValue HandleRetract(SessionManager& manager, const JsonValue& request) {
+  auto id = RequiredSession(request);
+  if (!id.ok()) return ErrorResponse(id.status());
+  const JsonValue* repair = request.Find("repair");
+  if (repair == nullptr || !repair->is_number() || repair->AsInt() < 0) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing non-negative field: repair"));
+  }
+  Status st = manager.Retract(*id, static_cast<size_t>(repair->AsInt()));
+  if (!st.ok()) return ErrorResponse(st);
+  return OkResponse();
+}
+
+JsonValue HandleClose(SessionManager& manager, const JsonValue& request) {
+  auto id = RequiredSession(request);
+  if (!id.ok()) return ErrorResponse(id.status());
+  Status st = manager.Close(*id);
+  if (!st.ok()) return ErrorResponse(st);
+  return OkResponse();
+}
+
+}  // namespace
+
+JsonValue ErrorResponse(const Status& status, int64_t retry_after_ms) {
+  JsonValue r = JsonValue::Object();
+  r.Set("ok", false);
+  r.Set("code", StatusCodeToString(status.code()));
+  r.Set("error", status.message());
+  if (retry_after_ms > 0) r.Set("retry_after_ms", retry_after_ms);
+  return r;
+}
+
+JsonValue StatusBody(const SessionStatus& st) {
+  JsonValue metrics = JsonValue::Object();
+  metrics.Set("user_updates", st.metrics.user_updates);
+  metrics.Set("user_answers", st.metrics.user_answers);
+  metrics.Set("master_answers", st.metrics.master_answers);
+  metrics.Set("initial_errors", st.metrics.initial_errors);
+  metrics.Set("cells_repaired", st.metrics.cells_repaired);
+  metrics.Set("queries_applied", st.metrics.queries_applied);
+  metrics.Set("converged", st.metrics.converged);
+  metrics.Set("benefit", st.metrics.Benefit());
+
+  JsonValue body = JsonValue::Object();
+  body.Set("session", st.id);
+  body.Set("dataset", st.dataset);
+  body.Set("finished", st.finished);
+  body.Set("pending_cells", st.pending_cells);
+  body.Set("queued_verdicts", st.queued_verdicts);
+  body.Set("repairs", st.repairs);
+  body.Set("table_crc", static_cast<int64_t>(st.table_crc));
+  body.Set("metrics", std::move(metrics));
+  return body;
+}
+
+JsonValue HandleRequest(SessionManager& manager, const JsonValue& request) {
+  if (!request.is_object()) {
+    return ErrorResponse(
+        Status::InvalidArgument("request must be a JSON object"));
+  }
+  const std::string verb = request.GetString("verb");
+  if (verb == "open_session") return HandleOpen(manager, request);
+  if (verb == "step") return HandleStep(manager, request);
+  if (verb == "update_cell") return HandleUpdateCell(manager, request);
+  if (verb == "answer") return HandleAnswer(manager, request);
+  if (verb == "status") return HandleStatus(manager, request);
+  if (verb == "retract") return HandleRetract(manager, request);
+  if (verb == "close") return HandleClose(manager, request);
+  if (verb == "shutdown") {
+    return ErrorResponse(Status::Unimplemented(
+        "shutdown requires a server started with --allow-remote-shutdown"));
+  }
+  return ErrorResponse(
+      Status::InvalidArgument("unknown verb: \"" + verb + "\""));
+}
+
+}  // namespace falcon

@@ -1,0 +1,57 @@
+// Wire protocol of the cleaning service: line-delimited JSON.
+//
+// Grammar (one request line → one response line, in order):
+//   request  := { "verb": <verb>, ...verb arguments }
+//   response := { "ok": true, ...verb results }
+//             | { "ok": false, "code": <STATUS_CODE>, "error": <message>
+//                 [, "retry_after_ms": <int>] }
+//
+// Verbs:
+//   open_session  {dataset, scale, seed, budget, question_mistake_prob,
+//                  update_mistake_prob, algorithm} → {session}
+//   step          {session, episodes}              → status body (below)
+//   update_cell   {session, row, col, value}       → {}
+//   answer        {session, valid}                 → {}
+//   status        {session}                        → status body
+//   retract       {session, repair}                → {}
+//   close         {session}                        → {}
+//   shutdown      {}                               → {} (only when the
+//                  server was started with --allow-remote-shutdown)
+//
+// Status body: {session, dataset, finished, pending_cells,
+//   queued_verdicts, table_crc, metrics:{user_updates, user_answers,
+//   master_answers, initial_errors, cells_repaired, queries_applied,
+//   converged, benefit}}.
+//
+// "retry_after_ms" appears only on kUnavailable rejections (admission
+// control: full request queue or full session table) and tells the client
+// when to retry.
+//
+// HandleRequest is the single dispatcher shared by the socket server and
+// in-process tests, so protocol behaviour is testable without sockets.
+#ifndef FALCON_SERVICE_PROTOCOL_H_
+#define FALCON_SERVICE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "service/session_manager.h"
+
+namespace falcon {
+
+/// Dispatches one parsed request against `manager`; never throws and
+/// always returns a well-formed response object (errors become
+/// `{"ok":false,...}`). The `shutdown` verb is answered with
+/// kUnimplemented here — the server intercepts it before dispatch.
+JsonValue HandleRequest(SessionManager& manager, const JsonValue& request);
+
+/// Builds an error response from a status. `retry_after_ms` > 0 adds the
+/// backoff hint (used for kUnavailable).
+JsonValue ErrorResponse(const Status& status, int64_t retry_after_ms = 0);
+
+/// Serializes a session snapshot into the response's status body.
+JsonValue StatusBody(const SessionStatus& st);
+
+}  // namespace falcon
+
+#endif  // FALCON_SERVICE_PROTOCOL_H_

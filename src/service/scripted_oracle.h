@@ -1,0 +1,42 @@
+// Oracle for service-driven sessions: validity verdicts supplied by the
+// connected client (the `answer` verb) take precedence; with no verdict
+// queued it falls back to the simulated user. Constructed with the same
+// (clean, mistake_prob, seed + 1) arguments the session would use
+// internally, the fallback path reproduces an oracle-driven run
+// bit-for-bit — which is how the load bench verifies service runs against
+// serial ones.
+#ifndef FALCON_SERVICE_SCRIPTED_ORACLE_H_
+#define FALCON_SERVICE_SCRIPTED_ORACLE_H_
+
+#include <deque>
+
+#include "core/oracle.h"
+
+namespace falcon {
+
+class ScriptedOracle : public UserOracle {
+ public:
+  using UserOracle::UserOracle;
+
+  /// Queues one client-supplied verdict; consumed FIFO by the next
+  /// validity question the lattice search asks.
+  void QueueVerdict(bool valid) { queued_.push_back(valid); }
+
+  size_t queued() const { return queued_.size(); }
+
+  Answered AnswerEx(const Lattice& lattice, NodeId n) override {
+    if (!queued_.empty()) {
+      bool valid = queued_.front();
+      queued_.pop_front();
+      return {valid, true};
+    }
+    return UserOracle::AnswerEx(lattice, n);
+  }
+
+ private:
+  std::deque<bool> queued_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_SERVICE_SCRIPTED_ORACLE_H_

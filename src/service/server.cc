@@ -1,0 +1,202 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "service/protocol.h"
+
+namespace falcon {
+
+CleaningServer::CleaningServer(ServerOptions options)
+    : options_(std::move(options)), manager_(options_.limits) {}
+
+CleaningServer::~CleaningServer() {
+  Stop();
+  Wait();
+}
+
+Status CleaningServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (started_) return Status::FailedPrecondition("server already started");
+    started_ = true;
+  }
+  if (!options_.unix_path.empty()) {
+    FALCON_ASSIGN_OR_RETURN(listener_,
+                            Listener::ListenUnix(options_.unix_path));
+  } else {
+    FALCON_ASSIGN_OR_RETURN(listener_, Listener::ListenTcp(options_.tcp_port));
+  }
+  size_t workers = std::max<size_t>(1, options_.workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&CleaningServer::WorkerLoop, this);
+  }
+  acceptor_ = std::thread(&CleaningServer::AcceptLoop, this);
+  if (options_.sweep_interval_s > 0) {
+    sweeper_ = std::thread(&CleaningServer::SweeperLoop, this);
+  }
+  return Status::Ok();
+}
+
+uint16_t CleaningServer::bound_port() const { return listener_.bound_port(); }
+
+void CleaningServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  listener_.Shutdown();
+  {
+    // Unblock every connection reader; entries are erased by their own
+    // threads before the fd closes, so these are always live sockets.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    stop_requested_ = true;
+  }
+  lifecycle_cv_.notify_all();
+}
+
+void CleaningServer::Wait() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  lifecycle_cv_.wait(lock, [&] { return stop_requested_ || stopped_; });
+  if (stopped_) return;
+  if (joining_) {
+    lifecycle_cv_.wait(lock, [&] { return stopped_; });
+    return;
+  }
+  joining_ = true;
+  lock.unlock();
+
+  if (acceptor_.joinable()) acceptor_.join();
+  // No new connection threads once the acceptor is gone.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) t.join();
+  for (std::thread& t : workers_) t.join();
+  if (sweeper_.joinable()) sweeper_.join();
+  manager_.CloseAll();
+
+  lock.lock();
+  stopped_ = true;
+  lock.unlock();
+  lifecycle_cv_.notify_all();
+}
+
+void CleaningServer::AcceptLoop() {
+  for (;;) {
+    StatusOr<FdHolder> conn = listener_.Accept();
+    if (!conn.ok()) return;  // kCancelled after Stop, or a fatal error.
+    int raw = conn->fd();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(raw);
+    conn_threads_.emplace_back(&CleaningServer::ConnectionLoop, this,
+                               std::move(conn).value());
+  }
+}
+
+void CleaningServer::ConnectionLoop(FdHolder fd) {
+  const int raw = fd.fd();
+  {
+    LineChannel channel(std::move(fd));
+    std::string line;
+    bool eof = false;
+    for (;;) {
+      Status read = channel.ReadLine(&line, &eof);
+      if (!read.ok() || eof) break;
+      if (line.empty()) continue;
+
+      JsonValue response;
+      bool shutdown_requested = false;
+      StatusOr<JsonValue> request = JsonValue::Parse(line);
+      if (!request.ok()) {
+        response = ErrorResponse(request.status());
+      } else if (request->is_object() &&
+                 request->GetString("verb") == "shutdown") {
+        if (options_.allow_remote_shutdown) {
+          response = JsonValue::Object();
+          response.Set("ok", true);
+          shutdown_requested = true;
+        } else {
+          response = ErrorResponse(Status::FailedPrecondition(
+              "server started without --allow-remote-shutdown"));
+        }
+      } else {
+        response = Submit(std::move(request).value());
+      }
+      if (!channel.WriteLine(response.Serialize()).ok()) break;
+      if (shutdown_requested) {
+        Stop();  // Safe here: Stop never joins; Wait() does.
+        break;
+      }
+    }
+    // Deregister before the channel closes the fd, so Stop() never calls
+    // shutdown() on a recycled descriptor.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), raw),
+                    conn_fds_.end());
+  }
+}
+
+JsonValue CleaningServer::Submit(JsonValue request) {
+  auto item = std::make_shared<WorkItem>();
+  item->request = std::move(request);
+  std::future<JsonValue> response = item->response.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return ErrorResponse(Status::Unavailable("server shutting down"));
+    }
+    if (queue_.size() >= options_.queue_limit) {
+      // Overload: reject on the reader thread, never block or buffer.
+      return ErrorResponse(Status::Unavailable("request queue full"),
+                           options_.retry_after_ms);
+    }
+    queue_.push_back(item);
+  }
+  queue_cv_.notify_one();
+  return response.get();
+}
+
+void CleaningServer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // Drained: admitted requests all served.
+      continue;
+    }
+    std::shared_ptr<WorkItem> item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    item->response.set_value(HandleRequest(manager_, item->request));
+    lock.lock();
+  }
+}
+
+void CleaningServer::SweeperLoop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.sweep_interval_s);
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  while (!stopping_) {
+    queue_cv_.wait_for(lock, interval, [&] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    manager_.EvictIdle();
+    lock.lock();
+  }
+}
+
+}  // namespace falcon

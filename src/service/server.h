@@ -1,0 +1,122 @@
+// CleaningServer: serves the line-delimited JSON protocol over a Unix or
+// TCP socket.
+//
+// Thread structure
+//   - one acceptor thread blocking in accept();
+//   - one reader thread per connection: reads a line, parses it, submits
+//     it to the worker queue, waits for the response, writes it back —
+//     strict request/response order per connection;
+//   - a fixed pool of `workers` threads executing HandleRequest;
+//   - one sweeper thread running idle-session eviction.
+//
+// Overload policy: the worker queue is bounded at `queue_limit`. A request
+// arriving while the queue is full is rejected immediately on the reader
+// thread with kUnavailable and a retry_after_ms hint — readers never
+// block, so a flood of traffic degrades into fast rejections instead of
+// unbounded memory growth or rising latency for admitted work. Session
+// admission (max_sessions) is enforced separately by the SessionManager.
+//
+// Shutdown: Stop() (signal handler, remote `shutdown` verb, or test
+// teardown) shuts the listener down, unblocks connection readers, lets
+// workers drain requests already admitted to the queue, joins every
+// thread, then closes all sessions.
+#ifndef FALCON_SERVICE_SERVER_H_
+#define FALCON_SERVICE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "service/session_manager.h"
+
+namespace falcon {
+
+struct ServerOptions {
+  /// Unix socket path; takes precedence over tcp_port when non-empty.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1 (0 = ephemeral; read back via bound_port()).
+  uint16_t tcp_port = 0;
+  /// Worker threads executing requests.
+  size_t workers = 4;
+  /// Bounded request queue; arrivals beyond it are rejected (overload).
+  size_t queue_limit = 64;
+  /// Backoff hint attached to overload rejections.
+  int64_t retry_after_ms = 50;
+  /// Honour the remote `shutdown` verb (CI teardown); off by default.
+  bool allow_remote_shutdown = false;
+  /// Seconds between idle-eviction sweeps (0 disables the sweeper).
+  double sweep_interval_s = 0.0;
+  /// Session-level limits (max sessions, posting budget, journals, idle
+  /// timeout).
+  ServiceLimits limits;
+};
+
+class CleaningServer {
+ public:
+  explicit CleaningServer(ServerOptions options);
+  ~CleaningServer();
+
+  /// Binds the socket and starts all threads. Call once.
+  Status Start();
+
+  /// Initiates shutdown (idempotent, callable from any thread including a
+  /// signal-driven one via WaitUntilStopped's self-pipe in falcon_serverd).
+  void Stop();
+
+  /// Blocks until Stop() was called and all threads are joined.
+  void Wait();
+
+  uint16_t bound_port() const;
+  SessionManager& manager() { return manager_; }
+
+ private:
+  struct WorkItem {
+    JsonValue request;
+    std::promise<JsonValue> response;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(FdHolder fd);
+  void WorkerLoop();
+  void SweeperLoop();
+
+  /// Queue-or-reject under the overload policy; returns the response.
+  JsonValue Submit(JsonValue request);
+
+  ServerOptions options_;
+  SessionManager manager_;
+  Listener listener_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<WorkItem>> queue_;
+  bool stopping_ = false;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;  ///< Live connection fds, shut down on Stop.
+  std::vector<std::thread> conn_threads_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::thread sweeper_;
+
+  std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  bool started_ = false;
+  bool stop_requested_ = false;  ///< Stop() ran.
+  bool joining_ = false;         ///< One Wait() caller owns the joins.
+  bool stopped_ = false;         ///< All threads joined.
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_SERVICE_SERVER_H_

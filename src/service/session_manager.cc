@@ -1,0 +1,227 @@
+#include "service/session_manager.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/session_journal.h"
+
+namespace falcon {
+namespace {
+
+StatusOr<SearchKind> ParseSearchKind(const std::string& name) {
+  for (SearchKind k :
+       {SearchKind::kBfs, SearchKind::kDfs, SearchKind::kDucc,
+        SearchKind::kDive, SearchKind::kCoDive, SearchKind::kOffline}) {
+    if (name == SearchKindName(k)) return k;
+  }
+  return Status::InvalidArgument("unknown search algorithm: " + name);
+}
+
+}  // namespace
+
+SessionManager::SessionManager(ServiceLimits limits)
+    : limits_(std::move(limits)) {}
+
+SessionManager::~SessionManager() { CloseAll(); }
+
+StatusOr<std::shared_ptr<const CleaningWorkload>> SessionManager::GetBase(
+    const std::string& dataset, double scale) {
+  // Key includes the scale so differently-sized instances of one dataset
+  // coexist; %g keeps the key stable for equal doubles.
+  char key[128];
+  std::snprintf(key, sizeof key, "%s@%g", dataset.c_str(), scale);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = bases_.find(key);
+    if (it != bases_.end()) return it->second;
+  }
+  // Build outside the lock: workload generation takes seconds at scale and
+  // must not block unrelated sessions. A racing open of the same dataset
+  // builds twice; first insert wins and both get the same table.
+  FALCON_ASSIGN_OR_RETURN(CleaningWorkload w,
+                          MakeCleaningWorkload(dataset, scale));
+  auto base = std::make_shared<const CleaningWorkload>(std::move(w));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = bases_.emplace(key, std::move(base));
+  return it->second;
+}
+
+StatusOr<std::string> SessionManager::Open(const OpenParams& params) {
+  FALCON_ASSIGN_OR_RETURN(SearchKind kind, ParseSearchKind(params.algorithm));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= limits_.max_sessions) {
+      return Status::Unavailable(
+          "session table full (" + std::to_string(limits_.max_sessions) +
+          " live sessions); close one or retry later");
+    }
+  }
+  FALCON_ASSIGN_OR_RETURN(auto base, GetBase(params.dataset, params.scale));
+
+  auto s = std::make_shared<ServiceSession>(base);
+  s->dataset = params.dataset;
+  // The oracle mirrors the session's internal construction
+  // (question_mistake_prob, seed + 1) so an answer-free service run is
+  // bit-identical to a serial RunCleaning with the same options.
+  s->oracle = std::make_unique<ScriptedOracle>(
+      &base->clean, params.question_mistake_prob, params.seed + 1);
+  s->algorithm = MakeSearchAlgorithm(kind);
+
+  SessionOptions options;
+  options.budget = params.budget;
+  options.seed = params.seed;
+  options.question_mistake_prob = params.question_mistake_prob;
+  options.update_mistake_prob = params.update_mistake_prob;
+  options.oracle = s->oracle.get();
+  if (limits_.posting_budget_bytes > 0) {
+    options.posting_budget_bytes =
+        limits_.posting_budget_bytes / limits_.max_sessions;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= limits_.max_sessions) {
+    return Status::Unavailable("session table full");
+  }
+  s->id = "s-" + std::to_string(next_id_++);
+  if (!limits_.journal_dir.empty()) {
+    options.journal_path = limits_.journal_dir + "/" + s->id + ".journal";
+  }
+  s->session = std::make_unique<CleaningSession>(
+      &base->clean, &s->working, s->algorithm.get(), options);
+  s->Touch();
+  sessions_.emplace(s->id, s);
+  return s->id;
+}
+
+StatusOr<std::shared_ptr<SessionManager::ServiceSession>>
+SessionManager::Lookup(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + id);
+  }
+  return it->second;
+}
+
+SessionStatus SessionManager::Snapshot(const ServiceSession& s) {
+  SessionStatus st;
+  st.id = s.id;
+  st.dataset = s.dataset;
+  st.finished = s.session->finished();
+  st.pending_cells = s.session->pending_cells();
+  st.queued_verdicts = s.oracle->queued();
+  st.repairs = s.session->log().size();
+  st.table_crc = TableContentsCrc(s.working);
+  st.metrics = s.session->metrics();
+  return st;
+}
+
+StatusOr<SessionStatus> SessionManager::Step(const std::string& id,
+                                             size_t max_episodes) {
+  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed) return Status::NotFound("session closed: " + id);
+  auto metrics = s->session->RunSteps(max_episodes);
+  s->Touch();
+  FALCON_RETURN_IF_ERROR(metrics.status());
+  return Snapshot(*s);
+}
+
+Status SessionManager::UpdateCell(const std::string& id, uint32_t row,
+                                  uint32_t col, const std::string& value) {
+  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed) return Status::NotFound("session closed: " + id);
+  FALCON_RETURN_IF_ERROR(s->session->SubmitUpdate(row, col, value));
+  s->Touch();
+  return Status::Ok();
+}
+
+Status SessionManager::Answer(const std::string& id, bool valid) {
+  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed) return Status::NotFound("session closed: " + id);
+  s->oracle->QueueVerdict(valid);
+  s->Touch();
+  return Status::Ok();
+}
+
+StatusOr<SessionStatus> SessionManager::Info(const std::string& id) {
+  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed) return Status::NotFound("session closed: " + id);
+  s->Touch();
+  return Snapshot(*s);
+}
+
+Status SessionManager::Retract(const std::string& id, size_t repair_index) {
+  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed) return Status::NotFound("session closed: " + id);
+  FALCON_RETURN_IF_ERROR(s->session->RetractRule(repair_index));
+  s->Touch();
+  return Status::Ok();
+}
+
+Status SessionManager::Close(const std::string& id) {
+  std::shared_ptr<ServiceSession> s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no such session: " + id);
+    }
+    s = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Wait for any in-flight operation, then tear the session down while we
+  // still hold its lock; stragglers holding the shared_ptr see `closed`.
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->closed = true;
+  s->session.reset();
+  s->algorithm.reset();
+  s->oracle.reset();
+  return Status::Ok();
+}
+
+size_t SessionManager::EvictIdle() {
+  if (limits_.idle_timeout_s <= 0) return 0;
+  const int64_t now_ns =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  const int64_t timeout_ns =
+      static_cast<int64_t>(limits_.idle_timeout_s * 1e9);
+  std::vector<std::string> idle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, s] : sessions_) {
+      if (now_ns - s->last_active_ns.load(std::memory_order_relaxed) >
+          timeout_ns) {
+        idle.push_back(id);
+      }
+    }
+  }
+  size_t evicted = 0;
+  for (const std::string& id : idle) {
+    evicted += Close(id).ok();
+  }
+  return evicted;
+}
+
+void SessionManager::CloseAll() {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, s] : sessions_) ids.push_back(id);
+  }
+  for (const std::string& id : ids) {
+    Status st = Close(id);
+    (void)st;
+  }
+}
+
+size_t SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace falcon

@@ -1,0 +1,163 @@
+// SessionManager: N concurrent cleaning sessions over shared immutable
+// dataset snapshots.
+//
+// Threading model
+//   - A manager-level mutex guards the session registry and the dataset
+//     cache; it is held only for lookups/insertions, never across session
+//     work.
+//   - Each session has its own mutex serializing all operations on it
+//     (step, update_cell, answer, retract, status, close). Two requests
+//     for the same session queue up; requests for different sessions run
+//     fully in parallel.
+//
+// Snapshot model (copy-on-write)
+//   - The first open of a (dataset, scale) pair builds the workload once
+//     and caches it as an immutable shared base (clean + dirty tables and
+//     their common ValuePool, which is thread-safe).
+//   - Each session's working table is a COW clone of the shared dirty
+//     base: Clone() is O(arity) and shares column buffers; a session's
+//     first write to a column detaches a private copy. The clean table is
+//     read in place by every session concurrently — nothing writes it.
+//
+// Isolation: per-session journal file, RNG seed, oracle, search-algorithm
+// instance, and a slice of the global posting-index byte budget
+// (total / max_sessions), so one session's cache pressure cannot starve
+// the others.
+#ifndef FALCON_SERVICE_SESSION_MANAGER_H_
+#define FALCON_SERVICE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/search.h"
+#include "core/session.h"
+#include "datagen/workload.h"
+#include "service/scripted_oracle.h"
+
+namespace falcon {
+
+/// Manager-wide limits, fixed at construction.
+struct ServiceLimits {
+  /// Open() fails with kUnavailable once this many sessions are live.
+  size_t max_sessions = 8;
+  /// Total posting-index byte budget, sliced evenly across max_sessions
+  /// (0 = unbounded caches).
+  size_t posting_budget_bytes = 0;
+  /// Directory for per-session write-ahead journals ("" disables
+  /// journaling).
+  std::string journal_dir;
+  /// Sessions idle longer than this are closed by EvictIdle() (0 = never).
+  double idle_timeout_s = 0.0;
+};
+
+/// Per-session view returned by Step/Info.
+struct SessionStatus {
+  std::string id;
+  std::string dataset;
+  bool finished = false;
+  size_t pending_cells = 0;    ///< Worklist + queued external updates.
+  size_t queued_verdicts = 0;  ///< Client answers not yet consumed.
+  size_t repairs = 0;          ///< Repair-log entries (retract indexes).
+  uint32_t table_crc = 0;      ///< TableContentsCrc of the working table.
+  SessionMetrics metrics;
+};
+
+class SessionManager {
+ public:
+  /// Parameters of one `open_session` request.
+  struct OpenParams {
+    std::string dataset = "Synth10k";
+    double scale = 1.0;
+    uint64_t seed = 1234;
+    size_t budget = 3;
+    double question_mistake_prob = 0.0;
+    double update_mistake_prob = 0.0;
+    std::string algorithm = "CoDive";
+  };
+
+  explicit SessionManager(ServiceLimits limits);
+  ~SessionManager();
+
+  /// Creates a session; returns its id ("s-<n>"). kUnavailable when the
+  /// session table is full (admission control — the caller should retry
+  /// after a close or eviction).
+  StatusOr<std::string> Open(const OpenParams& params);
+
+  /// Runs up to `max_episodes` cleaning episodes (0 = to convergence).
+  StatusOr<SessionStatus> Step(const std::string& id, size_t max_episodes);
+
+  /// Queues an analyst cell repair; the next episode executes it.
+  Status UpdateCell(const std::string& id, uint32_t row, uint32_t col,
+                    const std::string& value);
+
+  /// Queues a validity verdict consumed by the next oracle question.
+  Status Answer(const std::string& id, bool valid);
+
+  /// Metrics + progress snapshot without running anything.
+  StatusOr<SessionStatus> Info(const std::string& id);
+
+  /// Retracts applied-repair log entry `repair_index` (newest-first rule
+  /// applies; see CleaningSession::RetractRule).
+  Status Retract(const std::string& id, size_t repair_index);
+
+  /// Closes and destroys the session (waits for an in-flight operation).
+  Status Close(const std::string& id);
+
+  /// Closes sessions idle past the configured timeout; returns how many.
+  size_t EvictIdle();
+
+  /// Graceful drain: closes every session, waiting for in-flight work.
+  void CloseAll();
+
+  size_t active_sessions() const;
+  const ServiceLimits& limits() const { return limits_; }
+
+ private:
+  struct ServiceSession {
+    std::string id;
+    std::string dataset;
+    std::mutex mu;  ///< Serializes all operations on this session.
+    std::shared_ptr<const CleaningWorkload> base;
+    Table working;  ///< COW clone of base->dirty.
+    std::unique_ptr<ScriptedOracle> oracle;
+    std::unique_ptr<SearchAlgorithm> algorithm;
+    std::unique_ptr<CleaningSession> session;
+    /// steady_clock nanos of the last finished operation; atomic so the
+    /// idle sweeper can read it without taking mu.
+    std::atomic<int64_t> last_active_ns{0};
+    /// Set (under mu) once Close ran; late arrivals holding the shared_ptr
+    /// observe it and report NotFound.
+    bool closed = false;
+
+    ServiceSession(std::shared_ptr<const CleaningWorkload> b)
+        : base(std::move(b)), working(base->dirty.Clone()) {}
+    void Touch() {
+      last_active_ns.store(std::chrono::steady_clock::now()
+                               .time_since_epoch()
+                               .count(),
+                           std::memory_order_relaxed);
+    }
+  };
+
+  /// Builds or fetches the shared immutable base for (dataset, scale).
+  StatusOr<std::shared_ptr<const CleaningWorkload>> GetBase(
+      const std::string& dataset, double scale);
+
+  StatusOr<std::shared_ptr<ServiceSession>> Lookup(const std::string& id);
+  static SessionStatus Snapshot(const ServiceSession& s);
+
+  const ServiceLimits limits_;
+  mutable std::mutex mu_;  ///< Guards sessions_, bases_, next_id_.
+  std::map<std::string, std::shared_ptr<ServiceSession>> sessions_;
+  std::map<std::string, std::shared_ptr<const CleaningWorkload>> bases_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_SERVICE_SESSION_MANAGER_H_

@@ -85,5 +85,49 @@ TEST(FlagsTest, EmptyValueAndEqualsInValue) {
   EXPECT_EQ(f.GetString("sql"), "SELECT a=b");
 }
 
+TEST(FlagsTest, DoneReturnsNulloptWhenAllFlagsKnown) {
+  Flags f = Make({"--rows=5", "--verbose"});
+  f.GetInt("rows", 0, "row count");
+  f.GetBool("verbose", false, "chatty output");
+  EXPECT_EQ(f.Done("tool — test"), std::nullopt);
+}
+
+TEST(FlagsTest, DoneHandlesHelp) {
+  Flags f = Make({"--help"});
+  f.GetInt("rows", 10, "row count");
+  auto rc = f.Done("tool — test");
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(*rc, 0);
+}
+
+TEST(FlagsTest, DoneRejectsUnknownFlags) {
+  Flags f = Make({"--rows=5", "--tpyo=1"});
+  f.GetInt("rows", 0, "row count");
+  auto rc = f.Done("tool — test");
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(*rc, 2);
+}
+
+TEST(FlagsTest, PositionalArgumentsAreNotUnknownFlags) {
+  Flags f = Make({"subcommand", "arg"});
+  EXPECT_EQ(f.Done("tool — test"), std::nullopt);
+}
+
+TEST(FlagsTest, DescribeRegistersWithoutReading) {
+  // A flag only read inside an untaken branch still counts as known.
+  Flags f = Make({"--only-for-subcommand=x"});
+  f.Describe("only-for-subcommand", "\"\"", "used by one subcommand");
+  EXPECT_EQ(f.Done("tool — test"), std::nullopt);
+}
+
+TEST(FlagsTest, FirstRegistrationWinsInHelp) {
+  // Repeat getter calls with different defaults (per-subcommand reuse)
+  // must not duplicate the --help row; the first default is displayed.
+  Flags f = Make({});
+  f.GetInt("budget", 3, "question budget");
+  f.GetInt("budget", 5);
+  EXPECT_EQ(f.Done("tool — test"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace falcon

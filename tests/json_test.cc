@@ -1,0 +1,162 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace falcon {
+namespace {
+
+TEST(JsonValueTest, DefaultIsNull) {
+  JsonValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.Serialize(), "null");
+}
+
+TEST(JsonValueTest, Scalars) {
+  EXPECT_EQ(JsonValue(true).Serialize(), "true");
+  EXPECT_EQ(JsonValue(false).Serialize(), "false");
+  EXPECT_EQ(JsonValue(42).Serialize(), "42");
+  EXPECT_EQ(JsonValue(int64_t{-7}).Serialize(), "-7");
+  EXPECT_EQ(JsonValue(size_t{9}).Serialize(), "9");
+  EXPECT_EQ(JsonValue(1.5).Serialize(), "1.5");
+  EXPECT_EQ(JsonValue("hi").Serialize(), "\"hi\"");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", 1).Set("a", 2).Set("c", "x");
+  EXPECT_EQ(obj.Serialize(), "{\"b\":1,\"a\":2,\"c\":\"x\"}");
+}
+
+TEST(JsonValueTest, SetOverwritesExistingKeyInPlace) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("a", 1).Set("b", 2).Set("a", 3);
+  EXPECT_EQ(obj.Serialize(), "{\"a\":3,\"b\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(JsonValueTest, KeyedGettersWithDefaults) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("s", "str").Set("i", 12).Set("d", 2.5).Set("b", true);
+  EXPECT_EQ(obj.GetString("s"), "str");
+  EXPECT_EQ(obj.GetInt("i"), 12);
+  EXPECT_DOUBLE_EQ(obj.GetDouble("d"), 2.5);
+  EXPECT_TRUE(obj.GetBool("b"));
+  // Absent keys and type mismatches fall back to the default.
+  EXPECT_EQ(obj.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(obj.GetInt("s", -1), -1);
+  EXPECT_FALSE(obj.Has("missing"));
+  // Numbers coerce across int/double in keyed getters.
+  EXPECT_DOUBLE_EQ(obj.GetDouble("i"), 12.0);
+  EXPECT_EQ(obj.GetInt("d"), 2);
+}
+
+TEST(JsonValueTest, ArrayAppend) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1).Append("two").Append(JsonValue());
+  EXPECT_EQ(arr.Serialize(), "[1,\"two\",null]");
+  EXPECT_EQ(arr.size(), 3u);
+}
+
+TEST(JsonValueTest, EscapesControlAndQuoteCharacters) {
+  JsonValue v(std::string("a\"b\\c\n\t\x01"));
+  EXPECT_EQ(v.Serialize(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonValueTest, SerializeIsSingleLine) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("text", "line1\nline2");
+  EXPECT_EQ(obj.Serialize().find('\n'), std::string::npos);
+}
+
+TEST(JsonParseTest, RoundTripsNestedValue) {
+  const std::string text =
+      "{\"verb\":\"open_session\",\"seed\":1234,\"opts\":{\"budget\":3,"
+      "\"mistake\":0.05},\"tags\":[\"a\",\"b\"],\"fresh\":true,"
+      "\"note\":null}";
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Serialize(), text);
+  EXPECT_EQ(parsed->GetString("verb"), "open_session");
+  EXPECT_EQ(parsed->GetInt("seed"), 1234);
+  const JsonValue* opts = parsed->Find("opts");
+  ASSERT_NE(opts, nullptr);
+  EXPECT_DOUBLE_EQ(opts->GetDouble("mistake"), 0.05);
+  const JsonValue* tags = parsed->Find("tags");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_EQ(tags->size(), 2u);
+  EXPECT_EQ(tags->items()[1].AsString(), "b");
+}
+
+TEST(JsonParseTest, IntegralLiteralsKeepInt64Fidelity) {
+  auto v = JsonValue::Parse("9007199254740993");  // 2^53 + 1.
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), JsonValue::Type::kInt);
+  EXPECT_EQ(v->AsInt(), int64_t{9007199254740993});
+}
+
+TEST(JsonParseTest, NonIntegralLiteralsParseAsDouble) {
+  for (const char* text : {"1.25", "1e3", "-2.5E-1"}) {
+    auto v = JsonValue::Parse(text);
+    ASSERT_TRUE(v.ok()) << text;
+    EXPECT_EQ(v->type(), JsonValue::Type::kDouble) << text;
+  }
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3")->AsDouble(), 1000.0);
+}
+
+TEST(JsonParseTest, EscapesAndUnicode) {
+  auto v = JsonValue::Parse("\"a\\n\\t\\\"\\\\\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\n\t\"\\A\xC3\xA9");
+}
+
+TEST(JsonParseTest, SurrogatePairDecodesToUtf8) {
+  auto v = JsonValue::Parse("\"\\ud83d\\ude00\"");  // U+1F600.
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                        // empty
+      "{",                       // unterminated object
+      "[1,",                     // unterminated array
+      "\"abc",                   // unterminated string
+      "{\"a\":1} extra",         // trailing garbage
+      "{'a':1}",                 // wrong quotes
+      "{\"a\" 1}",               // missing colon
+      "[1 2]",                   // missing comma
+      "tru",                     // bad literal
+      "01",                      // leading zero... actually valid prefix
+      "\"\\x41\"",               // bad escape
+      "\"\\ud800\"",             // unpaired surrogate
+      "\"a\nb\"",                // raw control char in string
+      "nan",                     // not a JSON literal
+  };
+  for (const char* text : bad) {
+    if (std::string(text) == "01") continue;  // covered below
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << text;
+  }
+  // "01" parses "0" then rejects the trailing "1".
+  EXPECT_FALSE(JsonValue::Parse("01").ok());
+}
+
+TEST(JsonParseTest, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  // 32 levels is fine.
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(JsonValue::Parse(ok).ok());
+}
+
+TEST(JsonParseTest, AllowsSurroundingWhitespace) {
+  auto v = JsonValue::Parse("  \t\n {\"a\": [1, 2]} \r\n ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Serialize(), "{\"a\":[1,2]}");
+}
+
+}  // namespace
+}  // namespace falcon

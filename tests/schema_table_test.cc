@@ -124,6 +124,55 @@ TEST(TableTest, CountDiffCells) {
   EXPECT_EQ(t.CountDiffCells(copy), 2u);
 }
 
+TEST(TableTest, CloneSharesColumnStorageUntilWritten) {
+  Table t("T", DrugSchema());
+  t.AppendRow({"a", "statin", "Austin", "200"});
+  t.AppendRow({"b", "other", "Boston", "100"});
+  EXPECT_EQ(t.SharedColumnCount(), 0u);
+
+  Table copy = t.Clone();
+  // All four columns are shared on both sides — Clone is O(arity).
+  EXPECT_EQ(t.SharedColumnCount(), 4u);
+  EXPECT_EQ(copy.SharedColumnCount(), 4u);
+
+  // Writing one cell detaches exactly that column; the rest stay shared.
+  copy.SetCellText(0, 2, "Boston");
+  EXPECT_EQ(copy.SharedColumnCount(), 3u);
+  EXPECT_EQ(t.SharedColumnCount(), 3u);
+  EXPECT_EQ(t.CellText(0, 2), "Austin");
+
+  // A second write to the already-private column detaches nothing more.
+  copy.SetCellText(1, 2, "Austin");
+  EXPECT_EQ(copy.SharedColumnCount(), 3u);
+}
+
+TEST(TableTest, ManySnapshotsLeaveBaseUntouched) {
+  Table base("T", DrugSchema());
+  for (int i = 0; i < 64; ++i) {
+    base.AppendRow({"id" + std::to_string(i), "statin", "Austin", "200"});
+  }
+  std::vector<Table> snaps;
+  for (int s = 0; s < 8; ++s) snaps.push_back(base.Clone());
+  for (int s = 0; s < 8; ++s) {
+    snaps[s].SetCellText(static_cast<size_t>(s), 2, "Boston");
+  }
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(base.CountDiffCells(snaps[s]), 1u) << "snapshot " << s;
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(base.CellText(i, 2), "Austin");
+}
+
+TEST(TableTest, WritingTheBaseDetachesFromSnapshots) {
+  // COW must protect both directions: a clone is also isolated from later
+  // writes to the table it was cloned from.
+  Table t("T", DrugSchema());
+  t.AppendRow({"a", "statin", "Austin", "200"});
+  Table snap = t.Clone();
+  t.SetCellText(0, 3, "999");
+  EXPECT_EQ(snap.CellText(0, 3), "200");
+  EXPECT_EQ(t.CellText(0, 3), "999");
+}
+
 TEST(TableTest, ToStringTruncates) {
   Table t("T", Schema({"A"}));
   for (int i = 0; i < 30; ++i) t.AppendRow({std::to_string(i)});

@@ -1,0 +1,167 @@
+// Session isolation: concurrent cleaning sessions over copy-on-write
+// clones of one shared dirty base must produce bit-identical outcomes to
+// running each session alone. Exercises the thread-safe ValuePool, the
+// COW column sharing in Table, and stepwise (RunSteps) interleaving; the
+// multithreaded cases run under TSan in CI.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "core/session_journal.h"
+#include "datagen/workload.h"
+
+namespace falcon {
+namespace {
+
+constexpr double kScale = 0.02;
+
+struct Outcome {
+  SessionMetrics metrics;
+  uint32_t crc = 0;
+};
+
+bool SameOutcome(const Outcome& a, const Outcome& b) {
+  return a.metrics.user_updates == b.metrics.user_updates &&
+         a.metrics.user_answers == b.metrics.user_answers &&
+         a.metrics.cells_repaired == b.metrics.cells_repaired &&
+         a.metrics.queries_applied == b.metrics.queries_applied &&
+         a.metrics.converged == b.metrics.converged && a.crc == b.crc;
+}
+
+/// A session running over a COW clone of `base.dirty`, steppable.
+struct Harness {
+  explicit Harness(const CleaningWorkload& base, uint64_t seed)
+      : working(base.dirty.Clone()),
+        algorithm(MakeSearchAlgorithm(SearchKind::kCoDive)) {
+    SessionOptions options;
+    options.seed = seed;
+    session = std::make_unique<CleaningSession>(&base.clean, &working,
+                                                algorithm.get(), options);
+  }
+  Outcome Finish() {
+    auto metrics = session->RunSteps(0);
+    EXPECT_TRUE(metrics.ok());
+    return Outcome{*metrics, TableContentsCrc(working)};
+  }
+
+  Table working;
+  std::unique_ptr<SearchAlgorithm> algorithm;
+  std::unique_ptr<CleaningSession> session;
+};
+
+Outcome RunSolo(const CleaningWorkload& base, uint64_t seed) {
+  Harness h(base, seed);
+  return h.Finish();
+}
+
+TEST(SessionIsolationTest, InterleavedSessionsMatchSolo_SameDataset) {
+  auto base = MakeCleaningWorkload("Synth10k", kScale);
+  ASSERT_TRUE(base.ok());
+  Outcome solo5 = RunSolo(*base, 5);
+  Outcome solo6 = RunSolo(*base, 6);
+  // Both must actually repair something — bit-identity over empty runs
+  // would prove nothing. (Converged tables equal the clean table, so equal
+  // CRCs across seeds are expected, not suspicious.)
+  ASSERT_GT(solo5.metrics.cells_repaired, 0u);
+  ASSERT_GT(solo6.metrics.cells_repaired, 0u);
+
+  // Interleave one episode at a time on a single thread.
+  Harness a(*base, 5);
+  Harness b(*base, 6);
+  bool a_done = false, b_done = false;
+  while (!a_done || !b_done) {
+    if (!a_done) {
+      auto m = a.session->RunSteps(1);
+      ASSERT_TRUE(m.ok());
+      a_done = a.session->finished();
+    }
+    if (!b_done) {
+      auto m = b.session->RunSteps(1);
+      ASSERT_TRUE(m.ok());
+      b_done = b.session->finished();
+    }
+  }
+  Outcome ia{a.session->metrics(), TableContentsCrc(a.working)};
+  Outcome ib{b.session->metrics(), TableContentsCrc(b.working)};
+  EXPECT_TRUE(SameOutcome(ia, solo5));
+  EXPECT_TRUE(SameOutcome(ib, solo6));
+}
+
+TEST(SessionIsolationTest, InterleavedSessionsMatchSolo_DifferentDatasets) {
+  auto synth = MakeCleaningWorkload("Synth10k", kScale);
+  auto soccer = MakeCleaningWorkload("Soccer", 1.0);
+  ASSERT_TRUE(synth.ok() && soccer.ok());
+  Outcome solo_synth = RunSolo(*synth, 5);
+  Outcome solo_soccer = RunSolo(*soccer, 5);
+
+  Harness a(*synth, 5);
+  Harness b(*soccer, 5);
+  bool a_done = false, b_done = false;
+  while (!a_done || !b_done) {
+    if (!a_done) {
+      ASSERT_TRUE(a.session->RunSteps(1).ok());
+      a_done = a.session->finished();
+    }
+    if (!b_done) {
+      ASSERT_TRUE(b.session->RunSteps(1).ok());
+      b_done = b.session->finished();
+    }
+  }
+  Outcome ia{a.session->metrics(), TableContentsCrc(a.working)};
+  Outcome ib{b.session->metrics(), TableContentsCrc(b.working)};
+  EXPECT_TRUE(SameOutcome(ia, solo_synth));
+  EXPECT_TRUE(SameOutcome(ib, solo_soccer));
+}
+
+TEST(SessionIsolationTest, ConcurrentSessionsMatchSolo) {
+  auto base = MakeCleaningWorkload("Synth10k", kScale);
+  ASSERT_TRUE(base.ok());
+  constexpr size_t kSessions = 4;
+  std::vector<Outcome> solo;
+  for (size_t i = 0; i < kSessions; ++i) {
+    solo.push_back(RunSolo(*base, 100 + i));
+  }
+
+  // All sessions share the base tables and ValuePool; each steps its own
+  // COW clone on its own thread.
+  std::vector<Outcome> concurrent(kSessions);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      Harness h(*base, 100 + i);
+      while (!h.session->finished()) {
+        auto m = h.session->RunSteps(1);
+        ASSERT_TRUE(m.ok());
+      }
+      concurrent[i] =
+          Outcome{h.session->metrics(), TableContentsCrc(h.working)};
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t i = 0; i < kSessions; ++i) {
+    EXPECT_TRUE(SameOutcome(concurrent[i], solo[i])) << "session " << i;
+  }
+  // The shared dirty base itself must be untouched.
+  EXPECT_EQ(base->dirty.CountDiffCells(base->dirty.Clone()), 0u);
+}
+
+TEST(SessionIsolationTest, ConcurrentMixedDatasetsMatchSolo) {
+  auto synth = MakeCleaningWorkload("Synth10k", kScale);
+  auto soccer = MakeCleaningWorkload("Soccer", 1.0);
+  ASSERT_TRUE(synth.ok() && soccer.ok());
+  Outcome solo_synth = RunSolo(*synth, 42);
+  Outcome solo_soccer = RunSolo(*soccer, 42);
+
+  Outcome got_synth, got_soccer;
+  std::thread ta([&] { got_synth = RunSolo(*synth, 42); });
+  std::thread tb([&] { got_soccer = RunSolo(*soccer, 42); });
+  ta.join();
+  tb.join();
+  EXPECT_TRUE(SameOutcome(got_synth, solo_synth));
+  EXPECT_TRUE(SameOutcome(got_soccer, solo_soccer));
+}
+
+}  // namespace
+}  // namespace falcon

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace falcon {
@@ -84,6 +85,85 @@ TEST(ThreadPoolTest, ParseThreadCountRejectsGarbage) {
   }
   // Absurdly large (but parseable) counts are capped out as invalid too.
   EXPECT_FALSE(ParseThreadCount("100000").ok());
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Regression: a shard calling ParallelFor on the same pool used to be
+  // able to deadlock — every worker blocked waiting for shards only a
+  // worker could run. The outer caller and busy workers must help drain
+  // the queue instead of parking.
+  ThreadPool pool(2);
+  std::atomic<size_t> inner_total{0};
+  pool.ParallelFor(8, 1, [&](size_t ob, size_t oe) {
+    for (size_t o = ob; o < oe; ++o) {
+      pool.ParallelFor(100, 1, [&](size_t b, size_t e) {
+        inner_total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8u * 100u);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<size_t> leaves{0};
+  pool.ParallelFor(4, 1, [&](size_t b1, size_t e1) {
+    for (size_t i = b1; i < e1; ++i) {
+      pool.ParallelFor(4, 1, [&](size_t b2, size_t e2) {
+        for (size_t j = b2; j < e2; ++j) {
+          pool.ParallelFor(4, 1, [&](size_t b3, size_t e3) {
+            leaves.fetch_add(e3 - b3);
+          });
+        }
+      });
+    }
+  });
+  EXPECT_EQ(leaves.load(), 4u * 4u * 4u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersFromManyThreads) {
+  // Several service sessions issue parallel kernels against the one global
+  // pool simultaneously; each call must retire exactly its own shards.
+  ThreadPool pool(3);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kRounds = 25;
+  std::vector<std::thread> callers;
+  std::atomic<size_t> failures{0};
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (size_t r = 0; r < kRounds; ++r) {
+        const size_t n = 500 + 37 * c + r;
+        std::atomic<size_t> covered{0};
+        pool.ParallelFor(n, 8, [&](size_t b, size_t e) {
+          covered.fetch_add(e - b);
+        });
+        if (covered.load() != n) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersWithNesting) {
+  // The worst case the service hits in practice: concurrent outer calls
+  // whose shards themselves fan out on the same pool.
+  ThreadPool pool(2);
+  std::vector<std::thread> callers;
+  std::atomic<size_t> total{0};
+  for (size_t c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      pool.ParallelFor(4, 1, [&](size_t ob, size_t oe) {
+        for (size_t o = ob; o < oe; ++o) {
+          pool.ParallelFor(64, 1, [&](size_t b, size_t e) {
+            total.fetch_add(e - b);
+          });
+        }
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4u * 4u * 64u);
 }
 
 TEST(ThreadPoolTest, GlobalPoolIsUsable) {
