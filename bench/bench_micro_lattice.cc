@@ -1,35 +1,59 @@
-// Google-benchmark micro benchmarks for the lattice hot paths: bottom-up
-// construction (view rewriting vs. naive per-node scans), incremental
-// maintenance after an applied rule, closed-rule-set computation, and the
-// validity inference sweeps.
-#include <benchmark/benchmark.h>
+// Lattice micro benchmark: lazy memoized materialization vs. the legacy
+// eager build, on the lattice hot paths. Three sections:
+//
+//  1. Build cost: Lattice::Build with lazy materialization (bottom node +
+//     predicate bitmaps only) vs. the eager chain (every node ANDed up
+//     front), across lattice widths. The headline `build_speedup` is the
+//     widest configuration.
+//  2. Count access: serial per-node ancestor-chain counting vs. the
+//     batched EnsureCounts path (level-parallel materialization + fused
+//     AndCount shards), plus the laziness ratio after counting the full
+//     frontier — even a complete count materializes only the lowest-set-bit
+//     parents, so nodes_materialized stays below nodes_total.
+//  3. Full cleaning sessions lazy vs. eager: the determinism gate. All
+//     interaction metrics must be bit-identical; the lazy run must report
+//     nodes_materialized < nodes_total and its IntersectionMemo hit rate.
+//
+// Emits BENCH_micro_lattice.json. Exit code 1 when the determinism gate
+// fails or the lazy path degenerates to full materialization. Default 500k
+// rows; --quick shrinks to 50k for CI smoke, --scale=<f> multiplies rows.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "common/logging.h"
+#include "bench_util.h"
 #include "core/lattice.h"
+#include "core/session.h"
 #include "datagen/datasets.h"
 #include "errorgen/injector.h"
+#include "relational/posting_index.h"
 
-namespace falcon {
+using namespace falcon;
+
 namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 struct Fixture {
   Table clean;
   Table dirty;
   Repair repair;
-  std::vector<size_t> cols;
+  std::vector<size_t> cols;  // Candidate WHERE columns (repair col excluded).
 };
 
-Fixture MakeFixture(size_t rows, size_t attrs) {
-  auto ds = MakeSynth(rows, 41);
-  FALCON_CHECK(ds.ok());
-  auto dirty = InjectErrors(ds->clean, ds->error_spec);
-  FALCON_CHECK(dirty.ok());
-  const ErrorCell& e = dirty->errors.front();
+Fixture MakeFixture(const Table& clean, const Table& dirty,
+                    const ErrorCell& e, size_t attrs) {
   Fixture f;
-  f.clean = ds->clean.Clone();
-  f.dirty = dirty->dirty.Clone();
+  f.clean = clean.Clone();
+  f.dirty = dirty.Clone();
   f.repair = Repair{e.row, e.col,
-                    std::string(ds->clean.pool()->Get(e.clean_value))};
+                    std::string(clean.pool()->Get(e.clean_value))};
   for (size_t c = 0; c < f.dirty.num_cols() && f.cols.size() + 1 < attrs;
        ++c) {
     if (c != e.col) f.cols.push_back(c);
@@ -37,74 +61,255 @@ Fixture MakeFixture(size_t rows, size_t attrs) {
   return f;
 }
 
-void BM_LatticeBuildViews(benchmark::State& state) {
-  Fixture f = MakeFixture(static_cast<size_t>(state.range(0)),
-                          static_cast<size_t>(state.range(1)));
-  for (auto _ : state) {
-    auto lat = Lattice::Build(f.dirty, f.repair, f.cols);
-    benchmark::DoNotOptimize(lat);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          (int64_t{1} << state.range(1)));
-}
-BENCHMARK(BM_LatticeBuildViews)
-    ->Args({10000, 6})
-    ->Args({10000, 8})
-    ->Args({10000, 10})
-    ->Args({50000, 8});
+struct BuildResult {
+  size_t attrs = 0;
+  double eager_ms = 0;
+  double lazy_ms = 0;
+  double speedup = 0;
+};
 
-void BM_LatticeBuildNaive(benchmark::State& state) {
-  Fixture f = MakeFixture(static_cast<size_t>(state.range(0)),
-                          static_cast<size_t>(state.range(1)));
-  LatticeOptions options;
-  options.naive_init = true;
-  for (auto _ : state) {
+// Average per-build wall time over `iters` builds (one untimed warm-up).
+double TimeBuilds(const Fixture& f, const LatticeOptions& options,
+                  size_t iters) {
+  { auto warm = Lattice::Build(f.dirty, f.repair, f.cols, options); }
+  double t0 = NowMs();
+  for (size_t i = 0; i < iters; ++i) {
     auto lat = Lattice::Build(f.dirty, f.repair, f.cols, options);
-    benchmark::DoNotOptimize(lat);
+    if (!lat.ok()) return -1;
   }
+  return (NowMs() - t0) / static_cast<double>(iters);
 }
-BENCHMARK(BM_LatticeBuildNaive)->Args({10000, 6})->Args({10000, 8});
 
-void BM_LatticeMaintenance(benchmark::State& state) {
-  Fixture f = MakeFixture(static_cast<size_t>(state.range(0)), 8);
-  auto lat = Lattice::Build(f.dirty, f.repair, f.cols);
-  FALCON_CHECK(lat.ok());
-  for (auto _ : state) {
-    state.PauseTiming();
-    Table scratch = f.dirty.Clone();
-    Lattice copy = *lat;
-    state.ResumeTiming();
-    copy.ApplyNode(copy.top() >> 1, scratch);
-  }
-}
-BENCHMARK(BM_LatticeMaintenance)->Arg(10000)->Arg(50000);
+struct SessionResult {
+  std::string name;
+  double wall_ms = 0;
+  SessionMetrics metrics;
+};
 
-void BM_ClosedSets(benchmark::State& state) {
-  Fixture f = MakeFixture(10000, static_cast<size_t>(state.range(0)));
-  auto lat = Lattice::Build(f.dirty, f.repair, f.cols);
-  FALCON_CHECK(lat.ok());
-  for (auto _ : state) {
-    Lattice copy = *lat;
-    benchmark::DoNotOptimize(copy.NumClosedSets());
-  }
+SessionResult RunSession(const std::string& name, const Table& clean,
+                         const Table& dirty, bool lazy) {
+  SessionOptions options;
+  options.budget = 1000;  // Effectively unbounded (Fig. 8 setting).
+  options.max_updates = 40;
+  options.lattice_attrs = 10;
+  options.lattice.lazy = lazy;
+  double t0 = NowMs();
+  auto m = RunCleaning(clean, dirty, SearchKind::kDive, options);
+  SessionResult r;
+  r.name = name;
+  r.wall_ms = NowMs() - t0;
+  if (m.ok()) r.metrics = *m;
+  return r;
 }
-BENCHMARK(BM_ClosedSets)->Arg(6)->Arg(8)->Arg(10);
 
-void BM_ValidityInference(benchmark::State& state) {
-  Fixture f = MakeFixture(5000, 10);
-  auto lat = Lattice::Build(f.dirty, f.repair, f.cols);
-  FALCON_CHECK(lat.ok());
-  NodeId mid = lat->top() >> (lat->num_attrs() / 2);
-  for (auto _ : state) {
-    Lattice copy = *lat;
-    copy.MarkValid(mid);
-    copy.MarkInvalid(mid >> 1);
-    benchmark::DoNotOptimize(copy.validity(0));
-  }
+void PrintSession(FILE* f, const SessionResult& r, bool trailing_comma) {
+  const SessionMetrics& m = r.metrics;
+  std::fprintf(f,
+               "    \"%s\": {\"wall_ms\": %.2f, \"lattice_build_ms\": %.3f, "
+               "\"lattice_maintain_ms\": %.3f, \"lattices_built\": %zu, "
+               "\"nodes_materialized\": %zu, \"nodes_total\": %zu, "
+               "\"fused_count_calls\": %zu, \"memo_hits\": %zu, "
+               "\"memo_misses\": %zu, \"user_updates\": %zu, "
+               "\"user_answers\": %zu, \"cells_repaired\": %zu, "
+               "\"queries_applied\": %zu}%s\n",
+               r.name.c_str(), r.wall_ms, m.lattice_build_ms,
+               m.lattice_maintain_ms, m.lattices_built, m.nodes_materialized,
+               m.nodes_total, m.fused_count_calls, m.lattice_memo_hits,
+               m.lattice_memo_misses, m.user_updates, m.user_answers,
+               m.cells_repaired, m.queries_applied,
+               trailing_comma ? "," : "");
 }
-BENCHMARK(BM_ValidityInference);
 
 }  // namespace
-}  // namespace falcon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = bench::ParseScale(flags);
+  size_t rows = static_cast<size_t>(500000.0 * scale);
+  if (bench::ParseQuick(flags)) rows = 50000;
+  if (auto rc = flags.Done(
+          "bench_micro_lattice — lazy vs eager lattice materialization")) {
+    return *rc;
+  }
+  bench::PrintBanner(
+      "bench_micro_lattice — lazy memoized materialization vs eager build",
+      "Section 5.1 lattice hot paths");
+
+  auto ds = MakeSynth(rows, 41);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset generation failed\n");
+    return 1;
+  }
+  // Concentrate the errors on one FD target (A2,A3 → A6): successive
+  // episodes repair tuples sharing predicate bindings, the regime where the
+  // cross-lattice IntersectionMemo earns its keep.
+  ErrorSpec spec;
+  spec.seed = 31;
+  RuleErrorSpec rule;
+  rule.rule.lhs = {"A2", "A3"};
+  rule.rule.rhs = "A6";
+  rule.num_patterns = 32;
+  rule.errors_per_pattern = std::max<size_t>(rows / 2500, 2);
+  spec.rule_errors = {rule};
+  auto injected = InjectErrors(ds->clean, spec);
+  if (!injected.ok()) {
+    std::fprintf(stderr, "error injection failed\n");
+    return 1;
+  }
+  const Table& clean = ds->clean;
+  const Table& dirty = injected->dirty;
+  const ErrorCell& e = injected->errors.front();
+  std::printf("rows=%zu cols=%zu errors=%zu\n", clean.num_rows(),
+              clean.num_cols(), injected->errors.size());
+
+  // --- Build cost: lazy vs eager across lattice widths ----------------------
+  std::vector<BuildResult> builds;
+  std::printf("\nbuild cost (per build, averaged):\n");
+  for (size_t attrs : {6u, 8u, 10u}) {
+    Fixture f = MakeFixture(clean, dirty, e, attrs);
+    LatticeOptions eager;
+    eager.lazy = false;
+    LatticeOptions lazy;  // lazy = true by default.
+    size_t iters = attrs >= 10 ? 3 : 5;
+    BuildResult b;
+    b.attrs = f.cols.size() + 1;
+    b.eager_ms = TimeBuilds(f, eager, iters);
+    b.lazy_ms = TimeBuilds(f, lazy, iters);
+    b.speedup = b.eager_ms / std::max(b.lazy_ms, 1e-6);
+    builds.push_back(b);
+    std::printf("  k=%-2zu (%5zu nodes): eager %9.3f ms  lazy %9.3f ms  "
+                "speedup %.1fx\n",
+                b.attrs, size_t{1} << b.attrs, b.eager_ms, b.lazy_ms,
+                b.speedup);
+  }
+  double build_speedup = builds.back().speedup;
+
+  // --- Count access: serial chain vs batched EnsureCounts -------------------
+  Fixture cf = MakeFixture(clean, dirty, e, 10);
+  auto serial_lat = Lattice::Build(cf.dirty, cf.repair, cf.cols);
+  auto batch_lat = Lattice::Build(cf.dirty, cf.repair, cf.cols);
+  if (!serial_lat.ok() || !batch_lat.ok()) {
+    std::fprintf(stderr, "lattice build failed\n");
+    return 1;
+  }
+  std::vector<NodeId> all_nodes;
+  for (NodeId m = 0; m < serial_lat->num_nodes(); ++m) {
+    all_nodes.push_back(m);
+  }
+  double s0 = NowMs();
+  for (NodeId m : all_nodes) serial_lat->Count(m);
+  double serial_count_ms = NowMs() - s0;
+  double b0 = NowMs();
+  batch_lat->EnsureCounts(all_nodes);
+  double batch_count_ms = NowMs() - b0;
+  bool counts_match = true;
+  for (NodeId m : all_nodes) {
+    counts_match = counts_match && serial_lat->Count(m) == batch_lat->Count(m);
+  }
+  size_t count_materialized = batch_lat->lazy_stats().nodes_materialized;
+  size_t count_total = batch_lat->num_nodes();
+  std::printf("\nfull-frontier counts (%zu nodes): serial %0.3f ms  batched "
+              "%0.3f ms  (%.1fx); materialized %zu/%zu nodes; counts %s\n",
+              all_nodes.size(), serial_count_ms, batch_count_ms,
+              serial_count_ms / std::max(batch_count_ms, 1e-6),
+              count_materialized, count_total,
+              counts_match ? "match" : "MISMATCH");
+
+  // --- Session comparison (determinism gate) --------------------------------
+  SessionResult lazy_run = RunSession("lazy", clean, dirty, /*lazy=*/true);
+  SessionResult eager_run = RunSession("eager", clean, dirty, /*lazy=*/false);
+
+  bool identical =
+      lazy_run.metrics.user_updates == eager_run.metrics.user_updates &&
+      lazy_run.metrics.user_answers == eager_run.metrics.user_answers &&
+      lazy_run.metrics.cells_repaired == eager_run.metrics.cells_repaired &&
+      lazy_run.metrics.queries_applied == eager_run.metrics.queries_applied &&
+      lazy_run.metrics.converged == eager_run.metrics.converged;
+  bool actually_lazy =
+      lazy_run.metrics.nodes_total > 0 &&
+      lazy_run.metrics.nodes_materialized < lazy_run.metrics.nodes_total;
+  double lazy_ratio =
+      lazy_run.metrics.nodes_total == 0
+          ? 1.0
+          : static_cast<double>(lazy_run.metrics.nodes_materialized) /
+                static_cast<double>(lazy_run.metrics.nodes_total);
+  size_t memo_probes = lazy_run.metrics.lattice_memo_hits +
+                       lazy_run.metrics.lattice_memo_misses;
+  double memo_hit_rate =
+      memo_probes == 0
+          ? 0.0
+          : static_cast<double>(lazy_run.metrics.lattice_memo_hits) /
+                static_cast<double>(memo_probes);
+  double session_build_speedup = eager_run.metrics.lattice_build_ms /
+                                 std::max(lazy_run.metrics.lattice_build_ms,
+                                          1e-6);
+
+  std::printf("\n%-7s %9s %11s %14s %12s %10s\n", "mode", "wall(ms)",
+              "build(ms)", "materialized", "fused", "memo");
+  for (const SessionResult* r : {&lazy_run, &eager_run}) {
+    std::printf("%-7s %9.1f %11.3f %7zu/%-7zu %10zu %5zu/%-5zu\n",
+                r->name.c_str(), r->wall_ms, r->metrics.lattice_build_ms,
+                r->metrics.nodes_materialized, r->metrics.nodes_total,
+                r->metrics.fused_count_calls, r->metrics.lattice_memo_hits,
+                memo_probes == 0 && r == &eager_run
+                    ? 0
+                    : r->metrics.lattice_memo_hits +
+                          r->metrics.lattice_memo_misses);
+  }
+  std::printf("\nbuild speedup (widest micro config): %.1fx\n", build_speedup);
+  std::printf("session lattice_build_ms speedup:    %.2fx\n",
+              session_build_speedup);
+  std::printf("lazy materialization ratio:          %.3f\n", lazy_ratio);
+  std::printf("intersection-memo hit rate:          %.3f\n", memo_hit_rate);
+  std::printf("identical session metrics lazy/eager: %s\n",
+              identical ? "yes" : "NO — DETERMINISM BROKEN");
+  if (!actually_lazy) {
+    std::printf("LAZY PATH DEGENERATED: nodes_materialized == nodes_total\n");
+  }
+
+  FILE* f = std::fopen("BENCH_micro_lattice.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"micro_lattice\",\n  \"rows\": %zu,\n",
+                 rows);
+    std::fprintf(f, "  \"meta\": %s,\n",
+                 bench::BenchMeta().Serialize().c_str());
+    std::fprintf(f, "  \"build\": [\n");
+    for (size_t i = 0; i < builds.size(); ++i) {
+      const BuildResult& b = builds[i];
+      std::fprintf(f,
+                   "    {\"attrs\": %zu, \"nodes\": %zu, \"eager_ms\": %.3f, "
+                   "\"lazy_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                   b.attrs, size_t{1} << b.attrs, b.eager_ms, b.lazy_ms,
+                   b.speedup, i + 1 < builds.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"counts\": {\"frontier_nodes\": %zu, "
+                 "\"serial_ms\": %.3f, \"batch_ms\": %.3f, "
+                 "\"nodes_materialized\": %zu, \"nodes_total\": %zu, "
+                 "\"counts_match\": %s},\n",
+                 all_nodes.size(), serial_count_ms, batch_count_ms,
+                 count_materialized, count_total,
+                 counts_match ? "true" : "false");
+    std::fprintf(f, "  \"sessions\": {\n");
+    PrintSession(f, lazy_run, true);
+    PrintSession(f, eager_run, false);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"identical_metrics\": %s,\n"
+                 "  \"lazy_path_lazy\": %s,\n"
+                 "  \"lazy_ratio\": %.4f,\n"
+                 "  \"memo_hit_rate\": %.4f,\n"
+                 "  \"lattice_build_ms\": {\"lazy\": %.3f, \"eager\": %.3f},\n"
+                 "  \"build_speedup\": %.2f,\n"
+                 "  \"session_build_speedup\": %.2f\n}\n",
+                 identical ? "true" : "false",
+                 actually_lazy ? "true" : "false", lazy_ratio, memo_hit_rate,
+                 lazy_run.metrics.lattice_build_ms,
+                 eager_run.metrics.lattice_build_ms, build_speedup,
+                 session_build_speedup);
+    std::fclose(f);
+    std::printf("wrote BENCH_micro_lattice.json\n");
+  }
+  return (identical && actually_lazy && counts_match) ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <ctime>
+#include <string_view>
 #include <utility>
 
 #include "common/logging.h"
@@ -41,6 +42,17 @@ JsonValue BenchMeta() {
   JsonValue meta = JsonValue::Object();
   meta.Set("git_sha", FALCON_GIT_SHA);
   meta.Set("build_type", FALCON_BUILD_TYPE);
+  // Debug numbers must never silently enter the perf trajectory: flag them
+  // in the artifact and shout on stderr so CI reviewers can't miss it.
+  bool debug_build = std::string_view(FALCON_BUILD_TYPE) != "Release" &&
+                     std::string_view(FALCON_BUILD_TYPE) != "RelWithDebInfo";
+  meta.Set("debug_build", debug_build);
+  if (debug_build) {
+    std::fprintf(stderr,
+                 "WARNING: bench built as '%s' (not Release) — timings are "
+                 "NOT comparable; the JSON is tagged \"debug_build\": true\n",
+                 FALCON_BUILD_TYPE);
+  }
   meta.Set("threads", ThreadPool::Global().num_threads());
   std::time_t now = std::time(nullptr);
   std::tm utc{};

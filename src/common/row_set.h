@@ -94,8 +94,11 @@ class RowSet {
     return out;
   }
 
-  /// Returns |this ∩ other| without materializing the intersection.
-  size_t IntersectCount(const RowSet& other) const {
+  /// Fused AND + popcount kernel: returns |this ∩ other| in one pass over
+  /// the words without materializing an intermediate bitmap. This is the
+  /// hot path for lazy lattice counting — legal whenever the caller needs
+  /// only the cardinality of the intersection, never its bits.
+  size_t AndCount(const RowSet& other) const {
     FALCON_DCHECK(universe_size_ == other.universe_size_);
     size_t n = 0;
     for (size_t i = 0; i < words_.size(); ++i) {
@@ -103,6 +106,10 @@ class RowSet {
     }
     return n;
   }
+
+  /// Returns |this ∩ other| without materializing the intersection.
+  /// (Alias of AndCount, kept for existing callers.)
+  size_t IntersectCount(const RowSet& other) const { return AndCount(other); }
 
   /// True iff this ⊆ other.
   bool IsSubsetOf(const RowSet& other) const {

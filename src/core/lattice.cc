@@ -6,9 +6,17 @@
 
 #include "common/fault_injector.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "relational/posting_index.h"
 
 namespace falcon {
+namespace {
+
+/// Parallel-shard floor for EnsureCounts: below this many nodes per shard
+/// the AND kernels are too cheap to amortize the pool handoff.
+constexpr size_t kCountGrain = 8;
+
+}  // namespace
 
 StatusOr<Lattice> Lattice::Build(const Table& table, const Repair& repair,
                                  std::vector<size_t> candidate_cols,
@@ -48,8 +56,11 @@ StatusOr<Lattice> Lattice::Build(const Table& table, const Repair& repair,
   if (lat.cols_.empty()) {
     return Status::InvalidArgument("lattice needs at least one attribute");
   }
-  if (lat.cols_.size() > 20) {
-    return Status::InvalidArgument("lattice too large (max 20 attributes)");
+  if (lat.cols_.size() > kMaxLatticeAttrs) {
+    return Status::InvalidArgument(
+        "lattice too large (" + std::to_string(lat.cols_.size()) +
+        " attributes, kMaxLatticeAttrs = " + std::to_string(kMaxLatticeAttrs) +
+        ")");
   }
 
   // Bind predicate constants to the repaired tuple's current values
@@ -69,22 +80,31 @@ StatusOr<Lattice> Lattice::Build(const Table& table, const Repair& repair,
   size_t n_nodes = lat.num_nodes();
   lat.index_ = options.naive_init ? nullptr : options.index;
   lat.maintain_index_ = options.maintain_index;
+  lat.lazy_ = options.lazy && !options.naive_init;
+  lat.memo_ = lat.lazy_ ? options.memo : nullptr;
   lat.affected_.resize(n_nodes);
-  lat.counts_.assign(n_nodes, 0);
+  lat.counts_.assign(n_nodes, kNoCount);
+  lat.cached_flag_.assign(n_nodes, 0);
   lat.validity_.assign(n_nodes, Validity::kUnknown);
+
+  // Bottom node + predicate bitmaps: the only set algebra a lazy build
+  // pays. Everything above the bottom materializes on demand.
+  lat.InitBottomAndPreds(table);
+  lat.counts_[0] = lat.affected_[0].Count();
+  lat.MarkCached(0);
+  lat.nodes_materialized_ = 1;
 
   if (options.naive_init) {
     lat.InitAffectedNaive(table);
-  } else {
-    lat.InitAffectedViaViews(table);
-  }
-  for (size_t m = 0; m < n_nodes; ++m) {
-    lat.counts_[m] = lat.affected_[m].Count();
+    lat.FinishEagerInit();
+  } else if (!lat.lazy_) {
+    lat.EagerChain();
+    lat.FinishEagerInit();
   }
   return lat;
 }
 
-void Lattice::InitAffectedViaViews(const Table& table) {
+void Lattice::InitBottomAndPreds(const Table& table) {
   // Bottom node: rows whose target value differs from a' (rows any
   // candidate query could change) — the complement of the target value's
   // posting bitmap, so a cached posting makes this scan-free.
@@ -95,26 +115,29 @@ void Lattice::InitAffectedViaViews(const Table& table) {
   }
 
   // Per-attribute posting bitmaps for the bound predicate constants,
-  // served from the posting cache when one was supplied.
-  std::vector<const RowSet*> preds(cols_.size());
-  std::vector<RowSet> scanned;
-  scanned.reserve(cols_.size());
+  // served from the posting cache when one was supplied. Stored by value:
+  // posting references can be invalidated or evicted while the lattice is
+  // alive, and ApplyNode must maintain these bitmaps independently anyway
+  // to keep the chain recurrence exact after repairs.
+  preds_.clear();
+  preds_.reserve(cols_.size());
   for (size_t i = 0; i < cols_.size(); ++i) {
     if (index_ != nullptr) {
-      preds[i] = &index_->Postings(cols_[i], bindings_[i]);
+      preds_.push_back(index_->Postings(cols_[i], bindings_[i]));
     } else {
-      scanned.push_back(table.ScanEquals(cols_[i], bindings_[i]));
-      preds[i] = &scanned.back();
+      preds_.push_back(table.ScanEquals(cols_[i], bindings_[i]));
     }
   }
+}
 
+void Lattice::EagerChain() {
   // View rewriting: each node's set is its (mask without lowest bit)
   // parent's set restricted by one more predicate — a single AND.
   for (NodeId m = 1; m < num_nodes(); ++m) {
     NodeId parent = m & (m - 1);
     int bit = std::countr_zero(m);
     affected_[m] = affected_[parent];
-    affected_[m].And(*preds[static_cast<size_t>(bit)]);
+    affected_[m].And(preds_[static_cast<size_t>(bit)]);
   }
 }
 
@@ -136,6 +159,178 @@ void Lattice::InitAffectedNaive(const Table& table) {
       if (match) rows.Set(r);
     }
     affected_[m] = std::move(rows);
+  }
+}
+
+void Lattice::FinishEagerInit() {
+  size_t n_nodes = num_nodes();
+  for (NodeId m = 0; m < n_nodes; ++m) {
+    counts_[m] = affected_[m].Count();
+  }
+  cached_flag_.assign(n_nodes, 1);
+  cached_nodes_.resize(n_nodes);
+  for (NodeId m = 0; m < n_nodes; ++m) cached_nodes_[m] = m;
+  nodes_materialized_ = n_nodes;
+}
+
+void Lattice::MarkCached(NodeId m) const {
+  if (!cached_flag_[m]) {
+    cached_flag_[m] = 1;
+    cached_nodes_.push_back(m);
+  }
+}
+
+const RowSet& Lattice::MaterializeBitmap(NodeId m) const {
+  if (materialized(m)) return affected_[m];
+  int lo = std::countr_zero(m);
+  NodeId parent = m & (m - 1);
+  if (memo_ != nullptr && std::popcount(m) == 2) {
+    // Two-attribute node: its set is bottom ∧ pred_i ∧ pred_j, and the
+    // pure pairwise intersection pred_i ∧ pred_j recurs across the
+    // session's lattices (bindings repeat) — serve or seed the memo.
+    size_t i = static_cast<size_t>(lo);
+    size_t j = static_cast<size_t>(std::countr_zero(parent));
+    if (const RowSet* entry = memo_->Find(cols_[i], bindings_[i], cols_[j],
+                                          bindings_[j])) {
+      affected_[m] = *entry;
+      affected_[m].And(affected_[0]);
+    } else {
+      RowSet inter = preds_[i];
+      inter.And(preds_[j]);
+      affected_[m] = inter;
+      affected_[m].And(affected_[0]);
+      memo_->Put(cols_[i], bindings_[i], cols_[j], bindings_[j],
+                 std::move(inter));
+    }
+  } else {
+    const RowSet& p = MaterializeBitmap(parent);
+    affected_[m] = p;
+    affected_[m].And(preds_[static_cast<size_t>(lo)]);
+  }
+  MarkCached(m);
+  ++nodes_materialized_;
+  return affected_[m];
+}
+
+const RowSet& Lattice::AffectedRows(NodeId n) const {
+  return MaterializeBitmap(n);
+}
+
+size_t Lattice::Count(NodeId n) const {
+  if (counts_[n] != kNoCount) return counts_[n];
+  size_t c;
+  if (materialized(n)) {
+    c = affected_[n].Count();
+  } else if (memo_ != nullptr && std::popcount(n) == 2) {
+    size_t i = static_cast<size_t>(std::countr_zero(n));
+    size_t j = static_cast<size_t>(std::countr_zero(n & (n - 1)));
+    if (const RowSet* entry =
+            memo_->Find(cols_[i], bindings_[i], cols_[j], bindings_[j])) {
+      // Count-only memo hit: one fused pass, no bitmap resident at all.
+      c = affected_[0].AndCount(*entry);
+      ++fused_count_calls_;
+    } else {
+      const RowSet& p = MaterializeBitmap(n & (n - 1));
+      c = p.AndCount(preds_[i]);
+      ++fused_count_calls_;
+    }
+  } else {
+    const RowSet& p = MaterializeBitmap(n & (n - 1));
+    c = p.AndCount(preds_[static_cast<size_t>(std::countr_zero(n))]);
+    ++fused_count_calls_;
+  }
+  counts_[n] = c;
+  MarkCached(n);
+  return c;
+}
+
+void Lattice::EnsureCounts(const std::vector<NodeId>& nodes) const {
+  if (!lazy_) return;
+  std::vector<NodeId> todo;
+  todo.reserve(nodes.size());
+  for (NodeId m : nodes) {
+    if (counts_[m] == kNoCount) todo.push_back(m);
+  }
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+  if (todo.empty()) return;
+
+  // Phase 1: materialize every missing ancestor bitmap, level by level
+  // (a node's parent sits one popcount level below, so each level only
+  // reads bitmaps finished in earlier levels — shards write disjoint
+  // affected_ slots, keeping the schedule deterministic). The memo is
+  // single-threaded state, so only the two-attribute bucket — one small
+  // level, at most C(k,2) nodes — runs serially through the memoized
+  // path; it is where the cross-lattice pairwise intersections live, and
+  // a memo hit produces bit-identical sets (the entry *is* pred_i ∧
+  // pred_j, maintained exactly).
+  std::vector<NodeId> need;
+  for (NodeId m : todo) {
+    for (NodeId p = m & (m - 1); p != 0 && !materialized(p);
+         p = p & (p - 1)) {
+      need.push_back(p);
+    }
+  }
+  std::sort(need.begin(), need.end());
+  need.erase(std::unique(need.begin(), need.end()), need.end());
+  if (!need.empty()) {
+    std::vector<std::vector<NodeId>> by_level(cols_.size() + 1);
+    for (NodeId m : need) {
+      by_level[static_cast<size_t>(std::popcount(m))].push_back(m);
+    }
+    for (size_t lvl = 0; lvl < by_level.size(); ++lvl) {
+      const std::vector<NodeId>& level = by_level[lvl];
+      if (level.empty()) continue;
+      if (lvl == 2 && memo_ != nullptr) {
+        for (NodeId m : level) MaterializeBitmap(m);
+        continue;  // MaterializeBitmap did the caching bookkeeping.
+      }
+      ThreadPool::Global().ParallelFor(
+          level.size(), kCountGrain, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) {
+              NodeId m = level[i];
+              affected_[m] = affected_[m & (m - 1)];
+              affected_[m].And(preds_[static_cast<size_t>(
+                  std::countr_zero(m))]);
+            }
+          });
+      for (NodeId m : level) MarkCached(m);
+      nodes_materialized_ += level.size();
+    }
+  }
+
+  // Phase 2: fused counts for the frontier itself, in parallel. Each
+  // shard writes disjoint counts_ slots and only reads parent bitmaps and
+  // predicate bitmaps, so results are bit-identical to the serial path.
+  size_t fused = 0;
+  for (NodeId m : todo) {
+    if (!materialized(m)) ++fused;
+  }
+  ThreadPool::Global().ParallelFor(
+      todo.size(), kCountGrain, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          NodeId m = todo[i];
+          if (materialized(m)) {
+            counts_[m] = affected_[m].Count();
+          } else {
+            counts_[m] = affected_[m & (m - 1)].AndCount(
+                preds_[static_cast<size_t>(std::countr_zero(m))]);
+          }
+        }
+      });
+  for (NodeId m : todo) MarkCached(m);
+  fused_count_calls_ += fused;
+}
+
+void Lattice::MaterializeAll() const {
+  // Ascending node ids visit parents (m & (m-1) < m) before children, so
+  // every materialization is a single AND off a resident bitmap.
+  for (NodeId m = 1; m < num_nodes(); ++m) {
+    if (!materialized(m)) MaterializeBitmap(m);
+    if (counts_[m] == kNoCount) {
+      counts_[m] = affected_[m].Count();
+      MarkCached(m);
+    }
   }
 }
 
@@ -167,8 +362,8 @@ std::vector<NodeId> Lattice::UnknownNodes() const {
 }
 
 RowSet Lattice::ApplyNode(NodeId n, Table& table, Status* fault) {
-  RowSet changed = affected_[n];
-  size_t changed_count = counts_[n];
+  RowSet changed = AffectedRows(n);
+  size_t changed_count = Count(n);
   // Delta-maintain the posting cache while the old values are still in the
   // table: each written row leaves its old value's bitmap and joins the
   // target value's. The cache then survives the write with no rescans.
@@ -176,6 +371,12 @@ RowSet Lattice::ApplyNode(NodeId n, Table& table, Status* fault) {
     index_->ApplyDelta(
         repair_.col, changed,
         [&](size_t r) { return table.cell(r, repair_.col); }, target_value_);
+  }
+  // Patch the cross-lattice intersection memo the same way (it needs no
+  // old values — changed rows leave every (repair col = v≠a') predicate
+  // exactly, and entries bound to a' itself are dropped).
+  if (memo_ != nullptr) {
+    memo_->ApplyWrite(repair_.col, changed, target_value_);
   }
   if (fault != nullptr && FaultInjector::Global().active()) {
     bool stopped = false;
@@ -197,44 +398,96 @@ RowSet Lattice::ApplyNode(NodeId n, Table& table, Status* fault) {
       table.set_cell(r, repair_.col, target_value_);
     });
   }
+
+  // Maintain the predicate bitmaps for attributes over the repaired
+  // column: changed rows now hold a', so they leave any other binding's
+  // predicate and join a''s. This is what keeps the chain recurrence —
+  // and with it every *future* lazy materialization — exact after the
+  // write (AND distributes over the AndNot below).
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i] != repair_.col) continue;
+    if (bindings_[i] == target_value_) {
+      preds_[i].Or(changed);
+    } else {
+      preds_[i].AndNot(changed);
+    }
+  }
+
   // Incremental maintenance (Section 5.1.2): repaired rows leave every
   // node's affected set, but the containment relation to Q gives each node
-  // a cheap path.
-  for (NodeId m = 0; m < num_nodes(); ++m) {
-    if (m == n) {
-      affected_[m].ClearAll();
+  // a cheap path. Only nodes holding cached state pay anything; a node
+  // with a cached count but no bitmap keeps the count exact in Cases 1–2
+  // and falls back to lazy recomputation in Case 3 (the overlap is
+  // unknowable without the bits).
+  for (NodeId m : cached_nodes_) {
+    bool has_bitmap = materialized(m);
+    bool has_count = counts_[m] != kNoCount;
+    if ((m & n) == n) {
+      // Case 1 (and n itself) — Q' ≤ Q (supersets of n's attributes):
+      // every tuple Q' could affect was just repaired; drop to ∅ without
+      // set algebra.
+      if (has_bitmap) affected_[m].ClearAll();
       counts_[m] = 0;
-    } else if ((m & n) == n) {
-      // Case 1 — Q' ≤ Q (supersets of n's attributes): every tuple Q'
-      // could affect was just repaired; drop to ∅ without set algebra.
-      affected_[m].ClearAll();
-      counts_[m] = 0;
-      ++maintenance_stats_.case1_contained;
     } else if ((m & n) == m) {
       // Case 2 — Q ≤ Q'' (subsets): Q(T) ⊆ Q''(T), so the count drops by
       // exactly |Q(T)| — no popcount pass needed.
-      affected_[m].AndNot(changed);
-      counts_[m] -= changed_count;
-      ++maintenance_stats_.case2_containing;
+      if (has_bitmap) affected_[m].AndNot(changed);
+      if (has_count) counts_[m] -= changed_count;
     } else {
       // Case 3 — incomparable: deduct |Q'''(Q(T))|, i.e. the overlap with
       // the repaired area only.
-      size_t overlap = affected_[m].IntersectCount(changed);
-      if (overlap != 0) affected_[m].AndNot(changed);
-      counts_[m] -= overlap;
-      ++maintenance_stats_.case3_disjoint;
+      if (has_bitmap) {
+        size_t overlap = affected_[m].AndCount(changed);
+        if (overlap != 0) affected_[m].AndNot(changed);
+        if (has_count) counts_[m] -= overlap;
+      } else if (has_count) {
+        counts_[m] = kNoCount;  // Overlap unknown; recount lazily.
+      }
     }
   }
+  // The paper's per-case tallies depend only on the masks, not on which
+  // nodes happen to be resident — closed forms keep the stats identical
+  // between lazy and eager schedules. With pc = |n|'s attributes:
+  // supersets\{n} = 2^(k-pc)-1, subsets\{n} = 2^pc-1, rest incomparable.
+  {
+    size_t k = cols_.size();
+    size_t pc = static_cast<size_t>(std::popcount(n));
+    size_t supersets = size_t{1} << (k - pc);
+    size_t subsets = size_t{1} << pc;
+    maintenance_stats_.case1_contained += supersets - 1;
+    maintenance_stats_.case2_containing += subsets - 1;
+    maintenance_stats_.case3_disjoint += num_nodes() - supersets - subsets + 1;
+  }
   closed_sets_fresh_ = false;
+  rep_cache_.clear();
   return changed;
 }
 
 void Lattice::RecomputeAffected(const Table& table) {
-  InitAffectedViaViews(table);
-  for (NodeId m = 0; m < num_nodes(); ++m) {
-    counts_[m] = affected_[m].Count();
+  size_t n_nodes = num_nodes();
+  if (lazy_) {
+    // Lazy rebuild: drop every cached node and refetch the bottom and
+    // predicate bitmaps from the (possibly externally modified) table;
+    // later accesses re-materialize against the new contents.
+    for (NodeId m : cached_nodes_) {
+      affected_[m] = RowSet();
+      counts_[m] = kNoCount;
+      cached_flag_[m] = 0;
+    }
+    cached_nodes_.clear();
+    InitBottomAndPreds(table);
+    counts_[0] = affected_[0].Count();
+    MarkCached(0);
+    nodes_materialized_ = 1;
+  } else {
+    InitBottomAndPreds(table);
+    EagerChain();
+    for (NodeId m = 0; m < n_nodes; ++m) {
+      counts_[m] = affected_[m].Count();
+    }
   }
   closed_sets_fresh_ = false;
+  rep_cache_.clear();
 }
 
 SqluQuery Lattice::NodeQuery(NodeId n) const {
@@ -267,6 +520,7 @@ std::string Lattice::NodeLabel(NodeId n) const {
 
 void Lattice::EnsureClosedSets() {
   if (closed_sets_fresh_) return;
+  MaterializeAll();
   size_t n_nodes = num_nodes();
   closed_group_.assign(n_nodes, 0);
   group_representative_.clear();
@@ -308,8 +562,22 @@ void Lattice::EnsureClosedSets() {
 }
 
 NodeId Lattice::Representative(NodeId n) {
-  EnsureClosedSets();
-  return group_representative_[closed_group_[n]];
+  auto it = rep_cache_.find(n);
+  if (it != rep_cache_.end()) return it->second;
+  // Predicate-closure rule: attribute i outside n leaves the affected set
+  // unchanged iff affected(n) ⊆ pred(i) (the chain recurrence ANDs pred(i)
+  // in). The closure n ∪ {all such i} is therefore the unique maximal
+  // member of n's equal-affected-set class — the representative — and
+  // costs one subset test per absent attribute instead of grouping all
+  // 2^k nodes. An empty affected set closes to the top node.
+  const RowSet& rows = AffectedRows(n);
+  NodeId rep = n;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if ((n >> i) & 1) continue;
+    if (rows.IsSubsetOf(preds_[i])) rep |= NodeId{1} << i;
+  }
+  rep_cache_.emplace(n, rep);
+  return rep;
 }
 
 size_t Lattice::NumClosedSets() {

@@ -7,17 +7,31 @@
 // general query, the top node (all attributes) the most specific.
 //
 // The lattice maintains, per node, the affected row set — rows matching the
-// WHERE clause whose A value differs from a' — initialized bottom-up via
-// view rewriting (Section 5.1.2) and maintained incrementally when a
-// validated query is applied (maintenance Cases 1–3 collapse to one AND-NOT
-// per node in the bitmap representation). It also tracks validity state
-// with the paper's inference rules and computes closed rule sets
-// (Section 5.2) with their representative rules.
+// WHERE clause whose A value differs from a' — and tracks validity state
+// with the paper's inference rules.
+//
+// Materialization is LAZY by default: Build only computes the bottom node
+// and the per-attribute predicate bitmaps; a node's affected set / count is
+// computed on first access via the ancestor-chain recurrence
+//
+//     affected(m) = affected(m without its lowest attribute) ∧ pred(lowest)
+//
+// which recursively materializes only the ancestor chain actually needed,
+// then caches it for the lattice's lifetime. Counts use the fused
+// RowSet::AndCount kernel (no intermediate bitmap), EnsureCounts batches a
+// search frontier through ThreadPool::ParallelFor, and two-attribute nodes
+// can reuse pairwise predicate intersections memoized across successive
+// repairs in an IntersectionMemo. Applied queries incrementally maintain
+// whatever is cached (maintenance Cases 1–3 of Section 5.1.2, restricted to
+// the materialized subset); closed rule sets (Section 5.2) resolve a node's
+// representative through the predicate-closure rule without materializing
+// anything beyond the node itself.
 #ifndef FALCON_CORE_LATTICE_H_
 #define FALCON_CORE_LATTICE_H_
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/row_set.h"
@@ -34,6 +48,12 @@ using NodeId = uint32_t;
 enum class Validity : uint8_t { kUnknown, kValid, kInvalid };
 
 class PostingIndex;
+class IntersectionMemo;
+
+/// Hard ceiling on lattice attributes: node ids are 32-bit masks and the
+/// per-node state vectors are sized 2^k, so builds beyond this are refused
+/// outright (partial materialization should have capped k long before).
+inline constexpr size_t kMaxLatticeAttrs = 20;
 
 /// Lattice construction options.
 struct LatticeOptions {
@@ -44,7 +64,8 @@ struct LatticeOptions {
   /// appear in WHERE clauses.
   bool exclude_target_attr = false;
   /// Benchmark toggle: initialize each node's affected set by a full
-  /// conjunction scan instead of the bottom-up view rewriting.
+  /// conjunction scan instead of the bottom-up view rewriting. Implies
+  /// eager materialization.
   bool naive_init = false;
   /// Optional posting cache for predicate bitmaps (non-owning). Ignored by
   /// naive_init. When the index runs in delta-maintenance mode, ApplyNode
@@ -55,6 +76,18 @@ struct LatticeOptions {
   /// query's writes as deltas (only meaningful when the index is in
   /// delta-maintenance mode). Off reverts to caller-side invalidation.
   bool maintain_index = true;
+  /// Materialize node affected-sets on first access instead of at Build
+  /// (the default). Off forces the legacy eager build — every node's
+  /// bitmap and count computed up front — kept for A/B benchmarks and the
+  /// lazy≡eager equivalence tests. Either way accessors return identical
+  /// bits; only the work schedule differs.
+  bool lazy = true;
+  /// Optional cross-lattice cache of pairwise predicate intersections
+  /// (non-owning; lazy mode only). ApplyNode patches it exactly on every
+  /// applied query, which requires the memo to see *all* writes to the
+  /// table it summarizes: attach one memo per mutable table (the session
+  /// does), and never share it with a lattice applied to a cloned table.
+  IntersectionMemo* memo = nullptr;
 };
 
 /// One user repair: set cell (row, col) to `new_value`.
@@ -104,8 +137,41 @@ class Lattice {
 
   // --- Affected sets ---------------------------------------------------------
 
-  const RowSet& affected(NodeId n) const { return affected_[n]; }
-  size_t affected_count(NodeId n) const { return counts_[n]; }
+  /// Node `n`'s affected rows, materializing the minimal ancestor chain on
+  /// first access (lazy mode) and caching the result. The reference stays
+  /// valid for the lattice's lifetime; bits are identical to an eager
+  /// build's.
+  const RowSet& AffectedRows(NodeId n) const;
+
+  /// |AffectedRows(n)|, computed on first access via the fused AndCount
+  /// kernel against the parent's bitmap — the node's own bitmap is *not*
+  /// materialized when only the cardinality is needed.
+  size_t Count(NodeId n) const;
+
+  /// Batch form of Count for a search frontier: materializes the needed
+  /// ancestor bitmaps level-by-level and computes the fused counts in
+  /// parallel shards (ThreadPool::ParallelFor, disjoint slots —
+  /// deterministic). No-op in eager mode or for already-counted nodes.
+  void EnsureCounts(const std::vector<NodeId>& nodes) const;
+
+  /// Legacy accessor names (aliases of AffectedRows/Count).
+  const RowSet& affected(NodeId n) const { return AffectedRows(n); }
+  size_t affected_count(NodeId n) const { return Count(n); }
+
+  /// True once node `n`'s bitmap is resident.
+  bool materialized(NodeId n) const {
+    return affected_[n].universe_size() == num_table_rows_;
+  }
+
+  /// Laziness counters for SessionMetrics / the benches.
+  struct LazyStats {
+    size_t nodes_materialized = 0;  ///< Node bitmaps resident.
+    size_t fused_count_calls = 0;   ///< Counts served by AndCount alone.
+  };
+  LazyStats lazy_stats() const {
+    return {nodes_materialized_, fused_count_calls_};
+  }
+  bool lazy() const { return lazy_; }
 
   // --- Validity and inference ------------------------------------------------
 
@@ -134,8 +200,10 @@ class Lattice {
 
   /// Applies node `n`'s query to `table` (which must be the table the
   /// lattice was built over): writes the target value into every affected
-  /// row and incrementally updates all affected sets (Cases 1–3 of
-  /// Section 5.1.2, each with its cheap path). Returns the changed rows.
+  /// row and incrementally updates the *cached* affected sets and counts
+  /// (Cases 1–3 of Section 5.1.2, each with its cheap path; in lazy mode
+  /// unmaterialized nodes pay nothing and later materialize against the
+  /// equally-maintained predicate bitmaps). Returns the changed rows.
   ///
   /// When `fault` is non-null the per-row writes check the `apply.write`
   /// fault-injection site: on an injected fault the apply stops mid-write
@@ -151,7 +219,9 @@ class Lattice {
   }
 
   /// Benchmark/naive path: recomputes every affected set from the current
-  /// table contents (what a from-scratch rebuild would do).
+  /// table contents (what a from-scratch rebuild would do). In lazy mode
+  /// this drops all cached node state and refetches the bottom/predicate
+  /// bitmaps; accesses then re-materialize against the new table contents.
   void RecomputeAffected(const Table& table);
 
   // --- Query materialization ---------------------------------------------------
@@ -165,18 +235,39 @@ class Lattice {
   // --- Closed rule sets (Section 5.2) -----------------------------------------
 
   /// Representative rule of n's closed rule set: the set member with the
-  /// most WHERE predicates. Closed sets are recomputed lazily after each
-  /// ApplyNode (affected counts change, so closures change).
+  /// most WHERE predicates. Computed by the predicate-closure rule —
+  /// rep(n) = n ∪ {i ∉ n : affected(n) ⊆ pred(i)} — which touches only n's
+  /// own bitmap, so it never forces materialization beyond n. (Equivalent
+  /// to grouping nodes by identical affected sets: equal-set classes are
+  /// closed under attribute union, making the closure their unique maximal
+  /// member.) Memoized per node until the next applied query.
   NodeId Representative(NodeId n);
 
-  /// Number of distinct closed rule sets at the current counts (stats).
+  /// Number of distinct closed rule sets at the current counts (stats
+  /// only; materializes every node in lazy mode).
   size_t NumClosedSets();
 
  private:
+  /// Sentinel in counts_: cardinality not yet computed.
+  static constexpr size_t kNoCount = static_cast<size_t>(-1);
+
   Lattice() = default;
 
-  void InitAffectedViaViews(const Table& table);
+  /// Fills affected_[bottom] and the per-attribute predicate bitmaps
+  /// preds_ (from the posting index when present, else column scans).
+  void InitBottomAndPreds(const Table& table);
+  /// Eager view rewriting: materializes every node bottom-up (one AND per
+  /// node off the lowest-set-bit parent).
+  void EagerChain();
   void InitAffectedNaive(const Table& table);
+  /// Marks every node materialized + counted after an eager init.
+  void FinishEagerInit();
+  /// Records that node m now holds cached state (bitmap and/or count).
+  void MarkCached(NodeId m) const;
+  /// Materializes node m's bitmap via the ancestor-chain recurrence,
+  /// consulting the IntersectionMemo for two-attribute nodes.
+  const RowSet& MaterializeBitmap(NodeId m) const;
+  void MaterializeAll() const;
   void EnsureClosedSets();
 
   std::vector<size_t> cols_;          // Lattice attribute -> table column.
@@ -190,13 +281,36 @@ class Lattice {
   size_t num_table_rows_ = 0;
   PostingIndex* index_ = nullptr;
   bool maintain_index_ = true;
+  bool lazy_ = true;
+  IntersectionMemo* memo_ = nullptr;
 
-  std::vector<RowSet> affected_;
-  std::vector<size_t> counts_;
+  /// Per-attribute predicate bitmaps (value copies — posting references
+  /// can be invalidated/evicted under the lattice). ApplyNode maintains
+  /// them exactly alongside the node sets, which is what keeps the chain
+  /// recurrence (and the closure rule) correct for nodes materialized
+  /// *after* repairs were applied.
+  std::vector<RowSet> preds_;
+
+  // Lazily-populated per-node caches. Mutable because materialization is
+  // memoization: const accessors (oracles, tests) observe identical values
+  // whether or not the bits were resident beforehand. An empty RowSet
+  // (universe 0 ≠ num_table_rows_) marks "not materialized"; kNoCount
+  // marks "not counted". cached_nodes_ lists every node holding any state
+  // so ApplyNode maintenance iterates only those.
+  mutable std::vector<RowSet> affected_;
+  mutable std::vector<size_t> counts_;
+  mutable std::vector<uint8_t> cached_flag_;
+  mutable std::vector<NodeId> cached_nodes_;
+  mutable size_t nodes_materialized_ = 0;
+  mutable size_t fused_count_calls_ = 0;
+
   std::vector<Validity> validity_;
   MaintenanceStats maintenance_stats_;
 
-  // Closed-set state: group id per node and representative per group.
+  /// Per-node Representative memo; cleared on every applied query.
+  std::unordered_map<NodeId, NodeId> rep_cache_;
+
+  // Closed-set grouping state (NumClosedSets only).
   bool closed_sets_fresh_ = false;
   std::vector<uint32_t> closed_group_;
   std::vector<NodeId> group_representative_;

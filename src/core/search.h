@@ -4,6 +4,13 @@
 // validated queries immediately (workflow step 3), and running the lattice
 // inference rules — so individual algorithms only decide *which* node to
 // ask next.
+//
+// Lattices materialize lazily (see lattice.h): algorithms batch each
+// frontier they are about to rank through Lattice::EnsureCounts before
+// filtering on affected counts, so the counts come from parallel fused
+// AndCount kernels instead of per-node ancestor-chain walks. Batching is a
+// scheduling choice only — every observable (questions asked, answers,
+// applied repairs) is bit-identical to the serial and to the eager path.
 #ifndef FALCON_CORE_SEARCH_H_
 #define FALCON_CORE_SEARCH_H_
 

@@ -39,6 +39,10 @@ void CleaningSession::ExportPostingStats() {
   metrics_.posting_evictions = s.evictions;
   metrics_.posting_scan_ms = s.scan_ms;
   metrics_.posting_delta_ms = s.delta_ms;
+  if (intersection_memo_ != nullptr) {
+    metrics_.lattice_memo_hits = intersection_memo_->stats().hits;
+    metrics_.lattice_memo_misses = intersection_memo_->stats().misses;
+  }
 }
 
 Status CleaningSession::Start(bool fresh) {
@@ -119,6 +123,16 @@ Status CleaningSession::Start(bool fresh) {
   lattice_options_ = options_.lattice;
   if (options_.use_posting_index && !lattice_options_.naive_init) {
     lattice_options_.index = posting_index_.get();
+  }
+  // Cross-lattice intersection memo (lazy materialization only): owned by
+  // the session so every table write in the run flows through its exact
+  // patch hooks. A caller-supplied memo in options.lattice is respected.
+  intersection_memo_.reset();
+  if (lattice_options_.memo == nullptr && options_.use_intersection_memo &&
+      lattice_options_.lazy && !lattice_options_.naive_init) {
+    intersection_memo_ = std::make_unique<IntersectionMemo>(
+        options_.intersection_memo_budget_bytes);
+    lattice_options_.memo = intersection_memo_.get();
   }
 
   update_rng_ = Rng(options_.seed + 2);
@@ -330,6 +344,11 @@ Status CleaningSession::RetractRule(size_t i) {
   FALCON_RETURN_IF_ERROR(Emit(&rec));
 
   FALCON_RETURN_IF_ERROR(log_.Undo(i, *dirty_, posting_index_.get()));
+  // The undo rewrote arbitrary old values into the column; the memo cannot
+  // patch additions exactly, so drop everything mentioning it.
+  if (intersection_memo_ != nullptr) {
+    intersection_memo_->InvalidateColumn(col);
+  }
 
   // Re-pose every re-dirtied cell and keep cells_repaired truthful: a
   // retraction can un-repair cells (the rule was right after all) or
@@ -494,6 +513,10 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop(size_t max_episodes) {
     metrics_.user_answers += ctx.answers_used();
     metrics_.queries_applied += stats.applies;
     metrics_.lattice_maintain_ms += stats.maintain_ms;
+    Lattice::LazyStats lazy = lattice.lazy_stats();
+    metrics_.nodes_materialized += lazy.nodes_materialized;
+    metrics_.nodes_total += lattice.num_nodes();
+    metrics_.fused_count_calls += lazy.fused_count_calls;
     // An injected fault, journal I/O failure, or oracle outage latched
     // into the context quenches the episode; surface it instead of
     // continuing on inconsistent state.
@@ -529,6 +552,9 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop(size_t max_episodes) {
                                        lattice.target_value());
       } else {
         posting_index_->InvalidateColumn(col);
+      }
+      if (intersection_memo_ != nullptr) {
+        intersection_memo_->ApplyCellWrite(col, row, lattice.target_value());
       }
       if (dirty_->cell(row, col) == clean_->cell(row, col)) {
         ++metrics_.cells_repaired;

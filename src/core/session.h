@@ -66,6 +66,14 @@ struct SessionOptions {
   /// are evicted between lattice episodes so million-row tables don't
   /// hoard memory.
   size_t posting_budget_bytes = 0;
+  /// Memoize pairwise predicate intersections across the session's
+  /// lattices (lazy materialization only): successive repairs rebuild
+  /// lattices over recurring predicate pairs, and the memo turns their
+  /// two-attribute views into one cached AND. Patched exactly on every
+  /// applied rule and manual fix; invalidated on retraction.
+  bool use_intersection_memo = true;
+  /// Intersection-memo byte cap (0 = unbounded), LRU-enforced at insert.
+  size_t intersection_memo_budget_bytes = 8u << 20;
   /// Remember validated/invalidated rule shapes across updates and bias
   /// CoDive toward historically fruitful attribute sets (the paper's §8
   /// future-work direction). Off by default to match the paper's setup.
@@ -120,6 +128,13 @@ struct SessionMetrics {
   size_t posting_evictions = 0;
   double posting_scan_ms = 0.0;   ///< Table-scan time filling the cache.
   double posting_delta_ms = 0.0;  ///< Time patching bitmaps in place.
+
+  // Lazy lattice materialization over the run (see Lattice::LazyStats).
+  size_t nodes_materialized = 0;   ///< Node bitmaps actually computed.
+  size_t nodes_total = 0;          ///< Σ 2^k across built lattices.
+  size_t fused_count_calls = 0;    ///< Counts served by AndCount alone.
+  size_t lattice_memo_hits = 0;    ///< IntersectionMemo cache hits.
+  size_t lattice_memo_misses = 0;  ///< IntersectionMemo probes that missed.
 
   size_t TotalCost() const { return user_updates + user_answers; }
   double Benefit() const {
@@ -250,6 +265,7 @@ class CleaningSession {
   class MasterBackedOracle* master_oracle_ = nullptr;
   std::unique_ptr<CordsProfiler> profiler_;
   std::unique_ptr<PostingIndex> posting_index_;
+  std::unique_ptr<IntersectionMemo> intersection_memo_;
   LatticeOptions lattice_options_;
   Rng update_rng_{0};
   std::unordered_set<uint64_t> wrong_updated_;

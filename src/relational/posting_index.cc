@@ -100,4 +100,137 @@ void PostingIndex::Trim() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// IntersectionMemo
+// ---------------------------------------------------------------------------
+
+IntersectionMemo::PairKey IntersectionMemo::MakeKey(size_t col_a,
+                                                    ValueId val_a,
+                                                    size_t col_b,
+                                                    ValueId val_b) {
+  if (col_b < col_a || (col_b == col_a && val_b < val_a)) {
+    std::swap(col_a, col_b);
+    std::swap(val_a, val_b);
+  }
+  return PairKey{col_a, val_a, col_b, val_b};
+}
+
+size_t IntersectionMemo::EntryBytes(const RowSet& rows) {
+  // Bitmap words dominate; map/list/key bookkeeping is charged flat so the
+  // budget still bites on tiny tables.
+  return rows.num_words() * sizeof(uint64_t) + 96;
+}
+
+const RowSet* IntersectionMemo::Find(size_t col_a, ValueId val_a,
+                                     size_t col_b, ValueId val_b) {
+  auto it = map_.find(MakeKey(col_a, val_a, col_b, val_b));
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // Touch.
+  return &it->second.rows;
+}
+
+void IntersectionMemo::Put(size_t col_a, ValueId val_a, size_t col_b,
+                           ValueId val_b, RowSet rows) {
+  PairKey key = MakeKey(col_a, val_a, col_b, val_b);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh in place (same predicates, possibly newer table state).
+    bytes_ -= EntryBytes(it->second.rows);
+    it->second.rows = std::move(rows);
+    bytes_ += EntryBytes(it->second.rows);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  MemoEntry& e = map_[key];
+  e.rows = std::move(rows);
+  e.lru_it = lru_.begin();
+  bytes_ += EntryBytes(e.rows);
+  col_keys_[key.col_a].push_back(key);
+  if (key.col_b != key.col_a) col_keys_[key.col_b].push_back(key);
+  // Enforce the budget now — callers copy entries out immediately, so no
+  // reference outlives this call. The newest entry survives even when it
+  // alone exceeds the budget (no point thrashing an empty cache).
+  if (byte_budget_ != 0) {
+    while (bytes_ > byte_budget_ && lru_.size() > 1) {
+      Erase(map_.find(lru_.back()));
+      ++stats_.evictions;
+    }
+  }
+}
+
+void IntersectionMemo::Erase(MemoMap::iterator it) {
+  bytes_ -= EntryBytes(it->second.rows);
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);  // col_keys_ is compacted lazily on the next write walk.
+}
+
+bool IntersectionMemo::PatchEntry(MemoMap::iterator it, size_t col,
+                                  const RowSet* changed, size_t row,
+                                  ValueId new_value) {
+  const PairKey& key = it->first;
+  // A write *onto* an entry's own bound value may add rows to the
+  // predicate; the memo cannot reconstruct which of them also satisfy the
+  // other predicate, so the entry is dropped.
+  if ((key.col_a == col && key.val_a == new_value) ||
+      (key.col_b == col && key.val_b == new_value)) {
+    Erase(it);
+    return false;
+  }
+  // Every changed row now fails (col = value≠new_value): remove exactly.
+  if (changed != nullptr) {
+    it->second.rows.AndNot(*changed);
+  } else {
+    it->second.rows.Clear(row);
+  }
+  return true;
+}
+
+template <typename Fn>
+void IntersectionMemo::ForEachEntryOfColumn(size_t col, Fn&& fn) {
+  auto keys_it = col_keys_.find(col);
+  if (keys_it == col_keys_.end()) return;
+  std::vector<PairKey>& keys = keys_it->second;
+  size_t kept = 0;
+  for (PairKey& key : keys) {
+    auto it = map_.find(key);
+    if (it == map_.end()) continue;  // Evicted; compact away.
+    if (fn(it)) keys[kept++] = key;  // fn returns false if it erased.
+  }
+  keys.resize(kept);
+  if (keys.empty()) col_keys_.erase(keys_it);
+}
+
+void IntersectionMemo::ApplyWrite(size_t col, const RowSet& changed,
+                                  ValueId new_value) {
+  ForEachEntryOfColumn(col, [&](MemoMap::iterator it) {
+    return PatchEntry(it, col, &changed, 0, new_value);
+  });
+}
+
+void IntersectionMemo::ApplyCellWrite(size_t col, size_t row,
+                                      ValueId new_value) {
+  ForEachEntryOfColumn(col, [&](MemoMap::iterator it) {
+    return PatchEntry(it, col, nullptr, row, new_value);
+  });
+}
+
+void IntersectionMemo::InvalidateColumn(size_t col) {
+  ForEachEntryOfColumn(col, [&](MemoMap::iterator it) {
+    Erase(it);
+    return false;
+  });
+}
+
+void IntersectionMemo::Clear() {
+  map_.clear();
+  lru_.clear();
+  col_keys_.clear();
+  bytes_ = 0;
+}
+
 }  // namespace falcon

@@ -151,6 +151,121 @@ class PostingIndex {
   PostingIndexStats stats_;
 };
 
+/// Counters for the pairwise-intersection memo below.
+struct IntersectionMemoStats {
+  size_t hits = 0;       ///< Find calls served from the cache.
+  size_t misses = 0;     ///< Find calls that came up empty.
+  size_t evictions = 0;  ///< Entries dropped to satisfy the byte budget.
+};
+
+/// IntersectionMemo: byte-budgeted cache of pairwise predicate
+/// intersections (colA = vA) ∧ (colB = vB), keyed on the canonically
+/// ordered predicate pair. It lives alongside the PostingIndex and serves
+/// the lazy lattice's two-attribute nodes: successive repairs in a session
+/// rebuild lattices over recurring predicate pairs (the repaired tuple's
+/// bindings repeat across episodes), so the AND that produces a
+/// two-predicate view is worth remembering across lattices.
+///
+/// Entries are *pure* — they depend only on current table contents, never
+/// on a particular repair's bottom node — which is what makes reuse across
+/// lattices sound. To stay exact across writes, every table mutation must
+/// be reported through ApplyWrite/ApplyCellWrite (exact bitmap patches:
+/// rows leaving a predicate are AndNot-ed out; a write *onto* an entry's
+/// own value conservatively drops the entry since joining rows are
+/// unknown) or InvalidateColumn (retractions / unknown deltas). Tables
+/// mutated behind the memo's back make it stale — sessions own one memo
+/// per dirty table and route all writes through it.
+///
+/// The byte budget is enforced at insertion time by LRU eviction (the
+/// lattice copies an entry into its own state immediately, so no caller
+/// ever holds a reference across a Put). A single oversized entry is
+/// allowed to overflow the budget rather than thrash.
+class IntersectionMemo {
+ public:
+  /// `byte_budget` caps resident bitmap bytes (0 = unbounded).
+  explicit IntersectionMemo(size_t byte_budget = 0)
+      : byte_budget_(byte_budget) {}
+
+  IntersectionMemo(const IntersectionMemo&) = delete;
+  IntersectionMemo& operator=(const IntersectionMemo&) = delete;
+
+  /// Cached intersection of (col_a = val_a) ∧ (col_b = val_b), or nullptr.
+  /// The reference stays valid only until the next Put/Apply*/Invalidate
+  /// call — copy out of it before touching the memo again.
+  const RowSet* Find(size_t col_a, ValueId val_a, size_t col_b, ValueId val_b);
+
+  /// Caches `rows` as the intersection of the two predicates; enforces the
+  /// byte budget by evicting least-recently-used entries.
+  void Put(size_t col_a, ValueId val_a, size_t col_b, ValueId val_b,
+           RowSet rows);
+
+  /// The caller wrote `new_value` into every row of `changed` in `col`.
+  /// Entries over (col = v), v ≠ new_value lose the changed rows exactly;
+  /// entries over (col = new_value) are dropped (rows may have joined).
+  void ApplyWrite(size_t col, const RowSet& changed, ValueId new_value);
+
+  /// Single-cell variant (the session's manual-fix path).
+  void ApplyCellWrite(size_t col, size_t row, ValueId new_value);
+
+  /// Drops every entry mentioning `col` (retractions, unknown deltas).
+  void InvalidateColumn(size_t col);
+
+  void Clear();
+
+  size_t cached_entries() const { return map_.size(); }
+  size_t cached_bytes() const { return bytes_; }
+  const IntersectionMemoStats& stats() const { return stats_; }
+
+ private:
+  /// Canonically ordered predicate pair: (col_a, val_a) ≤ (col_b, val_b).
+  struct PairKey {
+    size_t col_a;
+    ValueId val_a;
+    size_t col_b;
+    ValueId val_b;
+    bool operator==(const PairKey&) const = default;
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      uint64_t h = 1469598103934665603ull;
+      for (uint64_t part : {static_cast<uint64_t>(k.col_a),
+                            static_cast<uint64_t>(k.val_a),
+                            static_cast<uint64_t>(k.col_b),
+                            static_cast<uint64_t>(k.val_b)}) {
+        h ^= part;
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  struct MemoEntry {
+    RowSet rows;
+    std::list<PairKey>::iterator lru_it;
+  };
+  using MemoMap = std::unordered_map<PairKey, MemoEntry, PairKeyHash>;
+
+  static PairKey MakeKey(size_t col_a, ValueId val_a, size_t col_b,
+                         ValueId val_b);
+  static size_t EntryBytes(const RowSet& rows);
+  void Erase(MemoMap::iterator it);
+  /// Patches one entry for a write of `new_value` into `col`; the changed
+  /// rows are reported either as a bitmap or a single row id. Returns
+  /// false when the entry had to be dropped.
+  bool PatchEntry(MemoMap::iterator it, size_t col, const RowSet* changed,
+                  size_t row, ValueId new_value);
+  template <typename Fn>
+  void ForEachEntryOfColumn(size_t col, Fn&& fn);
+
+  size_t byte_budget_;
+  MemoMap map_;
+  std::list<PairKey> lru_;  // Front = most recently used.
+  /// Per-column key lists so writes only visit entries mentioning the
+  /// written column; stale keys (evicted entries) are compacted lazily.
+  std::unordered_map<size_t, std::vector<PairKey>> col_keys_;
+  size_t bytes_ = 0;
+  IntersectionMemoStats stats_;
+};
+
 }  // namespace falcon
 
 #endif  // FALCON_RELATIONAL_POSTING_INDEX_H_

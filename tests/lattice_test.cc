@@ -257,6 +257,49 @@ TEST(LatticeTest, ExcludeTargetAttrVariant) {
   }
 }
 
+// Two-row table with `arity` columns C0..C{arity-1}; row 0 is all "a",
+// row 1 all "b". Repairing (0, 0) to "fixed" gives top-node affected {0}.
+Table WideTable(size_t arity) {
+  std::vector<std::string> attrs;
+  for (size_t c = 0; c < arity; ++c) attrs.push_back("C" + std::to_string(c));
+  Table t("T_wide", Schema(attrs));
+  t.AppendRow(std::vector<std::string>(arity, "a"));
+  t.AppendRow(std::vector<std::string>(arity, "b"));
+  return t;
+}
+
+TEST(LatticeTest, BuildsAtMaxAttrsBoundary) {
+  // Exactly kMaxLatticeAttrs attributes (target included) must build — and,
+  // lazily, a 2^20-node lattice is cheap: only the bottom is resident.
+  Table wide = WideTable(kMaxLatticeAttrs + 2);
+  std::vector<size_t> cols;
+  for (size_t c = 1; c < kMaxLatticeAttrs; ++c) cols.push_back(c);
+  LatticeOptions options;
+  options.max_attrs = kMaxLatticeAttrs;
+  auto lat = Lattice::Build(wide, Repair{0, 0, "fixed"}, cols, options);
+  ASSERT_TRUE(lat.ok()) << lat.status();
+  EXPECT_EQ(lat->num_attrs(), kMaxLatticeAttrs);
+  EXPECT_EQ(lat->num_nodes(), NodeId{1} << kMaxLatticeAttrs);
+  EXPECT_EQ(lat->lazy_stats().nodes_materialized, 1u);
+  // Counting the top walks (and caches) one ancestor chain, nothing more.
+  EXPECT_EQ(lat->affected_count(lat->top()), 1u);
+  EXPECT_LE(lat->lazy_stats().nodes_materialized, kMaxLatticeAttrs);
+}
+
+TEST(LatticeTest, RejectsBuildJustBeyondMaxAttrs) {
+  // One more attribute must be refused with a message naming the cap.
+  Table wide = WideTable(kMaxLatticeAttrs + 2);
+  std::vector<size_t> cols;
+  for (size_t c = 1; c <= kMaxLatticeAttrs; ++c) cols.push_back(c);
+  LatticeOptions options;
+  options.max_attrs = kMaxLatticeAttrs + 1;
+  auto lat = Lattice::Build(wide, Repair{0, 0, "fixed"}, cols, options);
+  ASSERT_FALSE(lat.ok());
+  EXPECT_NE(lat.status().message().find("kMaxLatticeAttrs = 20"),
+            std::string::npos)
+      << lat.status();
+}
+
 TEST(LatticeTest, RejectsBadRepairs) {
   DrugExample ex = MakeDrugExample();
   EXPECT_FALSE(

@@ -204,5 +204,85 @@ TEST(PostingIndexTest, ByteBudgetEvictsLruEntries) {
   EXPECT_EQ(index.Postings(1, statin), ex.dirty.ScanEquals(1, statin));
 }
 
+RowSet BitsOf(size_t universe, std::initializer_list<size_t> rows) {
+  RowSet s(universe);
+  for (size_t r : rows) s.Set(r);
+  return s;
+}
+
+TEST(IntersectionMemoTest, FindIsKeyOrderInsensitive) {
+  IntersectionMemo memo;
+  RowSet rows = BitsOf(64, {1, 4});
+  memo.Put(2, ValueId{7}, 1, ValueId{3}, rows);
+  const RowSet* a = memo.Find(2, ValueId{7}, 1, ValueId{3});
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, rows);
+  // Swapped predicate order canonicalizes to the same entry.
+  const RowSet* b = memo.Find(1, ValueId{3}, 2, ValueId{7});
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*b, rows);
+  EXPECT_EQ(memo.cached_entries(), 1u);
+  EXPECT_EQ(memo.stats().hits, 2u);
+  EXPECT_EQ(memo.Find(1, ValueId{3}, 2, ValueId{8}), nullptr);
+  EXPECT_EQ(memo.stats().misses, 1u);
+}
+
+TEST(IntersectionMemoTest, ApplyWritePatchesExactly) {
+  IntersectionMemo memo;
+  // Entry over (col1 = v3) ∧ (col2 = v7) holding rows {1, 4, 9}.
+  memo.Put(1, ValueId{3}, 2, ValueId{7}, BitsOf(64, {1, 4, 9}));
+
+  // A write of a *different* value into col1 removes the changed rows:
+  // those rows no longer satisfy col1 = v3.
+  memo.ApplyWrite(1, BitsOf(64, {4, 20}), ValueId{5});
+  const RowSet* e = memo.Find(1, ValueId{3}, 2, ValueId{7});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(*e, BitsOf(64, {1, 9}));
+
+  // A write *onto* the entry's own value drops the entry — unknown rows
+  // may have joined the predicate.
+  memo.ApplyWrite(1, BitsOf(64, {30}), ValueId{3});
+  EXPECT_EQ(memo.Find(1, ValueId{3}, 2, ValueId{7}), nullptr);
+
+  // Single-cell variant behaves the same way.
+  memo.Put(1, ValueId{3}, 2, ValueId{7}, BitsOf(64, {1, 9}));
+  memo.ApplyCellWrite(1, /*row=*/9, ValueId{6});
+  e = memo.Find(1, ValueId{3}, 2, ValueId{7});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(*e, BitsOf(64, {1}));
+  memo.ApplyCellWrite(2, /*row=*/50, ValueId{7});
+  EXPECT_EQ(memo.Find(1, ValueId{3}, 2, ValueId{7}), nullptr);
+}
+
+TEST(IntersectionMemoTest, InvalidateColumnDropsOnlyThatColumn) {
+  IntersectionMemo memo;
+  memo.Put(1, ValueId{3}, 2, ValueId{7}, BitsOf(64, {1}));
+  memo.Put(3, ValueId{4}, 4, ValueId{9}, BitsOf(64, {2}));
+  memo.InvalidateColumn(2);
+  EXPECT_EQ(memo.Find(1, ValueId{3}, 2, ValueId{7}), nullptr);
+  EXPECT_NE(memo.Find(3, ValueId{4}, 4, ValueId{9}), nullptr);
+  EXPECT_EQ(memo.cached_entries(), 1u);
+}
+
+TEST(IntersectionMemoTest, ByteBudgetEvictsLru) {
+  // Budget sized for roughly two 64-row entries; inserting a third evicts
+  // the least recently used.
+  RowSet probe = BitsOf(64, {0});
+  IntersectionMemo sizer;
+  sizer.Put(0, ValueId{0}, 1, ValueId{0}, probe);
+  size_t entry_bytes = sizer.cached_bytes();
+  IntersectionMemo memo(entry_bytes * 2);
+  memo.Put(1, ValueId{1}, 2, ValueId{1}, BitsOf(64, {1}));
+  memo.Put(1, ValueId{2}, 2, ValueId{2}, BitsOf(64, {2}));
+  memo.Find(1, ValueId{1}, 2, ValueId{1});  // Refresh: entry 1 is now MRU.
+  memo.Put(1, ValueId{3}, 2, ValueId{3}, BitsOf(64, {3}));
+  EXPECT_EQ(memo.cached_entries(), 2u);
+  EXPECT_EQ(memo.stats().evictions, 1u);
+  // Entry 2 was the LRU victim; 1 and 3 survive.
+  EXPECT_NE(memo.Find(1, ValueId{1}, 2, ValueId{1}), nullptr);
+  EXPECT_EQ(memo.Find(1, ValueId{2}, 2, ValueId{2}), nullptr);
+  EXPECT_NE(memo.Find(1, ValueId{3}, 2, ValueId{3}), nullptr);
+}
+
 }  // namespace
 }  // namespace falcon

@@ -62,6 +62,23 @@ TEST(RowSetTest, IntersectCountMatchesAnd) {
   EXPECT_EQ(a.IntersectCount(b), c.Count());
 }
 
+TEST(RowSetTest, AndCountMatchesMaterializedAnd) {
+  // The fused kernel must agree with And-then-Count on every word shape:
+  // empty, dense, partial tail word.
+  for (size_t universe : {1u, 63u, 64u, 65u, 500u}) {
+    RowSet a(universe);
+    RowSet b(universe);
+    for (size_t i = 0; i < universe; i += 3) a.Set(i);
+    for (size_t i = 1; i < universe; i += 2) b.Set(i);
+    RowSet c = a;
+    c.And(b);
+    EXPECT_EQ(a.AndCount(b), c.Count()) << "universe " << universe;
+    EXPECT_EQ(b.AndCount(a), c.Count()) << "universe " << universe;
+    EXPECT_EQ(a.AndCount(RowSet(universe)), 0u);
+    EXPECT_EQ(a.AndCount(RowSet(universe, /*fill=*/true)), a.Count());
+  }
+}
+
 TEST(RowSetTest, SubsetAndDisjoint) {
   RowSet a(64);
   RowSet b(64);
