@@ -11,6 +11,11 @@
 //  3. Full cleaning sessions in delta / invalidate / budgeted-eviction
 //     modes: the determinism gate. user_updates / user_answers /
 //     cells_repaired / queries_applied must be bit-identical across modes.
+//  4. Compressed row-set sweep (--compressed, on by default): container
+//     kernel ns/op dense-vs-compressed on sparse and dense operands,
+//     posting-storage resident bytes + compression ratio + evictions under
+//     a shared byte budget, and a dense-vs-compressed session A/B whose
+//     final-table CRCs must match bit-for-bit.
 //
 // All errors are concentrated on one FD target attribute so every episode
 // repairs the same column — the workload where cache lifetime matters.
@@ -23,8 +28,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/hybrid_row_set.h"
 #include "core/lattice.h"
 #include "core/session.h"
+#include "core/session_journal.h"
 #include "datagen/datasets.h"
 #include "errorgen/injector.h"
 #include "relational/posting_index.h"
@@ -146,6 +153,130 @@ HotLoopResult RunHotLoop(const Table& dirty,
   return r;
 }
 
+// --- Compressed row-set sweep ----------------------------------------------
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct KernelPair {
+  double dense_ns = 0;  // ns per AndCount on the dense representation.
+  double comp_ns = 0;   // ns per AndCount on the compressed representation.
+};
+
+// Times AndCount over the same logical operands in both representations.
+// `sink` defeats dead-code elimination.
+KernelPair TimeAndCount(const RowSet& a, const RowSet& b, size_t reps,
+                        size_t* sink) {
+  HybridRowSet da(a), db(b), ca(a), cb(b);
+  ca.EnsureCompressed();
+  cb.EnsureCompressed();
+  KernelPair r;
+  double t0 = NowNs();
+  for (size_t i = 0; i < reps; ++i) *sink += da.AndCount(db);
+  r.dense_ns = (NowNs() - t0) / static_cast<double>(reps);
+  t0 = NowNs();
+  for (size_t i = 0; i < reps; ++i) *sink += ca.AndCount(cb);
+  r.comp_ns = (NowNs() - t0) / static_cast<double>(reps);
+  return r;
+}
+
+struct StorageSweep {
+  size_t entries = 0;
+  size_t dense_resident = 0;  // Resident bytes, dense index.
+  size_t comp_resident = 0;   // Resident bytes, compressed index.
+  double ratio = 0;           // dense_resident / comp_resident.
+  size_t arrays = 0, bitmaps = 0, runs = 0;
+  size_t dense_evictions = 0;  // Under the shared byte budget.
+  size_t comp_evictions = 0;
+};
+
+// Warms the same posting entries into a dense and a compressed index under
+// one shared byte budget, then compares resident bytes and evictions: the
+// compressed index should hold the same entries in a fraction of the bytes
+// and shed fewer under pressure.
+StorageSweep RunStorageSweep(const Table& dirty) {
+  // The sparse workload: postings below the compression density threshold
+  // (high-cardinality columns — keys, near-keys). Dense-column postings
+  // stay flat bitmaps by policy, so they'd measure the policy, not the
+  // container encoding.
+  std::vector<std::pair<size_t, ValueId>> keys;
+  size_t sparse_cap = dirty.num_rows() / 128;
+  for (size_t c = 0; c < dirty.num_cols(); ++c) {
+    std::vector<ValueId> seen;
+    for (size_t r = 0; r < dirty.num_rows() && seen.size() < 8; r += 131) {
+      ValueId v = dirty.cell(r, c);
+      bool dup = false;
+      for (ValueId p : seen) dup |= (p == v);
+      if (!dup) {
+        seen.push_back(v);
+        if (dirty.ScanEquals(c, v).Count() < sparse_cap) keys.push_back({c, v});
+      }
+    }
+  }
+  size_t dense_entry = ((dirty.num_rows() + 63) / 64) * 8 + 64;
+  PostingIndexOptions dense_opts;
+  dense_opts.byte_budget = dense_entry * (keys.size() / 2);  // Pressure.
+  PostingIndexOptions comp_opts = dense_opts;
+  comp_opts.compressed = true;
+  PostingIndex dense(&dirty, dense_opts);
+  PostingIndex comp(&dirty, comp_opts);
+  for (const auto& [c, v] : keys) {
+    dense.Postings(c, v);
+    comp.Postings(c, v);
+  }
+  dense.Trim();
+  comp.Trim();
+  StorageSweep s;
+  s.entries = keys.size();
+  PostingStorageStats ds = dense.StorageStats();
+  PostingStorageStats cs = comp.StorageStats();
+  s.dense_resident = ds.resident_bytes;
+  s.comp_resident = cs.resident_bytes;
+  // Compare per-entry cost (survivor counts differ under the budget).
+  double dense_per = ds.entries ? static_cast<double>(ds.resident_bytes) /
+                                      static_cast<double>(ds.entries)
+                                : 0;
+  double comp_per = cs.entries ? static_cast<double>(cs.resident_bytes) /
+                                     static_cast<double>(cs.entries)
+                               : 0;
+  s.ratio = comp_per > 0 ? dense_per / comp_per : 0;
+  s.arrays = cs.array_containers;
+  s.bitmaps = cs.bitmap_containers;
+  s.runs = cs.run_containers;
+  s.dense_evictions = dense.stats().evictions;
+  s.comp_evictions = comp.stats().evictions;
+  return s;
+}
+
+struct AbResult {
+  ModeResult run;
+  uint32_t crc = 0;
+};
+
+// Full cleaning session with an explicit final-table CRC — the cross-
+// representation determinism gate.
+AbResult RunAb(const std::string& name, const Table& clean,
+               const Table& dirty, bool compressed) {
+  SessionOptions options;
+  options.budget = 1000;
+  options.max_updates = 40;
+  options.compressed_rowsets = compressed;
+  Table work = dirty.Clone();
+  auto algorithm = MakeSearchAlgorithm(SearchKind::kDive);
+  AbResult r;
+  r.run.name = name;
+  double t0 = NowMs();
+  CleaningSession session(&clean, &work, algorithm.get(), options);
+  auto m = session.Run();
+  r.run.wall_ms = NowMs() - t0;
+  if (m.ok()) r.run.metrics = *m;
+  r.crc = TableContentsCrc(work);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +284,8 @@ int main(int argc, char** argv) {
   double scale = bench::ParseScale(flags);
   size_t rows = static_cast<size_t>(1000000.0 * scale);
   if (bench::ParseQuick(flags)) rows = 100000;
+  bool compressed_sweep = flags.GetBool(
+      "compressed", true, "run the compressed row-set storage/kernel sweep");
   if (auto rc = flags.Done("bench_micro_postings — posting-index delta vs rescan microbench")) return *rc;
   bench::PrintBanner(
       "bench_micro_postings — delta-maintained posting index vs rescan",
@@ -267,6 +400,69 @@ int main(int argc, char** argv) {
   std::printf("identical session metrics across modes: %s\n",
               identical ? "yes" : "NO — DETERMINISM BROKEN");
 
+  // --- Compressed row-set sweep --------------------------------------------
+  KernelPair sparse_kernel, dense_kernel;
+  StorageSweep storage;
+  AbResult ab_dense, ab_comp;
+  bool crc_match = true;
+  bool ab_metrics_match = true;
+  if (compressed_sweep) {
+    // Sparse operands: two real postings from the probe column.
+    RowSet sp_a = dirty.ScanEquals(1, probes[0]);
+    RowSet sp_b = dirty.ScanEquals(1, probes[1 % probes.size()]);
+    // Dense operands: ~50% / ~66% synthetic fills (bitmap containers, the
+    // regime where compressed must stay within ~1.2x of the flat words).
+    RowSet dn_a(dirty.num_rows()), dn_b(dirty.num_rows());
+    for (size_t r = 0; r < dirty.num_rows(); r += 2) dn_a.Set(r);
+    for (size_t r = 0; r < dirty.num_rows(); ++r) {
+      if (r % 3 != 0) dn_b.Set(r);
+    }
+    size_t sink = 0;
+    sparse_kernel = TimeAndCount(sp_a, sp_b, 2000, &sink);
+    dense_kernel = TimeAndCount(dn_a, dn_b, 200, &sink);
+    storage = RunStorageSweep(dirty);
+    ab_dense = RunAb("ab_dense", clean, dirty, /*compressed=*/false);
+    ab_comp = RunAb("ab_compressed", clean, dirty, /*compressed=*/true);
+    crc_match = ab_dense.crc == ab_comp.crc;
+    ab_metrics_match =
+        ab_dense.run.metrics.user_updates == ab_comp.run.metrics.user_updates &&
+        ab_dense.run.metrics.user_answers == ab_comp.run.metrics.user_answers &&
+        ab_dense.run.metrics.cells_repaired ==
+            ab_comp.run.metrics.cells_repaired &&
+        ab_dense.run.metrics.queries_applied ==
+            ab_comp.run.metrics.queries_applied;
+
+    std::printf("\ncompressed sweep (sink %zu):\n", sink % 2);
+    std::printf("  AndCount sparse: dense %8.0f ns  compressed %8.0f ns "
+                "(%.2fx)\n",
+                sparse_kernel.dense_ns, sparse_kernel.comp_ns,
+                sparse_kernel.dense_ns /
+                    std::max(sparse_kernel.comp_ns, 1e-9));
+    std::printf("  AndCount dense:  dense %8.0f ns  compressed %8.0f ns "
+                "(compressed/dense %.2fx)\n",
+                dense_kernel.dense_ns, dense_kernel.comp_ns,
+                dense_kernel.comp_ns / std::max(dense_kernel.dense_ns, 1e-9));
+    std::printf("  storage (%zu warmed entries, shared byte budget):\n",
+                storage.entries);
+    std::printf("    per-entry bytes dense/compressed: %.1fx  "
+                "(resident %zu vs %zu)\n",
+                storage.ratio, storage.dense_resident, storage.comp_resident);
+    std::printf("    containers: %zu array / %zu bitmap / %zu run\n",
+                storage.arrays, storage.bitmaps, storage.runs);
+    std::printf("    evictions under budget: dense %zu, compressed %zu\n",
+                storage.dense_evictions, storage.comp_evictions);
+    std::printf("  session A/B: dense %.1f ms (%zu KiB postings), "
+                "compressed %.1f ms (%zu KiB postings, %.1fx)\n",
+                ab_dense.run.wall_ms,
+                ab_dense.run.metrics.posting_resident_bytes / 1024,
+                ab_comp.run.wall_ms,
+                ab_comp.run.metrics.posting_resident_bytes / 1024,
+                ab_comp.run.metrics.posting_compression);
+    std::printf("  final-table CRC match: %s; metrics match: %s\n",
+                crc_match ? "yes" : "NO — DETERMINISM BROKEN",
+                ab_metrics_match ? "yes" : "NO — DETERMINISM BROKEN");
+  }
+
   FILE* f = std::fopen("BENCH_micro_postings.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"micro_postings\",\n  \"rows\": %zu,\n",
@@ -292,6 +488,38 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"identical_metrics\": %s,\n",
                  identical ? "true" : "false");
+    if (compressed_sweep) {
+      std::fprintf(
+          f,
+          "  \"compressed\": {\n"
+          "    \"kernels\": {\"sparse_dense_ns\": %.1f, "
+          "\"sparse_comp_ns\": %.1f, \"dense_dense_ns\": %.1f, "
+          "\"dense_comp_ns\": %.1f},\n",
+          sparse_kernel.dense_ns, sparse_kernel.comp_ns,
+          dense_kernel.dense_ns, dense_kernel.comp_ns);
+      std::fprintf(
+          f,
+          "    \"storage\": {\"entries\": %zu, "
+          "\"dense_resident_bytes\": %zu, \"comp_resident_bytes\": %zu, "
+          "\"per_entry_ratio\": %.2f, \"array_containers\": %zu, "
+          "\"bitmap_containers\": %zu, \"run_containers\": %zu, "
+          "\"dense_evictions\": %zu, \"comp_evictions\": %zu},\n",
+          storage.entries, storage.dense_resident, storage.comp_resident,
+          storage.ratio, storage.arrays, storage.bitmaps, storage.runs,
+          storage.dense_evictions, storage.comp_evictions);
+      std::fprintf(
+          f,
+          "    \"session_ab\": {\"dense_wall_ms\": %.1f, "
+          "\"comp_wall_ms\": %.1f, \"dense_posting_bytes\": %zu, "
+          "\"comp_posting_bytes\": %zu, \"comp_compression\": %.2f, "
+          "\"crc_match\": %s, \"metrics_match\": %s}\n  },\n",
+          ab_dense.run.wall_ms, ab_comp.run.wall_ms,
+          ab_dense.run.metrics.posting_resident_bytes,
+          ab_comp.run.metrics.posting_resident_bytes,
+          ab_comp.run.metrics.posting_compression,
+          crc_match ? "true" : "false",
+          ab_metrics_match ? "true" : "false");
+    }
     std::fprintf(f,
                  "  \"index_speedup\": %.2f,\n"
                  "  \"session_index_speedup\": %.2f,\n"
@@ -300,5 +528,5 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote BENCH_micro_postings.json\n");
   }
-  return identical ? 0 : 1;
+  return (identical && crc_match && ab_metrics_match) ? 0 : 1;
 }

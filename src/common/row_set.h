@@ -35,7 +35,15 @@ class RowSet {
   /// writers touch disjoint ranges). Word i covers rows [64i, 64i+64).
   size_t num_words() const { return words_.size(); }
   uint64_t word(size_t i) const { return words_[i]; }
-  void SetWord(size_t i, uint64_t w) { words_[i] = w; }
+  void SetWord(size_t i, uint64_t w) {
+    // The tail word covers rows past universe_size(); storing raw bits there
+    // would corrupt Count()/Complement()/Hash() invariants, so trim them.
+    size_t tail = universe_size_ & 63;
+    if (tail != 0 && i + 1 == words_.size()) {
+      w &= (uint64_t{1} << tail) - 1;
+    }
+    words_[i] = w;
+  }
 
   void Set(size_t row) { words_[row >> 6] |= (uint64_t{1} << (row & 63)); }
   void Clear(size_t row) { words_[row >> 6] &= ~(uint64_t{1} << (row & 63)); }
@@ -178,6 +186,10 @@ class RowSet {
     ForEach([&](size_t r) { rows.push_back(static_cast<uint32_t>(r)); });
     return rows;
   }
+
+  /// Resident heap bytes of the word storage (capacity-based, matching the
+  /// exact accounting in the posting index).
+  size_t HeapBytes() const { return words_.capacity() * sizeof(uint64_t); }
 
   /// Returns the first set row, or universe_size() if empty.
   size_t First() const {

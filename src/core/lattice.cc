@@ -81,6 +81,7 @@ StatusOr<Lattice> Lattice::Build(const Table& table, const Repair& repair,
   lat.index_ = options.naive_init ? nullptr : options.index;
   lat.maintain_index_ = options.maintain_index;
   lat.lazy_ = options.lazy && !options.naive_init;
+  lat.compressed_ = options.compressed && !options.naive_init;
   lat.memo_ = lat.lazy_ ? options.memo : nullptr;
   lat.affected_.resize(n_nodes);
   lat.counts_.assign(n_nodes, kNoCount);
@@ -111,7 +112,8 @@ void Lattice::InitBottomAndPreds(const Table& table) {
   if (index_ != nullptr) {
     affected_[0] = index_->Postings(repair_.col, target_value_).Complement();
   } else {
-    affected_[0] = table.ScanEquals(repair_.col, target_value_).Complement();
+    affected_[0] = HybridRowSet(
+        table.ScanEquals(repair_.col, target_value_).Complement());
   }
 
   // Per-attribute posting bitmaps for the bound predicate constants,
@@ -125,8 +127,21 @@ void Lattice::InitBottomAndPreds(const Table& table) {
     if (index_ != nullptr) {
       preds_.push_back(index_->Postings(cols_[i], bindings_[i]));
     } else {
-      preds_.push_back(table.ScanEquals(cols_[i], bindings_[i]));
+      preds_.push_back(HybridRowSet(table.ScanEquals(cols_[i], bindings_[i])));
     }
+  }
+
+  // Representation policy: compressed mode compacts every bitmap by its
+  // measured density; dense mode forces dense storage even when a
+  // compressed posting index handed over compressed copies. Either way
+  // the lattice's storage depends only on its own option, so the A/B
+  // switch composes freely with both posting modes.
+  if (compressed_) {
+    affected_[0].Compact(affected_[0].Count());
+    for (HybridRowSet& p : preds_) p.Compact(p.Count());
+  } else {
+    affected_[0].EnsureDense();
+    for (HybridRowSet& p : preds_) p.EnsureDense();
   }
 }
 
@@ -138,6 +153,7 @@ void Lattice::EagerChain() {
     int bit = std::countr_zero(m);
     affected_[m] = affected_[parent];
     affected_[m].And(preds_[static_cast<size_t>(bit)]);
+    if (compressed_) affected_[m].Compact(affected_[m].Count());
   }
 }
 
@@ -180,7 +196,7 @@ void Lattice::MarkCached(NodeId m) const {
   }
 }
 
-const RowSet& Lattice::MaterializeBitmap(NodeId m) const {
+const HybridRowSet& Lattice::MaterializeBitmap(NodeId m) const {
   if (materialized(m)) return affected_[m];
   int lo = std::countr_zero(m);
   NodeId parent = m & (m - 1);
@@ -190,12 +206,12 @@ const RowSet& Lattice::MaterializeBitmap(NodeId m) const {
     // session's lattices (bindings repeat) — serve or seed the memo.
     size_t i = static_cast<size_t>(lo);
     size_t j = static_cast<size_t>(std::countr_zero(parent));
-    if (const RowSet* entry = memo_->Find(cols_[i], bindings_[i], cols_[j],
-                                          bindings_[j])) {
+    if (const HybridRowSet* entry = memo_->Find(cols_[i], bindings_[i],
+                                                cols_[j], bindings_[j])) {
       affected_[m] = *entry;
       affected_[m].And(affected_[0]);
     } else {
-      RowSet inter = preds_[i];
+      HybridRowSet inter = preds_[i];
       inter.And(preds_[j]);
       affected_[m] = inter;
       affected_[m].And(affected_[0]);
@@ -203,16 +219,22 @@ const RowSet& Lattice::MaterializeBitmap(NodeId m) const {
                  std::move(inter));
     }
   } else {
-    const RowSet& p = MaterializeBitmap(parent);
+    const HybridRowSet& p = MaterializeBitmap(parent);
     affected_[m] = p;
     affected_[m].And(preds_[static_cast<size_t>(lo)]);
   }
+  // The bits are resident, so the count is free — record it (identically
+  // in both representations, keeping the lazy counters aligned) and let
+  // the density policy pick the storage.
+  size_t count = affected_[m].Count();
+  if (counts_[m] == kNoCount) counts_[m] = count;
+  if (compressed_) affected_[m].Compact(count);
   MarkCached(m);
   ++nodes_materialized_;
   return affected_[m];
 }
 
-const RowSet& Lattice::AffectedRows(NodeId n) const {
+const HybridRowSet& Lattice::AffectedRows(NodeId n) const {
   return MaterializeBitmap(n);
 }
 
@@ -224,18 +246,18 @@ size_t Lattice::Count(NodeId n) const {
   } else if (memo_ != nullptr && std::popcount(n) == 2) {
     size_t i = static_cast<size_t>(std::countr_zero(n));
     size_t j = static_cast<size_t>(std::countr_zero(n & (n - 1)));
-    if (const RowSet* entry =
+    if (const HybridRowSet* entry =
             memo_->Find(cols_[i], bindings_[i], cols_[j], bindings_[j])) {
       // Count-only memo hit: one fused pass, no bitmap resident at all.
       c = affected_[0].AndCount(*entry);
       ++fused_count_calls_;
     } else {
-      const RowSet& p = MaterializeBitmap(n & (n - 1));
+      const HybridRowSet& p = MaterializeBitmap(n & (n - 1));
       c = p.AndCount(preds_[i]);
       ++fused_count_calls_;
     }
   } else {
-    const RowSet& p = MaterializeBitmap(n & (n - 1));
+    const HybridRowSet& p = MaterializeBitmap(n & (n - 1));
     c = p.AndCount(preds_[static_cast<size_t>(std::countr_zero(n))]);
     ++fused_count_calls_;
   }
@@ -292,6 +314,12 @@ void Lattice::EnsureCounts(const std::vector<NodeId>& nodes) const {
               affected_[m] = affected_[m & (m - 1)];
               affected_[m].And(preds_[static_cast<size_t>(
                   std::countr_zero(m))]);
+              // Mirror MaterializeBitmap: record the free count and let
+              // the density policy pick the storage (disjoint slots, and
+              // Compact depends only on the count — deterministic).
+              size_t count = affected_[m].Count();
+              if (counts_[m] == kNoCount) counts_[m] = count;
+              if (compressed_) affected_[m].Compact(count);
             }
           });
       for (NodeId m : level) MarkCached(m);
@@ -362,7 +390,10 @@ std::vector<NodeId> Lattice::UnknownNodes() const {
 }
 
 RowSet Lattice::ApplyNode(NodeId n, Table& table, Status* fault) {
-  RowSet changed = AffectedRows(n);
+  // The changed set is consumed as scan-shard scratch (per-row writes,
+  // delta reports, AndNot patches) — export it dense regardless of the
+  // node's storage representation.
+  RowSet changed = AffectedRows(n).ToDense();
   size_t changed_count = Count(n);
   // Delta-maintain the posting cache while the old values are still in the
   // table: each written row leaves its old value's bitmap and joins the
@@ -470,7 +501,7 @@ void Lattice::RecomputeAffected(const Table& table) {
     // predicate bitmaps from the (possibly externally modified) table;
     // later accesses re-materialize against the new contents.
     for (NodeId m : cached_nodes_) {
-      affected_[m] = RowSet();
+      affected_[m] = HybridRowSet();
       counts_[m] = kNoCount;
       cached_flag_[m] = 0;
     }
@@ -570,7 +601,7 @@ NodeId Lattice::Representative(NodeId n) {
   // member of n's equal-affected-set class — the representative — and
   // costs one subset test per absent attribute instead of grouping all
   // 2^k nodes. An empty affected set closes to the top node.
-  const RowSet& rows = AffectedRows(n);
+  const HybridRowSet& rows = AffectedRows(n);
   NodeId rep = n;
   for (size_t i = 0; i < cols_.size(); ++i) {
     if ((n >> i) & 1) continue;

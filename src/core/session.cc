@@ -39,6 +39,14 @@ void CleaningSession::ExportPostingStats() {
   metrics_.posting_evictions = s.evictions;
   metrics_.posting_scan_ms = s.scan_ms;
   metrics_.posting_delta_ms = s.delta_ms;
+  PostingStorageStats storage = posting_index_->StorageStats();
+  metrics_.posting_entries = storage.entries;
+  metrics_.posting_resident_bytes = storage.resident_bytes;
+  metrics_.posting_dense_bytes = storage.dense_bytes;
+  metrics_.posting_compression = storage.compression();
+  metrics_.posting_array_containers = storage.array_containers;
+  metrics_.posting_bitmap_containers = storage.bitmap_containers;
+  metrics_.posting_run_containers = storage.run_containers;
   if (intersection_memo_ != nullptr) {
     metrics_.lattice_memo_hits = intersection_memo_->stats().hits;
     metrics_.lattice_memo_misses = intersection_memo_->stats().misses;
@@ -119,8 +127,10 @@ Status CleaningSession::Start(bool fresh) {
   PostingIndexOptions posting_options;
   posting_options.delta_maintenance = options_.posting_delta;
   posting_options.byte_budget = options_.posting_budget_bytes;
+  posting_options.compressed = options_.compressed_rowsets;
   posting_index_ = std::make_unique<PostingIndex>(dirty_, posting_options);
   lattice_options_ = options_.lattice;
+  lattice_options_.compressed = options_.compressed_rowsets;
   if (options_.use_posting_index && !lattice_options_.naive_init) {
     lattice_options_.index = posting_index_.get();
   }

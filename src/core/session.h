@@ -66,6 +66,13 @@ struct SessionOptions {
   /// are evicted between lattice episodes so million-row tables don't
   /// hoard memory.
   size_t posting_budget_bytes = 0;
+  /// Store postings, memoized intersections, and lattice bitmaps in the
+  /// density-adaptive compressed representation (Roaring-style containers
+  /// with exact byte accounting). Bit-identical questions/answers/metrics/
+  /// final tables to dense mode — only resident bytes change, so far more
+  /// of the posting universe fits in posting_budget_bytes. Off restores
+  /// the all-dense A/B baseline.
+  bool compressed_rowsets = true;
   /// Memoize pairwise predicate intersections across the session's
   /// lattices (lazy materialization only): successive repairs rebuild
   /// lattices over recurring predicate pairs, and the memo turns their
@@ -128,6 +135,15 @@ struct SessionMetrics {
   size_t posting_evictions = 0;
   double posting_scan_ms = 0.0;   ///< Table-scan time filling the cache.
   double posting_delta_ms = 0.0;  ///< Time patching bitmaps in place.
+
+  // Posting storage at the end of the run (see PostingStorageStats).
+  size_t posting_entries = 0;         ///< Cached (column, value) bitmaps.
+  size_t posting_resident_bytes = 0;  ///< Exact heap bytes of cached bitmaps.
+  size_t posting_dense_bytes = 0;     ///< Dense-equivalent bytes of the same.
+  double posting_compression = 1.0;   ///< dense/resident (>1 ⇒ winning).
+  size_t posting_array_containers = 0;
+  size_t posting_bitmap_containers = 0;
+  size_t posting_run_containers = 0;
 
   // Lazy lattice materialization over the run (see Lattice::LazyStats).
   size_t nodes_materialized = 0;   ///< Node bitmaps actually computed.

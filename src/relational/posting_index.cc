@@ -17,28 +17,57 @@ PostingIndex::Timer::Timer(double* sink) : sink_(sink), start_ms_(NowMs()) {}
 
 PostingIndex::Timer::~Timer() { *sink_ += NowMs() - start_ms_; }
 
-size_t PostingIndex::EntryBytes() const {
-  // Bitmap words dominate; the map/list bookkeeping is charged as a flat
-  // overhead so tiny tables still converge under a budget.
-  return ((table_->num_rows() + 63) / 64) * sizeof(uint64_t) + 64;
-}
-
 PostingIndex::Entry& PostingIndex::Insert(size_t col, ValueId v, RowSet rows) {
   lru_.push_front(Key{col, v});
   Entry& e = cache_[col][v];
-  e.rows = std::move(rows);
+  e.rows = HybridRowSet(std::move(rows));
+  if (options_.compressed) {
+    // Density-adaptive: sparse postings compress, dense ones stay word
+    // bitmaps. Deterministic in the posting's cardinality only.
+    e.rows.Compact(e.rows.Count());
+  }
   e.lru_it = lru_.begin();
-  bytes_ += EntryBytes();
+  e.bytes = EntryBytes(e.rows);
+  bytes_ += e.bytes;
   return e;
 }
 
 void PostingIndex::EraseEntry(size_t col, ColumnCache::iterator it) {
   lru_.erase(it->second.lru_it);
+  bytes_ -= it->second.bytes;
   cache_[col].erase(it);
-  bytes_ -= EntryBytes();
 }
 
-const RowSet& PostingIndex::Postings(size_t col, ValueId v) {
+void PostingIndex::ReaccountTouched(std::vector<Entry*>& touched) {
+  for (Entry* e : touched) {
+    size_t now = EntryBytes(e->rows);
+    bytes_ += now;
+    bytes_ -= e->bytes;
+    e->bytes = now;
+    e->dirty = false;
+  }
+}
+
+PostingStorageStats PostingIndex::StorageStats() const {
+  PostingStorageStats s;
+  size_t dense_entry = ((table_->num_rows() + 63) / 64) * sizeof(uint64_t);
+  for (const ColumnCache& cache : cache_) {
+    for (const auto& [v, e] : cache) {
+      ++s.entries;
+      s.resident_bytes += e.rows.HeapBytes();
+      s.dense_bytes += dense_entry;
+      if (e.rows.compressed()) {
+        auto cs = e.rows.comp().container_stats();
+        s.array_containers += cs.arrays;
+        s.bitmap_containers += cs.bitmaps;
+        s.run_containers += cs.runs;
+      }
+    }
+  }
+  return s;
+}
+
+const HybridRowSet& PostingIndex::Postings(size_t col, ValueId v) {
   ColumnCache& cache = cache_[col];
   auto it = cache.find(v);
   if (it != cache.end()) {
@@ -71,16 +100,22 @@ void PostingIndex::ApplyCellDelta(size_t col, size_t row, ValueId old_value,
   Timer timer(&stats_.delta_ms);
   ColumnCache& cache = cache_[col];
   if (cache.empty()) return;
-  if (RowSet* bits = FindBitmap(cache, old_value)) bits->Clear(row);
-  if (RowSet* bits = FindBitmap(cache, new_value)) bits->Set(row);
+  std::vector<Entry*> touched;
+  if (Entry* e = Touch(FindEntry(cache, old_value), touched)) {
+    e->rows.Clear(row);
+  }
+  if (Entry* e = Touch(FindEntry(cache, new_value), touched)) {
+    e->rows.Set(row);
+  }
   ++stats_.delta_rows;
+  ReaccountTouched(touched);
 }
 
 void PostingIndex::InvalidateColumn(size_t col) {
   ColumnCache& cache = cache_[col];
   for (auto it = cache.begin(); it != cache.end(); ++it) {
     lru_.erase(it->second.lru_it);
-    bytes_ -= EntryBytes();
+    bytes_ -= it->second.bytes;
   }
   cache.clear();
 }
@@ -115,14 +150,14 @@ IntersectionMemo::PairKey IntersectionMemo::MakeKey(size_t col_a,
   return PairKey{col_a, val_a, col_b, val_b};
 }
 
-size_t IntersectionMemo::EntryBytes(const RowSet& rows) {
-  // Bitmap words dominate; map/list/key bookkeeping is charged flat so the
-  // budget still bites on tiny tables.
-  return rows.num_words() * sizeof(uint64_t) + 96;
+size_t IntersectionMemo::EntryBytes(const HybridRowSet& rows) {
+  // Measured bitmap bytes dominate; map/list/key bookkeeping is charged
+  // flat so the budget still bites on tiny tables.
+  return rows.HeapBytes() + 96;
 }
 
-const RowSet* IntersectionMemo::Find(size_t col_a, ValueId val_a,
-                                     size_t col_b, ValueId val_b) {
+const HybridRowSet* IntersectionMemo::Find(size_t col_a, ValueId val_a,
+                                           size_t col_b, ValueId val_b) {
   auto it = map_.find(MakeKey(col_a, val_a, col_b, val_b));
   if (it == map_.end()) {
     ++stats_.misses;
@@ -134,14 +169,15 @@ const RowSet* IntersectionMemo::Find(size_t col_a, ValueId val_a,
 }
 
 void IntersectionMemo::Put(size_t col_a, ValueId val_a, size_t col_b,
-                           ValueId val_b, RowSet rows) {
+                           ValueId val_b, HybridRowSet rows) {
   PairKey key = MakeKey(col_a, val_a, col_b, val_b);
   auto it = map_.find(key);
   if (it != map_.end()) {
     // Refresh in place (same predicates, possibly newer table state).
-    bytes_ -= EntryBytes(it->second.rows);
+    bytes_ -= it->second.bytes;
     it->second.rows = std::move(rows);
-    bytes_ += EntryBytes(it->second.rows);
+    it->second.bytes = EntryBytes(it->second.rows);
+    bytes_ += it->second.bytes;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return;
   }
@@ -149,7 +185,8 @@ void IntersectionMemo::Put(size_t col_a, ValueId val_a, size_t col_b,
   MemoEntry& e = map_[key];
   e.rows = std::move(rows);
   e.lru_it = lru_.begin();
-  bytes_ += EntryBytes(e.rows);
+  e.bytes = EntryBytes(e.rows);
+  bytes_ += e.bytes;
   col_keys_[key.col_a].push_back(key);
   if (key.col_b != key.col_a) col_keys_[key.col_b].push_back(key);
   // Enforce the budget now — callers copy entries out immediately, so no
@@ -164,7 +201,7 @@ void IntersectionMemo::Put(size_t col_a, ValueId val_a, size_t col_b,
 }
 
 void IntersectionMemo::Erase(MemoMap::iterator it) {
-  bytes_ -= EntryBytes(it->second.rows);
+  bytes_ -= it->second.bytes;
   lru_.erase(it->second.lru_it);
   map_.erase(it);  // col_keys_ is compacted lazily on the next write walk.
 }
@@ -187,6 +224,10 @@ bool IntersectionMemo::PatchEntry(MemoMap::iterator it, size_t col,
   } else {
     it->second.rows.Clear(row);
   }
+  // The patch may have shrunk (or re-encoded) the stored bitmap.
+  bytes_ -= it->second.bytes;
+  it->second.bytes = EntryBytes(it->second.rows);
+  bytes_ += it->second.bytes;
   return true;
 }
 

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hybrid_row_set.h"
 #include "common/row_set.h"
 #include "relational/table.h"
 
@@ -35,6 +36,11 @@ struct PostingIndexOptions {
   /// Cache size cap in bytes (0 = unbounded). Enforced by Trim(), which
   /// evicts least-recently-used entries.
   size_t byte_budget = 0;
+  /// Store postings in the density-adaptive compressed representation
+  /// (Roaring-style containers). Bit-identical to dense mode; sparse
+  /// postings cost bytes proportional to their cardinality instead of the
+  /// table size, so far more of the posting universe fits in the budget.
+  bool compressed = false;
 };
 
 /// Counters surfaced through SessionMetrics and the benches.
@@ -45,6 +51,26 @@ struct PostingIndexStats {
   size_t evictions = 0;   ///< Entries dropped by Trim().
   double scan_ms = 0.0;   ///< Time spent in table scans (fills).
   double delta_ms = 0.0;  ///< Time spent applying deltas.
+};
+
+/// Exact resident-storage breakdown of the posting cache (surfaced through
+/// SessionMetrics and the benches). `resident_bytes` is the measured heap
+/// footprint of the stored bitmaps — in compressed mode this is what the
+/// LRU budget accounts, replacing the old dense n/8-per-entry estimate.
+struct PostingStorageStats {
+  size_t entries = 0;         ///< Cached (column, value) bitmaps.
+  size_t resident_bytes = 0;  ///< Exact heap bytes of the stored bitmaps.
+  size_t dense_bytes = 0;     ///< What the same entries would cost dense.
+  size_t array_containers = 0;
+  size_t bitmap_containers = 0;
+  size_t run_containers = 0;
+  /// Dense-to-resident ratio (> 1 means compression is winning).
+  double compression() const {
+    return resident_bytes == 0
+               ? 1.0
+               : static_cast<double>(dense_bytes) /
+                     static_cast<double>(resident_bytes);
+  }
 };
 
 class PostingIndex {
@@ -61,7 +87,7 @@ class PostingIndex {
   /// Rows where `col` equals `v`. First call scans the column; later calls
   /// are cache hits until the entry is invalidated or evicted. The returned
   /// reference stays valid until InvalidateColumn/InvalidateAll/Trim.
-  const RowSet& Postings(size_t col, ValueId v);
+  const HybridRowSet& Postings(size_t col, ValueId v);
 
   /// Batch fill: caches postings for every value of `col` not yet cached in
   /// a single pass over the column (Table::ScanEqualsMulti).
@@ -79,21 +105,23 @@ class PostingIndex {
     Timer timer(&stats_.delta_ms);
     ColumnCache& cache = cache_[col];
     if (cache.empty()) return;
-    RowSet* new_bits = FindBitmap(cache, new_value);
+    std::vector<Entry*> touched;
+    Entry* new_entry = Touch(FindEntry(cache, new_value), touched);
     // Runs of rows frequently share the old value; memoize the last lookup.
     ValueId memo_value = new_value;
-    RowSet* memo_bits = nullptr;
+    Entry* memo_entry = nullptr;
     rows.ForEach([&](size_t r) {
       ValueId old = old_value(r);
       if (old == new_value) return;
       if (old != memo_value) {
         memo_value = old;
-        memo_bits = FindBitmap(cache, old);
+        memo_entry = Touch(FindEntry(cache, old), touched);
       }
-      if (memo_bits != nullptr) memo_bits->Clear(r);
-      if (new_bits != nullptr) new_bits->Set(r);
+      if (memo_entry != nullptr) memo_entry->rows.Clear(r);
+      if (new_entry != nullptr) new_entry->rows.Set(r);
       ++stats_.delta_rows;
     });
+    ReaccountTouched(touched);
   }
 
   /// Single-cell delta (the session's manual-fix path).
@@ -115,10 +143,18 @@ class PostingIndex {
   size_t hits() const { return stats_.hits; }
   size_t misses() const { return stats_.misses; }
 
+  /// Exact resident-storage breakdown (entries, measured bytes, dense
+  /// equivalent, per-container tallies). Walks the cache; O(entries).
+  PostingStorageStats StorageStats() const;
+
  private:
   using Key = std::pair<size_t, ValueId>;  // (column, value).
   struct Entry {
-    RowSet rows;
+    HybridRowSet rows;
+    /// Exact accounted bytes of `rows` at last (re-)accounting, including
+    /// the flat per-entry bookkeeping charge.
+    size_t bytes = 0;
+    bool dirty = false;  ///< In the current delta's touched list.
     std::list<Key>::iterator lru_it;
   };
   using ColumnCache = std::unordered_map<ValueId, Entry>;
@@ -134,12 +170,28 @@ class PostingIndex {
     double start_ms_;
   };
 
-  RowSet* FindBitmap(ColumnCache& cache, ValueId v) {
+  Entry* FindEntry(ColumnCache& cache, ValueId v) {
     auto it = cache.find(v);
-    return it == cache.end() ? nullptr : &it->second.rows;
+    return it == cache.end() ? nullptr : &it->second;
   }
 
-  size_t EntryBytes() const;
+  /// Adds a to-be-mutated entry to the touched list (once) so its byte
+  /// accounting can be refreshed after the patch.
+  static Entry* Touch(Entry* e, std::vector<Entry*>& touched) {
+    if (e != nullptr && !e->dirty) {
+      e->dirty = true;
+      touched.push_back(e);
+    }
+    return e;
+  }
+  /// Re-measures every touched entry and folds the delta into bytes_.
+  void ReaccountTouched(std::vector<Entry*>& touched);
+
+  /// Exact accounted bytes for a stored bitmap (measured heap + flat
+  /// bookkeeping overhead so tiny tables still converge under a budget).
+  static size_t EntryBytes(const HybridRowSet& rows) {
+    return rows.HeapBytes() + 64;
+  }
   Entry& Insert(size_t col, ValueId v, RowSet rows);
   void EraseEntry(size_t col, ColumnCache::iterator it);
 
@@ -192,12 +244,15 @@ class IntersectionMemo {
   /// Cached intersection of (col_a = val_a) ∧ (col_b = val_b), or nullptr.
   /// The reference stays valid only until the next Put/Apply*/Invalidate
   /// call — copy out of it before touching the memo again.
-  const RowSet* Find(size_t col_a, ValueId val_a, size_t col_b, ValueId val_b);
+  const HybridRowSet* Find(size_t col_a, ValueId val_a, size_t col_b,
+                           ValueId val_b);
 
-  /// Caches `rows` as the intersection of the two predicates; enforces the
-  /// byte budget by evicting least-recently-used entries.
+  /// Caches `rows` as the intersection of the two predicates (in whichever
+  /// representation the caller hands over — the lattice compacts sparse
+  /// intersections before the Put); enforces the byte budget by evicting
+  /// least-recently-used entries.
   void Put(size_t col_a, ValueId val_a, size_t col_b, ValueId val_b,
-           RowSet rows);
+           HybridRowSet rows);
 
   /// The caller wrote `new_value` into every row of `changed` in `col`.
   /// Entries over (col = v), v ≠ new_value lose the changed rows exactly;
@@ -239,14 +294,15 @@ class IntersectionMemo {
     }
   };
   struct MemoEntry {
-    RowSet rows;
+    HybridRowSet rows;
+    size_t bytes = 0;  ///< Exact accounted bytes at last (re-)accounting.
     std::list<PairKey>::iterator lru_it;
   };
   using MemoMap = std::unordered_map<PairKey, MemoEntry, PairKeyHash>;
 
   static PairKey MakeKey(size_t col_a, ValueId val_a, size_t col_b,
                          ValueId val_b);
-  static size_t EntryBytes(const RowSet& rows);
+  static size_t EntryBytes(const HybridRowSet& rows);
   void Erase(MemoMap::iterator it);
   /// Patches one entry for a write of `new_value` into `col`; the changed
   /// rows are reported either as a bitmap or a single row id. Returns

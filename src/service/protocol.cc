@@ -152,6 +152,9 @@ JsonValue StatusBody(const SessionStatus& st) {
   metrics.Set("queries_applied", st.metrics.queries_applied);
   metrics.Set("converged", st.metrics.converged);
   metrics.Set("benefit", st.metrics.Benefit());
+  metrics.Set("posting_entries", st.metrics.posting_entries);
+  metrics.Set("posting_resident_bytes", st.metrics.posting_resident_bytes);
+  metrics.Set("posting_compression", st.metrics.posting_compression);
 
   JsonValue body = JsonValue::Object();
   body.Set("session", st.id);

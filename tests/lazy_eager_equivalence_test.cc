@@ -1,11 +1,12 @@
-// Lazy materialization is an optimization, not a semantics change: every
-// observable of a cleaning run — the questions asked (after closed-set
-// redirection), the answers, the applied repairs, the final table — must be
-// bit-identical between options.lattice.lazy = {true, false}, for every
-// search algorithm and both posting-maintenance modes. These sweeps pin
-// that property on seeded random workloads; the direct lattice tests pin
-// the accessor-level equivalence (affected sets, counts, representatives)
-// including after applied queries.
+// Lazy materialization and compressed row-set storage are optimizations,
+// not semantics changes: every observable of a cleaning run — the
+// questions asked (after closed-set redirection), the answers, the applied
+// repairs, the final table CRC — must be bit-identical across
+// options.lattice.lazy = {true, false} × options.compressed_rowsets =
+// {false, true}, for every search algorithm and both posting-maintenance
+// modes. These sweeps pin that property on seeded random workloads; the
+// direct lattice tests pin the accessor-level equivalence (affected sets,
+// counts, representatives) including after applied queries.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -16,6 +17,7 @@
 #include "core/lattice.h"
 #include "core/oracle.h"
 #include "core/session.h"
+#include "core/session_journal.h"
 #include "datagen/datasets.h"
 #include "errorgen/injector.h"
 #include "relational/posting_index.h"
@@ -64,16 +66,18 @@ Workload MakeWorkload(size_t rows, uint64_t seed) {
 struct RunResult {
   SessionMetrics metrics;
   Table final_table;
+  uint32_t final_crc = 0;
   std::vector<RecordingOracle::Asked> asked;
 };
 
 RunResult RunOnce(const Workload& w, SearchKind kind, bool lazy,
-                  bool posting_delta, uint64_t seed) {
+                  bool posting_delta, bool compressed, uint64_t seed) {
   SessionOptions options;
   options.budget = 3;
   options.seed = seed;
   options.posting_delta = posting_delta;
   options.lattice.lazy = lazy;
+  options.compressed_rowsets = compressed;
   RecordingOracle oracle(&w.clean, seed);
   options.oracle = &oracle;
   Table dirty = w.dirty.Clone();
@@ -81,7 +85,7 @@ RunResult RunOnce(const Workload& w, SearchKind kind, bool lazy,
   CleaningSession session(&w.clean, &dirty, algorithm.get(), options);
   auto m = session.Run();
   FALCON_CHECK(m.ok());
-  return {*m, dirty.Clone(), oracle.asked()};
+  return {*m, dirty.Clone(), TableContentsCrc(dirty), oracle.asked()};
 }
 
 struct EquivParam {
@@ -100,34 +104,67 @@ class LazyEagerEquivalenceTest : public ::testing::TestWithParam<EquivParam> {
 TEST_P(LazyEagerEquivalenceTest, RunsBitIdentical) {
   for (uint64_t seed : {11u, 42u}) {
     Workload w = MakeWorkload(1200, seed);
-    RunResult lazy = RunOnce(w, GetParam().kind, /*lazy=*/true,
-                             GetParam().posting_delta, /*seed=*/1234 + seed);
-    RunResult eager = RunOnce(w, GetParam().kind, /*lazy=*/false,
-                              GetParam().posting_delta, /*seed=*/1234 + seed);
+    // Full grid: {lazy, eager} × {dense, compressed}. The lazy+dense run
+    // is the baseline every other configuration must match bit-for-bit.
+    struct Config {
+      bool lazy;
+      bool compressed;
+      const char* name;
+    };
+    const Config configs[] = {{true, false, "lazy/dense"},
+                              {false, false, "eager/dense"},
+                              {true, true, "lazy/compressed"},
+                              {false, true, "eager/compressed"}};
+    std::vector<RunResult> runs;
+    for (const Config& cfg : configs) {
+      runs.push_back(RunOnce(w, GetParam().kind, cfg.lazy,
+                             GetParam().posting_delta, cfg.compressed,
+                             /*seed=*/1234 + seed));
+    }
+    const RunResult& base = runs[0];
 
-    // Interaction accounting matches exactly.
-    EXPECT_EQ(lazy.metrics.user_updates, eager.metrics.user_updates);
-    EXPECT_EQ(lazy.metrics.user_answers, eager.metrics.user_answers);
-    EXPECT_EQ(lazy.metrics.cells_repaired, eager.metrics.cells_repaired);
-    EXPECT_EQ(lazy.metrics.queries_applied, eager.metrics.queries_applied);
-    EXPECT_EQ(lazy.metrics.converged, eager.metrics.converged);
+    for (size_t k = 1; k < runs.size(); ++k) {
+      const RunResult& other = runs[k];
+      SCOPED_TRACE(std::string("config ") + configs[k].name);
 
-    // Same questions, in the same order, with the same answers — this
-    // covers closed-set representative redirection too, since the oracle
-    // sees the redirected node.
-    ASSERT_EQ(lazy.asked.size(), eager.asked.size());
-    for (size_t i = 0; i < lazy.asked.size(); ++i) {
-      EXPECT_EQ(lazy.asked[i].node, eager.asked[i].node) << "question " << i;
-      EXPECT_EQ(lazy.asked[i].target_col, eager.asked[i].target_col);
-      EXPECT_EQ(lazy.asked[i].valid, eager.asked[i].valid);
+      // Interaction accounting matches exactly.
+      EXPECT_EQ(base.metrics.user_updates, other.metrics.user_updates);
+      EXPECT_EQ(base.metrics.user_answers, other.metrics.user_answers);
+      EXPECT_EQ(base.metrics.cells_repaired, other.metrics.cells_repaired);
+      EXPECT_EQ(base.metrics.queries_applied, other.metrics.queries_applied);
+      EXPECT_EQ(base.metrics.converged, other.metrics.converged);
+
+      // Same questions, in the same order, with the same answers — this
+      // covers closed-set representative redirection too, since the oracle
+      // sees the redirected node.
+      ASSERT_EQ(base.asked.size(), other.asked.size());
+      for (size_t i = 0; i < base.asked.size(); ++i) {
+        EXPECT_EQ(base.asked[i].node, other.asked[i].node) << "question " << i;
+        EXPECT_EQ(base.asked[i].target_col, other.asked[i].target_col);
+        EXPECT_EQ(base.asked[i].valid, other.asked[i].valid);
+      }
+
+      // Same final instance, cell for cell, and the same table CRC.
+      EXPECT_EQ(base.final_table.CountDiffCells(other.final_table), 0u);
+      EXPECT_EQ(base.final_crc, other.final_crc);
     }
 
-    // Same final instance, cell for cell.
-    EXPECT_EQ(lazy.final_table.CountDiffCells(eager.final_table), 0u);
+    // Lazy/eager schedules must match *within* each storage mode too:
+    // nodes_materialized and fused_count_calls are representation
+    // independent by construction (MaterializeBitmap pre-fills counts in
+    // both modes).
+    EXPECT_EQ(runs[0].metrics.nodes_materialized,
+              runs[2].metrics.nodes_materialized);
+    EXPECT_EQ(runs[0].metrics.fused_count_calls,
+              runs[2].metrics.fused_count_calls);
+    EXPECT_EQ(runs[1].metrics.nodes_materialized,
+              runs[3].metrics.nodes_materialized);
 
     // And the lazy run must actually have been lazy: a strict subset of
     // nodes materialized, with counts served by the fused kernel. The
     // eager run materializes everything at build.
+    const RunResult& lazy = runs[0];
+    const RunResult& eager = runs[1];
     ASSERT_GT(lazy.metrics.nodes_total, 0u);
     EXPECT_LT(lazy.metrics.nodes_materialized, lazy.metrics.nodes_total);
     EXPECT_GT(lazy.metrics.fused_count_calls, 0u);

@@ -204,6 +204,102 @@ TEST(PostingIndexTest, ByteBudgetEvictsLruEntries) {
   EXPECT_EQ(index.Postings(1, statin), ex.dirty.ScanEquals(1, statin));
 }
 
+// Compressed postings are an encoding choice, not a semantics change:
+// every bitmap and every delta patch must agree bit-for-bit with a dense
+// index over the same write sequence, and StorageStats must report the
+// compressed entries as cheaper than their dense footprint on a sparse
+// (large-alphabet) workload.
+TEST(PostingIndexTest, CompressedPostingsMatchDenseUnderRandomWrites) {
+  Rng rng(9091);
+  // Universe above kMinCompressUniverse so Compact actually compresses;
+  // alphabet of 64 keeps each posting sparse (~1/64 density).
+  Table table = MakeRandomTable(20000, 3, 64, &rng);
+  std::vector<ValueId> alphabet;
+  for (size_t a = 0; a < 64; ++a) {
+    alphabet.push_back(table.Intern("v" + std::to_string(a)));
+  }
+
+  PostingIndexOptions dense_opts;
+  dense_opts.delta_maintenance = true;
+  PostingIndex dense(&table, dense_opts);
+  PostingIndexOptions comp_opts;
+  comp_opts.delta_maintenance = true;
+  comp_opts.compressed = true;
+  PostingIndex comp(&table, comp_opts);
+
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    for (size_t a = 0; a < alphabet.size(); a += 7) {
+      dense.Postings(c, alphabet[a]);
+      comp.Postings(c, alphabet[a]);
+    }
+  }
+
+  for (int step = 0; step < 200; ++step) {
+    size_t row = rng.NextUint(table.num_rows());
+    size_t col = rng.NextUint(table.num_cols());
+    ValueId old_value = table.cell(row, col);
+    ValueId new_value = alphabet[rng.NextUint(alphabet.size())];
+    dense.ApplyCellDelta(col, row, old_value, new_value);
+    comp.ApplyCellDelta(col, row, old_value, new_value);
+    table.set_cell(row, col, new_value);
+  }
+
+  for (size_t c = 0; c < table.num_cols(); ++c) {
+    for (size_t a = 0; a < alphabet.size(); a += 5) {
+      const HybridRowSet& d = dense.Postings(c, alphabet[a]);
+      const HybridRowSet& k = comp.Postings(c, alphabet[a]);
+      EXPECT_EQ(d, k) << "col " << c << " value " << a;
+      EXPECT_EQ(d.Hash(), k.Hash());
+      EXPECT_EQ(k, table.ScanEquals(c, alphabet[a]));
+    }
+  }
+
+  PostingStorageStats ds = dense.StorageStats();
+  PostingStorageStats cs = comp.StorageStats();
+  ASSERT_GT(cs.entries, 0u);
+  // Sparse workload: the compressed index must be materially smaller than
+  // both its own dense footprint and the dense index's resident bytes.
+  EXPECT_LT(cs.resident_bytes, cs.dense_bytes);
+  EXPECT_LT(cs.resident_bytes, ds.resident_bytes);
+  EXPECT_GT(cs.compression(), 2.0);
+  EXPECT_GT(cs.array_containers + cs.run_containers, 0u);
+}
+
+// Exact byte accounting: cached_bytes always equals the sum of per-entry
+// footprints, across inserts, delta patches, and evictions, in both modes.
+TEST(PostingIndexTest, ByteAccountingStaysExactUnderDeltas) {
+  for (bool compressed : {false, true}) {
+    Rng rng(515);
+    Table table = MakeRandomTable(20000, 2, 32, &rng);
+    std::vector<ValueId> alphabet;
+    for (size_t a = 0; a < 32; ++a) {
+      alphabet.push_back(table.Intern("v" + std::to_string(a)));
+    }
+    PostingIndexOptions opts;
+    opts.delta_maintenance = true;
+    opts.compressed = compressed;
+    PostingIndex index(&table, opts);
+    for (size_t c = 0; c < table.num_cols(); ++c) {
+      for (size_t a = 0; a < alphabet.size(); a += 3) {
+        index.Postings(c, alphabet[a]);
+      }
+    }
+    for (int step = 0; step < 100; ++step) {
+      size_t row = rng.NextUint(table.num_rows());
+      size_t col = rng.NextUint(table.num_cols());
+      ValueId old_value = table.cell(row, col);
+      ValueId new_value = alphabet[rng.NextUint(alphabet.size())];
+      index.ApplyCellDelta(col, row, old_value, new_value);
+      table.set_cell(row, col, new_value);
+    }
+    // cached_bytes carries a fixed 64-byte bookkeeping overhead per entry
+    // on top of the measured bitmap heap bytes.
+    EXPECT_EQ(index.cached_bytes(),
+              index.StorageStats().resident_bytes + 64 * index.cached_entries())
+        << "compressed=" << compressed;
+  }
+}
+
 RowSet BitsOf(size_t universe, std::initializer_list<size_t> rows) {
   RowSet s(universe);
   for (size_t r : rows) s.Set(r);
@@ -214,11 +310,11 @@ TEST(IntersectionMemoTest, FindIsKeyOrderInsensitive) {
   IntersectionMemo memo;
   RowSet rows = BitsOf(64, {1, 4});
   memo.Put(2, ValueId{7}, 1, ValueId{3}, rows);
-  const RowSet* a = memo.Find(2, ValueId{7}, 1, ValueId{3});
+  const HybridRowSet* a = memo.Find(2, ValueId{7}, 1, ValueId{3});
   ASSERT_NE(a, nullptr);
   EXPECT_EQ(*a, rows);
   // Swapped predicate order canonicalizes to the same entry.
-  const RowSet* b = memo.Find(1, ValueId{3}, 2, ValueId{7});
+  const HybridRowSet* b = memo.Find(1, ValueId{3}, 2, ValueId{7});
   ASSERT_NE(b, nullptr);
   EXPECT_EQ(*b, rows);
   EXPECT_EQ(memo.cached_entries(), 1u);
@@ -235,7 +331,7 @@ TEST(IntersectionMemoTest, ApplyWritePatchesExactly) {
   // A write of a *different* value into col1 removes the changed rows:
   // those rows no longer satisfy col1 = v3.
   memo.ApplyWrite(1, BitsOf(64, {4, 20}), ValueId{5});
-  const RowSet* e = memo.Find(1, ValueId{3}, 2, ValueId{7});
+  const HybridRowSet* e = memo.Find(1, ValueId{3}, 2, ValueId{7});
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(*e, BitsOf(64, {1, 9}));
 
