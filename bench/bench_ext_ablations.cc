@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "common/rng.h"
 #include "core/session.h"
 
@@ -29,6 +31,7 @@ Table SampleMaster(const Table& clean, double coverage, uint64_t seed) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   if (bench::ParseQuick(flags)) scale *= 0.25;
   if (auto rc = flags.Done("bench_ext_ablations — repo-extension ablations (rule history, detector mode)")) return *rc;

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "common/fault_injector.h"
 #include "core/session.h"
 #include "core/session_journal.h"
@@ -97,6 +99,7 @@ bool CrashAndRecover(const bench::Workload& w, const SessionOptions& opt,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   bool quick = bench::ParseQuick(flags);
   if (auto rc = flags.Done("bench_fault_sweep — crash/recover bit-identity sweep over journal fault sites")) return *rc;

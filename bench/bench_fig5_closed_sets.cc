@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "core/session.h"
 
 using namespace falcon;
@@ -16,6 +18,7 @@ using bench::Workload;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   if (bench::ParseQuick(flags)) scale *= 0.25;
   if (auto rc = flags.Done("bench_fig5_closed_sets — closed rule-set optimization (Fig. 5)")) return *rc;

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "core/session.h"
 #include "datagen/datasets.h"
 #include "errorgen/injector.h"
@@ -17,6 +19,7 @@ using bench::Workload;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   if (bench::ParseQuick(flags)) scale *= 0.25;
   if (auto rc = flags.Done("bench_fig6_params — CoDive window w and Dive depth d (Fig. 6)")) return *rc;

@@ -13,6 +13,8 @@
 #include "baselines/refine.h"
 #include "baselines/rule_learning.h"
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "core/session.h"
 
 using namespace falcon;
@@ -40,6 +42,7 @@ double EffectiveBenefit(size_t total_cost, size_t repaired, size_t errors) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   if (bench::ParseQuick(flags)) scale *= 0.25;
   if (auto rc = flags.Done("bench_fig7_baselines — CoDive vs. the four baselines (Fig. 7)")) return *rc;

@@ -10,6 +10,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "core/session.h"
 #include "datagen/datasets.h"
 #include "errorgen/injector.h"
@@ -50,6 +52,7 @@ TimingRun RunDive(const Table& clean, const Table& dirty, bool naive_maint,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   if (bench::ParseQuick(flags)) scale *= 0.25;
   if (auto rc = flags.Done("bench_fig8_scalability — scalability (Fig. 8)")) return *rc;

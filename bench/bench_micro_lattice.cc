@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "core/lattice.h"
 #include "core/session.h"
 #include "datagen/datasets.h"
@@ -109,14 +111,16 @@ void PrintSession(FILE* f, const SessionResult& r, bool trailing_comma) {
                "\"lattice_maintain_ms\": %.3f, \"lattices_built\": %zu, "
                "\"nodes_materialized\": %zu, \"nodes_total\": %zu, "
                "\"fused_count_calls\": %zu, \"memo_hits\": %zu, "
-               "\"memo_misses\": %zu, \"user_updates\": %zu, "
+               "\"memo_misses\": %zu, \"memo_admitted\": %zu, "
+               "\"memo_first_touch_skips\": %zu, \"user_updates\": %zu, "
                "\"user_answers\": %zu, \"cells_repaired\": %zu, "
                "\"queries_applied\": %zu}%s\n",
                r.name.c_str(), r.wall_ms, m.lattice_build_ms,
                m.lattice_maintain_ms, m.lattices_built, m.nodes_materialized,
                m.nodes_total, m.fused_count_calls, m.lattice_memo_hits,
-               m.lattice_memo_misses, m.user_updates, m.user_answers,
-               m.cells_repaired, m.queries_applied,
+               m.lattice_memo_misses, m.lattice_memo_admitted,
+               m.lattice_memo_first_touch_skips, m.user_updates,
+               m.user_answers, m.cells_repaired, m.queries_applied,
                trailing_comma ? "," : "");
 }
 
@@ -124,6 +128,7 @@ void PrintSession(FILE* f, const SessionResult& r, bool trailing_comma) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   size_t rows = static_cast<size_t>(500000.0 * scale);
   if (bench::ParseQuick(flags)) rows = 50000;
@@ -185,6 +190,13 @@ int main(int argc, char** argv) {
   double build_speedup = builds.back().speedup;
 
   // --- Count access: serial chain vs batched EnsureCounts -------------------
+  // Both paths materialize the same ~n/2 ancestor bitmaps (megabytes of
+  // fresh allocations at this scale), so whichever runs second inherits a
+  // warm allocator while whichever runs first pays every page fault. One
+  // untimed warm-up faults the arenas in, then each path is timed on a
+  // fresh lattice, alternating, keeping the best of three — standard
+  // microbenchmark hygiene so the gate compares the kernels, not the
+  // allocator.
   Fixture cf = MakeFixture(clean, dirty, e, 10);
   auto serial_lat = Lattice::Build(cf.dirty, cf.repair, cf.cols);
   auto batch_lat = Lattice::Build(cf.dirty, cf.repair, cf.cols);
@@ -196,12 +208,35 @@ int main(int argc, char** argv) {
   for (NodeId m = 0; m < serial_lat->num_nodes(); ++m) {
     all_nodes.push_back(m);
   }
-  double s0 = NowMs();
+  {
+    auto warm = Lattice::Build(cf.dirty, cf.repair, cf.cols);
+    if (warm.ok()) warm->EnsureCounts(all_nodes);
+  }
+  double serial_count_ms = 1e30;
+  double batch_count_ms = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    // Each lattice is scoped so its ~n/2 materialized bitmaps are freed
+    // before the other path runs — a live 32MB footprint from the
+    // previous measurement would skew whichever path goes second.
+    {
+      auto s = Lattice::Build(cf.dirty, cf.repair, cf.cols);
+      if (s.ok()) {
+        double s0 = NowMs();
+        for (NodeId m : all_nodes) s->Count(m);
+        serial_count_ms = std::min(serial_count_ms, NowMs() - s0);
+      }
+    }
+    {
+      auto b = Lattice::Build(cf.dirty, cf.repair, cf.cols);
+      if (b.ok()) {
+        double b0 = NowMs();
+        b->EnsureCounts(all_nodes);
+        batch_count_ms = std::min(batch_count_ms, NowMs() - b0);
+      }
+    }
+  }
   for (NodeId m : all_nodes) serial_lat->Count(m);
-  double serial_count_ms = NowMs() - s0;
-  double b0 = NowMs();
   batch_lat->EnsureCounts(all_nodes);
-  double batch_count_ms = NowMs() - b0;
   bool counts_match = true;
   for (NodeId m : all_nodes) {
     counts_match = counts_match && serial_lat->Count(m) == batch_lat->Count(m);

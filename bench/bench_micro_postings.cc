@@ -28,6 +28,9 @@
 #include <vector>
 
 #include "bench_util.h"
+
+#include "common/logging.h"
+#include "common/simd.h"
 #include "common/hybrid_row_set.h"
 #include "core/lattice.h"
 #include "core/session.h"
@@ -251,6 +254,96 @@ StorageSweep RunStorageSweep(const Table& dirty) {
   return s;
 }
 
+// Per-primitive ns/op for the dispatched container kernels, measured at
+// whatever tier --simd_level / FALCON_SIMD_LEVEL resolved to. Word loops
+// run over one full container (kWordsPerChunk = 1024 words); array kernels
+// over max-cardinality array containers in both the balanced (vector
+// merge) and skewed (galloping) regimes.
+struct PrimitiveTimes {
+  double popcount_ns = 0;
+  double and_count_ns = 0;
+  double and3_count_ns = 0;  // Fused dst = a & b + popcount, one pass.
+  double and_ns = 0;
+  double andnot_ns = 0;
+  double or_ns = 0;
+  double intersect_merge_ns = 0;    // 4096 ∩ 4096, balanced.
+  double intersect_gallop_ns = 0;   // 64 ∩ 4096, skew ≥ crossover ratio.
+  double intersect_count_ns = 0;    // Count-only, balanced.
+  double array_bitmap_ns = 0;       // 4096 vals against a full chunk.
+};
+
+PrimitiveTimes TimePrimitives(size_t* sink) {
+  constexpr size_t kWords = CompressedRowSet::kWordsPerChunk;
+  constexpr size_t kCard = CompressedRowSet::kArrayMaxCard;
+  std::vector<uint64_t> wa(kWords), wb(kWords), scratch(kWords);
+  uint64_t x = 0x9E3779B97F4A7C15ull;
+  auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (size_t i = 0; i < kWords; ++i) {
+    wa[i] = next();
+    wb[i] = next();
+  }
+  // Sorted unique u16 arrays: balanced pair (every 16th value, offset) and
+  // a 64-element small side for the galloping regime.
+  std::vector<uint16_t> aa(kCard), ab(kCard), small(64);
+  for (size_t i = 0; i < kCard; ++i) {
+    aa[i] = static_cast<uint16_t>(i * 16);
+    ab[i] = static_cast<uint16_t>(i * 16 + (i % 3 == 0 ? 0 : 8));
+  }
+  for (size_t i = 0; i < 64; ++i) small[i] = static_cast<uint16_t>(i * 1021);
+  std::vector<uint16_t> out(kCard + simd::kIntersectSlack);
+
+  PrimitiveTimes t;
+  auto time_it = [&](size_t reps, auto&& body) {
+    double t0 = NowNs();
+    for (size_t i = 0; i < reps; ++i) body();
+    return (NowNs() - t0) / static_cast<double>(reps);
+  };
+  t.popcount_ns =
+      time_it(4000, [&] { *sink += simd::PopcountWords(wa.data(), kWords); });
+  t.and_count_ns = time_it(4000, [&] {
+    *sink += simd::AndCountWords(wa.data(), wb.data(), kWords);
+  });
+  t.and3_count_ns = time_it(4000, [&] {
+    *sink +=
+        simd::And3CountWords(scratch.data(), wa.data(), wb.data(), kWords);
+  });
+  t.and_ns = time_it(4000, [&] {
+    scratch = wa;
+    simd::AndWords(scratch.data(), wb.data(), kWords);
+    *sink += static_cast<size_t>(scratch[0]);
+  });
+  t.andnot_ns = time_it(4000, [&] {
+    scratch = wa;
+    simd::AndNotWords(scratch.data(), wb.data(), kWords);
+    *sink += static_cast<size_t>(scratch[0]);
+  });
+  t.or_ns = time_it(4000, [&] {
+    scratch = wa;
+    simd::OrWords(scratch.data(), wb.data(), kWords);
+    *sink += static_cast<size_t>(scratch[0]);
+  });
+  t.intersect_merge_ns = time_it(2000, [&] {
+    *sink += simd::IntersectU16(aa.data(), kCard, ab.data(), kCard,
+                                out.data());
+  });
+  t.intersect_gallop_ns = time_it(2000, [&] {
+    *sink += simd::IntersectU16(small.data(), small.size(), ab.data(), kCard,
+                                out.data());
+  });
+  t.intersect_count_ns = time_it(2000, [&] {
+    *sink += simd::IntersectU16Count(aa.data(), kCard, ab.data(), kCard);
+  });
+  t.array_bitmap_ns = time_it(2000, [&] {
+    *sink += simd::ArrayBitmapCount(aa.data(), kCard, wa.data());
+  });
+  return t;
+}
+
 struct AbResult {
   ModeResult run;
   uint32_t crc = 0;
@@ -281,6 +374,7 @@ AbResult RunAb(const std::string& name, const Table& clean,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   size_t rows = static_cast<size_t>(1000000.0 * scale);
   if (bench::ParseQuick(flags)) rows = 100000;
@@ -401,15 +495,49 @@ int main(int argc, char** argv) {
               identical ? "yes" : "NO — DETERMINISM BROKEN");
 
   // --- Compressed row-set sweep --------------------------------------------
-  KernelPair sparse_kernel, dense_kernel;
+  KernelPair sparse_kernel, mid_kernel, dense_kernel;
+  size_t sparse_card_a = 0, sparse_card_b = 0;
+  PrimitiveTimes prim;
   StorageSweep storage;
   AbResult ab_dense, ab_comp;
   bool crc_match = true;
   bool ab_metrics_match = true;
   if (compressed_sweep) {
-    // Sparse operands: two real postings from the probe column.
-    RowSet sp_a = dirty.ScanEquals(1, probes[0]);
-    RowSet sp_b = dirty.ScanEquals(1, probes[1 % probes.size()]);
+    // Sparse operands: two real postings well under the index's
+    // compression-density bar (count < rows/128 — the storage sweep's
+    // definition; we take < rows/256), with a floor of rows/1024 so the
+    // kernels do real work in every chunk instead of winning on
+    // empty-container skips. These land as small array containers, the
+    // regime the decode-free kernels are built for.
+    size_t sparse_cap = dirty.num_rows() / 256;
+    size_t sparse_floor = dirty.num_rows() / 1024;
+    std::vector<RowSet> sparse_ops;
+    for (size_t c = 0; c < dirty.num_cols() && sparse_ops.size() < 2; ++c) {
+      std::vector<ValueId> seen;
+      for (size_t r = 0;
+           r < dirty.num_rows() && sparse_ops.size() < 2 && seen.size() < 8;
+           r += 131) {
+        ValueId v = dirty.cell(r, c);
+        bool dup = false;
+        for (ValueId p : seen) dup |= (p == v);
+        if (dup) continue;
+        seen.push_back(v);
+        RowSet rows_for_v = dirty.ScanEquals(c, v);
+        size_t cnt = rows_for_v.Count();
+        if (cnt >= sparse_floor && cnt < sparse_cap) {
+          sparse_ops.push_back(std::move(rows_for_v));
+        }
+      }
+    }
+    FALCON_CHECK(sparse_ops.size() == 2);
+    sparse_card_a = sparse_ops[0].Count();
+    sparse_card_b = sparse_ops[1].Count();
+    // Mid-density operands (~1% fill): the probe column's postings. Here a
+    // flat word loop reads every word but at full SIMD width, while arrays
+    // still pay per-element compares — the crossover regime where dense
+    // compute wins and compression is a storage-only call.
+    RowSet md_a = dirty.ScanEquals(1, probes[0]);
+    RowSet md_b = dirty.ScanEquals(1, probes[1 % probes.size()]);
     // Dense operands: ~50% / ~66% synthetic fills (bitmap containers, the
     // regime where compressed must stay within ~1.2x of the flat words).
     RowSet dn_a(dirty.num_rows()), dn_b(dirty.num_rows());
@@ -418,8 +546,10 @@ int main(int argc, char** argv) {
       if (r % 3 != 0) dn_b.Set(r);
     }
     size_t sink = 0;
-    sparse_kernel = TimeAndCount(sp_a, sp_b, 2000, &sink);
+    sparse_kernel = TimeAndCount(sparse_ops[0], sparse_ops[1], 2000, &sink);
+    mid_kernel = TimeAndCount(md_a, md_b, 2000, &sink);
     dense_kernel = TimeAndCount(dn_a, dn_b, 200, &sink);
+    prim = TimePrimitives(&sink);
     storage = RunStorageSweep(dirty);
     ab_dense = RunAb("ab_dense", clean, dirty, /*compressed=*/false);
     ab_comp = RunAb("ab_compressed", clean, dirty, /*compressed=*/true);
@@ -433,15 +563,40 @@ int main(int argc, char** argv) {
             ab_comp.run.metrics.queries_applied;
 
     std::printf("\ncompressed sweep (sink %zu):\n", sink % 2);
-    std::printf("  AndCount sparse: dense %8.0f ns  compressed %8.0f ns "
-                "(%.2fx)\n",
+    std::printf("  AndCount sparse (%zu∩%zu rows): dense %8.0f ns  "
+                "compressed %8.0f ns (%.2fx)\n",
+                sparse_card_a, sparse_card_b,
                 sparse_kernel.dense_ns, sparse_kernel.comp_ns,
                 sparse_kernel.dense_ns /
                     std::max(sparse_kernel.comp_ns, 1e-9));
+    std::printf("  AndCount ~1%%:    dense %8.0f ns  compressed %8.0f ns "
+                "(crossover regime)\n",
+                mid_kernel.dense_ns, mid_kernel.comp_ns);
     std::printf("  AndCount dense:  dense %8.0f ns  compressed %8.0f ns "
                 "(compressed/dense %.2fx)\n",
                 dense_kernel.dense_ns, dense_kernel.comp_ns,
                 dense_kernel.comp_ns / std::max(dense_kernel.dense_ns, 1e-9));
+    std::printf("  dispatched primitives (%s tier, ns/op):\n",
+                simd::LevelName(simd::ActiveLevel()));
+    std::printf("    popcount_words      %9.0f   (1024-word container)\n",
+                prim.popcount_ns);
+    std::printf("    and_count_words     %9.0f\n", prim.and_count_ns);
+    std::printf("    and3_count_words    %9.0f   (fused materialize+count)\n",
+                prim.and3_count_ns);
+    std::printf("    and_words           %9.0f   (incl. copy-in)\n",
+                prim.and_ns);
+    std::printf("    andnot_words        %9.0f   (incl. copy-in)\n",
+                prim.andnot_ns);
+    std::printf("    or_words            %9.0f   (incl. copy-in)\n",
+                prim.or_ns);
+    std::printf("    intersect_u16       %9.0f   (4096 ∩ 4096, merge)\n",
+                prim.intersect_merge_ns);
+    std::printf("    intersect_u16       %9.0f   (64 ∩ 4096, gallop)\n",
+                prim.intersect_gallop_ns);
+    std::printf("    intersect_u16_count %9.0f   (4096 ∩ 4096)\n",
+                prim.intersect_count_ns);
+    std::printf("    array_bitmap_count  %9.0f   (4096 vals vs chunk)\n",
+                prim.array_bitmap_ns);
     std::printf("  storage (%zu warmed entries, shared byte budget):\n",
                 storage.entries);
     std::printf("    per-entry bytes dense/compressed: %.1fx  "
@@ -493,10 +648,26 @@ int main(int argc, char** argv) {
           f,
           "  \"compressed\": {\n"
           "    \"kernels\": {\"sparse_dense_ns\": %.1f, "
-          "\"sparse_comp_ns\": %.1f, \"dense_dense_ns\": %.1f, "
+          "\"sparse_comp_ns\": %.1f, \"sparse_card_a\": %zu, "
+          "\"sparse_card_b\": %zu, \"mid_dense_ns\": %.1f, "
+          "\"mid_comp_ns\": %.1f, \"dense_dense_ns\": %.1f, "
           "\"dense_comp_ns\": %.1f},\n",
-          sparse_kernel.dense_ns, sparse_kernel.comp_ns,
+          sparse_kernel.dense_ns, sparse_kernel.comp_ns, sparse_card_a,
+          sparse_card_b, mid_kernel.dense_ns, mid_kernel.comp_ns,
           dense_kernel.dense_ns, dense_kernel.comp_ns);
+      std::fprintf(
+          f,
+          "    \"primitives\": {\"simd_level\": \"%s\", "
+          "\"popcount_words_ns\": %.1f, \"and_count_words_ns\": %.1f, "
+          "\"and3_count_words_ns\": %.1f, "
+          "\"and_words_ns\": %.1f, \"andnot_words_ns\": %.1f, "
+          "\"or_words_ns\": %.1f, \"intersect_merge_ns\": %.1f, "
+          "\"intersect_gallop_ns\": %.1f, \"intersect_count_ns\": %.1f, "
+          "\"array_bitmap_count_ns\": %.1f},\n",
+          simd::LevelName(simd::ActiveLevel()), prim.popcount_ns,
+          prim.and_count_ns, prim.and3_count_ns, prim.and_ns, prim.andnot_ns,
+          prim.or_ns, prim.intersect_merge_ns, prim.intersect_gallop_ns,
+          prim.intersect_count_ns, prim.array_bitmap_ns);
       std::fprintf(
           f,
           "    \"storage\": {\"entries\": %zu, "

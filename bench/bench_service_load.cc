@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "core/session.h"
 #include "core/session_journal.h"
 #include "service/client.h"
@@ -183,6 +185,7 @@ double Percentile(std::vector<double> sorted, double p) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   bool quick = bench::ParseQuick(flags);
   std::string connect = flags.GetString(

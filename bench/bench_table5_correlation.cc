@@ -11,12 +11,15 @@
 #include <vector>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "profiling/correlation.h"
 
 using namespace falcon;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   if (auto rc = flags.Done("bench_table5_correlation — correlated-attribute profiling (Table 5)")) return *rc;
   bench::PrintBanner(

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "core/session.h"
 
 using namespace falcon;
@@ -15,6 +17,7 @@ using bench::Workload;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   if (bench::ParseQuick(flags)) scale *= 0.25;
   if (auto rc = flags.Done("bench_table6_search — U and A per algorithm (Table 6)")) return *rc;

@@ -11,6 +11,8 @@
 #include "baselines/refine.h"
 #include "baselines/rule_learning.h"
 #include "bench_util.h"
+
+#include "common/simd.h"
 #include "core/session.h"
 
 using namespace falcon;
@@ -18,6 +20,7 @@ using bench::Workload;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
   double scale = bench::ParseScale(flags);
   if (bench::ParseQuick(flags)) scale *= 0.25;
   if (auto rc = flags.Done("bench_table7_baselines — baseline costs (Table 7)")) return *rc;

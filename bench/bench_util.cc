@@ -1,5 +1,7 @@
 #include "bench_util.h"
 
+#include "common/simd.h"
+
 #include <cstdio>
 #include <ctime>
 #include <string_view>
@@ -54,6 +56,10 @@ JsonValue BenchMeta() {
                  FALCON_BUILD_TYPE);
   }
   meta.Set("threads", ThreadPool::Global().num_threads());
+  // The SIMD tier the run actually executed with (CPUID-detected, possibly
+  // forced down via --simd_level / FALCON_SIMD_LEVEL) — kernel timings are
+  // only comparable within a tier.
+  meta.Set("simd_level", simd::LevelName(simd::ActiveLevel()));
   std::time_t now = std::time(nullptr);
   std::tm utc{};
   gmtime_r(&now, &utc);

@@ -26,6 +26,7 @@
 #include <iostream>
 
 #include "common/flags.h"
+#include "common/simd.h"
 #include "core/session.h"
 #include "core/violation_detector.h"
 #include "datagen/datasets.h"
@@ -53,6 +54,9 @@ int Usage() {
 /// unknown --flags are diagnosed before any file is read) and runs the
 /// Done() check. Returns the exit code to use, or nullopt to proceed.
 std::optional<int> CheckFlags(const std::string& cmd, const Flags& flags) {
+  // Shared across every subcommand: pick the SIMD kernel tier before any
+  // bitmap work runs.
+  simd::ApplyLevelFlag(flags);
   if (cmd == "generate") {
     flags.Describe("dataset", "\"synth\"",
                    "soccer|hospital|bus|dblp|synth");

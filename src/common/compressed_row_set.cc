@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/simd.h"
+
 namespace falcon {
 namespace {
 
@@ -21,25 +23,15 @@ uint64_t MulPrimePow(uint64_t h, size_t n) {
   return h;
 }
 
-// Popcount of a word range. Kept as the plain reduction: a hand-unrolled
-// multi-accumulator version measures ~25% slower under -O3 because it
-// blocks the compiler's own vectorization of the popcount loop.
+// Popcount / fused |a ∩ b| over word ranges — routed through the
+// runtime-dispatched SIMD tier (AVX-512 VPOPCNTDQ / AVX2 PSHUFB popcount /
+// scalar fallback). These two kernels dominate the lattice counting path.
 size_t PopcountWords(const uint64_t* w, size_t n) {
-  size_t c = 0;
-  for (size_t i = 0; i < n; ++i) {
-    c += static_cast<size_t>(std::popcount(w[i]));
-  }
-  return c;
+  return simd::PopcountWords(w, n);
 }
 
-// Fused |a ∩ b| over word ranges — the bitmap∩bitmap AndCount kernel.
-// Plain reduction for the same reason as PopcountWords.
 size_t AndCountWords(const uint64_t* a, const uint64_t* b, size_t n) {
-  size_t c = 0;
-  for (size_t i = 0; i < n; ++i) {
-    c += static_cast<size_t>(std::popcount(a[i] & b[i]));
-  }
-  return c;
+  return simd::AndCountWords(a, b, n);
 }
 
 // Number of runs of consecutive set bits across a word range.
@@ -471,86 +463,111 @@ size_t CompressedRowSet::HeapBytes() const {
 
 namespace {
 
-// Galloping (binary-search skip) sorted-array intersection. Falls back to a
-// linear merge when the sides are balanced; gallops through the longer side
-// when lopsided (the classic SVS strategy).
+// Sorted-array intersection, routed through the dispatched SIMD tier
+// (SSE4.2 PCMPESTRM merge, galloping on lopsided inputs — the crossover
+// lives in the kernel layer; see simd.h).
 void IntersectArrays(const std::vector<uint16_t>& a,
                      const std::vector<uint16_t>& b,
                      std::vector<uint16_t>* out) {
-  out->clear();
-  const std::vector<uint16_t>* small = &a;
-  const std::vector<uint16_t>* large = &b;
-  if (small->size() > large->size()) std::swap(small, large);
-  if (small->empty()) return;
-  if (large->size() / std::max<size_t>(small->size(), 1) >= 32) {
-    // Gallop: binary-search each element of the small side, advancing the
-    // search window so the total cost is O(|small| · log |large|).
-    auto it = large->begin();
-    for (uint16_t v : *small) {
-      it = std::lower_bound(it, large->end(), v);
-      if (it == large->end()) break;
-      if (*it == v) out->push_back(v);
-    }
-    return;
-  }
-  size_t i = 0, j = 0;
-  while (i < small->size() && j < large->size()) {
-    uint16_t x = (*small)[i], y = (*large)[j];
-    if (x < y) {
-      ++i;
-    } else if (y < x) {
-      ++j;
-    } else {
-      out->push_back(x);
-      ++i;
-      ++j;
-    }
-  }
+  out->resize(std::min(a.size(), b.size()) + simd::kIntersectSlack);
+  size_t n = simd::IntersectU16(a.data(), a.size(), b.data(), b.size(),
+                                out->data());
+  out->resize(n);
 }
 
 size_t IntersectArraysCount(const std::vector<uint16_t>& a,
                             const std::vector<uint16_t>& b) {
-  const std::vector<uint16_t>* small = &a;
-  const std::vector<uint16_t>* large = &b;
-  if (small->size() > large->size()) std::swap(small, large);
-  if (small->empty()) return 0;
-  size_t n = 0;
-  if (large->size() / std::max<size_t>(small->size(), 1) >= 32) {
-    auto it = large->begin();
-    for (uint16_t v : *small) {
-      it = std::lower_bound(it, large->end(), v);
-      if (it == large->end()) break;
-      if (*it == v) ++n;
-    }
-    return n;
-  }
-  size_t i = 0, j = 0;
-  while (i < small->size() && j < large->size()) {
-    uint16_t x = (*small)[i], y = (*large)[j];
-    if (x < y) {
-      ++i;
-    } else if (y < x) {
-      ++j;
-    } else {
-      ++n;
-      ++i;
-      ++j;
-    }
-  }
-  return n;
+  return simd::IntersectU16Count(a.data(), a.size(), b.data(), b.size());
 }
 
 bool BitmapTest(const std::vector<uint64_t>& bits, uint16_t v) {
   return (bits[v >> 6] >> (v & 63)) & 1;
 }
 
+// |array ∩ runs|: merge walk over two sorted sequences (values vs run
+// intervals) — O(|vals| + |runs|), no chunk decode.
+size_t ArrayRunCount(const std::vector<uint16_t>& vals,
+                     const std::vector<uint16_t>& runs) {
+  size_t n = 0;
+  size_t ri = 0;
+  for (size_t i = 0; i < vals.size() && ri + 1 < runs.size();) {
+    uint32_t v = vals[i];
+    uint32_t start = runs[ri];
+    uint32_t end = start + runs[ri + 1];  // Inclusive.
+    if (v < start) {
+      ++i;
+    } else if (v > end) {
+      ri += 2;
+    } else {
+      ++n;
+      ++i;
+    }
+  }
+  return n;
+}
+
+// |runs_a ∩ runs_b|: interval intersection merge — O(|a| + |b|).
+size_t RunRunCount(const std::vector<uint16_t>& a,
+                   const std::vector<uint16_t>& b) {
+  size_t n = 0;
+  size_t i = 0, j = 0;
+  while (i + 1 < a.size() && j + 1 < b.size()) {
+    uint32_t sa = a[i], ea = sa + a[i + 1];
+    uint32_t sb = b[j], eb = sb + b[j + 1];
+    uint32_t lo = std::max(sa, sb);
+    uint32_t hi = std::min(ea, eb);
+    if (lo <= hi) n += hi - lo + 1;
+    if (ea < eb) {
+      i += 2;
+    } else if (eb < ea) {
+      j += 2;
+    } else {
+      i += 2;
+      j += 2;
+    }
+  }
+  return n;
+}
+
+// |runs ∩ bitmap words|: edge-masked popcounts per run, SIMD popcount for
+// the interior words — no chunk decode.
+size_t RunBitmapCountWords(const std::vector<uint16_t>& runs,
+                           const uint64_t* words) {
+  size_t n = 0;
+  for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+    uint32_t start = runs[i];
+    uint32_t end = start + runs[i + 1];  // Inclusive.
+    size_t w0 = start >> 6, w1 = end >> 6;
+    uint64_t first = ~uint64_t{0} << (start & 63);
+    uint64_t last = ~uint64_t{0} >> (63 - (end & 63));
+    if (w0 == w1) {
+      n += static_cast<size_t>(std::popcount(words[w0] & first & last));
+    } else {
+      n += static_cast<size_t>(std::popcount(words[w0] & first));
+      n += simd::PopcountWords(words + w0 + 1, w1 - w0 - 1);
+      n += static_cast<size_t>(std::popcount(words[w1] & last));
+    }
+  }
+  return n;
+}
+
 }  // namespace
+
+// Decode scratch that only materializes (8KB, zero-filled) when a run
+// container actually needs expanding — the common array/bitmap mixes never
+// touch it, which matters on sparse hot paths.
+const uint64_t* CompressedRowSet::DecodeLazy(const Container& c,
+                                             std::vector<uint64_t>& buf) {
+  if (buf.empty()) buf.resize(kWordsPerChunk);
+  Decode(c, buf.data());
+  return buf.data();
+}
 
 void CompressedRowSet::And(const CompressedRowSet& other) {
   FALCON_DCHECK(universe_size_ == other.universe_size_);
   std::vector<Container> out;
   out.reserve(std::min(containers_.size(), other.containers_.size()));
-  std::vector<uint64_t> buf_a(kWordsPerChunk), buf_b(kWordsPerChunk);
+  std::vector<uint64_t> buf_a, buf_b;
   size_t i = 0, j = 0;
   while (i < containers_.size() && j < other.containers_.size()) {
     Container& a = containers_[i];
@@ -580,20 +597,10 @@ void CompressedRowSet::And(const CompressedRowSet& other) {
         r.card = static_cast<uint32_t>(r.vals.size());
       } else {
         // A run side (or bitmap×bitmap): go through decoded words.
-        const uint64_t* wa;
-        const uint64_t* wb;
-        if (a.type == Type::kBitmap) {
-          wa = a.bits.data();
-        } else {
-          Decode(a, buf_a.data());
-          wa = buf_a.data();
-        }
-        if (b.type == Type::kBitmap) {
-          wb = b.bits.data();
-        } else {
-          Decode(b, buf_b.data());
-          wb = buf_b.data();
-        }
+        const uint64_t* wa =
+            a.type == Type::kBitmap ? a.bits.data() : DecodeLazy(a, buf_a);
+        const uint64_t* wb =
+            b.type == Type::kBitmap ? b.bits.data() : DecodeLazy(b, buf_b);
         size_t nwords = ChunkWords(a.key);
         std::vector<uint64_t> anded(nwords);
         for (size_t w = 0; w < nwords; ++w) anded[w] = wa[w] & wb[w];
@@ -610,7 +617,6 @@ void CompressedRowSet::And(const CompressedRowSet& other) {
 size_t CompressedRowSet::AndCount(const CompressedRowSet& other) const {
   FALCON_DCHECK(universe_size_ == other.universe_size_);
   size_t n = 0;
-  std::vector<uint64_t> buf_a(kWordsPerChunk), buf_b(kWordsPerChunk);
   size_t i = 0, j = 0;
   while (i < containers_.size() && j < other.containers_.size()) {
     const Container& a = containers_[i];
@@ -620,28 +626,30 @@ size_t CompressedRowSet::AndCount(const CompressedRowSet& other) const {
     } else if (b.key < a.key) {
       ++j;
     } else {
+      // Every type pairing counts directly on the encoded forms — the old
+      // decode-to-8KB-scratch path (and its two zero-filled allocations per
+      // call) is gone, which is what flipped sparse compressed AndCount
+      // below dense.
       if (a.type == Type::kArray && b.type == Type::kArray) {
         n += IntersectArraysCount(a.vals, b.vals);
       } else if (a.type == Type::kArray && b.type == Type::kBitmap) {
-        for (uint16_t v : a.vals) n += BitmapTest(b.bits, v);
+        n += simd::ArrayBitmapCount(a.vals.data(), a.vals.size(),
+                                    b.bits.data());
       } else if (a.type == Type::kBitmap && b.type == Type::kArray) {
-        for (uint16_t v : b.vals) n += BitmapTest(a.bits, v);
-      } else {
-        const uint64_t* wa;
-        const uint64_t* wb;
-        if (a.type == Type::kBitmap) {
-          wa = a.bits.data();
-        } else {
-          Decode(a, buf_a.data());
-          wa = buf_a.data();
-        }
-        if (b.type == Type::kBitmap) {
-          wb = b.bits.data();
-        } else {
-          Decode(b, buf_b.data());
-          wb = buf_b.data();
-        }
-        n += AndCountWords(wa, wb, ChunkWords(a.key));
+        n += simd::ArrayBitmapCount(b.vals.data(), b.vals.size(),
+                                    a.bits.data());
+      } else if (a.type == Type::kBitmap && b.type == Type::kBitmap) {
+        n += AndCountWords(a.bits.data(), b.bits.data(), ChunkWords(a.key));
+      } else if (a.type == Type::kRun && b.type == Type::kRun) {
+        n += RunRunCount(a.vals, b.vals);
+      } else if (a.type == Type::kRun) {
+        n += b.type == Type::kArray ? ArrayRunCount(b.vals, a.vals)
+                                    : RunBitmapCountWords(a.vals,
+                                                          b.bits.data());
+      } else {  // b.type == kRun
+        n += a.type == Type::kArray ? ArrayRunCount(a.vals, b.vals)
+                                    : RunBitmapCountWords(b.vals,
+                                                          a.bits.data());
       }
       ++i;
       ++j;
@@ -654,7 +662,7 @@ void CompressedRowSet::AndNot(const CompressedRowSet& other) {
   FALCON_DCHECK(universe_size_ == other.universe_size_);
   std::vector<Container> out;
   out.reserve(containers_.size());
-  std::vector<uint64_t> buf_a(kWordsPerChunk), buf_b(kWordsPerChunk);
+  std::vector<uint64_t> buf_a, buf_b;  // Lazy decode scratch (runs only).
   size_t j = 0;
   for (size_t i = 0; i < containers_.size(); ++i) {
     Container& a = containers_[i];
@@ -681,27 +689,17 @@ void CompressedRowSet::AndNot(const CompressedRowSet& other) {
           if (!BitmapTest(b.bits, v)) r.vals.push_back(v);
         }
       } else {
-        Decode(b, buf_b.data());
+        DecodeLazy(b, buf_b);
         for (uint16_t v : a.vals) {
           if (!BitmapTest(buf_b, v)) r.vals.push_back(v);
         }
       }
       r.card = static_cast<uint32_t>(r.vals.size());
     } else {
-      const uint64_t* wa;
-      const uint64_t* wb;
-      if (a.type == Type::kBitmap) {
-        wa = a.bits.data();
-      } else {
-        Decode(a, buf_a.data());
-        wa = buf_a.data();
-      }
-      if (b.type == Type::kBitmap) {
-        wb = b.bits.data();
-      } else {
-        Decode(b, buf_b.data());
-        wb = buf_b.data();
-      }
+      const uint64_t* wa =
+          a.type == Type::kBitmap ? a.bits.data() : DecodeLazy(a, buf_a);
+      const uint64_t* wb =
+          b.type == Type::kBitmap ? b.bits.data() : DecodeLazy(b, buf_b);
       size_t nwords = ChunkWords(a.key);
       std::vector<uint64_t> diff(nwords);
       for (size_t w = 0; w < nwords; ++w) diff[w] = wa[w] & ~wb[w];
@@ -716,7 +714,7 @@ void CompressedRowSet::Or(const CompressedRowSet& other) {
   FALCON_DCHECK(universe_size_ == other.universe_size_);
   std::vector<Container> out;
   out.reserve(containers_.size() + other.containers_.size());
-  std::vector<uint64_t> buf_a(kWordsPerChunk), buf_b(kWordsPerChunk);
+  std::vector<uint64_t> buf_a, buf_b;  // Lazy decode scratch (runs only).
   size_t i = 0, j = 0;
   while (i < containers_.size() || j < other.containers_.size()) {
     bool take_a = j == other.containers_.size() ||
@@ -745,20 +743,10 @@ void CompressedRowSet::Or(const CompressedRowSet& other) {
                      b.vals.end(), std::back_inserter(r.vals));
       r.card = static_cast<uint32_t>(r.vals.size());
     } else {
-      const uint64_t* wa;
-      const uint64_t* wb;
-      if (a.type == Type::kBitmap) {
-        wa = a.bits.data();
-      } else {
-        Decode(a, buf_a.data());
-        wa = buf_a.data();
-      }
-      if (b.type == Type::kBitmap) {
-        wb = b.bits.data();
-      } else {
-        Decode(b, buf_b.data());
-        wb = buf_b.data();
-      }
+      const uint64_t* wa =
+          a.type == Type::kBitmap ? a.bits.data() : DecodeLazy(a, buf_a);
+      const uint64_t* wb =
+          b.type == Type::kBitmap ? b.bits.data() : DecodeLazy(b, buf_b);
       size_t nwords = ChunkWords(a.key);
       std::vector<uint64_t> ored(nwords);
       for (size_t w = 0; w < nwords; ++w) ored[w] = wa[w] | wb[w];
@@ -773,7 +761,7 @@ void CompressedRowSet::Or(const CompressedRowSet& other) {
 
 bool CompressedRowSet::IsSubsetOf(const CompressedRowSet& other) const {
   FALCON_DCHECK(universe_size_ == other.universe_size_);
-  std::vector<uint64_t> buf_a(kWordsPerChunk), buf_b(kWordsPerChunk);
+  std::vector<uint64_t> buf_a, buf_b;  // Lazy decode scratch (runs only).
   size_t j = 0;
   for (const Container& a : containers_) {
     while (j < other.containers_.size() && other.containers_[j].key < a.key) {
@@ -795,26 +783,16 @@ bool CompressedRowSet::IsSubsetOf(const CompressedRowSet& other) const {
           if (!BitmapTest(b.bits, v)) return false;
         }
       } else {
-        Decode(b, buf_b.data());
+        DecodeLazy(b, buf_b);
         for (uint16_t v : a.vals) {
           if (!BitmapTest(buf_b, v)) return false;
         }
       }
     } else {
-      const uint64_t* wa;
-      const uint64_t* wb;
-      if (a.type == Type::kBitmap) {
-        wa = a.bits.data();
-      } else {
-        Decode(a, buf_a.data());
-        wa = buf_a.data();
-      }
-      if (b.type == Type::kBitmap) {
-        wb = b.bits.data();
-      } else {
-        Decode(b, buf_b.data());
-        wb = buf_b.data();
-      }
+      const uint64_t* wa =
+          a.type == Type::kBitmap ? a.bits.data() : DecodeLazy(a, buf_a);
+      const uint64_t* wb =
+          b.type == Type::kBitmap ? b.bits.data() : DecodeLazy(b, buf_b);
       size_t nwords = ChunkWords(a.key);
       for (size_t w = 0; w < nwords; ++w) {
         if (wa[w] & ~wb[w]) return false;
@@ -826,7 +804,7 @@ bool CompressedRowSet::IsSubsetOf(const CompressedRowSet& other) const {
 
 bool CompressedRowSet::DisjointWith(const CompressedRowSet& other) const {
   FALCON_DCHECK(universe_size_ == other.universe_size_);
-  std::vector<uint64_t> buf_a(kWordsPerChunk), buf_b(kWordsPerChunk);
+  std::vector<uint64_t> buf_a, buf_b;  // Lazy decode scratch (runs only).
   size_t i = 0, j = 0;
   while (i < containers_.size() && j < other.containers_.size()) {
     const Container& a = containers_[i];
@@ -848,20 +826,10 @@ bool CompressedRowSet::DisjointWith(const CompressedRowSet& other) const {
           if (BitmapTest(a.bits, v)) return false;
         }
       } else {
-        const uint64_t* wa;
-        const uint64_t* wb;
-        if (a.type == Type::kBitmap) {
-          wa = a.bits.data();
-        } else {
-          Decode(a, buf_a.data());
-          wa = buf_a.data();
-        }
-        if (b.type == Type::kBitmap) {
-          wb = b.bits.data();
-        } else {
-          Decode(b, buf_b.data());
-          wb = buf_b.data();
-        }
+        const uint64_t* wa =
+            a.type == Type::kBitmap ? a.bits.data() : DecodeLazy(a, buf_a);
+        const uint64_t* wb =
+            b.type == Type::kBitmap ? b.bits.data() : DecodeLazy(b, buf_b);
         size_t nwords = ChunkWords(a.key);
         for (size_t w = 0; w < nwords; ++w) {
           if (wa[w] & wb[w]) return false;
@@ -882,7 +850,7 @@ void CompressedRowSet::And(const RowSet& dense) {
   FALCON_DCHECK(universe_size_ == dense.universe_size());
   std::vector<Container> out;
   out.reserve(containers_.size());
-  std::vector<uint64_t> buf(kWordsPerChunk);
+  std::vector<uint64_t> buf;  // Lazy decode scratch.
   for (Container& c : containers_) {
     size_t base = static_cast<size_t>(c.key) * kWordsPerChunk;
     size_t nwords = ChunkWords(c.key);
@@ -897,13 +865,8 @@ void CompressedRowSet::And(const RowSet& dense) {
       }
       r.card = static_cast<uint32_t>(r.vals.size());
     } else {
-      const uint64_t* wc;
-      if (c.type == Type::kBitmap) {
-        wc = c.bits.data();
-      } else {
-        Decode(c, buf.data());
-        wc = buf.data();
-      }
+      const uint64_t* wc =
+          c.type == Type::kBitmap ? c.bits.data() : DecodeLazy(c, buf);
       std::vector<uint64_t> anded(nwords);
       for (size_t w = 0; w < nwords; ++w) anded[w] = wc[w] & dense.word(base + w);
       r = BuildFromWords(c.key, anded.data(), nwords, /*try_runs=*/false);
@@ -917,7 +880,7 @@ void CompressedRowSet::AndNot(const RowSet& dense) {
   FALCON_DCHECK(universe_size_ == dense.universe_size());
   std::vector<Container> out;
   out.reserve(containers_.size());
-  std::vector<uint64_t> buf(kWordsPerChunk);
+  std::vector<uint64_t> buf;  // Lazy decode scratch.
   for (Container& c : containers_) {
     size_t base = static_cast<size_t>(c.key) * kWordsPerChunk;
     size_t nwords = ChunkWords(c.key);
@@ -932,13 +895,8 @@ void CompressedRowSet::AndNot(const RowSet& dense) {
       }
       r.card = static_cast<uint32_t>(r.vals.size());
     } else {
-      const uint64_t* wc;
-      if (c.type == Type::kBitmap) {
-        wc = c.bits.data();
-      } else {
-        Decode(c, buf.data());
-        wc = buf.data();
-      }
+      const uint64_t* wc =
+          c.type == Type::kBitmap ? c.bits.data() : DecodeLazy(c, buf);
       std::vector<uint64_t> diff(nwords);
       for (size_t w = 0; w < nwords; ++w) {
         diff[w] = wc[w] & ~dense.word(base + w);
@@ -985,41 +943,19 @@ size_t CompressedRowSet::AndCount(const RowSet& dense) const {
   size_t n = 0;
   for (const Container& c : containers_) {
     size_t base = static_cast<size_t>(c.key) * kWordsPerChunk;
-    size_t row_base = static_cast<size_t>(c.key) << 16;
+    const uint64_t* dw = dense.word_data() + base;
     switch (c.type) {
       case Type::kArray:
-        for (uint16_t v : c.vals) n += dense.Test(row_base + v);
+        // Row indices within a chunk never reach past the tail words, so
+        // the gathered membership test stays in bounds on partial chunks.
+        n += simd::ArrayBitmapCount(c.vals.data(), c.vals.size(), dw);
         break;
-      case Type::kBitmap: {
-        size_t nwords = ChunkWords(c.key);
-        for (size_t w = 0; w < nwords; ++w) {
-          n += static_cast<size_t>(
-              std::popcount(c.bits[w] & dense.word(base + w)));
-        }
+      case Type::kBitmap:
+        n += simd::AndCountWords(c.bits.data(), dw, ChunkWords(c.key));
         break;
-      }
       case Type::kRun:
-        // Popcount the dense words inside each run with edge masks — no
-        // decode needed.
-        for (size_t i = 0; i + 1 < c.vals.size(); i += 2) {
-          uint32_t start = c.vals[i];
-          uint32_t end = start + c.vals[i + 1];
-          size_t w0 = start >> 6, w1 = end >> 6;
-          uint64_t first = ~uint64_t{0} << (start & 63);
-          uint64_t last = ~uint64_t{0} >> (63 - (end & 63));
-          if (w0 == w1) {
-            n += static_cast<size_t>(
-                std::popcount(dense.word(base + w0) & first & last));
-          } else {
-            n += static_cast<size_t>(
-                std::popcount(dense.word(base + w0) & first));
-            for (size_t w = w0 + 1; w < w1; ++w) {
-              n += static_cast<size_t>(std::popcount(dense.word(base + w)));
-            }
-            n += static_cast<size_t>(
-                std::popcount(dense.word(base + w1) & last));
-          }
-        }
+        // Edge-masked popcounts per run over the dense words — no decode.
+        n += RunBitmapCountWords(c.vals, dw);
         break;
     }
   }
@@ -1028,7 +964,7 @@ size_t CompressedRowSet::AndCount(const RowSet& dense) const {
 
 bool CompressedRowSet::IsSubsetOf(const RowSet& dense) const {
   FALCON_DCHECK(universe_size_ == dense.universe_size());
-  std::vector<uint64_t> buf(kWordsPerChunk);
+  std::vector<uint64_t> buf;  // Lazy decode scratch.
   for (const Container& c : containers_) {
     size_t base = static_cast<size_t>(c.key) * kWordsPerChunk;
     size_t row_base = static_cast<size_t>(c.key) << 16;
@@ -1038,13 +974,8 @@ bool CompressedRowSet::IsSubsetOf(const RowSet& dense) const {
       }
       continue;
     }
-    const uint64_t* wc;
-    if (c.type == Type::kBitmap) {
-      wc = c.bits.data();
-    } else {
-      Decode(c, buf.data());
-      wc = buf.data();
-    }
+    const uint64_t* wc =
+        c.type == Type::kBitmap ? c.bits.data() : DecodeLazy(c, buf);
     size_t nwords = ChunkWords(c.key);
     for (size_t w = 0; w < nwords; ++w) {
       if (wc[w] & ~dense.word(base + w)) return false;
@@ -1056,7 +987,7 @@ bool CompressedRowSet::IsSubsetOf(const RowSet& dense) const {
 bool CompressedRowSet::ContainsAll(const RowSet& dense) const {
   FALCON_DCHECK(universe_size_ == dense.universe_size());
   size_t total_words = num_words();
-  std::vector<uint64_t> buf(kWordsPerChunk);
+  std::vector<uint64_t> buf;  // Lazy decode scratch.
   size_t ci = 0;
   for (size_t base = 0; base < total_words; base += kWordsPerChunk) {
     uint16_t key = static_cast<uint16_t>(base / kWordsPerChunk);
@@ -1070,13 +1001,8 @@ bool CompressedRowSet::ContainsAll(const RowSet& dense) const {
       continue;
     }
     const Container& c = containers_[ci];
-    const uint64_t* wc;
-    if (c.type == Type::kBitmap) {
-      wc = c.bits.data();
-    } else {
-      Decode(c, buf.data());
-      wc = buf.data();
-    }
+    const uint64_t* wc =
+        c.type == Type::kBitmap ? c.bits.data() : DecodeLazy(c, buf);
     for (size_t w = 0; w < nwords; ++w) {
       if (dense.word(base + w) & ~wc[w]) return false;
     }
@@ -1086,7 +1012,7 @@ bool CompressedRowSet::ContainsAll(const RowSet& dense) const {
 
 bool CompressedRowSet::DisjointWith(const RowSet& dense) const {
   FALCON_DCHECK(universe_size_ == dense.universe_size());
-  std::vector<uint64_t> buf(kWordsPerChunk);
+  std::vector<uint64_t> buf;  // Lazy decode scratch.
   for (const Container& c : containers_) {
     size_t base = static_cast<size_t>(c.key) * kWordsPerChunk;
     size_t row_base = static_cast<size_t>(c.key) << 16;
@@ -1096,13 +1022,8 @@ bool CompressedRowSet::DisjointWith(const RowSet& dense) const {
       }
       continue;
     }
-    const uint64_t* wc;
-    if (c.type == Type::kBitmap) {
-      wc = c.bits.data();
-    } else {
-      Decode(c, buf.data());
-      wc = buf.data();
-    }
+    const uint64_t* wc =
+        c.type == Type::kBitmap ? c.bits.data() : DecodeLazy(c, buf);
     size_t nwords = ChunkWords(c.key);
     for (size_t w = 0; w < nwords; ++w) {
       if (wc[w] & dense.word(base + w)) return false;
@@ -1114,7 +1035,7 @@ bool CompressedRowSet::DisjointWith(const RowSet& dense) const {
 void CompressedRowSet::AndInto(RowSet& dense) const {
   FALCON_DCHECK(universe_size_ == dense.universe_size());
   size_t total_words = dense.num_words();
-  std::vector<uint64_t> buf(kWordsPerChunk);
+  std::vector<uint64_t> buf;  // Lazy decode scratch.
   size_t ci = 0;
   for (size_t base = 0; base < total_words; base += kWordsPerChunk) {
     uint16_t key = static_cast<uint16_t>(base / kWordsPerChunk);
@@ -1126,13 +1047,8 @@ void CompressedRowSet::AndInto(RowSet& dense) const {
       continue;
     }
     const Container& c = containers_[ci];
-    const uint64_t* wc;
-    if (c.type == Type::kBitmap) {
-      wc = c.bits.data();
-    } else {
-      Decode(c, buf.data());
-      wc = buf.data();
-    }
+    const uint64_t* wc =
+        c.type == Type::kBitmap ? c.bits.data() : DecodeLazy(c, buf);
     for (size_t w = 0; w < nwords; ++w) {
       dense.SetWord(base + w, dense.word(base + w) & wc[w]);
     }
@@ -1175,7 +1091,7 @@ CompressedRowSet CompressedRowSet::Complement() const {
 bool CompressedRowSet::operator==(const CompressedRowSet& other) const {
   if (universe_size_ != other.universe_size_) return false;
   if (containers_.size() != other.containers_.size()) return false;
-  std::vector<uint64_t> buf_a(kWordsPerChunk), buf_b(kWordsPerChunk);
+  std::vector<uint64_t> buf_a, buf_b;  // Lazy decode scratch (runs only).
   for (size_t i = 0; i < containers_.size(); ++i) {
     const Container& a = containers_[i];
     const Container& b = other.containers_[i];
@@ -1187,8 +1103,8 @@ bool CompressedRowSet::operator==(const CompressedRowSet& other) const {
       continue;
     }
     // Mixed encodings of possibly-equal bits: compare canonically.
-    Decode(a, buf_a.data());
-    Decode(b, buf_b.data());
+    DecodeLazy(a, buf_a);
+    DecodeLazy(b, buf_b);
     if (std::memcmp(buf_a.data(), buf_b.data(),
                     kWordsPerChunk * sizeof(uint64_t)) != 0) {
       return false;

@@ -234,6 +234,10 @@ class CompressedRowSet {
   size_t ChunkWords(uint16_t key) const;
 
   static void Decode(const Container& c, uint64_t* words);
+  /// Decode into `buf`, allocating it (kWordsPerChunk words) only on first
+  /// use — keeps the 8KB scratch off paths that never meet a run container.
+  static const uint64_t* DecodeLazy(const Container& c,
+                                    std::vector<uint64_t>& buf);
   static Container BuildFromWords(uint16_t key, const uint64_t* words,
                                   size_t nwords, bool try_runs);
   static void ToBitmap(Container& c);

@@ -114,6 +114,24 @@ class HybridRowSet {
     compressed_ ? comp_.Or(other) : dense_.Or(other);
   }
 
+  /// this = a & b, returning the result's cardinality. Dense×dense — the
+  /// bitmap-materialization hot path — runs the fused and3_count kernel
+  /// (one pass, count accumulated in registers); any compressed operand
+  /// falls back to copy-then-And-then-Count.
+  size_t AssignAnd(const HybridRowSet& a, const HybridRowSet& b) {
+    if (!a.compressed_ && !b.compressed_) {
+      size_t count = dense_.AssignAnd(a.dense_, b.dense_);
+      if (compressed_) {
+        comp_ = CompressedRowSet();
+        compressed_ = false;
+      }
+      return count;
+    }
+    *this = a;
+    And(b);
+    return Count();
+  }
+
   size_t AndCount(const HybridRowSet& other) const {
     if (compressed_) {
       return other.compressed_ ? comp_.AndCount(other.comp_)

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace falcon {
 
@@ -35,6 +36,8 @@ class RowSet {
   /// writers touch disjoint ranges). Word i covers rows [64i, 64i+64).
   size_t num_words() const { return words_.size(); }
   uint64_t word(size_t i) const { return words_[i]; }
+  /// Raw word storage for blocked SIMD kernels (read-only).
+  const uint64_t* word_data() const { return words_.data(); }
   void SetWord(size_t i, uint64_t w) {
     // The tail word covers rows past universe_size(); storing raw bits there
     // would corrupt Count()/Complement()/Hash() invariants, so trim them.
@@ -62,11 +65,9 @@ class RowSet {
     for (auto& w : words_) w = 0;
   }
 
-  /// Number of set bits.
+  /// Number of set bits (runtime-dispatched SIMD popcount loop).
   size_t Count() const {
-    size_t n = 0;
-    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
-    return n;
+    return simd::PopcountWords(words_.data(), words_.size());
   }
 
   bool Empty() const {
@@ -79,19 +80,32 @@ class RowSet {
   /// this &= other.
   void And(const RowSet& other) {
     FALCON_DCHECK(universe_size_ == other.universe_size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    simd::AndWords(words_.data(), other.words_.data(), words_.size());
+  }
+
+  /// this = a & b in one fused pass, returning the cardinality of the
+  /// result — the kernel counts in registers while it writes, so the
+  /// copy-then-And-then-popcount sequence collapses to two read streams
+  /// and one write. Both operands keep their tail words clean, so the
+  /// result does too.
+  size_t AssignAnd(const RowSet& a, const RowSet& b) {
+    FALCON_DCHECK(a.universe_size_ == b.universe_size_);
+    universe_size_ = a.universe_size_;
+    words_.resize(a.words_.size());
+    return simd::And3CountWords(words_.data(), a.words_.data(),
+                                b.words_.data(), words_.size());
   }
 
   /// this &= ~other.
   void AndNot(const RowSet& other) {
     FALCON_DCHECK(universe_size_ == other.universe_size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    simd::AndNotWords(words_.data(), other.words_.data(), words_.size());
   }
 
   /// this |= other.
   void Or(const RowSet& other) {
     FALCON_DCHECK(universe_size_ == other.universe_size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    simd::OrWords(words_.data(), other.words_.data(), words_.size());
   }
 
   /// Complement within the universe: rows NOT in this set.
@@ -108,11 +122,8 @@ class RowSet {
   /// only the cardinality of the intersection, never its bits.
   size_t AndCount(const RowSet& other) const {
     FALCON_DCHECK(universe_size_ == other.universe_size_);
-    size_t n = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
-    }
-    return n;
+    return simd::AndCountWords(words_.data(), other.words_.data(),
+                               words_.size());
   }
 
   /// Returns |this ∩ other| without materializing the intersection.

@@ -12,9 +12,12 @@
 namespace falcon {
 namespace {
 
-/// Parallel-shard floor for EnsureCounts: below this many nodes per shard
-/// the AND kernels are too cheap to amortize the pool handoff.
-constexpr size_t kCountGrain = 8;
+/// Batch-scheduler cost model (see DESIGN.md "SIMD dispatch & batch cost
+/// model"): a ParallelFor handoff costs on the order of 10µs of fixed
+/// latency while the fused word kernels move roughly a word per
+/// nanosecond, so a worker shard needs at least this many estimated
+/// 64-bit words of AND work before forking beats the plain serial loop.
+constexpr size_t kMinWordsPerShard = size_t{1} << 14;
 
 }  // namespace
 
@@ -151,9 +154,9 @@ void Lattice::EagerChain() {
   for (NodeId m = 1; m < num_nodes(); ++m) {
     NodeId parent = m & (m - 1);
     int bit = std::countr_zero(m);
-    affected_[m] = affected_[parent];
-    affected_[m].And(preds_[static_cast<size_t>(bit)]);
-    if (compressed_) affected_[m].Compact(affected_[m].Count());
+    size_t count =
+        affected_[m].AssignAnd(affected_[parent], preds_[static_cast<size_t>(bit)]);
+    if (compressed_) affected_[m].Compact(count);
   }
 }
 
@@ -200,6 +203,7 @@ const HybridRowSet& Lattice::MaterializeBitmap(NodeId m) const {
   if (materialized(m)) return affected_[m];
   int lo = std::countr_zero(m);
   NodeId parent = m & (m - 1);
+  size_t count;
   if (memo_ != nullptr && std::popcount(m) == 2) {
     // Two-attribute node: its set is bottom ∧ pred_i ∧ pred_j, and the
     // pure pairwise intersection pred_i ∧ pred_j recurs across the
@@ -208,25 +212,22 @@ const HybridRowSet& Lattice::MaterializeBitmap(NodeId m) const {
     size_t j = static_cast<size_t>(std::countr_zero(parent));
     if (const HybridRowSet* entry = memo_->Find(cols_[i], bindings_[i],
                                                 cols_[j], bindings_[j])) {
-      affected_[m] = *entry;
-      affected_[m].And(affected_[0]);
+      count = affected_[m].AssignAnd(*entry, affected_[0]);
     } else {
       HybridRowSet inter = preds_[i];
       inter.And(preds_[j]);
-      affected_[m] = inter;
-      affected_[m].And(affected_[0]);
+      count = affected_[m].AssignAnd(inter, affected_[0]);
       memo_->Put(cols_[i], bindings_[i], cols_[j], bindings_[j],
                  std::move(inter));
     }
   } else {
     const HybridRowSet& p = MaterializeBitmap(parent);
-    affected_[m] = p;
-    affected_[m].And(preds_[static_cast<size_t>(lo)]);
+    // Fused materialization: one pass writes parent ∧ pred and counts it
+    // in registers, so the count below is genuinely free.
+    count = affected_[m].AssignAnd(p, preds_[static_cast<size_t>(lo)]);
   }
-  // The bits are resident, so the count is free — record it (identically
-  // in both representations, keeping the lazy counters aligned) and let
-  // the density policy pick the storage.
-  size_t count = affected_[m].Count();
+  // Record the count (identically in both representations, keeping the
+  // lazy counters aligned) and let the density policy pick the storage.
   if (counts_[m] == kNoCount) counts_[m] = count;
   if (compressed_) affected_[m].Compact(count);
   MarkCached(m);
@@ -251,6 +252,16 @@ size_t Lattice::Count(NodeId n) const {
       // Count-only memo hit: one fused pass, no bitmap resident at all.
       c = affected_[0].AndCount(*entry);
       ++fused_count_calls_;
+    } else if (memo_->RecordTouch(cols_[i], bindings_[i], cols_[j],
+                                  bindings_[j])) {
+      // The pair recurred: pay one materialized intersection now (the
+      // Put admits it off probation) so every later touch is a hit.
+      HybridRowSet inter = preds_[i];
+      inter.And(preds_[j]);
+      c = affected_[0].AndCount(inter);
+      ++fused_count_calls_;
+      memo_->Put(cols_[i], bindings_[i], cols_[j], bindings_[j],
+                 std::move(inter));
     } else {
       const HybridRowSet& p = MaterializeBitmap(n & (n - 1));
       c = p.AndCount(preds_[i]);
@@ -277,6 +288,34 @@ void Lattice::EnsureCounts(const std::vector<NodeId>& nodes) const {
   todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
   if (todo.empty()) return;
 
+  // Cost model. Forking a bucket through the pool pays a fixed handoff
+  // while the per-node work is one AND/AndCount walking the parent's
+  // resident words, so estimate the bucket's total word traffic from the
+  // parents' resident footprints (a compressed parent's containers are
+  // what the kernel actually touches) and fork only when every worker
+  // shard clears kMinWordsPerShard. With no workers — or a bucket too
+  // small to feed them — the plain serial loop is strictly faster; it
+  // also skips the std::function indirection ParallelFor would pay even
+  // inline.
+  const size_t workers = ThreadPool::Global().num_threads();
+  const size_t logical_words = (num_table_rows_ + 63) / 64;
+  auto work_words = [&](NodeId m) -> size_t {
+    NodeId p = m & (m - 1);
+    // An unmaterialized parent materializes dense-logical before the
+    // kernel runs, so the logical span is the right (upper-bound) charge.
+    return materialized(p) ? affected_[p].HeapBytes() / sizeof(uint64_t)
+                           : logical_words;
+  };
+  // ParallelFor grain for `bucket`, or 0 to run it serially.
+  auto plan_grain = [&](const std::vector<NodeId>& bucket) -> size_t {
+    if (workers == 0) return 0;
+    size_t total = 0;
+    for (NodeId m : bucket) total += work_words(m);
+    if (total < 2 * kMinWordsPerShard) return 0;
+    size_t per_node = std::max<size_t>(1, total / bucket.size());
+    return std::max<size_t>(1, kMinWordsPerShard / per_node);
+  };
+
   // Phase 1: materialize every missing ancestor bitmap, level by level
   // (a node's parent sits one popcount level below, so each level only
   // reads bitmaps finished in earlier levels — shards write disjoint
@@ -285,9 +324,18 @@ void Lattice::EnsureCounts(const std::vector<NodeId>& nodes) const {
   // level, at most C(k,2) nodes — runs serially through the memoized
   // path; it is where the cross-lattice pairwise intersections live, and
   // a memo hit produces bit-identical sets (the entry *is* pred_i ∧
-  // pred_j, maintained exactly).
+  // pred_j, maintained exactly). Two-attribute frontier nodes whose pair
+  // is already admitted to the memo contribute no ancestors at all:
+  // Count() will serve them off the entry without touching a parent.
   std::vector<NodeId> need;
   for (NodeId m : todo) {
+    if (memo_ != nullptr && std::popcount(m) == 2) {
+      size_t i = static_cast<size_t>(std::countr_zero(m));
+      size_t j = static_cast<size_t>(std::countr_zero(m & (m - 1)));
+      if (memo_->Contains(cols_[i], bindings_[i], cols_[j], bindings_[j])) {
+        continue;
+      }
+    }
     for (NodeId p = m & (m - 1); p != 0 && !materialized(p);
          p = p & (p - 1)) {
       need.push_back(p);
@@ -295,7 +343,61 @@ void Lattice::EnsureCounts(const std::vector<NodeId>& nodes) const {
   }
   std::sort(need.begin(), need.end());
   need.erase(std::unique(need.begin(), need.end()), need.end());
-  if (!need.empty()) {
+
+  // Children to fuse-count immediately after their parent materializes.
+  // Phase 1 walks ~8 bytes per table row per materialized node; a frontier
+  // that needs hundreds of ancestors therefore evicts the early parents
+  // from cache long before a trailing fuse pass could read them back. The
+  // serial chain never pays that: Count(m) fuses off a parent that was
+  // materialized moments before. Grouping each todo node under its parent
+  // and counting it inside the parent's Phase-1 visit restores that
+  // temporal locality (each child has exactly one parent, so shards still
+  // write disjoint counts_ slots). Nodes that are themselves ancestors get
+  // their count from materialization, and memoized two-attribute nodes
+  // keep routing through Count(), so neither joins a kids bucket.
+  std::unordered_map<NodeId, std::vector<NodeId>> kids;
+  for (NodeId m : todo) {
+    if (counts_[m] != kNoCount) continue;
+    if (memo_ != nullptr && std::popcount(m) == 2) continue;
+    if (std::binary_search(need.begin(), need.end(), m)) continue;
+    kids[m & (m - 1)].push_back(m);
+  }
+  auto fuse_kids = [&](NodeId p) -> size_t {
+    auto it = kids.find(p);
+    if (it == kids.end()) return 0;
+    for (NodeId c : it->second) {
+      counts_[c] = affected_[p].AndCount(
+          preds_[static_cast<size_t>(std::countr_zero(c))]);
+    }
+    return it->second.size();
+  };
+
+  if (!need.empty() && plan_grain(need) == 0) {
+    // Serial schedule: ascending ids visit parents before children
+    // (m & (m - 1) < m), and consecutive ids share short ancestor
+    // suffixes, so each copy reads a parent written only a few nodes
+    // earlier — still cache-resident, the same temporal locality the
+    // on-demand chain gets for free. The level-major schedule below
+    // would instead stream entire levels (megabytes of bitmaps at wide
+    // levels) between a parent's write and its children's reads, paying
+    // a cold copy per node; that order is only worth it when there are
+    // workers to shard a level across.
+    for (NodeId m : need) {
+      if (memo_ != nullptr && std::popcount(m) == 2) {
+        MaterializeBitmap(m);  // Memo-aware; does its own bookkeeping.
+      } else {
+        size_t count = affected_[m].AssignAnd(
+            affected_[m & (m - 1)],
+            preds_[static_cast<size_t>(std::countr_zero(m))]);
+        if (counts_[m] == kNoCount) counts_[m] = count;
+        if (compressed_) affected_[m].Compact(count);
+        MarkCached(m);
+        ++nodes_materialized_;
+      }
+      // Fuse the node's pending children while its bitmap is hot.
+      fused_count_calls_ += fuse_kids(m);
+    }
+  } else if (!need.empty()) {
     std::vector<std::vector<NodeId>> by_level(cols_.size() + 1);
     for (NodeId m : need) {
       by_level[static_cast<size_t>(std::popcount(m))].push_back(m);
@@ -304,50 +406,85 @@ void Lattice::EnsureCounts(const std::vector<NodeId>& nodes) const {
       const std::vector<NodeId>& level = by_level[lvl];
       if (level.empty()) continue;
       if (lvl == 2 && memo_ != nullptr) {
-        for (NodeId m : level) MaterializeBitmap(m);
+        for (NodeId m : level) {
+          MaterializeBitmap(m);
+          fused_count_calls_ += fuse_kids(m);
+        }
         continue;  // MaterializeBitmap did the caching bookkeeping.
       }
-      ThreadPool::Global().ParallelFor(
-          level.size(), kCountGrain, [&](size_t b, size_t e) {
-            for (size_t i = b; i < e; ++i) {
-              NodeId m = level[i];
-              affected_[m] = affected_[m & (m - 1)];
-              affected_[m].And(preds_[static_cast<size_t>(
-                  std::countr_zero(m))]);
-              // Mirror MaterializeBitmap: record the free count and let
-              // the density policy pick the storage (disjoint slots, and
-              // Compact depends only on the count — deterministic).
-              size_t count = affected_[m].Count();
-              if (counts_[m] == kNoCount) counts_[m] = count;
-              if (compressed_) affected_[m].Compact(count);
-            }
-          });
-      for (NodeId m : level) MarkCached(m);
+      auto body = [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) {
+          NodeId m = level[i];
+          // Mirror MaterializeBitmap: fused materialize-and-count, then
+          // let the density policy pick the storage (disjoint slots, and
+          // Compact depends only on the count — deterministic).
+          size_t count = affected_[m].AssignAnd(
+              affected_[m & (m - 1)],
+              preds_[static_cast<size_t>(std::countr_zero(m))]);
+          if (counts_[m] == kNoCount) counts_[m] = count;
+          if (compressed_) affected_[m].Compact(count);
+          // Fuse the node's pending children while its bitmap is hot.
+          fuse_kids(m);
+        }
+      };
+      size_t grain = plan_grain(level);
+      if (grain == 0) {
+        body(0, level.size());
+      } else {
+        ThreadPool::Global().ParallelFor(level.size(), grain, body);
+      }
+      for (NodeId m : level) {
+        MarkCached(m);
+        auto it = kids.find(m);
+        if (it != kids.end()) fused_count_calls_ += it->second.size();
+      }
       nodes_materialized_ += level.size();
     }
   }
 
-  // Phase 2: fused counts for the frontier itself, in parallel. Each
-  // shard writes disjoint counts_ slots and only reads parent bitmaps and
-  // predicate bitmaps, so results are bit-identical to the serial path.
-  size_t fused = 0;
+  // Phase 2: the residual — todo nodes whose parent was already resident
+  // when the call began (so no Phase-1 visit fused them) plus memoized
+  // two-attribute nodes, which route through Count(): that is the
+  // memo-aware path (single-threaded state, at most C(k,2) nodes).
+  // Everything else is a pure fused AndCount off a resident parent,
+  // eligible for sharding under the same cost model; shards write
+  // disjoint counts_ slots and only read parent and predicate bitmaps,
+  // so results are bit-identical to the serial path.
+  std::vector<NodeId> fuse;
+  fuse.reserve(todo.size());
   for (NodeId m : todo) {
-    if (!materialized(m)) ++fused;
+    if (counts_[m] != kNoCount) continue;
+    if (memo_ != nullptr && std::popcount(m) == 2) {
+      Count(m);  // Serves or seeds the pairwise memo; own bookkeeping.
+    } else {
+      fuse.push_back(m);
+    }
   }
-  ThreadPool::Global().ParallelFor(
-      todo.size(), kCountGrain, [&](size_t b, size_t e) {
-        for (size_t i = b; i < e; ++i) {
-          NodeId m = todo[i];
-          if (materialized(m)) {
-            counts_[m] = affected_[m].Count();
-          } else {
-            counts_[m] = affected_[m & (m - 1)].AndCount(
-                preds_[static_cast<size_t>(std::countr_zero(m))]);
-          }
+  if (!fuse.empty()) {
+    size_t fused = 0;
+    for (NodeId m : fuse) {
+      if (!materialized(m)) ++fused;
+    }
+    auto body = [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        NodeId m = fuse[i];
+        if (materialized(m)) {
+          counts_[m] = affected_[m].Count();
+        } else {
+          counts_[m] = affected_[m & (m - 1)].AndCount(
+              preds_[static_cast<size_t>(std::countr_zero(m))]);
         }
-      });
+      }
+    };
+    size_t grain = plan_grain(fuse);
+    if (grain == 0) {
+      body(0, fuse.size());
+    } else {
+      ThreadPool::Global().ParallelFor(fuse.size(), grain, body);
+    }
+    fused_count_calls_ += fused;
+  }
   for (NodeId m : todo) MarkCached(m);
-  fused_count_calls_ += fused;
 }
 
 void Lattice::MaterializeAll() const {

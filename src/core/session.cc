@@ -50,6 +50,9 @@ void CleaningSession::ExportPostingStats() {
   if (intersection_memo_ != nullptr) {
     metrics_.lattice_memo_hits = intersection_memo_->stats().hits;
     metrics_.lattice_memo_misses = intersection_memo_->stats().misses;
+    metrics_.lattice_memo_admitted = intersection_memo_->stats().admitted;
+    metrics_.lattice_memo_first_touch_skips =
+        intersection_memo_->stats().first_touch_skips;
   }
 }
 

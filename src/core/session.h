@@ -151,6 +151,8 @@ struct SessionMetrics {
   size_t fused_count_calls = 0;    ///< Counts served by AndCount alone.
   size_t lattice_memo_hits = 0;    ///< IntersectionMemo cache hits.
   size_t lattice_memo_misses = 0;  ///< IntersectionMemo probes that missed.
+  size_t lattice_memo_admitted = 0;     ///< Pairs admitted (second touch).
+  size_t lattice_memo_first_touch_skips = 0;  ///< Puts deferred to probation.
 
   size_t TotalCost() const { return user_updates + user_answers; }
   double Benefit() const {

@@ -168,6 +168,48 @@ const HybridRowSet* IntersectionMemo::Find(size_t col_a, ValueId val_a,
   return &it->second.rows;
 }
 
+bool IntersectionMemo::Contains(size_t col_a, ValueId val_a, size_t col_b,
+                                ValueId val_b) const {
+  return map_.count(MakeKey(col_a, val_a, col_b, val_b)) != 0;
+}
+
+bool IntersectionMemo::TouchProbation(const PairKey& key) {
+  auto it = probation_.find(key);
+  if (it != probation_.end()) {
+    // Recurred — admission earned. Leave the FIFO entry stale; eviction
+    // skips keys no longer in the set.
+    probation_.erase(it);
+    return true;
+  }
+  probation_.insert(key);
+  probation_fifo_.push_back(key);
+  while (probation_.size() > kProbationMax && !probation_fifo_.empty()) {
+    probation_.erase(probation_fifo_.front());
+    probation_fifo_.pop_front();
+  }
+  // Compact stale FIFO entries (keys promoted out of probation) once the
+  // queue outgrows the set by 2x, keeping the deque bounded too.
+  if (probation_fifo_.size() > 2 * kProbationMax) {
+    std::deque<PairKey> live;
+    for (const PairKey& k : probation_fifo_) {
+      if (probation_.count(k)) live.push_back(k);
+    }
+    probation_fifo_ = std::move(live);
+  }
+  return false;
+}
+
+bool IntersectionMemo::RecordTouch(size_t col_a, ValueId val_a, size_t col_b,
+                                   ValueId val_b) {
+  PairKey key = MakeKey(col_a, val_a, col_b, val_b);
+  if (map_.count(key)) return true;  // Already resident: a Put refreshes.
+  // A positive touch stays on probation until the Put consumes it —
+  // RecordTouch callers materialize and Put right after.
+  if (probation_.count(key)) return true;
+  TouchProbation(key);
+  return false;
+}
+
 void IntersectionMemo::Put(size_t col_a, ValueId val_a, size_t col_b,
                            ValueId val_b, HybridRowSet rows) {
   PairKey key = MakeKey(col_a, val_a, col_b, val_b);
@@ -181,6 +223,14 @@ void IntersectionMemo::Put(size_t col_a, ValueId val_a, size_t col_b,
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return;
   }
+  // Second-touch admission: the first offer of a pair only records it on
+  // probation — the bitmap is discarded, so one-shot pairs never consume
+  // budget or evict recurring entries.
+  if (!TouchProbation(key)) {
+    ++stats_.first_touch_skips;
+    return;
+  }
+  ++stats_.admitted;
   lru_.push_front(key);
   MemoEntry& e = map_[key];
   e.rows = std::move(rows);
@@ -271,6 +321,8 @@ void IntersectionMemo::Clear() {
   map_.clear();
   lru_.clear();
   col_keys_.clear();
+  probation_.clear();
+  probation_fifo_.clear();
   bytes_ = 0;
 }
 

@@ -18,8 +18,10 @@
 #ifndef FALCON_RELATIONAL_POSTING_INDEX_H_
 #define FALCON_RELATIONAL_POSTING_INDEX_H_
 
+#include <deque>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -208,6 +210,8 @@ struct IntersectionMemoStats {
   size_t hits = 0;       ///< Find calls served from the cache.
   size_t misses = 0;     ///< Find calls that came up empty.
   size_t evictions = 0;  ///< Entries dropped to satisfy the byte budget.
+  size_t admitted = 0;   ///< Puts that stored a bitmap (second touch).
+  size_t first_touch_skips = 0;  ///< Puts deferred to probation (first touch).
 };
 
 /// IntersectionMemo: byte-budgeted cache of pairwise predicate
@@ -232,6 +236,13 @@ struct IntersectionMemoStats {
 /// lattice copies an entry into its own state immediately, so no caller
 /// ever holds a reference across a Put). A single oversized entry is
 /// allowed to overflow the budget rather than thrash.
+///
+/// Admission is second-touch: the first Put of a pair only records the
+/// key in a bounded probation set (no bitmap stored); a Put — or a
+/// RecordTouch from the count-only path — for a pair already on
+/// probation admits it. One-shot pairs therefore never consume budget or
+/// evict recurring entries, which is what keeps the hit rate meaningful
+/// under churny workloads where most pairs occur exactly once.
 class IntersectionMemo {
  public:
   /// `byte_budget` caps resident bitmap bytes (0 = unbounded).
@@ -247,12 +258,27 @@ class IntersectionMemo {
   const HybridRowSet* Find(size_t col_a, ValueId val_a, size_t col_b,
                            ValueId val_b);
 
-  /// Caches `rows` as the intersection of the two predicates (in whichever
+  /// Offers `rows` as the intersection of the two predicates (in whichever
   /// representation the caller hands over — the lattice compacts sparse
-  /// intersections before the Put); enforces the byte budget by evicting
-  /// least-recently-used entries.
+  /// intersections before the Put). First touch of a pair only records it
+  /// on probation and discards the bitmap; a recurring pair is admitted,
+  /// with the byte budget enforced by LRU eviction. A Put for a resident
+  /// pair refreshes the entry in place.
   void Put(size_t col_a, ValueId val_a, size_t col_b, ValueId val_b,
            HybridRowSet rows);
+
+  /// True iff the pair is resident (no stats or LRU side effects) —
+  /// lattice batch scheduling uses this to skip materializing ancestors a
+  /// memo hit will make unnecessary.
+  bool Contains(size_t col_a, ValueId val_a, size_t col_b,
+                ValueId val_b) const;
+
+  /// Records one occurrence of the pair for admission purposes without
+  /// storing anything. Returns true when the pair has now been seen
+  /// before (it is on probation), i.e. a Put would admit it — the
+  /// count-only lattice path uses this to decide whether materializing
+  /// the intersection once is worth it.
+  bool RecordTouch(size_t col_a, ValueId val_a, size_t col_b, ValueId val_b);
 
   /// The caller wrote `new_value` into every row of `changed` in `col`.
   /// Entries over (col = v), v ≠ new_value lose the changed rows exactly;
@@ -312,9 +338,20 @@ class IntersectionMemo {
   template <typename Fn>
   void ForEachEntryOfColumn(size_t col, Fn&& fn);
 
+  /// Bound on the probation set: a pathological stream of one-shot pairs
+  /// ages out the oldest probation keys FIFO instead of growing without
+  /// limit. Deterministic — depends only on the call sequence.
+  static constexpr size_t kProbationMax = 4096;
+
+  /// Inserts `key` into probation (FIFO-evicting past the bound), or
+  /// returns true if it was already there — i.e. the pair recurred.
+  bool TouchProbation(const PairKey& key);
+
   size_t byte_budget_;
   MemoMap map_;
   std::list<PairKey> lru_;  // Front = most recently used.
+  std::unordered_set<PairKey, PairKeyHash> probation_;
+  std::deque<PairKey> probation_fifo_;  // Oldest first.
   /// Per-column key lists so writes only visit entries mentioning the
   /// written column; stale keys (evicted entries) are compacted lazily.
   std::unordered_map<size_t, std::vector<PairKey>> col_keys_;

@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "common/flags.h"
+#include "common/simd.h"
 #include "service/server.h"
 
 namespace {
@@ -37,6 +38,7 @@ void HandleSignal(int) {
 int main(int argc, char** argv) {
   using namespace falcon;
   Flags flags(argc, argv);
+  simd::ApplyLevelFlag(flags);
 
   ServerOptions options;
   options.unix_path = flags.GetString(
