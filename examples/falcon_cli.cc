@@ -22,6 +22,10 @@
 //   falcon_cli query --table=t.csv --sql="SELECT ... FROM T ..."
 //       Runs a SELECT (projection/WHERE/GROUP BY/ORDER BY/LIMIT) and
 //       prints the result.
+//
+//   falcon_cli ping --socket=/tmp/falcon_serverd.sock   (or --port=N)
+//       Health-checks a running falcon_serverd: uptime, live/max session
+//       slots, sessions recovered from journals, posting-cache residency.
 #include <cstdio>
 #include <iostream>
 
@@ -35,13 +39,15 @@
 #include "profiling/fd_discovery.h"
 #include "relational/csv.h"
 #include "relational/select.h"
+#include "service/client.h"
 
 using namespace falcon;
 
 namespace {
 
 constexpr char kUsage[] =
-    "usage: falcon_cli <generate|clean|profile|fds|detect|query> [--flags]\n"
+    "usage: falcon_cli <generate|clean|profile|fds|detect|query|ping> "
+    "[--flags]\n"
     "run `falcon_cli <subcommand> --help` for that subcommand's flags\n"
     "(see the header of examples/falcon_cli.cc for examples)\n";
 
@@ -109,6 +115,14 @@ std::optional<int> CheckFlags(const std::string& cmd, const Flags& flags) {
     flags.Describe("sql", "\"\"", "SELECT statement (required)");
     return flags.Done("falcon_cli query — run a SELECT and print the "
                       "result");
+  }
+  if (cmd == "ping") {
+    flags.Describe("socket", "\"/tmp/falcon_serverd.sock\"",
+                   "unix socket of the daemon (empty with --port for TCP)");
+    flags.Describe("port", "0", "TCP port of the daemon on 127.0.0.1");
+    flags.Describe("deadline_ms", "5000", "response deadline");
+    return flags.Done("falcon_cli ping — health-check a running "
+                      "falcon_serverd");
   }
   return std::nullopt;
 }
@@ -289,6 +303,35 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
+int CmdPing(const Flags& flags) {
+  const std::string socket =
+      flags.GetString("socket", "/tmp/falcon_serverd.sock");
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  auto client = socket.empty() ? ServiceClient::ConnectToTcp(port)
+                               : ServiceClient::ConnectToUnix(socket);
+  if (!client.ok()) {
+    std::cerr << "connect failed: " << client.status() << "\n";
+    return 1;
+  }
+  client->set_deadline(flags.GetInt("deadline_ms", 5000));
+  JsonValue req = JsonValue::Object();
+  req.Set("verb", "ping");
+  auto resp = client->CallChecked(req);
+  if (!resp.ok()) {
+    std::cerr << resp.status() << "\n";
+    return 1;
+  }
+  std::printf("uptime %.1fs, sessions %lld/%lld live (%lld recovered from "
+              "journals), posting cache %lld bytes resident\n",
+              resp->GetDouble("uptime_s"),
+              static_cast<long long>(resp->GetInt("live_sessions")),
+              static_cast<long long>(resp->GetInt("max_sessions")),
+              static_cast<long long>(resp->GetInt("recovered_sessions")),
+              static_cast<long long>(
+                  resp->GetInt("posting_resident_bytes")));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,5 +349,6 @@ int main(int argc, char** argv) {
   if (cmd == "fds") return CmdFds(flags);
   if (cmd == "detect") return CmdDetect(flags);
   if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "ping") return CmdPing(flags);
   return Usage();
 }

@@ -27,6 +27,14 @@
 //   manual.write     fail before a manual single-cell fix writes
 //   session.update   fail at the top of a user-update iteration
 //
+// Service-layer sites (server transport + journal-dir durability; see
+// DESIGN.md "Service fault tolerance & recovery"):
+//   service.accept            drop a freshly-accepted connection
+//   service.read              torn line read on a server connection
+//   service.write             partial response write, then failure
+//   service.stall             stalled client: the reader's deadline fires
+//   service.journal_dir_sync  fail the journal-directory fsync
+//
 // Thread-safety: Hit() takes a mutex only when the injector is active
 // (armed or recording); the common disarmed case is a single relaxed load.
 #ifndef FALCON_COMMON_FAULT_INJECTOR_H_

@@ -2,18 +2,29 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "common/fault_injector.h"
 
 namespace falcon {
 namespace {
 
 Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -91,10 +102,16 @@ StatusOr<FdHolder> Listener::Accept() {
   for (;;) {
     int fd = ::accept(fd_.fd(), nullptr, nullptr);
     if (fd >= 0) return FdHolder(fd);
-    if (errno == EINTR) continue;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
     // EBADF/EINVAL arrive after Shutdown() — a clean stop, not a failure.
     if (errno == EBADF || errno == EINVAL) {
       return Status::Cancelled("listener shut down");
+    }
+    // Descriptor exhaustion is a load condition, not a reason to stop
+    // accepting forever: report it retryable so the accept loop backs off.
+    if (errno == EMFILE || errno == ENFILE) {
+      return Status::Unavailable(std::string("accept: ") +
+                                 std::strerror(errno));
     }
     return Errno("accept");
   }
@@ -138,9 +155,29 @@ StatusOr<FdHolder> ConnectTcp(uint16_t port) {
   return holder;
 }
 
+Status SetSendTimeout(int fd, int64_t ms) {
+  if (ms <= 0) return Status::Ok();
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::Ok();
+}
+
 Status LineChannel::ReadLine(std::string* line, bool* eof) {
   *eof = false;
   line->clear();
+  // The deadline clock: for clients it runs from call entry (a response is
+  // due); for servers it starts only once partial data for the current
+  // line exists, so idle connections are not evicted but a peer that
+  // started a line must finish it in time.
+  int64_t deadline_at = 0;
+  if (read_deadline_ms_ > 0 &&
+      (!deadline_from_first_byte_ || !buffer_.empty())) {
+    deadline_at = NowMs() + read_deadline_ms_;
+  }
   for (;;) {
     size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
@@ -152,10 +189,44 @@ Status LineChannel::ReadLine(std::string* line, bool* eof) {
       return Status::InvalidArgument("line exceeds max length " +
                                      std::to_string(max_line_));
     }
+    if (deadline_at != 0) {
+      if (!fault_prefix_.empty()) {
+        // Injected stall: behaves exactly like the poll timing out — the
+        // peer went quiet mid-line and the deadline fires.
+        Status stall = FaultInjector::Global().Hit(fault_prefix_ + "stall");
+        if (!stall.ok()) {
+          return Status::DeadlineExceeded(
+              "read deadline exceeded (injected stall): " + stall.message());
+        }
+      }
+      int64_t remaining = deadline_at - NowMs();
+      if (remaining <= 0) {
+        return Status::DeadlineExceeded(
+            "read deadline of " + std::to_string(read_deadline_ms_) +
+            " ms exceeded mid-line");
+      }
+      pollfd pfd{fd_.fd(), POLLIN, 0};
+      int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll");
+      }
+      if (ready == 0) continue;  // Timed out; the expiry check above fires.
+    }
     char chunk[4096];
     ssize_t n = ::recv(fd_.fd(), chunk, sizeof(chunk), 0);
     if (n > 0) {
+      if (!fault_prefix_.empty()) {
+        // Torn line read: the bytes were consumed from the socket but the
+        // connection dies before the line completes.
+        Status fault = FaultInjector::Global().Hit(fault_prefix_ + "read");
+        if (!fault.ok()) return fault;
+      }
       buffer_.append(chunk, static_cast<size_t>(n));
+      if (deadline_at == 0 && read_deadline_ms_ > 0) {
+        // Server mode: the first byte of the line starts the clock.
+        deadline_at = NowMs() + read_deadline_ms_;
+      }
       continue;
     }
     if (n == 0) {
@@ -166,6 +237,10 @@ Status LineChannel::ReadLine(std::string* line, bool* eof) {
       return Status::Internal("connection closed mid-line");
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expiry (when set on the fd by the caller).
+      return Status::DeadlineExceeded("recv timed out");
+    }
     return Errno("recv");
   }
 }
@@ -176,6 +251,20 @@ Status LineChannel::WriteLine(std::string_view line) {
   framed.append(line);
   framed.push_back('\n');
   size_t sent = 0;
+  if (!fault_prefix_.empty()) {
+    Status fault = FaultInjector::Global().Hit(fault_prefix_ + "write");
+    if (!fault.ok()) {
+      // Partial write then failure: the peer sees a torn line and must
+      // treat the request/response as lost (retry with the same seq).
+      size_t half = framed.size() / 2;
+      if (half > 0) {
+        ssize_t ignored =
+            ::send(fd_.fd(), framed.data(), half, MSG_NOSIGNAL);
+        (void)ignored;
+      }
+      return fault;
+    }
+  }
   while (sent < framed.size()) {
     ssize_t n = ::send(fd_.fd(), framed.data() + sent, framed.size() - sent,
                        MSG_NOSIGNAL);
@@ -184,6 +273,10 @@ Status LineChannel::WriteLine(std::string_view line) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_SNDTIMEO expiry: the peer stopped draining its socket.
+      return Status::DeadlineExceeded("send timed out");
+    }
     return Errno("send");
   }
   return Status::Ok();

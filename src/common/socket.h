@@ -56,9 +56,12 @@ class Listener {
   /// back with bound_port()).
   static StatusOr<Listener> ListenTcp(uint16_t port, int backlog = 64);
 
-  /// Blocks for the next connection, retrying on EINTR. Returns a
-  /// connected fd. Fails with kCancelled once the listening fd has been
-  /// shut down (see Shutdown), which is how the acceptor thread exits.
+  /// Blocks for the next connection, retrying on EINTR and ECONNABORTED.
+  /// Returns a connected fd. Fails with kCancelled once the listening fd
+  /// has been shut down (see Shutdown), which is how the acceptor thread
+  /// exits; descriptor exhaustion (EMFILE/ENFILE) surfaces as the
+  /// retryable kUnavailable so the accept loop can back off instead of
+  /// dying.
   StatusOr<FdHolder> Accept();
 
   /// Unblocks any Accept() in progress and makes future ones fail.
@@ -81,6 +84,11 @@ StatusOr<FdHolder> ConnectUnix(const std::string& path);
 /// Connects to 127.0.0.1:`port`.
 StatusOr<FdHolder> ConnectTcp(uint16_t port);
 
+/// Bounds every send() on `fd` to `ms` milliseconds (SO_SNDTIMEO); an
+/// expired send surfaces as kDeadlineExceeded from LineChannel::WriteLine.
+/// A peer that stops draining its socket then cannot pin a writer forever.
+Status SetSendTimeout(int fd, int64_t ms);
+
 /// Buffered, line-oriented I/O over a connected socket. Not thread-safe;
 /// the server gives each connection exactly one reader.
 class LineChannel {
@@ -92,13 +100,36 @@ class LineChannel {
 
   /// Reads up to and including the next '\n' (stripped from the result).
   /// Clean EOF before any bytes of a line → ok with *eof=true. EOF mid-line
-  /// or an oversized line is an error.
+  /// or an oversized line is an error; an expired read deadline (see
+  /// set_read_deadline) is kDeadlineExceeded.
   Status ReadLine(std::string* line, bool* eof);
 
   /// Writes `line` plus a trailing '\n', looping over partial writes.
   /// SIGPIPE is suppressed (MSG_NOSIGNAL); a closed peer surfaces as a
-  /// Status instead of killing the process.
+  /// Status instead of killing the process. With a send timeout on the fd
+  /// (SetSendTimeout), a stalled peer surfaces as kDeadlineExceeded.
   Status WriteLine(std::string_view line);
+
+  /// Bounds how long ReadLine may take to complete one line (0 disables).
+  /// With `from_first_byte` the clock only starts once partial data for
+  /// the current line exists — the server's mode: an idle connection may
+  /// wait for its next request forever, but a slowloris that started a
+  /// line must finish it within the deadline. Without it the clock starts
+  /// at ReadLine entry — the client's mode: a response is due as a whole.
+  void set_read_deadline(int64_t ms, bool from_first_byte) {
+    read_deadline_ms_ = ms;
+    deadline_from_first_byte_ = from_first_byte;
+  }
+
+  /// Enables deterministic transport-fault injection on this channel: each
+  /// recv hits `<prefix>read`, each write hits `<prefix>write` (failing
+  /// after a deliberate partial send — a torn response line), and each
+  /// deadline poll hits `<prefix>stall` (an injected kDeadlineExceeded
+  /// simulates a stalled peer). Empty (the default) disables injection, so
+  /// client channels never trip server-site arms.
+  void set_fault_site_prefix(std::string prefix) {
+    fault_prefix_ = std::move(prefix);
+  }
 
   int fd() const { return fd_.fd(); }
   bool valid() const { return fd_.valid(); }
@@ -107,6 +138,9 @@ class LineChannel {
   FdHolder fd_;
   size_t max_line_;
   std::string buffer_;  ///< Bytes read but not yet returned.
+  int64_t read_deadline_ms_ = 0;
+  bool deadline_from_first_byte_ = false;
+  std::string fault_prefix_;
 };
 
 }  // namespace falcon

@@ -29,6 +29,11 @@ enum class StatusCode {
   /// The operation was deliberately stopped (e.g. a listener shut down
   /// during server drain); not an error worth surfacing to users.
   kCancelled,
+  /// A per-request or per-line deadline expired (client read timeout,
+  /// server evicting a stalled connection). Retryable at the caller's
+  /// discretion — the work may or may not have executed, which is why the
+  /// wire protocol's idempotent `seq` retry exists.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,6 +79,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

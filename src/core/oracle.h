@@ -65,6 +65,17 @@ class UserOracle {
     return truth;
   }
 
+  /// Consumes the one mistake draw an AskHuman answer would have made,
+  /// without answering. Subclasses that answer from an external source
+  /// (client-scripted verdicts) call this so the RNG stream stays aligned
+  /// with the fallback path: crash-recovery replay re-answers those
+  /// questions through AskHuman (the journaled verdict overrides the
+  /// result) and must observe the same stream the original run left
+  /// behind.
+  void AlignMistakeDraw() {
+    if (mistake_prob_ > 0.0) rng_.NextBool(mistake_prob_);
+  }
+
  private:
   const Table* clean_;
   double mistake_prob_;

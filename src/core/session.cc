@@ -250,22 +250,46 @@ Status CleaningSession::SubmitUpdate(uint32_t row, uint32_t col,
 }
 
 StatusOr<SessionMetrics> CleaningSession::Recover() {
+  return RecoverImpl(/*stop_after_replay=*/false);
+}
+
+StatusOr<SessionMetrics> CleaningSession::RecoverToReplayEnd() {
+  return RecoverImpl(/*stop_after_replay=*/true);
+}
+
+StatusOr<SessionMetrics> CleaningSession::RecoverImpl(
+    bool stop_after_replay) {
   if (options_.journal_path.empty()) {
     return Status::InvalidArgument(
         "Recover() requires options.journal_path");
   }
+  // Fresh-start path shared by "no journal" and "no durable header": in
+  // replay-only (service) mode the session is started but not stepped —
+  // the client drives it; otherwise this is a plain Run().
+  auto fresh_start = [this,
+                      stop_after_replay]() -> StatusOr<SessionMetrics> {
+    if (!stop_after_replay) return Run();
+    FALCON_RETURN_IF_ERROR(Start(/*fresh=*/true));
+    if (metrics_.initial_errors == 0) {
+      metrics_.converged = true;
+      finished_ = true;
+    }
+    return metrics_;
+  };
   auto contents_or = SessionJournal::Read(options_.journal_path);
   if (!contents_or.ok()) {
-    // No journal on disk: nothing happened before the crash; plain run.
-    if (contents_or.status().code() == StatusCode::kNotFound) return Run();
+    // No journal on disk: nothing happened before the crash.
+    if (contents_or.status().code() == StatusCode::kNotFound) {
+      return fresh_start();
+    }
     return contents_or.status();
   }
   JournalContents contents = std::move(contents_or).value();
   if (contents.records.empty() ||
       contents.records[0].kind != JournalRecord::Kind::kStart) {
     // The header never became durable — the crash predates any
-    // interaction, so the table is untouched and a fresh run is correct.
-    return Run();
+    // interaction, so the table is untouched and a fresh start is correct.
+    return fresh_start();
   }
   const JournalRecord& start = contents.records[0];
   if (start.seed != options_.seed ||
@@ -320,6 +344,7 @@ StatusOr<SessionMetrics> CleaningSession::Recover() {
     finished_ = true;
     return metrics_;
   }
+  stop_after_replay_ = stop_after_replay;
   return MainLoop(/*max_episodes=*/0);
 }
 
@@ -403,6 +428,21 @@ StatusOr<SessionMetrics> CleaningSession::MainLoop(size_t max_episodes) {
       // finished_ remains false and the next RunSteps resumes here.
       ExportPostingStats();
       return metrics_;
+    }
+    if (stop_after_replay_ && !Replaying()) {
+      // Daemon-restart recovery: the journaled prefix is fully replayed
+      // (any episode the crash interrupted has been completed
+      // deterministically). Hand control back to the stepping client
+      // instead of running to convergence — unless the replay already
+      // reached the natural end, in which case fall through to the
+      // finished/converged accounting below.
+      stop_after_replay_ = false;
+      if (!(worklist_.empty() && external_updates_.empty() &&
+            !options_.detector_driven)) {
+        ExportPostingStats();
+        return metrics_;
+      }
+      break;
     }
     if (Replaying() &&
         replay_[replay_pos_].kind == JournalRecord::Kind::kRetract) {

@@ -186,6 +186,14 @@ class CleaningSession {
   /// With no journal on disk this is a plain Run().
   StatusOr<SessionMetrics> Recover();
 
+  /// Daemon-restart recovery for interactively-stepped (service) sessions:
+  /// like Recover(), but stops at the end of the journaled prefix instead
+  /// of running to convergence — an episode the crash interrupted midway is
+  /// completed deterministically, then control returns so the client
+  /// resumes stepping with RunSteps(). With no journal on disk the session
+  /// is started fresh (journal header written) without running an episode.
+  StatusOr<SessionMetrics> RecoverToReplayEnd();
+
   /// Retracts a mistakenly-validated rule: undoes repair-log entry `i`
   /// (before-images back into the table, posting bitmaps reversed), and
   /// re-poses the affected cells on the worklist. Refuses with
@@ -257,6 +265,9 @@ class CleaningSession {
   Status Emit(JournalRecord* r);
   bool Replaying() const { return replay_pos_ < replay_.size(); }
 
+  /// Shared body of Recover()/RecoverToReplayEnd().
+  StatusOr<SessionMetrics> RecoverImpl(bool stop_after_replay);
+
   size_t RefillFromDetector();
   void ExportPostingStats();
 
@@ -292,6 +303,9 @@ class CleaningSession {
   std::unique_ptr<SessionJournal> journal_;
   std::vector<JournalRecord> replay_;  ///< Records being replayed.
   size_t replay_pos_ = 0;
+  /// RecoverToReplayEnd mode: MainLoop returns at the first episode
+  /// boundary past the replayed prefix instead of continuing live.
+  bool stop_after_replay_ = false;
 };
 
 /// Convenience: run `kind` over a fresh copy of `dirty`.

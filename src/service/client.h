@@ -20,6 +20,13 @@ class ServiceClient {
   static StatusOr<ServiceClient> ConnectToUnix(const std::string& path);
   static StatusOr<ServiceClient> ConnectToTcp(uint16_t port);
 
+  /// Per-request deadline: Call() fails with kDeadlineExceeded when the
+  /// response line takes longer than `ms` (0 = wait forever). Measured
+  /// from read entry — after a request is sent, a response is due.
+  void set_deadline(int64_t ms) {
+    channel_->set_read_deadline(ms, /*from_first_byte=*/false);
+  }
+
   /// Sends one request and blocks for its response line. Transport errors
   /// (peer gone, malformed response) surface as a Status; protocol-level
   /// failures come back as `{"ok":false,...}` objects.

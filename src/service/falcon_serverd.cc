@@ -58,6 +58,10 @@ int main(int argc, char** argv) {
       "honour the remote `shutdown` verb (CI teardown)");
   options.sweep_interval_s = flags.GetDouble(
       "sweep_interval_s", 30.0, "idle-eviction sweep period (0 = off)");
+  options.read_deadline_ms = flags.GetInt(
+      "read_deadline_s", 60, "per-line read deadline on connections, from "
+                             "the first byte of a partial line (slowloris "
+                             "eviction; 0 = off)") * 1000;
   options.limits.max_sessions = static_cast<size_t>(
       flags.GetInt("max_sessions", 8, "concurrent session cap"));
   options.limits.posting_budget_bytes = static_cast<size_t>(flags.GetInt(
@@ -91,6 +95,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to start: %s\n",
                  started.ToString().c_str());
     return 1;
+  }
+  if (server.recovered_sessions() > 0) {
+    std::printf("falcon_serverd: recovered %zu session(s) from %s\n",
+                server.recovered_sessions(),
+                options.limits.journal_dir.c_str());
   }
   if (!options.unix_path.empty()) {
     std::printf("falcon_serverd listening on %s (%zu workers, %zu session "

@@ -33,7 +33,35 @@ StatusOr<uint32_t> Uint32Field(const JsonValue& request, const char* key) {
   return static_cast<uint32_t>(raw);
 }
 
+/// Optional idempotency sequence number (absent / 0 = legacy path).
+StatusOr<uint64_t> SeqField(const JsonValue& request) {
+  const JsonValue* v = request.Find("seq");
+  if (v == nullptr) return static_cast<uint64_t>(0);
+  if (!v->is_number() || v->AsInt() < 0) {
+    return Status::InvalidArgument("seq must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(v->AsInt());
+}
+
+JsonValue StatusResponse(const SessionStatus& st) {
+  JsonValue r = OkResponse();
+  const JsonValue body = StatusBody(st);
+  for (const auto& [k, v] : body.members()) r.Set(k, v);
+  return r;
+}
+
 JsonValue HandleOpen(SessionManager& manager, const JsonValue& request) {
+  const std::string resume = request.GetString("resume");
+  if (!resume.empty()) {
+    auto id = manager.Resume(resume);
+    if (!id.ok()) return ErrorResponse(id.status());
+    auto st = manager.Info(*id);
+    if (!st.ok()) return ErrorResponse(st.status());
+    JsonValue r = StatusResponse(*st);
+    r.Set("resumed", true);
+    return r;
+  }
+
   SessionManager::OpenParams params;
   params.dataset = request.GetString("dataset", params.dataset);
   params.scale = request.GetDouble("scale", params.scale);
@@ -45,6 +73,7 @@ JsonValue HandleOpen(SessionManager& manager, const JsonValue& request) {
       request.GetDouble("question_mistake_prob", 0.0);
   params.update_mistake_prob = request.GetDouble("update_mistake_prob", 0.0);
   params.algorithm = request.GetString("algorithm", params.algorithm);
+  params.posting_delta = request.GetBool("posting_delta", params.posting_delta);
 
   auto id = manager.Open(params);
   if (!id.ok()) return ErrorResponse(id.status());
@@ -60,12 +89,11 @@ JsonValue HandleStep(SessionManager& manager, const JsonValue& request) {
   if (episodes < 0) {
     return ErrorResponse(Status::InvalidArgument("episodes must be >= 0"));
   }
-  auto st = manager.Step(*id, static_cast<size_t>(episodes));
+  auto seq = SeqField(request);
+  if (!seq.ok()) return ErrorResponse(seq.status());
+  auto st = manager.Step(*id, static_cast<size_t>(episodes), *seq);
   if (!st.ok()) return ErrorResponse(st.status());
-  JsonValue r = OkResponse();
-  const JsonValue body = StatusBody(*st);
-  for (const auto& [k, v] : body.members()) r.Set(k, v);
-  return r;
+  return StatusResponse(*st);
 }
 
 JsonValue HandleUpdateCell(SessionManager& manager,
@@ -81,9 +109,13 @@ JsonValue HandleUpdateCell(SessionManager& manager,
     return ErrorResponse(
         Status::InvalidArgument("missing string field: value"));
   }
-  Status st = manager.UpdateCell(*id, *row, *col, value->AsString());
-  if (!st.ok()) return ErrorResponse(st);
-  return OkResponse();
+  auto seq = SeqField(request);
+  if (!seq.ok()) return ErrorResponse(seq.status());
+  auto st = manager.UpdateCell(*id, *row, *col, value->AsString(), *seq);
+  if (!st.ok()) return ErrorResponse(st.status());
+  JsonValue r = OkResponse();
+  r.Set("last_seq", static_cast<int64_t>(st->last_seq));
+  return r;
 }
 
 JsonValue HandleAnswer(SessionManager& manager, const JsonValue& request) {
@@ -94,9 +126,13 @@ JsonValue HandleAnswer(SessionManager& manager, const JsonValue& request) {
     return ErrorResponse(
         Status::InvalidArgument("missing boolean field: valid"));
   }
-  Status st = manager.Answer(*id, valid->AsBool());
-  if (!st.ok()) return ErrorResponse(st);
-  return OkResponse();
+  auto seq = SeqField(request);
+  if (!seq.ok()) return ErrorResponse(seq.status());
+  auto st = manager.Answer(*id, valid->AsBool(), *seq);
+  if (!st.ok()) return ErrorResponse(st.status());
+  JsonValue r = OkResponse();
+  r.Set("last_seq", static_cast<int64_t>(st->last_seq));
+  return r;
 }
 
 JsonValue HandleStatus(SessionManager& manager, const JsonValue& request) {
@@ -104,10 +140,7 @@ JsonValue HandleStatus(SessionManager& manager, const JsonValue& request) {
   if (!id.ok()) return ErrorResponse(id.status());
   auto st = manager.Info(*id);
   if (!st.ok()) return ErrorResponse(st.status());
-  JsonValue r = OkResponse();
-  const JsonValue body = StatusBody(*st);
-  for (const auto& [k, v] : body.members()) r.Set(k, v);
-  return r;
+  return StatusResponse(*st);
 }
 
 JsonValue HandleRetract(SessionManager& manager, const JsonValue& request) {
@@ -118,9 +151,25 @@ JsonValue HandleRetract(SessionManager& manager, const JsonValue& request) {
     return ErrorResponse(
         Status::InvalidArgument("missing non-negative field: repair"));
   }
-  Status st = manager.Retract(*id, static_cast<size_t>(repair->AsInt()));
-  if (!st.ok()) return ErrorResponse(st);
-  return OkResponse();
+  auto seq = SeqField(request);
+  if (!seq.ok()) return ErrorResponse(seq.status());
+  auto st =
+      manager.Retract(*id, static_cast<size_t>(repair->AsInt()), *seq);
+  if (!st.ok()) return ErrorResponse(st.status());
+  JsonValue r = OkResponse();
+  r.Set("last_seq", static_cast<int64_t>(st->last_seq));
+  return r;
+}
+
+JsonValue HandlePing(SessionManager& manager) {
+  const ServiceHealth h = manager.Health();
+  JsonValue r = OkResponse();
+  r.Set("uptime_s", h.uptime_s);
+  r.Set("live_sessions", h.live_sessions);
+  r.Set("max_sessions", h.max_sessions);
+  r.Set("recovered_sessions", h.recovered_sessions);
+  r.Set("posting_resident_bytes", h.posting_resident_bytes);
+  return r;
 }
 
 JsonValue HandleClose(SessionManager& manager, const JsonValue& request) {
@@ -164,6 +213,7 @@ JsonValue StatusBody(const SessionStatus& st) {
   body.Set("queued_verdicts", st.queued_verdicts);
   body.Set("repairs", st.repairs);
   body.Set("table_crc", static_cast<int64_t>(st.table_crc));
+  body.Set("last_seq", static_cast<int64_t>(st.last_seq));
   body.Set("metrics", std::move(metrics));
   return body;
 }
@@ -181,6 +231,7 @@ JsonValue HandleRequest(SessionManager& manager, const JsonValue& request) {
   if (verb == "status") return HandleStatus(manager, request);
   if (verb == "retract") return HandleRetract(manager, request);
   if (verb == "close") return HandleClose(manager, request);
+  if (verb == "ping") return HandlePing(manager);
   if (verb == "shutdown") {
     return ErrorResponse(Status::Unimplemented(
         "shutdown requires a server started with --allow-remote-shutdown"));

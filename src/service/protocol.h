@@ -8,20 +8,34 @@
 //
 // Verbs:
 //   open_session  {dataset, scale, seed, budget, question_mistake_prob,
-//                  update_mistake_prob, algorithm} → {session}
-//   step          {session, episodes}              → status body (below)
-//   update_cell   {session, row, col, value}       → {}
-//   answer        {session, valid}                 → {}
+//                  update_mistake_prob, algorithm, posting_delta}
+//                                                  → {session}
+//   open_session  {resume: "s-<n>"}                → status body (resumes a
+//                  live, evicted, or journal-recovered session; the body's
+//                  last_seq re-syncs the client's idempotency counter)
+//   step          {session, episodes [, seq]}      → status body (below)
+//   update_cell   {session, row, col, value [, seq]} → {last_seq}
+//   answer        {session, valid [, seq]}         → {last_seq}
 //   status        {session}                        → status body
-//   retract       {session, repair}                → {}
+//   retract       {session, repair [, seq]}        → {last_seq}
 //   close         {session}                        → {}
+//   ping          {}                               → {uptime_s,
+//                  live_sessions, max_sessions, recovered_sessions,
+//                  posting_resident_bytes}
 //   shutdown      {}                               → {} (only when the
 //                  server was started with --allow-remote-shutdown)
 //
 // Status body: {session, dataset, finished, pending_cells,
-//   queued_verdicts, table_crc, metrics:{user_updates, user_answers,
-//   master_answers, initial_errors, cells_repaired, queries_applied,
-//   converged, benefit}}.
+//   queued_verdicts, table_crc, last_seq, metrics:{user_updates,
+//   user_answers, master_answers, initial_errors, cells_repaired,
+//   queries_applied, converged, benefit}}.
+//
+// Idempotent retries: a mutating verb may carry a per-session `seq`
+// (monotonically increasing from 1). The server executes seq ==
+// last_seq + 1 exactly once and caches the response; a retried seq
+// returns the cached response without re-applying. Stale or gapped seqs
+// fail with FAILED_PRECONDITION. seq == 0 / absent is the legacy
+// non-idempotent path.
 //
 // "retry_after_ms" appears only on kUnavailable rejections (admission
 // control: full request queue or full session table) and tells the client

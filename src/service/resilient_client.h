@@ -1,0 +1,118 @@
+// ResilientClient: a ServiceClient wrapper that survives daemon crashes,
+// dropped connections, and overload rejections.
+//
+//   - Per-request deadlines: a stalled or dead server turns into
+//     kDeadlineExceeded instead of a hang.
+//   - Automatic reconnect + resume: on any transport failure the client
+//     reconnects (capped exponential backoff with deterministic jitter)
+//     and, when it had a session, re-attaches it with
+//     `open_session {"resume": id}` — which also works after a daemon
+//     restart, where the server replays the session's journal first.
+//   - Idempotent retries: mutating verbs (step, update_cell, answer,
+//     retract) are stamped with a per-session `seq`. A retry after a lost
+//     response re-sends the same seq; the server answers from its
+//     idempotency window instead of re-applying. After a daemon restart
+//     (window reset) the resume response's `last_seq` re-syncs the
+//     counter: an in-flight seq ≤ last_seq + 1 is retried as-is, a gapped
+//     one is re-stamped to last_seq + 1.
+//   - Overload rejections (kUnavailable) honour the server's
+//     `retry_after_ms` hint.
+//
+// `open_session` (fresh, not resume) is NOT idempotent: a response lost
+// after execution can leak one server-side session on retry. The protocol
+// protects mutations, not creations.
+//
+// Not thread-safe; one instance per analyst thread, like ServiceClient.
+#ifndef FALCON_SERVICE_RESILIENT_CLIENT_H_
+#define FALCON_SERVICE_RESILIENT_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "service/client.h"
+#include "service/session_manager.h"
+
+namespace falcon {
+
+struct ResilientClientOptions {
+  /// Unix socket path; takes precedence over tcp_port when non-empty.
+  std::string unix_path;
+  uint16_t tcp_port = 0;
+  /// Per-request response deadline (0 = wait forever).
+  int64_t deadline_ms = 30000;
+  /// Attempts per logical request before giving up (connect + call).
+  size_t max_attempts = 10;
+  /// Exponential backoff between attempts: initial << attempt, capped,
+  /// with deterministic jitter drawn from jitter_seed.
+  int64_t backoff_initial_ms = 10;
+  int64_t backoff_max_ms = 2000;
+  uint64_t jitter_seed = 1;
+};
+
+class ResilientClient {
+ public:
+  explicit ResilientClient(ResilientClientOptions options);
+
+  /// Opens a fresh session and remembers its id for resume/seq stamping.
+  StatusOr<std::string> OpenSession(const SessionManager::OpenParams& params);
+
+  /// Attaches to an existing session (live, evicted, or recoverable from
+  /// its journal) and re-syncs the seq counter from the server.
+  Status ResumeSession(const std::string& id);
+
+  /// Mutating verbs — seq-stamped, retried idempotently. Each returns the
+  /// full response object (status body for Step).
+  StatusOr<JsonValue> Step(size_t episodes);
+  StatusOr<JsonValue> UpdateCell(uint32_t row, uint32_t col,
+                                 const std::string& value);
+  StatusOr<JsonValue> Answer(bool valid);
+  StatusOr<JsonValue> Retract(size_t repair_index);
+
+  /// Read-only verbs — retried, not seq-stamped.
+  StatusOr<JsonValue> Info();
+  StatusOr<JsonValue> Ping();
+
+  /// Clean close: deletes the server-side session and its journal.
+  Status CloseSession();
+
+  const std::string& session_id() const { return session_id_; }
+
+  struct Stats {
+    size_t connects = 0;    ///< Successful (re)connects.
+    size_t resumes = 0;     ///< Successful session re-attachments.
+    size_t retries = 0;     ///< Request attempts beyond the first.
+    size_t seq_resyncs = 0; ///< Seq re-stamped after a server restart.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Connects (if needed) and re-attaches the session (if it had one).
+  Status EnsureConnected();
+
+  /// The retry loop: stamps `seq` on mutating requests, reconnects and
+  /// resumes on transport errors, backs off on kUnavailable, re-syncs seq
+  /// after restarts. Terminal protocol failures return as error Status.
+  StatusOr<JsonValue> CallResilient(JsonValue request, bool mutating);
+
+  void Backoff(size_t attempt, int64_t server_hint_ms);
+
+  ResilientClientOptions options_;
+  std::optional<ServiceClient> client_;
+  std::string session_id_;
+  /// Next seq to stamp (1-based); re-synced from resume responses.
+  uint64_t next_seq_ = 1;
+  /// Server's last_seq from the most recent resume, pending consumption
+  /// by the in-flight request's re-stamp check.
+  std::optional<uint64_t> last_resume_seq_;
+  Rng jitter_;
+  Stats stats_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_SERVICE_RESILIENT_CLIENT_H_

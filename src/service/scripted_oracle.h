@@ -28,6 +28,10 @@ class ScriptedOracle : public UserOracle {
     if (!queued_.empty()) {
       bool valid = queued_.front();
       queued_.pop_front();
+      // Keep the mistake RNG aligned with the fallback path so a crashed
+      // session's replay (which re-answers this question via the fallback
+      // and adopts the journaled verdict) sees the same stream.
+      AlignMistakeDraw();
       return {valid, true};
     }
     return UserOracle::AnswerEx(lattice, n);

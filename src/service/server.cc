@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "service/protocol.h"
 
@@ -24,6 +26,11 @@ Status CleaningServer::Start() {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     if (started_) return Status::FailedPrecondition("server already started");
     started_ = true;
+  }
+  // Replay crashed/evicted sessions before the socket exists, so a client
+  // can resume the moment its connect succeeds.
+  if (!options_.limits.journal_dir.empty()) {
+    recovered_sessions_ = manager_.RecoverSessions();
   }
   if (!options_.unix_path.empty()) {
     FALCON_ASSIGN_OR_RETURN(listener_,
@@ -98,7 +105,19 @@ void CleaningServer::Wait() {
 void CleaningServer::AcceptLoop() {
   for (;;) {
     StatusOr<FdHolder> conn = listener_.Accept();
-    if (!conn.ok()) return;  // kCancelled after Stop, or a fatal error.
+    if (!conn.ok()) {
+      // Transient accept failures (fd exhaustion) back off briefly and
+      // keep serving; anything else (kCancelled after Stop, fatal errors)
+      // ends the acceptor.
+      if (conn.status().IsTransient()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;
+    }
+    // Injected accept fault: drop the fresh connection (the client sees a
+    // reset and retries through its reconnect path).
+    if (!FaultInjector::Global().Hit("service.accept").ok()) continue;
     int raw = conn->fd();
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.push_back(raw);
@@ -111,11 +130,29 @@ void CleaningServer::ConnectionLoop(FdHolder fd) {
   const int raw = fd.fd();
   {
     LineChannel channel(std::move(fd));
+    // Server-side transport faults arm under "service.*"; client channels
+    // leave the prefix empty so their own I/O never trips these sites.
+    channel.set_fault_site_prefix("service.");
+    if (options_.read_deadline_ms > 0) {
+      channel.set_read_deadline(options_.read_deadline_ms,
+                                /*from_first_byte=*/true);
+      Status st = SetSendTimeout(raw, options_.read_deadline_ms);
+      (void)st;
+    }
     std::string line;
     bool eof = false;
     for (;;) {
       Status read = channel.ReadLine(&line, &eof);
-      if (!read.ok() || eof) break;
+      if (!read.ok()) {
+        if (read.code() == StatusCode::kDeadlineExceeded) {
+          // Slowloris eviction: best-effort typed error, then drop the
+          // connection.
+          Status st = channel.WriteLine(ErrorResponse(read).Serialize());
+          (void)st;
+        }
+        break;
+      }
+      if (eof) break;
       if (line.empty()) continue;
 
       JsonValue response;

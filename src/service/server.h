@@ -53,6 +53,12 @@ struct ServerOptions {
   int64_t retry_after_ms = 50;
   /// Honour the remote `shutdown` verb (CI teardown); off by default.
   bool allow_remote_shutdown = false;
+  /// Per-line read deadline on connection readers, measured from the first
+  /// byte of a partial line (slowloris defense: an idle connection waits
+  /// forever, a half-sent line does not). Expiry evicts the connection
+  /// with a typed DEADLINE_EXCEEDED error. Also bounds response writes to
+  /// stalled clients (SO_SNDTIMEO). 0 disables.
+  int64_t read_deadline_ms = 60000;
   /// Seconds between idle-eviction sweeps (0 disables the sweeper).
   double sweep_interval_s = 0.0;
   /// Session-level limits (max sessions, posting budget, journals, idle
@@ -78,6 +84,9 @@ class CleaningServer {
   uint16_t bound_port() const;
   SessionManager& manager() { return manager_; }
 
+  /// Sessions replayed from journals by Start()'s recovery scan.
+  size_t recovered_sessions() const { return recovered_sessions_; }
+
  private:
   struct WorkItem {
     JsonValue request;
@@ -95,6 +104,7 @@ class CleaningServer {
   ServerOptions options_;
   SessionManager manager_;
   Listener listener_;
+  size_t recovered_sessions_ = 0;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -1,12 +1,23 @@
 #include "service/session_manager.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injector.h"
+#include "common/json.h"
 #include "core/session_journal.h"
 
 namespace falcon {
 namespace {
+
+constexpr size_t kSeqWindow = 32;
 
 StatusOr<SearchKind> ParseSearchKind(const std::string& name) {
   for (SearchKind k :
@@ -17,12 +28,99 @@ StatusOr<SearchKind> ParseSearchKind(const std::string& name) {
   return Status::InvalidArgument("unknown search algorithm: " + name);
 }
 
+/// fsyncs the journal directory so freshly created/renamed/unlinked entry
+/// names survive a crash. Fault site: service.journal_dir_sync.
+Status SyncJournalDir(const std::string& dir) {
+  FALCON_RETURN_IF_ERROR(
+      FaultInjector::Global().Hit("service.journal_dir_sync"));
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("open journal dir " + dir + ": " +
+                           std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync journal dir " + dir + ": " +
+                           std::strerror(saved));
+  }
+  return Status::Ok();
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& body) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < body.size()) {
+    ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status::IoError("write " + path + ": " + std::strerror(saved));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::IoError("fsync " + path + ": " + std::strerror(saved));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status::IoError("read " + path + ": " + std::strerror(saved));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Parses the numeric part of an "s-<n>" session id (0 when malformed).
+uint64_t SessionIdNumber(const std::string& id) {
+  if (id.size() < 3 || id.compare(0, 2, "s-") != 0) return 0;
+  uint64_t n = 0;
+  for (size_t i = 2; i < id.size(); ++i) {
+    if (id[i] < '0' || id[i] > '9') return 0;
+    n = n * 10 + static_cast<uint64_t>(id[i] - '0');
+  }
+  return n;
+}
+
 }  // namespace
 
 SessionManager::SessionManager(ServiceLimits limits)
     : limits_(std::move(limits)) {}
 
 SessionManager::~SessionManager() { CloseAll(); }
+
+std::string SessionManager::JournalPath(const std::string& id) const {
+  return limits_.journal_dir + "/" + id + ".journal";
+}
+
+std::string SessionManager::MetaPath(const std::string& id) const {
+  return limits_.journal_dir + "/" + id + ".meta";
+}
 
 StatusOr<std::shared_ptr<const CleaningWorkload>> SessionManager::GetBase(
     const std::string& dataset, double scale) {
@@ -46,20 +144,15 @@ StatusOr<std::shared_ptr<const CleaningWorkload>> SessionManager::GetBase(
   return it->second;
 }
 
-StatusOr<std::string> SessionManager::Open(const OpenParams& params) {
+StatusOr<std::shared_ptr<SessionManager::ServiceSession>>
+SessionManager::Build(const OpenParams& params, const std::string& id) {
   FALCON_ASSIGN_OR_RETURN(SearchKind kind, ParseSearchKind(params.algorithm));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (sessions_.size() >= limits_.max_sessions) {
-      return Status::Unavailable(
-          "session table full (" + std::to_string(limits_.max_sessions) +
-          " live sessions); close one or retry later");
-    }
-  }
   FALCON_ASSIGN_OR_RETURN(auto base, GetBase(params.dataset, params.scale));
 
   auto s = std::make_shared<ServiceSession>(base);
+  s->id = id;
   s->dataset = params.dataset;
+  s->params = params;
   // The oracle mirrors the session's internal construction
   // (question_mistake_prob, seed + 1) so an answer-free service run is
   // bit-identical to a serial RunCleaning with the same options.
@@ -72,25 +165,180 @@ StatusOr<std::string> SessionManager::Open(const OpenParams& params) {
   options.seed = params.seed;
   options.question_mistake_prob = params.question_mistake_prob;
   options.update_mistake_prob = params.update_mistake_prob;
+  options.posting_delta = params.posting_delta;
   options.oracle = s->oracle.get();
   if (limits_.posting_budget_bytes > 0) {
     options.posting_budget_bytes =
         limits_.posting_budget_bytes / limits_.max_sessions;
   }
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.size() >= limits_.max_sessions) {
-    return Status::Unavailable("session table full");
-  }
-  s->id = "s-" + std::to_string(next_id_++);
   if (!limits_.journal_dir.empty()) {
-    options.journal_path = limits_.journal_dir + "/" + s->id + ".journal";
+    options.journal_path = JournalPath(id);
   }
   s->session = std::make_unique<CleaningSession>(
       &base->clean, &s->working, s->algorithm.get(), options);
   s->Touch();
+  return s;
+}
+
+Status SessionManager::WriteMeta(const ServiceSession& s) {
+  if (limits_.journal_dir.empty()) return Status::Ok();
+  JsonValue meta = JsonValue::Object();
+  meta.Set("id", s.id);
+  meta.Set("dataset", s.params.dataset);
+  meta.Set("scale", s.params.scale);
+  meta.Set("seed", static_cast<int64_t>(s.params.seed));
+  meta.Set("budget", s.params.budget);
+  meta.Set("question_mistake_prob", s.params.question_mistake_prob);
+  meta.Set("update_mistake_prob", s.params.update_mistake_prob);
+  meta.Set("algorithm", s.params.algorithm);
+  meta.Set("posting_delta", s.params.posting_delta);
+  FALCON_RETURN_IF_ERROR(
+      WriteFileDurable(MetaPath(s.id), meta.Serialize() + "\n"));
+  return SyncJournalDir(limits_.journal_dir);
+}
+
+void SessionManager::DeleteArtifacts(const std::string& id) {
+  if (limits_.journal_dir.empty()) return;
+  ::unlink(JournalPath(id).c_str());
+  ::unlink(MetaPath(id).c_str());
+  // Best-effort: a failed directory sync here only delays the cleanup
+  // until the next startup scan notices the stale entries.
+  Status st = SyncJournalDir(limits_.journal_dir);
+  (void)st;
+}
+
+StatusOr<std::string> SessionManager::Open(const OpenParams& params) {
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.size() >= limits_.max_sessions) {
+      return Status::Unavailable(
+          "session table full (" + std::to_string(limits_.max_sessions) +
+          " live sessions); close one or retry later");
+    }
+    id = "s-" + std::to_string(next_id_++);
+  }
+  FALCON_ASSIGN_OR_RETURN(auto s, Build(params, id));
+  if (Status meta = WriteMeta(*s); !meta.ok()) {
+    // Never leave a half-durable meta behind: an orphan would re-register
+    // as a fresh session at the next startup scan.
+    DeleteArtifacts(id);
+    return meta;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= limits_.max_sessions) {
+    DeleteArtifacts(id);
+    return Status::Unavailable("session table full");
+  }
   sessions_.emplace(s->id, s);
   return s->id;
+}
+
+StatusOr<std::string> SessionManager::RecoverOne(const std::string& id) {
+  FALCON_ASSIGN_OR_RETURN(std::string body, ReadFileToString(MetaPath(id)));
+  FALCON_ASSIGN_OR_RETURN(JsonValue meta, JsonValue::Parse(body));
+  OpenParams params;
+  params.dataset = meta.GetString("dataset", params.dataset);
+  params.scale = meta.GetDouble("scale", params.scale);
+  params.seed = static_cast<uint64_t>(
+      meta.GetInt("seed", static_cast<int64_t>(params.seed)));
+  params.budget = static_cast<size_t>(
+      meta.GetInt("budget", static_cast<int64_t>(params.budget)));
+  params.question_mistake_prob =
+      meta.GetDouble("question_mistake_prob", params.question_mistake_prob);
+  params.update_mistake_prob =
+      meta.GetDouble("update_mistake_prob", params.update_mistake_prob);
+  params.algorithm = meta.GetString("algorithm", params.algorithm);
+  params.posting_delta = meta.GetBool("posting_delta", params.posting_delta);
+
+  FALCON_ASSIGN_OR_RETURN(auto s, Build(params, id));
+  // Replays the journaled prefix (tolerant of a torn tail) and completes
+  // any interrupted episode deterministically, then stops so the client
+  // resumes driving with `step`. A meta without a journal (the session
+  // never ran an episode) starts fresh without running one.
+  FALCON_RETURN_IF_ERROR(s->session->RecoverToReplayEnd().status());
+  s->Touch();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) return id;  // Raced with another resume: fine.
+  if (sessions_.size() >= limits_.max_sessions) {
+    return Status::Unavailable("session table full; cannot resume " + id);
+  }
+  uint64_t n = SessionIdNumber(id);
+  if (n >= next_id_) next_id_ = n + 1;
+  sessions_.emplace(id, s);
+  recovered_sessions_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+size_t SessionManager::RecoverSessions() {
+  if (limits_.journal_dir.empty()) return 0;
+  DIR* dir = ::opendir(limits_.journal_dir.c_str());
+  if (dir == nullptr) return 0;
+  std::vector<std::string> meta_ids;
+  std::vector<std::string> journal_ids;
+  while (struct dirent* e = ::readdir(dir)) {
+    std::string name = e->d_name;
+    auto strip = [&name](const char* suffix) -> std::string {
+      size_t len = std::strlen(suffix);
+      if (name.size() <= len ||
+          name.compare(name.size() - len, len, suffix) != 0) {
+        return "";
+      }
+      return name.substr(0, name.size() - len);
+    };
+    if (std::string id = strip(".meta"); !id.empty()) meta_ids.push_back(id);
+    if (std::string id = strip(".journal"); !id.empty()) {
+      journal_ids.push_back(id);
+    }
+  }
+  ::closedir(dir);
+
+  size_t recovered = 0;
+  for (const std::string& id : meta_ids) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (sessions_.count(id) > 0) continue;
+    }
+    // A failed recovery (corrupt meta, unknown dataset) skips the session
+    // but retains its files for inspection; it will be retried next start.
+    if (RecoverOne(id).ok()) ++recovered;
+  }
+  // A journal without a meta sidecar is a stale leftover (the meta is
+  // written before the journal's first record and deleted after the
+  // journal on clean close): delete it.
+  bool deleted_stale = false;
+  for (const std::string& id : journal_ids) {
+    bool has_meta = false;
+    for (const std::string& m : meta_ids) {
+      if (m == id) {
+        has_meta = true;
+        break;
+      }
+    }
+    if (!has_meta) {
+      ::unlink(JournalPath(id).c_str());
+      deleted_stale = true;
+    }
+  }
+  if (deleted_stale) {
+    Status st = SyncJournalDir(limits_.journal_dir);
+    (void)st;
+  }
+  return recovered;
+}
+
+StatusOr<std::string> SessionManager::Resume(const std::string& id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(id) > 0) return id;
+  }
+  if (limits_.journal_dir.empty()) {
+    return Status::NotFound("no such session: " + id);
+  }
+  return RecoverOne(id);
 }
 
 StatusOr<std::shared_ptr<SessionManager::ServiceSession>>
@@ -103,7 +351,7 @@ SessionManager::Lookup(const std::string& id) {
   return it->second;
 }
 
-SessionStatus SessionManager::Snapshot(const ServiceSession& s) {
+SessionStatus SessionManager::Snapshot(ServiceSession& s) {
   SessionStatus st;
   st.id = s.id;
   st.dataset = s.dataset;
@@ -112,38 +360,81 @@ SessionStatus SessionManager::Snapshot(const ServiceSession& s) {
   st.queued_verdicts = s.oracle->queued();
   st.repairs = s.session->log().size();
   st.table_crc = TableContentsCrc(s.working);
+  st.last_seq = s.last_seq;
   st.metrics = s.session->metrics();
+  s.posting_resident_bytes.store(st.metrics.posting_resident_bytes,
+                                 std::memory_order_relaxed);
   return st;
 }
 
+StatusOr<SessionStatus> SessionManager::Mutate(
+    const std::string& id, uint64_t seq,
+    const std::function<StatusOr<SessionStatus>(ServiceSession&)>& op) {
+  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->closed) return Status::NotFound("session closed: " + id);
+  if (seq > 0) {
+    if (seq <= s->last_seq) {
+      // A retry of an already-applied request: answer from the cached
+      // window without re-executing (errors replay too — the retry sees
+      // exactly what the original caller saw).
+      for (const auto& [cached_seq, response] : s->seq_window) {
+        if (cached_seq == seq) return response;
+      }
+      return Status::FailedPrecondition(
+          "seq " + std::to_string(seq) + " too old for session " + id +
+          " (last_seq " + std::to_string(s->last_seq) +
+          "; response evicted from the idempotency window)");
+    }
+    if (seq != s->last_seq + 1) {
+      return Status::FailedPrecondition(
+          "seq gap for session " + id + ": got " + std::to_string(seq) +
+          ", expected " + std::to_string(s->last_seq + 1));
+    }
+  }
+  // Advance before executing so the op's snapshot reports this request's
+  // seq as applied.
+  if (seq > 0) s->last_seq = seq;
+  StatusOr<SessionStatus> result = op(*s);
+  s->Touch();
+  if (seq > 0) {
+    s->seq_window.emplace_back(seq, result);
+    while (s->seq_window.size() > kSeqWindow) s->seq_window.pop_front();
+  }
+  return result;
+}
+
 StatusOr<SessionStatus> SessionManager::Step(const std::string& id,
-                                             size_t max_episodes) {
-  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
-  std::lock_guard<std::mutex> lock(s->mu);
-  if (s->closed) return Status::NotFound("session closed: " + id);
-  auto metrics = s->session->RunSteps(max_episodes);
-  s->Touch();
-  FALCON_RETURN_IF_ERROR(metrics.status());
-  return Snapshot(*s);
+                                             size_t max_episodes,
+                                             uint64_t seq) {
+  return Mutate(id, seq,
+                [max_episodes](ServiceSession& s) -> StatusOr<SessionStatus> {
+                  auto metrics = s.session->RunSteps(max_episodes);
+                  FALCON_RETURN_IF_ERROR(metrics.status());
+                  return Snapshot(s);
+                });
 }
 
-Status SessionManager::UpdateCell(const std::string& id, uint32_t row,
-                                  uint32_t col, const std::string& value) {
-  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
-  std::lock_guard<std::mutex> lock(s->mu);
-  if (s->closed) return Status::NotFound("session closed: " + id);
-  FALCON_RETURN_IF_ERROR(s->session->SubmitUpdate(row, col, value));
-  s->Touch();
-  return Status::Ok();
+StatusOr<SessionStatus> SessionManager::UpdateCell(const std::string& id,
+                                                   uint32_t row, uint32_t col,
+                                                   const std::string& value,
+                                                   uint64_t seq) {
+  return Mutate(id, seq,
+                [row, col, &value](ServiceSession& s)
+                    -> StatusOr<SessionStatus> {
+                  FALCON_RETURN_IF_ERROR(
+                      s.session->SubmitUpdate(row, col, value));
+                  return Snapshot(s);
+                });
 }
 
-Status SessionManager::Answer(const std::string& id, bool valid) {
-  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
-  std::lock_guard<std::mutex> lock(s->mu);
-  if (s->closed) return Status::NotFound("session closed: " + id);
-  s->oracle->QueueVerdict(valid);
-  s->Touch();
-  return Status::Ok();
+StatusOr<SessionStatus> SessionManager::Answer(const std::string& id,
+                                               bool valid, uint64_t seq) {
+  return Mutate(id, seq,
+                [valid](ServiceSession& s) -> StatusOr<SessionStatus> {
+                  s.oracle->QueueVerdict(valid);
+                  return Snapshot(s);
+                });
 }
 
 StatusOr<SessionStatus> SessionManager::Info(const std::string& id) {
@@ -154,16 +445,19 @@ StatusOr<SessionStatus> SessionManager::Info(const std::string& id) {
   return Snapshot(*s);
 }
 
-Status SessionManager::Retract(const std::string& id, size_t repair_index) {
-  FALCON_ASSIGN_OR_RETURN(auto s, Lookup(id));
-  std::lock_guard<std::mutex> lock(s->mu);
-  if (s->closed) return Status::NotFound("session closed: " + id);
-  FALCON_RETURN_IF_ERROR(s->session->RetractRule(repair_index));
-  s->Touch();
-  return Status::Ok();
+StatusOr<SessionStatus> SessionManager::Retract(const std::string& id,
+                                                size_t repair_index,
+                                                uint64_t seq) {
+  return Mutate(id, seq,
+                [repair_index](ServiceSession& s) -> StatusOr<SessionStatus> {
+                  FALCON_RETURN_IF_ERROR(
+                      s.session->RetractRule(repair_index));
+                  return Snapshot(s);
+                });
 }
 
-Status SessionManager::Close(const std::string& id) {
+Status SessionManager::CloseInternal(const std::string& id,
+                                     bool delete_artifacts) {
   std::shared_ptr<ServiceSession> s;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -181,7 +475,15 @@ Status SessionManager::Close(const std::string& id) {
   s->session.reset();
   s->algorithm.reset();
   s->oracle.reset();
+  // A clean close is final: its journal + meta would otherwise be replayed
+  // as an orphan at the next startup scan. Eviction and graceful shutdown
+  // keep them so the session stays resumable.
+  if (delete_artifacts) DeleteArtifacts(id);
   return Status::Ok();
+}
+
+Status SessionManager::Close(const std::string& id) {
+  return CloseInternal(id, /*delete_artifacts=*/true);
 }
 
 size_t SessionManager::EvictIdle() {
@@ -202,7 +504,8 @@ size_t SessionManager::EvictIdle() {
   }
   size_t evicted = 0;
   for (const std::string& id : idle) {
-    evicted += Close(id).ok();
+    // Retain artifacts: an evicted session resumes lazily from disk.
+    evicted += CloseInternal(id, /*delete_artifacts=*/false).ok();
   }
   return evicted;
 }
@@ -214,9 +517,27 @@ void SessionManager::CloseAll() {
     for (const auto& [id, s] : sessions_) ids.push_back(id);
   }
   for (const std::string& id : ids) {
-    Status st = Close(id);
+    // Graceful drain retains journals + metas: sessions survive a daemon
+    // restart and are re-registered by the startup scan.
+    Status st = CloseInternal(id, /*delete_artifacts=*/false);
     (void)st;
   }
+}
+
+ServiceHealth SessionManager::Health() const {
+  ServiceHealth h;
+  h.uptime_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_time_)
+                   .count();
+  h.max_sessions = limits_.max_sessions;
+  h.recovered_sessions = recovered_sessions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  h.live_sessions = sessions_.size();
+  for (const auto& [id, s] : sessions_) {
+    h.posting_resident_bytes +=
+        s->posting_resident_bytes.load(std::memory_order_relaxed);
+  }
+  return h;
 }
 
 size_t SessionManager::active_sessions() const {

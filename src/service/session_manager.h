@@ -23,15 +23,43 @@
 // instance, and a slice of the global posting-index byte budget
 // (total / max_sessions), so one session's cache pressure cannot starve
 // the others.
+//
+// Crash recovery (DESIGN.md "Service fault tolerance & recovery")
+//   - With a journal_dir configured, every Open writes an `<id>.meta`
+//     sidecar recording the OpenParams next to the session's `<id>.journal`
+//     write-ahead log, and fsyncs the directory so both names survive a
+//     crash.
+//   - RecoverSessions() (called by the server at startup) scans the
+//     directory: a meta+journal pair is replayed through
+//     CleaningSession::RecoverToReplayEnd — tolerant torn-tail reader,
+//     RNG-aligned deterministic replay — and re-registered under its
+//     original id; a meta without a journal re-registers as a fresh
+//     session (it never journaled anything); a journal without a meta is
+//     a stale leftover and is deleted.
+//   - A client-requested Close deletes both artifacts; graceful shutdown
+//     (CloseAll) and idle eviction retain them so the session can resume
+//     after a restart or via lazy Resume().
+//
+// Idempotent retries: mutating operations carry an optional per-session
+// `seq` (monotonically increasing, starting at 1; 0 = legacy
+// non-idempotent). The manager executes seq == last_seq + 1, caches the
+// response in a bounded window, and answers a retried seq from the cache
+// without re-executing. Stale (evicted) or gapped seqs fail with
+// kFailedPrecondition. The window is in-memory only: it resets on daemon
+// restart, and resumed clients re-sync from SessionStatus::last_seq.
 #ifndef FALCON_SERVICE_SESSION_MANAGER_H_
 #define FALCON_SERVICE_SESSION_MANAGER_H_
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 #include "core/search.h"
@@ -49,9 +77,10 @@ struct ServiceLimits {
   /// (0 = unbounded caches).
   size_t posting_budget_bytes = 0;
   /// Directory for per-session write-ahead journals ("" disables
-  /// journaling).
+  /// journaling, and with it restart recovery).
   std::string journal_dir;
   /// Sessions idle longer than this are closed by EvictIdle() (0 = never).
+  /// Evicted sessions keep their journal + meta and can be resumed.
   double idle_timeout_s = 0.0;
 };
 
@@ -64,7 +93,22 @@ struct SessionStatus {
   size_t queued_verdicts = 0;  ///< Client answers not yet consumed.
   size_t repairs = 0;          ///< Repair-log entries (retract indexes).
   uint32_t table_crc = 0;      ///< TableContentsCrc of the working table.
+  uint64_t last_seq = 0;       ///< Highest idempotent seq applied.
   SessionMetrics metrics;
+};
+
+/// Manager-level health snapshot (the `ping` verb).
+struct ServiceHealth {
+  /// Seconds since the manager (≈ the daemon) was constructed.
+  double uptime_s = 0.0;
+  size_t live_sessions = 0;
+  size_t max_sessions = 0;
+  /// Sessions replayed from journals since construction (startup scan +
+  /// lazy resumes).
+  size_t recovered_sessions = 0;
+  /// Aggregate posting-cache resident bytes across live sessions, as of
+  /// each session's last status snapshot.
+  size_t posting_resident_bytes = 0;
 };
 
 class SessionManager {
@@ -78,6 +122,10 @@ class SessionManager {
     double question_mistake_prob = 0.0;
     double update_mistake_prob = 0.0;
     std::string algorithm = "CoDive";
+    /// Delta-maintain cached postings across repairs (SessionOptions::
+    /// posting_delta); exposed so both posting modes are exercisable over
+    /// the wire.
+    bool posting_delta = true;
   };
 
   explicit SessionManager(ServiceLimits limits);
@@ -88,31 +136,52 @@ class SessionManager {
   /// after a close or eviction).
   StatusOr<std::string> Open(const OpenParams& params);
 
+  /// Resumes session `id`: returns immediately if it is live, otherwise
+  /// recovers it from its on-disk journal + meta (evicted sessions, or a
+  /// daemon restarted without a startup scan). kNotFound when neither
+  /// exists.
+  StatusOr<std::string> Resume(const std::string& id);
+
+  /// Startup scan: replays every recoverable journal in journal_dir and
+  /// re-registers the sessions under their original ids; deletes stale
+  /// journals that lack a meta sidecar. Returns how many sessions were
+  /// recovered. No-op without a journal_dir.
+  size_t RecoverSessions();
+
   /// Runs up to `max_episodes` cleaning episodes (0 = to convergence).
-  StatusOr<SessionStatus> Step(const std::string& id, size_t max_episodes);
+  StatusOr<SessionStatus> Step(const std::string& id, size_t max_episodes,
+                               uint64_t seq = 0);
 
   /// Queues an analyst cell repair; the next episode executes it.
-  Status UpdateCell(const std::string& id, uint32_t row, uint32_t col,
-                    const std::string& value);
+  StatusOr<SessionStatus> UpdateCell(const std::string& id, uint32_t row,
+                                     uint32_t col, const std::string& value,
+                                     uint64_t seq = 0);
 
   /// Queues a validity verdict consumed by the next oracle question.
-  Status Answer(const std::string& id, bool valid);
+  StatusOr<SessionStatus> Answer(const std::string& id, bool valid,
+                                 uint64_t seq = 0);
 
   /// Metrics + progress snapshot without running anything.
   StatusOr<SessionStatus> Info(const std::string& id);
 
   /// Retracts applied-repair log entry `repair_index` (newest-first rule
   /// applies; see CleaningSession::RetractRule).
-  Status Retract(const std::string& id, size_t repair_index);
+  StatusOr<SessionStatus> Retract(const std::string& id, size_t repair_index,
+                                  uint64_t seq = 0);
 
-  /// Closes and destroys the session (waits for an in-flight operation).
+  /// Closes and destroys the session (waits for an in-flight operation)
+  /// and deletes its journal + meta — the clean-close path.
   Status Close(const std::string& id);
 
   /// Closes sessions idle past the configured timeout; returns how many.
+  /// Artifacts are retained so the sessions can be resumed.
   size_t EvictIdle();
 
   /// Graceful drain: closes every session, waiting for in-flight work.
+  /// Artifacts are retained — sessions survive a daemon restart.
   void CloseAll();
+
+  ServiceHealth Health() const;
 
   size_t active_sessions() const;
   const ServiceLimits& limits() const { return limits_; }
@@ -127,9 +196,17 @@ class SessionManager {
     std::unique_ptr<ScriptedOracle> oracle;
     std::unique_ptr<SearchAlgorithm> algorithm;
     std::unique_ptr<CleaningSession> session;
+    OpenParams params;  ///< For the meta sidecar + resume.
+    /// Idempotency state (guarded by mu; in-memory only — resets on
+    /// restart, clients re-sync from SessionStatus::last_seq).
+    uint64_t last_seq = 0;
+    std::deque<std::pair<uint64_t, StatusOr<SessionStatus>>> seq_window;
     /// steady_clock nanos of the last finished operation; atomic so the
     /// idle sweeper can read it without taking mu.
     std::atomic<int64_t> last_active_ns{0};
+    /// Posting-cache bytes from the last Snapshot; atomic so Health() can
+    /// aggregate without taking every session's mu.
+    std::atomic<size_t> posting_resident_bytes{0};
     /// Set (under mu) once Close ran; late arrivals holding the shared_ptr
     /// observe it and report NotFound.
     bool closed = false;
@@ -149,13 +226,39 @@ class SessionManager {
       const std::string& dataset, double scale);
 
   StatusOr<std::shared_ptr<ServiceSession>> Lookup(const std::string& id);
-  static SessionStatus Snapshot(const ServiceSession& s);
+  static SessionStatus Snapshot(ServiceSession& s);
+
+  /// The idempotent-retry gate: checks `seq` against the session's window
+  /// under its mutex, executes `op` exactly once for a fresh seq, caches
+  /// and returns the response. seq == 0 bypasses the window entirely.
+  StatusOr<SessionStatus> Mutate(
+      const std::string& id, uint64_t seq,
+      const std::function<StatusOr<SessionStatus>(ServiceSession&)>& op);
+
+  /// Builds a ServiceSession (not yet registered) from OpenParams; the
+  /// common construction path for Open, recovery, and resume.
+  StatusOr<std::shared_ptr<ServiceSession>> Build(const OpenParams& params,
+                                                  const std::string& id);
+
+  /// Recovers one session from `<journal_dir>/<id>.{meta,journal}` and
+  /// registers it under its original id.
+  StatusOr<std::string> RecoverOne(const std::string& id);
+
+  Status CloseInternal(const std::string& id, bool delete_artifacts);
+  Status WriteMeta(const ServiceSession& s);
+  void DeleteArtifacts(const std::string& id);
+
+  std::string JournalPath(const std::string& id) const;
+  std::string MetaPath(const std::string& id) const;
 
   const ServiceLimits limits_;
   mutable std::mutex mu_;  ///< Guards sessions_, bases_, next_id_.
   std::map<std::string, std::shared_ptr<ServiceSession>> sessions_;
   std::map<std::string, std::shared_ptr<const CleaningWorkload>> bases_;
   uint64_t next_id_ = 1;
+  std::atomic<size_t> recovered_sessions_{0};
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace falcon

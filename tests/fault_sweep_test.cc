@@ -5,6 +5,10 @@
 // over all cell text) and same interaction counters (user_updates,
 // user_answers, cells_repaired, queries_applied) — in both posting-index
 // maintenance modes. Plus the session-level rule-retraction properties.
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,10 +19,16 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/json.h"
+#include "common/socket.h"
 #include "core/session.h"
 #include "core/session_journal.h"
 #include "datagen/datasets.h"
+#include "datagen/workload.h"
 #include "errorgen/injector.h"
+#include "service/resilient_client.h"
+#include "service/server.h"
+#include "service/session_manager.h"
 
 namespace falcon {
 namespace {
@@ -452,6 +462,150 @@ TEST(RetractionTest, CrashAfterRetractionReplaysTheRetraction) {
   EXPECT_EQ(recovered->queries_applied, ref_metrics.queries_applied);
   EXPECT_TRUE(recovered->converged);
   EXPECT_EQ(TableContentsCrc(dirty), ref_crc);
+}
+
+// ---------------------------------------------------------------------------
+// Service-layer fault sites: the transport and journal-directory faults a
+// daemon deployment adds on top of the in-process crash points above. Each
+// injected fault must be absorbed by the resilient client's bounded
+// reconnect/retry path, and the workload must still land on the
+// uninterrupted run's exact final table.
+
+constexpr double kServiceScale = 0.02;
+
+uint32_t ServiceBaselineCrc(uint64_t seed) {
+  auto w = MakeCleaningWorkload("Synth10k", kServiceScale);
+  EXPECT_TRUE(w.ok());
+  SessionOptions options;
+  options.seed = seed;
+  Table working = w->dirty.Clone();
+  auto algorithm = MakeSearchAlgorithm(SearchKind::kCoDive);
+  CleaningSession session(&w->clean, &working, algorithm.get(), options);
+  auto metrics = session.Run();
+  EXPECT_TRUE(metrics.ok());
+  return TableContentsCrc(working);
+}
+
+std::string ServiceTempDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/falcon_service_faults_" + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+TEST(ServiceFaultSweepTest, ResilientWorkloadSurvivesTransportFaults) {
+  const uint32_t want_crc = ServiceBaselineCrc(7);
+  struct Case {
+    const char* site;
+    size_t nth;  // Chosen to land mid-workload (see comments below).
+  };
+  // accept:1 — the very first connection is dropped post-accept.
+  // read:2   — the step request's bytes are consumed, then the connection
+  //            dies before dispatch (request never executed; plain retry).
+  // write:2  — the step *response* is torn after execution: the retry must
+  //            be answered from the idempotency window, not re-applied.
+  for (const Case& c : {Case{"service.accept", 1}, Case{"service.read", 2},
+                        Case{"service.write", 2}}) {
+    SCOPED_TRACE(c.site);
+    FaultInjector::Global().Reset();
+    ServerOptions options;
+    options.unix_path = testing::TempDir() + "/falcon_fault_sweep_svc.sock";
+    options.workers = 2;
+    options.limits.journal_dir = ServiceTempDir("transport");
+    CleaningServer server(options);
+    ASSERT_TRUE(server.Start().ok());
+    FaultInjector::Global().Arm(
+        {c.site, c.nth, /*count=*/1, StatusCode::kIoError});
+
+    ResilientClientOptions copts;
+    copts.unix_path = options.unix_path;
+    copts.deadline_ms = 10000;
+    ResilientClient client(copts);
+    SessionManager::OpenParams params;
+    params.dataset = "Synth10k";
+    params.scale = kServiceScale;
+    params.seed = 7;
+    auto opened = client.OpenSession(params);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    uint32_t crc = 0;
+    for (int i = 0; i < 10000; ++i) {
+      auto st = client.Step(1);
+      ASSERT_TRUE(st.ok()) << st.status().ToString();
+      if (st->GetBool("finished")) {
+        crc = static_cast<uint32_t>(st->GetInt("table_crc"));
+        break;
+      }
+    }
+    FaultInjector::Global().Reset();
+    EXPECT_EQ(crc, want_crc);
+    // The fault actually bit: the client needed more than the one happy
+    // connect to finish.
+    EXPECT_GE(client.stats().connects, 2u);
+    ASSERT_TRUE(client.CloseSession().ok());
+    server.Stop();
+    server.Wait();
+  }
+}
+
+TEST(ServiceFaultSweepTest, InjectedStallGetsTypedDeadline) {
+  // service.stall simulates a client that goes quiet mid-line: the
+  // server's per-line deadline fires (immediately, via injection) and the
+  // connection gets the typed DEADLINE_EXCEEDED eviction — no real
+  // waiting, unlike the wall-clock slowloris test in service_test.
+  FaultInjector::Global().Reset();
+  ServerOptions options;
+  options.unix_path = testing::TempDir() + "/falcon_fault_sweep_stall.sock";
+  options.workers = 1;
+  options.read_deadline_ms = 60000;
+  CleaningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  FaultInjector::Global().Arm(
+      {"service.stall", /*nth=*/1, /*count=*/1, StatusCode::kIoError});
+
+  auto conn = ConnectUnix(options.unix_path);
+  ASSERT_TRUE(conn.ok());
+  const char partial[] = "{\"verb\":\"pi";  // No newline: a torn line.
+  ASSERT_GT(::send(conn->fd(), partial, sizeof partial - 1, 0), 0);
+  LineChannel channel(std::move(conn).value());
+  channel.set_read_deadline(10000, /*from_first_byte=*/false);
+  std::string line;
+  bool eof = false;
+  Status read = channel.ReadLine(&line, &eof);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(read.ok()) << read.ToString();
+  ASSERT_FALSE(eof);
+  auto resp = JsonValue::Parse(line);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->GetBool("ok"));
+  EXPECT_EQ(resp->GetString("code"), "DEADLINE_EXCEEDED");
+
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServiceFaultSweepTest, JournalDirSyncFaultFailsOpenWithoutOrphans) {
+  FaultInjector::Global().Reset();
+  ServiceLimits limits;
+  limits.journal_dir = ServiceTempDir("dirsync");
+  SessionManager manager(limits);
+  SessionManager::OpenParams params;
+  params.dataset = "Synth10k";
+  params.scale = kServiceScale;
+  params.seed = 7;
+
+  FaultInjector::Global().Arm({"service.journal_dir_sync", /*nth=*/1,
+                               /*count=*/1, StatusCode::kIoError});
+  auto opened = manager.Open(params);
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kIoError);
+  // The half-durable meta was rolled back: nothing for a future startup
+  // scan to mistake for a recoverable session.
+  struct stat st;
+  EXPECT_NE(::stat((limits.journal_dir + "/s-1.meta").c_str(), &st), 0);
+
+  // The injector disarmed, the same open succeeds.
+  auto retry = manager.Open(params);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
 }
 
 }  // namespace

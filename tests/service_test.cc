@@ -1,6 +1,9 @@
 // Service-layer tests: SessionManager operations and isolation, protocol
 // dispatch via HandleRequest (no sockets), socket round-trips against a
 // real CleaningServer, and the admission-control / overload policy.
+#include <sys/socket.h>
+
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -147,7 +150,7 @@ TEST(SessionManagerTest, ExternalUpdatesAndAnswersDriveTheSession) {
   EXPECT_GE(st->metrics.cells_repaired, 1u);
 
   // Out-of-range updates are rejected.
-  EXPECT_EQ(manager.UpdateCell(*id, 1u << 30, 0, "x").code(),
+  EXPECT_EQ(manager.UpdateCell(*id, 1u << 30, 0, "x").status().code(),
             StatusCode::kOutOfRange);
 }
 
@@ -316,6 +319,130 @@ TEST(ServerTest, OverloadedQueueRejectsWithRetryAfter) {
   EXPECT_FALSE(r->GetBool("ok"));
   EXPECT_EQ(r->GetString("code"), "UNAVAILABLE");
   EXPECT_EQ(r->GetInt("retry_after_ms"), 25);
+
+  server.Stop();
+  server.Wait();
+}
+
+TEST(SessionManagerTest, IdempotentSeqWindowCachesAndRejects) {
+  SessionManager manager(ServiceLimits{});
+  auto id = manager.Open(SmallParams(7));
+  ASSERT_TRUE(id.ok());
+
+  // seq 1 executes one episode.
+  auto first = manager.Step(*id, 1, /*seq=*/1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->last_seq, 1u);
+
+  // A retry of seq 1 is served from the cache: identical snapshot, and
+  // provably not re-executed (same episode counters, same CRC).
+  auto retry = manager.Step(*id, 1, /*seq=*/1);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->table_crc, first->table_crc);
+  EXPECT_EQ(retry->metrics.user_updates, first->metrics.user_updates);
+  EXPECT_EQ(retry->metrics.user_answers, first->metrics.user_answers);
+  EXPECT_EQ(retry->repairs, first->repairs);
+
+  // A gapped seq is rejected without executing.
+  auto gap = manager.Step(*id, 1, /*seq=*/5);
+  EXPECT_EQ(gap.status().code(), StatusCode::kFailedPrecondition);
+
+  // seq 2 advances; after the window slides past a seq it reports
+  // kFailedPrecondition instead of silently re-applying.
+  auto second = manager.Step(*id, 1, /*seq=*/2);
+  ASSERT_TRUE(second.ok());
+  for (uint64_t s = 3; s <= 40; ++s) {
+    auto st = manager.Info(*id);
+    ASSERT_TRUE(st.ok());
+    if (st->finished) break;
+    ASSERT_TRUE(manager.Step(*id, 1, s).ok());
+  }
+  auto evicted = manager.Step(*id, 1, /*seq=*/1);
+  // seq 1 may still be cached if the run converged early; when it is not,
+  // the typed "too old" error comes back.
+  if (!evicted.ok()) {
+    EXPECT_EQ(evicted.status().code(), StatusCode::kFailedPrecondition);
+  }
+
+  // Cached errors replay too: an invalid retract is cached under its seq.
+  auto info = manager.Info(*id);
+  ASSERT_TRUE(info.ok());
+  uint64_t next = info->last_seq + 1;
+  auto bad = manager.Retract(*id, 1u << 20, next);
+  ASSERT_FALSE(bad.ok());
+  auto bad_retry = manager.Retract(*id, 1u << 20, next);
+  EXPECT_EQ(bad_retry.status().code(), bad.status().code());
+}
+
+TEST(ServerTest, SlowlorisConnectionEvictedWithTypedError) {
+  ServerOptions options;
+  options.unix_path = "/tmp/falcon_service_slowloris_test.sock";
+  options.workers = 1;
+  options.read_deadline_ms = 200;  // Short so the test is fast.
+  CleaningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A half-sent line (no newline) must trip the per-line deadline and get
+  // the typed eviction error...
+  auto conn = ConnectUnix(options.unix_path);
+  ASSERT_TRUE(conn.ok());
+  const char partial[] = "{\"verb\":\"ping\"";  // No trailing newline.
+  ASSERT_GT(::send(conn->fd(), partial, sizeof partial - 1, 0), 0);
+  LineChannel channel(std::move(conn).value());
+  std::string line;
+  bool eof = false;
+  channel.set_read_deadline(5000, /*from_first_byte=*/false);
+  Status read = channel.ReadLine(&line, &eof);
+  ASSERT_TRUE(read.ok()) << read.ToString();
+  ASSERT_FALSE(eof);
+  auto resp = JsonValue::Parse(line);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->GetBool("ok"));
+  EXPECT_EQ(resp->GetString("code"), "DEADLINE_EXCEEDED");
+
+  // ...while an idle connection (no partial line) stays connected well
+  // past the deadline and still gets served.
+  auto idle = ServiceClient::ConnectToUnix(options.unix_path);
+  ASSERT_TRUE(idle.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  JsonValue ping = JsonValue::Object();
+  ping.Set("verb", "ping");
+  auto pong = idle->CallChecked(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_GE(pong->GetInt("max_sessions"), 1);
+
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServerTest, PingReportsHealth) {
+  ServerOptions options;
+  options.unix_path = "/tmp/falcon_service_ping_test.sock";
+  options.workers = 1;
+  CleaningServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = ServiceClient::ConnectToUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  JsonValue ping = JsonValue::Object();
+  ping.Set("verb", "ping");
+  auto r = client->CallChecked(ping);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->GetInt("live_sessions"), 0);
+  EXPECT_GT(r->GetInt("max_sessions"), 0);
+  EXPECT_EQ(r->GetInt("recovered_sessions"), 0);
+  EXPECT_GE(r->GetDouble("uptime_s"), 0.0);
+
+  JsonValue open = JsonValue::Object();
+  open.Set("verb", "open_session");
+  open.Set("dataset", "Synth10k");
+  open.Set("scale", kScale);
+  open.Set("seed", 7);
+  auto opened = client->CallChecked(open);
+  ASSERT_TRUE(opened.ok());
+  r = client->CallChecked(ping);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetInt("live_sessions"), 1);
 
   server.Stop();
   server.Wait();

@@ -29,6 +29,21 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, DeadlineExceededIsTypedAndNotTransient) {
+  Status s = Status::DeadlineExceeded("read deadline of 60000 ms exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(),
+            "DEADLINE_EXCEEDED: read deadline of 60000 ms exceeded");
+  // A deadline is a terminal verdict on THIS attempt, not a server-load
+  // signal: retry decisions belong to the caller (the resilient client
+  // reconnects), not to blanket IsTransient() backoff loops.
+  EXPECT_FALSE(s.IsTransient());
+  EXPECT_TRUE(Status::Unavailable("overloaded").IsTransient());
 }
 
 TEST(StatusTest, Equality) {
