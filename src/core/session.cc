@@ -39,6 +39,10 @@ void CleaningSession::ExportPostingStats() {
   metrics_.posting_evictions = s.evictions;
   metrics_.posting_scan_ms = s.scan_ms;
   metrics_.posting_delta_ms = s.delta_ms;
+  metrics_.posting_shared_hits = s.shared_hits;
+  metrics_.posting_shared_misses = s.shared_misses;
+  metrics_.posting_base_scan_ms = s.base_scan_ms;
+  metrics_.posting_shared_bytes = posting_index_->SharedViewBytes();
   PostingStorageStats storage = posting_index_->StorageStats();
   metrics_.posting_entries = storage.entries;
   metrics_.posting_resident_bytes = storage.resident_bytes;
@@ -53,6 +57,10 @@ void CleaningSession::ExportPostingStats() {
     metrics_.lattice_memo_admitted = intersection_memo_->stats().admitted;
     metrics_.lattice_memo_first_touch_skips =
         intersection_memo_->stats().first_touch_skips;
+    metrics_.lattice_memo_shared_hits =
+        intersection_memo_->stats().shared_hits;
+    metrics_.lattice_memo_shared_misses =
+        intersection_memo_->stats().shared_misses;
   }
 }
 
@@ -131,6 +139,13 @@ Status CleaningSession::Start(bool fresh) {
   posting_options.delta_maintenance = options_.posting_delta;
   posting_options.byte_budget = options_.posting_budget_bytes;
   posting_options.compressed = options_.compressed_rowsets;
+  // Two-tier mode: Start() runs over a table still equal to the base
+  // snapshot (fresh clone, or recovery's rollback — CRC-anchored), so
+  // every column begins shared-eligible; the index privatizes columns as
+  // this session writes them. The snapshot-id check inside PostingIndex
+  // silently drops a stale or mismatched cache.
+  posting_options.shared = options_.shared_cache;
+  posting_options.base_snapshot_id = options_.base_snapshot_id;
   posting_index_ = std::make_unique<PostingIndex>(dirty_, posting_options);
   lattice_options_ = options_.lattice;
   lattice_options_.compressed = options_.compressed_rowsets;
@@ -145,6 +160,13 @@ Status CleaningSession::Start(bool fresh) {
       lattice_options_.lazy && !lattice_options_.naive_init) {
     intersection_memo_ = std::make_unique<IntersectionMemo>(
         options_.intersection_memo_budget_bytes);
+    // Share pairwise intersections with other sessions on the same base
+    // snapshot (gate on the posting index's own snapshot validation so
+    // both tiers agree on whether the cache matches this table).
+    if (posting_index_->shared_attached()) {
+      intersection_memo_->AttachShared(options_.shared_cache,
+                                       options_.compressed_rowsets);
+    }
     lattice_options_.memo = intersection_memo_.get();
   }
 

@@ -112,6 +112,16 @@ struct SessionOptions {
   /// Constructed as UserOracle(clean, question_mistake_prob, seed + 1) it
   /// reproduces the internal oracle bit-for-bit.
   UserOracle* oracle = nullptr;
+  /// Process-wide read cache over the base snapshot this session's dirty
+  /// table was cloned from (non-owning; must outlive the session). Only
+  /// attached when its snapshot id equals base_snapshot_id — the posting
+  /// index and intersection memo then probe the shared tier for columns
+  /// this session has not mutated. Pure acceleration: questions, answers,
+  /// repairs, and the final table are bit-identical with or without it
+  /// (only timing and hit/materialization counters change).
+  SharedBaseCache* shared_cache = nullptr;
+  /// CleaningWorkload::snapshot_id of the base (0 = never attach).
+  uint64_t base_snapshot_id = 0;
 };
 
 /// Outcome of a cleaning run.
@@ -136,6 +146,17 @@ struct SessionMetrics {
   double posting_scan_ms = 0.0;   ///< Table-scan time filling the cache.
   double posting_delta_ms = 0.0;  ///< Time patching bitmaps in place.
 
+  // Shared base tier (sessions opened with SessionOptions::shared_cache).
+  size_t posting_shared_hits = 0;    ///< Probes served by the shared tier.
+  size_t posting_shared_misses = 0;  ///< Eligible probes that scanned.
+  /// Portion of posting_scan_ms spent building base postings — the cost
+  /// the shared tier amortizes (warm sessions pay ~0 of it).
+  double posting_base_scan_ms = 0.0;
+  /// Heap bytes of shared-tier bitmaps this session has pinned. Resident
+  /// once process-wide — report alongside, never add to,
+  /// posting_resident_bytes (which stays private-tier only).
+  size_t posting_shared_bytes = 0;
+
   // Posting storage at the end of the run (see PostingStorageStats).
   size_t posting_entries = 0;         ///< Cached (column, value) bitmaps.
   size_t posting_resident_bytes = 0;  ///< Exact heap bytes of cached bitmaps.
@@ -149,10 +170,12 @@ struct SessionMetrics {
   size_t nodes_materialized = 0;   ///< Node bitmaps actually computed.
   size_t nodes_total = 0;          ///< Σ 2^k across built lattices.
   size_t fused_count_calls = 0;    ///< Counts served by AndCount alone.
-  size_t lattice_memo_hits = 0;    ///< IntersectionMemo cache hits.
+  size_t lattice_memo_hits = 0;    ///< IntersectionMemo private-tier hits.
   size_t lattice_memo_misses = 0;  ///< IntersectionMemo probes that missed.
   size_t lattice_memo_admitted = 0;     ///< Pairs admitted (second touch).
   size_t lattice_memo_first_touch_skips = 0;  ///< Puts deferred to probation.
+  size_t lattice_memo_shared_hits = 0;    ///< Memo Finds served shared.
+  size_t lattice_memo_shared_misses = 0;  ///< Eligible Finds that missed.
 
   size_t TotalCost() const { return user_updates + user_answers; }
   double Benefit() const {
@@ -160,6 +183,37 @@ struct SessionMetrics {
                ? 0.0
                : 1.0 - static_cast<double>(TotalCost()) /
                            static_cast<double>(initial_errors);
+  }
+
+  /// Derived hit rates in [0, 1] (0.0 when there were no probes), so
+  /// dashboards and the status/ping verbs never recompute them from raw
+  /// counter pairs by hand.
+  static double Rate(size_t hits, size_t total) {
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+  /// All posting probes served from some cache tier (private or shared).
+  double PostingHitRate() const {
+    return Rate(posting_hits + posting_shared_hits,
+                posting_hits + posting_misses + posting_shared_hits +
+                    posting_shared_misses);
+  }
+  /// Shared-tier-eligible posting probes that hit the shared tier.
+  double PostingSharedHitRate() const {
+    return Rate(posting_shared_hits,
+                posting_shared_hits + posting_shared_misses);
+  }
+  /// All memo Finds served from some tier.
+  double MemoHitRate() const {
+    return Rate(lattice_memo_hits + lattice_memo_shared_hits,
+                lattice_memo_hits + lattice_memo_misses +
+                    lattice_memo_shared_hits);
+  }
+  /// Shared-tier-eligible memo Finds that hit the shared tier.
+  double MemoSharedHitRate() const {
+    return Rate(lattice_memo_shared_hits,
+                lattice_memo_shared_hits + lattice_memo_shared_misses);
   }
 };
 

@@ -22,6 +22,11 @@ struct CleaningWorkload {
   Table dirty;
   size_t errors = 0;    ///< Injected dirty cells.
   size_t patterns = 0;  ///< Injected rule patterns.
+  /// Process-unique snapshot generation id, assigned by
+  /// MakeCleaningWorkload. The SharedBaseCache for a base is keyed on it,
+  /// so sessions can only attach to a cache built over their exact
+  /// instance. 0 (a hand-assembled workload) never matches any cache.
+  uint64_t snapshot_id = 0;
 };
 
 /// Builds one workload by dataset name: Soccer, Hospital, Synth10k,

@@ -67,7 +67,35 @@ PostingStorageStats PostingIndex::StorageStats() const {
   return s;
 }
 
+const HybridRowSet& PostingIndex::SharedPostings(size_t col, ValueId v) {
+  auto& views = shared_views_[col];
+  auto it = views.find(v);
+  if (it != views.end()) {
+    ++stats_.shared_hits;
+    return *it->second;
+  }
+  if (SharedBaseCache::EntryPtr e =
+          shared_->FindPosting(options_.compressed, col, v)) {
+    ++stats_.shared_hits;
+    return *views.emplace(v, std::move(e)).first->second;
+  }
+  // Miss in both views and cache: scan the (still base-identical) column
+  // and publish the result so every later session hits. PublishPosting
+  // always returns a servable entry — the winner's on a race, a private
+  // wrap when over budget or invalidated mid-scan.
+  ++stats_.shared_misses;
+  const uint64_t epoch_at_scan = shared_->epoch();
+  Timer timer(&stats_.scan_ms);
+  Timer base_timer(&stats_.base_scan_ms);
+  HybridRowSet rows(table_->ScanEquals(col, v));
+  if (options_.compressed) rows.Compact(rows.Count());
+  SharedBaseCache::EntryPtr e = shared_->PublishPosting(
+      options_.compressed, col, v, std::move(rows), epoch_at_scan);
+  return *views.emplace(v, std::move(e)).first->second;
+}
+
 const HybridRowSet& PostingIndex::Postings(size_t col, ValueId v) {
+  if (SharedEligible(col)) return SharedPostings(col, v);
   ColumnCache& cache = cache_[col];
   auto it = cache.find(v);
   if (it != cache.end()) {
@@ -81,6 +109,39 @@ const HybridRowSet& PostingIndex::Postings(size_t col, ValueId v) {
 }
 
 void PostingIndex::Warm(size_t col, const std::vector<ValueId>& values) {
+  if (SharedEligible(col)) {
+    // Per-value shared probes; batch-scan only the union of misses.
+    auto& views = shared_views_[col];
+    std::vector<ValueId> needed;
+    for (ValueId v : values) {
+      if (views.count(v) != 0) {
+        ++stats_.shared_hits;
+        continue;
+      }
+      if (SharedBaseCache::EntryPtr e =
+              shared_->FindPosting(options_.compressed, col, v)) {
+        ++stats_.shared_hits;
+        views.emplace(v, std::move(e));
+        continue;
+      }
+      needed.push_back(v);
+    }
+    if (needed.empty()) return;
+    stats_.shared_misses += needed.size();
+    const uint64_t epoch_at_scan = shared_->epoch();
+    Timer timer(&stats_.scan_ms);
+    Timer base_timer(&stats_.base_scan_ms);
+    std::vector<RowSet> bitmaps = table_->ScanEqualsMulti(col, needed);
+    for (size_t i = 0; i < needed.size(); ++i) {
+      HybridRowSet rows(std::move(bitmaps[i]));
+      if (options_.compressed) rows.Compact(rows.Count());
+      views.emplace(needed[i],
+                    shared_->PublishPosting(options_.compressed, col,
+                                            needed[i], std::move(rows),
+                                            epoch_at_scan));
+    }
+    return;
+  }
   std::vector<ValueId> needed;
   for (ValueId v : values) {
     if (cache_[col].find(v) == cache_[col].end()) needed.push_back(v);
@@ -94,10 +155,43 @@ void PostingIndex::Warm(size_t col, const std::vector<ValueId>& values) {
   }
 }
 
+void PostingIndex::PrivatizeColumn(size_t col) {
+  if (shared_ == nullptr || col_private_[col] != 0) return;
+  col_private_[col] = 1;
+  // Promote every pinned shared entry into a private LRU entry. The bits
+  // (and representation — entries were built under this plane's Compact
+  // policy) are copied verbatim, so the session observes exactly the
+  // bitmaps it has been serving, now patchable in place.
+  for (auto& [v, entry] : shared_views_[col]) {
+    lru_.push_front(Key{col, v});
+    Entry& e = cache_[col][v];
+    e.rows = *entry;
+    e.lru_it = lru_.begin();
+    e.bytes = EntryBytes(e.rows);
+    bytes_ += e.bytes;
+  }
+  shared_views_[col].clear();
+}
+
+size_t PostingIndex::SharedViewEntries() const {
+  size_t n = 0;
+  for (const auto& views : shared_views_) n += views.size();
+  return n;
+}
+
+size_t PostingIndex::SharedViewBytes() const {
+  size_t bytes = 0;
+  for (const auto& views : shared_views_) {
+    for (const auto& [v, entry] : views) bytes += entry->HeapBytes();
+  }
+  return bytes;
+}
+
 void PostingIndex::ApplyCellDelta(size_t col, size_t row, ValueId old_value,
                                   ValueId new_value) {
   if (old_value == new_value) return;
   Timer timer(&stats_.delta_ms);
+  PrivatizeColumn(col);
   ColumnCache& cache = cache_[col];
   if (cache.empty()) return;
   std::vector<Entry*> touched;
@@ -112,6 +206,13 @@ void PostingIndex::ApplyCellDelta(size_t col, size_t row, ValueId old_value,
 }
 
 void PostingIndex::InvalidateColumn(size_t col) {
+  // Invalidation implies the column's contents changed (or are about to):
+  // it leaves the shared tier for good. No promotion — the point of this
+  // path is to rescan on the next probe anyway.
+  if (shared_ != nullptr) {
+    col_private_[col] = 1;
+    shared_views_[col].clear();
+  }
   ColumnCache& cache = cache_[col];
   for (auto it = cache.begin(); it != cache.end(); ++it) {
     lru_.erase(it->second.lru_it);
@@ -121,6 +222,10 @@ void PostingIndex::InvalidateColumn(size_t col) {
 }
 
 void PostingIndex::InvalidateAll() {
+  if (shared_ != nullptr) {
+    col_private_.assign(col_private_.size(), 1);
+    for (auto& views : shared_views_) views.clear();
+  }
   for (auto& m : cache_) m.clear();
   lru_.clear();
   bytes_ = 0;
@@ -158,6 +263,17 @@ size_t IntersectionMemo::EntryBytes(const HybridRowSet& rows) {
 
 const HybridRowSet* IntersectionMemo::Find(size_t col_a, ValueId val_a,
                                            size_t col_b, ValueId val_b) {
+  if (SharedEligible(col_a, col_b)) {
+    if (SharedBaseCache::EntryPtr p = shared_->FindIntersection(
+            shared_compressed_, col_a, val_a, col_b, val_b)) {
+      ++stats_.shared_hits;
+      // The pin keeps the entry alive for the caller across invalidation;
+      // Find's contract (valid until the next mutating call) holds.
+      shared_pin_ = std::move(p);
+      return shared_pin_.get();
+    }
+    ++stats_.shared_misses;
+  }
   auto it = map_.find(MakeKey(col_a, val_a, col_b, val_b));
   if (it == map_.end()) {
     ++stats_.misses;
@@ -170,6 +286,11 @@ const HybridRowSet* IntersectionMemo::Find(size_t col_a, ValueId val_a,
 
 bool IntersectionMemo::Contains(size_t col_a, ValueId val_a, size_t col_b,
                                 ValueId val_b) const {
+  if (SharedEligible(col_a, col_b) &&
+      shared_->ContainsIntersection(shared_compressed_, col_a, val_a, col_b,
+                                    val_b)) {
+    return true;
+  }
   return map_.count(MakeKey(col_a, val_a, col_b, val_b)) != 0;
 }
 
@@ -202,6 +323,13 @@ bool IntersectionMemo::TouchProbation(const PairKey& key) {
 bool IntersectionMemo::RecordTouch(size_t col_a, ValueId val_a, size_t col_b,
                                    ValueId val_b) {
   PairKey key = MakeKey(col_a, val_a, col_b, val_b);
+  // Resident in the shared tier: a Find will hit, so materializing once
+  // is worth it for the same reason a probationed pair is.
+  if (SharedEligible(col_a, col_b) &&
+      shared_->ContainsIntersection(shared_compressed_, col_a, val_a, col_b,
+                                    val_b)) {
+    return true;
+  }
   if (map_.count(key)) return true;  // Already resident: a Put refreshes.
   // A positive touch stays on probation until the Put consumes it —
   // RecordTouch callers materialize and Put right after.
@@ -213,6 +341,26 @@ bool IntersectionMemo::RecordTouch(size_t col_a, ValueId val_a, size_t col_b,
 void IntersectionMemo::Put(size_t col_a, ValueId val_a, size_t col_b,
                            ValueId val_b, HybridRowSet rows) {
   PairKey key = MakeKey(col_a, val_a, col_b, val_b);
+  if (SharedEligible(col_a, col_b)) {
+    // Both predicates are base-pure, so the intersection is too: admitted
+    // pairs go to the process-wide tier (stored once, served to every
+    // session on this snapshot) instead of the private map. The same
+    // second-touch probation gates admission; a budget-rejected publish
+    // simply recurs here on the pair's next admission.
+    if (shared_->ContainsIntersection(shared_compressed_, col_a, val_a,
+                                      col_b, val_b)) {
+      return;  // Already resident (this session or a peer published it).
+    }
+    if (!TouchProbation(key)) {
+      ++stats_.first_touch_skips;
+      return;
+    }
+    ++stats_.admitted;
+    ++stats_.shared_publishes;
+    shared_->PublishIntersection(shared_compressed_, col_a, val_a, col_b,
+                                 val_b, std::move(rows), shared_->epoch());
+    return;
+  }
   auto it = map_.find(key);
   if (it != map_.end()) {
     // Refresh in place (same predicates, possibly newer table state).
@@ -298,6 +446,12 @@ void IntersectionMemo::ForEachEntryOfColumn(size_t col, Fn&& fn) {
 
 void IntersectionMemo::ApplyWrite(size_t col, const RowSet& changed,
                                   ValueId new_value) {
+  // The column leaves the shared tier permanently: its base-pure pairs no
+  // longer describe this session's table. They are not patchable (the
+  // shared entries are immutable and other sessions still need them), so
+  // affected pairs fall back to recomputation and private admission —
+  // bit-identical results, recomputed instead of patched.
+  if (shared_ != nullptr) dirty_cols_.insert(col);
   ForEachEntryOfColumn(col, [&](MemoMap::iterator it) {
     return PatchEntry(it, col, &changed, 0, new_value);
   });
@@ -305,12 +459,14 @@ void IntersectionMemo::ApplyWrite(size_t col, const RowSet& changed,
 
 void IntersectionMemo::ApplyCellWrite(size_t col, size_t row,
                                       ValueId new_value) {
+  if (shared_ != nullptr) dirty_cols_.insert(col);
   ForEachEntryOfColumn(col, [&](MemoMap::iterator it) {
     return PatchEntry(it, col, nullptr, row, new_value);
   });
 }
 
 void IntersectionMemo::InvalidateColumn(size_t col) {
+  if (shared_ != nullptr) dirty_cols_.insert(col);
   ForEachEntryOfColumn(col, [&](MemoMap::iterator it) {
     Erase(it);
     return false;
@@ -323,6 +479,9 @@ void IntersectionMemo::Clear() {
   col_keys_.clear();
   probation_.clear();
   probation_fifo_.clear();
+  shared_pin_.reset();
+  // dirty_cols_ survives: Clear drops cached state, but the table is
+  // still whatever the session made it — written columns stay private.
   bytes_ = 0;
 }
 

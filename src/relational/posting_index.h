@@ -15,11 +15,25 @@
 // is deferred to explicit Trim() calls so that references returned by
 // Postings stay valid while a lattice build holds them; the session driver
 // trims between lattice episodes.
+//
+// Two-tier operation (shared base cache)
+//   When PostingIndexOptions::shared names a SharedBaseCache whose
+//   snapshot id matches base_snapshot_id, the index becomes two-tier:
+//   columns the session has never mutated probe the process-wide shared
+//   tier first (pinning hits in a per-column view map so returned
+//   references obey the same lifetime contract as private entries) and
+//   publish their scans back for other sessions. The first write to a
+//   column *privatizes* it — pinned shared entries are promoted into
+//   private LRU entries and the existing delta machinery patches those
+//   session-local copies from then on. The shared tier therefore only
+//   ever holds base-pure bitmaps, and a session's view of a mutated
+//   column is indistinguishable from the single-tier behaviour.
 #ifndef FALCON_RELATIONAL_POSTING_INDEX_H_
 #define FALCON_RELATIONAL_POSTING_INDEX_H_
 
 #include <deque>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -27,6 +41,7 @@
 
 #include "common/hybrid_row_set.h"
 #include "common/row_set.h"
+#include "core/shared_base_cache.h"
 #include "relational/table.h"
 
 namespace falcon {
@@ -43,16 +58,31 @@ struct PostingIndexOptions {
   /// postings cost bytes proportional to their cardinality instead of the
   /// table size, so far more of the posting universe fits in the budget.
   bool compressed = false;
+  /// Optional process-wide base tier (non-owning; must outlive the index).
+  /// Only attached when its snapshot id equals base_snapshot_id below —
+  /// a mismatch silently degrades to single-tier operation.
+  SharedBaseCache* shared = nullptr;
+  /// Generation id of the base snapshot the indexed table was cloned
+  /// from (CleaningWorkload::snapshot_id). 0 = never attach.
+  uint64_t base_snapshot_id = 0;
 };
 
 /// Counters surfaced through SessionMetrics and the benches.
 struct PostingIndexStats {
-  size_t hits = 0;        ///< Postings served from cache.
-  size_t misses = 0;      ///< Postings that scanned the table.
+  size_t hits = 0;        ///< Postings served from the private cache.
+  size_t misses = 0;      ///< Private-tier probes that scanned the table.
   size_t delta_rows = 0;  ///< Row-bit updates applied by delta maintenance.
   size_t evictions = 0;   ///< Entries dropped by Trim().
   double scan_ms = 0.0;   ///< Time spent in table scans (fills).
   double delta_ms = 0.0;  ///< Time spent applying deltas.
+  /// Two-tier counters: probes of clean columns served by the shared base
+  /// tier vs. probes that missed it and scanned (then published).
+  size_t shared_hits = 0;
+  size_t shared_misses = 0;
+  /// Portion of scan_ms spent filling base (shared-eligible) postings —
+  /// the build cost the shared tier amortizes across sessions. Private
+  /// re-scans after writes are excluded: every session pays those alike.
+  double base_scan_ms = 0.0;
 };
 
 /// Exact resident-storage breakdown of the posting cache (surfaced through
@@ -79,7 +109,15 @@ class PostingIndex {
  public:
   /// `table` must outlive the index.
   explicit PostingIndex(const Table* table, PostingIndexOptions options = {})
-      : table_(table), options_(options), cache_(table->num_cols()) {}
+      : table_(table), options_(options), cache_(table->num_cols()) {
+    if (options_.shared != nullptr && options_.base_snapshot_id != 0 &&
+        options_.shared->snapshot_id() == options_.base_snapshot_id &&
+        options_.shared->num_cols() == table->num_cols()) {
+      shared_ = options_.shared;
+      col_private_.assign(table->num_cols(), 0);
+      shared_views_.resize(table->num_cols());
+    }
+  }
 
   PostingIndex(const PostingIndex&) = delete;
   PostingIndex& operator=(const PostingIndex&) = delete;
@@ -105,6 +143,11 @@ class PostingIndex {
   void ApplyDelta(size_t col, const RowSet& rows, Fn&& old_value,
                   ValueId new_value) {
     Timer timer(&stats_.delta_ms);
+    // The column is being written: it can no longer be served from the
+    // shared base tier. Promote pinned shared entries into private copies
+    // *before* the empty-cache early-out — even an uncached column must be
+    // marked private, or a later probe would resurrect the base bitmap.
+    PrivatizeColumn(col);
     ColumnCache& cache = cache_[col];
     if (cache.empty()) return;
     std::vector<Entry*> touched;
@@ -147,7 +190,18 @@ class PostingIndex {
 
   /// Exact resident-storage breakdown (entries, measured bytes, dense
   /// equivalent, per-container tallies). Walks the cache; O(entries).
+  /// Counts the *private* tier only — shared-tier bytes live once in the
+  /// process-wide cache and are reported separately (SharedViewBytes),
+  /// so N sessions never multiply-count one resident bitmap.
   PostingStorageStats StorageStats() const;
+
+  /// Shared-tier pins held by this index: entries this session has probed
+  /// out of the shared base cache (each is a refcount on a bitmap resident
+  /// once process-wide).
+  size_t SharedViewEntries() const;
+  /// Heap bytes of those pinned bitmaps, as visible to this session.
+  size_t SharedViewBytes() const;
+  bool shared_attached() const { return shared_ != nullptr; }
 
  private:
   using Key = std::pair<size_t, ValueId>;  // (column, value).
@@ -197,21 +251,49 @@ class PostingIndex {
   Entry& Insert(size_t col, ValueId v, RowSet rows);
   void EraseEntry(size_t col, ColumnCache::iterator it);
 
+  /// True while `col` may be served from the shared base tier (attached
+  /// and never mutated by this session).
+  bool SharedEligible(size_t col) const {
+    return shared_ != nullptr && col_private_[col] == 0;
+  }
+  /// Marks `col` session-private: pinned shared entries are promoted into
+  /// private LRU entries (bit-for-bit copies, representation preserved)
+  /// so delta maintenance patches session-local state from here on.
+  void PrivatizeColumn(size_t col);
+  /// Shared-tier serving path of Postings() for an eligible column.
+  const HybridRowSet& SharedPostings(size_t col, ValueId v);
+
   const Table* table_;
   PostingIndexOptions options_;
   std::vector<ColumnCache> cache_;
   std::list<Key> lru_;  // Front = most recently used.
   size_t bytes_ = 0;
   PostingIndexStats stats_;
+
+  /// Two-tier state (set iff the options named a matching shared cache).
+  SharedBaseCache* shared_ = nullptr;
+  std::vector<uint8_t> col_private_;  ///< 1 = column left the shared tier.
+  /// Per-column pins of shared entries this session has probed; they keep
+  /// references returned by Postings valid under the standard contract
+  /// (until InvalidateColumn/InvalidateAll — Trim only touches the
+  /// private tier) and survive cache invalidation (RCU grace).
+  std::vector<std::unordered_map<ValueId, SharedBaseCache::EntryPtr>>
+      shared_views_;
 };
 
 /// Counters for the pairwise-intersection memo below.
 struct IntersectionMemoStats {
-  size_t hits = 0;       ///< Find calls served from the cache.
-  size_t misses = 0;     ///< Find calls that came up empty.
+  size_t hits = 0;       ///< Find calls served from the private cache.
+  size_t misses = 0;     ///< Find calls that came up empty everywhere.
   size_t evictions = 0;  ///< Entries dropped to satisfy the byte budget.
   size_t admitted = 0;   ///< Puts that stored a bitmap (second touch).
   size_t first_touch_skips = 0;  ///< Puts deferred to probation (first touch).
+  /// Two-tier counters: Finds served by the shared base tier, eligible
+  /// probes that missed it, and admitted pairs published there instead of
+  /// into the private map.
+  size_t shared_hits = 0;
+  size_t shared_misses = 0;
+  size_t shared_publishes = 0;
 };
 
 /// IntersectionMemo: byte-budgeted cache of pairwise predicate
@@ -251,6 +333,18 @@ class IntersectionMemo {
 
   IntersectionMemo(const IntersectionMemo&) = delete;
   IntersectionMemo& operator=(const IntersectionMemo&) = delete;
+
+  /// Attaches the process-wide base tier (non-owning; must outlive the
+  /// memo): pairs whose columns this session has never written probe it
+  /// first and publish their admitted intersections there, in the
+  /// `compressed` plane. Base-tier entries are pure (pred ∧ pred over the
+  /// immutable base), so any session on the same snapshot may reuse them.
+  /// A column's first write (ApplyWrite/ApplyCellWrite/InvalidateColumn)
+  /// retires every pair mentioning it to the private tier.
+  void AttachShared(SharedBaseCache* shared, bool compressed) {
+    shared_ = shared;
+    shared_compressed_ = compressed;
+  }
 
   /// Cached intersection of (col_a = val_a) ∧ (col_b = val_b), or nullptr.
   /// The reference stays valid only until the next Put/Apply*/Invalidate
@@ -346,6 +440,21 @@ class IntersectionMemo {
   /// Inserts `key` into probation (FIFO-evicting past the bound), or
   /// returns true if it was already there — i.e. the pair recurred.
   bool TouchProbation(const PairKey& key);
+
+  /// True while both columns are clean (shared tier attached and neither
+  /// has been written through this memo).
+  bool SharedEligible(size_t col_a, size_t col_b) const {
+    return shared_ != nullptr && dirty_cols_.count(col_a) == 0 &&
+           dirty_cols_.count(col_b) == 0;
+  }
+
+  SharedBaseCache* shared_ = nullptr;
+  bool shared_compressed_ = false;
+  /// Columns this session has written; pairs touching them are private.
+  std::unordered_set<size_t> dirty_cols_;
+  /// Pin keeping the last shared Find result alive for the caller
+  /// (Find's contract: valid until the next mutating call).
+  SharedBaseCache::EntryPtr shared_pin_;
 
   size_t byte_budget_;
   MemoMap map_;

@@ -74,6 +74,8 @@ JsonValue HandleOpen(SessionManager& manager, const JsonValue& request) {
   params.update_mistake_prob = request.GetDouble("update_mistake_prob", 0.0);
   params.algorithm = request.GetString("algorithm", params.algorithm);
   params.posting_delta = request.GetBool("posting_delta", params.posting_delta);
+  params.compressed_rowsets =
+      request.GetBool("compressed_rowsets", params.compressed_rowsets);
 
   auto id = manager.Open(params);
   if (!id.ok()) return ErrorResponse(id.status());
@@ -168,7 +170,16 @@ JsonValue HandlePing(SessionManager& manager) {
   r.Set("live_sessions", h.live_sessions);
   r.Set("max_sessions", h.max_sessions);
   r.Set("recovered_sessions", h.recovered_sessions);
+  // Private-tier bytes summed across sessions; shared-tier bytes counted
+  // once per base cache — the two never overlap, so their sum is true
+  // process residency (no N-session double-count of shared bitmaps).
   r.Set("posting_resident_bytes", h.posting_resident_bytes);
+  r.Set("shared_bases", h.shared_bases);
+  r.Set("shared_resident_bytes", h.shared_resident_bytes);
+  r.Set("shared_entries", h.shared_entries);
+  r.Set("shared_hits", h.shared_hits);
+  r.Set("shared_misses", h.shared_misses);
+  r.Set("shared_hit_rate", h.shared_hit_rate());
   return r;
 }
 
@@ -202,8 +213,24 @@ JsonValue StatusBody(const SessionStatus& st) {
   metrics.Set("converged", st.metrics.converged);
   metrics.Set("benefit", st.metrics.Benefit());
   metrics.Set("posting_entries", st.metrics.posting_entries);
+  // Private-tier residency; the shared tier is resident once process-wide
+  // and reported both per session (pinned bytes) and once in `ping`.
   metrics.Set("posting_resident_bytes", st.metrics.posting_resident_bytes);
   metrics.Set("posting_compression", st.metrics.posting_compression);
+  metrics.Set("posting_hits", st.metrics.posting_hits);
+  metrics.Set("posting_misses", st.metrics.posting_misses);
+  metrics.Set("posting_shared_hits", st.metrics.posting_shared_hits);
+  metrics.Set("posting_shared_misses", st.metrics.posting_shared_misses);
+  metrics.Set("posting_shared_bytes", st.metrics.posting_shared_bytes);
+  metrics.Set("memo_hits", st.metrics.lattice_memo_hits);
+  metrics.Set("memo_misses", st.metrics.lattice_memo_misses);
+  metrics.Set("memo_shared_hits", st.metrics.lattice_memo_shared_hits);
+  metrics.Set("memo_shared_misses", st.metrics.lattice_memo_shared_misses);
+  // Derived rates so nobody recomputes them from counter pairs by hand.
+  metrics.Set("posting_hit_rate", st.metrics.PostingHitRate());
+  metrics.Set("posting_shared_hit_rate", st.metrics.PostingSharedHitRate());
+  metrics.Set("memo_hit_rate", st.metrics.MemoHitRate());
+  metrics.Set("memo_shared_hit_rate", st.metrics.MemoSharedHitRate());
 
   JsonValue body = JsonValue::Object();
   body.Set("session", st.id);

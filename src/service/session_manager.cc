@@ -123,36 +123,115 @@ std::string SessionManager::MetaPath(const std::string& id) const {
 }
 
 StatusOr<std::shared_ptr<const CleaningWorkload>> SessionManager::GetBase(
-    const std::string& dataset, double scale) {
+    const std::string& dataset, double scale, std::string* key_out) {
   // Key includes the scale so differently-sized instances of one dataset
   // coexist; %g keeps the key stable for equal doubles.
   char key[128];
   std::snprintf(key, sizeof key, "%s@%g", dataset.c_str(), scale);
+  if (key_out != nullptr) *key_out = key;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = bases_.find(key);
-    if (it != bases_.end()) return it->second;
+    if (it != bases_.end()) return it->second.workload;
   }
   // Build outside the lock: workload generation takes seconds at scale and
   // must not block unrelated sessions. A racing open of the same dataset
-  // builds twice; first insert wins and both get the same table.
+  // builds twice; first insert wins and both get the same table (and, via
+  // AttachBaseLocked, the same shared tier keyed on the winner's
+  // snapshot id).
   FALCON_ASSIGN_OR_RETURN(CleaningWorkload w,
                           MakeCleaningWorkload(dataset, scale));
   auto base = std::make_shared<const CleaningWorkload>(std::move(w));
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = bases_.emplace(key, std::move(base));
-  return it->second;
+  auto [it, inserted] = bases_.emplace(key, BaseEntry{});
+  if (inserted) it->second.workload = std::move(base);
+  return it->second.workload;
+}
+
+std::shared_ptr<SharedBaseCache> SessionManager::AttachBaseLocked(
+    const std::string& key) {
+  auto it = bases_.find(key);
+  if (it == bases_.end()) return nullptr;
+  BaseEntry& entry = it->second;
+  ++entry.live_sessions;
+  entry.last_touch_ns =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  if (!limits_.shared_base_cache) return nullptr;
+  if (entry.cache == nullptr) {
+    entry.cache = std::make_shared<SharedBaseCache>(
+        entry.workload->snapshot_id, entry.workload->dirty.num_cols(),
+        limits_.shared_cache_budget_bytes);
+  }
+  return entry.cache;
+}
+
+void SessionManager::ReleaseBaseLocked(const std::string& key) {
+  auto it = bases_.find(key);
+  if (it == bases_.end()) return;
+  BaseEntry& entry = it->second;
+  if (entry.live_sessions > 0) --entry.live_sessions;
+  if (entry.live_sessions == 0 && entry.cache != nullptr) {
+    // Last session on this base: drop the tier (retire the generation so
+    // lingering pins in stragglers stay valid but nothing new is served).
+    // The workload stays cached for the next open.
+    entry.cache->Invalidate();
+    entry.cache.reset();
+  }
+}
+
+void SessionManager::EnforceSharedBudgetLocked() {
+  if (limits_.shared_cache_budget_bytes == 0) return;
+  for (;;) {
+    size_t total = 0;
+    BaseEntry* oldest = nullptr;
+    for (auto& [key, entry] : bases_) {
+      if (entry.cache == nullptr) continue;
+      size_t bytes = entry.cache->resident_bytes();
+      total += bytes;
+      if (bytes > 0 && (oldest == nullptr ||
+                        entry.last_touch_ns < oldest->last_touch_ns)) {
+        oldest = &entry;
+      }
+    }
+    if (total <= limits_.shared_cache_budget_bytes || oldest == nullptr) {
+      return;
+    }
+    // Whole-cache LRU: sessions on the invalidated base keep their pins
+    // (RCU grace) and refill organically; the epoch bump rejects any
+    // publish computed against the retired generation.
+    oldest->cache->Invalidate();
+  }
+}
+
+void SessionManager::TouchBase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bases_.find(key);
+  if (it != bases_.end()) {
+    it->second.last_touch_ns =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+  EnforceSharedBudgetLocked();
 }
 
 StatusOr<std::shared_ptr<SessionManager::ServiceSession>>
 SessionManager::Build(const OpenParams& params, const std::string& id) {
   FALCON_ASSIGN_OR_RETURN(SearchKind kind, ParseSearchKind(params.algorithm));
-  FALCON_ASSIGN_OR_RETURN(auto base, GetBase(params.dataset, params.scale));
+  std::string base_key;
+  FALCON_ASSIGN_OR_RETURN(auto base,
+                          GetBase(params.dataset, params.scale, &base_key));
 
   auto s = std::make_shared<ServiceSession>(base);
   s->id = id;
   s->dataset = params.dataset;
   s->params = params;
+  s->base_key = base_key;
+  // Attach to the base's shared read tier now (refcounted): the session
+  // options below carry the cache pointer into the CleaningSession. Every
+  // exit path that fails to register this session must ReleaseBaseLocked.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s->shared_cache = AttachBaseLocked(base_key);
+  }
   // The oracle mirrors the session's internal construction
   // (question_mistake_prob, seed + 1) so an answer-free service run is
   // bit-identical to a serial RunCleaning with the same options.
@@ -166,7 +245,12 @@ SessionManager::Build(const OpenParams& params, const std::string& id) {
   options.question_mistake_prob = params.question_mistake_prob;
   options.update_mistake_prob = params.update_mistake_prob;
   options.posting_delta = params.posting_delta;
+  options.compressed_rowsets = params.compressed_rowsets;
   options.oracle = s->oracle.get();
+  if (s->shared_cache != nullptr) {
+    options.shared_cache = s->shared_cache.get();
+    options.base_snapshot_id = base->snapshot_id;
+  }
   if (limits_.posting_budget_bytes > 0) {
     options.posting_budget_bytes =
         limits_.posting_budget_bytes / limits_.max_sessions;
@@ -192,6 +276,7 @@ Status SessionManager::WriteMeta(const ServiceSession& s) {
   meta.Set("update_mistake_prob", s.params.update_mistake_prob);
   meta.Set("algorithm", s.params.algorithm);
   meta.Set("posting_delta", s.params.posting_delta);
+  meta.Set("compressed_rowsets", s.params.compressed_rowsets);
   FALCON_RETURN_IF_ERROR(
       WriteFileDurable(MetaPath(s.id), meta.Serialize() + "\n"));
   return SyncJournalDir(limits_.journal_dir);
@@ -223,12 +308,15 @@ StatusOr<std::string> SessionManager::Open(const OpenParams& params) {
     // Never leave a half-durable meta behind: an orphan would re-register
     // as a fresh session at the next startup scan.
     DeleteArtifacts(id);
+    std::lock_guard<std::mutex> lock(mu_);
+    ReleaseBaseLocked(s->base_key);
     return meta;
   }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (sessions_.size() >= limits_.max_sessions) {
     DeleteArtifacts(id);
+    ReleaseBaseLocked(s->base_key);
     return Status::Unavailable("session table full");
   }
   sessions_.emplace(s->id, s);
@@ -251,19 +339,31 @@ StatusOr<std::string> SessionManager::RecoverOne(const std::string& id) {
       meta.GetDouble("update_mistake_prob", params.update_mistake_prob);
   params.algorithm = meta.GetString("algorithm", params.algorithm);
   params.posting_delta = meta.GetBool("posting_delta", params.posting_delta);
+  params.compressed_rowsets =
+      meta.GetBool("compressed_rowsets", params.compressed_rowsets);
 
   FALCON_ASSIGN_OR_RETURN(auto s, Build(params, id));
   // Replays the journaled prefix (tolerant of a torn tail) and completes
   // any interrupted episode deterministically, then stops so the client
   // resumes driving with `step`. A meta without a journal (the session
   // never ran an episode) starts fresh without running one.
-  FALCON_RETURN_IF_ERROR(s->session->RecoverToReplayEnd().status());
+  if (Status replay = s->session->RecoverToReplayEnd().status();
+      !replay.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReleaseBaseLocked(s->base_key);
+    return replay;
+  }
   s->Touch();
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(id);
-  if (it != sessions_.end()) return id;  // Raced with another resume: fine.
+  if (it != sessions_.end()) {
+    // Raced with another resume: theirs is registered, ours is discarded.
+    ReleaseBaseLocked(s->base_key);
+    return id;
+  }
   if (sessions_.size() >= limits_.max_sessions) {
+    ReleaseBaseLocked(s->base_key);
     return Status::Unavailable("session table full; cannot resume " + id);
   }
   uint64_t n = SessionIdNumber(id);
@@ -397,6 +497,9 @@ StatusOr<SessionStatus> SessionManager::Mutate(
   if (seq > 0) s->last_seq = seq;
   StatusOr<SessionStatus> result = op(*s);
   s->Touch();
+  // Keep the base's LRU clock current and the aggregate shared budget
+  // enforced (ops are where shared-tier publishes happen).
+  TouchBase(s->base_key);
   if (seq > 0) {
     s->seq_window.emplace_back(seq, result);
     while (s->seq_window.size() > kSeqWindow) s->seq_window.pop_front();
@@ -479,6 +582,14 @@ Status SessionManager::CloseInternal(const std::string& id,
   // as an orphan at the next startup scan. Eviction and graceful shutdown
   // keep them so the session stays resumable.
   if (delete_artifacts) DeleteArtifacts(id);
+  // The session (and its shared-tier pins) is gone: release the base.
+  // The last close on a base drops its shared cache. Lock order is
+  // s->mu → mu_ here, matching Mutate's op → TouchBase sequence; mu_ is
+  // never held while acquiring a session mutex.
+  {
+    std::lock_guard<std::mutex> manager_lock(mu_);
+    ReleaseBaseLocked(s->base_key);
+  }
   return Status::Ok();
 }
 
@@ -536,6 +647,17 @@ ServiceHealth SessionManager::Health() const {
   for (const auto& [id, s] : sessions_) {
     h.posting_resident_bytes +=
         s->posting_resident_bytes.load(std::memory_order_relaxed);
+  }
+  // Shared tiers are counted once per base — never per attached session —
+  // so ops dashboards see true process residency, not N× the same bitmap.
+  for (const auto& [key, entry] : bases_) {
+    if (entry.cache == nullptr) continue;
+    ++h.shared_bases;
+    SharedBaseCacheStats cs = entry.cache->Stats();
+    h.shared_resident_bytes += cs.resident_bytes;
+    h.shared_entries += cs.entries;
+    h.shared_hits += cs.posting_hits + cs.intersection_hits;
+    h.shared_misses += cs.posting_misses + cs.intersection_misses;
   }
   return h;
 }

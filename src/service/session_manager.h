@@ -24,6 +24,19 @@
 // (total / max_sessions), so one session's cache pressure cannot starve
 // the others.
 //
+// Shared base tier (DESIGN.md "Shared base cache & epoch invalidation")
+//   - Each bases_ entry owns at most one SharedBaseCache keyed on the
+//     workload's snapshot id. Sessions opened over that base attach to it:
+//     postings and pairwise intersections over columns a session has not
+//     mutated are computed once process-wide and served to every session.
+//   - Lifecycle: the cache is created when the first session registers on
+//     a base and dropped (whole-tier invalidation + release) when the
+//     last session on that base closes; the workload itself stays cached.
+//   - Budget: each cache is capped at shared_cache_budget_bytes
+//     (publish-time rejection), and the same number bounds the *sum*
+//     across bases — exceeded, the least-recently-touched base's tier is
+//     invalidated (LRU across bases, whole caches at a time).
+//
 // Crash recovery (DESIGN.md "Service fault tolerance & recovery")
 //   - With a journal_dir configured, every Open writes an `<id>.meta`
 //     sidecar recording the OpenParams next to the session's `<id>.journal`
@@ -64,6 +77,7 @@
 #include "common/status.h"
 #include "core/search.h"
 #include "core/session.h"
+#include "core/shared_base_cache.h"
 #include "datagen/workload.h"
 #include "service/scripted_oracle.h"
 
@@ -82,6 +96,13 @@ struct ServiceLimits {
   /// Sessions idle longer than this are closed by EvictIdle() (0 = never).
   /// Evicted sessions keep their journal + meta and can be resumed.
   double idle_timeout_s = 0.0;
+  /// Attach sessions on one base to a process-wide SharedBaseCache of
+  /// postings + pairwise intersections (pure acceleration; bit-identical
+  /// behaviour). Off restores fully independent per-session caches.
+  bool shared_base_cache = true;
+  /// Byte cap per shared cache *and* on the sum across bases (LRU
+  /// whole-cache invalidation when the aggregate exceeds it; 0 = unbounded).
+  size_t shared_cache_budget_bytes = 256u << 20;
 };
 
 /// Per-session view returned by Step/Info.
@@ -106,9 +127,24 @@ struct ServiceHealth {
   /// Sessions replayed from journals since construction (startup scan +
   /// lazy resumes).
   size_t recovered_sessions = 0;
-  /// Aggregate posting-cache resident bytes across live sessions, as of
-  /// each session's last status snapshot.
+  /// Aggregate *private-tier* posting-cache resident bytes across live
+  /// sessions, as of each session's last status snapshot. Shared-tier
+  /// bytes are deliberately excluded: they are resident once per base,
+  /// not once per session, and are reported below.
   size_t posting_resident_bytes = 0;
+  /// Shared base tier, counted once per base cache (never per session).
+  size_t shared_bases = 0;           ///< bases_ entries with a live cache.
+  size_t shared_resident_bytes = 0;  ///< Σ cache resident bytes.
+  size_t shared_entries = 0;         ///< Σ cached postings+intersections.
+  size_t shared_hits = 0;            ///< Σ posting+intersection hits.
+  size_t shared_misses = 0;          ///< Σ posting+intersection misses.
+  /// Derived shared hit rate in [0, 1] (0.0 with no probes).
+  double shared_hit_rate() const {
+    size_t total = shared_hits + shared_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(shared_hits) /
+                            static_cast<double>(total);
+  }
 };
 
 class SessionManager {
@@ -126,6 +162,10 @@ class SessionManager {
     /// posting_delta); exposed so both posting modes are exercisable over
     /// the wire.
     bool posting_delta = true;
+    /// Row-set representation (SessionOptions::compressed_rowsets);
+    /// exposed so both representations are exercisable over the wire —
+    /// the shared base tier keeps dense and compressed planes separate.
+    bool compressed_rowsets = true;
   };
 
   explicit SessionManager(ServiceLimits limits);
@@ -192,7 +232,13 @@ class SessionManager {
     std::string dataset;
     std::mutex mu;  ///< Serializes all operations on this session.
     std::shared_ptr<const CleaningWorkload> base;
-    Table working;  ///< COW clone of base->dirty.
+    /// The base's shared read tier (null when disabled). Co-owned so a
+    /// session outliving the manager's bases_ entry (straggler holding
+    /// the shared_ptr) never dangles; the manager's release on last-close
+    /// drops discoverability, refcounts handle the rest.
+    std::shared_ptr<SharedBaseCache> shared_cache;
+    std::string base_key;  ///< bases_ key, for the close-time release.
+    Table working;         ///< COW clone of base->dirty.
     std::unique_ptr<ScriptedOracle> oracle;
     std::unique_ptr<SearchAlgorithm> algorithm;
     std::unique_ptr<CleaningSession> session;
@@ -221,9 +267,38 @@ class SessionManager {
     }
   };
 
-  /// Builds or fetches the shared immutable base for (dataset, scale).
+  /// One cached immutable base plus its shared read tier and the count of
+  /// live sessions attached to it.
+  struct BaseEntry {
+    std::shared_ptr<const CleaningWorkload> workload;
+    /// Created on first attach, dropped when live_sessions returns to 0
+    /// (the workload itself stays cached). Null while no session is open
+    /// on this base or when limits_.shared_base_cache is off.
+    std::shared_ptr<SharedBaseCache> cache;
+    size_t live_sessions = 0;
+    /// steady_clock nanos of the last operation by any attached session;
+    /// the cross-base LRU invalidates the oldest tier first.
+    int64_t last_touch_ns = 0;
+  };
+
+  /// Builds or fetches the shared immutable base for (dataset, scale);
+  /// returns the workload and writes the bases_ key to *key_out.
   StatusOr<std::shared_ptr<const CleaningWorkload>> GetBase(
-      const std::string& dataset, double scale);
+      const std::string& dataset, double scale, std::string* key_out);
+
+  /// Registers a live session on its base under mu_: bumps the refcount
+  /// and creates the shared tier if this is the first attach. Returns the
+  /// cache to hand to the session (null when disabled).
+  std::shared_ptr<SharedBaseCache> AttachBaseLocked(const std::string& key);
+  /// Last-close bookkeeping under mu_: decrements the refcount and drops
+  /// the base's shared tier when it reaches zero.
+  void ReleaseBaseLocked(const std::string& key);
+  /// Cross-base LRU: while Σ cache bytes exceeds the budget, invalidates
+  /// the least-recently-touched tier with resident bytes. Call under mu_.
+  void EnforceSharedBudgetLocked();
+  /// Stamps the base's LRU clock and enforces the aggregate budget (takes
+  /// mu_ briefly; called after session operations).
+  void TouchBase(const std::string& key);
 
   StatusOr<std::shared_ptr<ServiceSession>> Lookup(const std::string& id);
   static SessionStatus Snapshot(ServiceSession& s);
@@ -254,7 +329,7 @@ class SessionManager {
   const ServiceLimits limits_;
   mutable std::mutex mu_;  ///< Guards sessions_, bases_, next_id_.
   std::map<std::string, std::shared_ptr<ServiceSession>> sessions_;
-  std::map<std::string, std::shared_ptr<const CleaningWorkload>> bases_;
+  std::map<std::string, BaseEntry> bases_;
   uint64_t next_id_ = 1;
   std::atomic<size_t> recovered_sessions_{0};
   const std::chrono::steady_clock::time_point start_time_ =
