@@ -1,6 +1,7 @@
 #include "common/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -153,6 +154,15 @@ StatusOr<FdHolder> ConnectTcp(uint16_t port) {
     return Errno("connect(127.0.0.1:" + std::to_string(port) + ")");
   }
   return holder;
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::Ok();
 }
 
 Status SetSendTimeout(int fd, int64_t ms) {

@@ -89,6 +89,10 @@ StatusOr<FdHolder> ConnectTcp(uint16_t port);
 /// A peer that stops draining its socket then cannot pin a writer forever.
 Status SetSendTimeout(int fd, int64_t ms);
 
+/// Switches `fd` to non-blocking mode (O_NONBLOCK) for use with the
+/// server's epoll loop; recv/send then return EAGAIN instead of blocking.
+Status SetNonBlocking(int fd);
+
 /// Buffered, line-oriented I/O over a connected socket. Not thread-safe;
 /// the server gives each connection exactly one reader.
 class LineChannel {

@@ -1,22 +1,40 @@
 #include "profiling/correlation.h"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
+#include <array>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
-#include "common/thread_pool.h"
 
 namespace falcon {
 namespace {
 
-// Sample loops below this size run inline (the default 5k-row sample always
-// does); only full-table profiling of large instances shards.
-constexpr size_t kParallelSampleGrain = size_t{1} << 15;
+// Joint value combinations up to this many columns use a fixed-width inline
+// key (no per-row heap traffic); wider sets fall back to vector keys. Lattice
+// nodes rarely involve more than a handful of attributes, so the inline path
+// covers virtually every call.
+constexpr size_t kInlineKeyCols = 8;
 
-// Hash for a vector<ValueId> key (joint value combination).
+// Fixed-width key: the row's value ids for the involved columns, padded with
+// kNullValueId (never a real key element — null rows are skipped entirely).
+struct InlineKey {
+  std::array<ValueId, kInlineKeyCols> v;
+  bool operator==(const InlineKey&) const = default;
+};
+
+struct InlineKeyHash {
+  size_t operator()(const InlineKey& k) const {
+    uint64_t h = 1469598103934665603ull;
+    for (ValueId x : k.v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Hash for a vector<ValueId> key (wide-set fallback).
 struct VecHash {
   size_t operator()(const std::vector<ValueId>& v) const {
     uint64_t h = 1469598103934665603ull;
@@ -29,31 +47,141 @@ struct VecHash {
 };
 
 // Deterministic row sample: evenly strided rows, at most `max` of them.
-std::vector<uint32_t> SampleRows(size_t num_rows, size_t max) {
-  std::vector<uint32_t> rows;
+// Visits rows directly instead of materializing an index vector.
+template <typename Fn>
+void ForEachSampleRow(size_t num_rows, size_t max, Fn&& fn) {
   if (max == 0 || num_rows <= max) {
-    rows.resize(num_rows);
-    for (size_t i = 0; i < num_rows; ++i) rows[i] = static_cast<uint32_t>(i);
-    return rows;
+    for (size_t i = 0; i < num_rows; ++i) fn(static_cast<uint32_t>(i));
+    return;
   }
-  rows.reserve(max);
   double stride = static_cast<double>(num_rows) / static_cast<double>(max);
   for (size_t i = 0; i < max; ++i) {
-    rows.push_back(static_cast<uint32_t>(static_cast<double>(i) * stride));
+    fn(static_cast<uint32_t>(static_cast<double>(i) * stride));
   }
-  return rows;
 }
 
-// Returns true and fills `key` iff the row has no NULL among `cols`.
-bool RowKey(const Table& table, uint32_t row, const std::vector<size_t>& cols,
-            std::vector<ValueId>* key) {
-  key->clear();
-  for (size_t c : cols) {
-    ValueId v = table.cell(row, c);
-    if (v == kNullValueId) return false;
-    key->push_back(v);
+// Joint value-combination counts over `cols`, built in ONE pass over the
+// (sampled) rows. Everything the scores need — marginal frequencies, distinct
+// counts, soft-FD support, chi² — is derived from this map afterwards, whose
+// size is the number of distinct combinations, not the number of rows. Rows
+// with a NULL in any involved column are skipped.
+//
+// The build is serial on purpose: derived chi² sums iterate the map in
+// insertion order, and float summation order must not depend on thread count
+// if profiles (and hence CoDive rankings) are to be reproducible across
+// machines.
+struct JointCounts {
+  std::unordered_map<InlineKey, double, InlineKeyHash> inline_counts;
+  std::unordered_map<std::vector<ValueId>, double, VecHash> vec_counts;
+  size_t k = 0;
+  bool use_inline = false;
+  double n = 0;  // Non-null rows visited.
+
+  size_t size() const {
+    return use_inline ? inline_counts.size() : vec_counts.size();
   }
-  return true;
+
+  // Visits (key values pointer, count) for every distinct combination, in
+  // deterministic (serial insertion history) order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (use_inline) {
+      for (const auto& [key, count] : inline_counts) fn(key.v.data(), count);
+    } else {
+      for (const auto& [key, count] : vec_counts) fn(key.data(), count);
+    }
+  }
+
+  // Number of distinct combinations of the first k-1 columns (the soft-FD
+  // LHS). Derived from the joint keys, so it costs O(#combos), not O(rows).
+  size_t DistinctPrefix() const {
+    if (use_inline) {
+      std::unordered_set<InlineKey, InlineKeyHash> lhs;
+      lhs.reserve(inline_counts.size());
+      for (const auto& [key, count] : inline_counts) {
+        InlineKey stripped = key;
+        stripped.v[k - 1] = kNullValueId;
+        lhs.insert(stripped);
+      }
+      return lhs.size();
+    }
+    std::unordered_set<std::vector<ValueId>, VecHash> lhs;
+    lhs.reserve(vec_counts.size());
+    for (const auto& [key, count] : vec_counts) {
+      std::vector<ValueId> stripped(key.begin(), key.end() - 1);
+      lhs.insert(std::move(stripped));
+    }
+    return lhs.size();
+  }
+};
+
+JointCounts BuildJointCounts(const Table& table,
+                             const std::vector<size_t>& cols,
+                             const CorrelationOptions& options) {
+  JointCounts out;
+  out.k = cols.size();
+  out.use_inline = cols.size() <= kInlineKeyCols;
+  if (out.use_inline) {
+    InlineKey key;
+    key.v.fill(kNullValueId);
+    ForEachSampleRow(
+        table.num_rows(), options.max_sample_rows, [&](uint32_t row) {
+          for (size_t j = 0; j < cols.size(); ++j) {
+            ValueId v = table.cell(row, cols[j]);
+            if (v == kNullValueId) return;
+            key.v[j] = v;
+          }
+          out.inline_counts[key] += 1.0;
+          out.n += 1.0;
+        });
+    return out;
+  }
+  std::vector<ValueId> key(cols.size());
+  ForEachSampleRow(
+      table.num_rows(), options.max_sample_rows, [&](uint32_t row) {
+        for (size_t j = 0; j < cols.size(); ++j) {
+          ValueId v = table.cell(row, cols[j]);
+          if (v == kNullValueId) return;
+          key[j] = v;
+        }
+        out.vec_counts[key] += 1.0;
+        out.n += 1.0;
+      });
+  return out;
+}
+
+// Per-column marginal frequencies, derived from the joint map. Counts are
+// integer-valued doubles summed from integer-valued doubles, so the result
+// is bit-identical to accumulating per row.
+std::vector<std::unordered_map<ValueId, double>> Marginals(
+    const JointCounts& joint) {
+  std::vector<std::unordered_map<ValueId, double>> marginals(joint.k);
+  joint.ForEach([&](const ValueId* key, double count) {
+    for (size_t j = 0; j < joint.k; ++j) marginals[j][key[j]] += count;
+  });
+  return marginals;
+}
+
+// chi^2 = sum_observed (o - e)^2 / e  +  sum_unobserved e.
+// The unobserved total equals n - sum_observed e because the expected
+// counts over the full product space sum to n.
+double Chi2FromJoint(const JointCounts& joint,
+                     const std::vector<std::unordered_map<ValueId, double>>&
+                         marginals) {
+  double n = joint.n;
+  double chi2 = 0.0;
+  double observed_expected_sum = 0.0;
+  joint.ForEach([&](const ValueId* key, double obs) {
+    double e = n;
+    for (size_t j = 0; j < joint.k; ++j) {
+      e *= marginals[j].at(key[j]) / n;
+    }
+    double d = obs - e;
+    chi2 += d * d / e;
+    observed_expected_sum += e;
+  });
+  chi2 += n - observed_expected_sum;
+  return chi2;
 }
 
 }  // namespace
@@ -62,119 +190,50 @@ double FdSupport(const Table& table, const std::vector<size_t>& x_cols,
                  size_t b_col, const CorrelationOptions& options) {
   std::vector<size_t> all = x_cols;
   all.push_back(b_col);
-  std::vector<uint32_t> sample =
-      SampleRows(table.num_rows(), options.max_sample_rows);
-  // Distinct-key counting shards cleanly: per-shard sets union into the
-  // final ones, and only the union sizes matter, so the result is exact
-  // regardless of thread count.
-  std::unordered_set<std::vector<ValueId>, VecHash> d_lhs, d_all;
-  std::mutex mu;
-  ThreadPool::Global().ParallelFor(
-      sample.size(), kParallelSampleGrain, [&](size_t begin, size_t end) {
-        std::unordered_set<std::vector<ValueId>, VecHash> local_lhs,
-            local_all;
-        std::vector<ValueId> key;
-        for (size_t i = begin; i < end; ++i) {
-          if (!RowKey(table, sample[i], all, &key)) continue;
-          local_all.insert(key);
-          key.pop_back();
-          local_lhs.insert(key);
-        }
-        std::lock_guard<std::mutex> lock(mu);
-        d_all.insert(local_all.begin(), local_all.end());
-        d_lhs.insert(local_lhs.begin(), local_lhs.end());
-      });
-  if (d_all.empty()) return 0.0;
-  return static_cast<double>(d_lhs.size()) / static_cast<double>(d_all.size());
+  JointCounts joint = BuildJointCounts(table, all, options);
+  if (joint.size() == 0) return 0.0;
+  return static_cast<double>(joint.DistinctPrefix()) /
+         static_cast<double>(joint.size());
 }
 
 double ChiSquared(const Table& table, const std::vector<size_t>& cols,
                   const CorrelationOptions& options) {
-  const size_t k = cols.size();
-  FALCON_CHECK(k >= 2);
-
-  // Joint and marginal frequency tables over non-null rows. This stays
-  // serial on purpose: the chi² accumulation below iterates the joint map,
-  // and float summation order must not depend on thread count if profiles
-  // (and hence CoDive rankings) are to be reproducible across machines.
-  std::unordered_map<std::vector<ValueId>, double, VecHash> joint;
-  std::vector<std::unordered_map<ValueId, double>> marginals(k);
-  double n = 0;
-  std::vector<ValueId> key;
-  for (uint32_t row : SampleRows(table.num_rows(), options.max_sample_rows)) {
-    if (!RowKey(table, row, cols, &key)) continue;
-    joint[key] += 1.0;
-    for (size_t j = 0; j < k; ++j) marginals[j][key[j]] += 1.0;
-    n += 1.0;
-  }
-  if (n == 0) return 0.0;
-
-  // chi^2 = sum_observed (o - e)^2 / e  +  sum_unobserved e.
-  // The unobserved total equals n - sum_observed e because the expected
-  // counts over the full product space sum to n.
-  double chi2 = 0.0;
-  double observed_expected_sum = 0.0;
-  for (const auto& [combo, obs] : joint) {
-    double e = n;
-    for (size_t j = 0; j < k; ++j) {
-      e *= marginals[j].at(combo[j]) / n;
-    }
-    double d = obs - e;
-    chi2 += d * d / e;
-    observed_expected_sum += e;
-  }
-  chi2 += n - observed_expected_sum;
-  return chi2;
+  FALCON_CHECK(cols.size() >= 2);
+  JointCounts joint = BuildJointCounts(table, cols, options);
+  if (joint.n == 0) return 0.0;
+  return Chi2FromJoint(joint, Marginals(joint));
 }
 
 double CorrelationScore(const Table& table, const std::vector<size_t>& x_cols,
                         size_t b_col, const CorrelationOptions& options) {
   if (x_cols.empty()) return 0.0;
-  // Soft FD check first (the CORDS fast path).
-  if (FdSupport(table, x_cols, b_col, options) >= options.soft_fd_threshold) {
-    return 1.0;
-  }
-
   std::vector<size_t> all = x_cols;
   all.push_back(b_col);
   const size_t k = all.size();
 
-  // Distinct counts (m_i) over non-null rows, needed for q. Sharded like
-  // FdSupport: set unions and an integer row count are order-independent.
-  std::vector<std::unordered_set<ValueId>> distinct(k);
-  std::vector<uint32_t> sample =
-      SampleRows(table.num_rows(), options.max_sample_rows);
-  std::mutex mu;
-  std::atomic<size_t> rows_used{0};
-  ThreadPool::Global().ParallelFor(
-      sample.size(), kParallelSampleGrain, [&](size_t begin, size_t end) {
-        std::vector<std::unordered_set<ValueId>> local(k);
-        std::vector<ValueId> key;
-        size_t used = 0;
-        for (size_t i = begin; i < end; ++i) {
-          if (!RowKey(table, sample[i], all, &key)) continue;
-          for (size_t j = 0; j < k; ++j) local[j].insert(key[j]);
-          ++used;
-        }
-        rows_used.fetch_add(used, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(mu);
-        for (size_t j = 0; j < k; ++j) {
-          distinct[j].insert(local[j].begin(), local[j].end());
-        }
-      });
-  double n = static_cast<double>(rows_used.load());
+  // One pass over the rows; support, distinct counts, marginals, and chi²
+  // all come out of the same joint map.
+  JointCounts joint = BuildJointCounts(table, all, options);
+  double n = joint.n;
   if (n == 0) return 0.0;
 
+  // Soft FD check first (the CORDS fast path).
+  double support = static_cast<double>(joint.DistinctPrefix()) /
+                   static_cast<double>(joint.size());
+  if (support >= options.soft_fd_threshold) return 1.0;
+
+  std::vector<std::unordered_map<ValueId, double>> marginals =
+      Marginals(joint);
   double prod_m = 1.0;
   double sum_m = 0.0;
   for (size_t j = 0; j < k; ++j) {
-    prod_m *= static_cast<double>(distinct[j].size());
-    sum_m += static_cast<double>(distinct[j].size());
+    prod_m *= static_cast<double>(marginals[j].size());
+    sum_m += static_cast<double>(marginals[j].size());
   }
   double q = prod_m - sum_m + static_cast<double>(k) - 1.0;
   if (q <= 0.0) return 0.0;  // Degenerate: some attribute is constant.
 
-  double chi2 = ChiSquared(table, all, options);
+  double chi2 = Chi2FromJoint(joint, marginals);
   double score = chi2 / (n * q);
   return std::clamp(score, 0.0, 1.0);
 }

@@ -51,8 +51,12 @@ int main(int argc, char** argv) {
   options.queue_limit = static_cast<size_t>(flags.GetInt(
       "queue_limit", 64, "bounded request queue; beyond it requests are "
                          "rejected with UNAVAILABLE"));
-  options.retry_after_ms =
-      flags.GetInt("retry_after_ms", 50, "backoff hint on overload");
+  options.session_queue_limit = static_cast<size_t>(flags.GetInt(
+      "session_queue_limit", 16,
+      "per-session queued-request cap (0 = only the global limit)"));
+  options.retry_after_ms = flags.GetInt(
+      "retry_after_ms", 50,
+      "base backoff hint on overload (scaled up to 4x with queue depth)");
   options.allow_remote_shutdown = flags.GetBool(
       "allow_remote_shutdown", false,
       "honour the remote `shutdown` verb (CI teardown)");
@@ -64,6 +68,8 @@ int main(int argc, char** argv) {
                              "eviction; 0 = off)") * 1000;
   options.limits.max_sessions = static_cast<size_t>(
       flags.GetInt("max_sessions", 8, "concurrent session cap"));
+  options.limits.session_shards = static_cast<size_t>(flags.GetInt(
+      "session_shards", 16, "lock stripes for the session registry"));
   options.limits.posting_budget_bytes = static_cast<size_t>(flags.GetInt(
       "posting_budget_mb", 0, "total posting-cache budget in MiB, sliced "
                               "across max_sessions (0 = unbounded"

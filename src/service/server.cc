@@ -1,10 +1,14 @@
 #include "service/server.h"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
-#include <thread>
+#include <future>
 #include <utility>
 
 #include "common/fault_injector.h"
@@ -12,6 +16,24 @@
 #include "service/protocol.h"
 
 namespace falcon {
+namespace {
+
+// epoll_event.data.u64 tags for the two non-connection fds; connection ids
+// start at 1 and never collide with these.
+constexpr uint64_t kListenerTag = ~uint64_t{0};
+constexpr uint64_t kWakeTag = ~uint64_t{0} - 1;
+
+// Bound on how long the I/O thread keeps flushing after Stop() once the
+// scheduler has drained — a wedged peer cannot hold shutdown hostage.
+constexpr int64_t kStopGraceMs = 5000;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 CleaningServer::CleaningServer(ServerOptions options)
     : options_(std::move(options)), manager_(options_.limits) {}
@@ -38,12 +60,35 @@ Status CleaningServer::Start() {
   } else {
     FALCON_ASSIGN_OR_RETURN(listener_, Listener::ListenTcp(options_.tcp_port));
   }
+  FALCON_RETURN_IF_ERROR(SetNonBlocking(listener_.fd()));
+
+  int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) return Status::Internal("epoll_create1 failed");
+  epoll_fd_ = FdHolder(epfd);
+  int wfd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wfd < 0) return Status::Internal("eventfd failed");
+  wake_fd_ = FdHolder(wfd);
+
+  epoll_event ev{};
+  // The listener stays level-triggered: if an accept burst outruns one
+  // loop turn (or EMFILE forces a backoff), the next epoll_wait re-fires.
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  if (::epoll_ctl(epfd, EPOLL_CTL_ADD, listener_.fd(), &ev) != 0) {
+    return Status::Internal("epoll_ctl(listener) failed");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epfd, EPOLL_CTL_ADD, wfd, &ev) != 0) {
+    return Status::Internal("epoll_ctl(eventfd) failed");
+  }
+
   size_t workers = std::max<size_t>(1, options_.workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back(&CleaningServer::WorkerLoop, this);
   }
-  acceptor_ = std::thread(&CleaningServer::AcceptLoop, this);
+  io_thread_ = std::thread(&CleaningServer::IoLoop, this);
   if (options_.sweep_interval_s > 0) {
     sweeper_ = std::thread(&CleaningServer::SweeperLoop, this);
   }
@@ -52,25 +97,56 @@ Status CleaningServer::Start() {
 
 uint16_t CleaningServer::bound_port() const { return listener_.bound_port(); }
 
+size_t CleaningServer::queued_requests() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return queued_;
+}
+
+size_t CleaningServer::inflight_requests() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return inflight_;
+}
+
 void CleaningServer::Stop() {
+  std::vector<Pending> drained;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_) return;
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      // Shutdown drain: every admitted-but-unstarted request resolves with
+      // a typed kUnavailable instead of a broken promise/silent drop.
+      // In-flight requests (a worker already executing) finish normally.
+      while (!global_.empty()) {
+        drained.push_back(std::move(global_.front()));
+        global_.pop_front();
+      }
+      for (auto& [id, q] : session_queues_) {
+        while (!q.items.empty()) {
+          drained.push_back(std::move(q.items.front()));
+          q.items.pop_front();
+        }
+      }
+      ready_.clear();
+      queued_ = 0;
+    }
   }
-  queue_cv_.notify_all();
+  stop_flag_.store(true, std::memory_order_release);
+  sched_cv_.notify_all();
   listener_.Shutdown();
-  {
-    // Unblock every connection reader; entries are erased by their own
-    // threads before the fd closes, so these are always live sockets.
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  if (wake_fd_.valid()) {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd_.fd(), &one, sizeof(one));
+    (void)ignored;
+  }
+  for (Pending& p : drained) {
+    p.done(ErrorResponse(Status::Unavailable("server shutting down")));
   }
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     stop_requested_ = true;
   }
   lifecycle_cv_.notify_all();
+  sweep_cv_.notify_all();
 }
 
 void CleaningServer::Wait() {
@@ -84,14 +160,7 @@ void CleaningServer::Wait() {
   joining_ = true;
   lock.unlock();
 
-  if (acceptor_.joinable()) acceptor_.join();
-  // No new connection threads once the acceptor is gone.
-  std::vector<std::thread> conns;
-  {
-    std::lock_guard<std::mutex> conn_lock(conn_mu_);
-    conns.swap(conn_threads_);
-  }
-  for (std::thread& t : conns) t.join();
+  if (io_thread_.joinable()) io_thread_.join();
   for (std::thread& t : workers_) t.join();
   if (sweeper_.joinable()) sweeper_.join();
   manager_.CloseAll();
@@ -102,134 +171,524 @@ void CleaningServer::Wait() {
   lifecycle_cv_.notify_all();
 }
 
-void CleaningServer::AcceptLoop() {
+// ---------------------------------------------------------------------------
+// I/O thread
+// ---------------------------------------------------------------------------
+
+void CleaningServer::IoLoop() {
+  // Tick granularity: fine enough that a short test deadline (200ms) fires
+  // promptly, coarse enough that idle-ish service pays ~20 wakeups/s max.
+  int64_t tick = options_.read_deadline_ms > 0
+                     ? std::clamp<int64_t>(options_.read_deadline_ms / 8, 5, 50)
+                     : 50;
+  wheel_ = std::make_unique<TimerWheel>(NowMs(), tick, 512);
+
+  std::vector<epoll_event> events(128);
+  bool listener_removed = false;
+  int64_t stop_seen_ms = 0;
+
   for (;;) {
-    StatusOr<FdHolder> conn = listener_.Accept();
-    if (!conn.ok()) {
-      // Transient accept failures (fd exhaustion) back off briefly and
-      // keep serving; anything else (kCancelled after Stop, fatal errors)
-      // ends the acceptor.
-      if (conn.status().IsTransient()) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    dead_conns_.clear();  // Conns evicted last turn; nothing references them.
+
+    int timeout;
+    int64_t next = wheel_->NextTimeoutMs();
+    if (stop_flag_.load(std::memory_order_acquire)) {
+      timeout = 10;  // Poll the drain conditions while stopping.
+    } else {
+      timeout = next < 0 ? -1 : static_cast<int>(next);
+    }
+    int n = ::epoll_wait(epoll_fd_.fd(), events.data(),
+                         static_cast<int>(events.size()), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // Fatal epoll failure; shutdown path below closes everything.
+    }
+    int64_t now = NowMs();
+    bool stopping = stop_flag_.load(std::memory_order_acquire);
+
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        if (!stopping) AcceptReady(now);
         continue;
       }
+      if (tag == kWakeTag) {
+        uint64_t counter;
+        ssize_t ignored = ::read(wake_fd_.fd(), &counter, sizeof(counter));
+        (void)ignored;
+        continue;  // Completions drain below, every turn.
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // Evicted earlier this turn.
+      Conn* conn = it->second.get();
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        // Errors/hangups surface through recv (pending data still drains).
+        ReadConn(conn, now);
+      }
+      if (!conn->dead && (events[i].events & EPOLLOUT)) {
+        TryWrite(conn, now);
+      }
+    }
+
+    DrainCompletions(now);
+    FireTimers(now);
+
+    if (stopping) {
+      if (stop_seen_ms == 0) {
+        stop_seen_ms = now;
+        if (!listener_removed) {
+          ::epoll_ctl(epoll_fd_.fd(), EPOLL_CTL_DEL, listener_.fd(), nullptr);
+          listener_removed = true;
+        }
+      }
+      bool idle;
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        idle = queued_ == 0 && inflight_ == 0;
+      }
+      if (idle) {
+        std::lock_guard<std::mutex> lock(completion_mu_);
+        idle = completions_.empty();
+      }
+      if (idle || now - stop_seen_ms > kStopGraceMs) {
+        // Final best-effort flush so typed shutdown responses reach peers.
+        for (auto& [id, conn] : conns_) {
+          if (!conn->dead && conn->out_off < conn->out.size()) {
+            TryWrite(conn.get(), now);
+          }
+        }
+        break;
+      }
+    }
+  }
+  conns_.clear();
+  dead_conns_.clear();
+}
+
+void CleaningServer::AcceptReady(int64_t now_ms) {
+  for (;;) {
+    int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // EMFILE/ENFILE: a load condition. The level-triggered listener will
+      // re-fire next turn; the tick-bounded epoll timeout is the backoff.
       return;
     }
+    FdHolder holder(fd);
     // Injected accept fault: drop the fresh connection (the client sees a
     // reset and retries through its reconnect path).
     if (!FaultInjector::Global().Hit("service.accept").ok()) continue;
-    int raw = conn->fd();
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.push_back(raw);
-    conn_threads_.emplace_back(&CleaningServer::ConnectionLoop, this,
-                               std::move(conn).value());
+    if (!SetNonBlocking(fd).ok()) continue;
+
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = std::move(holder);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_.fd(), EPOLL_CTL_ADD, conn->fd.fd(), &ev) != 0) {
+      continue;  // Holder in `conn` closes the fd.
+    }
+    conns_.emplace(conn->id, std::move(conn));
+  }
+  (void)now_ms;
+}
+
+void CleaningServer::ReadConn(Conn* conn, int64_t now_ms) {
+  char chunk[16384];
+  for (;;) {
+    if (conn->dead) return;
+    ssize_t n = ::recv(conn->fd.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      // Torn line read: the bytes were consumed from the socket but the
+      // connection dies before the line completes (same site and per-recv
+      // cadence as the old blocking reader).
+      if (!FaultInjector::Global().Hit("service.read").ok()) {
+        EvictConn(conn);
+        return;
+      }
+      conn->in.append(chunk, static_cast<size_t>(n));
+      size_t nl;
+      while ((nl = conn->in.find('\n')) != std::string::npos) {
+        if (nl > options_.max_line_bytes) {
+          EvictConn(conn);  // Oversized even though complete: same policy.
+          return;
+        }
+        std::string line = conn->in.substr(0, nl);
+        conn->in.erase(0, nl + 1);
+        if (!ProcessLine(conn, std::move(line))) return;
+      }
+      if (conn->in.size() > options_.max_line_bytes) {
+        // Oversized line: drop the peer before it balloons the buffer
+        // (the old reader surfaced kInvalidArgument and closed silently).
+        EvictConn(conn);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      conn->eof = true;
+      if (!conn->in.empty()) {
+        // EOF mid-line: nothing to respond to; drop, as before.
+        EvictConn(conn);
+        return;
+      }
+      if (conn->slots.empty() && conn->out_off >= conn->out.size()) {
+        EvictConn(conn);  // Clean close with nothing owed.
+      }
+      return;  // Otherwise keep the conn until pending responses flush.
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    EvictConn(conn);
+    return;
+  }
+
+  // Partial line pending: arm the slowloris deadline from its first byte;
+  // a completed batch disarms it. Idle connections never carry a deadline.
+  if (!conn->in.empty()) {
+    if (options_.read_deadline_ms > 0) {
+      // Injected stall: behaves exactly like the peer going quiet mid-line
+      // and the deadline firing.
+      Status stall = FaultInjector::Global().Hit("service.stall");
+      if (!stall.ok()) {
+        Status deadline = Status::DeadlineExceeded(
+            "read deadline exceeded (injected stall): " + stall.message());
+        std::string line = ErrorResponse(deadline).Serialize();
+        if (!FaultInjector::Global().Hit("service.write").ok()) {
+          EvictConn(conn);
+          return;
+        }
+        conn->out.append(line);
+        conn->out.push_back('\n');
+        conn->evict_after_flush = true;
+        TryWrite(conn, now_ms);
+        if (!conn->dead) EvictConn(conn);
+        return;
+      }
+      if (conn->read_deadline_at == 0) {
+        conn->read_deadline_at = now_ms + options_.read_deadline_ms;
+        wheel_->Schedule(conn->id, conn->read_deadline_at);
+      }
+    }
+  } else {
+    conn->read_deadline_at = 0;
   }
 }
 
-void CleaningServer::ConnectionLoop(FdHolder fd) {
-  const int raw = fd.fd();
-  {
-    LineChannel channel(std::move(fd));
-    // Server-side transport faults arm under "service.*"; client channels
-    // leave the prefix empty so their own I/O never trips these sites.
-    channel.set_fault_site_prefix("service.");
-    if (options_.read_deadline_ms > 0) {
-      channel.set_read_deadline(options_.read_deadline_ms,
-                                /*from_first_byte=*/true);
-      Status st = SetSendTimeout(raw, options_.read_deadline_ms);
-      (void)st;
-    }
-    std::string line;
-    bool eof = false;
-    for (;;) {
-      Status read = channel.ReadLine(&line, &eof);
-      if (!read.ok()) {
-        if (read.code() == StatusCode::kDeadlineExceeded) {
-          // Slowloris eviction: best-effort typed error, then drop the
-          // connection.
-          Status st = channel.WriteLine(ErrorResponse(read).Serialize());
-          (void)st;
-        }
-        break;
-      }
-      if (eof) break;
-      if (line.empty()) continue;
+bool CleaningServer::ProcessLine(Conn* conn, std::string line) {
+  if (line.empty()) return true;
+  conn->read_deadline_at = 0;  // The line completed; next partial re-arms.
+  uint64_t slot = conn->next_slot++;
+  conn->slots.emplace_back(slot, std::nullopt);
+  int64_t now = NowMs();
 
-      JsonValue response;
-      bool shutdown_requested = false;
-      StatusOr<JsonValue> request = JsonValue::Parse(line);
-      if (!request.ok()) {
-        response = ErrorResponse(request.status());
-      } else if (request->is_object() &&
-                 request->GetString("verb") == "shutdown") {
-        if (options_.allow_remote_shutdown) {
-          response = JsonValue::Object();
-          response.Set("ok", true);
-          shutdown_requested = true;
-        } else {
-          response = ErrorResponse(Status::FailedPrecondition(
-              "server started without --allow-remote-shutdown"));
-        }
-      } else {
-        response = Submit(std::move(request).value());
+  StatusOr<JsonValue> request = JsonValue::Parse(line);
+  if (!request.ok()) {
+    CompleteSlot(conn, slot, ErrorResponse(request.status()).Serialize(), now);
+    return !conn->dead;
+  }
+  if (request->is_object() && request->GetString("verb") == "shutdown") {
+    // Intercepted on the I/O thread, as before: never queued.
+    if (options_.allow_remote_shutdown) {
+      JsonValue response = JsonValue::Object();
+      response.Set("ok", true);
+      conn->shutdown_after_flush = true;
+      CompleteSlot(conn, slot, response.Serialize(), now);
+    } else {
+      CompleteSlot(conn, slot,
+                   ErrorResponse(Status::FailedPrecondition(
+                                     "server started without "
+                                     "--allow-remote-shutdown"))
+                       .Serialize(),
+                   now);
+    }
+    return !conn->dead;
+  }
+
+  uint64_t conn_id = conn->id;
+  SubmitAsync(std::move(request).value(),
+              [this, conn_id, slot](JsonValue response) {
+                PostCompletion(
+                    Completion{conn_id, slot, response.Serialize()});
+              });
+  return !conn->dead;
+}
+
+void CleaningServer::CompleteSlot(Conn* conn, uint64_t slot, std::string line,
+                                  int64_t now_ms) {
+  for (auto& entry : conn->slots) {
+    if (entry.first == slot) {
+      entry.second = std::move(line);
+      break;
+    }
+  }
+  FlushSlots(conn, now_ms);
+  if (!conn->dead) TryWrite(conn, now_ms);
+}
+
+void CleaningServer::FlushSlots(Conn* conn, int64_t now_ms) {
+  // Serialize the contiguous completed prefix in request order — requests
+  // for different sessions finish out of order, responses never do.
+  while (!conn->dead && !conn->slots.empty() &&
+         conn->slots.front().second.has_value()) {
+    std::string line = std::move(*conn->slots.front().second);
+    conn->slots.pop_front();
+    if (!FaultInjector::Global().Hit("service.write").ok()) {
+      // Partial write then failure: the peer sees a torn line and must
+      // treat the request/response as lost (retry with the same seq).
+      line.push_back('\n');
+      size_t half = line.size() / 2;
+      if (half > 0) {
+        conn->out.append(line, 0, half);
+        TryWrite(conn, now_ms);
       }
-      if (!channel.WriteLine(response.Serialize()).ok()) break;
-      if (shutdown_requested) {
-        Stop();  // Safe here: Stop never joins; Wait() does.
-        break;
+      if (!conn->dead) EvictConn(conn);
+      return;
+    }
+    conn->out.append(line);
+    conn->out.push_back('\n');
+  }
+}
+
+void CleaningServer::TryWrite(Conn* conn, int64_t now_ms) {
+  if (conn->dead) return;
+  while (conn->out_off < conn->out.size()) {
+    ssize_t n = ::send(conn->fd.fd(), conn->out.data() + conn->out_off,
+                       conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Stalled peer: the read-deadline budget bounds how long a response
+      // may sit unflushed (the old SO_SNDTIMEO role).
+      if (conn->write_deadline_at == 0 && options_.read_deadline_ms > 0) {
+        conn->write_deadline_at = now_ms + options_.read_deadline_ms;
+        wheel_->Schedule(conn->id, conn->write_deadline_at);
+      }
+      if (conn->out_off > size_t{16} * 1024) {
+        conn->out.erase(0, conn->out_off);
+        conn->out_off = 0;
+      }
+      return;
+    }
+    EvictConn(conn);
+    return;
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+  conn->write_deadline_at = 0;
+  if (conn->shutdown_after_flush && conn->slots.empty()) {
+    Stop();  // Safe on the I/O thread: Stop never joins; Wait() does.
+    EvictConn(conn);
+    return;
+  }
+  if (conn->evict_after_flush || (conn->eof && conn->slots.empty())) {
+    EvictConn(conn);
+  }
+}
+
+void CleaningServer::DrainCompletions(int64_t now_ms) {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) continue;  // Peer already evicted; drop.
+    CompleteSlot(it->second.get(), c.slot, std::move(c.line), now_ms);
+  }
+}
+
+void CleaningServer::FireTimers(int64_t now_ms) {
+  if (wheel_->armed() == 0) return;
+  std::vector<uint64_t> fired;
+  wheel_->Advance(now_ms, &fired);
+  for (uint64_t id : fired) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;  // Stale entry for an evicted conn.
+    Conn* conn = it->second.get();
+    if (conn->read_deadline_at != 0 && now_ms >= conn->read_deadline_at) {
+      // Slowloris eviction: best-effort typed error, then drop — same
+      // message and observable behaviour as the old per-connection reader.
+      Status deadline = Status::DeadlineExceeded(
+          "read deadline of " + std::to_string(options_.read_deadline_ms) +
+          " ms exceeded mid-line");
+      if (FaultInjector::Global().Hit("service.write").ok()) {
+        conn->out.append(ErrorResponse(deadline).Serialize());
+        conn->out.push_back('\n');
+        TryWrite(conn, now_ms);
+      }
+      if (!conn->dead) EvictConn(conn);
+      continue;
+    }
+    if (conn->write_deadline_at != 0 && now_ms >= conn->write_deadline_at) {
+      EvictConn(conn);  // Peer stopped draining; silent drop, as before.
+      continue;
+    }
+    // Stale firing (deadline cleared or re-armed): re-arm the survivor.
+    int64_t next = 0;
+    if (conn->read_deadline_at != 0) next = conn->read_deadline_at;
+    if (conn->write_deadline_at != 0 &&
+        (next == 0 || conn->write_deadline_at < next)) {
+      next = conn->write_deadline_at;
+    }
+    if (next != 0) wheel_->Schedule(id, next);
+  }
+}
+
+void CleaningServer::EvictConn(Conn* conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  ::epoll_ctl(epoll_fd_.fd(), EPOLL_CTL_DEL, conn->fd.fd(), nullptr);
+  auto it = conns_.find(conn->id);
+  if (it != conns_.end()) {
+    // Keep the object alive until the loop turn ends: callers up-stack
+    // still hold the raw pointer (they check `dead` after every call).
+    dead_conns_.push_back(std::move(it->second));
+    conns_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: per-session FIFO queues + session-less global queue
+// ---------------------------------------------------------------------------
+
+int64_t CleaningServer::AdaptiveRetryMsLocked() const {
+  int64_t base = options_.retry_after_ms;
+  if (base <= 0 || options_.queue_limit == 0) return base;
+  int64_t scaled =
+      base + (3 * base * static_cast<int64_t>(queued_)) /
+                 static_cast<int64_t>(options_.queue_limit);
+  return std::min(scaled, 4 * base);
+}
+
+void CleaningServer::SubmitAsync(JsonValue request,
+                                 std::function<void(JsonValue)> done) {
+  Status reject;
+  int64_t hint = 0;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    if (stopping_) {
+      reject = Status::Unavailable("server shutting down");
+    } else if (queued_ >= options_.queue_limit) {
+      // Global overload: reject on the submitting thread, never block or
+      // buffer. The hint grows with queue depth so retries spread out.
+      reject = Status::Unavailable("request queue full");
+      hint = AdaptiveRetryMsLocked();
+    } else {
+      std::string key =
+          request.is_object() ? request.GetString("session") : std::string();
+      if (key.empty()) {
+        global_.push_back(Pending{std::move(request), std::move(done)});
+        ++queued_;
+      } else {
+        SessionQueue& q = session_queues_[key];
+        if (options_.session_queue_limit > 0 &&
+            q.items.size() >= options_.session_queue_limit) {
+          // One session hammering the server is bounded before it can
+          // exhaust the global budget for everyone else.
+          reject = Status::Unavailable("session queue full");
+          hint = AdaptiveRetryMsLocked();
+        } else {
+          q.items.push_back(Pending{std::move(request), std::move(done)});
+          ++queued_;
+          if (!q.running && q.items.size() == 1) ready_.push_back(key);
+        }
       }
     }
-    // Deregister before the channel closes the fd, so Stop() never calls
-    // shutdown() on a recycled descriptor.
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), raw),
-                    conn_fds_.end());
   }
+  if (!reject.ok()) {
+    done(ErrorResponse(reject, hint));
+    return;
+  }
+  sched_cv_.notify_one();
 }
 
 JsonValue CleaningServer::Submit(JsonValue request) {
-  auto item = std::make_shared<WorkItem>();
-  item->request = std::move(request);
-  std::future<JsonValue> response = item->response.get_future();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_) {
-      return ErrorResponse(Status::Unavailable("server shutting down"));
-    }
-    if (queue_.size() >= options_.queue_limit) {
-      // Overload: reject on the reader thread, never block or buffer.
-      return ErrorResponse(Status::Unavailable("request queue full"),
-                           options_.retry_after_ms);
-    }
-    queue_.push_back(item);
-  }
-  queue_cv_.notify_one();
+  std::promise<JsonValue> promise;
+  std::future<JsonValue> response = promise.get_future();
+  SubmitAsync(std::move(request),
+              [&promise](JsonValue r) { promise.set_value(std::move(r)); });
   return response.get();
 }
 
+void CleaningServer::PostCompletion(Completion c) {
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    completions_.push_back(std::move(c));
+  }
+  if (wake_fd_.valid()) {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd_.fd(), &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
 void CleaningServer::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
+  std::unique_lock<std::mutex> lock(sched_mu_);
   for (;;) {
-    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) return;  // Drained: admitted requests all served.
+    if (!global_.empty()) {
+      Pending p = std::move(global_.front());
+      global_.pop_front();
+      --queued_;
+      ++inflight_;
+      lock.unlock();
+      JsonValue response = HandleRequest(manager_, p.request);
+      p.done(std::move(response));
+      lock.lock();
+      --inflight_;
       continue;
     }
-    std::shared_ptr<WorkItem> item = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
-    item->response.set_value(HandleRequest(manager_, item->request));
-    lock.lock();
+    if (!ready_.empty()) {
+      std::string key = std::move(ready_.front());
+      ready_.pop_front();
+      auto it = session_queues_.find(key);
+      if (it == session_queues_.end() || it->second.running ||
+          it->second.items.empty()) {
+        continue;  // Raced with drain/another worker; nothing to run.
+      }
+      it->second.running = true;
+      Pending p = std::move(it->second.items.front());
+      it->second.items.pop_front();
+      --queued_;
+      ++inflight_;
+      lock.unlock();
+      JsonValue response = HandleRequest(manager_, p.request);
+      p.done(std::move(response));
+      lock.lock();
+      --inflight_;
+      // One item per turn, then back to the ready queue: K sessions share
+      // the pool round-robin instead of one session monopolizing a worker.
+      it = session_queues_.find(key);
+      if (it != session_queues_.end()) {
+        it->second.running = false;
+        if (it->second.items.empty()) {
+          session_queues_.erase(it);
+        } else {
+          ready_.push_back(key);
+          sched_cv_.notify_one();
+        }
+      }
+      continue;
+    }
+    if (stopping_) return;  // Drained: started requests all finished.
+    sched_cv_.wait(lock);
   }
 }
 
 void CleaningServer::SweeperLoop() {
-  const auto interval = std::chrono::duration<double>(
-      options_.sweep_interval_s);
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  while (!stopping_) {
-    queue_cv_.wait_for(lock, interval, [&] { return stopping_; });
-    if (stopping_) return;
+  const auto interval =
+      std::chrono::duration<double>(options_.sweep_interval_s);
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    sweep_cv_.wait_for(lock, interval, [&] {
+      return stop_flag_.load(std::memory_order_acquire);
+    });
+    if (stop_flag_.load(std::memory_order_acquire)) return;
     lock.unlock();
     manager_.EvictIdle();
     lock.lock();

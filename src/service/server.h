@@ -1,41 +1,64 @@
 // CleaningServer: serves the line-delimited JSON protocol over a Unix or
 // TCP socket.
 //
-// Thread structure
-//   - one acceptor thread blocking in accept();
-//   - one reader thread per connection: reads a line, parses it, submits
-//     it to the worker queue, waits for the response, writes it back —
-//     strict request/response order per connection;
-//   - a fixed pool of `workers` threads executing HandleRequest;
+// Thread structure (event-driven; see DESIGN.md "Event-driven service
+// layer")
+//   - one I/O thread running an epoll loop: it accepts connections
+//     (level-triggered listener so EMFILE backoff stays simple), performs
+//     all reads and writes on non-blocking connection fds registered
+//     edge-triggered, frames lines incrementally out of per-connection
+//     input buffers, and flushes per-connection output buffers as the
+//     peer drains them. Read-deadline (slowloris) and write-stall
+//     deadlines are kept on a hashed timer wheel (common/timer_wheel.h)
+//     advanced by the same loop — the old per-connection
+//     poll()/SO_SNDTIMEO semantics, without a thread per connection;
+//   - a fixed pool of `workers` threads executing HandleRequest against
+//     per-session FIFO queues: one session's requests run strictly in
+//     order, K distinct sessions proceed in parallel. Session-less verbs
+//     (open_session, ping, malformed input) drain from a separate global
+//     FIFO. Workers hand finished responses back to the I/O thread
+//     through a completion queue + eventfd wakeup;
 //   - one sweeper thread running idle-session eviction.
 //
-// Overload policy: the worker queue is bounded at `queue_limit`. A request
-// arriving while the queue is full is rejected immediately on the reader
-// thread with kUnavailable and a retry_after_ms hint — readers never
-// block, so a flood of traffic degrades into fast rejections instead of
+// Ordering: responses on one connection are written in request order even
+// though requests for different sessions complete out of order — each
+// connection holds a FIFO of response slots and only the contiguous
+// completed prefix is flushed.
+//
+// Overload policy: admission is bounded globally (`queue_limit` queued
+// requests across all sessions) and per session (`session_queue_limit`).
+// A request over either bound is rejected immediately on the I/O thread
+// with kUnavailable and a retry_after_ms hint computed adaptively from
+// queue depth (base at an empty queue, up to 4x base as the global queue
+// fills) — traffic floods degrade into fast rejections instead of
 // unbounded memory growth or rising latency for admitted work. Session
 // admission (max_sessions) is enforced separately by the SessionManager.
 //
 // Shutdown: Stop() (signal handler, remote `shutdown` verb, or test
-// teardown) shuts the listener down, unblocks connection readers, lets
-// workers drain requests already admitted to the queue, joins every
-// thread, then closes all sessions.
+// teardown) stops admission, resolves every queued-but-unstarted request
+// with a typed kUnavailable response, lets workers finish requests
+// already started, flushes what can be flushed, then Wait() joins every
+// thread and closes all sessions.
 #ifndef FALCON_SERVICE_SERVER_H_
 #define FALCON_SERVICE_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <future>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/json.h"
 #include "common/socket.h"
 #include "common/status.h"
+#include "common/timer_wheel.h"
 #include "service/session_manager.h"
 
 namespace falcon {
@@ -47,22 +70,31 @@ struct ServerOptions {
   uint16_t tcp_port = 0;
   /// Worker threads executing requests.
   size_t workers = 4;
-  /// Bounded request queue; arrivals beyond it are rejected (overload).
+  /// Global bound on queued-not-yet-started requests; arrivals beyond it
+  /// are rejected (overload).
   size_t queue_limit = 64;
-  /// Backoff hint attached to overload rejections.
+  /// Per-session bound on queued requests; a client hammering one session
+  /// is rejected before it can exhaust the global budget.
+  size_t session_queue_limit = 16;
+  /// Base backoff hint attached to overload rejections; scaled up to 4x
+  /// by the adaptive policy as the global queue fills.
   int64_t retry_after_ms = 50;
   /// Honour the remote `shutdown` verb (CI teardown); off by default.
   bool allow_remote_shutdown = false;
-  /// Per-line read deadline on connection readers, measured from the first
-  /// byte of a partial line (slowloris defense: an idle connection waits
-  /// forever, a half-sent line does not). Expiry evicts the connection
-  /// with a typed DEADLINE_EXCEEDED error. Also bounds response writes to
-  /// stalled clients (SO_SNDTIMEO). 0 disables.
+  /// Per-line read deadline, measured from the first byte of a partial
+  /// line (slowloris defense: an idle connection waits forever, a
+  /// half-sent line does not). Expiry evicts the connection with a typed
+  /// DEADLINE_EXCEEDED error. The same budget bounds how long a response
+  /// may sit unflushed against a stalled peer (the old SO_SNDTIMEO role).
+  /// 0 disables both.
   int64_t read_deadline_ms = 60000;
+  /// Bound on one request line so a hostile or broken peer can't balloon
+  /// the connection's input buffer; an oversized line drops the peer.
+  size_t max_line_bytes = size_t{1} << 20;
   /// Seconds between idle-eviction sweeps (0 disables the sweeper).
   double sweep_interval_s = 0.0;
-  /// Session-level limits (max sessions, posting budget, journals, idle
-  /// timeout).
+  /// Session-level limits (max sessions, shards, posting budget, journals,
+  /// idle timeout).
   ServiceLimits limits;
 };
 
@@ -87,37 +119,125 @@ class CleaningServer {
   /// Sessions replayed from journals by Start()'s recovery scan.
   size_t recovered_sessions() const { return recovered_sessions_; }
 
+  /// Requests admitted but not yet started by a worker (global + all
+  /// session queues). Exposed for tests that need a deterministic view of
+  /// queue occupancy.
+  size_t queued_requests() const;
+
+  /// Requests currently executing on a worker. Together with
+  /// queued_requests() this lets a test pin the pool in a known state
+  /// (e.g. wait until a long step is provably in flight) without sleeps.
+  size_t inflight_requests() const;
+
  private:
-  struct WorkItem {
+  /// One admitted request and the continuation that must be called with
+  /// its response exactly once (normal completion or shutdown drain).
+  struct Pending {
     JsonValue request;
-    std::promise<JsonValue> response;
+    std::function<void(JsonValue)> done;
   };
 
-  void AcceptLoop();
-  void ConnectionLoop(FdHolder fd);
+  /// FIFO of requests for one session id. `running` marks that a worker
+  /// is executing this session's head request, so the queue is not in
+  /// ready_ and a second worker can never reorder the session.
+  struct SessionQueue {
+    std::deque<Pending> items;
+    bool running = false;
+  };
+
+  /// A finished response travelling worker → I/O thread.
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t slot = 0;
+    std::string line;  ///< Serialized response.
+  };
+
+  /// Per-connection state owned by the I/O thread.
+  struct Conn {
+    uint64_t id = 0;
+    FdHolder fd;
+    std::string in;       ///< Partial line carried across reads.
+    std::string out;      ///< Bytes not yet accepted by the kernel.
+    size_t out_off = 0;   ///< Flushed prefix of `out`.
+    /// Response slots in request order; a slot's string is set when its
+    /// request completes, and only the contiguous completed prefix is
+    /// serialized into `out`.
+    std::deque<std::pair<uint64_t, std::optional<std::string>>> slots;
+    uint64_t next_slot = 0;
+    int64_t read_deadline_at = 0;   ///< 0 = no partial line pending.
+    int64_t write_deadline_at = 0;  ///< 0 = no unflushed output pending.
+    bool eof = false;               ///< Peer half-closed; drain then close.
+    bool evict_after_flush = false; ///< Fatal error already queued.
+    bool shutdown_after_flush = false;  ///< Remote shutdown verb accepted.
+    /// Evicted but possibly still referenced on the I/O thread's stack;
+    /// the owning unique_ptr sits in dead_conns_ until the next loop turn.
+    bool dead = false;
+  };
+
+  void IoLoop();
   void WorkerLoop();
   void SweeperLoop();
 
-  /// Queue-or-reject under the overload policy; returns the response.
+  // -- I/O-thread helpers (single-threaded; no locks except the explicit
+  //    completion/scheduler handoffs) --
+  void AcceptReady(int64_t now_ms);
+  void ReadConn(Conn* conn, int64_t now_ms);
+  bool ProcessLine(Conn* conn, std::string line);
+  void FlushSlots(Conn* conn, int64_t now_ms);
+  void TryWrite(Conn* conn, int64_t now_ms);
+  void DrainCompletions(int64_t now_ms);
+  void FireTimers(int64_t now_ms);
+  void EvictConn(Conn* conn);
+  void CompleteSlot(Conn* conn, uint64_t slot, std::string line,
+                    int64_t now_ms);
+
+  /// Queue-or-reject under the overload policy. `done` is invoked exactly
+  /// once — inline (rejections) or from a worker/shutdown drain.
+  void SubmitAsync(JsonValue request, std::function<void(JsonValue)> done);
+
+  /// Blocking submit used by in-process callers; wraps SubmitAsync.
   JsonValue Submit(JsonValue request);
+
+  /// Backoff hint scaled by global queue depth. Call with sched_mu_ held.
+  int64_t AdaptiveRetryMsLocked() const;
+
+  /// Posts a completion and wakes the I/O thread.
+  void PostCompletion(Completion c);
 
   ServerOptions options_;
   SessionManager manager_;
   Listener listener_;
   size_t recovered_sessions_ = 0;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<WorkItem>> queue_;
+  // -- Scheduler state (per-session queues + global queue) --
+  mutable std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::unordered_map<std::string, SessionQueue> session_queues_;
+  std::deque<std::string> ready_;   ///< Session ids with a runnable head.
+  std::deque<Pending> global_;      ///< Session-less verbs; any worker.
+  size_t queued_ = 0;               ///< Items admitted, not yet started.
+  size_t inflight_ = 0;             ///< Items a worker is executing.
   bool stopping_ = false;
 
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;  ///< Live connection fds, shut down on Stop.
-  std::vector<std::thread> conn_threads_;
+  // -- Worker → I/O completion handoff --
+  std::mutex completion_mu_;
+  std::deque<Completion> completions_;
+  FdHolder wake_fd_;  ///< eventfd; written on completion and on Stop().
 
-  std::thread acceptor_;
+  // -- I/O thread state (touched only by IoLoop after Start) --
+  FdHolder epoll_fd_;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<Conn>> dead_conns_;  ///< Freed next loop turn.
+  std::unique_ptr<TimerWheel> wheel_;
+  uint64_t next_conn_id_ = 1;
+  std::atomic<bool> stop_flag_{false};  ///< Cheap stop check for the loop.
+
+  std::thread io_thread_;
   std::vector<std::thread> workers_;
   std::thread sweeper_;
+
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
 
   std::mutex lifecycle_mu_;
   std::condition_variable lifecycle_cv_;

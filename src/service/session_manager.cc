@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -110,9 +111,26 @@ uint64_t SessionIdNumber(const std::string& id) {
 }  // namespace
 
 SessionManager::SessionManager(ServiceLimits limits)
-    : limits_(std::move(limits)) {}
+    : limits_(std::move(limits)),
+      shards_(std::max<size_t>(1, limits_.session_shards)) {}
 
 SessionManager::~SessionManager() { CloseAll(); }
+
+SessionManager::Shard& SessionManager::ShardFor(const std::string& id) {
+  // FNV-1a over the id; session ids are "s-<n>" so the low bytes carry all
+  // the entropy and a multiplicative hash spreads them well across stripes.
+  uint64_t h = 14695981039346656037ull;
+  for (char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return shards_[h % shards_.size()];
+}
+
+const SessionManager::Shard& SessionManager::ShardFor(
+    const std::string& id) const {
+  return const_cast<SessionManager*>(this)->ShardFor(id);
+}
 
 std::string SessionManager::JournalPath(const std::string& id) const {
   return limits_.journal_dir + "/" + id + ".journal";
@@ -130,7 +148,7 @@ StatusOr<std::shared_ptr<const CleaningWorkload>> SessionManager::GetBase(
   std::snprintf(key, sizeof key, "%s@%g", dataset.c_str(), scale);
   if (key_out != nullptr) *key_out = key;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(base_mu_);
     auto it = bases_.find(key);
     if (it != bases_.end()) return it->second.workload;
   }
@@ -142,7 +160,7 @@ StatusOr<std::shared_ptr<const CleaningWorkload>> SessionManager::GetBase(
   FALCON_ASSIGN_OR_RETURN(CleaningWorkload w,
                           MakeCleaningWorkload(dataset, scale));
   auto base = std::make_shared<const CleaningWorkload>(std::move(w));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(base_mu_);
   auto [it, inserted] = bases_.emplace(key, BaseEntry{});
   if (inserted) it->second.workload = std::move(base);
   return it->second.workload;
@@ -204,7 +222,7 @@ void SessionManager::EnforceSharedBudgetLocked() {
 }
 
 void SessionManager::TouchBase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(base_mu_);
   auto it = bases_.find(key);
   if (it != bases_.end()) {
     it->second.last_touch_ns =
@@ -229,7 +247,7 @@ SessionManager::Build(const OpenParams& params, const std::string& id) {
   // options below carry the cache pointer into the CleaningSession. Every
   // exit path that fails to register this session must ReleaseBaseLocked.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(base_mu_);
     s->shared_cache = AttachBaseLocked(base_key);
   }
   // The oracle mirrors the session's internal construction
@@ -293,39 +311,71 @@ void SessionManager::DeleteArtifacts(const std::string& id) {
 }
 
 StatusOr<std::string> SessionManager::Open(const OpenParams& params) {
-  std::string id;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (sessions_.size() >= limits_.max_sessions) {
-      return Status::Unavailable(
-          "session table full (" + std::to_string(limits_.max_sessions) +
-          " live sessions); close one or retry later");
-    }
-    id = "s-" + std::to_string(next_id_++);
+  // Reserve an admission slot atomically; every failure path below hands
+  // it back, so the count can never go negative or double-admit.
+  if (session_count_.fetch_add(1, std::memory_order_acq_rel) >=
+      limits_.max_sessions) {
+    session_count_.fetch_sub(1, std::memory_order_acq_rel);
+    return Status::Unavailable(
+        "session table full (" + std::to_string(limits_.max_sessions) +
+        " live sessions); close one or retry later");
   }
-  FALCON_ASSIGN_OR_RETURN(auto s, Build(params, id));
+  std::string id =
+      "s-" + std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed));
+  StatusOr<std::shared_ptr<ServiceSession>> built = Build(params, id);
+  if (!built.ok()) {
+    session_count_.fetch_sub(1, std::memory_order_acq_rel);
+    return built.status();
+  }
+  std::shared_ptr<ServiceSession> s = std::move(built).value();
   if (Status meta = WriteMeta(*s); !meta.ok()) {
     // Never leave a half-durable meta behind: an orphan would re-register
     // as a fresh session at the next startup scan.
     DeleteArtifacts(id);
-    std::lock_guard<std::mutex> lock(mu_);
-    ReleaseBaseLocked(s->base_key);
+    {
+      std::lock_guard<std::mutex> lock(base_mu_);
+      ReleaseBaseLocked(s->base_key);
+    }
+    session_count_.fetch_sub(1, std::memory_order_acq_rel);
     return meta;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.size() >= limits_.max_sessions) {
-    DeleteArtifacts(id);
-    ReleaseBaseLocked(s->base_key);
-    return Status::Unavailable("session table full");
-  }
-  sessions_.emplace(s->id, s);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sessions.emplace(s->id, s);
   return s->id;
 }
 
 StatusOr<std::string> SessionManager::RecoverOne(const std::string& id) {
-  FALCON_ASSIGN_OR_RETURN(std::string body, ReadFileToString(MetaPath(id)));
-  FALCON_ASSIGN_OR_RETURN(JsonValue meta, JsonValue::Parse(body));
+  // Same reservation discipline as Open: take the admission slot before
+  // the (expensive) rebuild, release it on every non-registering path.
+  if (session_count_.fetch_add(1, std::memory_order_acq_rel) >=
+      limits_.max_sessions) {
+    session_count_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      // The table may be full *because* this session is already live
+      // (raced resume): that is success, not exhaustion.
+      Shard& shard = ShardFor(id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.sessions.count(id) > 0) return id;
+    }
+    return Status::Unavailable("session table full; cannot resume " + id);
+  }
+  auto release = [this] {
+    session_count_.fetch_sub(1, std::memory_order_acq_rel);
+  };
+  StatusOr<std::string> body_or = ReadFileToString(MetaPath(id));
+  if (!body_or.ok()) {
+    release();
+    return body_or.status();
+  }
+  std::string body = std::move(body_or).value();
+  StatusOr<JsonValue> meta_or = JsonValue::Parse(body);
+  if (!meta_or.ok()) {
+    release();
+    return meta_or.status();
+  }
+  JsonValue meta = std::move(meta_or).value();
   OpenParams params;
   params.dataset = meta.GetString("dataset", params.dataset);
   params.scale = meta.GetDouble("scale", params.scale);
@@ -342,33 +392,49 @@ StatusOr<std::string> SessionManager::RecoverOne(const std::string& id) {
   params.compressed_rowsets =
       meta.GetBool("compressed_rowsets", params.compressed_rowsets);
 
-  FALCON_ASSIGN_OR_RETURN(auto s, Build(params, id));
+  StatusOr<std::shared_ptr<ServiceSession>> built = Build(params, id);
+  if (!built.ok()) {
+    release();
+    return built.status();
+  }
+  std::shared_ptr<ServiceSession> s = std::move(built).value();
   // Replays the journaled prefix (tolerant of a torn tail) and completes
   // any interrupted episode deterministically, then stops so the client
   // resumes driving with `step`. A meta without a journal (the session
   // never ran an episode) starts fresh without running one.
   if (Status replay = s->session->RecoverToReplayEnd().status();
       !replay.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ReleaseBaseLocked(s->base_key);
+    {
+      std::lock_guard<std::mutex> lock(base_mu_);
+      ReleaseBaseLocked(s->base_key);
+    }
+    release();
     return replay;
   }
   s->Touch();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(id);
-  if (it != sessions_.end()) {
+  // Keep fresh ids ahead of every recovered id (lock-free CAS catch-up).
+  uint64_t n = SessionIdNumber(id);
+  uint64_t cur = next_id_.load(std::memory_order_relaxed);
+  while (n >= cur && !next_id_.compare_exchange_weak(
+                         cur, n + 1, std::memory_order_relaxed)) {
+  }
+
+  bool raced = false;
+  {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    raced = !shard.sessions.emplace(id, s).second;
+  }
+  if (raced) {
     // Raced with another resume: theirs is registered, ours is discarded.
-    ReleaseBaseLocked(s->base_key);
+    {
+      std::lock_guard<std::mutex> lock(base_mu_);
+      ReleaseBaseLocked(s->base_key);
+    }
+    release();
     return id;
   }
-  if (sessions_.size() >= limits_.max_sessions) {
-    ReleaseBaseLocked(s->base_key);
-    return Status::Unavailable("session table full; cannot resume " + id);
-  }
-  uint64_t n = SessionIdNumber(id);
-  if (n >= next_id_) next_id_ = n + 1;
-  sessions_.emplace(id, s);
   recovered_sessions_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -399,8 +465,9 @@ size_t SessionManager::RecoverSessions() {
   size_t recovered = 0;
   for (const std::string& id : meta_ids) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (sessions_.count(id) > 0) continue;
+      Shard& shard = ShardFor(id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (shard.sessions.count(id) > 0) continue;
     }
     // A failed recovery (corrupt meta, unknown dataset) skips the session
     // but retains its files for inspection; it will be retried next start.
@@ -432,8 +499,9 @@ size_t SessionManager::RecoverSessions() {
 
 StatusOr<std::string> SessionManager::Resume(const std::string& id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (sessions_.count(id) > 0) return id;
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.sessions.count(id) > 0) return id;
   }
   if (limits_.journal_dir.empty()) {
     return Status::NotFound("no such session: " + id);
@@ -443,9 +511,10 @@ StatusOr<std::string> SessionManager::Resume(const std::string& id) {
 
 StatusOr<std::shared_ptr<SessionManager::ServiceSession>>
 SessionManager::Lookup(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
     return Status::NotFound("no such session: " + id);
   }
   return it->second;
@@ -563,14 +632,19 @@ Status SessionManager::CloseInternal(const std::string& id,
                                      bool delete_artifacts) {
   std::shared_ptr<ServiceSession> s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = sessions_.find(id);
-    if (it == sessions_.end()) {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.sessions.find(id);
+    if (it == shard.sessions.end()) {
       return Status::NotFound("no such session: " + id);
     }
     s = std::move(it->second);
-    sessions_.erase(it);
+    shard.sessions.erase(it);
   }
+  // The erase above removed the session from every observer's view; hand
+  // the admission slot back now so a waiting open can claim it while the
+  // teardown below (which can fsync) runs.
+  session_count_.fetch_sub(1, std::memory_order_acq_rel);
   // Wait for any in-flight operation, then tear the session down while we
   // still hold its lock; stragglers holding the shared_ptr see `closed`.
   std::lock_guard<std::mutex> lock(s->mu);
@@ -584,10 +658,10 @@ Status SessionManager::CloseInternal(const std::string& id,
   if (delete_artifacts) DeleteArtifacts(id);
   // The session (and its shared-tier pins) is gone: release the base.
   // The last close on a base drops its shared cache. Lock order is
-  // s->mu → mu_ here, matching Mutate's op → TouchBase sequence; mu_ is
-  // never held while acquiring a session mutex.
+  // s->mu → base_mu_ here, matching Mutate's op → TouchBase sequence;
+  // base_mu_ is never held while acquiring a session or shard mutex.
   {
-    std::lock_guard<std::mutex> manager_lock(mu_);
+    std::lock_guard<std::mutex> base_lock(base_mu_);
     ReleaseBaseLocked(s->base_key);
   }
   return Status::Ok();
@@ -604,9 +678,9 @@ size_t SessionManager::EvictIdle() {
   const int64_t timeout_ns =
       static_cast<int64_t>(limits_.idle_timeout_s * 1e9);
   std::vector<std::string> idle;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [id, s] : sessions_) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, s] : shard.sessions) {
       if (now_ns - s->last_active_ns.load(std::memory_order_relaxed) >
           timeout_ns) {
         idle.push_back(id);
@@ -623,9 +697,9 @@ size_t SessionManager::EvictIdle() {
 
 void SessionManager::CloseAll() {
   std::vector<std::string> ids;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [id, s] : sessions_) ids.push_back(id);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, s] : shard.sessions) ids.push_back(id);
   }
   for (const std::string& id : ids) {
     // Graceful drain retains journals + metas: sessions survive a daemon
@@ -642,12 +716,20 @@ ServiceHealth SessionManager::Health() const {
                    .count();
   h.max_sessions = limits_.max_sessions;
   h.recovered_sessions = recovered_sessions_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  h.live_sessions = sessions_.size();
-  for (const auto& [id, s] : sessions_) {
-    h.posting_resident_bytes +=
-        s->posting_resident_bytes.load(std::memory_order_relaxed);
+  // Per-shard locking: the totals are a consistent sum of per-shard
+  // snapshots (each shard's count is exact at the instant its lock is
+  // held), so concurrent opens/closes can make the sum land anywhere
+  // between the start and end population — but never negative and never
+  // double-counting a session.
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    h.live_sessions += shard.sessions.size();
+    for (const auto& [id, s] : shard.sessions) {
+      h.posting_resident_bytes +=
+          s->posting_resident_bytes.load(std::memory_order_relaxed);
+    }
   }
+  std::lock_guard<std::mutex> lock(base_mu_);
   // Shared tiers are counted once per base — never per attached session —
   // so ops dashboards see true process residency, not N× the same bitmap.
   for (const auto& [key, entry] : bases_) {
@@ -663,8 +745,12 @@ ServiceHealth SessionManager::Health() const {
 }
 
 size_t SessionManager::active_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sessions_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.sessions.size();
+  }
+  return total;
 }
 
 }  // namespace falcon

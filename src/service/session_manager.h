@@ -2,9 +2,19 @@
 // dataset snapshots.
 //
 // Threading model
-//   - A manager-level mutex guards the session registry and the dataset
-//     cache; it is held only for lookups/insertions, never across session
-//     work.
+//   - The session registry is lock-striped into `session_shards` shards
+//     keyed by session-id hash: open/step/close on different sessions
+//     contend only when their ids collide on a stripe, never on a global
+//     lock. Shard mutexes are held only for lookups/insertions/erases,
+//     never across session work and never while another lock is taken.
+//   - Admission (max_sessions) uses an atomic reservation counter:
+//     Open/RecoverOne reserve a slot up front and release it on every
+//     failure path, so the live count is never transiently negative or
+//     double-counted and needs no global lock.
+//   - The dataset cache and shared base tiers (`bases_`) sit behind their
+//     own mutex (`base_mu_`), acquired after a session's mutex when both
+//     are needed (Mutate → TouchBase, CloseInternal) and never while a
+//     shard mutex is held.
 //   - Each session has its own mutex serializing all operations on it
 //     (step, update_cell, answer, retract, status, close). Two requests
 //     for the same session queue up; requests for different sessions run
@@ -103,6 +113,10 @@ struct ServiceLimits {
   /// Byte cap per shared cache *and* on the sum across bases (LRU
   /// whole-cache invalidation when the aggregate exceeds it; 0 = unbounded).
   size_t shared_cache_budget_bytes = 256u << 20;
+  /// Lock stripes for the session registry (clamped to ≥ 1). Sessions
+  /// hash to a stripe by id; more stripes = less registry contention at
+  /// high session counts, at a few hundred bytes each.
+  size_t session_shards = 16;
 };
 
 /// Per-session view returned by Step/Info.
@@ -286,18 +300,19 @@ class SessionManager {
   StatusOr<std::shared_ptr<const CleaningWorkload>> GetBase(
       const std::string& dataset, double scale, std::string* key_out);
 
-  /// Registers a live session on its base under mu_: bumps the refcount
-  /// and creates the shared tier if this is the first attach. Returns the
-  /// cache to hand to the session (null when disabled).
+  /// Registers a live session on its base under base_mu_: bumps the
+  /// refcount and creates the shared tier if this is the first attach.
+  /// Returns the cache to hand to the session (null when disabled).
   std::shared_ptr<SharedBaseCache> AttachBaseLocked(const std::string& key);
-  /// Last-close bookkeeping under mu_: decrements the refcount and drops
-  /// the base's shared tier when it reaches zero.
+  /// Last-close bookkeeping under base_mu_: decrements the refcount and
+  /// drops the base's shared tier when it reaches zero.
   void ReleaseBaseLocked(const std::string& key);
   /// Cross-base LRU: while Σ cache bytes exceeds the budget, invalidates
-  /// the least-recently-touched tier with resident bytes. Call under mu_.
+  /// the least-recently-touched tier with resident bytes. Call under
+  /// base_mu_.
   void EnforceSharedBudgetLocked();
   /// Stamps the base's LRU clock and enforces the aggregate budget (takes
-  /// mu_ briefly; called after session operations).
+  /// base_mu_ briefly; called after session operations).
   void TouchBase(const std::string& key);
 
   StatusOr<std::shared_ptr<ServiceSession>> Lookup(const std::string& id);
@@ -326,11 +341,24 @@ class SessionManager {
   std::string JournalPath(const std::string& id) const;
   std::string MetaPath(const std::string& id) const;
 
+  /// One lock stripe of the session registry.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<ServiceSession>> sessions;
+  };
+  Shard& ShardFor(const std::string& id);
+  const Shard& ShardFor(const std::string& id) const;
+
   const ServiceLimits limits_;
-  mutable std::mutex mu_;  ///< Guards sessions_, bases_, next_id_.
-  std::map<std::string, std::shared_ptr<ServiceSession>> sessions_;
+  /// Session registry, lock-striped by id hash. Sized at construction;
+  /// never resized (Shard is not movable).
+  mutable std::vector<Shard> shards_;
+  mutable std::mutex base_mu_;  ///< Guards bases_ (workloads + shared tiers).
   std::map<std::string, BaseEntry> bases_;
-  uint64_t next_id_ = 1;
+  std::atomic<uint64_t> next_id_{1};
+  /// Live + under-construction sessions: reserved before Build, released
+  /// on every failure path and at close — the race-free admission gate.
+  std::atomic<size_t> session_count_{0};
   std::atomic<size_t> recovered_sessions_{0};
   const std::chrono::steady_clock::time_point start_time_ =
       std::chrono::steady_clock::now();
