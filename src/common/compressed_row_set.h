@@ -81,6 +81,15 @@ class CompressedRowSet {
   /// Logical 64-bit word count (the dense representation's num_words()).
   size_t num_words() const { return (universe_size_ + 63) / 64; }
 
+  /// Grows the universe (streaming append); new rows start cleared.
+  /// Containers are sparse and never hold rows ≥ universe_size(), so only
+  /// the logical bound moves — ChunkWords/Complement/Hash derive the tail
+  /// extent from universe_size_ on demand. Shrinking is not supported.
+  void Resize(size_t new_universe) {
+    FALCON_DCHECK(new_universe >= universe_size_);
+    if (new_universe > universe_size_) universe_size_ = new_universe;
+  }
+
   void Set(size_t row);
   void Clear(size_t row);
   bool Test(size_t row) const;

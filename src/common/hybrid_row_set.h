@@ -70,6 +70,13 @@ class HybridRowSet {
 
   size_t First() const { return compressed_ ? comp_.First() : dense_.First(); }
 
+  /// Grows the universe in the current representation (streaming append);
+  /// new rows start cleared. Representation choice is untouched — callers
+  /// re-Compact with the post-append cardinality when it matters.
+  void Resize(size_t new_universe) {
+    compressed_ ? comp_.Resize(new_universe) : dense_.Resize(new_universe);
+  }
+
   // --- Binary kernels, full 2×2 dispatch -----------------------------------
 
   void And(const HybridRowSet& other) {

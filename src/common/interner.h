@@ -7,6 +7,7 @@
 #include <deque>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -60,6 +61,49 @@ class ValuePool {
     return id;
   }
 
+  /// Interns `n` strings in one pass, writing their ids to `out[0..n)`.
+  /// Equivalent to calling Intern per element but takes the locks once:
+  /// a shared-lock probe resolves already-known values, then a single
+  /// exclusive section inserts the misses in order. New ids are assigned
+  /// in first-occurrence order within the batch, so single-threaded batch
+  /// ingest assigns the same ids as the per-row loop it replaces.
+  void InternBatch(std::span<const std::string_view> values, ValueId* out) {
+    size_t misses = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      for (size_t i = 0; i < values.size(); ++i) {
+        auto it = ids_.find(values[i]);
+        if (it != ids_.end()) {
+          out[i] = it->second;
+        } else {
+          out[i] = kPendingId;
+          ++misses;
+        }
+      }
+    }
+    if (misses == 0) return;
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (out[i] != kPendingId) continue;
+      auto it = ids_.find(values[i]);  // Re-check: racing interner may win.
+      if (it != ids_.end()) {
+        out[i] = it->second;
+        continue;
+      }
+      ValueId id = static_cast<ValueId>(strings_.size());
+      strings_.emplace_back(values[i]);
+      ids_.emplace(strings_.back(), id);
+      out[i] = id;
+    }
+  }
+
+  /// Pre-sizes the id map for about `expected_values` distinct values to
+  /// avoid rehash storms during bulk ingest. Purely a hint.
+  void Reserve(size_t expected_values) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    ids_.reserve(expected_values);
+  }
+
   /// Returns the id for `s`, or kNullValueId if it was never interned.
   ValueId Lookup(std::string_view s) const {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -81,6 +125,10 @@ class ValuePool {
   }
 
  private:
+  // InternBatch marker for slots whose value was absent during the shared
+  // probe. A pool would need 2^32-1 live strings before a real id collides.
+  static constexpr ValueId kPendingId = 0xFFFFFFFFu;
+
   // Heterogeneous string_view lookup into a string-keyed map.
   struct StringHash {
     using is_transparent = void;

@@ -32,6 +32,18 @@ class RowSet {
 
   size_t universe_size() const { return universe_size_; }
 
+  /// Grows the universe to `new_universe` rows (streaming append). Existing
+  /// bits are preserved; the new rows [old, new) start cleared. Shrinking is
+  /// not supported — row ids are stable for the lifetime of a table.
+  void Resize(size_t new_universe) {
+    FALCON_DCHECK(new_universe >= universe_size_);
+    if (new_universe <= universe_size_) return;
+    // The old tail word already keeps bits past universe_size() zeroed
+    // (TrimTail invariant), so growing is just widening the storage.
+    universe_size_ = new_universe;
+    words_.resize((new_universe + 63) / 64, 0);
+  }
+
   /// Word-level access for blocked kernels (parallel scans shard by word so
   /// writers touch disjoint ranges). Word i covers rows [64i, 64i+64).
   size_t num_words() const { return words_.size(); }

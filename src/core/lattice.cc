@@ -658,6 +658,49 @@ void Lattice::RecomputeAffected(const Table& table) {
   rep_cache_.clear();
 }
 
+void Lattice::ApplyAppend(const Table& table) {
+  size_t old_rows = num_table_rows_;
+  size_t new_rows = table.num_rows();
+  FALCON_CHECK(new_rows >= old_rows);
+  if (new_rows == old_rows) return;
+  // Capture which cached nodes hold bitmaps *before* the universe moves —
+  // materialized() compares each bitmap's universe to num_table_rows_.
+  std::vector<NodeId> with_bitmap;
+  with_bitmap.reserve(cached_nodes_.size());
+  for (NodeId m : cached_nodes_) {
+    if (materialized(m)) with_bitmap.push_back(m);
+  }
+  for (NodeId m : with_bitmap) affected_[m].Resize(new_rows);
+  for (HybridRowSet& p : preds_) p.Resize(new_rows);
+  num_table_rows_ = new_rows;
+
+  const size_t k = cols_.size();
+  for (size_t r = old_rows; r < new_rows; ++r) {
+    // Predicate-satisfaction mask of the new row over the lattice attrs.
+    NodeId pm = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (table.cell(r, cols_[i]) == bindings_[i]) {
+        preds_[i].Set(r);
+        pm |= NodeId{1} << i;
+      }
+    }
+    // Rows already holding the target value are in no affected set (they
+    // are outside the bottom node).
+    if (table.cell(r, repair_.col) == target_value_) continue;
+    // Fold the row into every cached node whose WHERE conjunction it
+    // satisfies: node m matches iff every attr of m is satisfied. The
+    // bottom (m = 0) matches vacuously. Bitmaps get the bit; count-only
+    // nodes get the exact closed-form increment.
+    for (NodeId m : cached_nodes_) {
+      if ((pm & m) != m) continue;
+      if (affected_[m].universe_size() == new_rows) affected_[m].Set(r);
+      if (counts_[m] != kNoCount) ++counts_[m];
+    }
+  }
+  closed_sets_fresh_ = false;
+  rep_cache_.clear();
+}
+
 SqluQuery Lattice::NodeQuery(NodeId n) const {
   SqluQuery q;
   q.table = table_name_;

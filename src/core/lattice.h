@@ -232,6 +232,17 @@ class Lattice {
   /// bitmaps; accesses then re-materialize against the new table contents.
   void RecomputeAffected(const Table& table);
 
+  /// Streaming-append maintenance: `table` (the table the lattice was
+  /// built over) grew by appending rows since Build; no existing cell
+  /// changed. Extends the predicate bitmaps, the bottom node, and every
+  /// cached node's bitmap/count with exactly the new rows — O(batch ×
+  /// cached nodes), never O(table). Unmaterialized nodes stay
+  /// unmaterialized and later materialize against the extended predicate
+  /// bitmaps; count-only nodes get exact closed-form increments. The
+  /// attached PostingIndex/IntersectionMemo are NOT maintained here — the
+  /// caller routes the same append through their ApplyAppend first.
+  void ApplyAppend(const Table& table);
+
   // --- Query materialization ---------------------------------------------------
 
   /// Renders node `n` as a SQLU statement.

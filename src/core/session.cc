@@ -78,6 +78,7 @@ Status CleaningSession::Start(bool fresh) {
   log_.Clear();
   worklist_.clear();
   wrong_updated_.clear();
+  append_ingest_ms_ = 0.0;
   finished_ = false;
   metrics_.initial_errors = dirty_->CountDiffCells(*clean_);
   max_updates_ = options_.max_updates != 0
@@ -268,6 +269,96 @@ Status CleaningSession::SubmitUpdate(uint32_t row, uint32_t col,
   }
   external_updates_.push_back({row, col, std::move(value)});
   finished_ = false;
+  return Status::Ok();
+}
+
+Status CleaningSession::AppendBatch(
+    const std::vector<std::vector<ValueId>>& dirty_chunk) {
+  if (!started_) {
+    return Status::FailedPrecondition("call Run() or RunSteps() first");
+  }
+  if (journal_ != nullptr || Replaying()) {
+    // The journal header anchors recovery to the table shape and CRC at
+    // Start(); grown tables cannot be rolled back against it.
+    return Status::FailedPrecondition(
+        "AppendBatch is not supported on journaled sessions");
+  }
+  if (dirty_chunk.size() != dirty_->num_cols()) {
+    return Status::InvalidArgument(
+        "append chunk has " + std::to_string(dirty_chunk.size()) +
+        " columns, table has " + std::to_string(dirty_->num_cols()));
+  }
+  size_t batch = dirty_chunk.empty() ? 0 : dirty_chunk[0].size();
+  for (const std::vector<ValueId>& col : dirty_chunk) {
+    if (col.size() != batch) {
+      return Status::InvalidArgument("append chunk columns differ in length");
+    }
+  }
+  if (clean_->num_rows() != dirty_->num_rows() + batch) {
+    return Status::InvalidArgument(
+        "clean table must be grown to the target size before AppendBatch "
+        "(clean has " + std::to_string(clean_->num_rows()) +
+        " rows, dirty would have " +
+        std::to_string(dirty_->num_rows() + batch) + ")");
+  }
+  if (batch == 0) return Status::Ok();
+
+  auto t0 = std::chrono::steady_clock::now();
+  size_t old_rows = dirty_->AppendBatch(dirty_chunk);
+
+  // Extend cached state for the new rows — O(batch), never O(table) —
+  // or drop it wholesale under the rebuild strawman.
+  auto m0 = std::chrono::steady_clock::now();
+  if (options_.append_rebuild) {
+    posting_index_->InvalidateAll();
+    if (intersection_memo_ != nullptr) {
+      // InvalidateColumn (not bare Clear) so shared-tier pairs — built for
+      // the pre-append universe — can never be served again.
+      for (size_t c = 0; c < dirty_->num_cols(); ++c) {
+        intersection_memo_->InvalidateColumn(c);
+      }
+      intersection_memo_->Clear();
+    }
+  } else {
+    posting_index_->ApplyAppend(old_rows);
+    if (intersection_memo_ != nullptr) {
+      intersection_memo_->ApplyAppend(*dirty_, old_rows);
+    }
+  }
+
+  // New rows' dirty cells join the worklist (detector-driven sessions
+  // instead re-detect over the grown table when the worklist drains).
+  size_t new_errors = 0;
+  for (size_t r = old_rows; r < dirty_->num_rows(); ++r) {
+    for (size_t c = 0; c < dirty_->num_cols(); ++c) {
+      if (dirty_->cell(r, c) != clean_->cell(r, c)) {
+        ++new_errors;
+        if (!options_.detector_driven) {
+          worklist_.emplace_back(static_cast<uint32_t>(r),
+                                 static_cast<uint32_t>(c));
+        }
+      }
+    }
+  }
+  metrics_.initial_errors += new_errors;
+  if (options_.max_updates == 0) {
+    // Re-arm the safety valve for the grown error population.
+    max_updates_ = metrics_.initial_errors * 10 + 100;
+  }
+  if (new_errors > 0 || options_.detector_driven) finished_ = false;
+
+  auto t1 = std::chrono::steady_clock::now();
+  metrics_.append_maintain_ms +=
+      std::chrono::duration<double, std::milli>(t1 - m0).count();
+  append_ingest_ms_ +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  metrics_.rows_appended += batch;
+  ++metrics_.append_batches;
+  metrics_.ingest_rows_per_s =
+      append_ingest_ms_ <= 0.0
+          ? 0.0
+          : static_cast<double>(metrics_.rows_appended) /
+                (append_ingest_ms_ / 1000.0);
   return Status::Ok();
 }
 

@@ -122,6 +122,13 @@ struct SessionOptions {
   SharedBaseCache* shared_cache = nullptr;
   /// CleaningWorkload::snapshot_id of the base (0 = never attach).
   uint64_t base_snapshot_id = 0;
+  /// A/B strawman for AppendBatch: instead of O(batch) incremental
+  /// maintenance (posting Resize+fold, memo extension), drop every cached
+  /// posting bitmap and memoized intersection so the next lattice rebuilds
+  /// them from full table scans. Identical questions/answers/repairs —
+  /// only timing changes. This is the "rebuild" leg of the Fig. 8
+  /// append-vs-rebuild comparison.
+  bool append_rebuild = false;
 };
 
 /// Outcome of a cleaning run.
@@ -176,6 +183,17 @@ struct SessionMetrics {
   size_t lattice_memo_first_touch_skips = 0;  ///< Puts deferred to probation.
   size_t lattice_memo_shared_hits = 0;    ///< Memo Finds served shared.
   size_t lattice_memo_shared_misses = 0;  ///< Eligible Finds that missed.
+
+  // Streaming append (AppendBatch) over the run.
+  size_t rows_appended = 0;        ///< Rows added after Start().
+  size_t append_batches = 0;       ///< AppendBatch calls that added rows.
+  /// Time spent extending cached state (posting bitmaps, memoized
+  /// intersections, worklist diff) for appended rows — the cost the
+  /// incremental path keeps at O(batch) and append_rebuild re-pays as
+  /// full-table scans inside the next lattice build instead.
+  double append_maintain_ms = 0.0;
+  /// rows_appended / total wall-clock seconds inside AppendBatch.
+  double ingest_rows_per_s = 0.0;
 
   size_t TotalCost() const { return user_updates + user_answers; }
   double Benefit() const {
@@ -272,6 +290,23 @@ class CleaningSession {
   /// of popping the internal worklist.
   Status SubmitUpdate(uint32_t row, uint32_t col, std::string value);
 
+  /// Streaming append: the dirty table grows by `dirty_chunk` (column-major
+  /// interned-id columns, one inner vector per attribute, all the same
+  /// length). The caller must have already appended the matching
+  /// ground-truth rows to the clean table — on entry
+  /// clean.num_rows == dirty.num_rows + batch.
+  ///
+  /// All session state is maintained in O(batch), not O(table): posting
+  /// bitmaps and memoized intersections grow their universes and fold in
+  /// only the new rows (PostingIndex::ApplyAppend/IntersectionMemo::
+  /// ApplyAppend), and the worklist gains exactly the new rows' dirty
+  /// cells. Under options.append_rebuild the cached state is dropped
+  /// instead (the Fig. 8 rebuild strawman). The safety valve re-arms for
+  /// the grown error count. Call between episodes (after Run/RunSteps
+  /// returned); FailedPrecondition before Start, during journaled runs, or
+  /// during replay — appends are outside the crash-safety envelope.
+  Status AppendBatch(const std::vector<std::vector<ValueId>>& dirty_chunk);
+
   /// True once the main loop ran to its natural end (converged, detector
   /// came up dry, or the safety valve fired). Retractions and submitted
   /// updates re-open a finished session.
@@ -352,6 +387,8 @@ class CleaningSession {
   LatticeOptions lattice_options_;
   Rng update_rng_{0};
   std::unordered_set<uint64_t> wrong_updated_;
+  /// Cumulative wall-clock ms inside AppendBatch (ingest_rows_per_s).
+  double append_ingest_ms_ = 0.0;
 
   // Crash-safety state.
   std::unique_ptr<SessionJournal> journal_;

@@ -6,16 +6,8 @@
 namespace falcon {
 namespace {
 
-struct VecHash {
-  size_t operator()(const std::vector<ValueId>& v) const {
-    uint64_t h = 1469598103934665603ull;
-    for (ValueId x : v) {
-      h ^= x;
-      h *= 1099511628211ull;
-    }
-    return static_cast<size_t>(h);
-  }
-};
+using violation_detail::Group;
+using violation_detail::GroupMap;
 
 uint64_t CellKey(uint32_t row, size_t col) {
   return (static_cast<uint64_t>(row) << 16) | static_cast<uint64_t>(col);
@@ -29,29 +21,16 @@ struct Violation {
   double consensus = 0.0;
 };
 
-}  // namespace
-
-ViolationReport DetectViolations(const Table& table,
-                                 const ViolationDetectorOptions& options) {
-  ViolationReport report;
-  report.fds = DiscoverFds(table, options.discovery);
-
-  // Pass 1: collect group-minority violations per dependency. A violating
-  // row is evidence against ALL its cells on that dependency (the error
-  // may sit in the RHS or in an LHS attribute that teleported the row
-  // into the wrong group), so blame every involved cell and resolve per
-  // row afterwards.
-  std::unordered_map<uint64_t, uint32_t> blame;          // cell -> count.
-  std::unordered_map<uint64_t, Violation> rhs_evidence;  // cell -> best.
-  std::vector<uint32_t> violating_rows;
-  std::unordered_map<uint32_t, bool> seen_row;
-
-  for (size_t fi = 0; fi < report.fds.size(); ++fi) {
-    const DiscoveredFd& fd = report.fds[fi];
-    std::unordered_map<std::vector<ValueId>, std::vector<uint32_t>, VecHash>
-        groups;
-    std::vector<ValueId> key;
-    for (size_t r = 0; r < table.num_rows(); ++r) {
+// Folds rows [begin, end) of `table` into `groups[fi]` for every fd. Rows
+// with a NULL in any involved attribute never join a group (a NULL neither
+// votes nor violates).
+void FoldRowsInto(const Table& table, const std::vector<DiscoveredFd>& fds,
+                  size_t begin, size_t end, std::vector<GroupMap>& groups) {
+  std::vector<ValueId> key;
+  for (size_t fi = 0; fi < fds.size(); ++fi) {
+    const DiscoveredFd& fd = fds[fi];
+    GroupMap& map = groups[fi];
+    for (size_t r = begin; r < end; ++r) {
       key.clear();
       bool has_null = false;
       for (size_t c : fd.lhs) {
@@ -62,28 +41,53 @@ ViolationReport DetectViolations(const Table& table,
         }
         key.push_back(v);
       }
-      if (has_null || table.cell(r, fd.rhs) == kNullValueId) continue;
-      groups[key].push_back(static_cast<uint32_t>(r));
+      ValueId rhs = table.cell(r, fd.rhs);
+      if (has_null || rhs == kNullValueId) continue;
+      Group& g = map[key];
+      g.rows.push_back(static_cast<uint32_t>(r));
+      ++g.rhs_counts[rhs];
     }
+  }
+}
 
-    for (const auto& [k, rows] : groups) {
-      if (rows.size() < options.min_group_rows) continue;
-      std::unordered_map<ValueId, uint32_t> counts;
-      for (uint32_t r : rows) ++counts[table.cell(r, fd.rhs)];
-      if (counts.size() < 2) continue;
+// Derives the report from group state. Deterministic in (table contents,
+// fds, group contents): consensus ties break toward the smaller ValueId,
+// and violating rows are processed in ascending row order, so the result
+// never depends on hash-map iteration order — which is what lets the
+// incremental detector's tallies stand in for a from-scratch scan.
+std::vector<Suspect> FlagSuspects(const Table& table,
+                                  const std::vector<DiscoveredFd>& fds,
+                                  const std::vector<GroupMap>& groups,
+                                  const ViolationDetectorOptions& options) {
+  // Pass 1: collect group-minority violations per dependency. A violating
+  // row is evidence against ALL its cells on that dependency (the error
+  // may sit in the RHS or in an LHS attribute that teleported the row
+  // into the wrong group), so blame every involved cell and resolve per
+  // row afterwards.
+  std::unordered_map<uint64_t, uint32_t> blame;          // cell -> count.
+  std::unordered_map<uint64_t, Violation> rhs_evidence;  // cell -> best.
+  std::vector<uint32_t> violating_rows;
+  std::unordered_map<uint32_t, bool> seen_row;
+
+  for (size_t fi = 0; fi < fds.size(); ++fi) {
+    const DiscoveredFd& fd = fds[fi];
+    for (const auto& [k, g] : groups[fi]) {
+      if (g.rows.size() < options.min_group_rows) continue;
+      if (g.rhs_counts.size() < 2) continue;
       ValueId consensus_value = kNullValueId;
       uint32_t consensus_count = 0;
-      for (const auto& [v, n] : counts) {
-        if (n > consensus_count) {
+      for (const auto& [v, n] : g.rhs_counts) {
+        if (n > consensus_count ||
+            (n == consensus_count && v < consensus_value)) {
           consensus_count = n;
           consensus_value = v;
         }
       }
       double consensus = static_cast<double>(consensus_count) /
-                         static_cast<double>(rows.size());
+                         static_cast<double>(g.rows.size());
       if (consensus < options.min_consensus) continue;
 
-      for (uint32_t r : rows) {
+      for (uint32_t r : g.rows) {
         if (table.cell(r, fd.rhs) == consensus_value) continue;
         // Blame the RHS cell and every LHS cell of the violating row.
         uint64_t rhs_key = CellKey(r, fd.rhs);
@@ -100,10 +104,12 @@ ViolationReport DetectViolations(const Table& table,
       }
     }
   }
+  std::sort(violating_rows.begin(), violating_rows.end());
 
   // Pass 2: per violating row, flag the most-blamed cell (the error site a
   // human would zero in on). Weakly blamed rows are dropped to keep
   // precision: a single approximate dependency misfiring is not evidence.
+  std::vector<Suspect> suspects;
   for (uint32_t r : violating_rows) {
     size_t best_col = 0;
     uint32_t best_blame = 0;
@@ -138,15 +144,54 @@ ViolationReport DetectViolations(const Table& table,
       s.consensus = 0.0;
     }
     s.blame = best_blame;
-    report.suspects.push_back(s);
+    suspects.push_back(s);
   }
 
-  std::stable_sort(report.suspects.begin(), report.suspects.end(),
+  std::stable_sort(suspects.begin(), suspects.end(),
                    [](const Suspect& a, const Suspect& b) {
                      if (a.blame != b.blame) return a.blame > b.blame;
                      return a.consensus > b.consensus;
                    });
+  return suspects;
+}
+
+}  // namespace
+
+ViolationReport DetectViolations(const Table& table,
+                                 const ViolationDetectorOptions& options) {
+  return DetectWithFds(table, DiscoverFds(table, options.discovery), options);
+}
+
+ViolationReport DetectWithFds(const Table& table,
+                              std::vector<DiscoveredFd> fds,
+                              const ViolationDetectorOptions& options) {
+  ViolationReport report;
+  report.fds = std::move(fds);
+  std::vector<GroupMap> groups(report.fds.size());
+  FoldRowsInto(table, report.fds, 0, table.num_rows(), groups);
+  report.suspects = FlagSuspects(table, report.fds, groups, options);
   return report;
+}
+
+void IncrementalViolationDetector::FoldRows(const Table& table, size_t begin,
+                                            size_t end) {
+  FoldRowsInto(table, fds_, begin, end, groups_);
+}
+
+const ViolationReport& IncrementalViolationDetector::Full(const Table& table) {
+  fds_ = DiscoverFds(table, options_.discovery);
+  groups_.assign(fds_.size(), GroupMap{});
+  FoldRows(table, 0, table.num_rows());
+  report_.fds = fds_;
+  report_.suspects = FlagSuspects(table, fds_, groups_, options_);
+  return report_;
+}
+
+const ViolationReport& IncrementalViolationDetector::ApplyAppend(
+    const Table& table, size_t old_rows) {
+  FoldRows(table, old_rows, table.num_rows());
+  report_.suspects = FlagSuspects(table, fds_, groups_, options_);
+  return report_;
 }
 
 }  // namespace falcon

@@ -13,6 +13,7 @@
 #define FALCON_CORE_VIOLATION_DETECTOR_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "profiling/fd_discovery.h"
@@ -62,11 +63,81 @@ struct ViolationReport {
   std::vector<Suspect> suspects;       ///< Flagged cells, strongest first.
 };
 
+namespace violation_detail {
+
+struct VecHash {
+  size_t operator()(const std::vector<ValueId>& v) const {
+    uint64_t h = 1469598103934665603ull;
+    for (ValueId x : v) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One LHS group of one dependency: member rows (ascending — rows are
+/// folded in id order) and the exact tally of their RHS values. Shared by
+/// the one-shot detector and the incremental append path so both derive
+/// reports from identical state.
+struct Group {
+  std::vector<uint32_t> rows;
+  std::unordered_map<ValueId, uint32_t> rhs_counts;
+};
+using GroupMap = std::unordered_map<std::vector<ValueId>, Group, VecHash>;
+
+}  // namespace violation_detail
+
 /// Mines approximate FDs over `table` and flags group-minority cells.
 /// A cell flagged by several dependencies appears once, with its highest
 /// consensus.
 ViolationReport DetectViolations(const Table& table,
                                  const ViolationDetectorOptions& options = {});
+
+/// The flagging passes alone, over a caller-supplied dependency set (no
+/// mining). Deterministic in (table contents, fds, options) — the
+/// incremental detector's append path is proven against this.
+ViolationReport DetectWithFds(const Table& table,
+                              std::vector<DiscoveredFd> fds,
+                              const ViolationDetectorOptions& options = {});
+
+/// Streaming-append violation detection: mines the dependency set once
+/// (Full) and keeps per-FD group state — LHS-key → member rows plus RHS
+/// value tallies — so a batch of appended rows folds in with O(batch × FDs)
+/// group updates instead of an O(table × FDs) rescan. The report is then
+/// re-derived from the updated tallies; only groups that actually violate
+/// walk their member rows.
+///
+/// Contract: the FD set is FIXED at Full() — appended rows update group
+/// membership under the mined dependencies but never re-mine. Reports are
+/// exactly what DetectWithFds(table, fds) returns over the grown table.
+/// In-place cell edits are outside this class — call Full() again.
+class IncrementalViolationDetector {
+ public:
+  explicit IncrementalViolationDetector(ViolationDetectorOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Mines FDs over `table`, (re)builds the group state from scratch, and
+  /// derives the report. O(table × FDs).
+  const ViolationReport& Full(const Table& table);
+
+  /// `table` grew from `old_rows` rows by appending. Folds the new rows
+  /// into every FD's groups and re-derives the report from the tallies.
+  const ViolationReport& ApplyAppend(const Table& table, size_t old_rows);
+
+  const ViolationReport& report() const { return report_; }
+  const std::vector<DiscoveredFd>& fds() const { return fds_; }
+
+ private:
+  /// Folds rows [begin, end) of `table` into every FD's group map.
+  void FoldRows(const Table& table, size_t begin, size_t end);
+
+  ViolationDetectorOptions options_;
+  std::vector<DiscoveredFd> fds_;
+  /// One map per mined dependency.
+  std::vector<violation_detail::GroupMap> groups_;
+  ViolationReport report_;
+};
 
 }  // namespace falcon
 

@@ -1,0 +1,212 @@
+// Declarative workload specs: a JSON document describes a synthetic
+// dataset (field distributions and FD structure), its error-injection
+// profile, and a streaming-append schedule; the generator materializes it
+// chunk-at-a-time without ever holding more than one chunk of raw strings.
+//
+// Determinism is the contract that makes specs usable for benchmarks and
+// equivalence tests: every cell is a pure function of (seed, row, field)
+// — stateless SplitMix64 streams, never a shared RNG — and derived fields
+// hash their parents' *domain indexes* rather than interned ids. The same
+// (spec, seed) therefore yields byte-identical tables (TableContentsCrc)
+// no matter how generation is chunked or how many threads compute the
+// chunks; only the serial per-chunk interning order touches the pool.
+//
+// Spec format (parsed with common/json.h):
+//
+//   {
+//     "name": "stream",
+//     "seed": 9,
+//     "rows": 100000,
+//     "fields": [
+//       {"name": "id",    "dist": "unique",  "prefix": "R"},
+//       {"name": "city",  "dist": "zipf",    "domain": 500, "skew": 1.0,
+//        "prefix": "City"},
+//       {"name": "state", "dist": "derived", "parents": ["city"],
+//        "domain": 50, "prefix": "St"},
+//       {"name": "flag",  "dist": "dictionary",
+//        "values": ["yes", "no", "maybe"]},
+//       {"name": "grade", "dist": "uniform", "domain": 10, "prefix": "G"}
+//     ],
+//     "errors": {
+//       "rules": [{"lhs": ["city"], "rhs": "state", "patterns": 5,
+//                  "errors_per_pattern": 10}],
+//       "format_patterns": 2,
+//       "random_errors": 50
+//     },
+//     "append": {"batches": 4, "rows_per_batch": 25000,
+//                "error_rate": 0.001}
+//   }
+//
+// A "derived" field is an exact function of its parents, so every
+// {parents} → derived is an FD of the clean data by construction — the
+// structure the error injector's rule errors and the violation detector
+// exploit.
+#ifndef FALCON_DATAGEN_SPEC_H_
+#define FALCON_DATAGEN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "datagen/workload.h"
+#include "relational/table.h"
+
+namespace falcon {
+
+class ThreadPool;
+
+/// One generated attribute.
+struct SpecField {
+  enum class Dist {
+    kUnique,      ///< Row-unique key "R_<row>".
+    kUniform,     ///< Uniform draw from a fixed domain.
+    kZipf,        ///< Zipf-skewed draw (smaller indexes more likely).
+    kDictionary,  ///< Draw from an explicit value list.
+    kDerived,     ///< Exact hash function of earlier fields (an FD).
+  };
+
+  std::string name;
+  Dist dist = Dist::kUniform;
+  /// Domain size for uniform/zipf/derived (dictionary uses values.size()).
+  size_t domain = 10;
+  /// Zipf exponent; also applies to dictionary draws when > 0.
+  double skew = 1.0;
+  /// Explicit domain for kDictionary.
+  std::vector<std::string> values;
+  /// Parent field names for kDerived; must precede this field.
+  std::vector<std::string> parents;
+  /// Value prefix for synthesized domains, e.g. "City" → "City_17".
+  std::string prefix;
+};
+
+/// One rule-error recipe of the injection profile (BART rule errors along
+/// a spec-guaranteed FD).
+struct SpecRuleError {
+  std::vector<std::string> lhs;
+  std::string rhs;
+  size_t patterns = 1;
+  size_t errors_per_pattern = 10;
+};
+
+/// Error-injection profile for the base instance (errorgen/injector.h
+/// semantics) plus the per-cell rate applied to appended batches.
+struct SpecErrorProfile {
+  std::vector<SpecRuleError> rules;
+  size_t format_patterns = 0;
+  size_t random_errors = 0;
+  uint64_t seed = 1;
+};
+
+/// Streaming-append schedule: after the base `rows`, the workload grows by
+/// `batches` × `rows_per_batch` rows; each appended cell is independently
+/// corrupted with probability `error_rate` (deterministic in (seed, row,
+/// field) — a schedule replays identically however it is chunked).
+struct SpecAppendSchedule {
+  size_t batches = 0;
+  size_t rows_per_batch = 0;
+  double error_rate = 0.0;
+};
+
+/// Whole-workload recipe.
+struct GeneratorSpec {
+  std::string name = "spec";
+  uint64_t seed = 1;
+  size_t rows = 1000;
+  std::vector<SpecField> fields;
+  SpecErrorProfile errors;
+  SpecAppendSchedule append;
+
+  /// Validates and decodes a parsed JSON spec.
+  static StatusOr<GeneratorSpec> FromJson(const JsonValue& json);
+  /// Parses JSON text (one object) into a spec.
+  static StatusOr<GeneratorSpec> Parse(std::string_view text);
+  /// Total rows after the full append schedule runs.
+  size_t FinalRows() const {
+    return rows + append.batches * append.rows_per_batch;
+  }
+};
+
+/// A generated append batch: clean and dirty column chunks (column-major
+/// interned ids, ready for Table::AppendBatch / CleaningSession::
+/// AppendBatch) and the number of corrupted cells.
+struct SpecAppendChunk {
+  std::vector<std::vector<ValueId>> clean;
+  std::vector<std::vector<ValueId>> dirty;
+  size_t errors = 0;
+};
+
+/// Chunk-at-a-time deterministic generator over one spec. All synthesized
+/// domains are pre-interned serially at construction; chunk generation
+/// then computes domain indexes (parallelizable, pure) and interns only
+/// row-unique values — in row order through ValuePool::InternBatch — so
+/// the pool contents are identical for any chunking or thread count.
+class SpecGenerator {
+ public:
+  /// Validates the spec (field kinds, parent ordering, dictionary sizes)
+  /// and pre-interns every synthesized domain into `pool` (a fresh pool
+  /// when null).
+  static StatusOr<SpecGenerator> Make(const GeneratorSpec& spec,
+                                      std::shared_ptr<ValuePool> pool = {});
+
+  /// An empty table with the spec's schema, sharing the generator's pool.
+  Table NewTable() const;
+
+  /// Appends rows [table.num_rows(), table.num_rows() + n) of the spec's
+  /// deterministic infinite table to `table` (which must use this
+  /// generator's pool). `tp` parallelizes the pure index computation;
+  /// null uses ThreadPool::Global().
+  Status AppendRows(Table* table, size_t n, ThreadPool* tp = nullptr) const;
+
+  /// Clean column chunk for absolute rows [begin, begin + n).
+  StatusOr<std::vector<std::vector<ValueId>>> Chunk(
+      size_t begin, size_t n, ThreadPool* tp = nullptr) const;
+
+  /// Clean + dirty column chunks for rows [begin, begin + n), with each
+  /// cell corrupted at the schedule's `error_rate` (dirty value =
+  /// clean value + "_err", the ground truth an appended session cleans).
+  StatusOr<SpecAppendChunk> AppendBatchChunk(size_t begin, size_t n,
+                                             ThreadPool* tp = nullptr) const;
+
+  const GeneratorSpec& spec() const { return spec_; }
+  const std::shared_ptr<ValuePool>& pool() const { return pool_; }
+
+ private:
+  SpecGenerator(GeneratorSpec spec, std::shared_ptr<ValuePool> pool)
+      : spec_(std::move(spec)), pool_(std::move(pool)) {}
+
+  /// Domain index of (row, field) given that field's parents' indexes.
+  uint64_t CellIndex(size_t field, size_t row,
+                     const std::vector<uint64_t>& row_indexes) const;
+
+  GeneratorSpec spec_;
+  std::shared_ptr<ValuePool> pool_;
+  /// Per-field SplitMix64 salt (decorrelates fields sharing the seed).
+  std::vector<uint64_t> salts_;
+  /// Pre-interned ids of each synthesized/dictionary domain (empty for
+  /// kUnique fields, whose values are interned per chunk).
+  std::vector<std::vector<ValueId>> domain_ids_;
+  /// Parent column indexes per derived field.
+  std::vector<std::vector<size_t>> parent_cols_;
+};
+
+/// Builds the base workload of a spec: generates the clean instance
+/// chunk-at-a-time, runs the error-injection profile over it, and stamps a
+/// fresh snapshot id. The append schedule is NOT executed here — callers
+/// stream it via SpecGenerator::AppendBatchChunk into
+/// CleaningSession::AppendBatch (or Table::AppendBatch for rebuilds).
+/// Returns the generator alongside so appended chunks draw from the same
+/// pre-interned pool.
+struct SpecWorkload {
+  CleaningWorkload workload;
+  SpecGenerator generator;
+};
+StatusOr<SpecWorkload> MakeSpecWorkload(const GeneratorSpec& spec,
+                                        ThreadPool* tp = nullptr,
+                                        size_t chunk_rows = 65536);
+
+}  // namespace falcon
+
+#endif  // FALCON_DATAGEN_SPEC_H_

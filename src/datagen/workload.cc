@@ -34,19 +34,22 @@ StatusOr<CleaningWorkload> MakeCleaningWorkload(const std::string& name,
 
   FALCON_ASSIGN_OR_RETURN(auto dirty, InjectErrors(ds->clean, ds->error_spec));
 
-  // Each built instance gets a fresh process-unique generation id: two
-  // calls with identical (name, scale) produce bit-identical tables but
-  // distinct snapshots, so shared read caches never alias across owners.
-  static std::atomic<uint64_t> next_snapshot_id{1};
-
   CleaningWorkload w;
   w.name = name;
   w.clean = std::move(ds->clean);
   w.dirty = std::move(dirty.dirty);
   w.errors = dirty.errors.size();
   w.patterns = dirty.injected_patterns.size();
-  w.snapshot_id = next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
+  w.snapshot_id = NextWorkloadSnapshotId();
   return w;
+}
+
+uint64_t NextWorkloadSnapshotId() {
+  // Each built instance gets a fresh process-unique generation id: two
+  // calls with identical inputs produce bit-identical tables but distinct
+  // snapshots, so shared read caches never alias across owners.
+  static std::atomic<uint64_t> next_snapshot_id{1};
+  return next_snapshot_id.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<std::string> AllWorkloadNames() {

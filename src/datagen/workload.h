@@ -39,6 +39,11 @@ StatusOr<CleaningWorkload> MakeCleaningWorkload(const std::string& name,
 /// The paper's six evaluation datasets in its order.
 std::vector<std::string> AllWorkloadNames();
 
+/// Next process-unique CleaningWorkload::snapshot_id. Every workload
+/// builder (named datasets, spec-driven generation) draws from this one
+/// counter so shared read caches never alias instances across builders.
+uint64_t NextWorkloadSnapshotId();
+
 }  // namespace falcon
 
 #endif  // FALCON_DATAGEN_WORKLOAD_H_

@@ -1,7 +1,9 @@
 #include "relational/csv.h"
 
 #include <fstream>
+#include <span>
 #include <sstream>
+#include <string_view>
 
 namespace falcon {
 namespace {
@@ -121,6 +123,7 @@ StatusOr<Table> ReadCsvString(const std::string& content,
   }
   Table table(table_name, Schema(header.fields), std::move(pool));
   size_t row = 0;
+  std::vector<std::string_view> views(header.fields.size());
   while (pos < content.size()) {
     RawRecord rec = ParseRecord(content, &pos, &line, options.max_field_bytes);
     if (rec.fields.size() == 1 && rec.fields[0].empty() &&
@@ -138,7 +141,8 @@ StatusOr<Table> ReadCsvString(const std::string& content,
       }
       continue;
     }
-    table.AppendRow(rec.fields);
+    for (size_t c = 0; c < rec.fields.size(); ++c) views[c] = rec.fields[c];
+    table.AppendRow(std::span<const std::string_view>(views));
   }
   if (report) report->rows_read = table.num_rows();
   return table;

@@ -1,6 +1,11 @@
 #include "relational/posting_index.h"
 
+#include <algorithm>
 #include <chrono>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace falcon {
 namespace {
@@ -185,6 +190,101 @@ size_t PostingIndex::SharedViewBytes() const {
     for (const auto& [v, entry] : views) bytes += entry->HeapBytes();
   }
   return bytes;
+}
+
+void PostingIndex::BuildColumn(size_t col, ThreadPool* pool) {
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::Global();
+  // A full build replaces whatever the column held and reflects the
+  // *current* table, which may already have diverged from the base
+  // snapshot — the column leaves the shared tier.
+  InvalidateColumn(col);
+  Timer timer(&stats_.scan_ms);
+  const ValueId* column = table_->column(col).data();
+  const size_t num_rows = table_->num_rows();
+  constexpr size_t kRowGrain = size_t{1} << 16;
+
+  // Pass 1: distinct-value discovery. Per-shard sets merge under a lock;
+  // the merged set is sorted by ValueId, so the insert order below — and
+  // with it the LRU order and byte accounting — never depends on shard
+  // boundaries or thread interleaving.
+  std::mutex mu;
+  std::unordered_set<ValueId> merged;
+  tp.ParallelFor(num_rows, kRowGrain, [&](size_t begin, size_t end) {
+    std::unordered_set<ValueId> seen;
+    for (size_t r = begin; r < end; ++r) seen.insert(column[r]);
+    std::lock_guard<std::mutex> lock(mu);
+    merged.insert(seen.begin(), seen.end());
+  });
+  std::vector<ValueId> values(merged.begin(), merged.end());
+  std::sort(values.begin(), values.end());
+  if (values.empty()) return;
+
+  // Pass 2: bitmap fill. Shards own disjoint 64-row-aligned row ranges, so
+  // two shards never touch the same word of any bitmap — each word has
+  // exactly one writer and the result is bit-identical to the serial loop.
+  // One pass over the column serves every value via a dense slot table.
+  ValueId max_value = values.back();
+  std::vector<uint32_t> slot(static_cast<size_t>(max_value) + 1, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    slot[values[i]] = static_cast<uint32_t>(i);
+  }
+  std::vector<RowSet> bitmaps;
+  bitmaps.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) bitmaps.emplace_back(num_rows);
+  size_t num_words = (num_rows + 63) / 64;
+  tp.ParallelFor(num_words, kRowGrain / 64, [&](size_t wb, size_t we) {
+    size_t r0 = wb * 64;
+    size_t r1 = std::min(we * 64, num_rows);
+    for (size_t r = r0; r < r1; ++r) {
+      bitmaps[slot[column[r]]].Set(r);
+    }
+  });
+  for (size_t i = 0; i < values.size(); ++i) {
+    Insert(col, values[i], std::move(bitmaps[i]));
+  }
+}
+
+void PostingIndex::BuildAll(ThreadPool* pool) {
+  for (size_t c = 0; c < cache_.size(); ++c) BuildColumn(c, pool);
+}
+
+void PostingIndex::ApplyAppend(size_t old_rows) {
+  size_t new_rows = table_->num_rows();
+  FALCON_CHECK(new_rows >= old_rows);
+  if (new_rows == old_rows) return;
+  Timer timer(&stats_.append_ms);
+  stats_.append_rows += new_rows - old_rows;
+  // The appended table is no longer the base snapshot: every column leaves
+  // the shared tier. Pinned shared entries are promoted into private
+  // copies first so sessions keep serving the bitmaps they handed out —
+  // then patched below exactly like native private entries.
+  if (shared_ != nullptr) {
+    for (size_t c = 0; c < cache_.size(); ++c) PrivatizeColumn(c);
+  }
+  std::vector<Entry*> touched;
+  for (size_t c = 0; c < cache_.size(); ++c) {
+    ColumnCache& cache = cache_[c];
+    if (cache.empty()) continue;
+    for (auto& [v, e] : cache) {
+      e.rows.Resize(new_rows);
+      Touch(&e, touched);
+    }
+    const ValueId* column = table_->column(c).data();
+    // Appended chunks frequently repeat values; memoize the last lookup.
+    ValueId memo_value = 0;
+    Entry* memo_entry = nullptr;
+    bool memo_valid = false;
+    for (size_t r = old_rows; r < new_rows; ++r) {
+      ValueId v = column[r];
+      if (!memo_valid || v != memo_value) {
+        memo_value = v;
+        memo_entry = FindEntry(cache, v);
+        memo_valid = true;
+      }
+      if (memo_entry != nullptr) memo_entry->rows.Set(r);
+    }
+  }
+  ReaccountTouched(touched);
 }
 
 void PostingIndex::ApplyCellDelta(size_t col, size_t row, ValueId old_value,
@@ -463,6 +563,30 @@ void IntersectionMemo::ApplyCellWrite(size_t col, size_t row,
   ForEachEntryOfColumn(col, [&](MemoMap::iterator it) {
     return PatchEntry(it, col, nullptr, row, new_value);
   });
+}
+
+void IntersectionMemo::ApplyAppend(const Table& table, size_t old_rows) {
+  size_t new_rows = table.num_rows();
+  FALCON_CHECK(new_rows >= old_rows);
+  if (new_rows == old_rows) return;
+  // Base-pure shared entries describe the pre-append table; from here on
+  // every pair is private. (The shared tier itself is untouched — peer
+  // sessions on the original snapshot still need it.)
+  if (shared_ != nullptr) {
+    for (size_t c = 0; c < table.num_cols(); ++c) dirty_cols_.insert(c);
+    shared_pin_.reset();
+  }
+  for (auto& [key, e] : map_) {
+    e.rows.Resize(new_rows);
+    const ValueId* col_a = table.column(key.col_a).data();
+    const ValueId* col_b = table.column(key.col_b).data();
+    for (size_t r = old_rows; r < new_rows; ++r) {
+      if (col_a[r] == key.val_a && col_b[r] == key.val_b) e.rows.Set(r);
+    }
+    bytes_ -= e.bytes;
+    e.bytes = EntryBytes(e.rows);
+    bytes_ += e.bytes;
+  }
 }
 
 void IntersectionMemo::InvalidateColumn(size_t col) {

@@ -46,6 +46,8 @@
 
 namespace falcon {
 
+class ThreadPool;
+
 struct PostingIndexOptions {
   /// Maintain cached bitmaps in place on cell updates (ApplyDelta) instead
   /// of requiring column invalidation.
@@ -83,6 +85,10 @@ struct PostingIndexStats {
   /// the build cost the shared tier amortizes across sessions. Private
   /// re-scans after writes are excluded: every session pays those alike.
   double base_scan_ms = 0.0;
+  /// Streaming-append maintenance: rows folded in by ApplyAppend and the
+  /// time spent extending cached bitmaps for them.
+  size_t append_rows = 0;
+  double append_ms = 0.0;
 };
 
 /// Exact resident-storage breakdown of the posting cache (surfaced through
@@ -132,6 +138,30 @@ class PostingIndex {
   /// Batch fill: caches postings for every value of `col` not yet cached in
   /// a single pass over the column (Table::ScanEqualsMulti).
   void Warm(size_t col, const std::vector<ValueId>& values);
+
+  /// Full deterministic build of `col`: caches a posting for every distinct
+  /// value present (including NULL), sharded across `pool` (the global pool
+  /// when null). Bit-identical to the serial build at any thread count —
+  /// shards own disjoint 64-row-aligned ranges, so each bitmap word has
+  /// exactly one writer, and entries are inserted in ascending ValueId
+  /// order regardless of which shard discovered them. Existing entries of
+  /// the column are dropped first; the column leaves the shared tier.
+  /// Intended for bounded-domain (lattice-relevant) columns — a unique
+  /// column would materialize one bitmap per row.
+  void BuildColumn(size_t col, ThreadPool* pool = nullptr);
+
+  /// BuildColumn over every column of the table.
+  void BuildAll(ThreadPool* pool = nullptr);
+
+  /// Streaming-append maintenance: the table grew from `old_rows` to its
+  /// current num_rows() by appending rows (no existing cell changed).
+  /// Every cached bitmap is resized to the new universe and the new rows'
+  /// bits are folded into their values' postings — O(batch + entries), not
+  /// O(table). Appended rows diverge from the base snapshot, so every
+  /// column leaves the shared tier (pinned shared entries are promoted
+  /// first and then patched like private ones). Exact in both maintenance
+  /// modes: growth is a pure extension, never an in-place rewrite.
+  void ApplyAppend(size_t old_rows);
 
   /// Delta maintenance: the caller wrote `new_value` into every row of
   /// `rows` in `col`; `old_value(row)` must return the value each row held
@@ -381,6 +411,13 @@ class IntersectionMemo {
 
   /// Single-cell variant (the session's manual-fix path).
   void ApplyCellWrite(size_t col, size_t row, ValueId new_value);
+
+  /// Streaming-append maintenance: `table` grew from `old_rows` rows by
+  /// appending (no existing cell changed). Every resident entry is resized
+  /// and each new row is tested against the entry's two predicates —
+  /// O(batch × entries), exact. All columns leave the shared tier: the
+  /// appended table no longer matches the base snapshot.
+  void ApplyAppend(const Table& table, size_t old_rows);
 
   /// Drops every entry mentioning `col` (retractions, unknown deltas).
   void InvalidateColumn(size_t col);

@@ -41,12 +41,41 @@ void Table::AppendRow(const std::vector<std::string>& values) {
   ++num_rows_;
 }
 
+void Table::AppendRow(std::span<const std::string_view> values) {
+  FALCON_CHECK(values.size() == schema_.arity());
+  for (size_t c = 0; c < values.size(); ++c) {
+    MutableColumn(c).push_back(pool_->Intern(values[c]));
+  }
+  ++num_rows_;
+}
+
 void Table::AppendRowIds(const std::vector<ValueId>& ids) {
   FALCON_CHECK(ids.size() == schema_.arity());
   for (size_t c = 0; c < ids.size(); ++c) {
     MutableColumn(c).push_back(ids[c]);
   }
   ++num_rows_;
+}
+
+size_t Table::AppendBatch(const std::vector<std::vector<ValueId>>& chunk) {
+  FALCON_CHECK(chunk.size() == schema_.arity());
+  size_t first_row = num_rows_;
+  size_t batch = schema_.arity() == 0 ? 0 : chunk[0].size();
+  for (size_t c = 0; c < chunk.size(); ++c) {
+    FALCON_CHECK(chunk[c].size() == batch);
+    Column& col = MutableColumn(c);
+    col.insert(col.end(), chunk[c].begin(), chunk[c].end());
+  }
+  num_rows_ += batch;
+  return first_row;
+}
+
+void Table::ReserveRows(size_t total_rows) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    // Reserving writes no elements, but growing shared storage would move
+    // data out from under other snapshots — detach first like any mutation.
+    MutableColumn(c).reserve(total_rows);
+  }
 }
 
 void Table::SetCellText(size_t row, size_t col, std::string_view text) {

@@ -15,6 +15,7 @@
 #define FALCON_RELATIONAL_TABLE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,8 +45,22 @@ class Table {
   /// Appends a row of raw strings, interning each value.
   void AppendRow(const std::vector<std::string>& values);
 
+  /// View-based AppendRow: interns straight from the caller's buffers with
+  /// no per-row vector<string> materialization. The CSV reader and the
+  /// workload generators feed this form.
+  void AppendRow(std::span<const std::string_view> values);
+
   /// Appends a row of already-interned ids.
   void AppendRowIds(const std::vector<ValueId>& ids);
+
+  /// Bulk append of a pre-interned column chunk: `chunk[c]` holds the new
+  /// values of column `c`, all the same length. One detach check and one
+  /// vector append per column instead of per cell — the chunked-ingest and
+  /// streaming-append hot path. Returns the row id of the first new row.
+  size_t AppendBatch(const std::vector<std::vector<ValueId>>& chunk);
+
+  /// Pre-sizes every column for `total_rows` rows (bulk-ingest hint).
+  void ReserveRows(size_t total_rows);
 
   ValueId cell(size_t row, size_t col) const { return (*columns_[col])[row]; }
   void set_cell(size_t row, size_t col, ValueId v) {

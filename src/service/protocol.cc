@@ -180,6 +180,8 @@ JsonValue HandlePing(SessionManager& manager) {
   r.Set("shared_hits", h.shared_hits);
   r.Set("shared_misses", h.shared_misses);
   r.Set("shared_hit_rate", h.shared_hit_rate());
+  r.Set("rows_appended", h.rows_appended);
+  r.Set("append_batches", h.append_batches);
   return r;
 }
 
@@ -226,6 +228,11 @@ JsonValue StatusBody(const SessionStatus& st) {
   metrics.Set("memo_misses", st.metrics.lattice_memo_misses);
   metrics.Set("memo_shared_hits", st.metrics.lattice_memo_shared_hits);
   metrics.Set("memo_shared_misses", st.metrics.lattice_memo_shared_misses);
+  // Streaming-append counters (AppendBatch-fed sessions; zero otherwise).
+  metrics.Set("rows_appended", st.metrics.rows_appended);
+  metrics.Set("append_batches", st.metrics.append_batches);
+  metrics.Set("append_maintain_ms", st.metrics.append_maintain_ms);
+  metrics.Set("ingest_rows_per_s", st.metrics.ingest_rows_per_s);
   // Derived rates so nobody recomputes them from counter pairs by hand.
   metrics.Set("posting_hit_rate", st.metrics.PostingHitRate());
   metrics.Set("posting_shared_hit_rate", st.metrics.PostingSharedHitRate());

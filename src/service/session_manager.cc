@@ -533,6 +533,9 @@ SessionStatus SessionManager::Snapshot(ServiceSession& s) {
   st.metrics = s.session->metrics();
   s.posting_resident_bytes.store(st.metrics.posting_resident_bytes,
                                  std::memory_order_relaxed);
+  s.rows_appended.store(st.metrics.rows_appended, std::memory_order_relaxed);
+  s.append_batches.store(st.metrics.append_batches,
+                         std::memory_order_relaxed);
   return st;
 }
 
@@ -727,6 +730,8 @@ ServiceHealth SessionManager::Health() const {
     for (const auto& [id, s] : shard.sessions) {
       h.posting_resident_bytes +=
           s->posting_resident_bytes.load(std::memory_order_relaxed);
+      h.rows_appended += s->rows_appended.load(std::memory_order_relaxed);
+      h.append_batches += s->append_batches.load(std::memory_order_relaxed);
     }
   }
   std::lock_guard<std::mutex> lock(base_mu_);

@@ -152,6 +152,10 @@ struct ServiceHealth {
   size_t shared_entries = 0;         ///< Σ cached postings+intersections.
   size_t shared_hits = 0;            ///< Σ posting+intersection hits.
   size_t shared_misses = 0;          ///< Σ posting+intersection misses.
+  /// Streaming-append aggregates across live sessions (as of each
+  /// session's last status snapshot).
+  size_t rows_appended = 0;
+  size_t append_batches = 0;
   /// Derived shared hit rate in [0, 1] (0.0 with no probes).
   double shared_hit_rate() const {
     size_t total = shared_hits + shared_misses;
@@ -267,6 +271,9 @@ class SessionManager {
     /// Posting-cache bytes from the last Snapshot; atomic so Health() can
     /// aggregate without taking every session's mu.
     std::atomic<size_t> posting_resident_bytes{0};
+    /// Streaming-append counters from the last Snapshot (same contract).
+    std::atomic<size_t> rows_appended{0};
+    std::atomic<size_t> append_batches{0};
     /// Set (under mu) once Close ran; late arrivals holding the shared_ptr
     /// observe it and report NotFound.
     bool closed = false;

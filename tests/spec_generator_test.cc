@@ -1,0 +1,232 @@
+// Declarative workload specs (datagen/spec.h): JSON parsing and
+// validation, and the determinism contract — the same (spec, seed) yields
+// byte-identical tables (TableContentsCrc) no matter how generation is
+// chunked or how many threads compute the chunks.
+#include "datagen/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/session_journal.h"
+#include "errorgen/cfd.h"
+
+namespace falcon {
+namespace {
+
+constexpr char kSpecJson[] = R"({
+  "name": "t", "seed": 11, "rows": 1200,
+  "fields": [
+    {"name": "id",    "dist": "unique",  "prefix": "R"},
+    {"name": "city",  "dist": "zipf",    "domain": 24, "skew": 1.0,
+     "prefix": "C"},
+    {"name": "state", "dist": "derived", "parents": ["city"], "domain": 8,
+     "prefix": "S"},
+    {"name": "zip",   "dist": "uniform", "domain": 30, "prefix": "Z"},
+    {"name": "flag",  "dist": "dictionary", "values": ["y", "n", "m"]}
+  ],
+  "errors": {
+    "rules": [{"lhs": ["city"], "rhs": "state", "patterns": 3,
+               "errors_per_pattern": 4}],
+    "random_errors": 10, "seed": 3
+  },
+  "append": {"batches": 2, "rows_per_batch": 200, "error_rate": 0.01}
+})";
+
+GeneratorSpec ParseSpec(const std::string& json = kSpecJson) {
+  auto spec = GeneratorSpec::Parse(json);
+  EXPECT_TRUE(spec.ok()) << spec.status().message();
+  return *spec;
+}
+
+// Builds the spec's base table with the given thread count and chunk size
+// (fresh generator, fresh pool) and returns its content CRC.
+uint32_t BuildCrc(const GeneratorSpec& spec, size_t threads,
+                  size_t chunk_rows) {
+  ThreadPool pool(threads);
+  auto gen = SpecGenerator::Make(spec);
+  EXPECT_TRUE(gen.ok()) << gen.status().message();
+  Table table = gen->NewTable();
+  for (size_t done = 0; done < spec.rows;) {
+    size_t n = std::min(chunk_rows, spec.rows - done);
+    auto chunk = gen->Chunk(done, n, &pool);
+    EXPECT_TRUE(chunk.ok());
+    table.AppendBatch(*chunk);
+    done += n;
+  }
+  EXPECT_EQ(table.num_rows(), spec.rows);
+  return TableContentsCrc(table);
+}
+
+TEST(GeneratorSpecTest, ParsesAllFieldKinds) {
+  GeneratorSpec spec = ParseSpec();
+  EXPECT_EQ(spec.name, "t");
+  EXPECT_EQ(spec.seed, 11u);
+  EXPECT_EQ(spec.rows, 1200u);
+  ASSERT_EQ(spec.fields.size(), 5u);
+  EXPECT_EQ(spec.fields[0].dist, SpecField::Dist::kUnique);
+  EXPECT_EQ(spec.fields[1].dist, SpecField::Dist::kZipf);
+  EXPECT_EQ(spec.fields[1].domain, 24u);
+  EXPECT_EQ(spec.fields[2].dist, SpecField::Dist::kDerived);
+  EXPECT_EQ(spec.fields[2].parents, std::vector<std::string>{"city"});
+  EXPECT_EQ(spec.fields[3].dist, SpecField::Dist::kUniform);
+  EXPECT_EQ(spec.fields[4].dist, SpecField::Dist::kDictionary);
+  EXPECT_EQ(spec.fields[4].values.size(), 3u);
+  ASSERT_EQ(spec.errors.rules.size(), 1u);
+  EXPECT_EQ(spec.errors.rules[0].rhs, "state");
+  EXPECT_EQ(spec.append.batches, 2u);
+  EXPECT_EQ(spec.append.rows_per_batch, 200u);
+  EXPECT_EQ(spec.FinalRows(), 1600u);
+}
+
+TEST(GeneratorSpecTest, RejectsMalformedSpecs) {
+  // Not JSON at all.
+  EXPECT_FALSE(GeneratorSpec::Parse("not json").ok());
+  // Unknown distribution.
+  EXPECT_FALSE(GeneratorSpec::Parse(
+                   R"({"rows": 10, "fields": [{"name": "a", "dist": "wat"}]})")
+                   .ok());
+  // Derived without parents.
+  EXPECT_FALSE(
+      GeneratorSpec::Parse(
+          R"({"rows": 10, "fields": [{"name": "a", "dist": "derived"}]})")
+          .ok());
+  // Dictionary without values.
+  EXPECT_FALSE(
+      GeneratorSpec::Parse(
+          R"({"rows": 10, "fields": [{"name": "a", "dist": "dictionary"}]})")
+          .ok());
+}
+
+TEST(GeneratorSpecTest, MakeRejectsBadFieldGraphs) {
+  // Duplicate field names.
+  GeneratorSpec dup = ParseSpec();
+  dup.fields[3].name = "city";
+  EXPECT_FALSE(SpecGenerator::Make(dup).ok());
+  // A derived field whose parent comes later (or not at all).
+  GeneratorSpec fwd = ParseSpec();
+  fwd.fields[2].parents = {"zip_does_not_exist"};
+  EXPECT_FALSE(SpecGenerator::Make(fwd).ok());
+}
+
+TEST(GeneratorSpecTest, ByteIdenticalAcrossThreadsAndChunking) {
+  GeneratorSpec spec = ParseSpec();
+  uint32_t want = BuildCrc(spec, /*threads=*/1, /*chunk_rows=*/spec.rows);
+  EXPECT_EQ(BuildCrc(spec, 1, 128), want);
+  EXPECT_EQ(BuildCrc(spec, 2, 256), want);
+  EXPECT_EQ(BuildCrc(spec, 8, 100), want);
+  EXPECT_EQ(BuildCrc(spec, 8, 7), want);  // Ragged chunks.
+}
+
+TEST(GeneratorSpecTest, SeedChangesContent) {
+  GeneratorSpec spec = ParseSpec();
+  uint32_t base = BuildCrc(spec, 1, spec.rows);
+  spec.seed = 12;
+  EXPECT_NE(BuildCrc(spec, 1, spec.rows), base);
+}
+
+TEST(GeneratorSpecTest, AppendRowsMatchesChunkedGeneration) {
+  GeneratorSpec spec = ParseSpec();
+  auto gen = SpecGenerator::Make(spec);
+  ASSERT_TRUE(gen.ok());
+  Table one_shot = gen->NewTable();
+  ASSERT_TRUE(gen->AppendRows(&one_shot, spec.rows).ok());
+  EXPECT_EQ(TableContentsCrc(one_shot), BuildCrc(spec, 2, 333));
+}
+
+TEST(GeneratorSpecTest, DerivedFieldsAreExactFds) {
+  GeneratorSpec spec = ParseSpec();
+  auto gen = SpecGenerator::Make(spec);
+  ASSERT_TRUE(gen.ok());
+  Table table = gen->NewTable();
+  ASSERT_TRUE(gen->AppendRows(&table, spec.rows).ok());
+  EXPECT_TRUE(FdHolds(table, FdRule{{"city"}, "state"}));
+  EXPECT_TRUE(FdHolds(table, FdRule{{"id"}, "city"}));  // Key determines all.
+  // Uniform zip over 30 values cannot determine city by accident at 1200
+  // rows.
+  EXPECT_FALSE(FdHolds(table, FdRule{{"zip"}, "city"}));
+}
+
+TEST(GeneratorSpecTest, WorkloadInjectsErrorsAndKeepsCleanCrc) {
+  GeneratorSpec spec = ParseSpec();
+  auto sw = MakeSpecWorkload(spec);
+  ASSERT_TRUE(sw.ok()) << sw.status().message();
+  EXPECT_EQ(sw->workload.clean.num_rows(), spec.rows);
+  EXPECT_GT(sw->workload.errors, 0u);
+  EXPECT_NE(TableContentsCrc(sw->workload.clean),
+            TableContentsCrc(sw->workload.dirty));
+  // The clean instance is exactly what the raw generator produces.
+  EXPECT_EQ(TableContentsCrc(sw->workload.clean),
+            BuildCrc(spec, 1, spec.rows));
+  // Distinct snapshot ids per built instance (shared-cache aliasing guard).
+  auto sw2 = MakeSpecWorkload(spec);
+  ASSERT_TRUE(sw2.ok());
+  EXPECT_NE(sw->workload.snapshot_id, sw2->workload.snapshot_id);
+}
+
+TEST(GeneratorSpecTest, AppendBatchChunksAreDeterministic) {
+  GeneratorSpec spec = ParseSpec();
+  auto sw = MakeSpecWorkload(spec);
+  ASSERT_TRUE(sw.ok());
+  auto a = sw->generator.AppendBatchChunk(spec.rows, 200);
+  auto b = sw->generator.AppendBatchChunk(spec.rows, 200);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->clean, b->clean);
+  EXPECT_EQ(a->dirty, b->dirty);
+  EXPECT_EQ(a->errors, b->errors);
+  // The dirty chunk differs from clean in exactly `errors` cells.
+  size_t diff = 0;
+  for (size_t c = 0; c < a->clean.size(); ++c) {
+    for (size_t r = 0; r < a->clean[c].size(); ++r) {
+      diff += a->clean[c][r] != a->dirty[c][r];
+    }
+  }
+  EXPECT_EQ(diff, a->errors);
+  // The clean side of the batch is the plain deterministic table slice.
+  auto plain = sw->generator.Chunk(spec.rows, 200);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(a->clean, *plain);
+}
+
+TEST(GeneratorSpecTest, ChunkIsRestartable) {
+  // Chunk(begin, n) is a pure slice: regenerating an interior window gives
+  // the same ids, independent of what was generated before.
+  GeneratorSpec spec = ParseSpec();
+  auto gen = SpecGenerator::Make(spec);
+  ASSERT_TRUE(gen.ok());
+  auto whole = gen->Chunk(0, 600);
+  ASSERT_TRUE(whole.ok());
+  auto window = gen->Chunk(400, 100);
+  ASSERT_TRUE(window.ok());
+  for (size_t c = 0; c < window->size(); ++c) {
+    for (size_t r = 0; r < 100; ++r) {
+      EXPECT_EQ((*window)[c][r], (*whole)[c][400 + r]);
+    }
+  }
+}
+
+TEST(ValuePoolInternBatchTest, MatchesSerialInternAndIsIdempotent) {
+  auto pool = std::make_shared<ValuePool>();
+  auto serial = std::make_shared<ValuePool>();
+  std::vector<std::string> values;
+  for (int i = 0; i < 500; ++i) values.push_back("v_" + std::to_string(i % 37));
+  std::vector<std::string_view> views(values.begin(), values.end());
+
+  std::vector<ValueId> batch_ids(views.size());
+  pool->InternBatch(views, batch_ids.data());
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(batch_ids[i], serial->Intern(views[i])) << i;
+  }
+  // Re-interning the same batch returns the same ids and adds nothing.
+  size_t size_before = pool->size();
+  std::vector<ValueId> again(views.size());
+  pool->InternBatch(views, again.data());
+  EXPECT_EQ(again, batch_ids);
+  EXPECT_EQ(pool->size(), size_before);
+}
+
+}  // namespace
+}  // namespace falcon
